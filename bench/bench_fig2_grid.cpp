@@ -1,0 +1,111 @@
+// Fig. 2 reproduction: "Power grid data from NYISO", May 12 2016.
+//   (a) actual (integrated) vs. forecast load        [MWh]
+//   (b) power deficiency (integrated - forecast)     [MWh]
+//   (c) location-based marginal price (LBMP)         [$/MWh]
+//   (d) ancillary-service costs (10-min sync reserve, regulation capacity,
+//       regulation movement)                         [$/MW]
+//
+// The paper's published anchors this must land on:
+//   load in [4017.1, 6657.8]; |deficiency| <= 167.8; LBMP in
+//   [12.52, 244.04]; mean ancillary total ~= $13.41.
+
+#include <iostream>
+
+#include "bench_util.h"
+
+#include "grid/dispatch.h"
+#include "grid/frequency.h"
+#include "grid/nyiso_day.h"
+#include "util/csv.h"
+
+int main() {
+  using namespace olev;
+
+  const grid::NyisoDay day = grid::NyisoDay::generate();
+
+  std::cout << "=== Fig. 2(a-b): load, forecast and deficiency (hourly) ===\n";
+  util::Table load_table(
+      {"hour", "forecast_MWh", "integrated_MWh", "deficiency_MWh"});
+  for (int hour = 0; hour < 24; ++hour) {
+    const auto& tick = day.tick_at(hour + 0.5);
+    load_table.add_row_numeric(
+        {static_cast<double>(hour), tick.forecast_mw, tick.actual_mw,
+         tick.deficiency_mw},
+        1);
+  }
+  bench::emit(load_table, "fig2_load");
+
+  std::cout << "\n=== Fig. 2(c): LBMP (hourly) ===\n";
+  util::Table price_table({"hour", "LBMP_$per_MWh", "control_period"});
+  for (int hour = 0; hour < 24; ++hour) {
+    price_table.add_row({util::fmt(hour, 0), util::fmt(day.lbmp_at(hour + 0.5), 2),
+                         std::string(grid::name(day.control_period_at(hour + 0.5)))});
+  }
+  bench::emit(price_table, "fig2_lbmp");
+
+  std::cout << "\n=== Fig. 2(d): ancillary service costs (hourly, $/MW) ===\n";
+  util::Table anc_table({"hour", "10min_sync", "reg_capacity", "reg_movement",
+                         "total"});
+  for (int hour = 0; hour < 24; ++hour) {
+    const auto prices = day.ancillary_at(hour + 0.5);
+    anc_table.add_row_numeric(
+        {static_cast<double>(hour), prices.sync10, prices.regulation_capacity,
+         prices.regulation_movement, prices.total()},
+        2);
+  }
+  bench::emit(anc_table, "fig2_ancillary");
+
+  // Summary anchors vs. the paper.
+  double load_min = 1e18;
+  double load_max = -1e18;
+  double lbmp_min = 1e18;
+  double lbmp_max = -1e18;
+  for (const auto& tick : day.ticks()) {
+    load_min = std::min(load_min, tick.actual_mw);
+    load_max = std::max(load_max, tick.actual_mw);
+  }
+  for (double price : day.lbmp_series()) {
+    lbmp_min = std::min(lbmp_min, price);
+    lbmp_max = std::max(lbmp_max, price);
+  }
+  // Supporting substrates behind the figure: the merit-order stack that
+  // produces the price curve, and the frequency-regulation loop ancillary
+  // services pay for.
+  std::cout << "\n=== supply stack (merit-order dispatch at trough/peak) ===\n";
+  {
+    const grid::DispatchStack stack = grid::DispatchStack::nyiso_like();
+    util::Table stack_table({"load_MW", "clearing_price", "reserve_MW",
+                             "CO2_t_per_h"});
+    for (double load : {4017.1, 5500.0, 6657.8}) {
+      const auto dispatch = stack.dispatch(load);
+      stack_table.add_row_numeric(
+          {load, dispatch.price, dispatch.reserve_margin_mw,
+           dispatch.co2_t_per_h},
+          1);
+    }
+    bench::emit(stack_table, "fig2_dispatch_stack");
+  }
+
+  std::cout << "\n=== frequency response to a 120 MW OLEV fleet step ===\n";
+  {
+    std::vector<double> fleet_on(3000, 120.0);  // 300 s disturbance
+    grid::FrequencySimulator sim;
+    const auto trace = sim.run(fleet_on);
+    const auto summary = grid::summarize_trace(trace, 60.0);
+    std::cout << "nadir " << util::fmt(summary.nadir_hz, 4) << " Hz, max |dev| "
+              << util::fmt(summary.max_abs_dev_hz, 4) << " Hz, settled in "
+              << util::fmt(summary.settling_time_s, 1)
+              << " s with 150 MW regulation\n";
+  }
+
+  std::cout << "\n=== anchors (paper value in brackets) ===\n";
+  std::cout << "load range        : " << util::fmt(load_min, 1) << " - "
+            << util::fmt(load_max, 1) << "  [4017.1 - 6657.8 MWh]\n";
+  std::cout << "max |deficiency|  : " << util::fmt(day.max_abs_deficiency(), 1)
+            << "  [up to 167.8 MWh]\n";
+  std::cout << "LBMP range        : " << util::fmt(lbmp_min, 2) << " - "
+            << util::fmt(lbmp_max, 2) << "  [12.52 - 244.04 $/MWh]\n";
+  std::cout << "mean ancillary    : " << util::fmt(day.mean_ancillary_total(), 2)
+            << "  [avg 13.41 $/MW]\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figs. 5(b)/6(b) reproduction: "social welfare vs. the number of charging
+// sections" for N = 30, 40, 50 OLEVs at 60 and 80 mph.
+//
+// Expected shape: welfare increases with the number of sections (more
+// capacity -> cheaper power -> more satisfaction), increases with the
+// number of OLEVs, and saturates once capacity stops binding.
+
+#include <iostream>
+
+#include "bench_util.h"
+
+#include "core/scenario.h"
+#include "util/csv.h"
+
+namespace {
+
+using namespace olev;
+
+double welfare_at(double velocity_mph, std::size_t olevs, std::size_t sections) {
+  core::ScenarioConfig config;
+  config.num_olevs = olevs;
+  config.num_sections = sections;
+  config.velocity_mph = velocity_mph;
+  config.beta_lbmp = 16.0;
+  config.target_degree = 0.9;
+  // Identical per-OLEV preferences across the whole sweep: anchor the
+  // demand calibration at (N, C) = (30, 50) instead of each grid point.
+  config.calibration_players = 30;
+  config.calibration_sections = 50;
+  config.seed = 0xbe;
+  config.game.max_updates = 80000;
+  const core::Scenario scenario = core::Scenario::build(config);
+  core::Game game = scenario.make_game();
+  return game.run().welfare;
+}
+
+}  // namespace
+
+int main() {
+  for (double velocity : {60.0, 80.0}) {
+    std::cout << "=== Fig. " << (velocity == 60.0 ? 5 : 6)
+              << "(b): social welfare vs. #charging sections, " << velocity
+              << " mph ===\n";
+    util::Table table({"sections", "N=30", "N=40", "N=50"});
+    for (std::size_t sections : {10u, 30u, 50u, 70u, 90u}) {
+      table.add_row_numeric({static_cast<double>(sections),
+                             welfare_at(velocity, 30, sections),
+                             welfare_at(velocity, 40, sections),
+                             welfare_at(velocity, 50, sections)},
+                            2);
+    }
+    bench::emit(table, "fig5b_welfare_" + std::to_string(static_cast<int>(velocity)) + "mph");
+    std::cout << '\n';
+  }
+  std::cout << "shape check: each column increases down the table (more\n"
+               "sections) and each row increases left to right (more OLEVs),\n"
+               "matching paper Figs. 5(b)/6(b).\n";
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Shared helpers for the figure-reproduction harnesses.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "util/csv.h"
+
+namespace olev::bench {
+
+/// Prints the table and, when the OLEV_BENCH_CSV environment variable names
+/// a directory, also saves it there as `<name>.csv` so plots can be
+/// regenerated without re-running the binary.
+inline void emit(const util::Table& table, const std::string& name) {
+  table.write_pretty(std::cout);
+  const char* dir = std::getenv("OLEV_BENCH_CSV");
+  if (dir != nullptr && *dir != '\0') {
+    const std::string path = std::string(dir) + "/" + name + ".csv";
+    try {
+      table.save_csv(path);
+      std::cout << "[csv saved to " << path << "]\n";
+    } catch (const std::exception& error) {
+      std::cerr << "[csv save failed: " << error.what() << "]\n";
+    }
+  }
+}
+
+}  // namespace olev::bench

@@ -1,0 +1,109 @@
+// City-scale study: a 4x4 Manhattan grid, origin-destination demand,
+// occupancy-driven deployment planning, and a WPT energy harvest -- the
+// paper's "If we consider some other intersections in NYC, then the
+// aggregated power amount will be enough to increase the power demand of
+// the grid operator" scaled out to a small city.
+//
+//   $ ./city_scale
+
+#include <algorithm>
+#include <iostream>
+#include <memory>
+
+#include "traffic/od_demand.h"
+#include "traffic/simulation.h"
+#include "util/csv.h"
+#include "util/units.h"
+#include "wpt/charging_lane.h"
+#include "wpt/deployment.h"
+
+namespace {
+
+using namespace olev;
+
+constexpr int kRows = 4;
+constexpr int kCols = 4;
+
+traffic::Network make_city() {
+  const auto program = traffic::SignalProgram::fixed_cycle(30.0, 4.0, 26.0);
+  return traffic::grid_city(kRows, kCols, 250.0, util::mph_to_mps(30.0), program);
+}
+
+std::unique_ptr<traffic::OdTripSource> make_demand(const traffic::Network& city) {
+  // Gateways: one outbound edge near each corner.
+  std::vector<traffic::EdgeId> entries{
+      *city.find_edge("e0_0_0_1"), *city.find_edge("e3_3_3_2"),
+      *city.find_edge("e0_3_1_3"), *city.find_edge("e3_0_2_0")};
+  std::vector<traffic::EdgeId> exits{
+      *city.find_edge("e2_2_2_3"), *city.find_edge("e1_1_1_0"),
+      *city.find_edge("e2_1_3_1"), *city.find_edge("e0_2_0_1")};
+  traffic::DemandConfig demand;
+  demand.counts = traffic::scale_to_daily_total(
+      traffic::nyc_arterial_hourly_counts(), 24000.0);
+  return std::make_unique<traffic::OdTripSource>(
+      city, entries, exits, demand, traffic::VehicleType::olev());
+}
+
+}  // namespace
+
+int main() {
+  traffic::Network city = make_city();
+  std::cout << "City: " << kRows << "x" << kCols << " grid, "
+            << city.edge_count() << " directed streets, "
+            << city.junction_count() << " signalized junctions\n";
+
+  // ---- pilot: find the busy streets ----
+  std::cout << "Pilot hour: measuring occupancy on every 25 m slot...\n";
+  traffic::SimulationConfig sim_config;
+  sim_config.seed = 404;
+  traffic::Simulation pilot(city, sim_config);
+  pilot.add_source(make_demand(city));
+  auto slots = wpt::enumerate_slots(city, 25.0);
+  // Start at 07:00 so the pilot hour carries real demand.
+  pilot.run_until(7.0 * 3600.0);
+  wpt::score_slots_by_occupancy(pilot, slots, 8.0 * 3600.0, /*olev_only=*/true);
+
+  // ---- plan: 30 sections city-wide ----
+  wpt::ChargingSectionSpec spec;
+  spec.length_m = 25.0;
+  const auto sections = wpt::plan_deployment(slots, 30, spec);
+  std::vector<double> coverage = wpt::edge_coverage_m(city, sections);
+  util::Table streets({"street", "coverage_m", "slot_score_s"});
+  // Top five streets by coverage.
+  std::vector<std::size_t> order(coverage.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return coverage[a] > coverage[b];
+  });
+  for (std::size_t i = 0; i < 5 && i < order.size(); ++i) {
+    if (coverage[order[i]] <= 0.0) break;
+    double street_score = 0.0;
+    for (const auto& slot : slots) {
+      if (slot.edge == order[i]) street_score += slot.score;
+    }
+    streets.add_row({city.edge(order[i]).name, util::fmt(coverage[order[i]], 0),
+                     util::fmt(street_score, 0)});
+  }
+  std::cout << "\nTop equipped streets:\n";
+  streets.write_pretty(std::cout);
+
+  // ---- harvest: run the evening peak with the deployment in place ----
+  std::cout << "\nEvening peak (16:00-20:00) with 30 sections:\n";
+  traffic::SimulationConfig eval_config;
+  eval_config.seed = 505;
+  traffic::Simulation evening(city, eval_config);
+  evening.add_source(make_demand(city));
+  wpt::ChargingLane lane(sections, wpt::ChargingLaneConfig{});
+  evening.run_until(16.0 * 3600.0);
+  evening.add_observer(&lane);
+  evening.run_until(20.0 * 3600.0);
+
+  std::cout << "vehicles simulated : " << evening.stats().departed << "\n";
+  std::cout << "OLEVs charged      : " << lane.tracked_vehicles() << "\n";
+  std::cout << "energy delivered   : " << util::fmt(lane.ledger().total_kwh(), 1)
+            << " kWh over 4 h from one small city\n";
+  std::cout << "grid-side peak load: the paper's point -- aggregated over a\n"
+               "real city's thousands of intersections this is MW-scale\n"
+               "unanticipated demand, which is what the pricing game manages.\n";
+  return 0;
+}

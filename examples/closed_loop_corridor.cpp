@@ -1,0 +1,102 @@
+// Closed-loop corridor: the pricing game driving the charging hardware in
+// real time.
+//
+// Two identical rush hours on a signalized corridor:
+//   A. opportunistic -- every section serves whoever sits on it, up to the
+//      eta * rated hardware budget (Section III behaviour);
+//   B. game-scheduled -- a ClosedLoopController replans the pricing game
+//      every 5 minutes from the live OLEV census and imposes the socially
+//      optimal per-section budgets on the lane (Section IV behaviour).
+//
+//   $ ./closed_loop_corridor
+
+#include <iostream>
+
+#include "core/closed_loop.h"
+#include "traffic/simulation.h"
+#include "util/csv.h"
+#include "util/stats.h"
+#include "util/units.h"
+#include "wpt/charging_lane.h"
+
+namespace {
+
+using namespace olev;
+
+struct Outcome {
+  double energy_kwh = 0.0;
+  double jain = 1.0;
+  std::size_t replans = 0;
+  double mean_welfare = 0.0;
+};
+
+Outcome run(bool scheduled) {
+  const auto program = traffic::SignalProgram::fixed_cycle(35.0, 4.0, 31.0);
+  traffic::Network net =
+      traffic::Network::arterial(2, 300.0, util::mph_to_mps(30.0), program, 2);
+  traffic::SimulationConfig sim_config;
+  sim_config.seed = 17;
+  traffic::Simulation sim(std::move(net), sim_config);
+  traffic::DemandConfig demand;
+  demand.counts.fill(1400.0);
+  sim.add_source(
+      traffic::FlowSource({0, 1}, demand, traffic::VehicleType::olev()));
+
+  wpt::ChargingSectionSpec spec;
+  spec.length_m = 20.0;
+  wpt::ChargingLane lane(
+      wpt::ChargingLane::evenly_spaced(0, 100.0, 300.0, 10, spec),
+      wpt::ChargingLaneConfig{});
+  sim.add_observer(&lane);
+
+  const grid::NyisoDay day = grid::NyisoDay::generate();
+  core::ClosedLoopController controller(lane, day);
+  if (scheduled) sim.add_observer(&controller);
+
+  sim.run_until(3600.0);
+
+  Outcome outcome;
+  outcome.energy_kwh = lane.ledger().total_kwh();
+  std::vector<double> per_section(lane.sections().size());
+  for (std::size_t c = 0; c < per_section.size(); ++c) {
+    per_section[c] = lane.ledger().section_total_kwh(c);
+  }
+  outcome.jain = util::jain_fairness(per_section);
+  outcome.replans = controller.replan_count();
+  double welfare = 0.0;
+  std::size_t populated = 0;
+  for (const auto& record : controller.replans()) {
+    if (record.players > 0) {
+      welfare += record.welfare;
+      ++populated;
+    }
+  }
+  outcome.mean_welfare = populated > 0 ? welfare / populated : 0.0;
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Rush hour on a 600 m corridor, 200 m of charging sections.\n\n";
+  const Outcome opportunistic = run(false);
+  const Outcome scheduled = run(true);
+
+  util::Table table({"mode", "energy_kWh", "section_Jain", "replans",
+                     "mean_welfare"});
+  table.add_row({"opportunistic (hardware caps)",
+                 util::fmt(opportunistic.energy_kwh, 1),
+                 util::fmt(opportunistic.jain, 4), "0", "-"});
+  table.add_row({"game-scheduled (5 min replans)",
+                 util::fmt(scheduled.energy_kwh, 1),
+                 util::fmt(scheduled.jain, 4),
+                 util::fmt(static_cast<double>(scheduled.replans), 0),
+                 util::fmt(scheduled.mean_welfare, 2)});
+  table.write_pretty(std::cout);
+
+  std::cout << "\nThe game-scheduled lane prices congestion instead of just\n"
+               "capping it: depleted vehicles bid harder, budgets follow the\n"
+               "socially optimal allocation each period, and delivery stays\n"
+               "inside the eta safety region by construction.\n";
+  return 0;
+}

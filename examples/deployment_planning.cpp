@@ -1,0 +1,119 @@
+// Charging-section deployment planning (the paper's future work:
+// "optimal deployment of charging sections ... placing charging sections at
+// traffic lights ... and well-traveled road sections", plus the effect of
+// placement on OLEV path planning).
+//
+// Pipeline:
+//   1. pilot: simulate one rush hour on a corridor, score every candidate
+//      20 m slot by measured vehicle occupancy;
+//   2. plan: greedy top-K deployment vs. a uniform-spacing baseline;
+//   3. evaluate: re-simulate the same demand with each deployment and
+//      compare delivered energy;
+//   4. route: show that charging coverage diverts an OLEV's planned route
+//      in a 3x3 grid city.
+//
+//   $ ./deployment_planning
+
+#include <algorithm>
+#include <iostream>
+
+#include "traffic/routing.h"
+#include "traffic/simulation.h"
+#include "util/csv.h"
+#include "util/units.h"
+#include "wpt/charging_lane.h"
+#include "wpt/deployment.h"
+
+namespace {
+
+using namespace olev;
+
+traffic::Simulation make_corridor(std::uint64_t seed) {
+  const auto program = traffic::SignalProgram::fixed_cycle(35.0, 4.0, 41.0);
+  traffic::Network net =
+      traffic::Network::arterial(3, 300.0, util::mph_to_mps(30.0), program, 2);
+  traffic::SimulationConfig config;
+  config.seed = seed;
+  traffic::Simulation sim(std::move(net), config);
+  traffic::DemandConfig demand;
+  demand.counts.fill(1200.0);  // steady rush hour
+  sim.add_source(
+      traffic::FlowSource({0, 1, 2}, demand, traffic::VehicleType::olev()));
+  return sim;
+}
+
+double evaluate_deployment(const std::vector<wpt::ChargingSection>& sections,
+                           std::uint64_t seed) {
+  traffic::Simulation sim = make_corridor(seed);
+  wpt::ChargingLane lane(sections, wpt::ChargingLaneConfig{});
+  sim.add_observer(&lane);
+  sim.run_until(3600.0);
+  return lane.ledger().total_kwh();
+}
+
+}  // namespace
+
+int main() {
+  // ---- 1. pilot scoring ----
+  std::cout << "Pilot: scoring candidate slots over one rush hour...\n";
+  traffic::Simulation pilot = make_corridor(101);
+  auto slots = wpt::enumerate_slots(pilot.network(), 20.0);
+  wpt::score_slots_by_occupancy(pilot, slots, 3600.0, /*olev_only=*/true);
+
+  std::vector<wpt::CandidateSlot> ranked(slots.begin(), slots.end());
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) { return a.score > b.score; });
+  std::cout << "top slots (edge, offset, occupancy-s): ";
+  for (std::size_t i = 0; i < 5 && i < ranked.size(); ++i) {
+    std::cout << "(" << ranked[i].edge << ", " << ranked[i].offset_m << ", "
+              << util::fmt(ranked[i].score, 0) << ") ";
+  }
+  std::cout << "\n  -> queues before the staggered red lights, exactly the\n"
+               "     paper's 'place sections at traffic lights' intuition.\n\n";
+
+  // ---- 2 + 3. plan and evaluate ----
+  wpt::ChargingSectionSpec spec;
+  spec.length_m = 20.0;
+  const int budget = 10;  // 200 m of sections, the paper's coverage
+  const auto greedy = wpt::plan_deployment(slots, budget, spec);
+  const auto uniform = wpt::uniform_deployment(slots, budget, spec);
+
+  util::Table table({"deployment", "energy_kWh_per_rush_hour"});
+  table.add_row({"greedy (occupancy-ranked)",
+                 util::fmt(evaluate_deployment(greedy, 202), 1)});
+  table.add_row({"uniform spacing",
+                 util::fmt(evaluate_deployment(uniform, 202), 1)});
+  table.write_pretty(std::cout);
+
+  // ---- 4. charging-aware routing ----
+  std::cout << "\nCharging-aware path planning in a 3x3 grid city:\n";
+  const auto program = traffic::SignalProgram::fixed_cycle(30.0, 4.0, 26.0);
+  traffic::Network city = traffic::grid_city(3, 3, 200.0, 12.0, program);
+  // Equip the mid-grid street that the unadjusted fastest route skips.
+  std::vector<wpt::ChargingSection> city_sections(1);
+  city_sections[0].edge = *city.find_edge("e1_1_1_2");
+  city_sections[0].spec = spec;
+  city_sections[0].spec.length_m = 150.0;
+
+  const auto start = *city.find_edge("e0_0_0_1");
+  const auto goal = *city.find_edge("e1_2_2_2");
+  const auto plain = traffic::shortest_route(city, start, goal);
+  const auto bonus = wpt::charging_route_bonus(city, city_sections, 0.2);
+  const auto lured = traffic::shortest_route(city, start, goal, bonus);
+
+  auto print_route = [&city](const char* label, const traffic::RouteResult& r) {
+    std::cout << "  " << label << " (" << util::fmt(r.travel_time_s, 1)
+              << " s expected):";
+    for (auto edge : r.route) std::cout << " " << city.edge(edge).name;
+    std::cout << "\n";
+  };
+  print_route("fastest route       ", plain);
+  print_route("charging-aware route", lured);
+  const bool diverted =
+      std::find(lured.route.begin(), lured.route.end(),
+                city_sections[0].edge) != lured.route.end();
+  std::cout << "  -> the charging-aware route "
+            << (diverted ? "detours over" : "ignores")
+            << " the equipped street e1_1_1_2.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// A fleet's full day under the pricing policy: one game per hour with SOC
+// carried between periods, beta following the grid's LBMP, and road
+// presence following the NYC traffic shape.
+//
+//   $ ./fleet_day [config.ini]
+//
+// Optional INI config:
+//   [fleet]
+//   size = 40
+//   sections = 15
+//   velocity_mph = 60
+//   period_minutes = 60
+//   seed = 3495
+
+#include <iostream>
+
+#include "core/fleet_day.h"
+#include "util/config.h"
+#include "util/csv.h"
+
+int main(int argc, char** argv) {
+  using namespace olev;
+
+  core::FleetDayConfig config;
+  config.fleet_size = 40;
+  config.num_sections = 15;
+  config.seed = 0xda7;
+  if (argc > 1) {
+    const util::Config file = util::Config::load(argv[1]);
+    config.fleet_size =
+        static_cast<std::size_t>(file.get_int("fleet", "size", 40));
+    config.num_sections =
+        static_cast<std::size_t>(file.get_int("fleet", "sections", 15));
+    config.velocity_mph = file.get_double("fleet", "velocity_mph", 60.0);
+    config.period_minutes = file.get_double("fleet", "period_minutes", 60.0);
+    config.seed =
+        static_cast<std::uint64_t>(file.get_int("fleet", "seed", 0xda7));
+  }
+
+  const grid::NyisoDay day = grid::NyisoDay::generate();
+  std::cout << "Running 24 hourly games for a fleet of " << config.fleet_size
+            << " OLEVs over " << config.num_sections
+            << " charging sections...\n\n";
+  const core::FleetDayResult result = core::run_fleet_day(config, day);
+
+  util::Table table({"hour", "LBMP", "active", "energy_kWh", "paid_$",
+                     "mean_congestion"});
+  for (const core::PeriodRecord& record : result.periods) {
+    table.add_row_numeric(
+        {record.hour, record.beta_lbmp,
+         static_cast<double>(record.active_olevs), record.energy_kwh,
+         record.payments, record.mean_congestion},
+        2);
+  }
+  table.write_pretty(std::cout);
+
+  std::cout << "\nday totals: " << util::fmt(result.total_energy_kwh, 1)
+            << " kWh delivered, $" << util::fmt(result.total_payments, 2)
+            << " collected, mean final SOC "
+            << util::fmt(result.mean_final_soc, 3) << "\n";
+
+  // Distribution of outcomes across the fleet.
+  double min_soc = 1.0;
+  double max_soc = 0.0;
+  double max_cycles = 0.0;
+  for (const core::FleetOlev& olev : result.fleet) {
+    min_soc = std::min(min_soc, olev.battery.soc());
+    max_soc = std::max(max_soc, olev.battery.soc());
+    max_cycles = std::max(max_cycles, olev.battery.equivalent_full_cycles());
+  }
+  std::cout << "fleet SOC spread at midnight: [" << util::fmt(min_soc, 3)
+            << ", " << util::fmt(max_soc, 3) << "]\n";
+  std::cout << "worst battery wear: " << util::fmt(max_cycles, 2)
+            << " equivalent full cycles\n";
+  std::cout << "\nNote how evening games (high LBMP) collect more dollars per\n"
+               "kWh while the SOC-aware weights keep depleted vehicles served.\n";
+  return 0;
+}

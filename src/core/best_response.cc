@@ -1,0 +1,62 @@
+#include "core/best_response.h"
+
+#include <stdexcept>
+
+#include "core/payment.h"
+
+namespace olev::core {
+
+double utility_derivative(const Satisfaction& u, const SectionCost& z,
+                          std::span<const double> others_load, double p) {
+  return u.derivative(p) - payment_derivative(z, others_load, p);
+}
+
+BestResponse best_response(const Satisfaction& u, const SectionCost& z,
+                           std::span<const double> others_load, double p_max,
+                           const BestResponseOptions& options) {
+  if (p_max < 0.0) throw std::invalid_argument("best_response: negative p_max");
+  if (!z.strictly_convex()) {
+    throw std::logic_error(
+        "best_response: the best-response characterization requires a "
+        "strictly convex section cost (Lemma IV.2)");
+  }
+
+  BestResponse response;
+
+  const double f_at_zero = utility_derivative(u, z, others_load, 0.0);
+  if (f_at_zero <= 0.0 || p_max == 0.0) {
+    // Marginal price at zero already exceeds marginal satisfaction.
+    response.p_star = 0.0;
+    response.kind = BestResponse::Case::kCornerZero;
+  } else {
+    const double f_at_cap = utility_derivative(u, z, others_load, p_max);
+    if (f_at_cap >= 0.0) {
+      response.p_star = p_max;
+      response.kind = BestResponse::Case::kCornerCap;
+    } else {
+      // Interior: bisect the strictly decreasing F' on [0, p_max].
+      double lo = 0.0;
+      double hi = p_max;
+      int it = 0;
+      while (hi - lo > options.tolerance && it < options.max_iterations) {
+        const double mid = 0.5 * (lo + hi);
+        if (utility_derivative(u, z, others_load, mid) > 0.0) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+        ++it;
+      }
+      response.p_star = 0.5 * (lo + hi);
+      response.iterations = it;
+      response.kind = BestResponse::Case::kInterior;
+    }
+  }
+
+  response.allocation = water_fill(others_load, response.p_star);
+  response.payment = externality_payment(z, others_load, response.allocation.row);
+  response.utility = u.value(response.p_star) - response.payment;
+  return response;
+}
+
+}  // namespace olev::core

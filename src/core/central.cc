@@ -1,0 +1,95 @@
+#include "core/central.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/welfare.h"
+
+namespace olev::core {
+
+void project_capped_simplex(std::span<double> row, double cap) {
+  // First try: clamp negatives.  If the positive part already fits the cap,
+  // that is the projection onto the positive orthant intersected with the
+  // half-space (the half-space constraint is inactive).
+  double positive_sum = 0.0;
+  for (double v : row) positive_sum += std::max(0.0, v);
+  if (positive_sum <= cap) {
+    for (double& v : row) v = std::max(0.0, v);
+    return;
+  }
+  // Otherwise project onto the simplex {x >= 0, sum x = cap}: subtract the
+  // unique threshold theta with sum_c max(0, x_c - theta) = cap (sort-based).
+  std::vector<double> sorted(row.begin(), row.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  double prefix = 0.0;
+  double theta = 0.0;
+  for (std::size_t k = 0; k < sorted.size(); ++k) {
+    prefix += sorted[k];
+    const double candidate = (prefix - cap) / static_cast<double>(k + 1);
+    if (k + 1 == sorted.size() || candidate >= sorted[k + 1]) {
+      theta = candidate;
+      break;
+    }
+  }
+  for (double& v : row) v = std::max(0.0, v - theta);
+}
+
+CentralResult maximize_welfare(
+    std::span<const std::unique_ptr<Satisfaction>> players,
+    std::span<const double> p_max, const SectionCost& z, std::size_t sections,
+    const CentralOptions& options) {
+  if (players.size() != p_max.size()) {
+    throw std::invalid_argument("maximize_welfare: players/p_max mismatch");
+  }
+  const std::size_t n_players = players.size();
+  PowerSchedule schedule(n_players, sections);
+
+  auto welfare_of = [&](const PowerSchedule& s) {
+    return social_welfare(players, z, s);
+  };
+
+  double step = options.step_size;
+  double current = welfare_of(schedule);
+  std::size_t it = 0;
+  bool converged = false;
+  std::vector<double> row(sections);
+
+  for (; it < options.max_iterations; ++it) {
+    PowerSchedule next = schedule;
+    const auto column_totals = schedule.column_totals();
+    for (std::size_t n = 0; n < n_players; ++n) {
+      const double u_prime = players[n]->derivative(schedule.row_total(n));
+      const auto old_row = schedule.row(n);
+      for (std::size_t c = 0; c < sections; ++c) {
+        row[c] = old_row[c] + step * (u_prime - z.derivative(column_totals[c]));
+      }
+      project_capped_simplex(row, p_max[n]);
+      next.set_row(n, row);
+    }
+
+    const double next_welfare = welfare_of(next);
+    if (next_welfare < current - 1e-14) {
+      // Overshot the concave objective: halve the step and retry.
+      step *= 0.5;
+      if (step < 1e-12) break;
+      continue;
+    }
+    const double delta = schedule.max_abs_diff(next);
+    schedule = std::move(next);
+    current = next_welfare;
+    if (delta < options.tolerance) {
+      converged = true;
+      break;
+    }
+  }
+
+  CentralResult result;
+  result.schedule = std::move(schedule);
+  result.welfare = current;
+  result.iterations = it;
+  result.converged = converged;
+  return result;
+}
+
+}  // namespace olev::core

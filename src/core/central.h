@@ -1,0 +1,44 @@
+// Centralized social-welfare maximizer: projected gradient ascent on W(p)
+// over the product feasible set P = P_1 x ... x P_N with
+// P_n = {p_n >= 0, sum_c p_{n,c} <= P_OLEV_n}.
+//
+// This is the *oracle* for Theorem IV.1: W is strictly concave in the row
+// totals, so the maximizer's welfare is unique, and the test suite asserts
+// the asynchronous game's fixed point attains it.  It is not part of the
+// deployed mechanism (the grid does not know U_n); it exists to verify the
+// decentralized machinery.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/cost.h"
+#include "core/satisfaction.h"
+#include "core/schedule.h"
+
+namespace olev::core {
+
+struct CentralOptions {
+  double step_size = 1.0;       ///< initial step; backtracked on failure
+  double tolerance = 1e-8;      ///< stop when max schedule change < tolerance
+  std::size_t max_iterations = 50000;
+};
+
+struct CentralResult {
+  PowerSchedule schedule;
+  double welfare = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Maximizes W over the feasible set.  `p_max` has one cap per player.
+CentralResult maximize_welfare(
+    std::span<const std::unique_ptr<Satisfaction>> players,
+    std::span<const double> p_max, const SectionCost& z, std::size_t sections,
+    const CentralOptions& options = {});
+
+/// Euclidean projection of `row` onto {x >= 0, sum x <= cap} (in place).
+void project_capped_simplex(std::span<double> row, double cap);
+
+}  // namespace olev::core

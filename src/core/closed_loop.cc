@@ -1,0 +1,99 @@
+#include "core/closed_loop.h"
+
+#include <algorithm>
+
+#include "core/scenario.h"
+#include "util/units.h"
+#include "wpt/olev.h"
+
+namespace olev::core {
+
+ClosedLoopController::ClosedLoopController(wpt::ChargingLane& lane,
+                                           const grid::NyisoDay& day,
+                                           ClosedLoopConfig config)
+    : lane_(lane), day_(day), config_(config) {}
+
+void ClosedLoopController::on_step(const traffic::StepView& view) {
+  if (view.time_s + 1e-9 < next_replan_s_) return;
+  next_replan_s_ = view.time_s + config_.replan_period_s;
+  replan(view.time_s, view.vehicles);
+}
+
+void ClosedLoopController::replan(double time_s,
+                                  std::span<const traffic::Vehicle> vehicles) {
+  const double hour = time_s / 3600.0;
+  const double beta = day_.lbmp_at(hour);
+
+  // Census: OLEVs currently on the road whose batteries the lane tracks
+  // (i.e. that have touched a section) -- the population the grid can
+  // actually serve this period.
+  struct Candidate {
+    double soc;
+    double velocity_mps;
+  };
+  std::vector<Candidate> candidates;
+  for (const traffic::Vehicle& vehicle : vehicles) {
+    if (!vehicle.is_olev) continue;
+    const wpt::Battery* battery = lane_.battery_for(vehicle.id);
+    if (battery == nullptr) continue;
+    candidates.push_back({battery->soc(), std::max(1.0, vehicle.speed_mps)});
+  }
+
+  ReplanRecord record;
+  record.time_s = time_s;
+  record.beta_lbmp = beta;
+  record.players = candidates.size();
+
+  const std::size_t sections = lane_.sections().size();
+  const wpt::ChargingSectionSpec& spec = lane_.sections().front().spec;
+  // Occupants may be stopped in a queue, so the stationary (rated inverter)
+  // limit is the relevant per-section ceiling here, not Eq. (1).
+  const double p_line = spec.rated_power_kw;
+  const double cap = config_.eta * p_line;
+
+  if (candidates.empty()) {
+    // Nobody to schedule: fall back to the hardware's own budgets.
+    lane_.set_section_budgets_kw({});
+    replans_.push_back(record);
+    return;
+  }
+
+  SectionCost cost(paper_nonlinear_pricing(beta, config_.alpha, cap),
+                   OverloadCost{config_.overload_weight_scale * beta / 1000.0 /
+                                p_line},
+                   cap);
+  const double base_marginal = cost.derivative(0.5 * cap);
+
+  std::vector<PlayerSpec> players;
+  players.reserve(candidates.size());
+  for (const Candidate& candidate : candidates) {
+    PlayerSpec player;
+    const double deficit =
+        std::max(0.0, config_.soc_required - candidate.soc);
+    player.satisfaction = std::make_unique<LogSatisfaction>(std::max(
+        1e-9, config_.demand_weight * base_marginal * p_line * (1.0 + deficit)));
+    const double p_olev =
+        wpt::p_olev_kw(config_.olev, candidate.soc, config_.soc_required);
+    player.p_max = std::min(p_olev, wpt::p_line_kw(spec, candidate.velocity_mps));
+    players.push_back(std::move(player));
+  }
+
+  GameConfig game_config = config_.game;
+  game_config.seed =
+      util::derive_seed(config_.seed, static_cast<std::uint64_t>(time_s));
+  Game game(std::move(players), cost, sections, p_line, game_config);
+  const GameResult result = game.run();
+
+  record.converged = result.converged;
+  record.welfare = result.welfare;
+  record.scheduled_total_kw = result.schedule.total();
+  replans_.push_back(record);
+
+  // Impose the schedule on the hardware: each section's budget is its
+  // column total (never above the safety cap).
+  std::vector<double> budgets = result.schedule.column_totals();
+  for (double& budget : budgets) budget = std::min(budget, cap);
+  lane_.set_section_budgets_kw(std::move(budgets));
+}
+
+}  // namespace olev::core

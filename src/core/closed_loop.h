@@ -1,0 +1,71 @@
+// Closed-loop coupling of the pricing game to the traffic simulation.
+//
+// Section III (traffic + WPT physics) and Section IV (the game) are
+// evaluated separately in the paper.  This controller closes the loop: it
+// rides the simulation as a StepObserver, and every replanning period it
+//   1. takes a census of OLEVs the ChargingLane currently tracks (their
+//      live SOC comes from the lane's batteries),
+//   2. plays the pricing game for them -- beta from the grid model at the
+//      current hour, P_OLEV from Eq. (2) at their live SOC,
+//   3. imposes the resulting per-section column totals on the lane as
+//      power budgets (ChargingLane::set_section_budgets_kw).
+// Between replans the lane delivers opportunistically within those
+// budgets, so the physical energy flow tracks the socially optimal
+// schedule as the population churns.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/game.h"
+#include "grid/nyiso_day.h"
+#include "traffic/detector.h"
+#include "wpt/charging_lane.h"
+
+namespace olev::core {
+
+struct ClosedLoopConfig {
+  double replan_period_s = 300.0;
+  double alpha = 0.875;
+  double eta = 0.9;
+  double overload_weight_scale = 25.0;
+  double demand_weight = 1.2;  ///< bid intensity relative to Z'(eta P_line/2)
+  double soc_required = 0.8;   ///< trip requirement used for Eq. (2)
+  wpt::OlevParams olev;
+  std::uint64_t seed = 0xc105ed;
+  GameConfig game;
+};
+
+/// Per-replan record for inspection.
+struct ReplanRecord {
+  double time_s = 0.0;
+  double beta_lbmp = 0.0;
+  std::size_t players = 0;
+  double scheduled_total_kw = 0.0;
+  double welfare = 0.0;
+  bool converged = true;  ///< vacuously true when no players
+};
+
+class ClosedLoopController : public traffic::StepObserver {
+ public:
+  /// `lane` must be registered on the same simulation *before* this
+  /// controller so its battery census is fresh; both must outlive it.
+  ClosedLoopController(wpt::ChargingLane& lane, const grid::NyisoDay& day,
+                       ClosedLoopConfig config = {});
+
+  void on_step(const traffic::StepView& view) override;
+
+  const std::vector<ReplanRecord>& replans() const { return replans_; }
+  std::size_t replan_count() const { return replans_.size(); }
+
+ private:
+  void replan(double time_s, std::span<const traffic::Vehicle> vehicles);
+
+  wpt::ChargingLane& lane_;
+  const grid::NyisoDay& day_;
+  ClosedLoopConfig config_;
+  double next_replan_s_ = 0.0;
+  std::vector<ReplanRecord> replans_;
+};
+
+}  // namespace olev::core

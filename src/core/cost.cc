@@ -1,0 +1,100 @@
+#include "core/cost.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace olev::core {
+
+NonlinearPricing::NonlinearPricing(double beta, double alpha, double p_ref)
+    : beta_(beta), alpha_(alpha), p_ref_(p_ref) {
+  if (beta <= 0.0) throw std::invalid_argument("NonlinearPricing: beta must be positive");
+  if (alpha < 0.0) throw std::invalid_argument("NonlinearPricing: alpha must be >= 0");
+  if (p_ref <= 0.0) throw std::invalid_argument("NonlinearPricing: p_ref must be positive");
+}
+
+double NonlinearPricing::value(double x) const {
+  const double t = alpha_ + x / p_ref_;
+  return beta_ * t * t;
+}
+
+double NonlinearPricing::derivative(double x) const {
+  return 2.0 * beta_ * (alpha_ + x / p_ref_) / p_ref_;
+}
+
+std::unique_ptr<CostPolicy> NonlinearPricing::clone() const {
+  return std::make_unique<NonlinearPricing>(*this);
+}
+
+LinearPricing::LinearPricing(double beta) : beta_(beta) {
+  if (beta <= 0.0) throw std::invalid_argument("LinearPricing: beta must be positive");
+}
+
+double LinearPricing::value(double x) const { return beta_ * x; }
+
+double LinearPricing::derivative(double /*x*/) const { return beta_; }
+
+std::unique_ptr<CostPolicy> LinearPricing::clone() const {
+  return std::make_unique<LinearPricing>(*this);
+}
+
+double OverloadCost::value(double y) const {
+  const double over = std::max(0.0, y);
+  return weight * over * over;
+}
+
+double OverloadCost::derivative(double y) const {
+  return y <= 0.0 ? 0.0 : 2.0 * weight * y;
+}
+
+SectionCost::SectionCost(std::unique_ptr<CostPolicy> v, OverloadCost a,
+                         double cap_kw)
+    : v_(std::move(v)), a_(a), cap_kw_(cap_kw) {
+  if (v_ == nullptr) throw std::invalid_argument("SectionCost: null cost policy");
+  if (cap_kw < 0.0) throw std::invalid_argument("SectionCost: negative capacity");
+}
+
+SectionCost::SectionCost(const SectionCost& other)
+    : v_(other.v_->clone()), a_(other.a_), cap_kw_(other.cap_kw_) {}
+
+SectionCost& SectionCost::operator=(const SectionCost& other) {
+  if (this != &other) {
+    v_ = other.v_->clone();
+    a_ = other.a_;
+    cap_kw_ = other.cap_kw_;
+  }
+  return *this;
+}
+
+double SectionCost::value(double x) const {
+  return v_->value(x) + a_.value(x - cap_kw_);
+}
+
+double SectionCost::derivative(double x) const {
+  return v_->derivative(x) + a_.derivative(x - cap_kw_);
+}
+
+double SectionCost::derivative_inverse(double marginal) const {
+  if (!strictly_convex()) {
+    throw std::logic_error(
+        "SectionCost::derivative_inverse: Z' is constant under linear pricing "
+        "with no overload cost; the water level is not identified");
+  }
+  if (marginal <= derivative(0.0)) return 0.0;
+  // Grow the bracket until Z'(hi) >= marginal, then bisect.
+  double lo = 0.0;
+  double hi = std::max(1.0, cap_kw_);
+  int guard = 0;
+  while (derivative(hi) < marginal && guard++ < 200) hi *= 2.0;
+  for (int it = 0; it < 200 && (hi - lo) > 1e-12 * std::max(1.0, hi); ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (derivative(mid) < marginal) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace olev::core

@@ -1,0 +1,140 @@
+#include "core/fleet_day.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/scenario.h"
+#include "traffic/demand.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace olev::core {
+
+FleetDayConfig::FleetDayConfig() {
+  // Normalize the NYC hourly counts into per-hour road presence in
+  // [0.05, 0.9].
+  const auto counts = traffic::nyc_arterial_hourly_counts();
+  double peak = 0.0;
+  for (double c : counts) peak = std::max(peak, c);
+  for (std::size_t h = 0; h < 24; ++h) {
+    presence[h] = std::clamp(0.9 * counts[h] / peak, 0.05, 0.9);
+  }
+}
+
+FleetDayResult run_fleet_day(const FleetDayConfig& config,
+                             const grid::NyisoDay& day) {
+  util::Rng rng(config.seed);
+  const double velocity_mps = util::mph_to_mps(config.velocity_mph);
+  const double p_line = wpt::p_line_kw(config.section, velocity_mps);
+  const double cap = config.eta * p_line;
+  const double period_h = config.period_minutes / 60.0;
+
+  FleetDayResult result;
+  result.fleet.reserve(config.fleet_size);
+  for (std::size_t n = 0; n < config.fleet_size; ++n) {
+    FleetOlev olev;
+    olev.battery = wpt::Battery(
+        config.olev.battery,
+        rng.uniform(config.initial_soc_low, config.initial_soc_high));
+    olev.soc_required = rng.uniform(0.6, 0.9);
+    olev.base_weight = rng.uniform(0.8, 1.2);
+    result.fleet.push_back(std::move(olev));
+  }
+
+  // Per-OLEV driving drain for one active period.
+  const double distance_km_per_period = util::mps_to_kmh(velocity_mps) *
+                                        period_h * config.driving_duty;
+  const double drain_kwh = distance_km_per_period *
+                           config.olev.consumption_kwh_per_km /
+                           config.olev.eta_olev;
+
+  const auto period_count =
+      static_cast<std::size_t>(std::lround(24.0 / period_h));
+  for (std::size_t period = 0; period < period_count; ++period) {
+    const double hour = static_cast<double>(period) * period_h;
+    const double beta = day.lbmp_at(hour);
+    const auto hour_bucket = static_cast<std::size_t>(hour) % 24;
+
+    // Who is on the road this period?
+    std::vector<std::size_t> active;
+    for (std::size_t n = 0; n < config.fleet_size; ++n) {
+      if (rng.bernoulli(config.presence[hour_bucket])) active.push_back(n);
+    }
+
+    PeriodRecord record;
+    record.hour = hour;
+    record.beta_lbmp = beta;
+    record.active_olevs = active.size();
+
+    if (!active.empty()) {
+      // Build the period's cost and players from live battery state.
+      SectionCost cost(paper_nonlinear_pricing(beta, config.alpha, cap),
+                       OverloadCost{config.overload_weight_scale * beta /
+                                    1000.0 / p_line},
+                       cap);
+      const double base_marginal = cost.derivative(0.5 * cap);
+
+      std::vector<PlayerSpec> players;
+      players.reserve(active.size());
+      for (std::size_t n : active) {
+        FleetOlev& olev = result.fleet[n];
+        const double p_olev = wpt::p_olev_kw(config.olev, olev.battery.soc(),
+                                             olev.soc_required);
+        PlayerSpec player;
+        const double deficit =
+            std::max(0.0, olev.soc_required - olev.battery.soc());
+        // Depleted vehicles bid harder (SOC balancing).
+        const double weight = olev.base_weight * base_marginal * p_line *
+                              (1.0 + config.soc_weight_gain * deficit);
+        player.satisfaction = std::make_unique<LogSatisfaction>(
+            std::max(1e-9, weight));
+        // Eq. (3) caps plus battery acceptance: no point scheduling (and
+        // paying for) power the pack cannot absorb this period.
+        const double p_accept =
+            olev.battery.headroom_kwh() /
+            std::max(1e-9, period_h * config.section.transfer_efficiency);
+        player.p_max = std::min({p_olev, p_line, p_accept});
+        players.push_back(std::move(player));
+      }
+
+      GameConfig game_config = config.game;
+      game_config.seed = util::derive_seed(config.seed, period);
+      Game game(std::move(players), cost, config.num_sections, p_line,
+                game_config);
+      const GameResult outcome = game.run();
+
+      record.converged = outcome.converged;
+      record.welfare = outcome.welfare;
+      record.mean_congestion = outcome.congestion.mean;
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        FleetOlev& olev = result.fleet[active[i]];
+        const double grid_kwh = outcome.requests[i] * period_h;
+        const double accepted = olev.battery.charge_kwh(
+            grid_kwh * config.section.transfer_efficiency);
+        olev.energy_received_kwh += accepted;
+        record.energy_kwh += accepted;
+        const double paid = outcome.payments[i] * period_h;
+        olev.total_paid += paid;
+        record.payments += paid;
+        ++olev.periods_active;
+      }
+    }
+
+    // Driving drain for everyone who was on the road.
+    for (std::size_t n : active) {
+      FleetOlev& olev = result.fleet[n];
+      olev.energy_driven_kwh += olev.battery.discharge_kwh(drain_kwh);
+    }
+
+    result.total_energy_kwh += record.energy_kwh;
+    result.total_payments += record.payments;
+    result.periods.push_back(std::move(record));
+  }
+
+  double soc_sum = 0.0;
+  for (const FleetOlev& olev : result.fleet) soc_sum += olev.battery.soc();
+  result.mean_final_soc = soc_sum / static_cast<double>(config.fleet_size);
+  return result;
+}
+
+}  // namespace olev::core

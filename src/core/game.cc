@@ -1,0 +1,269 @@
+#include "core/game.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/payment.h"
+#include "util/rng.h"
+
+namespace olev::core {
+
+Game::Game(std::vector<PlayerSpec> players, SectionCost cost,
+           std::size_t sections, double p_line_kw, GameConfig config)
+    : players_(std::move(players)),
+      cost_(std::move(cost)),
+      sections_(sections),
+      p_line_kw_(p_line_kw),
+      config_(config),
+      schedule_(players_.size(), sections),
+      column_totals_(sections, 0.0),
+      rng_(config.seed) {
+  if (players_.empty()) throw std::invalid_argument("Game: need at least one player");
+  if (sections_ == 0) throw std::invalid_argument("Game: need at least one section");
+  if (p_line_kw_ <= 0.0) throw std::invalid_argument("Game: p_line must be positive");
+  for (const PlayerSpec& player : players_) {
+    if (player.satisfaction == nullptr) {
+      throw std::invalid_argument("Game: player without satisfaction function");
+    }
+    if (player.p_max < 0.0) throw std::invalid_argument("Game: negative p_max");
+    if (!player.allowed_sections.empty()) {
+      if (player.allowed_sections.size() != sections_) {
+        throw std::invalid_argument("Game: allowed_sections length mismatch");
+      }
+      if (std::none_of(player.allowed_sections.begin(),
+                       player.allowed_sections.end(),
+                       [](bool allowed) { return allowed; }) &&
+          player.p_max > 0.0) {
+        throw std::invalid_argument(
+            "Game: player with positive cap but no admissible section");
+      }
+    }
+  }
+}
+
+std::vector<double> Game::others_load(std::size_t player) const {
+  std::vector<double> others = column_totals_;
+  const auto own = schedule_.row(player);
+  for (std::size_t c = 0; c < sections_; ++c) {
+    others[c] = std::max(0.0, others[c] - own[c]);
+  }
+  return others;
+}
+
+void Game::commit_row(std::size_t player, std::span<const double> others,
+                      std::span<const double> row) {
+  schedule_.set_row(player, row);
+  for (std::size_t c = 0; c < sections_; ++c) {
+    column_totals_[c] = others[c] + row[c];
+  }
+}
+
+double Game::update_waterfill(std::size_t player) {
+  const auto others = others_load(player);
+  const double previous = schedule_.row_total(player);
+  const auto& mask = players_[player].allowed_sections;
+
+  if (mask.empty()) {
+    const BestResponse response =
+        best_response(*players_[player].satisfaction, cost_, others,
+                      players_[player].p_max);
+    commit_row(player, others, response.allocation.row);
+    return std::abs(response.p_star - previous);
+  }
+
+  // Path-restricted player: the best response lives on the admissible
+  // subset of sections (Lemma IV.1/IV.3 verbatim on the subvector of b).
+  std::vector<double> subset;
+  std::vector<std::size_t> positions;
+  for (std::size_t c = 0; c < sections_; ++c) {
+    if (mask[c]) {
+      subset.push_back(others[c]);
+      positions.push_back(c);
+    }
+  }
+  std::vector<double> row(sections_, 0.0);
+  double p_star = 0.0;
+  if (!positions.empty()) {
+    const BestResponse response =
+        best_response(*players_[player].satisfaction, cost_, subset,
+                      players_[player].p_max);
+    p_star = response.p_star;
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      row[positions[i]] = response.allocation.row[i];
+    }
+  }
+  commit_row(player, others, row);
+  return std::abs(p_star - previous);
+}
+
+double Game::update_greedy(std::size_t player) {
+  // Linear-pricing baseline.  Psi_n(p) = beta * p regardless of the split,
+  // so the scalar best response solves U'(p) = beta directly; the grid then
+  // fills sections in index order up to the safety cap (no balancing
+  // incentive exists under a flat unit price).
+  const double beta = cost_.pricing().derivative(0.0);
+  const Satisfaction& u = *players_[player].satisfaction;
+  const double p_max = players_[player].p_max;
+  double p_star;
+  if (u.derivative(0.0) <= beta) {
+    p_star = 0.0;
+  } else if (u.derivative(p_max) >= beta) {
+    p_star = p_max;
+  } else {
+    double lo = 0.0;
+    double hi = p_max;
+    for (int it = 0; it < 200 && hi - lo > 1e-9; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      if (u.derivative(mid) > beta) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    p_star = 0.5 * (lo + hi);
+  }
+
+  // Each OLEV charges where it happens to be: fill sections starting at a
+  // stable per-vehicle offset (its position along the lane), wrapping
+  // forward, with no attempt to balance across sections.
+  const std::size_t offset = static_cast<std::size_t>(
+      util::derive_seed(config_.seed, player) % sections_);
+  const auto others = others_load(player);
+  std::vector<double> row(sections_, 0.0);
+  double remaining = p_star;
+  for (std::size_t k = 0; k < sections_ && remaining > 0.0; ++k) {
+    const std::size_t c = (offset + k) % sections_;
+    const double room = std::max(0.0, cost_.cap_kw() - others[c]);
+    const double take = std::min(room, remaining);
+    row[c] = take;
+    remaining -= take;
+  }
+  // Demand beyond all caps spills onto the entry section (the baseline has
+  // no congestion disincentive; overload simply happens).
+  if (remaining > 0.0) row[offset] += remaining;
+
+  const double previous = schedule_.row_total(player);
+  commit_row(player, others, row);
+  return std::abs(p_star - previous);
+}
+
+double Game::update_player(std::size_t player) {
+  if (player >= players_.size()) throw std::out_of_range("Game::update_player");
+  return config_.scheduler == SchedulerKind::kWaterFilling
+             ? update_waterfill(player)
+             : update_greedy(player);
+}
+
+std::size_t Game::pick_player() {
+  if (config_.order == UpdateOrder::kRoundRobin) {
+    const std::size_t player = cursor_;
+    cursor_ = (cursor_ + 1) % players_.size();
+    return player;
+  }
+  return static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(players_.size()) - 1));
+}
+
+double Game::step() { return update_player(pick_player()); }
+
+double Game::current_welfare() const {
+  double welfare = 0.0;
+  for (std::size_t n = 0; n < players_.size(); ++n) {
+    welfare += players_[n].satisfaction->value(schedule_.row_total(n));
+  }
+  const double idle_cost = cost_.value(0.0);
+  for (double load : column_totals_) welfare -= cost_.value(load) - idle_cost;
+  return welfare;
+}
+
+CongestionReport Game::current_congestion() const {
+  return congestion_report(schedule_, p_line_kw_);
+}
+
+GameResult Game::run(bool warm_start) {
+  if (!warm_start) {
+    schedule_ = PowerSchedule(players_.size(), sections_);
+    column_totals_.assign(sections_, 0.0);
+    cursor_ = 0;
+  }
+
+  std::vector<UpdateMetrics> trajectory;
+  double cycle_max_delta = 0.0;
+  bool converged = false;
+  std::size_t updates = 0;
+  // A convergence window closes only once EVERY player has been updated in
+  // it -- with uniform-random order a fixed-length window can miss players
+  // and a small max-delta would be meaningless.
+  std::vector<bool> touched(players_.size(), false);
+  std::size_t touched_count = 0;
+
+  while (updates < config_.max_updates) {
+    const std::size_t player = pick_player();
+    const double previous = schedule_.row_total(player);
+    const double delta = update_player(player);
+    ++updates;
+    cycle_max_delta = std::max(cycle_max_delta, delta);
+    if (!touched[player]) {
+      touched[player] = true;
+      ++touched_count;
+    }
+
+    if (config_.record_trajectory) {
+      UpdateMetrics metrics;
+      metrics.update = updates;
+      metrics.player = player;
+      metrics.request = schedule_.row_total(player);
+      metrics.request_delta = std::abs(metrics.request - previous);
+      metrics.welfare = current_welfare();
+      metrics.mean_congestion = current_congestion().mean;
+      trajectory.push_back(metrics);
+    }
+
+    if (touched_count == players_.size()) {
+      if (cycle_max_delta < config_.epsilon) {
+        converged = true;
+        break;
+      }
+      cycle_max_delta = 0.0;
+      std::fill(touched.begin(), touched.end(), false);
+      touched_count = 0;
+    }
+  }
+
+  return finalize(converged, updates, std::move(trajectory));
+}
+
+GameResult Game::finalize(bool converged, std::size_t updates,
+                          std::vector<UpdateMetrics> trajectory) const {
+  GameResult result;
+  result.schedule = schedule_;
+  result.converged = converged;
+  result.updates = updates;
+  result.trajectory = std::move(trajectory);
+
+  double welfare = 0.0;
+  result.requests.reserve(players_.size());
+  result.payments.reserve(players_.size());
+  result.utilities.reserve(players_.size());
+  for (std::size_t n = 0; n < players_.size(); ++n) {
+    const double request = schedule_.row_total(n);
+    result.requests.push_back(request);
+    const auto others = schedule_.column_totals_excluding(n);
+    const double payment =
+        externality_payment(cost_, others, schedule_.row(n));
+    result.payments.push_back(payment);
+    const double satisfaction = players_[n].satisfaction->value(request);
+    result.utilities.push_back(satisfaction - payment);
+    welfare += satisfaction;
+  }
+  const double idle_cost = cost_.value(0.0);
+  for (double load : schedule_.column_totals()) {
+    welfare -= cost_.value(load) - idle_cost;
+  }
+  result.welfare = welfare;
+  result.congestion = congestion_report(schedule_, p_line_kw_);
+  return result;
+}
+
+}  // namespace olev::core

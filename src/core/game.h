@@ -1,0 +1,126 @@
+// The asynchronous best-response game (Section IV-D/E/F).
+//
+// The smart grid and the OLEVs iterate:
+//   1. the grid announces OLEV n's payment function Psi_n (equivalently, the
+//      aggregate other-load vector b and the section cost Z);
+//   2. OLEV n plays its best response p_n* (Lemma IV.3);
+//   3. the grid water-fills p_n* across sections (Lemma IV.1) and updates
+//      the schedule.
+// Players update one at a time -- round-robin or uniformly at random -- and
+// by Theorem IV.1 the process converges to the unique socially optimal
+// schedule.
+//
+// The *linear pricing baseline* evaluated in Section V runs through the same
+// engine with SchedulerKind::kGreedy: under V(x) = beta * x the payment is
+// allocation-independent, the water level is not identified, and the grid
+// has no balancing incentive -- the baseline fills sections greedily in
+// index order up to the safety cap, which reproduces the unbalanced loads of
+// Figs. 5(c)/6(c).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/best_response.h"
+#include "core/cost.h"
+#include "core/satisfaction.h"
+#include "core/schedule.h"
+#include "core/welfare.h"
+#include "util/rng.h"
+
+namespace olev::core {
+
+struct PlayerSpec {
+  std::unique_ptr<Satisfaction> satisfaction;
+  double p_max = 0.0;  ///< P_OLEV_n of Eq. (2)-(3)
+  /// Sections this OLEV can physically draw from (its planned path).
+  /// Empty = all sections.  Must have `sections` entries otherwise.
+  std::vector<bool> allowed_sections;
+};
+
+enum class UpdateOrder { kRoundRobin, kUniformRandom };
+enum class SchedulerKind { kWaterFilling, kGreedy };
+
+struct GameConfig {
+  UpdateOrder order = UpdateOrder::kRoundRobin;
+  SchedulerKind scheduler = SchedulerKind::kWaterFilling;
+  double epsilon = 1e-5;          ///< convergence: max row change over a cycle
+  std::size_t max_updates = 500000;
+  std::uint64_t seed = 0x9a3e;
+  bool record_trajectory = false;
+};
+
+/// Per-update metrics (one entry per player update when recording).
+struct UpdateMetrics {
+  std::size_t update = 0;
+  std::size_t player = 0;
+  double request = 0.0;          ///< p_n* chosen this update
+  double request_delta = 0.0;    ///< |p_n* - previous p_n|
+  double welfare = 0.0;
+  double mean_congestion = 0.0;  ///< mean_c P_c / P_line
+};
+
+struct GameResult {
+  PowerSchedule schedule;
+  bool converged = false;
+  std::size_t updates = 0;
+  double welfare = 0.0;
+  CongestionReport congestion;
+  std::vector<double> requests;   ///< per-player totals p_n
+  std::vector<double> payments;   ///< per-player Psi_n at the fixed point
+  std::vector<double> utilities;  ///< per-player F_n at the fixed point
+  std::vector<UpdateMetrics> trajectory;  ///< empty unless recording
+};
+
+class Game {
+ public:
+  /// `p_line_kw` is the (uniform) raw line capacity used for congestion
+  /// normalization; the safety cap eta*P_line lives inside `cost`.
+  Game(std::vector<PlayerSpec> players, SectionCost cost, std::size_t sections,
+       double p_line_kw, GameConfig config = {});
+
+  std::size_t players() const { return players_.size(); }
+  std::size_t sections() const { return sections_; }
+  const PowerSchedule& schedule() const { return schedule_; }
+  const SectionCost& cost() const { return cost_; }
+  double p_line_kw() const { return p_line_kw_; }
+
+  /// Performs one asynchronous update for `player`; returns |delta p_n|.
+  double update_player(std::size_t player);
+
+  /// Performs one update for the next player per the configured order.
+  double step();
+
+  /// Runs to convergence (or max_updates); resets the schedule first unless
+  /// `warm_start`.
+  GameResult run(bool warm_start = false);
+
+  /// Metrics snapshot of the current schedule.
+  double current_welfare() const;
+  CongestionReport current_congestion() const;
+
+ private:
+  /// b for `player`: cached column totals minus the player's own row.
+  std::vector<double> others_load(std::size_t player) const;
+  /// Writes the new row and refreshes the cached column totals.
+  void commit_row(std::size_t player, std::span<const double> others,
+                  std::span<const double> row);
+  double update_waterfill(std::size_t player);
+  double update_greedy(std::size_t player);
+  std::size_t pick_player();
+  GameResult finalize(bool converged, std::size_t updates,
+                      std::vector<UpdateMetrics> trajectory) const;
+
+  std::vector<PlayerSpec> players_;
+  SectionCost cost_;
+  std::size_t sections_;
+  double p_line_kw_;
+  GameConfig config_;
+  PowerSchedule schedule_;
+  std::vector<double> column_totals_;  ///< cached P_c, kept in sync with schedule_
+  util::Rng rng_;
+  std::size_t cursor_ = 0;  // round-robin position
+};
+
+}  // namespace olev::core

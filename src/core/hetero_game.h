@@ -1,0 +1,68 @@
+// Asynchronous best-response game over *heterogeneous* charging sections.
+//
+// The paper's corridor is homogeneous (one Z for all sections), which is
+// what `Game` implements.  Real deployments mix section types -- different
+// speed limits change P_line (Eq. 1) and hence the safety cap per section.
+// This engine runs the same asynchronous update with per-section costs:
+//
+//   - the grid splits a request by generalized water-filling (the KKT form
+//     of Lemma IV.1: equal *marginal prices*, not equal loads);
+//   - each OLEV's best response solves U'(p) = rho*(p), where rho*(p) is
+//     the common marginal price of the generalized fill at total p (the
+//     envelope theorem gives Psi'(p) = rho*(p) exactly as in the uniform
+//     case);
+//   - convergence follows from the same strict concavity argument as
+//     Theorem IV.1 (W remains strictly concave for strictly convex Z_c).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/cost.h"
+#include "core/game.h"
+#include "core/water_filling.h"
+
+namespace olev::core {
+
+struct HeteroGameResult {
+  PowerSchedule schedule;
+  bool converged = false;
+  std::size_t updates = 0;
+  double welfare = 0.0;
+  std::vector<double> requests;
+  std::vector<double> payments;
+  /// Z_c'(P_c) per section at the fixed point -- equalized (up to corner
+  /// sections) by the KKT condition.
+  std::vector<double> marginal_prices;
+};
+
+class HeteroGame {
+ public:
+  /// One SectionCost per section.  `p_lines_kw` (same length) is used for
+  /// congestion normalization only.
+  HeteroGame(std::vector<PlayerSpec> players, std::vector<SectionCost> costs,
+             std::vector<double> p_lines_kw, GameConfig config = {});
+
+  std::size_t players() const { return players_.size(); }
+  std::size_t sections() const { return costs_.size(); }
+
+  /// One asynchronous update for `player`; returns |delta p_n|.
+  double update_player(std::size_t player);
+
+  HeteroGameResult run();
+
+ private:
+  std::vector<double> others_load(std::size_t player) const;
+
+  std::vector<PlayerSpec> players_;
+  std::vector<SectionCost> costs_;
+  std::vector<const SectionCost*> cost_pointers_;
+  std::vector<double> p_lines_kw_;
+  GameConfig config_;
+  PowerSchedule schedule_;
+  std::vector<double> column_totals_;
+  util::Rng rng_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace olev::core

@@ -1,0 +1,40 @@
+#include "core/payment.h"
+
+#include <stdexcept>
+
+namespace olev::core {
+
+double externality_payment(const SectionCost& z,
+                           std::span<const double> others_load,
+                           std::span<const double> row) {
+  if (others_load.size() != row.size()) {
+    throw std::invalid_argument("externality_payment: length mismatch");
+  }
+  double payment = 0.0;
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    payment += z.value(others_load[c] + row[c]) - z.value(others_load[c]);
+  }
+  return payment;
+}
+
+double payment_of_total(const SectionCost& z,
+                        std::span<const double> others_load, double total) {
+  const WaterFillResult allocation = water_fill(others_load, total);
+  return externality_payment(z, others_load, allocation.row);
+}
+
+double payment_derivative(const SectionCost& z,
+                          std::span<const double> others_load, double total) {
+  const WaterFillResult allocation = water_fill(others_load, total);
+  return z.derivative(allocation.level);
+}
+
+PaymentQuote quote_payment(const SectionCost& z,
+                           std::span<const double> others_load, double total) {
+  PaymentQuote quote;
+  quote.allocation = water_fill(others_load, total);
+  quote.payment = externality_payment(z, others_load, quote.allocation.row);
+  return quote;
+}
+
+}  // namespace olev::core

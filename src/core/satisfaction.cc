@@ -1,0 +1,62 @@
+#include "core/satisfaction.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace olev::core {
+
+LogSatisfaction::LogSatisfaction(double weight, double scale)
+    : weight_(weight), scale_(scale) {
+  if (weight <= 0.0 || scale <= 0.0) {
+    throw std::invalid_argument("LogSatisfaction: weight and scale must be positive");
+  }
+}
+
+double LogSatisfaction::value(double p) const {
+  return weight_ * std::log1p(p / scale_);
+}
+
+double LogSatisfaction::derivative(double p) const {
+  return weight_ / (scale_ + p);
+}
+
+std::unique_ptr<Satisfaction> LogSatisfaction::clone() const {
+  return std::make_unique<LogSatisfaction>(*this);
+}
+
+SqrtSatisfaction::SqrtSatisfaction(double weight) : weight_(weight) {
+  if (weight <= 0.0) throw std::invalid_argument("SqrtSatisfaction: weight must be positive");
+}
+
+double SqrtSatisfaction::value(double p) const {
+  return weight_ * (std::sqrt(1.0 + p) - 1.0);
+}
+
+double SqrtSatisfaction::derivative(double p) const {
+  return weight_ * 0.5 / std::sqrt(1.0 + p);
+}
+
+std::unique_ptr<Satisfaction> SqrtSatisfaction::clone() const {
+  return std::make_unique<SqrtSatisfaction>(*this);
+}
+
+QuadraticSatisfaction::QuadraticSatisfaction(double weight, double cap)
+    : weight_(weight), cap_(cap) {
+  if (weight <= 0.0 || cap <= 0.0) {
+    throw std::invalid_argument("QuadraticSatisfaction: weight and cap must be positive");
+  }
+}
+
+double QuadraticSatisfaction::value(double p) const {
+  return weight_ * (p - p * p / (2.0 * cap_));
+}
+
+double QuadraticSatisfaction::derivative(double p) const {
+  return weight_ * (1.0 - p / cap_);
+}
+
+std::unique_ptr<Satisfaction> QuadraticSatisfaction::clone() const {
+  return std::make_unique<QuadraticSatisfaction>(*this);
+}
+
+}  // namespace olev::core

@@ -1,0 +1,65 @@
+// OLEV satisfaction functions U_n (Section IV-B).
+//
+// The paper requires U_n to be strictly increasing, strictly concave, with
+// continuous second derivative; its evaluation uses U_n(p) = log(1 + p).
+// Everything downstream (best response, convergence proof, central oracle)
+// only needs value() and derivative(), so satisfaction is a small interface
+// with a few verified concrete families.
+#pragma once
+
+#include <memory>
+
+namespace olev::core {
+
+class Satisfaction {
+ public:
+  virtual ~Satisfaction() = default;
+  /// U(p) for p >= 0; U(0) must be 0 (no power, no satisfaction).
+  virtual double value(double p) const = 0;
+  /// U'(p) > 0, strictly decreasing (strict concavity).
+  virtual double derivative(double p) const = 0;
+  virtual std::unique_ptr<Satisfaction> clone() const = 0;
+};
+
+/// U(p) = w * log(1 + p / s).  The paper's choice with w = s = 1.
+class LogSatisfaction final : public Satisfaction {
+ public:
+  explicit LogSatisfaction(double weight = 1.0, double scale = 1.0);
+  double value(double p) const override;
+  double derivative(double p) const override;
+  std::unique_ptr<Satisfaction> clone() const override;
+  double weight() const { return weight_; }
+
+ private:
+  double weight_;
+  double scale_;
+};
+
+/// U(p) = w * (sqrt(1 + p) - 1): heavier tail than log (slower saturation).
+class SqrtSatisfaction final : public Satisfaction {
+ public:
+  explicit SqrtSatisfaction(double weight = 1.0);
+  double value(double p) const override;
+  double derivative(double p) const override;
+  std::unique_ptr<Satisfaction> clone() const override;
+
+ private:
+  double weight_;
+};
+
+/// U(p) = w * (p - p^2 / (2 * cap)), valid (strictly increasing) on
+/// [0, cap); models a hard satiation level.  Requires the game to cap the
+/// player's request below `cap`.
+class QuadraticSatisfaction final : public Satisfaction {
+ public:
+  QuadraticSatisfaction(double weight, double cap);
+  double value(double p) const override;
+  double derivative(double p) const override;
+  std::unique_ptr<Satisfaction> clone() const override;
+
+ private:
+  double weight_;
+  double cap_;
+};
+
+}  // namespace olev::core

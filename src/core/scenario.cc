@@ -1,0 +1,121 @@
+#include "core/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace olev::core {
+
+std::unique_ptr<CostPolicy> paper_nonlinear_pricing(double beta_lbmp,
+                                                    double alpha, double cap_kw) {
+  // V(x) = beta_eff (alpha + x/cap)^2 with beta_eff chosen so that
+  // V'(0.5 * cap) = beta_lbmp / 1000  [$ per kWh per hour == $/h per kW].
+  const double beta_eff =
+      beta_lbmp / 1000.0 * cap_kw / (2.0 * (alpha + 0.5));
+  return std::make_unique<NonlinearPricing>(beta_eff, alpha, cap_kw);
+}
+
+std::unique_ptr<CostPolicy> paper_linear_pricing(double beta_lbmp) {
+  return std::make_unique<LinearPricing>(beta_lbmp / 1000.0);
+}
+
+Scenario Scenario::build(const ScenarioConfig& config) {
+  if (config.num_olevs == 0 || config.num_sections == 0) {
+    throw std::invalid_argument("Scenario: need OLEVs and sections");
+  }
+  Scenario scenario;
+  scenario.config_ = config;
+
+  const double velocity_mps = util::mph_to_mps(config.velocity_mph);
+  scenario.p_line_kw_ = wpt::p_line_kw(config.section, velocity_mps);
+  scenario.cap_kw_ = config.eta * scenario.p_line_kw_;
+
+  scenario.beta_lbmp_ = config.beta_lbmp;
+  if (scenario.beta_lbmp_ <= 0.0) {
+    const auto day = grid::NyisoDay::generate();
+    scenario.beta_lbmp_ = day.lbmp_at(config.hour_of_day);
+  }
+
+  auto pricing =
+      config.pricing == PricingKind::kNonlinear
+          ? paper_nonlinear_pricing(scenario.beta_lbmp_, config.alpha,
+                                    scenario.cap_kw_)
+          : paper_linear_pricing(scenario.beta_lbmp_);
+  OverloadCost overload{config.overload_weight_scale * scenario.beta_lbmp_ /
+                        1000.0 / scenario.p_line_kw_};
+  scenario.cost_.emplace(std::move(pricing), overload, scenario.cap_kw_);
+
+  // Per-player physical caps P_OLEV_n from Eq. (2): heterogeneous SOC and
+  // trip requirements.
+  util::Rng rng(config.seed);
+  scenario.p_max_.reserve(config.num_olevs);
+  scenario.weights_.reserve(config.num_olevs);
+
+  // Demand calibration: at the symmetric interior equilibrium every player
+  // requests p_t = target_degree * P_line * C / N, which loads each section
+  // to the desired congestion degree (P_c / P_line = target, the paper's
+  // normalization); choosing w_n = Z'(target * P_line) * (1 + p_t) makes
+  // U'(p_t) = Z'(lambda) self-consistent (see header).
+  const double calib_sections = static_cast<double>(
+      config.calibration_sections ? config.calibration_sections
+                                  : config.num_sections);
+  const double calib_players = static_cast<double>(
+      config.calibration_players ? config.calibration_players
+                                 : config.num_olevs);
+  const double p_target = config.target_degree * scenario.p_line_kw_ *
+                          calib_sections / calib_players;
+  const double marginal_at_target =
+      scenario.cost_->derivative(config.target_degree * scenario.p_line_kw_);
+
+  for (std::size_t n = 0; n < config.num_olevs; ++n) {
+    const double soc = rng.uniform(0.35, 0.6);
+    const double soc_required = rng.uniform(std::min(soc + 0.1, 0.9), 0.9);
+    // Eq. (3): the feasible request is capped by BOTH the battery-side
+    // limit (Eq. 2) and the velocity-dependent line limit (Eq. 1).
+    const double p_olev = std::min(wpt::p_olev_kw(config.olev, soc, soc_required),
+                                   scenario.p_line_kw_);
+    scenario.p_max_.push_back(p_olev);
+    const double diversity =
+        rng.uniform(1.0 - config.demand_diversity, 1.0 + config.demand_diversity);
+    scenario.weights_.push_back(marginal_at_target * (1.0 + p_target) * diversity);
+  }
+  return scenario;
+}
+
+Game Scenario::make_game() const {
+  std::vector<PlayerSpec> players;
+  players.reserve(p_max_.size());
+  for (std::size_t n = 0; n < p_max_.size(); ++n) {
+    PlayerSpec player;
+    player.satisfaction = std::make_unique<LogSatisfaction>(weights_[n]);
+    player.p_max = p_max_[n];
+    players.push_back(std::move(player));
+  }
+  GameConfig game_config = config_.game;
+  if (config_.pricing == PricingKind::kLinear) {
+    game_config.scheduler = SchedulerKind::kGreedy;
+  }
+  return Game(std::move(players), *cost_, config_.num_sections, p_line_kw_,
+              game_config);
+}
+
+std::vector<std::unique_ptr<Satisfaction>> Scenario::clone_satisfactions() const {
+  std::vector<std::unique_ptr<Satisfaction>> out;
+  out.reserve(weights_.size());
+  for (double w : weights_) out.push_back(std::make_unique<LogSatisfaction>(w));
+  return out;
+}
+
+double Scenario::unit_payment_per_mwh(const GameResult& result) {
+  double payments = 0.0;
+  double requests = 0.0;
+  for (double p : result.payments) payments += p;
+  for (double r : result.requests) requests += r;
+  if (requests <= 0.0) return 0.0;
+  return 1000.0 * payments / requests;
+}
+
+}  // namespace olev::core

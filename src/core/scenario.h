@@ -1,0 +1,90 @@
+// Scenario: the paper's Section V evaluation setup as a factory.
+//
+// Ties the substrates together: battery/WPT physics (Eq. 1-2) produce
+// P_line and P_OLEV_n; the grid model supplies beta = LBMP at the game's
+// hour; the pricing policy V(x) = beta (alpha + x/cap)^2 with alpha = 0.875
+// is normalized so that the *marginal* price in $/MWh equals the LBMP at
+// congestion degree 0.5 -- below that OLEVs pay under LBMP, above it they
+// pay a growing premium.  Satisfaction weights are calibrated so that the
+// symmetric interior equilibrium sits at the configured target congestion
+// degree (the evaluation's "desired congestion degree"), up to the physical
+// P_OLEV caps.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/game.h"
+#include "grid/nyiso_day.h"
+#include "wpt/charging_section.h"
+#include "wpt/olev.h"
+
+namespace olev::core {
+
+enum class PricingKind { kNonlinear, kLinear };
+
+struct ScenarioConfig {
+  std::size_t num_olevs = 50;
+  std::size_t num_sections = 100;
+  double velocity_mph = 60.0;
+  PricingKind pricing = PricingKind::kNonlinear;
+  double alpha = 0.875;           ///< the paper's alpha
+  double beta_lbmp = 0.0;         ///< $/MWh; <= 0 means "sample the grid model"
+  double hour_of_day = 17.0;      ///< hour whose LBMP supplies beta
+  double eta = 0.9;               ///< safety factor (Eq. 4)
+  double target_degree = 0.9;     ///< desired congestion degree (demand level)
+  double demand_diversity = 0.2;  ///< +/- spread on satisfaction weights
+  /// Demand calibration is anchored to a (players, sections) pair so that
+  /// per-OLEV preferences can be held fixed while N or C is swept (the
+  /// Fig. 5(b) protocol).  0 means "use num_olevs / num_sections".
+  std::size_t calibration_players = 0;
+  std::size_t calibration_sections = 0;
+  double overload_weight_scale = 25.0;
+  wpt::ChargingSectionSpec section;  ///< hardware of every section
+  wpt::OlevParams olev;              ///< vehicle parameters
+  std::uint64_t seed = 42;
+  GameConfig game;
+};
+
+/// A fully instantiated evaluation scenario.
+class Scenario {
+ public:
+  static Scenario build(const ScenarioConfig& config);
+
+  /// A fresh Game over cloned players (Scenario can mint many games).
+  Game make_game() const;
+
+  double p_line_kw() const { return p_line_kw_; }
+  double cap_kw() const { return cap_kw_; }
+  double beta_lbmp() const { return beta_lbmp_; }
+  const SectionCost& cost() const { return *cost_; }
+  const std::vector<double>& p_max() const { return p_max_; }
+  const std::vector<double>& weights() const { return weights_; }
+  const ScenarioConfig& config() const { return config_; }
+
+  /// Clones the player satisfaction functions (for the central oracle).
+  std::vector<std::unique_ptr<Satisfaction>> clone_satisfactions() const;
+
+  /// Mean unit payment in $/MWh implied by a game result:
+  /// 1000 * sum(payments $/h) / sum(requests kW).
+  static double unit_payment_per_mwh(const GameResult& result);
+
+ private:
+  ScenarioConfig config_;
+  double p_line_kw_ = 0.0;
+  double cap_kw_ = 0.0;
+  double beta_lbmp_ = 0.0;
+  std::optional<SectionCost> cost_;
+  std::vector<double> p_max_;
+  std::vector<double> weights_;
+};
+
+/// The normalized pricing policies used by Scenario (exposed for tests):
+/// nonlinear Z'(x) = (beta/1000)(alpha + x/cap)/(alpha + 0.5), so the
+/// marginal price crosses the LBMP exactly at congestion degree 0.5.
+std::unique_ptr<CostPolicy> paper_nonlinear_pricing(double beta_lbmp, double alpha,
+                                                    double cap_kw);
+std::unique_ptr<CostPolicy> paper_linear_pricing(double beta_lbmp);
+
+}  // namespace olev::core

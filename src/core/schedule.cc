@@ -1,0 +1,78 @@
+#include "core/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace olev::core {
+
+PowerSchedule::PowerSchedule(std::size_t players, std::size_t sections)
+    : players_(players), sections_(sections), data_(players * sections, 0.0) {}
+
+std::span<const double> PowerSchedule::row(std::size_t n) const {
+  if (n >= players_) throw std::out_of_range("PowerSchedule::row");
+  return {data_.data() + n * sections_, sections_};
+}
+
+void PowerSchedule::set_row(std::size_t n, std::span<const double> values) {
+  if (n >= players_) throw std::out_of_range("PowerSchedule::set_row");
+  if (values.size() != sections_) {
+    throw std::invalid_argument("PowerSchedule::set_row: wrong row length");
+  }
+  std::copy(values.begin(), values.end(), data_.begin() + n * sections_);
+}
+
+void PowerSchedule::zero_row(std::size_t n) {
+  if (n >= players_) throw std::out_of_range("PowerSchedule::zero_row");
+  std::fill_n(data_.begin() + n * sections_, sections_, 0.0);
+}
+
+double PowerSchedule::row_total(std::size_t n) const {
+  double sum = 0.0;
+  for (double v : row(n)) sum += v;
+  return sum;
+}
+
+double PowerSchedule::column_total(std::size_t c) const {
+  if (c >= sections_) throw std::out_of_range("PowerSchedule::column_total");
+  double sum = 0.0;
+  for (std::size_t n = 0; n < players_; ++n) sum += at(n, c);
+  return sum;
+}
+
+std::vector<double> PowerSchedule::column_totals() const {
+  std::vector<double> totals(sections_, 0.0);
+  for (std::size_t n = 0; n < players_; ++n) {
+    const double* row_ptr = data_.data() + n * sections_;
+    for (std::size_t c = 0; c < sections_; ++c) totals[c] += row_ptr[c];
+  }
+  return totals;
+}
+
+std::vector<double> PowerSchedule::column_totals_excluding(std::size_t n) const {
+  std::vector<double> totals = column_totals();
+  const auto own = row(n);
+  for (std::size_t c = 0; c < sections_; ++c) totals[c] -= own[c];
+  // Guard against negative dust from floating-point cancellation.
+  for (double& v : totals) v = std::max(0.0, v);
+  return totals;
+}
+
+double PowerSchedule::max_abs_diff(const PowerSchedule& other) const {
+  if (players_ != other.players_ || sections_ != other.sections_) {
+    throw std::invalid_argument("PowerSchedule::max_abs_diff: shape mismatch");
+  }
+  double worst = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    worst = std::max(worst, std::abs(data_[i] - other.data_[i]));
+  }
+  return worst;
+}
+
+double PowerSchedule::total() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v;
+  return sum;
+}
+
+}  // namespace olev::core

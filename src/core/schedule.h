@@ -1,0 +1,51 @@
+// PowerSchedule: the N x C matrix p of Section IV-B -- p[n][c] is the power
+// (kW) OLEV n draws from charging section c.  Row n is OLEV n's schedule
+// p_n; column sum P_c is the total load on section c.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace olev::core {
+
+class PowerSchedule {
+ public:
+  PowerSchedule() = default;
+  PowerSchedule(std::size_t players, std::size_t sections);
+
+  std::size_t players() const { return players_; }
+  std::size_t sections() const { return sections_; }
+
+  double at(std::size_t n, std::size_t c) const { return data_[n * sections_ + c]; }
+  void set(std::size_t n, std::size_t c, double v) { data_[n * sections_ + c] = v; }
+
+  std::span<const double> row(std::size_t n) const;
+  void set_row(std::size_t n, std::span<const double> values);
+  void zero_row(std::size_t n);
+
+  /// p_n = sum_c p[n][c].
+  double row_total(std::size_t n) const;
+  /// P_c = sum_n p[n][c].
+  double column_total(std::size_t c) const;
+  /// All column totals (length C).
+  std::vector<double> column_totals() const;
+  /// Column totals excluding row n -- the b_c = sum_{j != n} p[j][c] vector
+  /// every best response is computed against.
+  std::vector<double> column_totals_excluding(std::size_t n) const;
+
+  /// max_{n,c} |a - b| between two equally-shaped schedules.
+  double max_abs_diff(const PowerSchedule& other) const;
+
+  /// Sum of all entries.
+  double total() const;
+
+  std::span<const double> flat() const { return data_; }
+
+ private:
+  std::size_t players_ = 0;
+  std::size_t sections_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace olev::core

@@ -1,0 +1,55 @@
+// Stackelberg pricing baseline (Tushar et al., "Economics of electric
+// vehicle charging: a game theoretic approach", IEEE Trans. Smart Grid
+// 2012 -- reference [17] the paper positions itself against).
+//
+// The grid is the *leader*: it posts a single uniform unit price to
+// maximize its own revenue.  OLEVs are *followers*: each solves
+// max_p U_n(p) - price * p on [0, P_OLEV_n].  Unlike the paper's
+// externality pricing, the posted price carries no congestion signal, so
+// the leader maximizes revenue, not social welfare -- the comparison the
+// repository's baseline bench quantifies.
+//
+// Follower reaction: p_n(price) = clamp((U'_n)^{-1}(price), 0, p_max); for
+// strictly concave U the reaction is unique and non-increasing in price,
+// making leader revenue a well-behaved scalar maximization solved here by
+// golden-section search.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/cost.h"
+#include "core/satisfaction.h"
+#include "core/schedule.h"
+
+namespace olev::core {
+
+struct StackelbergOptions {
+  double price_floor = 0.0;     ///< leader's minimum feasible unit price
+  double price_cap = 0.0;       ///< 0 = derive from max_n U'_n(0)
+  double tolerance = 1e-9;
+  int max_iterations = 300;
+};
+
+struct StackelbergResult {
+  double price = 0.0;           ///< leader's optimal uniform unit price
+  double revenue = 0.0;         ///< price * total demand at the optimum
+  std::vector<double> requests; ///< follower reactions p_n(price)
+  double total_power = 0.0;
+  PowerSchedule schedule;       ///< demand spread evenly across sections
+  double welfare = 0.0;         ///< social welfare of the outcome (Eq. 7)
+};
+
+/// Follower best response to a posted unit price.
+double follower_reaction(const Satisfaction& u, double price, double p_max);
+
+/// Solves the leader's revenue maximization and evaluates the outcome's
+/// social welfare under section cost `z` with `sections` symmetric
+/// sections (the leader splits demand evenly -- the most charitable
+/// allocation for the baseline).
+StackelbergResult solve_stackelberg(
+    std::span<const std::unique_ptr<Satisfaction>> players,
+    std::span<const double> p_max, const SectionCost& z, std::size_t sections,
+    const StackelbergOptions& options = {});
+
+}  // namespace olev::core

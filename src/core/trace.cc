@@ -1,0 +1,62 @@
+#include "core/trace.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "util/json.h"
+
+namespace olev::core {
+
+std::string to_json(const GameResult& result) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("converged").value(result.converged);
+  json.key("updates").value(result.updates);
+  json.key("welfare").value(result.welfare);
+  json.key("players").value(result.schedule.players());
+  json.key("sections").value(result.schedule.sections());
+
+  json.key("requests").value(result.requests);
+  json.key("payments").value(result.payments);
+  json.key("utilities").value(result.utilities);
+  json.key("section_loads").value(result.schedule.column_totals());
+
+  json.key("congestion").begin_object();
+  json.key("mean").value(result.congestion.mean);
+  json.key("max").value(result.congestion.max);
+  json.key("jain_fairness").value(result.congestion.jain_fairness);
+  json.key("per_section").value(result.congestion.per_section);
+  json.end_object();
+
+  json.key("schedule").begin_array();
+  for (std::size_t n = 0; n < result.schedule.players(); ++n) {
+    const auto row = result.schedule.row(n);
+    json.value(std::vector<double>(row.begin(), row.end()));
+  }
+  json.end_array();
+
+  json.key("trajectory").begin_array();
+  for (const UpdateMetrics& metrics : result.trajectory) {
+    json.begin_object();
+    json.key("update").value(metrics.update);
+    json.key("player").value(metrics.player);
+    json.key("request").value(metrics.request);
+    json.key("delta").value(metrics.request_delta);
+    json.key("welfare").value(metrics.welfare);
+    json.key("mean_congestion").value(metrics.mean_congestion);
+    json.end_object();
+  }
+  json.end_array();
+
+  json.end_object();
+  return json.str();
+}
+
+void save_json(const GameResult& result, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_json: cannot open " + path);
+  out << to_json(result) << '\n';
+  if (!out) throw std::runtime_error("save_json: write failed for " + path);
+}
+
+}  // namespace olev::core

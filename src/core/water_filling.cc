@@ -1,0 +1,208 @@
+#include "core/water_filling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/cost.h"
+
+namespace olev::core {
+
+double water_fill_volume(std::span<const double> others_load, double level) {
+  double volume = 0.0;
+  for (double b : others_load) volume += std::max(0.0, level - b);
+  return volume;
+}
+
+WaterFillResult water_fill(std::span<const double> others_load, double total) {
+  if (others_load.empty()) {
+    throw std::invalid_argument("water_fill: need at least one section");
+  }
+  if (total < 0.0) throw std::invalid_argument("water_fill: negative total");
+
+  WaterFillResult result;
+  result.row.assign(others_load.size(), 0.0);
+  if (total == 0.0) {
+    result.level = *std::min_element(others_load.begin(), others_load.end());
+    return result;
+  }
+
+  // Sort section loads ascending; fill the lowest sections first.  After
+  // considering the k lowest loads b_(0..k-1), the level that exhausts the
+  // budget is (total + sum b_(0..k-1)) / k; it is valid if it does not
+  // exceed the next load b_(k).
+  std::vector<double> sorted(others_load.begin(), others_load.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  double prefix = 0.0;
+  double level = 0.0;
+  const std::size_t count = sorted.size();
+  for (std::size_t k = 1; k <= count; ++k) {
+    prefix += sorted[k - 1];
+    level = (total + prefix) / static_cast<double>(k);
+    if (k == count || level <= sorted[k]) {
+      result.level = level;
+      break;
+    }
+  }
+
+  for (std::size_t c = 0; c < others_load.size(); ++c) {
+    const double fill = std::max(0.0, result.level - others_load[c]);
+    result.row[c] = fill;
+    if (fill > 0.0) ++result.active_sections;
+  }
+  return result;
+}
+
+WaterFillResult water_fill_masked(std::span<const double> others_load,
+                                  double total, const std::vector<bool>& mask) {
+  if (mask.size() != others_load.size()) {
+    throw std::invalid_argument("water_fill_masked: mask length mismatch");
+  }
+  // Collect the admissible subset, solve on it, scatter back.
+  std::vector<double> subset;
+  std::vector<std::size_t> positions;
+  for (std::size_t c = 0; c < mask.size(); ++c) {
+    if (mask[c]) {
+      subset.push_back(others_load[c]);
+      positions.push_back(c);
+    }
+  }
+  if (subset.empty()) {
+    if (total > 0.0) {
+      throw std::invalid_argument(
+          "water_fill_masked: positive total with empty mask");
+    }
+    WaterFillResult empty;
+    empty.row.assign(others_load.size(), 0.0);
+    return empty;
+  }
+  WaterFillResult inner = water_fill(subset, total);
+  WaterFillResult result;
+  result.level = inner.level;
+  result.active_sections = inner.active_sections;
+  result.iterations = inner.iterations;
+  result.row.assign(others_load.size(), 0.0);
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    result.row[positions[i]] = inner.row[i];
+  }
+  return result;
+}
+
+WaterFillResult water_fill_bisect(std::span<const double> others_load,
+                                  double total, double tolerance) {
+  if (others_load.empty()) {
+    throw std::invalid_argument("water_fill_bisect: need at least one section");
+  }
+  if (total < 0.0) throw std::invalid_argument("water_fill_bisect: negative total");
+
+  WaterFillResult result;
+  result.row.assign(others_load.size(), 0.0);
+  const double b_min = *std::min_element(others_load.begin(), others_load.end());
+  if (total == 0.0) {
+    result.level = b_min;
+    return result;
+  }
+
+  const double b_max = *std::max_element(others_load.begin(), others_load.end());
+  double lo = b_min;
+  double hi = b_max + total;  // Y(hi) >= total always
+  int iterations = 0;
+  while (hi - lo > tolerance && iterations < 200) {
+    const double mid = 0.5 * (lo + hi);
+    if (water_fill_volume(others_load, mid) < total) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    ++iterations;
+  }
+  result.level = 0.5 * (lo + hi);
+  result.iterations = iterations;
+  for (std::size_t c = 0; c < others_load.size(); ++c) {
+    const double fill = std::max(0.0, result.level - others_load[c]);
+    result.row[c] = fill;
+    if (fill > 0.0) ++result.active_sections;
+  }
+  // Re-normalize bisection dust so the row sums exactly to `total`.
+  double sum = 0.0;
+  for (double v : result.row) sum += v;
+  if (sum > 0.0) {
+    const double scale = total / sum;
+    for (double& v : result.row) v *= scale;
+  }
+  return result;
+}
+
+GeneralizedFillResult generalized_fill(
+    std::span<const SectionCost* const> section_costs,
+    std::span<const double> others_load, double total, double tolerance) {
+  if (section_costs.size() != others_load.size() || section_costs.empty()) {
+    throw std::invalid_argument("generalized_fill: shape mismatch or empty");
+  }
+  for (const SectionCost* cost : section_costs) {
+    if (cost == nullptr || !cost->strictly_convex()) {
+      throw std::invalid_argument(
+          "generalized_fill: every section needs a strictly convex cost");
+    }
+  }
+  if (total < 0.0) throw std::invalid_argument("generalized_fill: negative total");
+
+  GeneralizedFillResult result;
+  result.row.assign(others_load.size(), 0.0);
+
+  // Allocation at a trial marginal price rho.
+  auto allocation_at = [&](double rho, std::vector<double>* row) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < section_costs.size(); ++c) {
+      const double target = section_costs[c]->derivative_inverse(rho);
+      const double fill = std::max(0.0, target - others_load[c]);
+      if (row != nullptr) (*row)[c] = fill;
+      sum += fill;
+    }
+    return sum;
+  };
+
+  // rho must exceed the smallest marginal price at the current loads for
+  // any allocation to be positive.
+  double lo = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < section_costs.size(); ++c) {
+    lo = std::min(lo, section_costs[c]->derivative(others_load[c]));
+  }
+  if (total == 0.0) {
+    result.marginal = lo;
+    return result;
+  }
+  double hi = lo + 1.0;
+  int guard = 0;
+  while (allocation_at(hi, nullptr) < total && guard++ < 200) {
+    hi = lo + (hi - lo) * 2.0;
+  }
+  int iterations = 0;
+  while (hi - lo > tolerance * std::max(1.0, hi) && iterations < 200) {
+    const double mid = 0.5 * (lo + hi);
+    if (allocation_at(mid, nullptr) < total) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    ++iterations;
+  }
+  result.marginal = 0.5 * (lo + hi);
+  result.iterations = iterations;
+  allocation_at(result.marginal, &result.row);
+  // Scale out the bisection dust.
+  double sum = 0.0;
+  for (double v : result.row) sum += v;
+  if (sum > 0.0) {
+    const double scale = total / sum;
+    for (double& v : result.row) v *= scale;
+  }
+  for (double v : result.row) {
+    if (v > 0.0) ++result.active_sections;
+  }
+  return result;
+}
+
+}  // namespace olev::core

@@ -1,0 +1,72 @@
+// Lemma IV.1: the smart grid splits OLEV n's total request p_n across
+// charging sections so that the loaded sections share a common level,
+//
+//   p_{n,c} = [lambda* - b_c]^+ ,   sum_c p_{n,c} = p_n ,
+//
+// where b_c is the other OLEVs' load on section c.  Because Z is identical
+// across sections and strictly convex, equalizing post-allocation loads
+// (b_c + p_{n,c} = lambda* on active sections) is exactly the KKT condition
+// Z'(b_c + p_{n,c}) = rho*, i.e. classic water-filling.
+//
+// Two solvers are provided: an exact O(C log C) sort-based algorithm and a
+// bisection solver on Y(lambda) = sum_c [lambda - b_c]^+ (the form the paper
+// describes in Section IV-F).  They agree to ~1e-12 and cross-check each
+// other in the tests.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace olev::core {
+
+struct WaterFillResult {
+  double level = 0.0;           ///< lambda*
+  std::vector<double> row;      ///< p_{n,c} allocation, same length as b
+  int active_sections = 0;      ///< |{c : p_{n,c} > 0}|
+  int iterations = 0;           ///< bisection iterations (0 for exact)
+};
+
+/// Exact sort-based water-filling.  `others_load` is b; `total` is p_n >= 0.
+WaterFillResult water_fill(std::span<const double> others_load, double total);
+
+/// Bisection on Y(lambda) - total = 0 (Section IV-F's method).
+WaterFillResult water_fill_bisect(std::span<const double> others_load,
+                                  double total, double tolerance = 1e-10);
+
+/// Y(x) = sum_c [x - b_c]^+, the strictly increasing function of Eq. (24).
+double water_fill_volume(std::span<const double> others_load, double level);
+
+/// Masked variant: water-fills `total` over only the sections with
+/// mask[c] == true (the sections on the OLEV's planned path -- Section
+/// IV-A's ETA exchange tells the grid which sections a vehicle will
+/// actually traverse).  Unmasked sections receive exactly 0.  Lemma IV.1
+/// holds verbatim on the masked subset.  Requires at least one masked
+/// section when total > 0.
+WaterFillResult water_fill_masked(std::span<const double> others_load,
+                                  double total, const std::vector<bool>& mask);
+
+/// Generalized water-filling for *heterogeneous* sections.
+///
+/// The paper assumes one Z for every section, which reduces the KKT
+/// condition Z'(b_c + p_c) = rho to load equalization.  When sections have
+/// different cost curves Z_c (e.g. different safety caps because they sit
+/// on roads with different speed limits), the stationarity condition reads
+///
+///   Z_c'(b_c + p_{n,c}) = rho*   on sections with p_{n,c} > 0,
+///   p_{n,c} = [ (Z_c')^{-1}(rho*) - b_c ]^+  otherwise,
+///
+/// and the unique rho* is found by bisection on the (strictly increasing)
+/// total allocation.  With identical costs this reduces exactly to
+/// water_fill (tested).
+struct GeneralizedFillResult {
+  double marginal = 0.0;        ///< rho*
+  std::vector<double> row;
+  int active_sections = 0;
+  int iterations = 0;
+};
+class SectionCost;  // cost.h
+GeneralizedFillResult generalized_fill(
+    std::span<const SectionCost* const> section_costs,
+    std::span<const double> others_load, double total, double tolerance = 1e-9);
+
+}  // namespace olev::core

@@ -1,0 +1,47 @@
+#include "grid/ancillary.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace olev::grid {
+
+AncillaryPrices ancillary_prices(const AncillaryConfig& config,
+                                 const LoadModelConfig& load_config,
+                                 const LoadTick& tick) {
+  const double span =
+      std::max(1.0, load_config.max_load_mw - load_config.min_load_mw);
+  const double level =
+      std::clamp((tick.actual_mw - load_config.min_load_mw) / span, 0.0, 1.0);
+  const double stress = config.deficiency_gain * std::abs(tick.deficiency_mw);
+
+  AncillaryPrices prices;
+  // Reserve prices scale superlinearly with system stress: reserves are
+  // cheap off-peak and scarce exactly when load and deficiency are high.
+  prices.sync10 = config.sync10_base * (1.0 + config.peak_gain * level * level) +
+                  0.6 * stress;
+  prices.regulation_capacity =
+      config.regulation_base * (1.0 + 0.8 * config.peak_gain * level) + stress;
+  prices.regulation_movement =
+      config.movement_base * (1.0 + level) + 0.02 * stress;
+  return prices;
+}
+
+std::vector<AncillaryPrices> ancillary_day(const AncillaryConfig& config,
+                                           const LoadModelConfig& load_config,
+                                           const std::vector<LoadTick>& ticks) {
+  std::vector<AncillaryPrices> day;
+  day.reserve(ticks.size());
+  for (const auto& tick : ticks) {
+    day.push_back(ancillary_prices(config, load_config, tick));
+  }
+  return day;
+}
+
+double mean_total(const std::vector<AncillaryPrices>& day) {
+  if (day.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& prices : day) sum += prices.total();
+  return sum / static_cast<double>(day.size());
+}
+
+}  // namespace olev::grid

@@ -1,0 +1,40 @@
+// Ancillary-service cost model (Fig. 2(d)): 10-minute synchronous reserve,
+// regulation capacity, and regulation movement prices.  Ancillary services
+// "cost about 5-10% of total electricity cost" and averaged $13.41/MW on the
+// paper's reference day.
+#pragma once
+
+#include "grid/load_model.h"
+
+namespace olev::grid {
+
+struct AncillaryConfig {
+  double sync10_base = 1.5;        ///< $/MW base for 10-min sync reserve
+  double regulation_base = 2.5;    ///< $/MW base for regulation capacity
+  double movement_base = 0.2;      ///< $/MW base for regulation movement
+  double deficiency_gain = 0.05;   ///< price response per MW of |deficiency|
+  double peak_gain = 2.2;          ///< multiplier growth toward the peak hours
+};
+
+/// Prices of the three ancillary products at one tick ($/MW).
+struct AncillaryPrices {
+  double sync10 = 0.0;
+  double regulation_capacity = 0.0;
+  double regulation_movement = 0.0;
+
+  double total() const { return sync10 + regulation_capacity + regulation_movement; }
+};
+
+AncillaryPrices ancillary_prices(const AncillaryConfig& config,
+                                 const LoadModelConfig& load_config,
+                                 const LoadTick& tick);
+
+/// Day series aligned with `ticks`.
+std::vector<AncillaryPrices> ancillary_day(const AncillaryConfig& config,
+                                           const LoadModelConfig& load_config,
+                                           const std::vector<LoadTick>& ticks);
+
+/// Mean of `total()` over the day (the paper reports $13.41).
+double mean_total(const std::vector<AncillaryPrices>& day);
+
+}  // namespace olev::grid

@@ -1,0 +1,31 @@
+#include "grid/control_period.h"
+
+#include <array>
+#include <cstdlib>
+
+namespace olev::grid {
+namespace {
+constexpr std::array<ControlPeriodTraits, 4> kTraits = {{
+    {ControlPeriod::kBaseload, "baseload", 3600.0, 24.0 * 3600.0, 30.0, false},
+    {ControlPeriod::kPeak, "peak", 600.0, 4.0 * 3600.0, 90.0, false},
+    {ControlPeriod::kSpinningReserve, "spinning-reserve", 10.0, 600.0, 150.0, true},
+    {ControlPeriod::kFrequencyControl, "frequency-control", 1.0, 60.0, 40.0, true},
+}};
+}  // namespace
+
+const ControlPeriodTraits& traits(ControlPeriod period) {
+  return kTraits[static_cast<std::size_t>(period)];
+}
+
+std::string_view name(ControlPeriod period) { return traits(period).name; }
+
+ControlPeriod classify(double load_mw, double deficiency_mw,
+                       double peak_threshold_mw, double reserve_threshold_mw) {
+  if (std::abs(deficiency_mw) >= reserve_threshold_mw) {
+    return ControlPeriod::kSpinningReserve;
+  }
+  if (load_mw >= peak_threshold_mw) return ControlPeriod::kPeak;
+  return ControlPeriod::kBaseload;
+}
+
+}  // namespace olev::grid

@@ -1,0 +1,39 @@
+// Electricity market control periods (Section III of the paper): baseload,
+// peak, spinning reserve, and frequency control, which "differ in control
+// method, response time, duration of the power dispatch, contract terms, and
+// price" [White & Zhang 2011].
+#pragma once
+
+#include <string_view>
+
+namespace olev::grid {
+
+enum class ControlPeriod {
+  kBaseload,          ///< large plants, always-on
+  kPeak,              ///< dispatched at high-demand hours
+  kSpinningReserve,   ///< ancillary: power needed immediately
+  kFrequencyControl,  ///< ancillary: generation/load frequency matching
+};
+
+/// Static market characteristics of a control period.
+struct ControlPeriodTraits {
+  ControlPeriod period;
+  std::string_view name;
+  double response_time_s;        ///< time to ramp in
+  double typical_dispatch_s;     ///< typical duration of a dispatch
+  double typical_price_per_mwh;  ///< order-of-magnitude contract price ($)
+  bool ancillary;                ///< counted in ancillary-service cost
+};
+
+/// Lookup of the traits table (total 4 entries).
+const ControlPeriodTraits& traits(ControlPeriod period);
+
+std::string_view name(ControlPeriod period);
+
+/// Classifies the grid state into the period that marginal demand is served
+/// from: baseload at low load, peak at high load, spinning reserve when the
+/// deficiency (actual - forecast) exceeds the reserve threshold.
+ControlPeriod classify(double load_mw, double deficiency_mw, double peak_threshold_mw,
+                       double reserve_threshold_mw);
+
+}  // namespace olev::grid

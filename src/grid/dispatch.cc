@@ -1,0 +1,66 @@
+#include "grid/dispatch.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace olev::grid {
+
+DispatchStack::DispatchStack(std::vector<Generator> generators)
+    : generators_(std::move(generators)) {
+  if (generators_.empty()) {
+    throw std::invalid_argument("DispatchStack: need at least one generator");
+  }
+  for (const Generator& generator : generators_) {
+    if (generator.capacity_mw <= 0.0) {
+      throw std::invalid_argument("DispatchStack: capacities must be positive");
+    }
+    total_capacity_mw_ += generator.capacity_mw;
+  }
+  std::stable_sort(generators_.begin(), generators_.end(),
+                   [](const Generator& a, const Generator& b) {
+                     return a.marginal_cost < b.marginal_cost;
+                   });
+}
+
+DispatchStack DispatchStack::nyiso_like() {
+  return DispatchStack({
+      {"nuclear", 2400.0, 12.52, ControlPeriod::kBaseload, 0.0},
+      {"hydro", 900.0, 14.0, ControlPeriod::kBaseload, 0.0},
+      {"wind", 400.0, 16.0, ControlPeriod::kBaseload, 0.0},
+      {"ccgt-1", 1200.0, 28.0, ControlPeriod::kBaseload, 0.37},
+      {"ccgt-2", 1000.0, 42.0, ControlPeriod::kPeak, 0.4},
+      {"steam-oil", 600.0, 75.0, ControlPeriod::kPeak, 0.65},
+      {"gas-peaker-1", 400.0, 120.0, ControlPeriod::kSpinningReserve, 0.55},
+      {"gas-peaker-2", 300.0, 190.0, ControlPeriod::kSpinningReserve, 0.6},
+      {"demand-response", 150.0, 244.04, ControlPeriod::kFrequencyControl, 0.0},
+  });
+}
+
+DispatchResult DispatchStack::dispatch(double load_mw) const {
+  if (load_mw < 0.0) throw std::invalid_argument("DispatchStack: negative load");
+  DispatchResult result;
+  result.output_mw.assign(generators_.size(), 0.0);
+
+  double remaining = load_mw;
+  double price = generators_.front().marginal_cost;
+  for (std::size_t i = 0; i < generators_.size() && remaining > 0.0; ++i) {
+    const double take = std::min(remaining, generators_[i].capacity_mw);
+    result.output_mw[i] = take;
+    result.co2_t_per_h += take * generators_[i].co2_t_per_mwh;
+    remaining -= take;
+    price = generators_[i].marginal_cost;
+  }
+
+  if (remaining > 1e-9) {
+    result.served = false;
+    result.unserved_mw = remaining;
+    result.price = voll_;
+  } else {
+    result.price = price;
+  }
+  result.reserve_margin_mw =
+      total_capacity_mw_ - (load_mw - result.unserved_mw);
+  return result;
+}
+
+}  // namespace olev::grid

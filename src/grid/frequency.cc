@@ -1,0 +1,82 @@
+#include "grid/frequency.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace olev::grid {
+
+FrequencySimulator::FrequencySimulator(FrequencyModelConfig config)
+    : config_(config), frequency_hz_(config.nominal_hz) {
+  if (config_.system_mva <= 0.0 || config_.inertia_h_s <= 0.0 ||
+      config_.droop <= 0.0 || config_.dt_s <= 0.0) {
+    throw std::invalid_argument("FrequencySimulator: non-positive parameter");
+  }
+}
+
+FrequencyTick FrequencySimulator::step(double disturbance_mw) {
+  const double f0 = config_.nominal_hz;
+
+  // Primary (droop) response proportional to the frequency error.
+  const double droop_mw =
+      -(config_.system_mva / (config_.droop * f0)) * (frequency_hz_ - f0);
+
+  // Secondary (AGC / regulation) response integrates the error, bounded by
+  // the procured regulation reserve.
+  agc_mw_ += config_.agc_gain * (f0 - frequency_hz_) * config_.dt_s;
+  agc_mw_ = std::clamp(agc_mw_, -config_.regulation_reserve_mw,
+                       config_.regulation_reserve_mw);
+
+  // Swing equation: net power surplus accelerates the machine.
+  const double net_mw = droop_mw + agc_mw_ - disturbance_mw;
+  const double dfdt =
+      f0 / (2.0 * config_.inertia_h_s * config_.system_mva) * net_mw;
+  frequency_hz_ += dfdt * config_.dt_s;
+  time_s_ += config_.dt_s;
+
+  FrequencyTick tick;
+  tick.time_s = time_s_;
+  tick.frequency_hz = frequency_hz_;
+  tick.imbalance_mw = disturbance_mw;
+  tick.droop_mw = droop_mw;
+  tick.agc_mw = agc_mw_;
+  return tick;
+}
+
+std::vector<FrequencyTick> FrequencySimulator::run(
+    const std::vector<double>& disturbance_mw) {
+  std::vector<FrequencyTick> trace;
+  trace.reserve(disturbance_mw.size());
+  for (double d : disturbance_mw) trace.push_back(step(d));
+  return trace;
+}
+
+void FrequencySimulator::reset() {
+  frequency_hz_ = config_.nominal_hz;
+  agc_mw_ = 0.0;
+  time_s_ = 0.0;
+}
+
+FrequencyExcursion summarize_trace(const std::vector<FrequencyTick>& trace,
+                                   double nominal_hz, double band_hz) {
+  FrequencyExcursion summary;
+  summary.nadir_hz = nominal_hz;
+  summary.peak_hz = nominal_hz;
+  if (trace.empty()) return summary;
+  for (const FrequencyTick& tick : trace) {
+    summary.nadir_hz = std::min(summary.nadir_hz, tick.frequency_hz);
+    summary.peak_hz = std::max(summary.peak_hz, tick.frequency_hz);
+    summary.max_abs_dev_hz = std::max(
+        summary.max_abs_dev_hz, std::abs(tick.frequency_hz - nominal_hz));
+  }
+  // Settling time: last instant the trace was outside the band.
+  summary.settling_time_s = 0.0;
+  for (const FrequencyTick& tick : trace) {
+    if (std::abs(tick.frequency_hz - nominal_hz) > band_hz) {
+      summary.settling_time_s = tick.time_s;
+    }
+  }
+  return summary;
+}
+
+}  // namespace olev::grid

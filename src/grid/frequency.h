@@ -1,0 +1,74 @@
+// Grid frequency-regulation simulation.
+//
+// Section III: "frequency control power is used to calibrate the frequency
+// and voltage of the grid by matching generation to load demand" and
+// ancillary services "require a quick response from the power resources".
+// This module simulates that control loop: a power imbalance (load minus
+// generation, e.g. an unanticipated OLEV fleet drawing from the grid) pulls
+// the system frequency off nominal through the swing equation; droop
+// control and a regulation reserve (optionally provided by the OLEV fleet
+// itself -- V2G per White & Zhang [35]) pull it back.
+//
+//   df/dt = (f0 / (2 H S)) * (P_gen - P_load)        (swing, aggregated)
+//   P_droop = -S/(droop * f0) * (f - f0)             (primary response)
+//   P_agc  += Ki * (f0 - f) dt, |P_agc| <= reserve   (secondary / AGC)
+#pragma once
+
+#include <vector>
+
+namespace olev::grid {
+
+struct FrequencyModelConfig {
+  double nominal_hz = 60.0;
+  double system_mva = 7000.0;    ///< aggregated rating S
+  double inertia_h_s = 5.0;      ///< inertia constant H (seconds)
+  double droop = 0.05;           ///< 5% governor droop
+  double agc_gain = 50.0;        ///< integral gain Ki (MW per Hz-second)
+  double regulation_reserve_mw = 150.0;  ///< AGC saturation (+/-)
+  double dt_s = 0.1;             ///< integration step
+};
+
+struct FrequencyTick {
+  double time_s = 0.0;
+  double frequency_hz = 0.0;
+  double imbalance_mw = 0.0;   ///< raw disturbance at this time
+  double droop_mw = 0.0;       ///< primary response output
+  double agc_mw = 0.0;         ///< secondary (regulation) output
+};
+
+class FrequencySimulator {
+ public:
+  explicit FrequencySimulator(FrequencyModelConfig config = {});
+
+  /// Advances one step with `disturbance_mw` = load minus scheduled
+  /// generation (positive = shortage, pulls frequency down).
+  FrequencyTick step(double disturbance_mw);
+
+  /// Runs a full trace for a disturbance series.
+  std::vector<FrequencyTick> run(const std::vector<double>& disturbance_mw);
+
+  double frequency_hz() const { return frequency_hz_; }
+  double time_s() const { return time_s_; }
+  const FrequencyModelConfig& config() const { return config_; }
+
+  void reset();
+
+ private:
+  FrequencyModelConfig config_;
+  double frequency_hz_;
+  double agc_mw_ = 0.0;
+  double time_s_ = 0.0;
+};
+
+/// Summary of a frequency trace.
+struct FrequencyExcursion {
+  double nadir_hz = 0.0;       ///< lowest frequency reached
+  double peak_hz = 0.0;        ///< highest frequency reached
+  double max_abs_dev_hz = 0.0;
+  double settling_time_s = 0.0;  ///< first time |f - f0| stays < band
+};
+
+FrequencyExcursion summarize_trace(const std::vector<FrequencyTick>& trace,
+                                   double nominal_hz, double band_hz = 0.02);
+
+}  // namespace olev::grid

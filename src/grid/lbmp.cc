@@ -1,0 +1,36 @@
+#include "grid/lbmp.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace olev::grid {
+
+double lbmp(const LbmpConfig& config, const LoadModelConfig& load_config,
+            const LoadTick& tick) {
+  const double span = load_config.max_load_mw - load_config.min_load_mw;
+  const double level =
+      span <= 0.0
+          ? 0.0
+          : std::clamp((tick.actual_mw - load_config.min_load_mw) / span, 0.0, 1.2);
+  // Convex merit-order stack: cheap baseload first, expensive peakers last.
+  double price = config.min_price +
+                 (config.max_price - config.min_price) *
+                     std::pow(std::min(level, 1.0), config.convexity);
+  // Scarcity premium when actual load overshoots the forecast.
+  if (tick.deficiency_mw > 0.0) {
+    const double rel = tick.deficiency_mw / std::max(1.0, span);
+    price *= 1.0 + config.scarcity_gain * rel * 10.0;
+  }
+  return std::clamp(price, config.min_price, config.max_price);
+}
+
+std::vector<double> lbmp_day(const LbmpConfig& config,
+                             const LoadModelConfig& load_config,
+                             const std::vector<LoadTick>& ticks) {
+  std::vector<double> prices;
+  prices.reserve(ticks.size());
+  for (const auto& tick : ticks) prices.push_back(lbmp(config, load_config, tick));
+  return prices;
+}
+
+}  // namespace olev::grid

@@ -1,0 +1,30 @@
+// Location-based marginal price (LBMP) model.
+//
+// "LBMP is decided based on regional power demand and regional power supply"
+// (Section III); on the paper's reference day it ranged from $12.52 to
+// $244.04 per MWh.  We model the supply stack as a convex marginal-cost
+// curve in the load level with a scarcity adder driven by the deficiency.
+#pragma once
+
+#include "grid/load_model.h"
+
+namespace olev::grid {
+
+struct LbmpConfig {
+  double min_price = 12.52;    ///< $/MWh floor (paper's observed minimum)
+  double max_price = 244.04;   ///< $/MWh cap (paper's observed maximum)
+  double convexity = 3.0;      ///< supply-stack exponent (>1: convex)
+  double scarcity_gain = 0.9;  ///< price sensitivity to positive deficiency
+};
+
+/// Marginal price for a given load tick.  Strictly increasing in actual
+/// load; positive deficiency (under-forecast) adds a scarcity premium.
+double lbmp(const LbmpConfig& config, const LoadModelConfig& load_config,
+            const LoadTick& tick);
+
+/// Full-day LBMP series aligned with `ticks`.
+std::vector<double> lbmp_day(const LbmpConfig& config,
+                             const LoadModelConfig& load_config,
+                             const std::vector<LoadTick>& ticks);
+
+}  // namespace olev::grid

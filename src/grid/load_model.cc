@@ -1,0 +1,59 @@
+#include "grid/load_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace olev::grid {
+
+util::PiecewiseLinear weekday_load_shape() {
+  // Normalized NYISO-like weekday profile (hour, fraction of peak range).
+  util::PiecewiseLinear shape({
+      {0.0, 0.28},
+      {2.0, 0.12},
+      {4.0, 0.00},   // trough ~04:00
+      {6.0, 0.18},
+      {8.0, 0.52},   // morning ramp
+      {10.0, 0.68},
+      {12.0, 0.76},
+      {14.0, 0.82},
+      {16.0, 0.90},
+      {18.0, 0.98},
+      {19.0, 1.00},  // evening peak ~19:00
+      {21.0, 0.80},
+      {23.0, 0.45},
+  });
+  shape.periodic(24.0);
+  return shape;
+}
+
+double forecast_load_mw(const LoadModelConfig& config, double hour) {
+  static const util::PiecewiseLinear shape = weekday_load_shape();
+  return config.min_load_mw +
+         shape(hour) * (config.max_load_mw - config.min_load_mw);
+}
+
+std::vector<LoadTick> generate_load_day(const LoadModelConfig& config) {
+  util::Rng rng(config.seed);
+  std::vector<LoadTick> ticks;
+  const double dt_h = config.tick_minutes / 60.0;
+  const auto count = static_cast<std::size_t>(std::lround(24.0 / dt_h));
+  ticks.reserve(count);
+
+  double error = 0.0;  // AR(1) forecast-error state
+  for (std::size_t i = 0; i < count; ++i) {
+    LoadTick tick;
+    tick.hour = static_cast<double>(i) * dt_h;
+    tick.forecast_mw = forecast_load_mw(config, tick.hour);
+    error = config.deficiency_rho * error +
+            rng.normal(0.0, config.deficiency_sigma_mw);
+    // Soft cap: tanh saturation keeps |deficiency| within the published max
+    // while preserving the AR(1) small-signal behaviour.
+    tick.deficiency_mw =
+        config.deficiency_cap_mw * std::tanh(error / config.deficiency_cap_mw);
+    tick.actual_mw = tick.forecast_mw + tick.deficiency_mw;
+    ticks.push_back(tick);
+  }
+  return ticks;
+}
+
+}  // namespace olev::grid

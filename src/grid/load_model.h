@@ -1,0 +1,46 @@
+// Daily system-load model.
+//
+// The paper motivates the pricing policy with NYISO data for May 12 2016
+// (Fig. 2): load between 4017.1 and 6657.8 MWh, deficiency (integrated minus
+// forecast load) up to 167.8 MWh.  We do not have the proprietary CSVs, so
+// this module generates a synthetic day with the published shape and ranges:
+// a canonical weekday double-peak curve plus an AR(1) forecast-error process.
+#pragma once
+
+#include <vector>
+
+#include "util/pwl.h"
+#include "util/rng.h"
+
+namespace olev::grid {
+
+struct LoadModelConfig {
+  double min_load_mw = 4017.1;   ///< overnight trough (paper's Fig. 2(a))
+  double max_load_mw = 6657.8;   ///< evening peak (paper's Fig. 2(a))
+  double deficiency_sigma_mw = 55.0;  ///< innovation scale of the AR(1) error
+  double deficiency_rho = 0.85;       ///< AR(1) persistence (5-min steps)
+  double deficiency_cap_mw = 167.8;   ///< |deficiency| soft cap (paper max)
+  double tick_minutes = 5.0;          ///< sampling interval
+  std::uint64_t seed = 0x51ab17;      ///< stream seed
+};
+
+/// One sampled grid tick.
+struct LoadTick {
+  double hour = 0.0;           ///< time of day in [0, 24)
+  double forecast_mw = 0.0;    ///< day-ahead forecast load
+  double actual_mw = 0.0;      ///< integrated (actual) load
+  double deficiency_mw = 0.0;  ///< actual - forecast
+};
+
+/// The canonical normalized weekday load shape (NYC-like): overnight trough
+/// around 04:00, morning ramp, afternoon plateau, evening peak around 19:00.
+/// Range [0, 1]; periodic over 24 h.
+util::PiecewiseLinear weekday_load_shape();
+
+/// Generates a full day of load ticks under `config`.
+std::vector<LoadTick> generate_load_day(const LoadModelConfig& config);
+
+/// Forecast load at an arbitrary hour (deterministic component only).
+double forecast_load_mw(const LoadModelConfig& config, double hour);
+
+}  // namespace olev::grid

@@ -1,0 +1,59 @@
+#include "grid/nyiso_day.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace olev::grid {
+
+NyisoDay NyisoDay::generate(const NyisoDayConfig& config) {
+  NyisoDay day;
+  day.config_ = config;
+  day.ticks_ = generate_load_day(config.load);
+  if (day.ticks_.empty()) {
+    throw std::runtime_error("NyisoDay: empty load day (bad tick_minutes?)");
+  }
+  day.lbmp_ = lbmp_day(config.price, config.load, day.ticks_);
+  day.ancillary_ = ancillary_day(config.ancillary, config.load, day.ticks_);
+  return day;
+}
+
+std::size_t NyisoDay::index_at(double hour) const {
+  double h = std::fmod(hour, 24.0);
+  if (h < 0.0) h += 24.0;
+  const double dt_h = 24.0 / static_cast<double>(ticks_.size());
+  auto idx = static_cast<std::size_t>(h / dt_h);
+  return std::min(idx, ticks_.size() - 1);
+}
+
+const LoadTick& NyisoDay::tick_at(double hour) const {
+  return ticks_[index_at(hour)];
+}
+
+double NyisoDay::lbmp_at(double hour) const { return lbmp_[index_at(hour)]; }
+
+AncillaryPrices NyisoDay::ancillary_at(double hour) const {
+  return ancillary_[index_at(hour)];
+}
+
+ControlPeriod NyisoDay::control_period_at(double hour) const {
+  const LoadTick& tick = tick_at(hour);
+  const double peak_threshold =
+      config_.load.min_load_mw +
+      0.75 * (config_.load.max_load_mw - config_.load.min_load_mw);
+  const double reserve_threshold = 0.6 * config_.load.deficiency_cap_mw;
+  return classify(tick.actual_mw, tick.deficiency_mw, peak_threshold,
+                  reserve_threshold);
+}
+
+double NyisoDay::max_abs_deficiency() const {
+  double worst = 0.0;
+  for (const auto& tick : ticks_) {
+    worst = std::max(worst, std::abs(tick.deficiency_mw));
+  }
+  return worst;
+}
+
+double NyisoDay::mean_ancillary_total() const { return mean_total(ancillary_); }
+
+}  // namespace olev::grid

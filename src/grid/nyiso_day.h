@@ -1,0 +1,56 @@
+// NyisoDay: the aggregated synthetic grid day used throughout the library —
+// load, forecast, deficiency, LBMP and ancillary prices on a common 5-minute
+// tick grid.  This is the data source for the Fig. 2 reproduction and for
+// the pricing policy's beta parameter (beta = LBMP at the game's hour).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "grid/ancillary.h"
+#include "grid/control_period.h"
+#include "grid/lbmp.h"
+#include "grid/load_model.h"
+
+namespace olev::grid {
+
+struct NyisoDayConfig {
+  LoadModelConfig load;
+  LbmpConfig price;
+  AncillaryConfig ancillary;
+};
+
+/// A full synthetic grid day.
+class NyisoDay {
+ public:
+  /// Generates the day; deterministic for a fixed config/seed.
+  static NyisoDay generate(const NyisoDayConfig& config = {});
+
+  std::size_t tick_count() const { return ticks_.size(); }
+  const std::vector<LoadTick>& ticks() const { return ticks_; }
+  const std::vector<double>& lbmp_series() const { return lbmp_; }
+  const std::vector<AncillaryPrices>& ancillary_series() const { return ancillary_; }
+
+  /// Nearest-tick lookup by hour-of-day (wraps modulo 24).
+  const LoadTick& tick_at(double hour) const;
+  double lbmp_at(double hour) const;
+  AncillaryPrices ancillary_at(double hour) const;
+  ControlPeriod control_period_at(double hour) const;
+
+  /// Largest |deficiency| over the day (paper: 167.8 MWh).
+  double max_abs_deficiency() const;
+  /// Mean of ancillary total price (paper: $13.41).
+  double mean_ancillary_total() const;
+
+  const NyisoDayConfig& config() const { return config_; }
+
+ private:
+  NyisoDayConfig config_;
+  std::vector<LoadTick> ticks_;
+  std::vector<double> lbmp_;
+  std::vector<AncillaryPrices> ancillary_;
+
+  std::size_t index_at(double hour) const;
+};
+
+}  // namespace olev::grid

@@ -1,0 +1,171 @@
+#include "net/message.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace olev::net {
+namespace {
+
+enum class Tag : std::uint8_t {
+  kBeacon = 1,
+  kPaymentFunction = 2,
+  kPowerRequest = 3,
+  kSchedule = 4,
+};
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void f64_vector(const std::vector<double>& values) {
+    u32(static_cast<std::uint32_t>(values.size()));
+    for (double v : values) f64(v);
+  }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() { return take(1)[0]; }
+  std::uint32_t u32() {
+    const auto b = take(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    const auto b = take(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::vector<double> f64_vector() {
+    const std::uint32_t count = u32();
+    // Sanity cap: one million sections is far past any realistic corridor;
+    // reject rather than allocate unbounded memory from a corrupt length.
+    if (count > 1'000'000) throw std::runtime_error("message: vector too long");
+    if (bytes_.size() - offset_ < static_cast<std::size_t>(count) * 8) {
+      throw std::runtime_error("message: truncated vector");
+    }
+    std::vector<double> values;
+    values.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) values.push_back(f64());
+    return values;
+  }
+  bool exhausted() const { return offset_ == bytes_.size(); }
+
+ private:
+  std::span<const std::uint8_t> take(std::size_t n) {
+    if (bytes_.size() - offset_ < n) throw std::runtime_error("message: truncated");
+    const auto view = bytes_.subspan(offset_, n);
+    offset_ += n;
+    return view;
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize(const Message& message) {
+  Writer w;
+  std::visit(
+      [&w](const auto& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, BeaconMsg>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kBeacon));
+          w.u32(msg.player);
+          w.f64(msg.position_m);
+          w.f64(msg.velocity_mps);
+          w.f64(msg.soc);
+        } else if constexpr (std::is_same_v<T, PaymentFunctionMsg>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kPaymentFunction));
+          w.u32(msg.player);
+          w.u64(msg.round);
+          w.f64_vector(msg.others_load_kw);
+        } else if constexpr (std::is_same_v<T, PowerRequestMsg>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kPowerRequest));
+          w.u32(msg.player);
+          w.u64(msg.round);
+          w.f64(msg.total_kw);
+        } else if constexpr (std::is_same_v<T, ScheduleMsg>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kSchedule));
+          w.u32(msg.player);
+          w.u64(msg.round);
+          w.f64_vector(msg.row_kw);
+          w.f64(msg.payment);
+        }
+      },
+      message);
+  return w.take();
+}
+
+Message deserialize(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes);
+  const auto tag = static_cast<Tag>(r.u8());
+  Message message;
+  switch (tag) {
+    case Tag::kBeacon: {
+      BeaconMsg msg;
+      msg.player = r.u32();
+      msg.position_m = r.f64();
+      msg.velocity_mps = r.f64();
+      msg.soc = r.f64();
+      message = msg;
+      break;
+    }
+    case Tag::kPaymentFunction: {
+      PaymentFunctionMsg msg;
+      msg.player = r.u32();
+      msg.round = r.u64();
+      msg.others_load_kw = r.f64_vector();
+      message = msg;
+      break;
+    }
+    case Tag::kPowerRequest: {
+      PowerRequestMsg msg;
+      msg.player = r.u32();
+      msg.round = r.u64();
+      msg.total_kw = r.f64();
+      message = msg;
+      break;
+    }
+    case Tag::kSchedule: {
+      ScheduleMsg msg;
+      msg.player = r.u32();
+      msg.round = r.u64();
+      msg.row_kw = r.f64_vector();
+      msg.payment = r.f64();
+      message = msg;
+      break;
+    }
+    default:
+      throw std::runtime_error("message: unknown tag");
+  }
+  if (!r.exhausted()) throw std::runtime_error("message: trailing bytes");
+  return message;
+}
+
+}  // namespace olev::net

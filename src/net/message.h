@@ -1,0 +1,81 @@
+// V2I protocol messages between OLEVs and the smart grid.
+//
+// The paper's framework is distributed: "the OLEVs update their power
+// request according to the updated power payment function that is
+// calculated by the smart grid", over IEEE 802.11p / LTE V2I links.  These
+// are the wire messages of that loop.  A compact binary serialization is
+// provided (tag byte + little-endian payload) so the message layer behaves
+// like a real protocol: everything that crosses the bus round-trips through
+// bytes, and the tests fuzz that round trip.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <variant>
+#include <vector>
+
+namespace olev::net {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kGridNode = 0;  ///< the smart grid's well-known address
+
+/// Periodic position/SOC report (Section IV-A: OLEVs "inform their current
+/// positions and velocities").
+struct BeaconMsg {
+  std::uint32_t player = 0;
+  double position_m = 0.0;
+  double velocity_mps = 0.0;
+  double soc = 0.0;
+
+  bool operator==(const BeaconMsg&) const = default;
+};
+
+/// Grid -> OLEV n: the announced payment function Psi_n, represented by the
+/// data needed to evaluate it locally -- the other players' per-section
+/// aggregate load b (the cost parameters are public).
+struct PaymentFunctionMsg {
+  std::uint32_t player = 0;
+  std::uint64_t round = 0;
+  std::vector<double> others_load_kw;
+
+  bool operator==(const PaymentFunctionMsg&) const = default;
+};
+
+/// OLEV n -> grid: the best-response total power request p_n*.
+struct PowerRequestMsg {
+  std::uint32_t player = 0;
+  std::uint64_t round = 0;
+  double total_kw = 0.0;
+
+  bool operator==(const PowerRequestMsg&) const = default;
+};
+
+/// Grid -> OLEV n: the water-filled schedule row and the payment due.
+struct ScheduleMsg {
+  std::uint32_t player = 0;
+  std::uint64_t round = 0;
+  std::vector<double> row_kw;
+  double payment = 0.0;
+
+  bool operator==(const ScheduleMsg&) const = default;
+};
+
+using Message =
+    std::variant<BeaconMsg, PaymentFunctionMsg, PowerRequestMsg, ScheduleMsg>;
+
+/// Serializes to the binary wire format.
+std::vector<std::uint8_t> serialize(const Message& message);
+
+/// Parses the wire format; throws std::runtime_error on malformed input.
+Message deserialize(std::span<const std::uint8_t> bytes);
+
+/// An addressed, timestamped message in flight.
+struct Envelope {
+  NodeId from = 0;
+  NodeId to = 0;
+  std::uint64_t seq = 0;      ///< sender-assigned sequence number
+  double send_time_s = 0.0;
+  Message payload;
+};
+
+}  // namespace olev::net

@@ -1,0 +1,230 @@
+#include "traci/protocol.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace olev::traci {
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& bytes, std::uint32_t v) {
+  bytes.push_back(static_cast<std::uint8_t>(v >> 24));
+  bytes.push_back(static_cast<std::uint8_t>(v >> 16));
+  bytes.push_back(static_cast<std::uint8_t>(v >> 8));
+  bytes.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> bytes, std::size_t offset) {
+  if (bytes.size() < offset + 4) throw std::runtime_error("traci: truncated u32");
+  return (static_cast<std::uint32_t>(bytes[offset]) << 24) |
+         (static_cast<std::uint32_t>(bytes[offset + 1]) << 16) |
+         (static_cast<std::uint32_t>(bytes[offset + 2]) << 8) |
+         static_cast<std::uint32_t>(bytes[offset + 3]);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> frame_message(std::span<const RawCommand> commands) {
+  std::vector<std::uint8_t> body;
+  for (const RawCommand& command : commands) {
+    // length byte counts: itself + id + payload; extended form when > 255.
+    const std::size_t short_length = 2 + command.payload.size();
+    if (short_length <= 0xFF) {
+      body.push_back(static_cast<std::uint8_t>(short_length));
+    } else {
+      body.push_back(0);
+      put_u32(body, static_cast<std::uint32_t>(6 + command.payload.size()));
+    }
+    body.push_back(command.id);
+    body.insert(body.end(), command.payload.begin(), command.payload.end());
+  }
+  std::vector<std::uint8_t> message;
+  put_u32(message, static_cast<std::uint32_t>(4 + body.size()));
+  message.insert(message.end(), body.begin(), body.end());
+  return message;
+}
+
+std::vector<RawCommand> parse_message(std::span<const std::uint8_t> bytes) {
+  const std::uint32_t total = get_u32(bytes, 0);
+  if (total != bytes.size()) {
+    throw std::runtime_error("traci: message length mismatch");
+  }
+  std::vector<RawCommand> commands;
+  std::size_t offset = 4;
+  while (offset < bytes.size()) {
+    std::size_t length = bytes[offset];
+    std::size_t header = 1;
+    if (length == 0) {
+      length = get_u32(bytes, offset + 1);
+      header = 5;
+    }
+    if (length < header + 1 || offset + length > bytes.size()) {
+      throw std::runtime_error("traci: bad command length");
+    }
+    RawCommand command;
+    command.id = bytes[offset + header];
+    command.payload.assign(bytes.begin() + static_cast<std::ptrdiff_t>(offset + header + 1),
+                           bytes.begin() + static_cast<std::ptrdiff_t>(offset + length));
+    commands.push_back(std::move(command));
+    offset += length;
+  }
+  return commands;
+}
+
+void PayloadWriter::u8(std::uint8_t v) { bytes_.push_back(v); }
+
+void PayloadWriter::i32(std::int32_t v) {
+  put_u32(bytes_, static_cast<std::uint32_t>(v));
+}
+
+void PayloadWriter::f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    bytes_.push_back(static_cast<std::uint8_t>(bits >> shift));
+  }
+}
+
+void PayloadWriter::string(const std::string& s) {
+  put_u32(bytes_, static_cast<std::uint32_t>(s.size()));
+  bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
+std::span<const std::uint8_t> PayloadReader::take(std::size_t n) {
+  if (bytes_.size() - offset_ < n) throw std::runtime_error("traci: truncated payload");
+  const auto view = bytes_.subspan(offset_, n);
+  offset_ += n;
+  return view;
+}
+
+std::uint8_t PayloadReader::u8() { return take(1)[0]; }
+
+std::int32_t PayloadReader::i32() {
+  const auto b = take(4);
+  return static_cast<std::int32_t>((static_cast<std::uint32_t>(b[0]) << 24) |
+                                   (static_cast<std::uint32_t>(b[1]) << 16) |
+                                   (static_cast<std::uint32_t>(b[2]) << 8) |
+                                   static_cast<std::uint32_t>(b[3]));
+}
+
+double PayloadReader::f64() {
+  const auto b = take(8);
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) bits = (bits << 8) | b[static_cast<std::size_t>(i)];
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string PayloadReader::string() {
+  const auto b4 = take(4);
+  const std::uint32_t length = (static_cast<std::uint32_t>(b4[0]) << 24) |
+                               (static_cast<std::uint32_t>(b4[1]) << 16) |
+                               (static_cast<std::uint32_t>(b4[2]) << 8) |
+                               static_cast<std::uint32_t>(b4[3]);
+  if (length > 1'000'000) throw std::runtime_error("traci: string too long");
+  const auto view = take(length);
+  return std::string(view.begin(), view.end());
+}
+
+RawCommand encode_status(const Status& status) {
+  PayloadWriter writer;
+  writer.u8(status.result);
+  writer.string(status.description);
+  RawCommand command;
+  command.id = status.command;
+  command.payload = writer.take();
+  return command;
+}
+
+Status decode_status(const RawCommand& command) {
+  PayloadReader reader(command.payload);
+  Status status;
+  status.command = command.id;
+  status.result = reader.u8();
+  status.description = reader.string();
+  return status;
+}
+
+std::vector<std::uint8_t> TraciServer::handle_message(
+    std::span<const std::uint8_t> request) {
+  std::vector<RawCommand> responses;
+  for (const RawCommand& command : parse_message(request)) {
+    try {
+      if (command.id == kCmdSimStep) {
+        client_.simulationStep();
+        responses.push_back(encode_status({command.id, kStatusOk, ""}));
+      } else if (command.id == kCmdClose) {
+        closed_ = true;
+        responses.push_back(encode_status({command.id, kStatusOk, ""}));
+      } else {
+        // GET command: domain = command id; payload = var + object id.
+        PayloadReader reader(command.payload);
+        const auto var = static_cast<Var>(reader.u8());
+        const std::string object_id = reader.string();
+        const double value =
+            client_.get_scalar(static_cast<Domain>(command.id), var, object_id);
+        responses.push_back(encode_status({command.id, kStatusOk, ""}));
+        PayloadWriter writer;
+        writer.u8(static_cast<std::uint8_t>(var));
+        writer.string(object_id);
+        writer.u8(kTypeDouble);
+        writer.f64(value);
+        RawCommand result;
+        result.id = static_cast<std::uint8_t>(command.id | 0x10);
+        result.payload = writer.take();
+        responses.push_back(std::move(result));
+      }
+    } catch (const std::exception& error) {
+      responses.push_back(encode_status({command.id, kStatusErr, error.what()}));
+    }
+  }
+  return frame_message(responses);
+}
+
+std::vector<std::uint8_t> TraciConnection::roundtrip(const RawCommand& command) {
+  const auto request = frame_message(std::span<const RawCommand>(&command, 1));
+  bytes_sent_ += request.size();
+  auto response = server_.handle_message(request);
+  bytes_received_ += response.size();
+  return response;
+}
+
+void TraciConnection::simulationStep() {
+  const auto response = roundtrip({kCmdSimStep, {}});
+  const auto commands = parse_message(response);
+  const Status status = decode_status(commands.at(0));
+  if (status.result != kStatusOk) {
+    throw std::runtime_error("traci: simulationStep failed: " + status.description);
+  }
+}
+
+double TraciConnection::get_double(Domain domain, Var var,
+                                   const std::string& object_id) {
+  PayloadWriter writer;
+  writer.u8(static_cast<std::uint8_t>(var));
+  writer.string(object_id);
+  RawCommand command;
+  command.id = static_cast<std::uint8_t>(domain);
+  command.payload = writer.take();
+
+  const auto response = roundtrip(command);
+  const auto commands = parse_message(response);
+  const Status status = decode_status(commands.at(0));
+  if (status.result != kStatusOk) {
+    throw std::runtime_error("traci: get failed: " + status.description);
+  }
+  if (commands.size() < 2) throw std::runtime_error("traci: missing result");
+  PayloadReader reader(commands[1].payload);
+  (void)reader.u8();      // variable echo
+  (void)reader.string();  // object id echo
+  const std::uint8_t type = reader.u8();
+  if (type != kTypeDouble) throw std::runtime_error("traci: unexpected type");
+  return reader.f64();
+}
+
+void TraciConnection::close() {
+  const auto response = roundtrip({kCmdClose, {}});
+  (void)parse_message(response);
+}
+
+}  // namespace olev::traci

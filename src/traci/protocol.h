@@ -1,0 +1,137 @@
+// TraCI wire protocol: byte-level message framing compatible with the
+// TraCI specification's container format.
+//
+//   message  := UINT32 total_length (incl. itself) , command*
+//   command  := UBYTE length (0 => UINT32 ext_length follows) , UBYTE id ,
+//               payload bytes
+//   status   := command with payload UBYTE result , STRING description
+//   values   := type-tagged: 0x09 INT32, 0x0B DOUBLE, 0x0C STRING
+//
+// All integers are big-endian (network order) per the spec.  On top of the
+// framing, TraciServer executes GET commands against a Simulation through
+// the in-process TraciClient, and TraciConnection is the client-side
+// convenience that speaks bytes to it -- so user code can be written
+// against the same byte stream a real SUMO instance would produce.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "traci/traci.h"
+
+namespace olev::traci {
+
+// Result codes (TraCI spec).
+inline constexpr std::uint8_t kStatusOk = 0x00;
+inline constexpr std::uint8_t kStatusErr = 0xFF;
+
+// Value type tags (TraCI spec).
+inline constexpr std::uint8_t kTypeInt32 = 0x09;
+inline constexpr std::uint8_t kTypeDouble = 0x0B;
+inline constexpr std::uint8_t kTypeString = 0x0C;
+
+// Command ids used by this implementation.
+inline constexpr std::uint8_t kCmdSimStep = 0x02;
+inline constexpr std::uint8_t kCmdClose = 0x7F;
+
+struct RawCommand {
+  std::uint8_t id = 0;
+  std::vector<std::uint8_t> payload;
+
+  bool operator==(const RawCommand&) const = default;
+};
+
+/// Frames commands into one length-prefixed TraCI message.
+std::vector<std::uint8_t> frame_message(std::span<const RawCommand> commands);
+
+/// Parses a framed message; throws std::runtime_error on malformed input
+/// (bad lengths, truncation, trailing bytes).
+std::vector<RawCommand> parse_message(std::span<const std::uint8_t> bytes);
+
+// ---- payload writers/readers (big-endian) ----
+class PayloadWriter {
+ public:
+  void u8(std::uint8_t v);
+  void i32(std::int32_t v);
+  void f64(double v);
+  void string(const std::string& s);  ///< UINT32 length + bytes
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+  std::uint8_t u8();
+  std::int32_t i32();
+  double f64();
+  std::string string();
+  bool exhausted() const { return offset_ == bytes_.size(); }
+
+ private:
+  std::span<const std::uint8_t> take(std::size_t n);
+  std::span<const std::uint8_t> bytes_;
+  std::size_t offset_ = 0;
+};
+
+/// A decoded status response.
+struct Status {
+  std::uint8_t command = 0;
+  std::uint8_t result = kStatusOk;
+  std::string description;
+};
+
+RawCommand encode_status(const Status& status);
+Status decode_status(const RawCommand& command);
+
+/// Executes framed request messages against a TraciClient.
+///
+/// Supported commands: kCmdSimStep (no payload), kCmdClose, and every GET
+/// domain of the in-process client (command id == domain id, payload =
+/// UBYTE variable + STRING object id; response command id = domain | 0x10
+/// with payload UBYTE variable + STRING object id + typed value).
+class TraciServer {
+ public:
+  explicit TraciServer(TraciClient& client) : client_(client) {}
+
+  /// Full request/response cycle on byte buffers.
+  std::vector<std::uint8_t> handle_message(std::span<const std::uint8_t> request);
+
+  bool closed() const { return closed_; }
+
+ private:
+  TraciClient& client_;
+  bool closed_ = false;
+};
+
+/// Client-side loopback connection: composes byte messages, sends them to a
+/// TraciServer, decodes the typed results.
+class TraciConnection {
+ public:
+  explicit TraciConnection(TraciServer& server) : server_(server) {}
+
+  /// Advances the simulation one step; throws on error status.
+  void simulationStep();
+  /// Scalar get through the wire.  Throws std::runtime_error if the server
+  /// reports an error status (e.g. unknown object).
+  double get_double(Domain domain, Var var, const std::string& object_id);
+  /// Closes the connection (server marks itself closed).
+  void close();
+
+  /// Bytes exchanged so far (both directions), for instrumentation.
+  std::size_t bytes_sent() const { return bytes_sent_; }
+  std::size_t bytes_received() const { return bytes_received_; }
+
+ private:
+  std::vector<std::uint8_t> roundtrip(const RawCommand& command);
+
+  TraciServer& server_;
+  std::size_t bytes_sent_ = 0;
+  std::size_t bytes_received_ = 0;
+};
+
+}  // namespace olev::traci

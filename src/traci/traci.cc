@@ -1,0 +1,244 @@
+#include "traci/traci.h"
+
+#include <algorithm>
+
+namespace olev::traci {
+
+TraciClient::TraciClient(traffic::Simulation& sim) : sim_(sim) {}
+
+void TraciClient::simulationStep() {
+  sim_.step();
+  refresh_subscriptions();
+}
+
+void TraciClient::simulationStepUntil(double time_s) {
+  while (sim_.time_s() < time_s) simulationStep();
+}
+
+double TraciClient::getTime() const { return sim_.time_s(); }
+
+std::size_t TraciClient::getActiveVehicleNumber() const {
+  return sim_.active_count();
+}
+
+std::size_t TraciClient::getDepartedNumber() const {
+  return sim_.stats().departed;
+}
+
+std::size_t TraciClient::getArrivedNumber() const { return sim_.stats().arrived; }
+
+std::size_t TraciClient::getMinExpectedNumber() const {
+  return sim_.active_count() + sim_.stats().backlog;
+}
+
+traffic::VehicleId TraciClient::vehicle_add(
+    const std::vector<std::string>& edge_names, bool is_olev) {
+  traffic::Route route;
+  route.reserve(edge_names.size());
+  for (const std::string& name : edge_names) route.push_back(require_edge(name));
+  if (!sim_.network().validate_route(route)) {
+    throw TraciError("TraCI: vehicle.add route is not connected");
+  }
+  traffic::Vehicle vehicle;
+  vehicle.type = is_olev ? traffic::VehicleType::olev()
+                         : traffic::VehicleType::passenger();
+  vehicle.route = std::move(route);
+  vehicle.is_olev = is_olev;
+  vehicle.depart_time_s = sim_.time_s();
+  if (!sim_.try_insert(std::move(vehicle))) return 0;
+  // The freshly inserted vehicle carries the highest id.
+  traffic::VehicleId newest = 0;
+  for (const auto& active : sim_.vehicles()) newest = std::max(newest, active.id);
+  return newest;
+}
+
+const traffic::Vehicle& TraciClient::require_vehicle(traffic::VehicleId id) const {
+  const traffic::Vehicle* vehicle = sim_.find_vehicle(id);
+  if (vehicle == nullptr) {
+    throw TraciError("TraCI: unknown vehicle id " + std::to_string(id));
+  }
+  return *vehicle;
+}
+
+traffic::EdgeId TraciClient::require_edge(const std::string& name) const {
+  const auto id = sim_.network().find_edge(name);
+  if (!id) throw TraciError("TraCI: unknown edge '" + name + "'");
+  return *id;
+}
+
+void TraciClient::vehicle_changeLane(traffic::VehicleId id, int lane) {
+  require_vehicle(id);  // distinguish unknown-vehicle from bad-lane errors
+  if (!sim_.set_vehicle_lane(id, lane)) {
+    throw TraciError("TraCI: changeLane to invalid lane " + std::to_string(lane));
+  }
+}
+
+std::vector<traffic::VehicleId> TraciClient::vehicle_getIDList() const {
+  std::vector<traffic::VehicleId> ids;
+  ids.reserve(sim_.active_count());
+  for (const auto& vehicle : sim_.vehicles()) ids.push_back(vehicle.id);
+  return ids;
+}
+
+double TraciClient::vehicle_getSpeed(traffic::VehicleId id) const {
+  return require_vehicle(id).speed_mps;
+}
+
+std::string TraciClient::vehicle_getRoadID(traffic::VehicleId id) const {
+  return sim_.network().edge(require_vehicle(id).current_edge()).name;
+}
+
+double TraciClient::vehicle_getLanePosition(traffic::VehicleId id) const {
+  return require_vehicle(id).pos_m;
+}
+
+int TraciClient::vehicle_getLaneIndex(traffic::VehicleId id) const {
+  return require_vehicle(id).lane;
+}
+
+double TraciClient::vehicle_getDistance(traffic::VehicleId id) const {
+  return require_vehicle(id).odometer_m;
+}
+
+bool TraciClient::vehicle_isOLEV(traffic::VehicleId id) const {
+  return require_vehicle(id).is_olev;
+}
+
+std::size_t TraciClient::edge_getLastStepVehicleNumber(
+    const std::string& edge_name) const {
+  const traffic::EdgeId edge = require_edge(edge_name);
+  std::size_t count = 0;
+  for (const auto& vehicle : sim_.vehicles()) {
+    if (vehicle.current_edge() == edge) ++count;
+  }
+  return count;
+}
+
+double TraciClient::edge_getLastStepMeanSpeed(const std::string& edge_name) const {
+  const traffic::EdgeId edge = require_edge(edge_name);
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const auto& vehicle : sim_.vehicles()) {
+    if (vehicle.current_edge() == edge) {
+      sum += vehicle.speed_mps;
+      ++count;
+    }
+  }
+  // TraCI convention: empty edge reports the speed limit.
+  if (count == 0) return sim_.network().edge(edge).speed_limit_mps;
+  return sum / static_cast<double>(count);
+}
+
+std::size_t TraciClient::edge_getLastStepHaltingNumber(
+    const std::string& edge_name) const {
+  const traffic::EdgeId edge = require_edge(edge_name);
+  std::size_t halting = 0;
+  for (const auto& vehicle : sim_.vehicles()) {
+    if (vehicle.current_edge() == edge && vehicle.speed_mps < 0.1) ++halting;
+  }
+  return halting;
+}
+
+std::string TraciClient::trafficlight_getRedYellowGreenState(
+    const std::string& edge_name) const {
+  const traffic::EdgeId edge = require_edge(edge_name);
+  const traffic::SignalProgram* signal = sim_.network().signal_for_edge(edge);
+  if (signal == nullptr) {
+    throw TraciError("TraCI: edge '" + edge_name + "' has no traffic light");
+  }
+  switch (signal->state_at(sim_.time_s())) {
+    case traffic::LightState::kGreen: return "G";
+    case traffic::LightState::kYellow: return "y";
+    case traffic::LightState::kRed: return "r";
+  }
+  return "r";
+}
+
+double TraciClient::get_scalar(Domain domain, Var var,
+                               const std::string& object_id) const {
+  switch (domain) {
+    case Domain::kSimulation:
+      switch (var) {
+        case Var::kTime: return getTime();
+        case Var::kDepartedNumber: return static_cast<double>(getDepartedNumber());
+        case Var::kArrivedNumber: return static_cast<double>(getArrivedNumber());
+        default: break;
+      }
+      break;
+    case Domain::kVehicle: {
+      const auto id = static_cast<traffic::VehicleId>(std::stoull(object_id));
+      switch (var) {
+        case Var::kSpeed: return vehicle_getSpeed(id);
+        case Var::kLanePosition: return vehicle_getLanePosition(id);
+        case Var::kLaneIndex: return vehicle_getLaneIndex(id);
+        case Var::kDistance: return vehicle_getDistance(id);
+        default: break;
+      }
+      break;
+    }
+    case Domain::kEdge:
+      switch (var) {
+        case Var::kLastStepVehicleNumber:
+          return static_cast<double>(edge_getLastStepVehicleNumber(object_id));
+        case Var::kLastStepMeanSpeed:
+          return edge_getLastStepMeanSpeed(object_id);
+        default: break;
+      }
+      break;
+    default:
+      break;
+  }
+  throw TraciError("TraCI: unsupported (domain, variable) combination");
+}
+
+void TraciClient::subscribe(Domain domain, const std::string& object_id,
+                            std::vector<Var> vars) {
+  unsubscribe(domain, object_id);
+  Subscription sub{domain, object_id, std::move(vars), {}};
+  // Populate immediately so results are readable before the next step.
+  for (Var var : sub.vars) {
+    try {
+      sub.values[var] = get_scalar(domain, var, object_id);
+    } catch (const TraciError&) {
+      // Object may not exist yet (e.g. vehicle not departed); retried on step.
+    }
+  }
+  subscriptions_.push_back(std::move(sub));
+}
+
+void TraciClient::unsubscribe(Domain domain, const std::string& object_id) {
+  std::erase_if(subscriptions_, [&](const Subscription& sub) {
+    return sub.domain == domain && sub.object_id == object_id;
+  });
+}
+
+void TraciClient::refresh_subscriptions() {
+  for (Subscription& sub : subscriptions_) {
+    for (Var var : sub.vars) {
+      try {
+        sub.values[var] = get_scalar(sub.domain, var, sub.object_id);
+      } catch (const TraciError&) {
+        sub.values.erase(var);  // object vanished (vehicle arrived)
+      }
+    }
+  }
+}
+
+const VarValues& TraciClient::getSubscriptionResults(
+    Domain domain, const std::string& object_id) const {
+  for (const Subscription& sub : subscriptions_) {
+    if (sub.domain == domain && sub.object_id == object_id) return sub.values;
+  }
+  throw TraciError("TraCI: no subscription for object '" + object_id + "'");
+}
+
+std::map<std::string, VarValues> TraciClient::getAllSubscriptionResults(
+    Domain domain) const {
+  std::map<std::string, VarValues> results;
+  for (const Subscription& sub : subscriptions_) {
+    if (sub.domain == domain) results[sub.object_id] = sub.values;
+  }
+  return results;
+}
+
+}  // namespace olev::traci

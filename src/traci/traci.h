@@ -1,0 +1,133 @@
+// A TraCI-style control facade over the traffic simulation.
+//
+// The paper scripts SUMO through TraCI; downstream users of this library get
+// the same ergonomics: a client with per-domain getters (vehicle, edge,
+// traffic light, simulation) plus value subscriptions that are refreshed on
+// every simulationStep().  Variable codes mirror the TraCI wire constants so
+// code written against the real client ports over mechanically.  Transport
+// is in-process (no socket): command dispatch goes through the same
+// (domain, variable, object-id) triple a TCP client would send.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "traffic/simulation.h"
+
+namespace olev::traci {
+
+/// TraCI command domains (subset relevant to this library).
+enum class Domain : std::uint8_t {
+  kVehicle = 0xa4,        // CMD_GET_VEHICLE_VARIABLE
+  kEdge = 0xaa,           // CMD_GET_EDGE_VARIABLE
+  kTrafficLight = 0xa2,   // CMD_GET_TL_VARIABLE
+  kSimulation = 0xab,     // CMD_GET_SIM_VARIABLE
+  kInductionLoop = 0xa0,  // CMD_GET_INDUCTIONLOOP_VARIABLE
+};
+
+/// TraCI variable codes (subset; values match the TraCI spec).
+enum class Var : std::uint8_t {
+  kIdList = 0x00,                 // ID_LIST
+  kSpeed = 0x40,                  // VAR_SPEED
+  kRoadId = 0x50,                 // VAR_ROAD_ID
+  kLanePosition = 0x56,           // VAR_LANEPOSITION
+  kLaneIndex = 0x52,              // VAR_LANE_INDEX
+  kDistance = 0x84,               // VAR_DISTANCE (odometer)
+  kTime = 0x66,                   // VAR_TIME
+  kLastStepVehicleNumber = 0x10,  // LAST_STEP_VEHICLE_NUMBER
+  kLastStepMeanSpeed = 0x11,      // LAST_STEP_MEAN_SPEED
+  kRedYellowGreenState = 0x20,    // TL_RED_YELLOW_GREEN_STATE
+  kDepartedNumber = 0x74,         // VAR_DEPARTED_VEHICLES_NUMBER
+  kArrivedNumber = 0x7a,          // VAR_ARRIVED_VEHICLES_NUMBER
+};
+
+/// Thrown for unknown object ids or unsupported (domain, variable) pairs --
+/// the in-process analogue of a TraCI error response.
+class TraciError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Scalar subscription results keyed by variable.
+using VarValues = std::map<Var, double>;
+
+class TraciClient {
+ public:
+  /// Binds to a simulation; the simulation must outlive the client.
+  explicit TraciClient(traffic::Simulation& sim);
+
+  // ---- simulation domain ----
+  void simulationStep();
+  void simulationStepUntil(double time_s);
+  double getTime() const;
+  std::size_t getActiveVehicleNumber() const;
+  std::size_t getDepartedNumber() const;
+  std::size_t getArrivedNumber() const;
+
+  /// Vehicles expected to still be handled: active plus insertion backlog
+  /// (TraCI's getMinExpectedNumber; the canonical run-to-completion guard).
+  std::size_t getMinExpectedNumber() const;
+
+  // ---- vehicle domain ----
+  /// Inserts a vehicle on a route given by edge names.  Returns the new
+  /// vehicle id, or 0 when the entry edge has no room (TraCI semantics:
+  /// depart is delayed -- here the caller retries).
+  traffic::VehicleId vehicle_add(const std::vector<std::string>& edge_names,
+                                 bool is_olev = false);
+  /// Moves the vehicle to `lane` on its current edge; throws TraciError for
+  /// unknown vehicles or invalid lanes (TraCI's changeLane).
+  void vehicle_changeLane(traffic::VehicleId id, int lane);
+  std::vector<traffic::VehicleId> vehicle_getIDList() const;
+  double vehicle_getSpeed(traffic::VehicleId id) const;
+  std::string vehicle_getRoadID(traffic::VehicleId id) const;
+  double vehicle_getLanePosition(traffic::VehicleId id) const;
+  int vehicle_getLaneIndex(traffic::VehicleId id) const;
+  double vehicle_getDistance(traffic::VehicleId id) const;
+  bool vehicle_isOLEV(traffic::VehicleId id) const;
+
+  // ---- edge domain ----
+  std::size_t edge_getLastStepVehicleNumber(const std::string& edge_name) const;
+  double edge_getLastStepMeanSpeed(const std::string& edge_name) const;
+  /// Vehicles on the edge moving slower than 0.1 m/s (queue length proxy).
+  std::size_t edge_getLastStepHaltingNumber(const std::string& edge_name) const;
+
+  // ---- traffic light domain ----
+  /// "G", "y" or "r" for the signal at the downstream end of `edge_name`.
+  std::string trafficlight_getRedYellowGreenState(const std::string& edge_name) const;
+
+  // ---- generic dispatch (the wire-protocol shape) ----
+  /// Scalar get through the (domain, variable, object) triple.  Throws
+  /// TraciError for unsupported combinations.
+  double get_scalar(Domain domain, Var var, const std::string& object_id) const;
+
+  // ---- subscriptions ----
+  /// Subscribes `object_id` in `domain` to `vars`; results are refreshed on
+  /// every simulationStep() and read with getSubscriptionResults.
+  void subscribe(Domain domain, const std::string& object_id,
+                 std::vector<Var> vars);
+  void unsubscribe(Domain domain, const std::string& object_id);
+  const VarValues& getSubscriptionResults(Domain domain,
+                                          const std::string& object_id) const;
+  /// All current results for a domain.
+  std::map<std::string, VarValues> getAllSubscriptionResults(Domain domain) const;
+
+ private:
+  struct Subscription {
+    Domain domain;
+    std::string object_id;
+    std::vector<Var> vars;
+    VarValues values;
+  };
+
+  const traffic::Vehicle& require_vehicle(traffic::VehicleId id) const;
+  traffic::EdgeId require_edge(const std::string& name) const;
+  void refresh_subscriptions();
+
+  traffic::Simulation& sim_;
+  std::vector<Subscription> subscriptions_;
+};
+
+}  // namespace olev::traci

@@ -1,0 +1,55 @@
+#include "traffic/demand.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace olev::traffic {
+
+HourlyCounts nyc_arterial_hourly_counts() {
+  // Vehicles per hour entering the corridor; weekday arterial shape.
+  return HourlyCounts{
+      180,  120,  90,   80,   100,  220,   // 00..05
+      560,  1020, 1340, 1180, 1050, 1080,  // 06..11
+      1120, 1150, 1250, 1420, 1580, 1650,  // 12..17
+      1450, 1180, 900,  680,  460,  280,   // 18..23
+  };
+}
+
+HourlyCounts scale_to_daily_total(const HourlyCounts& counts, double daily_total) {
+  double sum = 0.0;
+  for (double c : counts) sum += c;
+  if (sum <= 0.0) throw std::invalid_argument("scale_to_daily_total: empty profile");
+  HourlyCounts scaled = counts;
+  const double k = daily_total / sum;
+  for (double& c : scaled) c *= k;
+  return scaled;
+}
+
+FlowSource::FlowSource(Route route, DemandConfig config, VehicleType type)
+    : route_(std::move(route)), config_(std::move(config)), type_(std::move(type)) {
+  if (route_.empty()) throw std::invalid_argument("FlowSource: route must be non-empty");
+}
+
+double FlowSource::rate_at(double time_s) const {
+  double hour = std::fmod(time_s / 3600.0, 24.0);
+  if (hour < 0.0) hour += 24.0;
+  const auto h = static_cast<std::size_t>(hour);
+  return config_.counts[h] / 3600.0;
+}
+
+std::size_t FlowSource::sample_arrivals(double time_s, double dt_s,
+                                        util::Rng& rng) const {
+  return static_cast<std::size_t>(rng.poisson(rate_at(time_s) * dt_s));
+}
+
+Vehicle FlowSource::make_vehicle(double time_s, util::Rng& rng) const {
+  Vehicle vehicle;
+  vehicle.type = type_;
+  vehicle.route = route_;
+  vehicle.depart_time_s = time_s;
+  vehicle.is_olev =
+      rng.bernoulli(config_.olev_participation * config_.olev_willingness);
+  return vehicle;
+}
+
+}  // namespace olev::traffic

@@ -1,0 +1,70 @@
+// Traffic demand from hourly counts.
+//
+// The paper drives SUMO with NYCDOT hourly traffic counts for Flatlands
+// Avenue, Brooklyn (Jan 31 2013).  The raw spreadsheet is not redistributed;
+// `nyc_arterial_hourly_counts()` embeds a 24-value weekday profile with the
+// same structure (overnight trough, AM peak ~08:00, PM peak ~17:00, ~20k
+// vehicles/day for a two-direction arterial).  Arrivals are sampled as a
+// time-inhomogeneous Poisson process.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "traffic/network.h"
+#include "traffic/vehicle.h"
+#include "util/rng.h"
+
+namespace olev::traffic {
+
+/// Hourly vehicle counts (vehicles entering the corridor per hour).
+using HourlyCounts = std::array<double, 24>;
+
+/// Embedded NYC-arterial-shaped weekday profile (see file comment).
+HourlyCounts nyc_arterial_hourly_counts();
+
+/// Scales a profile so that the daily total equals `daily_total`.
+HourlyCounts scale_to_daily_total(const HourlyCounts& counts, double daily_total);
+
+struct DemandConfig {
+  HourlyCounts counts = nyc_arterial_hourly_counts();
+  double olev_participation = 1.0;  ///< fraction of vehicles that are OLEVs
+  double olev_willingness = 1.0;    ///< fraction of OLEVs willing to charge
+};
+
+/// Interface for anything that injects vehicles into the simulation.
+class DemandSource {
+ public:
+  virtual ~DemandSource() = default;
+  /// Samples the number of arrivals in [time_s, time_s + dt).
+  virtual std::size_t sample_arrivals(double time_s, double dt_s,
+                                      util::Rng& rng) const = 0;
+  /// Creates a newly arrived vehicle (id assigned by the simulation).
+  virtual Vehicle make_vehicle(double time_s, util::Rng& rng) const = 0;
+};
+
+/// Poisson arrival generator over one fixed route.
+class FlowSource : public DemandSource {
+ public:
+  FlowSource(Route route, DemandConfig config, VehicleType type);
+
+  /// Expected arrivals per second at absolute time `time_s` (piecewise
+  /// constant per hour, wrapping daily).
+  double rate_at(double time_s) const;
+
+  std::size_t sample_arrivals(double time_s, double dt_s,
+                              util::Rng& rng) const override;
+
+  /// OLEV tagging is sampled from participation * willingness.
+  Vehicle make_vehicle(double time_s, util::Rng& rng) const override;
+
+  const Route& route() const { return route_; }
+  const DemandConfig& config() const { return config_; }
+
+ private:
+  Route route_;
+  DemandConfig config_;
+  VehicleType type_;
+};
+
+}  // namespace olev::traffic

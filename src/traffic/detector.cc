@@ -1,0 +1,76 @@
+#include "traffic/detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace olev::traffic {
+
+std::size_t hour_bucket(double time_s) {
+  double hour = std::fmod(time_s / 3600.0, 24.0);
+  if (hour < 0.0) hour += 24.0;
+  return std::min<std::size_t>(23, static_cast<std::size_t>(hour));
+}
+
+SegmentDetector::SegmentDetector(EdgeId edge, double start_m, double end_m,
+                                 bool olev_only)
+    : edge_(edge), start_m_(start_m), end_m_(end_m), olev_only_(olev_only) {}
+
+void SegmentDetector::on_step(const StepView& view) {
+  const std::size_t bucket = hour_bucket(view.time_s);
+  bool any = false;
+  for (const Vehicle& vehicle : view.vehicles) {
+    if (vehicle.arrived || vehicle.current_edge() != edge_) continue;
+    if (olev_only_ && !vehicle.is_olev) continue;
+    const double front = vehicle.pos_m;
+    const double rear = vehicle.pos_m - vehicle.type.length_m;
+    // Overlap of the vehicle body with [start, end): any contact counts for
+    // the full step (matches the paper's "time on top of the section").
+    if (front >= start_m_ && rear <= end_m_) {
+      occupancy_s_[bucket] += view.dt_s;
+      occupancy_total_s_ += view.dt_s;
+      speed_time_integral_ += vehicle.speed_mps * view.dt_s;
+      any = true;
+    }
+  }
+  if (any) ++occupied_steps_;
+}
+
+double SegmentDetector::total_occupancy_s() const { return occupancy_total_s_; }
+
+double SegmentDetector::mean_occupant_speed_mps() const {
+  return occupancy_total_s_ <= 0.0 ? 0.0
+                                   : speed_time_integral_ / occupancy_total_s_;
+}
+
+void SegmentDetector::reset() {
+  occupancy_s_.fill(0.0);
+  speed_time_integral_ = 0.0;
+  occupancy_total_s_ = 0.0;
+  occupied_steps_ = 0;
+}
+
+InductionLoop::InductionLoop(EdgeId edge, double pos_m)
+    : edge_(edge), pos_m_(pos_m) {}
+
+void InductionLoop::on_step(const StepView& view) {
+  last_step_count_ = 0;
+  const std::size_t bucket = hour_bucket(view.time_s);
+  for (const Vehicle& vehicle : view.vehicles) {
+    if (vehicle.arrived || vehicle.current_edge() != edge_) continue;
+    // Crossing: front passed the loop during this step.
+    const double prev_front = vehicle.pos_m - vehicle.speed_mps * view.dt_s;
+    if (prev_front < pos_m_ && vehicle.pos_m >= pos_m_) {
+      ++counts_[bucket];
+      ++total_count_;
+      ++last_step_count_;
+    }
+  }
+}
+
+void InductionLoop::reset() {
+  counts_.fill(0);
+  total_count_ = 0;
+  last_step_count_ = 0;
+}
+
+}  // namespace olev::traffic

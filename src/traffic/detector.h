@@ -1,0 +1,95 @@
+// Road-side detectors.
+//
+// SegmentDetector measures per-hour *intersection time* -- the total time
+// vehicles spend with their body overlapping a road segment -- which is the
+// quantity Fig. 3(b) of the paper plots for a charging section.  An
+// InductionLoop counts vehicle crossings at a point (SUMO's E1 detector).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+
+#include "traffic/vehicle.h"
+
+namespace olev::traffic {
+
+/// Snapshot handed to observers after every simulation step.
+struct StepView {
+  double time_s = 0.0;
+  double dt_s = 0.0;
+  std::span<const Vehicle> vehicles;
+};
+
+/// Interface for anything that watches the simulation step-by-step.
+class StepObserver {
+ public:
+  virtual ~StepObserver() = default;
+  virtual void on_step(const StepView& view) = 0;
+  /// Called once when a vehicle completes its route (just before removal);
+  /// `time_s` is the arrival time.  Default: ignore.
+  virtual void on_vehicle_arrived(const Vehicle& vehicle, double time_s) {
+    (void)vehicle;
+    (void)time_s;
+  }
+};
+
+class SegmentDetector : public StepObserver {
+ public:
+  /// Watches [start_m, end_m) on `edge`.  When `olev_only` is set, only
+  /// vehicles tagged as OLEVs are counted.
+  SegmentDetector(EdgeId edge, double start_m, double end_m, bool olev_only = false);
+
+  void on_step(const StepView& view) override;
+
+  /// Occupancy seconds accumulated in each hour-of-day bucket.
+  const std::array<double, 24>& hourly_occupancy_s() const { return occupancy_s_; }
+  /// Sum of all buckets.
+  double total_occupancy_s() const;
+  /// Mean speed (m/s) of occupying vehicles, weighted by occupancy time.
+  double mean_occupant_speed_mps() const;
+  /// Number of step-samples with at least one occupant.
+  std::size_t occupied_steps() const { return occupied_steps_; }
+
+  EdgeId edge() const { return edge_; }
+  double start_m() const { return start_m_; }
+  double end_m() const { return end_m_; }
+
+  void reset();
+
+ private:
+  EdgeId edge_;
+  double start_m_;
+  double end_m_;
+  bool olev_only_;
+  std::array<double, 24> occupancy_s_{};
+  double speed_time_integral_ = 0.0;  ///< sum of speed * occupancy_dt
+  double occupancy_total_s_ = 0.0;
+  std::size_t occupied_steps_ = 0;
+};
+
+class InductionLoop : public StepObserver {
+ public:
+  InductionLoop(EdgeId edge, double pos_m);
+
+  void on_step(const StepView& view) override;
+
+  std::size_t total_count() const { return total_count_; }
+  const std::array<std::size_t, 24>& hourly_counts() const { return counts_; }
+  /// Vehicles that crossed during the most recent step.
+  std::size_t last_step_count() const { return last_step_count_; }
+
+  void reset();
+
+ private:
+  EdgeId edge_;
+  double pos_m_;
+  std::array<std::size_t, 24> counts_{};
+  std::size_t total_count_ = 0;
+  std::size_t last_step_count_ = 0;
+};
+
+/// Hour-of-day bucket for an absolute simulation time.
+std::size_t hour_bucket(double time_s);
+
+}  // namespace olev::traffic

@@ -1,0 +1,41 @@
+#include "traffic/krauss.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace olev::traffic {
+
+double safe_speed(double leader_speed_mps, double gap_m,
+                  const KraussParams& params) {
+  const double g = std::max(0.0, gap_m);
+  const double b = params.decel_mps2;
+  const double tau = params.tau_s;
+  const double bt = b * tau;
+  const double v_safe =
+      -bt + std::sqrt(bt * bt + leader_speed_mps * leader_speed_mps + 2.0 * b * g);
+  return std::max(0.0, v_safe);
+}
+
+double krauss_step(double speed_mps, double leader_speed_mps, double gap_m,
+                   double v_max_mps, double dt_s, const KraussParams& params,
+                   util::Rng* rng) {
+  const double v_safe = safe_speed(leader_speed_mps, gap_m, params);
+  const double v_des = std::min({speed_mps + params.accel_mps2 * dt_s, v_safe,
+                                 v_max_mps});
+  double v = v_des;
+  if (rng != nullptr && params.sigma > 0.0) {
+    v -= params.sigma * params.accel_mps2 * dt_s * rng->uniform();
+  }
+  return std::max(0.0, v);
+}
+
+double krauss_free_step(double speed_mps, double v_max_mps, double dt_s,
+                        const KraussParams& params, util::Rng* rng) {
+  double v = std::min(speed_mps + params.accel_mps2 * dt_s, v_max_mps);
+  if (rng != nullptr && params.sigma > 0.0) {
+    v -= params.sigma * params.accel_mps2 * dt_s * rng->uniform();
+  }
+  return std::max(0.0, v);
+}
+
+}  // namespace olev::traffic

@@ -1,0 +1,39 @@
+// Krauss (1998) stochastic car-following model -- the default model in SUMO,
+// which the paper uses for its Section III traffic study.  Each step:
+//
+//   v_safe = -b*tau + sqrt(b^2 tau^2 + v_leader^2 + 2 b g)
+//   v_des  = min(v + a*dt, v_safe, v_max)
+//   v'     = max(0, v_des - sigma * a * dt * xi),  xi ~ U[0,1)
+//
+// where g is the net gap to the leader (bumper to bumper minus min-gap).
+// The v_safe form is the exact stopping-distance condition: the follower can
+// always come to a halt behind the leader assuming both brake at rate b.
+#pragma once
+
+#include "util/rng.h"
+
+namespace olev::traffic {
+
+struct KraussParams {
+  double accel_mps2 = 2.6;
+  double decel_mps2 = 4.5;
+  double sigma = 0.5;
+  double tau_s = 1.0;
+};
+
+/// Maximum speed that guarantees the follower can stop behind a leader that
+/// is `gap_m` ahead (net gap) moving at `leader_speed`.  Non-negative.
+double safe_speed(double leader_speed_mps, double gap_m, const KraussParams& params);
+
+/// One Krauss update for a follower at `speed` with speed limit `v_max`.
+/// `gap_m` < 0 is treated as 0 (emergency).  `rng` supplies the dawdling
+/// noise; pass nullptr for the deterministic (sigma = 0) variant.
+double krauss_step(double speed_mps, double leader_speed_mps, double gap_m,
+                   double v_max_mps, double dt_s, const KraussParams& params,
+                   util::Rng* rng);
+
+/// Free-flow update (no leader): accelerate toward v_max with dawdling.
+double krauss_free_step(double speed_mps, double v_max_mps, double dt_s,
+                        const KraussParams& params, util::Rng* rng);
+
+}  // namespace olev::traffic

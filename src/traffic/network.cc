@@ -1,0 +1,138 @@
+#include "traffic/network.h"
+
+#include <stdexcept>
+
+namespace olev::traffic {
+
+EdgeId Network::add_edge(std::string name, double length_m,
+                         double speed_limit_mps, int lane_count) {
+  if (length_m <= 0.0) throw std::invalid_argument("Network: edge length must be positive");
+  if (speed_limit_mps <= 0.0) throw std::invalid_argument("Network: speed limit must be positive");
+  if (lane_count < 1) throw std::invalid_argument("Network: lane count must be >= 1");
+  Edge edge;
+  edge.id = static_cast<EdgeId>(edges_.size());
+  edge.name = std::move(name);
+  edge.length_m = length_m;
+  edge.speed_limit_mps = speed_limit_mps;
+  edge.lane_count = lane_count;
+  edges_.push_back(std::move(edge));
+  successors_.emplace_back();
+  return edges_.back().id;
+}
+
+JunctionId Network::add_junction(std::string name, JunctionKind kind) {
+  Junction junction;
+  junction.id = static_cast<JunctionId>(junctions_.size());
+  junction.name = std::move(name);
+  junction.kind = kind;
+  junctions_.push_back(std::move(junction));
+  return junctions_.back().id;
+}
+
+SignalId Network::add_signal(SignalProgram program) {
+  signals_.push_back(std::move(program));
+  return static_cast<SignalId>(signals_.size() - 1);
+}
+
+void Network::set_edge_end(EdgeId edge_id, JunctionId junction_id) {
+  edges_.at(edge_id).to_junction = junction_id;
+}
+
+void Network::set_junction_signal(JunctionId junction_id, SignalId signal_id) {
+  signals_.at(signal_id);  // bounds check
+  Junction& junction = junctions_.at(junction_id);
+  if (junction.kind != JunctionKind::kTrafficLight) {
+    throw std::invalid_argument(
+        "Network: only traffic-light junctions take a signal");
+  }
+  junction.signal = signal_id;
+}
+
+void Network::connect(EdgeId from, EdgeId to) {
+  edge(to);  // bounds check
+  successors_.at(from).push_back(to);
+}
+
+const Edge& Network::edge(EdgeId id) const { return edges_.at(id); }
+
+const Junction& Network::junction(JunctionId id) const { return junctions_.at(id); }
+
+const SignalProgram& Network::signal(SignalId id) const { return signals_.at(id); }
+
+const std::vector<EdgeId>& Network::successors(EdgeId id) const {
+  return successors_.at(id);
+}
+
+const SignalProgram* Network::signal_for_edge(EdgeId id) const {
+  const Edge& e = edge(id);
+  if (e.to_junction == kInvalidJunction) return nullptr;
+  const Junction& j = junction(e.to_junction);
+  if (j.kind != JunctionKind::kTrafficLight || j.signal == kInvalidSignal) {
+    return nullptr;
+  }
+  return &signals_.at(j.signal);
+}
+
+bool Network::validate_route(const Route& route) const {
+  if (route.empty()) return false;
+  for (EdgeId id : route) {
+    if (id >= edges_.size()) return false;
+  }
+  for (std::size_t i = 1; i < route.size(); ++i) {
+    const auto& next = successors_[route[i - 1]];
+    bool found = false;
+    for (EdgeId succ : next) {
+      if (succ == route[i]) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+double Network::route_length_m(const Route& route) const {
+  double total = 0.0;
+  for (EdgeId id : route) total += edge(id).length_m;
+  return total;
+}
+
+std::optional<EdgeId> Network::find_edge(const std::string& name) const {
+  for (const Edge& e : edges_) {
+    if (e.name == name) return e.id;
+  }
+  return std::nullopt;
+}
+
+Network Network::arterial(int segments, double segment_length_m,
+                          double speed_limit_mps, const SignalProgram& program,
+                          int lane_count) {
+  if (segments < 1) throw std::invalid_argument("Network::arterial: need >= 1 segment");
+  Network net;
+  EdgeId prev = kInvalidEdge;
+  for (int i = 0; i < segments; ++i) {
+    const EdgeId e = net.add_edge("seg" + std::to_string(i), segment_length_m,
+                                  speed_limit_mps, lane_count);
+    if (i + 1 < segments) {
+      // Signalized junction at the downstream end of every interior segment.
+      // Offset staggers adjacent lights by half a cycle.
+      SignalProgram staggered(program.phases(),
+                              (i % 2) * 0.5 * program.cycle_length_s());
+      const SignalId sid = net.add_signal(std::move(staggered));
+      const JunctionId j =
+          net.add_junction("tl" + std::to_string(i), JunctionKind::kTrafficLight);
+      net.set_junction_signal(j, sid);
+      net.set_edge_end(e, j);
+    } else {
+      const JunctionId j =
+          net.add_junction("sink", JunctionKind::kDeadEnd);
+      net.set_edge_end(e, j);
+    }
+    if (prev != kInvalidEdge) net.connect(prev, e);
+    prev = e;
+  }
+  return net;
+}
+
+}  // namespace olev::traffic

@@ -1,0 +1,87 @@
+// Road network: edges (directed road segments with one or more lanes),
+// junctions (priority or signalized), and routes.  The scale target is an
+// arterial corridor (the paper's Flatlands Avenue study), not a city-wide
+// graph, but the representation is general.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "traffic/signal.h"
+#include "traffic/types.h"
+
+namespace olev::traffic {
+
+enum class JunctionKind { kPriority, kTrafficLight, kDeadEnd };
+
+struct Junction {
+  JunctionId id = kInvalidJunction;
+  std::string name;
+  JunctionKind kind = JunctionKind::kPriority;
+  SignalId signal = kInvalidSignal;  ///< valid iff kind == kTrafficLight
+};
+
+struct Edge {
+  EdgeId id = kInvalidEdge;
+  std::string name;
+  double length_m = 0.0;
+  double speed_limit_mps = 13.89;  ///< 50 km/h default
+  int lane_count = 1;
+  JunctionId to_junction = kInvalidJunction;  ///< junction at the downstream end
+};
+
+/// A route is an ordered edge sequence; consecutive edges must be connected.
+using Route = std::vector<EdgeId>;
+
+class Network {
+ public:
+  // ---- construction ----
+  EdgeId add_edge(std::string name, double length_m, double speed_limit_mps,
+                  int lane_count = 1);
+  JunctionId add_junction(std::string name, JunctionKind kind);
+  SignalId add_signal(SignalProgram program);
+
+  /// Attaches the downstream end of `edge` to `junction`.
+  void set_edge_end(EdgeId edge, JunctionId junction);
+  /// Assigns a signal program to a traffic-light junction.
+  void set_junction_signal(JunctionId junction, SignalId signal);
+  /// Declares that `to` is reachable from `from` through from's end junction.
+  void connect(EdgeId from, EdgeId to);
+
+  // ---- queries ----
+  const Edge& edge(EdgeId id) const;
+  const Junction& junction(JunctionId id) const;
+  const SignalProgram& signal(SignalId id) const;
+  std::size_t edge_count() const { return edges_.size(); }
+  std::size_t junction_count() const { return junctions_.size(); }
+  const std::vector<EdgeId>& successors(EdgeId id) const;
+
+  /// Signal controlling the downstream end of `edge`, if any.
+  const SignalProgram* signal_for_edge(EdgeId id) const;
+
+  /// True if consecutive route edges are all connected.
+  bool validate_route(const Route& route) const;
+
+  /// Total length of a route in meters.
+  double route_length_m(const Route& route) const;
+
+  /// Finds an edge by name (first match).
+  std::optional<EdgeId> find_edge(const std::string& name) const;
+
+  // ---- factory ----
+  /// Builds a straight arterial: `segments` edges of `segment_length_m` each,
+  /// with a signalized junction after every edge except the last.  Mirrors
+  /// the Flatlands Avenue corridor used in the paper's Section III study.
+  static Network arterial(int segments, double segment_length_m,
+                          double speed_limit_mps, const SignalProgram& program,
+                          int lane_count = 2);
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<Junction> junctions_;
+  std::vector<SignalProgram> signals_;
+  std::vector<std::vector<EdgeId>> successors_;
+};
+
+}  // namespace olev::traffic

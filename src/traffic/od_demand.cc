@@ -1,0 +1,67 @@
+#include "traffic/od_demand.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace olev::traffic {
+
+OdTripSource::OdTripSource(const Network& network, std::vector<EdgeId> entries,
+                           std::vector<EdgeId> exits, DemandConfig config,
+                           VehicleType type)
+    : config_(std::move(config)), type_(std::move(type)) {
+  for (EdgeId from : entries) {
+    for (EdgeId to : exits) {
+      if (from == to) continue;
+      RouteResult route = shortest_route(network, from, to);
+      if (route.found) routes_.push_back(std::move(route.route));
+    }
+  }
+  if (routes_.empty()) {
+    throw std::invalid_argument("OdTripSource: no routable OD pair");
+  }
+}
+
+std::size_t OdTripSource::sample_arrivals(double time_s, double dt_s,
+                                          util::Rng& rng) const {
+  double hour = std::fmod(time_s / 3600.0, 24.0);
+  if (hour < 0.0) hour += 24.0;
+  const double rate =
+      config_.counts[static_cast<std::size_t>(hour)] / 3600.0;
+  return static_cast<std::size_t>(rng.poisson(rate * dt_s));
+}
+
+Vehicle OdTripSource::make_vehicle(double time_s, util::Rng& rng) const {
+  Vehicle vehicle;
+  vehicle.type = type_;
+  vehicle.route = routes_[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(routes_.size()) - 1))];
+  vehicle.depart_time_s = time_s;
+  vehicle.is_olev =
+      rng.bernoulli(config_.olev_participation * config_.olev_willingness);
+  return vehicle;
+}
+
+std::vector<EdgeId> entry_edges(const Network& network) {
+  // Entries: edges no other edge connects into.
+  std::vector<bool> has_predecessor(network.edge_count(), false);
+  for (EdgeId edge = 0; edge < network.edge_count(); ++edge) {
+    for (EdgeId successor : network.successors(edge)) {
+      has_predecessor[successor] = true;
+    }
+  }
+  std::vector<EdgeId> entries;
+  for (EdgeId edge = 0; edge < network.edge_count(); ++edge) {
+    if (!has_predecessor[edge]) entries.push_back(edge);
+  }
+  return entries;
+}
+
+std::vector<EdgeId> exit_edges(const Network& network) {
+  std::vector<EdgeId> exits;
+  for (EdgeId edge = 0; edge < network.edge_count(); ++edge) {
+    if (network.successors(edge).empty()) exits.push_back(edge);
+  }
+  return exits;
+}
+
+}  // namespace olev::traffic

@@ -1,0 +1,43 @@
+// Origin-destination trip demand for network-scale (grid-city) studies.
+//
+// FlowSource replays one route; OdTripSource samples trips between entry
+// and exit edges and routes each through shortest_route, so a city's demand
+// can be described as "N trips per hour between these gateways" -- the way
+// real counts (like the paper's NYCDOT data) are published.
+#pragma once
+
+#include <vector>
+
+#include "traffic/demand.h"
+#include "traffic/routing.h"
+
+namespace olev::traffic {
+
+class OdTripSource : public DemandSource {
+ public:
+  /// Precomputes the routes between every (entry, exit) pair with
+  /// entry != exit; throws std::invalid_argument if none is routable.
+  /// `counts` gives trips per hour across the whole OD matrix; pairs are
+  /// drawn uniformly among the routable ones.
+  OdTripSource(const Network& network, std::vector<EdgeId> entries,
+               std::vector<EdgeId> exits, DemandConfig config, VehicleType type);
+
+  std::size_t sample_arrivals(double time_s, double dt_s,
+                              util::Rng& rng) const override;
+  Vehicle make_vehicle(double time_s, util::Rng& rng) const override;
+
+  std::size_t routable_pairs() const { return routes_.size(); }
+  const std::vector<Route>& routes() const { return routes_; }
+
+ private:
+  DemandConfig config_;
+  VehicleType type_;
+  std::vector<Route> routes_;
+};
+
+/// Convenience: boundary in-edges (no predecessors) and out-edges (no
+/// successors) of a network -- natural gateways of a grid city.
+std::vector<EdgeId> entry_edges(const Network& network);
+std::vector<EdgeId> exit_edges(const Network& network);
+
+}  // namespace olev::traffic

@@ -1,0 +1,48 @@
+// Route planning over the road network.
+//
+// The paper's future work: "We also plan to consider the effect charging
+// section placement will have on OLEV path planning."  This module provides
+// the planning half: edge-based Dijkstra over expected travel time (free
+// flow + expected signal delay), with an optional per-edge cost adjustment
+// hook through which the WPT layer injects charging-opportunity bonuses
+// (see wpt/deployment.h).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "traffic/network.h"
+
+namespace olev::traffic {
+
+struct RouteResult {
+  bool found = false;
+  Route route;            ///< edge sequence from source to destination
+  double cost = 0.0;      ///< total adjusted cost (seconds)
+  double travel_time_s = 0.0;  ///< unadjusted expected travel time
+};
+
+/// Expected traversal time of one edge: free-flow time plus the expected
+/// delay at its downstream signal (uniform arrivals over the cycle:
+/// E[delay] = red^2 / (2 * cycle)).
+double expected_edge_time_s(const Network& network, EdgeId edge);
+
+/// Edge-based Dijkstra from `from` to `to` (both inclusive).
+/// `edge_cost_adjust`, when non-empty, must have one entry per edge and is
+/// added to each edge's expected time (negative values = bonuses; the
+/// effective edge cost is floored at a small positive epsilon so the graph
+/// stays Dijkstra-safe).
+RouteResult shortest_route(const Network& network, EdgeId from, EdgeId to,
+                           std::span<const double> edge_cost_adjust = {});
+
+/// Sum of expected_edge_time_s over a route.
+double route_expected_time_s(const Network& network, const Route& route);
+
+/// Builds a rows x cols Manhattan grid of one-way edge pairs with
+/// signalized interior junctions; edge "e<r>_<c>_<r'>_<c'>" runs from node
+/// (r, c) to node (r', c').  U-turns (immediately re-traversing the reverse
+/// edge) are not connected.
+Network grid_city(int rows, int cols, double block_m, double speed_limit_mps,
+                  const SignalProgram& program);
+
+}  // namespace olev::traffic

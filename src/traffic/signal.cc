@@ -1,0 +1,74 @@
+#include "traffic/signal.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace olev::traffic {
+
+SignalProgram::SignalProgram(std::vector<SignalPhase> phases, double offset_s)
+    : phases_(std::move(phases)), offset_s_(offset_s) {
+  for (const auto& phase : phases_) {
+    if (phase.duration_s <= 0.0) {
+      throw std::invalid_argument("SignalProgram: phase durations must be positive");
+    }
+    cycle_s_ += phase.duration_s;
+  }
+}
+
+SignalProgram SignalProgram::fixed_cycle(double green_s, double yellow_s,
+                                         double red_s, double offset_s) {
+  return SignalProgram({{LightState::kGreen, green_s},
+                        {LightState::kYellow, yellow_s},
+                        {LightState::kRed, red_s}},
+                       offset_s);
+}
+
+double SignalProgram::cycle_pos(double time_s) const {
+  double pos = std::fmod(time_s + offset_s_, cycle_s_);
+  if (pos < 0.0) pos += cycle_s_;
+  return pos;
+}
+
+LightState SignalProgram::state_at(double time_s) const {
+  if (phases_.empty()) return LightState::kGreen;
+  double pos = cycle_pos(time_s);
+  for (const auto& phase : phases_) {
+    if (pos < phase.duration_s) return phase.state;
+    pos -= phase.duration_s;
+  }
+  return phases_.back().state;
+}
+
+double SignalProgram::time_to_green(double time_s) const {
+  if (phases_.empty() || cycle_s_ <= 0.0) return 0.0;
+  if (state_at(time_s) == LightState::kGreen) return 0.0;
+  // Scan forward phase by phase from the current cycle position.
+  double pos = cycle_pos(time_s);
+  double waited = 0.0;
+  // At most two passes over the cycle are needed to hit a green phase.
+  for (int pass = 0; pass < 2; ++pass) {
+    double cursor = 0.0;
+    for (const auto& phase : phases_) {
+      const double phase_end = cursor + phase.duration_s;
+      if (pos < phase_end) {
+        if (phase.state == LightState::kGreen) return waited;
+        waited += phase_end - pos;
+        pos = phase_end;
+      }
+      cursor = phase_end;
+    }
+    pos = 0.0;  // wrap to the next cycle
+  }
+  return waited;
+}
+
+double SignalProgram::green_ratio() const {
+  if (cycle_s_ <= 0.0) return 1.0;
+  double green = 0.0;
+  for (const auto& phase : phases_) {
+    if (phase.state == LightState::kGreen) green += phase.duration_s;
+  }
+  return green / cycle_s_;
+}
+
+}  // namespace olev::traffic

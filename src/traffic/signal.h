@@ -1,0 +1,46 @@
+// Fixed-cycle traffic-signal programs (SUMO-style static phases).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "traffic/types.h"
+
+namespace olev::traffic {
+
+enum class LightState { kGreen, kYellow, kRed };
+
+struct SignalPhase {
+  LightState state = LightState::kGreen;
+  double duration_s = 30.0;
+};
+
+/// A repeating signal program.  `offset_s` shifts the cycle start so
+/// adjacent intersections can be coordinated ("green wave").
+class SignalProgram {
+ public:
+  SignalProgram() = default;
+  SignalProgram(std::vector<SignalPhase> phases, double offset_s = 0.0);
+
+  /// Standard program: green -> yellow -> red, repeating.
+  static SignalProgram fixed_cycle(double green_s, double yellow_s, double red_s,
+                                   double offset_s = 0.0);
+
+  LightState state_at(double time_s) const;
+  /// Seconds until the light is next green (0 when already green).
+  double time_to_green(double time_s) const;
+  double cycle_length_s() const { return cycle_s_; }
+  const std::vector<SignalPhase>& phases() const { return phases_; }
+  /// Fraction of the cycle spent green.
+  double green_ratio() const;
+
+ private:
+  std::vector<SignalPhase> phases_;
+  double offset_s_ = 0.0;
+  double cycle_s_ = 0.0;
+
+  /// Position within the cycle for absolute time t.
+  double cycle_pos(double time_s) const;
+};
+
+}  // namespace olev::traffic

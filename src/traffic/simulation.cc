@@ -1,0 +1,380 @@
+#include "traffic/simulation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+namespace olev::traffic {
+namespace {
+// Distance short of the stop line at which a red-light leader "stands".
+constexpr double kStopLineMargin = 1.0;
+}  // namespace
+
+Simulation::Simulation(Network network, SimulationConfig config)
+    : network_(std::move(network)), config_(config), rng_(config.seed) {}
+
+void Simulation::add_source(FlowSource source) {
+  add_source(std::make_unique<FlowSource>(std::move(source)));
+}
+
+void Simulation::add_source(std::unique_ptr<DemandSource> source) {
+  if (source == nullptr) {
+    throw std::invalid_argument("Simulation: null demand source");
+  }
+  sources_.push_back(std::move(source));
+  backlog_.emplace_back();
+}
+
+void Simulation::add_observer(StepObserver* observer) {
+  observers_.push_back(observer);
+}
+
+void Simulation::remove_observer(StepObserver* observer) {
+  std::erase(observers_, observer);
+}
+
+double Simulation::rearmost_front_pos(EdgeId edge, int lane) const {
+  double rear = std::numeric_limits<double>::infinity();
+  for (const Vehicle& vehicle : active_) {
+    if (vehicle.current_edge() == edge && vehicle.lane == lane) {
+      rear = std::min(rear, vehicle.pos_m);
+    }
+  }
+  return rear;
+}
+
+bool Simulation::try_insert(Vehicle vehicle) {
+  const EdgeId entry = vehicle.route.front();
+  const Edge& edge = network_.edge(entry);
+  // Pick the lane with the largest headroom.
+  int best_lane = -1;
+  double best_room = -1.0;
+  for (int lane = 0; lane < edge.lane_count; ++lane) {
+    const double room = rearmost_front_pos(entry, lane);
+    if (room > best_room) {
+      best_room = room;
+      best_lane = lane;
+    }
+  }
+  const double need =
+      vehicle.type.length_m + vehicle.type.min_gap_m + kStopLineMargin;
+  if (best_lane < 0 || best_room < need) return false;
+
+  vehicle.id = next_id_++;
+  vehicle.lane = best_lane;
+  vehicle.route_index = 0;
+  vehicle.pos_m = 0.0;
+  const double entry_speed = config_.insertion_speed_factor * edge.speed_limit_mps;
+  // Never enter faster than is safe w.r.t. the rearmost vehicle ahead.
+  KraussParams params{vehicle.type.accel_mps2, vehicle.type.decel_mps2,
+                      vehicle.type.sigma, vehicle.type.tau_s};
+  const double gap = best_room - vehicle.type.length_m - vehicle.type.min_gap_m;
+  vehicle.speed_mps = std::min(entry_speed, safe_speed(0.0, gap, params));
+  active_.push_back(std::move(vehicle));
+  ++stats_.departed;
+  return true;
+}
+
+void Simulation::insert_arrivals() {
+  for (std::size_t s = 0; s < sources_.size(); ++s) {
+    const std::size_t arrivals =
+        sources_[s]->sample_arrivals(time_s_, config_.step_s, rng_);
+    for (std::size_t i = 0; i < arrivals; ++i) {
+      backlog_[s].push_back(sources_[s]->make_vehicle(time_s_, rng_));
+    }
+    // Drain the backlog while insertions succeed.
+    while (!backlog_[s].empty()) {
+      Vehicle vehicle = backlog_[s].front();
+      vehicle.depart_time_s = time_s_;  // departure = actual insertion time
+      if (!try_insert(std::move(vehicle))) break;
+      backlog_[s].pop_front();
+    }
+  }
+  stats_.backlog = 0;
+  for (const auto& queue : backlog_) stats_.backlog += queue.size();
+}
+
+bool Simulation::leader_constraint(const Vehicle& vehicle,
+                                   std::size_t index_in_lane,
+                                   const std::vector<const Vehicle*>& lane_order,
+                                   double& gap_m, double& leader_speed) const {
+  // Direct leader on the same (edge, lane)?
+  if (index_in_lane > 0) {
+    const Vehicle& leader = *lane_order[index_in_lane - 1];
+    gap_m = leader.pos_m - leader.type.length_m - vehicle.pos_m -
+            vehicle.type.min_gap_m;
+    leader_speed = leader.speed_mps;
+    return true;
+  }
+
+  const Edge& edge = network_.edge(vehicle.current_edge());
+  const double to_end = edge.length_m - vehicle.pos_m;
+
+  // Red or yellow signal at the edge end acts as a standing obstacle.
+  if (const SignalProgram* signal = network_.signal_for_edge(vehicle.current_edge())) {
+    if (signal->state_at(time_s_) != LightState::kGreen) {
+      gap_m = to_end - kStopLineMargin;
+      leader_speed = 0.0;
+      return true;
+    }
+  }
+
+  // Look across the boundary at the rear vehicle on the next edge.
+  if (!vehicle.on_last_edge()) {
+    const EdgeId next = vehicle.route[vehicle.route_index + 1];
+    const int next_lane =
+        std::min(vehicle.lane, network_.edge(next).lane_count - 1);
+    double best_front = std::numeric_limits<double>::infinity();
+    const Vehicle* rear_most = nullptr;
+    for (const Vehicle& other : active_) {
+      if (other.current_edge() == next && other.lane == next_lane &&
+          other.pos_m < best_front) {
+        best_front = other.pos_m;
+        rear_most = &other;
+      }
+    }
+    if (rear_most != nullptr) {
+      gap_m = to_end + rear_most->pos_m - rear_most->type.length_m -
+              vehicle.type.min_gap_m;
+      leader_speed = rear_most->speed_mps;
+      return true;
+    }
+  }
+  return false;  // free flow
+}
+
+void Simulation::change_lanes() {
+  if (!config_.enable_lane_changing) return;
+
+  // Group vehicle indices per (edge, lane), front-to-back; updated in place
+  // as changes commit so later deciders see earlier maneuvers.
+  std::map<std::pair<EdgeId, int>, std::vector<std::size_t>> lanes;
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    lanes[{active_[i].current_edge(), active_[i].lane}].push_back(i);
+  }
+  auto by_pos_desc = [this](std::size_t a, std::size_t b) {
+    return active_[a].pos_m > active_[b].pos_m;
+  };
+  for (auto& [key, indices] : lanes) {
+    std::sort(indices.begin(), indices.end(), by_pos_desc);
+  }
+
+  // Nearest leader (front) and follower (rear) of a hypothetical vehicle at
+  // `pos` in (edge, lane).
+  auto neighbors = [&](EdgeId edge, int lane, double pos, std::size_t self)
+      -> std::pair<const Vehicle*, const Vehicle*> {
+    const Vehicle* leader = nullptr;
+    const Vehicle* follower = nullptr;
+    const auto it = lanes.find({edge, lane});
+    if (it == lanes.end()) return {nullptr, nullptr};
+    for (std::size_t idx : it->second) {  // sorted front to back
+      if (idx == self) continue;
+      if (active_[idx].pos_m >= pos) {
+        leader = &active_[idx];  // keep overwriting: last one >= pos is nearest
+      } else {
+        follower = &active_[idx];
+        break;
+      }
+    }
+    return {leader, follower};
+  };
+
+  // Deterministic order: snapshot of groups, front vehicles decide first.
+  std::vector<std::size_t> order;
+  order.reserve(active_.size());
+  for (const auto& [key, indices] : lanes) {
+    order.insert(order.end(), indices.begin(), indices.end());
+  }
+
+  for (std::size_t idx : order) {
+    Vehicle& vehicle = active_[idx];
+    const Edge& edge = network_.edge(vehicle.current_edge());
+    if (edge.lane_count < 2) continue;
+    const double v_max = std::min(edge.speed_limit_mps, vehicle.type.max_speed_mps);
+    KraussParams params{vehicle.type.accel_mps2, vehicle.type.decel_mps2, 0.0,
+                        vehicle.type.tau_s};
+
+    auto achievable = [&](const Vehicle* leader) {
+      if (leader == nullptr) return v_max;
+      const double gap = leader->pos_m - leader->type.length_m - vehicle.pos_m -
+                         vehicle.type.min_gap_m;
+      return std::min(v_max, safe_speed(leader->speed_mps, gap, params));
+    };
+
+    const auto [cur_leader, cur_follower] =
+        neighbors(vehicle.current_edge(), vehicle.lane, vehicle.pos_m, idx);
+    (void)cur_follower;
+    const double current = achievable(cur_leader);
+    if (current >= v_max - 1e-9) continue;  // unconstrained: stay
+
+    int best_lane = -1;
+    double best_speed = current + config_.lane_change_advantage_mps;
+    for (int target : {vehicle.lane - 1, vehicle.lane + 1}) {
+      if (target < 0 || target >= edge.lane_count) continue;
+      const auto [leader, follower] =
+          neighbors(vehicle.current_edge(), target, vehicle.pos_m, idx);
+      // Safety for the new follower: it must still be able to follow us
+      // without exceeding its own safe speed.
+      if (follower != nullptr) {
+        const double follower_gap = vehicle.pos_m - vehicle.type.length_m -
+                                    follower->pos_m - follower->type.min_gap_m;
+        if (follower_gap < 0.0) continue;
+        KraussParams follower_params{follower->type.accel_mps2,
+                                     follower->type.decel_mps2, 0.0,
+                                     follower->type.tau_s};
+        if (safe_speed(vehicle.speed_mps, follower_gap, follower_params) <
+            follower->speed_mps - follower->type.decel_mps2 * config_.step_s) {
+          continue;  // would force the follower into emergency braking
+        }
+      }
+      // Safety and incentive for us.
+      const double gained = achievable(leader);
+      if (gained > best_speed) {
+        best_speed = gained;
+        best_lane = target;
+      }
+    }
+
+    if (best_lane >= 0) {
+      auto& from = lanes[{vehicle.current_edge(), vehicle.lane}];
+      std::erase(from, idx);
+      vehicle.lane = best_lane;
+      auto& to = lanes[{vehicle.current_edge(), best_lane}];
+      to.insert(std::upper_bound(to.begin(), to.end(), idx, by_pos_desc), idx);
+      ++stats_.lane_changes;
+    }
+  }
+}
+
+void Simulation::update_speeds() {
+  next_speed_.assign(active_.size(), 0.0);
+
+  // Group active vehicles by (edge, lane), front-to-back.
+  std::map<std::pair<EdgeId, int>, std::vector<std::size_t>> lanes;
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    lanes[{active_[i].current_edge(), active_[i].lane}].push_back(i);
+  }
+  for (auto& [key, indices] : lanes) {
+    std::sort(indices.begin(), indices.end(), [this](std::size_t a, std::size_t b) {
+      return active_[a].pos_m > active_[b].pos_m;
+    });
+    std::vector<const Vehicle*> order;
+    order.reserve(indices.size());
+    for (std::size_t idx : indices) order.push_back(&active_[idx]);
+
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      const Vehicle& vehicle = active_[indices[k]];
+      const Edge& edge = network_.edge(vehicle.current_edge());
+      const double v_max =
+          std::min(edge.speed_limit_mps, vehicle.type.max_speed_mps);
+      KraussParams params{vehicle.type.accel_mps2, vehicle.type.decel_mps2,
+                          config_.deterministic ? 0.0 : vehicle.type.sigma,
+                          vehicle.type.tau_s};
+      double gap = 0.0;
+      double leader_speed = 0.0;
+      double v_next;
+      if (leader_constraint(vehicle, k, order, gap, leader_speed)) {
+        v_next = krauss_step(vehicle.speed_mps, leader_speed, gap, v_max,
+                             config_.step_s, params,
+                             config_.deterministic ? nullptr : &rng_);
+      } else {
+        v_next = krauss_free_step(vehicle.speed_mps, v_max, config_.step_s,
+                                  params, config_.deterministic ? nullptr : &rng_);
+      }
+      next_speed_[indices[k]] = v_next;
+    }
+  }
+}
+
+void Simulation::move_vehicles() {
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    Vehicle& vehicle = active_[i];
+    vehicle.speed_mps = next_speed_[i];
+    if (vehicle.speed_mps < 0.1) {
+      vehicle.waiting_time_s += config_.step_s;
+      stats_.total_waiting_time_s += config_.step_s;
+    }
+    double advance = vehicle.speed_mps * config_.step_s;
+    vehicle.odometer_m += advance;
+    stats_.total_distance_m += advance;
+    vehicle.pos_m += advance;
+
+    // Cross edge boundaries (possibly several short edges in one step).
+    while (!vehicle.arrived) {
+      const Edge& edge = network_.edge(vehicle.current_edge());
+      if (vehicle.pos_m < edge.length_m) break;
+      if (vehicle.on_last_edge()) {
+        vehicle.arrived = true;
+        break;
+      }
+      // A red light must not be crossed: clamp at the stop line.
+      if (const SignalProgram* signal =
+              network_.signal_for_edge(vehicle.current_edge())) {
+        if (signal->state_at(time_s_) != LightState::kGreen) {
+          const double overshoot = vehicle.pos_m - (edge.length_m - 0.01);
+          vehicle.pos_m = edge.length_m - 0.01;
+          vehicle.odometer_m -= overshoot;
+          stats_.total_distance_m -= overshoot;
+          vehicle.speed_mps = 0.0;
+          break;
+        }
+      }
+      vehicle.pos_m -= edge.length_m;
+      ++vehicle.route_index;
+      vehicle.lane = std::min(
+          vehicle.lane, network_.edge(vehicle.current_edge()).lane_count - 1);
+    }
+  }
+
+  // Retire arrived vehicles (observers see each one before removal).
+  std::erase_if(active_, [this](const Vehicle& vehicle) {
+    if (!vehicle.arrived) return false;
+    ++stats_.arrived;
+    stats_.total_travel_time_s += time_s_ - vehicle.depart_time_s;
+    for (StepObserver* observer : observers_) {
+      observer->on_vehicle_arrived(vehicle, time_s_);
+    }
+    return true;
+  });
+}
+
+void Simulation::notify_observers() {
+  StepView view{time_s_, config_.step_s, std::span<const Vehicle>(active_)};
+  for (StepObserver* observer : observers_) observer->on_step(view);
+}
+
+void Simulation::step() {
+  insert_arrivals();
+  change_lanes();
+  update_speeds();
+  move_vehicles();
+  time_s_ += config_.step_s;
+  notify_observers();
+}
+
+void Simulation::run_until(double until_time_s) {
+  while (time_s_ < until_time_s) step();
+}
+
+const Vehicle* Simulation::find_vehicle(VehicleId id) const {
+  for (const Vehicle& vehicle : active_) {
+    if (vehicle.id == id) return &vehicle;
+  }
+  return nullptr;
+}
+
+bool Simulation::set_vehicle_lane(VehicleId id, int lane) {
+  for (Vehicle& vehicle : active_) {
+    if (vehicle.id != id) continue;
+    if (lane < 0 || lane >= network_.edge(vehicle.current_edge()).lane_count) {
+      return false;
+    }
+    vehicle.lane = lane;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace olev::traffic

@@ -1,0 +1,123 @@
+// The microscopic traffic simulation engine.
+//
+// Discrete time steps (default 1 s, SUMO's default).  Per step:
+//   1. sample Poisson arrivals from every FlowSource and insert where the
+//      entry edge has room (otherwise the vehicle waits in a backlog queue);
+//   2. update speeds front-to-back per (edge, lane) with the Krauss model,
+//      treating red/yellow signals as a standing obstacle at the stop line
+//      and looking across edge boundaries for leaders;
+//   3. move vehicles, advancing them across edges and retiring arrivals;
+//   4. notify registered StepObservers (detectors, charging lanes, TraCI).
+//
+// Single-threaded by design: runs a full 24 h corridor day in well under a
+// second, and determinism under a fixed seed is worth more than parallelism
+// here.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "traffic/demand.h"
+#include "traffic/detector.h"
+#include "traffic/krauss.h"
+#include "traffic/network.h"
+#include "traffic/vehicle.h"
+#include "util/rng.h"
+
+namespace olev::traffic {
+
+struct SimulationConfig {
+  double step_s = 1.0;
+  std::uint64_t seed = 0xf1a7;
+  double insertion_speed_factor = 0.8;  ///< entry speed as fraction of limit
+  bool deterministic = false;           ///< sigma=0 (no dawdling) when true
+  bool enable_lane_changing = true;     ///< SUMO-like overtaking on multilane edges
+  double lane_change_advantage_mps = 1.0;  ///< required safe-speed gain
+};
+
+struct SimulationStats {
+  std::size_t departed = 0;       ///< vehicles inserted
+  std::size_t arrived = 0;        ///< vehicles that finished their route
+  std::size_t backlog = 0;        ///< vehicles waiting to be inserted
+  std::size_t lane_changes = 0;   ///< successful lane-change maneuvers
+  double total_travel_time_s = 0.0;
+  double total_distance_m = 0.0;
+  double total_waiting_time_s = 0.0;  ///< time spent at speed < 0.1 m/s
+
+  double mean_travel_time_s() const {
+    return arrived == 0 ? 0.0 : total_travel_time_s / static_cast<double>(arrived);
+  }
+  double mean_speed_mps() const {
+    return total_travel_time_s <= 0.0 ? 0.0
+                                      : total_distance_m / total_travel_time_s;
+  }
+};
+
+class Simulation {
+ public:
+  Simulation(Network network, SimulationConfig config = {});
+
+  /// Adds a demand source; vehicles enter at the first edge of their route.
+  void add_source(FlowSource source);
+  void add_source(std::unique_ptr<DemandSource> source);
+
+  /// Registers an observer called after every step.  Not owned.
+  void add_observer(StepObserver* observer);
+  /// Unregisters an observer (no-op if not registered).
+  void remove_observer(StepObserver* observer);
+
+  /// Inserts one vehicle immediately if there is room; returns true on
+  /// success.  Used by tests and by TraCI's vehicle.add.
+  bool try_insert(Vehicle vehicle);
+
+  /// Advances the simulation by one step.
+  void step();
+  /// Runs until `until_time_s`.
+  void run_until(double until_time_s);
+
+  double time_s() const { return time_s_; }
+  const Network& network() const { return network_; }
+  const SimulationConfig& config() const { return config_; }
+  const SimulationStats& stats() const { return stats_; }
+  std::span<const Vehicle> vehicles() const { return active_; }
+  std::size_t active_count() const { return active_.size(); }
+
+  /// Looks up an active vehicle by id; nullptr if not present.
+  const Vehicle* find_vehicle(VehicleId id) const;
+
+  /// Forces a vehicle into `lane` (TraCI's vehicle.changeLane).  Returns
+  /// false for unknown vehicles or lanes outside the current edge.
+  bool set_vehicle_lane(VehicleId id, int lane);
+
+ private:
+  void insert_arrivals();
+  void change_lanes();
+  void update_speeds();
+  void move_vehicles();
+  void notify_observers();
+
+  /// Minimum front position among vehicles on (edge, lane); +inf if empty.
+  double rearmost_front_pos(EdgeId edge, int lane) const;
+
+  /// Net gap and speed of the relevant leader for `vehicle`, looking across
+  /// the edge boundary and at the signal at the current edge's end.  Returns
+  /// false when the vehicle is in free flow.
+  bool leader_constraint(const Vehicle& vehicle, std::size_t index_in_lane,
+                         const std::vector<const Vehicle*>& lane_order,
+                         double& gap_m, double& leader_speed) const;
+
+  Network network_;
+  SimulationConfig config_;
+  util::Rng rng_;
+  double time_s_ = 0.0;
+  std::vector<Vehicle> active_;
+  std::vector<double> next_speed_;  // scratch, parallel to active_
+  std::vector<std::unique_ptr<DemandSource>> sources_;
+  std::vector<std::deque<Vehicle>> backlog_;  // parallel to sources_
+  std::vector<StepObserver*> observers_;
+  SimulationStats stats_;
+  VehicleId next_id_ = 1;
+};
+
+}  // namespace olev::traffic

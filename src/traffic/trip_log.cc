@@ -1,0 +1,37 @@
+#include "traffic/trip_log.h"
+
+namespace olev::traffic {
+
+void TripLog::on_vehicle_arrived(const Vehicle& vehicle, double time_s) {
+  TripRecord record;
+  record.vehicle = vehicle.id;
+  record.is_olev = vehicle.is_olev;
+  record.depart_time_s = vehicle.depart_time_s;
+  record.arrive_time_s = time_s;
+  record.travel_time_s = time_s - vehicle.depart_time_s;
+  record.waiting_time_s = vehicle.waiting_time_s;
+  record.distance_m = vehicle.odometer_m;
+
+  ++completed_;
+  if (vehicle.is_olev) ++olev_trips_;
+  travel_time_.add(record.travel_time_s);
+  waiting_time_.add(record.waiting_time_s);
+  mean_speed_.add(record.mean_speed_mps());
+  if (keep_records_) records_.push_back(record);
+}
+
+double TripLog::waiting_fraction() const {
+  const double travel = travel_time_.sum();
+  return travel > 0.0 ? waiting_time_.sum() / travel : 0.0;
+}
+
+void TripLog::reset() {
+  records_.clear();
+  completed_ = 0;
+  olev_trips_ = 0;
+  travel_time_ = util::Accumulator();
+  waiting_time_ = util::Accumulator();
+  mean_speed_ = util::Accumulator();
+}
+
+}  // namespace olev::traffic

@@ -1,0 +1,60 @@
+// Per-trip outcome logging: travel time, waiting time, distance, and mean
+// speed for every completed trip, with OLEV/non-OLEV breakdown -- the
+// observability layer behind corridor-level service-quality claims
+// ("placement at traffic lights increases intersection time" has a travel
+// -time cost this log quantifies).
+#pragma once
+
+#include <vector>
+
+#include "traffic/detector.h"
+#include "util/stats.h"
+
+namespace olev::traffic {
+
+struct TripRecord {
+  VehicleId vehicle = 0;
+  bool is_olev = false;
+  double depart_time_s = 0.0;
+  double arrive_time_s = 0.0;
+  double travel_time_s = 0.0;
+  double waiting_time_s = 0.0;
+  double distance_m = 0.0;
+
+  double mean_speed_mps() const {
+    return travel_time_s > 0.0 ? distance_m / travel_time_s : 0.0;
+  }
+};
+
+class TripLog : public StepObserver {
+ public:
+  /// When `keep_records` is false only the aggregate accumulators are kept
+  /// (day-long runs with tens of thousands of trips).
+  explicit TripLog(bool keep_records = true) : keep_records_(keep_records) {}
+
+  void on_step(const StepView& view) override { (void)view; }
+  void on_vehicle_arrived(const Vehicle& vehicle, double time_s) override;
+
+  std::size_t completed_trips() const { return completed_; }
+  const std::vector<TripRecord>& records() const { return records_; }
+
+  const util::Accumulator& travel_time() const { return travel_time_; }
+  const util::Accumulator& waiting_time() const { return waiting_time_; }
+  const util::Accumulator& mean_speed() const { return mean_speed_; }
+  /// Waiting share of travel time, aggregated.
+  double waiting_fraction() const;
+  std::size_t olev_trips() const { return olev_trips_; }
+
+  void reset();
+
+ private:
+  bool keep_records_;
+  std::vector<TripRecord> records_;
+  std::size_t completed_ = 0;
+  std::size_t olev_trips_ = 0;
+  util::Accumulator travel_time_;
+  util::Accumulator waiting_time_;
+  util::Accumulator mean_speed_;
+};
+
+}  // namespace olev::traffic

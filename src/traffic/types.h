@@ -1,0 +1,18 @@
+// Shared identifier types for the traffic microsimulation.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace olev::traffic {
+
+using EdgeId = std::uint32_t;
+using JunctionId = std::uint32_t;
+using VehicleId = std::uint64_t;
+using SignalId = std::uint32_t;
+
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+inline constexpr JunctionId kInvalidJunction = std::numeric_limits<JunctionId>::max();
+inline constexpr SignalId kInvalidSignal = std::numeric_limits<SignalId>::max();
+
+}  // namespace olev::traffic

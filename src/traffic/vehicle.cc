@@ -1,0 +1,13 @@
+#include "traffic/vehicle.h"
+
+namespace olev::traffic {
+
+VehicleType VehicleType::passenger() { return VehicleType{}; }
+
+VehicleType VehicleType::olev() {
+  VehicleType type;
+  type.name = "olev";
+  return type;
+}
+
+}  // namespace olev::traffic

@@ -1,0 +1,51 @@
+// Vehicle state and type parameters.  Parameter defaults follow SUMO's
+// default passenger-car Krauss parameterization.
+#pragma once
+
+#include <string>
+
+#include "traffic/network.h"
+#include "traffic/types.h"
+
+namespace olev::traffic {
+
+struct VehicleType {
+  std::string name = "passenger";
+  double length_m = 5.0;
+  double accel_mps2 = 2.6;      ///< maximum acceleration (a)
+  double decel_mps2 = 4.5;      ///< comfortable deceleration (b)
+  double sigma = 0.5;           ///< Krauss dawdling factor in [0, 1]
+  double min_gap_m = 2.5;       ///< standstill gap to the leader
+  double max_speed_mps = 55.0;  ///< vehicle capability cap
+  double tau_s = 1.0;           ///< driver reaction time
+
+  /// SUMO's default passenger car.
+  static VehicleType passenger();
+  /// An OLEV-capable passenger car (same dynamics; tagged for WPT studies).
+  static VehicleType olev();
+};
+
+struct Vehicle {
+  VehicleId id = 0;
+  VehicleType type;
+  Route route;
+  std::size_t route_index = 0;  ///< index into route of the current edge
+  int lane = 0;
+  double pos_m = 0.0;           ///< distance from the upstream end of the edge
+  double speed_mps = 0.0;
+  double depart_time_s = 0.0;
+  double odometer_m = 0.0;
+  double waiting_time_s = 0.0;  ///< accumulated time at speed < 0.1 m/s
+  bool arrived = false;
+  bool is_olev = false;
+
+  EdgeId current_edge() const { return route[route_index]; }
+  bool on_last_edge() const { return route_index + 1 >= route.size(); }
+
+  /// Remaining distance to the end of the current edge.
+  double distance_to_edge_end(const Network& net) const {
+    return net.edge(current_edge()).length_m - pos_m;
+  }
+};
+
+}  // namespace olev::traffic

@@ -1,0 +1,44 @@
+// Tabular output: CSV files for post-processing and aligned text tables for
+// the benchmark harnesses (which print the series the paper plots).
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace olev::util {
+
+/// Accumulates rows of string/number cells and renders them either as CSV or
+/// as an aligned console table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  Table& add_row_numeric(const std::vector<double>& cells, int precision = 3);
+
+  std::size_t rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+
+  void write_csv(std::ostream& os) const;
+  /// Writes an aligned, pipe-separated table suitable for terminal output.
+  void write_pretty(std::ostream& os) const;
+
+  /// Writes CSV to `path`; throws std::runtime_error on I/O failure.
+  void save_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for Table cells).
+std::string fmt(double value, int precision = 3);
+
+/// Escapes a CSV cell (quotes fields containing comma/quote/newline).
+std::string csv_escape(const std::string& cell);
+
+}  // namespace olev::util

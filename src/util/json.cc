@@ -1,0 +1,134 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace olev::util {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::separator() {
+  if (stack_.empty()) return;
+  if (stack_.back() == 'v') {
+    // Key already written; value follows immediately.
+    stack_.back() = 'o';
+    return;
+  }
+  if (!first_.back()) out_ += ',';
+  first_.back() = false;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separator();
+  out_ += '{';
+  stack_.push_back('o');
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ += '}';
+  stack_.pop_back();
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separator();
+  out_ += '[';
+  stack_.push_back('a');
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_ += ']';
+  stack_.pop_back();
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  if (!first_.back()) out_ += ',';
+  first_.back() = false;
+  out_ += '"';
+  out_ += json_escape(name);
+  out_ += "\":";
+  stack_.back() = 'v';  // next value call skips the comma
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  separator();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return *this;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", v);
+  out_ += buffer;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  separator();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::size_t v) {
+  separator();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  separator();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  separator();
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::null() {
+  separator();
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::vector<double>& values) {
+  begin_array();
+  for (double v : values) value(v);
+  return end_array();
+}
+
+}  // namespace olev::util

@@ -1,0 +1,45 @@
+// Minimal streaming JSON writer (no DOM, no dependencies): enough to dump
+// experiment results for post-hoc analysis in any plotting environment.
+// Handles escaping and the non-finite-double pitfall (JSON has no NaN/Inf;
+// they are emitted as null).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace olev::util {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  /// Starts a key inside an object; follow with a value call.
+  JsonWriter& key(const std::string& name);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::size_t v);
+  JsonWriter& value(bool v);
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& null();
+  /// Convenience: numeric array in one call.
+  JsonWriter& value(const std::vector<double>& values);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void separator();
+
+  std::string out_;
+  // Context stack: 'o' = object awaiting key, 'v' = object awaiting value,
+  // 'a' = array.  first_ tracks whether a comma is needed.
+  std::vector<char> stack_;
+  std::vector<bool> first_;
+};
+
+/// Escapes a string for embedding in JSON (quotes not included).
+std::string json_escape(const std::string& text);
+
+}  // namespace olev::util

@@ -1,0 +1,48 @@
+// Piecewise-linear curves: the representation used for all daily profiles
+// (load shape, traffic counts, price stacks).
+#pragma once
+
+#include <initializer_list>
+#include <utility>
+#include <vector>
+
+namespace olev::util {
+
+/// A piecewise-linear function defined by sorted (x, y) knots.  Evaluation
+/// outside the knot range clamps to the end values.  With `periodic(span)`
+/// enabled, x wraps modulo the span (used for 24 h daily profiles).
+class PiecewiseLinear {
+ public:
+  PiecewiseLinear() = default;
+  /// Knots must be strictly increasing in x; throws std::invalid_argument
+  /// otherwise.
+  explicit PiecewiseLinear(std::vector<std::pair<double, double>> knots);
+  PiecewiseLinear(std::initializer_list<std::pair<double, double>> knots)
+      : PiecewiseLinear(std::vector<std::pair<double, double>>(knots)) {}
+
+  /// Declares the function periodic with the given span (> 0).
+  PiecewiseLinear& periodic(double span);
+
+  double operator()(double x) const;
+
+  /// Definite integral over [a, b] (a <= b), honoring clamping/periodicity.
+  double integral(double a, double b) const;
+
+  double min_value() const;
+  double max_value() const;
+
+  bool empty() const { return knots_.empty(); }
+  const std::vector<std::pair<double, double>>& knots() const { return knots_; }
+
+  /// Returns a copy with every y scaled so that the value range maps
+  /// affinely onto [new_min, new_max].  No-op on constant curves.
+  PiecewiseLinear rescaled(double new_min, double new_max) const;
+
+ private:
+  double wrap(double x) const;
+
+  std::vector<std::pair<double, double>> knots_;
+  double period_ = 0.0;  // 0 = not periodic
+};
+
+}  // namespace olev::util

@@ -1,0 +1,75 @@
+// Deterministic, seedable pseudo-random number generation for simulations.
+//
+// We deliberately avoid std::mt19937 + std::*_distribution because their
+// output is implementation-defined across standard libraries; reproducible
+// experiments need bit-identical streams everywhere.  The generator is
+// xoshiro256++ (Blackman & Vigna, 2019), seeded through SplitMix64.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace olev::util {
+
+/// xoshiro256++ generator.  Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  /// Next raw 64-bit output.
+  result_type operator()();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Standard normal via Box-Muller (cached second variate).
+  double normal();
+  /// Normal with the given mean / standard deviation.
+  double normal(double mean, double stddev);
+  /// Exponential with the given rate (mean 1/rate); requires rate > 0.
+  double exponential(double rate);
+  /// Poisson with the given mean >= 0.  Knuth for small means, PTRS-style
+  /// normal approximation with rounding correction for large ones.
+  std::uint64_t poisson(double mean);
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// A distinct child generator; streams of parent and child do not overlap
+  /// in practice (independent SplitMix64 seeding).
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// Deterministically derives a 64-bit seed from a base seed and a stream
+/// index, e.g. to give every simulation repetition its own stream.
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream);
+
+}  // namespace olev::util

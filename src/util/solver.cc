@@ -1,0 +1,83 @@
+#include "util/solver.h"
+
+#include <cmath>
+
+namespace olev::util {
+
+SolverResult bisect_root(const std::function<double(double)>& f, double lo,
+                         double hi, const SolverOptions& opts) {
+  SolverResult result;
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (std::abs(flo) <= opts.f_tolerance) {
+    return {lo, flo, 0, true};
+  }
+  if (std::abs(fhi) <= opts.f_tolerance) {
+    return {hi, fhi, 0, true};
+  }
+  if (flo * fhi > 0.0) {
+    // No sign change: report the better endpoint, not converged.
+    return std::abs(flo) < std::abs(fhi) ? SolverResult{lo, flo, 0, false}
+                                         : SolverResult{hi, fhi, 0, false};
+  }
+  double mid = lo;
+  double fmid = flo;
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    mid = 0.5 * (lo + hi);
+    fmid = f(mid);
+    result.iterations = it + 1;
+    if (std::abs(fmid) <= opts.f_tolerance || (hi - lo) <= opts.x_tolerance) {
+      return {mid, fmid, result.iterations, true};
+    }
+    if (flo * fmid <= 0.0) {
+      hi = mid;
+    } else {
+      lo = mid;
+      flo = fmid;
+    }
+  }
+  return {mid, fmid, result.iterations, false};
+}
+
+SolverResult decreasing_root_clamped(const std::function<double(double)>& f,
+                                     double lo, double hi,
+                                     const SolverOptions& opts) {
+  const double flo = f(lo);
+  if (flo < 0.0) return {lo, flo, 0, true};   // derivative negative at 0 -> corner
+  const double fhi = f(hi);
+  if (fhi > 0.0) return {hi, fhi, 0, true};   // derivative positive at cap -> corner
+  return bisect_root(f, lo, hi, opts);
+}
+
+SolverResult golden_section_max(const std::function<double(double)>& f,
+                                double lo, double hi,
+                                const SolverOptions& opts) {
+  constexpr double kInvPhi = 0.6180339887498949;
+  double a = lo;
+  double b = hi;
+  double x1 = b - kInvPhi * (b - a);
+  double x2 = a + kInvPhi * (b - a);
+  double f1 = f(x1);
+  double f2 = f(x2);
+  int it = 0;
+  while (it < opts.max_iterations && (b - a) > opts.x_tolerance) {
+    if (f1 < f2) {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kInvPhi * (b - a);
+      f2 = f(x2);
+    } else {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kInvPhi * (b - a);
+      f1 = f(x1);
+    }
+    ++it;
+  }
+  const double x = 0.5 * (a + b);
+  return {x, f(x), it, (b - a) <= opts.x_tolerance};
+}
+
+}  // namespace olev::util

@@ -1,0 +1,45 @@
+// Scalar root finding and 1-D optimization primitives.
+//
+// The pricing game reduces every per-player update to monotone scalar
+// problems (Lemma IV.1's water level, Lemma IV.3's first-order condition),
+// so robust bracketing solvers are the numerical backbone of the library.
+#pragma once
+
+#include <functional>
+
+namespace olev::util {
+
+struct SolverResult {
+  double x = 0.0;        ///< located root / maximizer
+  double fx = 0.0;       ///< function value at x
+  int iterations = 0;    ///< iterations consumed
+  bool converged = false;
+};
+
+struct SolverOptions {
+  double x_tolerance = 1e-10;   ///< stop when bracket width falls below this
+  double f_tolerance = 1e-12;   ///< stop when |f(x)| falls below this (roots)
+  int max_iterations = 200;
+};
+
+/// Bisection root find for a continuous function with f(lo) and f(hi) of
+/// opposite (or zero) sign.  If the signs agree, returns the endpoint with
+/// the smaller |f| and converged=false.
+SolverResult bisect_root(const std::function<double(double)>& f, double lo,
+                         double hi, const SolverOptions& opts = {});
+
+/// Root find for a *nonincreasing* function (f(lo) >= 0 >= f(hi) expected).
+/// Clamps to the endpoints when f does not change sign: returns lo when
+/// f(lo) < 0 and hi when f(hi) > 0, with converged=true -- matching the
+/// endpoint cases of Lemma IV.3's best-response characterization.
+SolverResult decreasing_root_clamped(const std::function<double(double)>& f,
+                                     double lo, double hi,
+                                     const SolverOptions& opts = {});
+
+/// Golden-section search for the maximizer of a unimodal (e.g. strictly
+/// concave) function on [lo, hi].
+SolverResult golden_section_max(const std::function<double(double)>& f,
+                                double lo, double hi,
+                                const SolverOptions& opts = {});
+
+}  // namespace olev::util

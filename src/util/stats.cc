@@ -1,0 +1,124 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace olev::util {
+
+void Accumulator::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * n2 / (n1 + n2);
+  m2_ += other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Accumulator::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::span<const double> samples, double q) {
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = std::clamp(q, 0.0, 100.0) / 100.0 *
+                      static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+Summary summarize(std::span<const double> samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  Accumulator acc;
+  for (double x : samples) acc.add(x);
+  s.count = acc.count();
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.min = acc.min();
+  s.max = acc.max();
+  s.p50 = percentile(samples, 50.0);
+  s.p95 = percentile(samples, 95.0);
+  return s;
+}
+
+double mean_of(std::span<const double> samples) {
+  if (samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : samples) sum += x;
+  return sum / static_cast<double>(samples.size());
+}
+
+double max_abs_diff(std::span<const double> a, std::span<const double> b) {
+  double worst = 0.0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+double jain_fairness(std::span<const double> xs) {
+  if (xs.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+double coefficient_of_variation(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  Accumulator acc;
+  for (double x : xs) acc.add(x);
+  const double mu = acc.mean();
+  if (mu == 0.0) return 0.0;
+  // Population stddev for a descriptive ratio.
+  const auto n = static_cast<double>(acc.count());
+  const double pop_var = acc.variance() * (n - 1.0) / n;
+  return std::sqrt(pop_var) / mu;
+}
+
+std::vector<std::size_t> histogram(std::span<const double> samples, double lo,
+                                   double hi, std::size_t bins) {
+  std::vector<std::size_t> counts(bins, 0);
+  if (bins == 0 || hi <= lo) return counts;
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (double x : samples) {
+    auto idx = static_cast<std::ptrdiff_t>((x - lo) / width);
+    idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(bins) - 1);
+    ++counts[static_cast<std::size_t>(idx)];
+  }
+  return counts;
+}
+
+}  // namespace olev::util

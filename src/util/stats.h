@@ -1,0 +1,70 @@
+// Online and batch descriptive statistics used by the experiment harnesses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace olev::util {
+
+/// Welford's online mean/variance accumulator.  Numerically stable; merging
+/// two accumulators is supported so per-shard statistics can be combined.
+class Accumulator {
+ public:
+  void add(double x);
+  void merge(const Accumulator& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Five-number-style summary of a batch of samples.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a Summary over `samples` (copies; does not reorder the input).
+Summary summarize(std::span<const double> samples);
+
+/// Linear-interpolated percentile, q in [0, 100].  Requires non-empty input.
+double percentile(std::span<const double> samples, double q);
+
+/// Mean of a span; 0 for empty input.
+double mean_of(std::span<const double> samples);
+
+/// Maximum absolute difference between two equal-length spans.
+double max_abs_diff(std::span<const double> a, std::span<const double> b);
+
+/// Jain's fairness index: (sum x)^2 / (n * sum x^2).  1.0 means perfectly
+/// balanced; 1/n means all mass on one element.  Returns 1.0 for empty or
+/// all-zero input (vacuously balanced).
+double jain_fairness(std::span<const double> xs);
+
+/// Population coefficient of variation (stddev/mean); 0 if mean is 0.
+double coefficient_of_variation(std::span<const double> xs);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets; out-of-range
+/// samples are clamped into the first/last bucket.
+std::vector<std::size_t> histogram(std::span<const double> samples, double lo,
+                                   double hi, std::size_t bins);
+
+}  // namespace olev::util

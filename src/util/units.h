@@ -1,0 +1,39 @@
+// Unit conversions and physical constants.  Internally the library works in
+// SI (meters, seconds, watts, joules); user-facing APIs and the benchmark
+// harnesses convert to the paper's units (mph, kW, kWh, $) at the edges.
+#pragma once
+
+namespace olev::util {
+
+inline constexpr double kMilesPerKm = 0.621371;
+inline constexpr double kSecondsPerHour = 3600.0;
+
+constexpr double mph_to_mps(double mph) { return mph * 0.44704; }
+constexpr double mps_to_mph(double mps) { return mps / 0.44704; }
+constexpr double kmh_to_mps(double kmh) { return kmh / 3.6; }
+constexpr double mps_to_kmh(double mps) { return mps * 3.6; }
+
+constexpr double kw_to_w(double kw) { return kw * 1e3; }
+constexpr double w_to_kw(double w) { return w * 1e-3; }
+constexpr double mw_to_kw(double mw) { return mw * 1e3; }
+constexpr double kw_to_mw(double kw) { return kw * 1e-3; }
+
+constexpr double kwh_to_joule(double kwh) { return kwh * 3.6e6; }
+constexpr double joule_to_kwh(double j) { return j / 3.6e6; }
+
+/// Energy (kWh) delivered by power p_kw applied for dt seconds.
+constexpr double kwh_from_kw(double p_kw, double dt_s) {
+  return p_kw * dt_s / kSecondsPerHour;
+}
+
+constexpr double hours_to_seconds(double h) { return h * kSecondsPerHour; }
+constexpr double seconds_to_hours(double s) { return s / kSecondsPerHour; }
+constexpr double minutes_to_seconds(double m) { return m * 60.0; }
+constexpr double seconds_to_minutes(double s) { return s / 60.0; }
+
+/// Ah * V -> kWh (battery pack energy from charge capacity and voltage).
+constexpr double ah_volts_to_kwh(double ah, double volts) {
+  return ah * volts / 1000.0;
+}
+
+}  // namespace olev::util

@@ -1,0 +1,53 @@
+#include "wpt/battery.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace olev::wpt {
+
+BatterySpec BatterySpec::chevy_spark() { return BatterySpec{}; }
+
+Battery::Battery(BatterySpec spec, double initial_soc) : spec_(spec) {
+  if (spec_.capacity_ah <= 0.0 || spec_.nominal_voltage <= 0.0) {
+    throw std::invalid_argument("Battery: capacity and voltage must be positive");
+  }
+  if (spec_.soc_min < 0.0 || spec_.soc_max > 1.0 || spec_.soc_min >= spec_.soc_max) {
+    throw std::invalid_argument("Battery: need 0 <= soc_min < soc_max <= 1");
+  }
+  set_soc(initial_soc);
+}
+
+double Battery::headroom_kwh() const {
+  return std::max(0.0, (spec_.soc_max - soc_) * spec_.capacity_kwh());
+}
+
+double Battery::usable_kwh() const {
+  return std::max(0.0, (soc_ - spec_.soc_min) * spec_.capacity_kwh());
+}
+
+double Battery::charge_kwh(double energy_kwh) {
+  if (energy_kwh < 0.0) throw std::invalid_argument("Battery::charge_kwh: negative energy");
+  const double accepted = std::min(energy_kwh, headroom_kwh());
+  soc_ += accepted / spec_.capacity_kwh();
+  soc_ = std::min(soc_, 1.0);
+  throughput_kwh_ += accepted;
+  return accepted;
+}
+
+double Battery::discharge_kwh(double energy_kwh) {
+  if (energy_kwh < 0.0) throw std::invalid_argument("Battery::discharge_kwh: negative energy");
+  const double available = soc_ * spec_.capacity_kwh();
+  const double delivered = std::min(energy_kwh, available);
+  soc_ -= delivered / spec_.capacity_kwh();
+  soc_ = std::max(soc_, 0.0);
+  throughput_kwh_ += delivered;
+  return delivered;
+}
+
+void Battery::set_soc(double soc) { soc_ = std::clamp(soc, 0.0, 1.0); }
+
+double Battery::equivalent_full_cycles() const {
+  return throughput_kwh_ / (2.0 * spec_.capacity_kwh());
+}
+
+}  // namespace olev::wpt

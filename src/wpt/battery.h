@@ -1,0 +1,68 @@
+// EV traction battery model with state-of-charge (SOC) bookkeeping.
+//
+// The paper's evaluation uses Chevrolet-Spark-like cells: 46.2 Ah capacity,
+// 399 V nominal, 325 V cutoff, 240 A max current, with SOC constrained to
+// [SOC_min, SOC_max] = [0.2, 0.9] "to ensure the safety and battery life".
+#pragma once
+
+namespace olev::wpt {
+
+struct BatterySpec {
+  double capacity_ah = 46.2;
+  double nominal_voltage = 399.0;
+  double cutoff_voltage = 325.0;
+  double max_current_a = 240.0;
+  double soc_min = 0.2;
+  double soc_max = 0.9;
+
+  /// Pack energy at full charge (kWh) = Ah * V / 1000.
+  double capacity_kwh() const { return capacity_ah * nominal_voltage / 1000.0; }
+  /// Maximum charge/discharge power (kW) = V * I / 1000 (paper's P_max).
+  double max_power_kw() const { return nominal_voltage * max_current_a / 1000.0; }
+
+  /// The paper's evaluation battery (Chevrolet Spark).
+  static BatterySpec chevy_spark();
+};
+
+/// A battery instance: spec + current SOC.  All mutations clamp SOC into
+/// [0, 1]; policy limits (soc_min/max) are reported, not silently enforced,
+/// so callers can distinguish "full" from "at policy ceiling".
+class Battery {
+ public:
+  Battery() : Battery(BatterySpec{}, 0.5) {}
+  Battery(BatterySpec spec, double initial_soc);
+
+  const BatterySpec& spec() const { return spec_; }
+  double soc() const { return soc_; }
+  /// Stored energy (kWh) at the current SOC.
+  double energy_kwh() const { return soc_ * spec_.capacity_kwh(); }
+
+  /// Energy (kWh) acceptable before hitting soc_max.
+  double headroom_kwh() const;
+  /// Energy (kWh) available above soc_min.
+  double usable_kwh() const;
+  bool at_policy_ceiling() const { return soc_ >= spec_.soc_max; }
+  bool below_policy_floor() const { return soc_ < spec_.soc_min; }
+
+  /// Charges by `energy_kwh` but never above soc_max; returns the energy
+  /// actually accepted.
+  double charge_kwh(double energy_kwh);
+  /// Discharges by `energy_kwh` but never below 0; returns energy delivered.
+  double discharge_kwh(double energy_kwh);
+
+  void set_soc(double soc);
+
+  // ---- wear accounting (related work [19]: SOC-of-health degradation) ----
+  /// Total energy moved through the pack (charge + discharge, kWh).
+  double throughput_kwh() const { return throughput_kwh_; }
+  /// Throughput expressed in equivalent full cycles (throughput / 2E_max);
+  /// the standard first-order proxy for cycle aging.
+  double equivalent_full_cycles() const;
+
+ private:
+  BatterySpec spec_;
+  double soc_;
+  double throughput_kwh_ = 0.0;
+};
+
+}  // namespace olev::wpt

@@ -1,0 +1,121 @@
+#include "wpt/charging_lane.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace olev::wpt {
+
+ChargingLane::ChargingLane(std::vector<ChargingSection> sections,
+                           ChargingLaneConfig config)
+    : sections_(std::move(sections)),
+      config_(config),
+      ledger_(sections_.size()) {
+  if (sections_.empty()) {
+    throw std::invalid_argument("ChargingLane: need at least one section");
+  }
+}
+
+std::vector<ChargingSection> ChargingLane::evenly_spaced(traffic::EdgeId edge,
+                                                         double from_m, double to_m,
+                                                         int count,
+                                                         ChargingSectionSpec spec) {
+  if (count < 1) throw std::invalid_argument("ChargingLane: count must be >= 1");
+  if (to_m <= from_m) throw std::invalid_argument("ChargingLane: empty span");
+  std::vector<ChargingSection> sections;
+  sections.reserve(static_cast<std::size_t>(count));
+  const double stride = (to_m - from_m) / static_cast<double>(count);
+  for (int i = 0; i < count; ++i) {
+    ChargingSection section;
+    section.edge = edge;
+    section.offset_m = from_m + stride * i;
+    section.spec = spec;
+    section.spec.length_m = std::min(spec.length_m, stride);
+    sections.push_back(section);
+  }
+  return sections;
+}
+
+int ChargingLane::section_at(traffic::EdgeId edge, double front_m,
+                             double rear_m) const {
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    if (sections_[i].edge == edge && sections_[i].covers(front_m, rear_m)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void ChargingLane::on_step(const traffic::StepView& view) {
+  // Per-step per-section budget: eta * P_line is a power cap shared by all
+  // simultaneous occupants of a section -- unless a scheduling controller
+  // has imposed its own allocation.
+  std::vector<double> budget_kw(sections_.size(), 0.0);
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    if (!budget_override_kw_.empty()) {
+      budget_kw[i] = budget_override_kw_[i];
+    } else {
+      budget_kw[i] = config_.enforce_section_cap
+                         ? sections_[i].spec.safety_factor *
+                               sections_[i].spec.rated_power_kw
+                         : sections_[i].spec.rated_power_kw;
+    }
+  }
+
+  for (const traffic::Vehicle& vehicle : view.vehicles) {
+    if (!vehicle.is_olev || vehicle.arrived) continue;
+    const double front = vehicle.pos_m;
+    const double rear = vehicle.pos_m - vehicle.type.length_m;
+    const int idx = section_at(vehicle.current_edge(), front, rear);
+    if (idx < 0) continue;
+    const auto section_index = static_cast<std::size_t>(idx);
+    const ChargingSection& section = sections_[section_index];
+
+    auto [it, inserted] = batteries_.try_emplace(
+        vehicle.id, config_.olev.battery, config_.initial_soc);
+    Battery& battery = it->second;
+
+    // Eq. (3) feasible power, further limited by the section's shared budget.
+    double power_kw =
+        feasible_power_kw(config_.olev, section.spec, vehicle.speed_mps,
+                          battery.soc(), config_.soc_required);
+    power_kw = std::min(power_kw, budget_kw[section_index]);
+    if (power_kw <= 0.0) continue;
+
+    const double offered_kwh = power_kw * view.dt_s / 3600.0;
+    // Air-gap losses: only transfer_efficiency of grid-side energy lands in
+    // the pack; the ledger books the grid-side draw.
+    const double accepted_kwh =
+        battery.charge_kwh(offered_kwh * section.spec.transfer_efficiency);
+    if (accepted_kwh <= 0.0) continue;
+    const double grid_kwh = accepted_kwh / section.spec.transfer_efficiency;
+    budget_kw[section_index] -= grid_kwh * 3600.0 / view.dt_s;
+
+    TransferRecord record;
+    record.vehicle = vehicle.id;
+    record.section_index = section_index;
+    record.time_s = view.time_s;
+    record.energy_kwh = grid_kwh;
+    record.power_kw = grid_kwh * 3600.0 / view.dt_s;
+    ledger_.record(record);
+  }
+}
+
+const Battery* ChargingLane::battery_for(traffic::VehicleId id) const {
+  const auto it = batteries_.find(id);
+  return it == batteries_.end() ? nullptr : &it->second;
+}
+
+Battery* ChargingLane::mutable_battery_for(traffic::VehicleId id) {
+  const auto it = batteries_.find(id);
+  return it == batteries_.end() ? nullptr : &it->second;
+}
+
+void ChargingLane::set_section_budgets_kw(std::vector<double> budgets) {
+  if (!budgets.empty() && budgets.size() != sections_.size()) {
+    throw std::invalid_argument(
+        "ChargingLane: budget vector must match section count");
+  }
+  budget_override_kw_ = std::move(budgets);
+}
+
+}  // namespace olev::wpt

@@ -1,0 +1,70 @@
+// ChargingLane couples the traffic simulation to the WPT hardware model:
+// on every simulation step it finds OLEVs overlapping a charging section,
+// applies the Eq. (1)-(3) power limits, charges their batteries, and books
+// the transfer in an EnergyLedger.  This is the machinery behind the paper's
+// Section III study ("the amount of energy OLEVs can receive over the course
+// of the day").
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "traffic/detector.h"
+#include "wpt/battery.h"
+#include "wpt/charging_section.h"
+#include "wpt/energy_ledger.h"
+#include "wpt/olev.h"
+
+namespace olev::wpt {
+
+struct ChargingLaneConfig {
+  OlevParams olev;
+  double initial_soc = 0.5;      ///< paper: "SOC of each vehicle ... 50%"
+  double soc_required = 0.7;     ///< default trip requirement
+  bool enforce_section_cap = true;  ///< respect eta * P_line per section
+};
+
+class ChargingLane : public traffic::StepObserver {
+ public:
+  ChargingLane(std::vector<ChargingSection> sections, ChargingLaneConfig config);
+
+  /// Places `count` sections of `spec` evenly over [from_m, to_m) of `edge`.
+  static std::vector<ChargingSection> evenly_spaced(traffic::EdgeId edge,
+                                                    double from_m, double to_m,
+                                                    int count,
+                                                    ChargingSectionSpec spec);
+
+  void on_step(const traffic::StepView& view) override;
+
+  const EnergyLedger& ledger() const { return ledger_; }
+  EnergyLedger& ledger() { return ledger_; }
+  const std::vector<ChargingSection>& sections() const { return sections_; }
+
+  /// Battery state for a vehicle seen by the lane; nullptr if never seen.
+  const Battery* battery_for(traffic::VehicleId id) const;
+  std::size_t tracked_vehicles() const { return batteries_.size(); }
+
+  /// Index of the section covering (edge, front, rear); -1 if none.
+  int section_at(traffic::EdgeId edge, double front_m, double rear_m) const;
+
+  /// Overrides the per-section power budgets (kW) -- the hook a scheduling
+  /// controller (e.g. the pricing game) uses to impose its allocation on
+  /// the hardware.  Must have one entry per section; pass an empty vector
+  /// to return to the default eta * rated budgets.
+  void set_section_budgets_kw(std::vector<double> budgets);
+  const std::vector<double>& section_budgets_kw() const {
+    return budget_override_kw_;
+  }
+
+  /// Mutable battery access for co-simulation (driving drain etc.).
+  Battery* mutable_battery_for(traffic::VehicleId id);
+
+ private:
+  std::vector<ChargingSection> sections_;
+  ChargingLaneConfig config_;
+  EnergyLedger ledger_;
+  std::unordered_map<traffic::VehicleId, Battery> batteries_;
+  std::vector<double> budget_override_kw_;  ///< empty = default budgets
+};
+
+}  // namespace olev::wpt

@@ -1,0 +1,19 @@
+#include "wpt/charging_section.h"
+
+#include <algorithm>
+
+namespace olev::wpt {
+
+double p_line_kw(const ChargingSectionSpec& spec, double velocity_mps) {
+  if (velocity_mps <= 0.0) return spec.rated_power_kw;
+  const double line_kw =
+      spec.line_voltage * spec.max_current_a * spec.length_m / velocity_mps /
+      1000.0;
+  return std::min(line_kw, spec.rated_power_kw);
+}
+
+double capacity_cap_kw(const ChargingSectionSpec& spec, double velocity_mps) {
+  return spec.safety_factor * p_line_kw(spec, velocity_mps);
+}
+
+}  // namespace olev::wpt

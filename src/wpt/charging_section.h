@@ -1,0 +1,54 @@
+// Road-embedded charging sections and the paper's power-limit equations.
+//
+// Eq. (1):  P_line = V * Curr * l / vel
+//   "the capacity of the power line of a charging section" [Kempton & Tomic
+//   2005].  V * Curr is the electrical line limit (W); l / vel is the dwell
+//   time of a vehicle crossing an l-meter section at vel m/s.  The product
+//   is the energy deliverable per pass expressed in the paper's power units
+//   (it treats a 1-second dispatch as the reference), so P_line *decreases*
+//   with vehicle velocity -- the property all of the paper's velocity
+//   sensitivity results (Figs. 5 vs. 6) rest on.
+//
+// Eq. (3):  p_{n,c} <= min(P_line, P_OLEV)   (P_OLEV from olev.h, Eq. 2).
+#pragma once
+
+#include "traffic/types.h"
+
+namespace olev::wpt {
+
+struct ChargingSectionSpec {
+  double line_voltage = 480.0;    ///< V in Eq. (1)
+  double max_current_a = 210.0;   ///< Curr in Eq. (1)
+  double length_m = 20.0;         ///< l in Eq. (1)
+  double rated_power_kw = 100.0;  ///< nameplate inverter limit
+  double safety_factor = 0.9;     ///< eta in Eq. (4), in [0, 1]
+  double transfer_efficiency = 0.85;  ///< air-gap coupling efficiency
+
+  /// Electrical line limit V * Curr in kW.
+  double electrical_limit_kw() const {
+    return line_voltage * max_current_a / 1000.0;
+  }
+};
+
+/// Eq. (1) for a vehicle crossing at `velocity_mps`; capped by the section's
+/// rated inverter power.  Returns the rated power for velocity <= 0
+/// (stationary vehicle parked on the section).
+double p_line_kw(const ChargingSectionSpec& spec, double velocity_mps);
+
+/// Capacity bound of Eq. (4): eta * P_line.
+double capacity_cap_kw(const ChargingSectionSpec& spec, double velocity_mps);
+
+/// A charging section placed on a road edge at [offset_m, offset_m+length).
+struct ChargingSection {
+  traffic::EdgeId edge = traffic::kInvalidEdge;
+  double offset_m = 0.0;
+  ChargingSectionSpec spec;
+
+  double end_m() const { return offset_m + spec.length_m; }
+  /// True if a vehicle body [rear, front] overlaps the section.
+  bool covers(double front_m, double rear_m) const {
+    return front_m >= offset_m && rear_m <= end_m();
+  }
+};
+
+}  // namespace olev::wpt

@@ -1,0 +1,146 @@
+#include "wpt/deployment.h"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+
+#include "traffic/detector.h"
+
+namespace olev::wpt {
+
+std::vector<CandidateSlot> enumerate_slots(const traffic::Network& network,
+                                           double slot_length_m) {
+  if (slot_length_m <= 0.0) {
+    throw std::invalid_argument("enumerate_slots: slot length must be positive");
+  }
+  std::vector<CandidateSlot> slots;
+  for (traffic::EdgeId edge = 0; edge < network.edge_count(); ++edge) {
+    const double length = network.edge(edge).length_m;
+    for (double offset = 0.0; offset + slot_length_m <= length + 1e-9;
+         offset += slot_length_m) {
+      CandidateSlot slot;
+      slot.edge = edge;
+      slot.offset_m = offset;
+      slot.length_m = slot_length_m;
+      slots.push_back(slot);
+    }
+  }
+  return slots;
+}
+
+void score_slots_by_occupancy(traffic::Simulation& sim,
+                              std::vector<CandidateSlot>& slots,
+                              double until_time_s, bool olev_only) {
+  std::vector<std::unique_ptr<traffic::SegmentDetector>> detectors;
+  detectors.reserve(slots.size());
+  for (const CandidateSlot& slot : slots) {
+    detectors.push_back(std::make_unique<traffic::SegmentDetector>(
+        slot.edge, slot.offset_m, slot.offset_m + slot.length_m, olev_only));
+    sim.add_observer(detectors.back().get());
+  }
+  sim.run_until(until_time_s);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    slots[i].score = detectors[i]->total_occupancy_s();
+    // The detectors die with this scope: unhook them so the simulation can
+    // keep running safely afterwards.
+    sim.remove_observer(detectors[i].get());
+  }
+}
+
+namespace {
+ChargingSection equip(const CandidateSlot& slot, ChargingSectionSpec spec) {
+  ChargingSection section;
+  section.edge = slot.edge;
+  section.offset_m = slot.offset_m;
+  section.spec = spec;
+  section.spec.length_m = slot.length_m;
+  return section;
+}
+}  // namespace
+
+std::vector<ChargingSection> plan_deployment(std::span<const CandidateSlot> slots,
+                                             int budget,
+                                             ChargingSectionSpec spec) {
+  if (budget < 1) throw std::invalid_argument("plan_deployment: budget must be >= 1");
+  std::vector<std::size_t> order(slots.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return slots[a].score > slots[b].score;
+  });
+  std::vector<ChargingSection> sections;
+  const auto take = std::min<std::size_t>(static_cast<std::size_t>(budget),
+                                          slots.size());
+  sections.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) sections.push_back(equip(slots[order[i]], spec));
+  return sections;
+}
+
+std::vector<ChargingSection> uniform_deployment(std::span<const CandidateSlot> slots,
+                                                int budget,
+                                                ChargingSectionSpec spec) {
+  if (budget < 1) throw std::invalid_argument("uniform_deployment: budget must be >= 1");
+  std::vector<ChargingSection> sections;
+  const auto take = std::min<std::size_t>(static_cast<std::size_t>(budget),
+                                          slots.size());
+  sections.reserve(take);
+  const double stride =
+      static_cast<double>(slots.size()) / static_cast<double>(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    const auto index = static_cast<std::size_t>(i * stride);
+    sections.push_back(equip(slots[std::min(index, slots.size() - 1)], spec));
+  }
+  return sections;
+}
+
+std::vector<double> edge_coverage_m(const traffic::Network& network,
+                                    std::span<const ChargingSection> sections) {
+  std::vector<double> coverage(network.edge_count(), 0.0);
+  for (const ChargingSection& section : sections) {
+    if (section.edge < coverage.size()) {
+      coverage[section.edge] += section.spec.length_m;
+    }
+  }
+  return coverage;
+}
+
+std::vector<double> charging_route_bonus(const traffic::Network& network,
+                                         std::span<const ChargingSection> sections,
+                                         double bonus_s_per_m) {
+  std::vector<double> bonus = edge_coverage_m(network, sections);
+  for (double& value : bonus) value *= -bonus_s_per_m;
+  return bonus;
+}
+
+std::vector<bool> reachable_sections(const traffic::Network& network,
+                                     std::span<const ChargingSection> sections,
+                                     const traffic::Route& route,
+                                     std::size_t route_index, double position_m,
+                                     double velocity_mps, double horizon_s) {
+  std::vector<bool> mask(sections.size(), false);
+  if (route_index >= route.size() || velocity_mps <= 0.0 || horizon_s <= 0.0) {
+    return mask;
+  }
+  // Distance reachable within the horizon at the current speed, measured
+  // along the remaining route.
+  double budget_m = velocity_mps * horizon_s;
+  double cursor_m = position_m;  // position on the current route edge
+  for (std::size_t i = route_index; i < route.size() && budget_m > 0.0; ++i) {
+    const traffic::EdgeId edge = route[i];
+    const double edge_length = network.edge(edge).length_m;
+    const double reach_end = std::min(edge_length, cursor_m + budget_m);
+    for (std::size_t s = 0; s < sections.size(); ++s) {
+      // A section counts if any part of it lies ahead of the cursor and
+      // within reach on this edge.
+      if (sections[s].edge == edge && sections[s].end_m() > cursor_m &&
+          sections[s].offset_m < reach_end) {
+        mask[s] = true;
+      }
+    }
+    budget_m -= reach_end - cursor_m;
+    cursor_m = 0.0;
+  }
+  return mask;
+}
+
+}  // namespace olev::wpt

@@ -1,0 +1,79 @@
+// Charging-section deployment planning.
+//
+// The paper's future work: "we plan to consider optimal deployment of
+// charging sections ... Cities may consider dedicating lanes to OLEVs or
+// placing charging sections at traffic lights or stop signals and
+// well-traveled road sections."  Related work [Ko & Jang 2013] optimizes
+// transmitter placement against infrastructure cost.
+//
+// This module plans a budget-constrained deployment: enumerate candidate
+// slots along the network, score each by measured vehicle occupancy from a
+// pilot simulation (queues at signals score highest, exactly the paper's
+// intuition), then greedily take the best `budget` slots.  It also exports
+// per-edge coverage as a routing cost adjustment so OLEV path planning can
+// prefer charging-equipped streets (traffic::shortest_route).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "traffic/network.h"
+#include "traffic/simulation.h"
+#include "wpt/charging_section.h"
+
+namespace olev::wpt {
+
+struct CandidateSlot {
+  traffic::EdgeId edge = traffic::kInvalidEdge;
+  double offset_m = 0.0;
+  double length_m = 0.0;
+  double score = 0.0;  ///< expected occupancy seconds from the pilot run
+};
+
+/// Tiles every edge with back-to-back slots of `slot_length_m` (the last
+/// partial slot of an edge is dropped).
+std::vector<CandidateSlot> enumerate_slots(const traffic::Network& network,
+                                           double slot_length_m);
+
+/// Scores `slots` by running `sim` until `until_time_s` with one
+/// SegmentDetector per slot; each slot's score becomes its accumulated
+/// occupancy seconds.  The simulation is advanced in place (pass a fresh
+/// one).  When `olev_only` is set, only OLEV-tagged vehicles count.
+void score_slots_by_occupancy(traffic::Simulation& sim,
+                              std::vector<CandidateSlot>& slots,
+                              double until_time_s, bool olev_only = false);
+
+/// Picks the `budget` highest-scoring slots (stable on ties) and equips
+/// them with `spec` (spec.length_m is overridden by each slot's length).
+std::vector<ChargingSection> plan_deployment(std::span<const CandidateSlot> slots,
+                                             int budget,
+                                             ChargingSectionSpec spec);
+
+/// Uniform baseline: every k-th slot regardless of score (k chosen to
+/// spend exactly `budget` slots).
+std::vector<ChargingSection> uniform_deployment(std::span<const CandidateSlot> slots,
+                                                int budget,
+                                                ChargingSectionSpec spec);
+
+/// Meters of charging coverage per edge (length network.edge_count()).
+std::vector<double> edge_coverage_m(const traffic::Network& network,
+                                    std::span<const ChargingSection> sections);
+
+/// Routing cost adjustment for charging-aware path planning: each edge gets
+/// -bonus_s_per_m * coverage meters (pass to traffic::shortest_route).
+std::vector<double> charging_route_bonus(const traffic::Network& network,
+                                         std::span<const ChargingSection> sections,
+                                         double bonus_s_per_m);
+
+/// Sections an OLEV can reach within `horizon_s` while following `route`
+/// from (current edge index, position) at `velocity_mps` -- the mask the
+/// pricing game should restrict the vehicle's allocation to (Section
+/// IV-A's ETA exchange; feeds PlayerSpec::allowed_sections).  One entry per
+/// element of `sections`.
+std::vector<bool> reachable_sections(const traffic::Network& network,
+                                     std::span<const ChargingSection> sections,
+                                     const traffic::Route& route,
+                                     std::size_t route_index, double position_m,
+                                     double velocity_mps, double horizon_s);
+
+}  // namespace olev::wpt

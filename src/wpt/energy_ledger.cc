@@ -1,0 +1,62 @@
+#include "wpt/energy_ledger.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace olev::wpt {
+namespace {
+std::size_t hour_of(double time_s) {
+  double hour = std::fmod(time_s / 3600.0, 24.0);
+  if (hour < 0.0) hour += 24.0;
+  return std::min<std::size_t>(23, static_cast<std::size_t>(hour));
+}
+}  // namespace
+
+EnergyLedger::EnergyLedger(std::size_t section_count)
+    : hourly_by_section_(section_count),
+      last_vehicle_by_section_(section_count, 0) {}
+
+void EnergyLedger::record(const TransferRecord& record) {
+  if (record.section_index >= hourly_by_section_.size()) {
+    throw std::out_of_range("EnergyLedger: bad section index");
+  }
+  hourly_by_section_[record.section_index][hour_of(record.time_s)] +=
+      record.energy_kwh;
+  total_kwh_ += record.energy_kwh;
+  ++records_;
+  if (last_vehicle_by_section_[record.section_index] != record.vehicle) {
+    last_vehicle_by_section_[record.section_index] = record.vehicle;
+    ++passes_;
+  }
+  if (keep_records_) raw_.push_back(record);
+}
+
+double EnergyLedger::section_total_kwh(std::size_t section_index) const {
+  double sum = 0.0;
+  for (double e : hourly_by_section_.at(section_index)) sum += e;
+  return sum;
+}
+
+std::array<double, 24> EnergyLedger::hourly_totals_kwh() const {
+  std::array<double, 24> totals{};
+  for (const auto& section : hourly_by_section_) {
+    for (std::size_t h = 0; h < 24; ++h) totals[h] += section[h];
+  }
+  return totals;
+}
+
+const std::array<double, 24>& EnergyLedger::hourly_for_section(
+    std::size_t section_index) const {
+  return hourly_by_section_.at(section_index);
+}
+
+void EnergyLedger::reset() {
+  for (auto& section : hourly_by_section_) section.fill(0.0);
+  for (auto& vehicle : last_vehicle_by_section_) vehicle = 0;
+  total_kwh_ = 0.0;
+  records_ = 0;
+  passes_ = 0;
+  raw_.clear();
+}
+
+}  // namespace olev::wpt

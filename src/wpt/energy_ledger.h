@@ -1,0 +1,55 @@
+// Transfer accounting: every (vehicle, section, step) energy delivery is
+// recorded, then aggregated per hour and per section -- the quantities the
+// Fig. 3(c) reproduction reports.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "traffic/types.h"
+
+namespace olev::wpt {
+
+struct TransferRecord {
+  traffic::VehicleId vehicle = 0;
+  std::size_t section_index = 0;
+  double time_s = 0.0;
+  double energy_kwh = 0.0;
+  double power_kw = 0.0;
+};
+
+class EnergyLedger {
+ public:
+  explicit EnergyLedger(std::size_t section_count);
+
+  void record(const TransferRecord& record);
+
+  std::size_t section_count() const { return hourly_by_section_.size(); }
+  double total_kwh() const { return total_kwh_; }
+  double section_total_kwh(std::size_t section_index) const;
+  /// Energy delivered during each hour of the day, summed over sections.
+  std::array<double, 24> hourly_totals_kwh() const;
+  /// Energy delivered per hour for one section.
+  const std::array<double, 24>& hourly_for_section(std::size_t section_index) const;
+  std::size_t record_count() const { return records_; }
+  /// Distinct-vehicle transfer events (a vehicle crossing one section once).
+  std::size_t unique_vehicle_passes() const { return passes_; }
+
+  /// Raw record retention is optional (costly for day-long runs).
+  void keep_records(bool keep) { keep_records_ = keep; }
+  const std::vector<TransferRecord>& records() const { return raw_; }
+
+  void reset();
+
+ private:
+  std::vector<std::array<double, 24>> hourly_by_section_;
+  std::vector<traffic::VehicleId> last_vehicle_by_section_;
+  double total_kwh_ = 0.0;
+  std::size_t records_ = 0;
+  std::size_t passes_ = 0;
+  bool keep_records_ = false;
+  std::vector<TransferRecord> raw_;
+};
+
+}  // namespace olev::wpt

@@ -1,0 +1,34 @@
+#include "wpt/olev.h"
+
+#include <algorithm>
+
+namespace olev::wpt {
+
+double p_olev_kw(const OlevParams& params, double soc, double soc_required) {
+  const double deficit = soc_required - soc + params.battery.soc_min;
+  if (deficit <= 0.0) return 0.0;
+  return deficit * params.battery.max_power_kw() * params.eta_e / params.eta_olev;
+}
+
+double feasible_power_kw(const OlevParams& params,
+                         const ChargingSectionSpec& section, double velocity_mps,
+                         double soc, double soc_required) {
+  return std::min(p_line_kw(section, velocity_mps),
+                  p_olev_kw(params, soc, soc_required));
+}
+
+double soc_required_for_trip(const OlevParams& params, double trip_km) {
+  if (trip_km <= 0.0) return 0.0;
+  const double energy_kwh =
+      trip_km * params.consumption_kwh_per_km / params.eta_olev;
+  return std::clamp(energy_kwh / params.battery.capacity_kwh(), 0.0, 1.0);
+}
+
+double daily_receivable_kwh(const OlevParams& params, double soc) {
+  // Up to 50% of SOC, but never past the policy ceiling.
+  const double half_soc = 0.5 * soc;
+  const double to_ceiling = std::max(0.0, params.battery.soc_max - soc);
+  return std::min(half_soc, to_ceiling) * params.battery.capacity_kwh();
+}
+
+}  // namespace olev::wpt

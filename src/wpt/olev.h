@@ -1,0 +1,40 @@
+// Per-OLEV energy demand model: Eq. (2) and Eq. (3) of the paper.
+//
+// Eq. (2):  P_OLEV_n = (SOC_req_n - SOC_n + SOC_min) * P_max * eta_E / eta_OLEV
+//   "the energy needed for planned travel minus the onboard energy storage
+//   times the efficiency of converting stored energy to grid power, divided
+//   by the duration of time the energy is dispatched."
+#pragma once
+
+#include "wpt/battery.h"
+#include "wpt/charging_section.h"
+
+namespace olev::wpt {
+
+struct OlevParams {
+  BatterySpec battery = BatterySpec::chevy_spark();
+  double eta_e = 0.85;     ///< energy transfer efficiency (eta_E)
+  double eta_olev = 0.9;   ///< vehicle driving efficiency (eta_OLEV)
+  /// Consumption used to translate trip distance into required SOC.
+  double consumption_kwh_per_km = 0.15;
+};
+
+/// Eq. (2): maximum power (kW) OLEV n can usefully receive, given its
+/// current SOC and the SOC required to finish the trip.  Non-negative; zero
+/// when the battery already holds enough energy.
+double p_olev_kw(const OlevParams& params, double soc, double soc_required);
+
+/// Eq. (3): feasible power from one section = min(P_line, P_OLEV).
+double feasible_power_kw(const OlevParams& params, const ChargingSectionSpec& section,
+                         double velocity_mps, double soc, double soc_required);
+
+/// SOC needed to cover `trip_km` from the current point (before efficiency
+/// losses), clamped to [0, 1].
+double soc_required_for_trip(const OlevParams& params, double trip_km);
+
+/// The paper's evaluation cap: OLEVs "can receive up to 50% of their SOC
+/// from the smart grid based on daily travel distance" (NHTS: ~70% of trips
+/// are 10-30 miles).  Returns the per-day receivable energy in kWh.
+double daily_receivable_kwh(const OlevParams& params, double soc);
+
+}  // namespace olev::wpt

@@ -1,0 +1,127 @@
+#include "wpt/battery.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace olev::wpt {
+namespace {
+
+TEST(BatterySpec, ChevySparkMatchesPaperParameters) {
+  const BatterySpec spec = BatterySpec::chevy_spark();
+  EXPECT_DOUBLE_EQ(spec.capacity_ah, 46.2);
+  EXPECT_DOUBLE_EQ(spec.nominal_voltage, 399.0);
+  EXPECT_DOUBLE_EQ(spec.cutoff_voltage, 325.0);
+  EXPECT_DOUBLE_EQ(spec.max_current_a, 240.0);
+  EXPECT_DOUBLE_EQ(spec.soc_min, 0.2);
+  EXPECT_DOUBLE_EQ(spec.soc_max, 0.9);
+}
+
+TEST(BatterySpec, DerivedQuantities) {
+  const BatterySpec spec = BatterySpec::chevy_spark();
+  EXPECT_NEAR(spec.capacity_kwh(), 18.4338, 1e-4);
+  EXPECT_NEAR(spec.max_power_kw(), 95.76, 1e-9);
+}
+
+TEST(Battery, ConstructorValidation) {
+  BatterySpec bad = BatterySpec::chevy_spark();
+  bad.capacity_ah = 0.0;
+  EXPECT_THROW(Battery(bad, 0.5), std::invalid_argument);
+  bad = BatterySpec::chevy_spark();
+  bad.soc_min = 0.9;
+  bad.soc_max = 0.2;
+  EXPECT_THROW(Battery(bad, 0.5), std::invalid_argument);
+}
+
+TEST(Battery, InitialSocClamped) {
+  Battery over(BatterySpec::chevy_spark(), 1.5);
+  EXPECT_DOUBLE_EQ(over.soc(), 1.0);
+  Battery under(BatterySpec::chevy_spark(), -0.5);
+  EXPECT_DOUBLE_EQ(under.soc(), 0.0);
+}
+
+TEST(Battery, EnergyTracksSoc) {
+  Battery battery(BatterySpec::chevy_spark(), 0.5);
+  EXPECT_NEAR(battery.energy_kwh(), 0.5 * 18.4338, 1e-3);
+}
+
+TEST(Battery, ChargeRespectsCeiling) {
+  Battery battery(BatterySpec::chevy_spark(), 0.85);
+  const double headroom = battery.headroom_kwh();
+  EXPECT_NEAR(headroom, 0.05 * battery.spec().capacity_kwh(), 1e-9);
+  const double accepted = battery.charge_kwh(10.0);
+  EXPECT_NEAR(accepted, headroom, 1e-9);
+  EXPECT_NEAR(battery.soc(), 0.9, 1e-12);
+  EXPECT_TRUE(battery.at_policy_ceiling());
+}
+
+TEST(Battery, ChargeFullAmountWhenRoomAvailable) {
+  Battery battery(BatterySpec::chevy_spark(), 0.5);
+  const double accepted = battery.charge_kwh(1.0);
+  EXPECT_DOUBLE_EQ(accepted, 1.0);
+  EXPECT_NEAR(battery.soc(), 0.5 + 1.0 / battery.spec().capacity_kwh(), 1e-12);
+}
+
+TEST(Battery, ChargeRejectsNegative) {
+  Battery battery(BatterySpec::chevy_spark(), 0.5);
+  EXPECT_THROW(battery.charge_kwh(-1.0), std::invalid_argument);
+}
+
+TEST(Battery, DischargeNeverBelowZero) {
+  Battery battery(BatterySpec::chevy_spark(), 0.1);
+  const double available = battery.energy_kwh();
+  const double delivered = battery.discharge_kwh(1000.0);
+  EXPECT_NEAR(delivered, available, 1e-9);
+  EXPECT_DOUBLE_EQ(battery.soc(), 0.0);
+}
+
+TEST(Battery, DischargeRejectsNegative) {
+  Battery battery(BatterySpec::chevy_spark(), 0.5);
+  EXPECT_THROW(battery.discharge_kwh(-1.0), std::invalid_argument);
+}
+
+TEST(Battery, PolicyFloorDetection) {
+  Battery battery(BatterySpec::chevy_spark(), 0.15);
+  EXPECT_TRUE(battery.below_policy_floor());
+  battery.charge_kwh(2.0);
+  EXPECT_FALSE(battery.below_policy_floor());
+}
+
+TEST(Battery, UsableEnergyAboveFloor) {
+  Battery battery(BatterySpec::chevy_spark(), 0.5);
+  EXPECT_NEAR(battery.usable_kwh(), 0.3 * battery.spec().capacity_kwh(), 1e-9);
+  Battery drained(BatterySpec::chevy_spark(), 0.1);
+  EXPECT_DOUBLE_EQ(drained.usable_kwh(), 0.0);
+}
+
+TEST(Battery, ThroughputAccumulatesBothDirections) {
+  Battery battery(BatterySpec::chevy_spark(), 0.5);
+  battery.charge_kwh(2.0);
+  battery.discharge_kwh(1.5);
+  EXPECT_NEAR(battery.throughput_kwh(), 3.5, 1e-12);
+}
+
+TEST(Battery, ThroughputCountsOnlyAcceptedEnergy) {
+  Battery battery(BatterySpec::chevy_spark(), 0.89);
+  const double accepted = battery.charge_kwh(100.0);  // clipped at soc_max
+  EXPECT_NEAR(battery.throughput_kwh(), accepted, 1e-12);
+}
+
+TEST(Battery, EquivalentFullCycles) {
+  Battery battery(BatterySpec::chevy_spark(), 0.5);
+  const double capacity = battery.spec().capacity_kwh();
+  battery.charge_kwh(0.2 * capacity);
+  battery.discharge_kwh(0.2 * capacity);
+  // One full cycle = capacity charged + capacity discharged.
+  EXPECT_NEAR(battery.equivalent_full_cycles(), 0.2, 1e-12);
+}
+
+TEST(Battery, ChargeDischargeRoundTrip) {
+  Battery battery(BatterySpec::chevy_spark(), 0.5);
+  battery.charge_kwh(2.0);
+  battery.discharge_kwh(2.0);
+  EXPECT_NEAR(battery.soc(), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace olev::wpt

@@ -1,0 +1,119 @@
+#include "net/bus.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace olev::net {
+namespace {
+
+LinkModel perfect_link() {
+  LinkModel link;
+  link.base_latency_s = 0.01;
+  link.jitter_s = 0.0;
+  link.drop_probability = 0.0;
+  return link;
+}
+
+TEST(MessageBus, DeliversAfterLatency) {
+  MessageBus bus(perfect_link());
+  bus.send(1, 2, 0.0, BeaconMsg{1, 0.0, 0.0, 0.5});
+  EXPECT_TRUE(bus.poll(2, 0.005).empty());  // too early
+  const auto delivered = bus.poll(2, 0.02);
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].from, 1u);
+  EXPECT_EQ(delivered[0].to, 2u);
+  EXPECT_TRUE(std::holds_alternative<BeaconMsg>(delivered[0].payload));
+}
+
+TEST(MessageBus, PayloadSurvivesWireRoundTrip) {
+  MessageBus bus(perfect_link());
+  PowerRequestMsg msg{3, 9, 12.5};
+  bus.send(4, kGridNode, 0.0, msg);
+  const auto delivered = bus.poll(kGridNode, 1.0);
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(std::get<PowerRequestMsg>(delivered[0].payload), msg);
+}
+
+TEST(MessageBus, OnlyAddresseeReceives) {
+  MessageBus bus(perfect_link());
+  bus.send(1, 2, 0.0, BeaconMsg{});
+  EXPECT_TRUE(bus.poll(3, 1.0).empty());
+  EXPECT_EQ(bus.poll(2, 1.0).size(), 1u);
+}
+
+TEST(MessageBus, UndeliveredMessagesStayQueued) {
+  MessageBus bus(perfect_link());
+  bus.send(1, 2, 0.0, BeaconMsg{});
+  bus.send(1, 3, 0.0, BeaconMsg{});
+  // Polling node 2 must not lose node 3's message.
+  EXPECT_EQ(bus.poll(2, 1.0).size(), 1u);
+  EXPECT_EQ(bus.poll(3, 1.0).size(), 1u);
+}
+
+TEST(MessageBus, ArrivalOrderPreserved) {
+  MessageBus bus(perfect_link());
+  bus.send(1, 2, 0.00, PowerRequestMsg{0, 1, 0.0});
+  bus.send(1, 2, 0.01, PowerRequestMsg{0, 2, 0.0});
+  bus.send(1, 2, 0.02, PowerRequestMsg{0, 3, 0.0});
+  const auto delivered = bus.poll(2, 1.0);
+  ASSERT_EQ(delivered.size(), 3u);
+  EXPECT_EQ(std::get<PowerRequestMsg>(delivered[0].payload).round, 1u);
+  EXPECT_EQ(std::get<PowerRequestMsg>(delivered[1].payload).round, 2u);
+  EXPECT_EQ(std::get<PowerRequestMsg>(delivered[2].payload).round, 3u);
+}
+
+TEST(MessageBus, NextArrivalTracksQueue) {
+  MessageBus bus(perfect_link());
+  EXPECT_TRUE(std::isinf(bus.next_arrival_s()));
+  bus.send(1, 2, 0.0, BeaconMsg{});
+  EXPECT_NEAR(bus.next_arrival_s(), 0.01, 1e-12);
+  bus.poll(2, 1.0);
+  EXPECT_TRUE(std::isinf(bus.next_arrival_s()));
+}
+
+TEST(MessageBus, DropsAtConfiguredRate) {
+  LinkModel lossy = perfect_link();
+  lossy.drop_probability = 0.3;
+  MessageBus bus(lossy);
+  constexpr int kMessages = 10000;
+  for (int i = 0; i < kMessages; ++i) bus.send(1, 2, 0.0, BeaconMsg{});
+  const auto delivered = bus.poll(2, 1.0);
+  EXPECT_EQ(bus.stats().sent, static_cast<std::size_t>(kMessages));
+  EXPECT_NEAR(static_cast<double>(bus.stats().dropped) / kMessages, 0.3, 0.02);
+  EXPECT_EQ(delivered.size(), kMessages - bus.stats().dropped);
+}
+
+TEST(MessageBus, JitterStaysWithinBound) {
+  LinkModel jittery = perfect_link();
+  jittery.jitter_s = 0.05;
+  MessageBus bus(jittery);
+  for (int i = 0; i < 100; ++i) bus.send(1, 2, 0.0, BeaconMsg{});
+  // All must arrive within base + jitter.
+  EXPECT_EQ(bus.poll(2, 0.01 + 0.05 + 1e-9).size(), 100u);
+}
+
+TEST(MessageBus, StatsCountBytes) {
+  MessageBus bus(perfect_link());
+  bus.send(1, 2, 0.0, PowerRequestMsg{1, 2, 3.0});
+  EXPECT_EQ(bus.stats().bytes_sent, 21u);
+}
+
+TEST(MessageBus, SequenceNumbersIncrease) {
+  MessageBus bus(perfect_link());
+  const auto s1 = bus.send(1, 2, 0.0, BeaconMsg{});
+  const auto s2 = bus.send(1, 2, 0.0, BeaconMsg{});
+  EXPECT_GT(s2, s1);
+}
+
+TEST(MessageBus, InFlightCount) {
+  MessageBus bus(perfect_link());
+  bus.send(1, 2, 0.0, BeaconMsg{});
+  bus.send(1, 3, 0.0, BeaconMsg{});
+  EXPECT_EQ(bus.in_flight(), 2u);
+  bus.poll(2, 1.0);
+  EXPECT_EQ(bus.in_flight(), 1u);
+}
+
+}  // namespace
+}  // namespace olev::net

@@ -1,0 +1,166 @@
+#include "core/central.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "core/welfare.h"
+#include "util/rng.h"
+
+namespace olev::core {
+namespace {
+
+SectionCost make_cost(double cap = 40.0) {
+  return SectionCost(std::make_unique<NonlinearPricing>(5.0, 0.875, cap),
+                     OverloadCost{1.0}, cap);
+}
+
+TEST(ProjectCappedSimplex, ClampsNegativesWhenUnderCap) {
+  std::vector<double> row{1.0, -2.0, 3.0};
+  project_capped_simplex(row, 100.0);
+  EXPECT_DOUBLE_EQ(row[0], 1.0);
+  EXPECT_DOUBLE_EQ(row[1], 0.0);
+  EXPECT_DOUBLE_EQ(row[2], 3.0);
+}
+
+TEST(ProjectCappedSimplex, ProjectsOntoSimplexWhenOverCap) {
+  std::vector<double> row{4.0, 4.0};
+  project_capped_simplex(row, 4.0);
+  EXPECT_NEAR(row[0] + row[1], 4.0, 1e-12);
+  EXPECT_NEAR(row[0], 2.0, 1e-12);
+}
+
+TEST(ProjectCappedSimplex, KeepsRelativeOrder) {
+  std::vector<double> row{10.0, 2.0, 6.0};
+  project_capped_simplex(row, 9.0);
+  EXPECT_NEAR(std::accumulate(row.begin(), row.end(), 0.0), 9.0, 1e-12);
+  EXPECT_GT(row[0], row[2]);
+  EXPECT_GT(row[2], row[1]);
+  for (double v : row) EXPECT_GE(v, 0.0);
+}
+
+TEST(ProjectCappedSimplex, IdempotentOnFeasiblePoints) {
+  std::vector<double> row{1.0, 2.0};
+  std::vector<double> copy = row;
+  project_capped_simplex(copy, 10.0);
+  EXPECT_EQ(copy, row);
+}
+
+TEST(ProjectCappedSimplex, RandomizedProjectionIsClosestFeasible) {
+  util::Rng rng(12);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t size = static_cast<std::size_t>(rng.uniform_int(1, 6));
+    std::vector<double> point(size);
+    for (double& v : point) v = rng.uniform(-5.0, 10.0);
+    const double cap = rng.uniform(0.5, 10.0);
+    std::vector<double> projected = point;
+    project_capped_simplex(projected, cap);
+
+    // Feasibility.
+    double sum = 0.0;
+    for (double v : projected) {
+      EXPECT_GE(v, -1e-12);
+      sum += v;
+    }
+    EXPECT_LE(sum, cap + 1e-9);
+
+    // No random feasible point is closer.
+    auto dist2 = [&](const std::vector<double>& q) {
+      double d = 0.0;
+      for (std::size_t i = 0; i < size; ++i) {
+        d += (q[i] - point[i]) * (q[i] - point[i]);
+      }
+      return d;
+    };
+    const double best = dist2(projected);
+    for (int probe = 0; probe < 50; ++probe) {
+      std::vector<double> q(size);
+      double qsum = 0.0;
+      for (double& v : q) {
+        v = rng.uniform(0.0, cap);
+        qsum += v;
+      }
+      if (qsum > cap) {
+        for (double& v : q) v *= cap / qsum;
+      }
+      EXPECT_GE(dist2(q), best - 1e-9);
+    }
+  }
+}
+
+TEST(MaximizeWelfare, SinglePlayerSingleSectionAnalytic) {
+  // max U(p) - Z(p) with U = w log(1+p): interior optimum solves
+  // w/(1+p) = Z'(p).
+  const SectionCost z = make_cost();
+  std::vector<std::unique_ptr<Satisfaction>> players;
+  players.push_back(std::make_unique<LogSatisfaction>(10.0));
+  const std::vector<double> caps{1000.0};
+  const CentralResult result = maximize_welfare(players, caps, z, 1);
+  ASSERT_TRUE(result.converged);
+  const double p = result.schedule.row_total(0);
+  EXPECT_NEAR(players[0]->derivative(p), z.derivative(p), 1e-4);
+}
+
+TEST(MaximizeWelfare, RespectsPlayerCaps) {
+  const SectionCost z = make_cost();
+  std::vector<std::unique_ptr<Satisfaction>> players;
+  players.push_back(std::make_unique<LogSatisfaction>(1000.0));  // wants a lot
+  const std::vector<double> caps{7.5};
+  const CentralResult result = maximize_welfare(players, caps, z, 3);
+  EXPECT_NEAR(result.schedule.row_total(0), 7.5, 1e-6);
+}
+
+TEST(MaximizeWelfare, BalancesSectionsAtOptimum) {
+  // With symmetric sections, the optimal schedule equalizes section loads.
+  const SectionCost z = make_cost();
+  std::vector<std::unique_ptr<Satisfaction>> players;
+  players.push_back(std::make_unique<LogSatisfaction>(50.0));
+  players.push_back(std::make_unique<LogSatisfaction>(50.0));
+  const std::vector<double> caps{100.0, 100.0};
+  const CentralResult result = maximize_welfare(players, caps, z, 4);
+  const auto loads = result.schedule.column_totals();
+  for (std::size_t c = 1; c < loads.size(); ++c) {
+    EXPECT_NEAR(loads[c], loads[0], 1e-4);
+  }
+}
+
+TEST(MaximizeWelfare, WelfareAtLeastAnyRandomFeasiblePoint) {
+  const SectionCost z = make_cost();
+  std::vector<std::unique_ptr<Satisfaction>> players;
+  players.push_back(std::make_unique<LogSatisfaction>(20.0));
+  players.push_back(std::make_unique<LogSatisfaction>(8.0));
+  const std::vector<double> caps{30.0, 25.0};
+  const std::size_t sections = 3;
+  const CentralResult result = maximize_welfare(players, caps, z, sections);
+
+  util::Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    PowerSchedule candidate(2, sections);
+    for (std::size_t n = 0; n < 2; ++n) {
+      std::vector<double> row(sections);
+      double sum = 0.0;
+      for (double& v : row) {
+        v = rng.uniform(0.0, caps[n]);
+        sum += v;
+      }
+      if (sum > caps[n]) {
+        for (double& v : row) v *= caps[n] / sum;
+      }
+      candidate.set_row(n, row);
+    }
+    EXPECT_GE(result.welfare, social_welfare(players, z, candidate) - 1e-6);
+  }
+}
+
+TEST(MaximizeWelfare, ValidatesShapes) {
+  const SectionCost z = make_cost();
+  std::vector<std::unique_ptr<Satisfaction>> players;
+  players.push_back(std::make_unique<LogSatisfaction>(1.0));
+  const std::vector<double> caps{1.0, 2.0};  // mismatch
+  EXPECT_THROW(maximize_welfare(players, caps, z, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace olev::core

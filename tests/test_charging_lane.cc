@@ -1,0 +1,199 @@
+#include "wpt/charging_lane.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "wpt/energy_ledger.h"
+
+namespace olev::wpt {
+namespace {
+
+traffic::Vehicle olev_at(traffic::VehicleId id, traffic::EdgeId edge, double pos,
+                         double speed) {
+  traffic::Vehicle vehicle;
+  vehicle.id = id;
+  vehicle.type = traffic::VehicleType::olev();
+  vehicle.route = {edge};
+  vehicle.pos_m = pos;
+  vehicle.speed_mps = speed;
+  vehicle.is_olev = true;
+  return vehicle;
+}
+
+traffic::StepView view_of(const std::vector<traffic::Vehicle>& vehicles,
+                          double time_s, double dt_s = 1.0) {
+  return traffic::StepView{time_s, dt_s,
+                           std::span<const traffic::Vehicle>(vehicles)};
+}
+
+ChargingLane make_lane(int sections = 2) {
+  ChargingSectionSpec spec;
+  return ChargingLane(
+      ChargingLane::evenly_spaced(0, 0.0, 200.0, sections, spec),
+      ChargingLaneConfig{});
+}
+
+// ---------- EnergyLedger ----------
+
+TEST(EnergyLedger, RecordsAndAggregates) {
+  EnergyLedger ledger(2);
+  ledger.record({1, 0, 100.0, 0.5, 50.0});
+  ledger.record({2, 1, 3700.0, 0.25, 25.0});
+  EXPECT_DOUBLE_EQ(ledger.total_kwh(), 0.75);
+  EXPECT_DOUBLE_EQ(ledger.section_total_kwh(0), 0.5);
+  EXPECT_DOUBLE_EQ(ledger.section_total_kwh(1), 0.25);
+  EXPECT_DOUBLE_EQ(ledger.hourly_totals_kwh()[0], 0.5);
+  EXPECT_DOUBLE_EQ(ledger.hourly_totals_kwh()[1], 0.25);
+  EXPECT_EQ(ledger.record_count(), 2u);
+}
+
+TEST(EnergyLedger, RejectsBadSection) {
+  EnergyLedger ledger(1);
+  EXPECT_THROW(ledger.record({1, 5, 0.0, 1.0, 1.0}), std::out_of_range);
+}
+
+TEST(EnergyLedger, UniquePassesCountsVehicleChanges) {
+  EnergyLedger ledger(1);
+  ledger.record({1, 0, 0.0, 0.1, 1.0});
+  ledger.record({1, 0, 1.0, 0.1, 1.0});  // same vehicle, same section
+  ledger.record({2, 0, 2.0, 0.1, 1.0});  // new vehicle
+  EXPECT_EQ(ledger.unique_vehicle_passes(), 2u);
+}
+
+TEST(EnergyLedger, OptionalRawRecords) {
+  EnergyLedger ledger(1);
+  ledger.record({1, 0, 0.0, 0.1, 1.0});
+  EXPECT_TRUE(ledger.records().empty());
+  ledger.keep_records(true);
+  ledger.record({1, 0, 1.0, 0.1, 1.0});
+  EXPECT_EQ(ledger.records().size(), 1u);
+}
+
+TEST(EnergyLedger, ResetClears) {
+  EnergyLedger ledger(1);
+  ledger.record({1, 0, 0.0, 0.1, 1.0});
+  ledger.reset();
+  EXPECT_DOUBLE_EQ(ledger.total_kwh(), 0.0);
+  EXPECT_EQ(ledger.record_count(), 0u);
+  EXPECT_EQ(ledger.unique_vehicle_passes(), 0u);
+}
+
+// ---------- ChargingLane ----------
+
+TEST(ChargingLane, EvenlySpacedLayout) {
+  ChargingSectionSpec spec;
+  spec.length_m = 20.0;
+  const auto sections = ChargingLane::evenly_spaced(0, 0.0, 200.0, 4, spec);
+  ASSERT_EQ(sections.size(), 4u);
+  EXPECT_DOUBLE_EQ(sections[0].offset_m, 0.0);
+  EXPECT_DOUBLE_EQ(sections[1].offset_m, 50.0);
+  EXPECT_DOUBLE_EQ(sections[3].offset_m, 150.0);
+  for (const auto& section : sections) {
+    EXPECT_DOUBLE_EQ(section.spec.length_m, 20.0);
+  }
+}
+
+TEST(ChargingLane, EvenlySpacedValidation) {
+  ChargingSectionSpec spec;
+  EXPECT_THROW(ChargingLane::evenly_spaced(0, 0.0, 100.0, 0, spec),
+               std::invalid_argument);
+  EXPECT_THROW(ChargingLane::evenly_spaced(0, 100.0, 100.0, 1, spec),
+               std::invalid_argument);
+}
+
+TEST(ChargingLane, RequiresSections) {
+  EXPECT_THROW(ChargingLane({}, ChargingLaneConfig{}), std::invalid_argument);
+}
+
+TEST(ChargingLane, SectionLookup) {
+  ChargingLane lane = make_lane(2);  // sections at [0,20) and [100,120)
+  EXPECT_EQ(lane.section_at(0, 10.0, 5.0), 0);
+  EXPECT_EQ(lane.section_at(0, 110.0, 105.0), 1);
+  EXPECT_EQ(lane.section_at(0, 60.0, 55.0), -1);
+  EXPECT_EQ(lane.section_at(1, 10.0, 5.0), -1);  // wrong edge
+}
+
+TEST(ChargingLane, ChargesOlevOnSection) {
+  ChargingLane lane = make_lane(1);
+  std::vector<traffic::Vehicle> vehicles{olev_at(1, 0, 10.0, 26.8)};
+  lane.on_step(view_of(vehicles, 0.0));
+  EXPECT_GT(lane.ledger().total_kwh(), 0.0);
+  const Battery* battery = lane.battery_for(1);
+  ASSERT_NE(battery, nullptr);
+  EXPECT_GT(battery->soc(), 0.5);  // charged above the initial 50%
+}
+
+TEST(ChargingLane, IgnoresNonOlev) {
+  ChargingLane lane = make_lane(1);
+  auto vehicle = olev_at(1, 0, 10.0, 26.8);
+  vehicle.is_olev = false;
+  std::vector<traffic::Vehicle> vehicles{vehicle};
+  lane.on_step(view_of(vehicles, 0.0));
+  EXPECT_DOUBLE_EQ(lane.ledger().total_kwh(), 0.0);
+  EXPECT_EQ(lane.battery_for(1), nullptr);
+}
+
+TEST(ChargingLane, IgnoresVehiclesOffSection) {
+  ChargingLane lane = make_lane(2);
+  std::vector<traffic::Vehicle> vehicles{olev_at(1, 0, 60.0, 26.8)};
+  lane.on_step(view_of(vehicles, 0.0));
+  EXPECT_DOUBLE_EQ(lane.ledger().total_kwh(), 0.0);
+}
+
+TEST(ChargingLane, SlowerVehicleReceivesMoreEnergyPerPass) {
+  // Same section crossed at 60 vs 80 mph: the slow pass nets more energy
+  // (longer dwell AND higher Eq. (1) limit).
+  auto pass_energy = [](double speed_mps) {
+    ChargingLane lane = make_lane(1);
+    double pos = -5.0;
+    double time = 0.0;
+    while (pos < 40.0) {
+      std::vector<traffic::Vehicle> vehicles{olev_at(1, 0, pos, speed_mps)};
+      lane.on_step(view_of(vehicles, time, 0.1));
+      pos += speed_mps * 0.1;
+      time += 0.1;
+    }
+    return lane.ledger().total_kwh();
+  };
+  EXPECT_GT(pass_energy(26.82), pass_energy(35.76));
+}
+
+TEST(ChargingLane, FullBatteryStopsCharging) {
+  ChargingLaneConfig config;
+  config.initial_soc = 0.9;  // already at the policy ceiling
+  ChargingSectionSpec spec;
+  ChargingLane lane(ChargingLane::evenly_spaced(0, 0.0, 200.0, 1, spec), config);
+  std::vector<traffic::Vehicle> vehicles{olev_at(1, 0, 10.0, 5.0)};
+  lane.on_step(view_of(vehicles, 0.0));
+  EXPECT_DOUBLE_EQ(lane.ledger().total_kwh(), 0.0);
+}
+
+TEST(ChargingLane, SectionBudgetSharedAcrossOccupants) {
+  // Two OLEVs on the same long slow section: the combined grid draw in one
+  // step cannot exceed the section cap.
+  ChargingSectionSpec spec;
+  spec.length_m = 100.0;
+  spec.rated_power_kw = 50.0;
+  ChargingLaneConfig config;
+  ChargingLane lane(ChargingLane::evenly_spaced(0, 0.0, 100.0, 1, spec), config);
+  std::vector<traffic::Vehicle> vehicles{olev_at(1, 0, 30.0, 2.0),
+                                         olev_at(2, 0, 70.0, 2.0)};
+  lane.on_step(view_of(vehicles, 0.0));
+  const double cap_kwh =
+      spec.safety_factor * spec.rated_power_kw * 1.0 / 3600.0;
+  EXPECT_LE(lane.ledger().total_kwh(), cap_kwh + 1e-9);
+  EXPECT_GT(lane.ledger().total_kwh(), 0.0);
+}
+
+TEST(ChargingLane, TracksDistinctVehicles) {
+  ChargingLane lane = make_lane(1);
+  std::vector<traffic::Vehicle> vehicles{olev_at(1, 0, 10.0, 10.0),
+                                         olev_at(2, 0, 15.0, 10.0)};
+  lane.on_step(view_of(vehicles, 0.0));
+  EXPECT_EQ(lane.tracked_vehicles(), 2u);
+}
+
+}  // namespace
+}  // namespace olev::wpt

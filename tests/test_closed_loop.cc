@@ -1,0 +1,132 @@
+#include "core/closed_loop.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "traffic/simulation.h"
+#include "util/units.h"
+
+namespace olev::core {
+namespace {
+
+struct Rig {
+  traffic::Simulation sim;
+  wpt::ChargingLane lane;
+  grid::NyisoDay day;
+
+  static Rig make(std::uint64_t seed = 7) {
+    const auto program = traffic::SignalProgram::fixed_cycle(35.0, 4.0, 31.0);
+    traffic::Network net = traffic::Network::arterial(
+        2, 300.0, util::mph_to_mps(30.0), program, 2);
+    traffic::SimulationConfig config;
+    config.seed = seed;
+    traffic::Simulation sim(std::move(net), config);
+    traffic::DemandConfig demand;
+    demand.counts.fill(1200.0);
+    sim.add_source(
+        traffic::FlowSource({0, 1}, demand, traffic::VehicleType::olev()));
+    wpt::ChargingSectionSpec spec;
+    spec.length_m = 20.0;
+    wpt::ChargingLane lane(
+        wpt::ChargingLane::evenly_spaced(0, 100.0, 300.0, 10, spec),
+        wpt::ChargingLaneConfig{});
+    return Rig{std::move(sim), std::move(lane), grid::NyisoDay::generate()};
+  }
+};
+
+TEST(ChargingLaneBudgets, OverrideValidation) {
+  Rig rig = Rig::make();
+  EXPECT_THROW(rig.lane.set_section_budgets_kw({1.0, 2.0}),
+               std::invalid_argument);
+  rig.lane.set_section_budgets_kw(std::vector<double>(10, 5.0));
+  EXPECT_EQ(rig.lane.section_budgets_kw().size(), 10u);
+  rig.lane.set_section_budgets_kw({});  // back to defaults
+  EXPECT_TRUE(rig.lane.section_budgets_kw().empty());
+}
+
+TEST(ChargingLaneBudgets, ZeroBudgetBlocksDelivery) {
+  Rig rig = Rig::make();
+  rig.sim.add_observer(&rig.lane);
+  rig.lane.set_section_budgets_kw(std::vector<double>(10, 0.0));
+  rig.sim.run_until(300.0);
+  EXPECT_DOUBLE_EQ(rig.lane.ledger().total_kwh(), 0.0);
+}
+
+TEST(ChargingLaneBudgets, BudgetCapsSectionPower) {
+  Rig rig = Rig::make();
+  rig.sim.add_observer(&rig.lane);
+  const double budget_kw = 3.0;
+  rig.lane.set_section_budgets_kw(std::vector<double>(10, budget_kw));
+  rig.sim.run_until(600.0);
+  // Per-section energy over 600 s cannot exceed budget * time.
+  for (std::size_t c = 0; c < 10; ++c) {
+    EXPECT_LE(rig.lane.ledger().section_total_kwh(c),
+              budget_kw * 600.0 / 3600.0 + 1e-9)
+        << "section " << c;
+  }
+  EXPECT_GT(rig.lane.ledger().total_kwh(), 0.0);
+}
+
+TEST(ClosedLoop, ReplansOnSchedule) {
+  Rig rig = Rig::make();
+  rig.sim.add_observer(&rig.lane);
+  ClosedLoopConfig config;
+  config.replan_period_s = 300.0;
+  ClosedLoopController controller(rig.lane, rig.day, config);
+  rig.sim.add_observer(&controller);
+  rig.sim.run_until(1800.0);
+  // One replan at t~0 and one every 300 s after.
+  EXPECT_GE(controller.replan_count(), 5u);
+  EXPECT_LE(controller.replan_count(), 7u);
+}
+
+TEST(ClosedLoop, GamesConvergeAndImposeBudgets) {
+  Rig rig = Rig::make();
+  rig.sim.add_observer(&rig.lane);
+  ClosedLoopController controller(rig.lane, rig.day);
+  rig.sim.add_observer(&controller);
+  rig.sim.run_until(1800.0);
+
+  bool any_players = false;
+  for (const ReplanRecord& record : controller.replans()) {
+    EXPECT_TRUE(record.converged) << "t=" << record.time_s;
+    if (record.players > 0) {
+      any_players = true;
+      EXPECT_GT(record.scheduled_total_kw, 0.0);
+    }
+  }
+  EXPECT_TRUE(any_players);
+  // After a populated replan the lane carries game budgets.
+  EXPECT_FALSE(rig.lane.section_budgets_kw().empty());
+  EXPECT_GT(rig.lane.ledger().total_kwh(), 0.0);
+}
+
+TEST(ClosedLoop, BetaTracksGridDay) {
+  Rig rig = Rig::make();
+  rig.sim.add_observer(&rig.lane);
+  ClosedLoopController controller(rig.lane, rig.day);
+  rig.sim.add_observer(&controller);
+  rig.sim.run_until(900.0);
+  for (const ReplanRecord& record : controller.replans()) {
+    EXPECT_NEAR(record.beta_lbmp, rig.day.lbmp_at(record.time_s / 3600.0),
+                1e-9);
+  }
+}
+
+TEST(ClosedLoop, ScheduledDeliveryStaysWithinSafetyCap) {
+  Rig rig = Rig::make();
+  rig.sim.add_observer(&rig.lane);
+  ClosedLoopConfig config;
+  ClosedLoopController controller(rig.lane, rig.day, config);
+  rig.sim.add_observer(&controller);
+  rig.sim.run_until(1200.0);
+  const double cap_kw =
+      config.eta * rig.lane.sections().front().spec.rated_power_kw;
+  for (double budget : rig.lane.section_budgets_kw()) {
+    EXPECT_LE(budget, cap_kw + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace olev::core

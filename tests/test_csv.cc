@@ -1,0 +1,96 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace olev::util {
+namespace {
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(1.0, 0), "1");
+  EXPECT_EQ(fmt(-0.5, 3), "-0.500");
+}
+
+TEST(CsvEscape, PlainPassThrough) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvEscape, QuotesCommaFields) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscape, DoublesEmbeddedQuotes) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscape, QuotesNewlines) {
+  EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table table({"x", "y"});
+  table.add_row({"1", "2"});
+  table.add_row({"3", "4"});
+  std::ostringstream os;
+  table.write_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table table({"a", "b", "c"});
+  table.add_row({"1"});
+  std::ostringstream os;
+  table.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b,c\n1,,\n");
+}
+
+TEST(Table, NumericRowFormatting) {
+  Table table({"v"});
+  table.add_row_numeric({2.5}, 1);
+  std::ostringstream os;
+  table.write_csv(os);
+  EXPECT_EQ(os.str(), "v\n2.5\n");
+}
+
+TEST(Table, PrettyAlignsColumns) {
+  Table table({"name", "v"});
+  table.add_row({"x", "10"});
+  table.add_row({"longer", "7"});
+  std::ostringstream os;
+  table.write_pretty(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name   | v  |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 7  |"), std::string::npos);
+}
+
+TEST(Table, SaveCsvWritesFile) {
+  Table table({"h"});
+  table.add_row({"1"});
+  const std::string path = ::testing::TempDir() + "/olev_table_test.csv";
+  table.save_csv(path);
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "h\n1\n");
+  std::remove(path.c_str());
+}
+
+TEST(Table, SaveCsvThrowsOnBadPath) {
+  Table table({"h"});
+  EXPECT_THROW(table.save_csv("/nonexistent_dir_xyz/file.csv"), std::runtime_error);
+}
+
+TEST(Table, RowCount) {
+  Table table({"h"});
+  EXPECT_EQ(table.rows(), 0u);
+  table.add_row({"1"}).add_row({"2"});
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+}  // namespace
+}  // namespace olev::util

@@ -1,0 +1,113 @@
+#include "traffic/demand.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace olev::traffic {
+namespace {
+
+TEST(HourlyCounts, NycProfileShape) {
+  const auto counts = nyc_arterial_hourly_counts();
+  // Overnight trough, AM peak around 08:00, PM peak around 17:00.
+  EXPECT_LT(counts[3], counts[8]);
+  EXPECT_LT(counts[3], counts[17]);
+  EXPECT_GT(counts[8], counts[11]);   // AM peak above midday
+  EXPECT_GT(counts[17], counts[14]);  // PM peak above early afternoon
+  double total = 0.0;
+  for (double c : counts) total += c;
+  EXPECT_GT(total, 15000.0);
+  EXPECT_LT(total, 30000.0);
+}
+
+TEST(HourlyCounts, ScaleToDailyTotal) {
+  const auto scaled = scale_to_daily_total(nyc_arterial_hourly_counts(), 10000.0);
+  double total = 0.0;
+  for (double c : scaled) total += c;
+  EXPECT_NEAR(total, 10000.0, 1e-6);
+}
+
+TEST(HourlyCounts, ScaleRejectsEmptyProfile) {
+  HourlyCounts zeros{};
+  EXPECT_THROW(scale_to_daily_total(zeros, 100.0), std::invalid_argument);
+}
+
+TEST(FlowSource, RejectsEmptyRoute) {
+  EXPECT_THROW(FlowSource({}, DemandConfig{}, VehicleType::passenger()),
+               std::invalid_argument);
+}
+
+TEST(FlowSource, RateMatchesHourlyCount) {
+  DemandConfig config;
+  config.counts = nyc_arterial_hourly_counts();
+  FlowSource source({0}, config, VehicleType::passenger());
+  // 08:30 falls in hour bucket 8.
+  EXPECT_DOUBLE_EQ(source.rate_at(8.5 * 3600.0), config.counts[8] / 3600.0);
+  // Wraps to the next day.
+  EXPECT_DOUBLE_EQ(source.rate_at((24.0 + 8.5) * 3600.0),
+                   config.counts[8] / 3600.0);
+}
+
+TEST(FlowSource, ArrivalsMatchRateInExpectation) {
+  DemandConfig config;
+  config.counts.fill(3600.0);  // one vehicle per second
+  FlowSource source({0}, config, VehicleType::passenger());
+  util::Rng rng(7);
+  std::size_t total = 0;
+  constexpr int kSteps = 10000;
+  for (int i = 0; i < kSteps; ++i) total += source.sample_arrivals(0.0, 1.0, rng);
+  EXPECT_NEAR(static_cast<double>(total) / kSteps, 1.0, 0.05);
+}
+
+TEST(FlowSource, ZeroRateProducesNoArrivals) {
+  DemandConfig config;
+  config.counts.fill(0.0);
+  FlowSource source({0}, config, VehicleType::passenger());
+  util::Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(source.sample_arrivals(0.0, 1.0, rng), 0u);
+  }
+}
+
+TEST(FlowSource, MakeVehicleSetsRouteAndTime) {
+  FlowSource source({0, 1, 2}, DemandConfig{}, VehicleType::passenger());
+  util::Rng rng(3);
+  const Vehicle vehicle = source.make_vehicle(123.0, rng);
+  EXPECT_EQ(vehicle.route, Route({0, 1, 2}));
+  EXPECT_DOUBLE_EQ(vehicle.depart_time_s, 123.0);
+  EXPECT_EQ(vehicle.route_index, 0u);
+}
+
+TEST(FlowSource, OlevTaggingFollowsParticipationTimesWillingness) {
+  DemandConfig config;
+  config.olev_participation = 0.5;
+  config.olev_willingness = 0.5;
+  FlowSource source({0}, config, VehicleType::olev());
+  util::Rng rng(11);
+  int olevs = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (source.make_vehicle(0.0, rng).is_olev) ++olevs;
+  }
+  EXPECT_NEAR(static_cast<double>(olevs) / kSamples, 0.25, 0.02);
+}
+
+TEST(FlowSource, FullParticipationAllOlev) {
+  DemandConfig config;  // defaults are 1.0 / 1.0
+  FlowSource source({0}, config, VehicleType::olev());
+  util::Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(source.make_vehicle(0.0, rng).is_olev);
+  }
+}
+
+TEST(VehicleType, Presets) {
+  EXPECT_EQ(VehicleType::passenger().name, "passenger");
+  EXPECT_EQ(VehicleType::olev().name, "olev");
+  // Same SUMO dynamics for both.
+  EXPECT_DOUBLE_EQ(VehicleType::olev().accel_mps2,
+                   VehicleType::passenger().accel_mps2);
+}
+
+}  // namespace
+}  // namespace olev::traffic

@@ -1,0 +1,238 @@
+#include "wpt/deployment.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/game.h"
+#include "traffic/routing.h"
+#include "util/units.h"
+
+namespace olev::wpt {
+namespace {
+
+traffic::Network corridor() {
+  const auto program = traffic::SignalProgram::fixed_cycle(30.0, 4.0, 26.0);
+  return traffic::Network::arterial(2, 200.0, util::mph_to_mps(30.0), program, 1);
+}
+
+TEST(EnumerateSlots, TilesEdges) {
+  traffic::Network net = corridor();
+  const auto slots = enumerate_slots(net, 20.0);
+  // Two 200 m edges, 10 slots each.
+  ASSERT_EQ(slots.size(), 20u);
+  EXPECT_EQ(slots[0].edge, 0u);
+  EXPECT_DOUBLE_EQ(slots[0].offset_m, 0.0);
+  EXPECT_DOUBLE_EQ(slots[9].offset_m, 180.0);
+  EXPECT_EQ(slots[10].edge, 1u);
+  for (const auto& slot : slots) EXPECT_DOUBLE_EQ(slot.length_m, 20.0);
+}
+
+TEST(EnumerateSlots, DropsPartialSlots) {
+  traffic::Network net;
+  net.add_edge("a", 50.0, 10.0);
+  EXPECT_EQ(enumerate_slots(net, 20.0).size(), 2u);
+  EXPECT_THROW(enumerate_slots(net, 0.0), std::invalid_argument);
+}
+
+TEST(PlanDeployment, PicksHighestScores) {
+  std::vector<CandidateSlot> slots(5);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    slots[i].edge = 0;
+    slots[i].offset_m = 20.0 * static_cast<double>(i);
+    slots[i].length_m = 20.0;
+    slots[i].score = static_cast<double>(i);
+  }
+  const auto sections = plan_deployment(slots, 2, ChargingSectionSpec{});
+  ASSERT_EQ(sections.size(), 2u);
+  EXPECT_DOUBLE_EQ(sections[0].offset_m, 80.0);  // score 4
+  EXPECT_DOUBLE_EQ(sections[1].offset_m, 60.0);  // score 3
+}
+
+TEST(PlanDeployment, BudgetClampedToSlots) {
+  std::vector<CandidateSlot> slots(2);
+  EXPECT_EQ(plan_deployment(slots, 10, ChargingSectionSpec{}).size(), 2u);
+  EXPECT_THROW(plan_deployment(slots, 0, ChargingSectionSpec{}),
+               std::invalid_argument);
+}
+
+TEST(UniformDeployment, SpreadsAcrossSlots) {
+  std::vector<CandidateSlot> slots(10);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    slots[i].edge = 0;
+    slots[i].offset_m = static_cast<double>(i) * 20.0;
+    slots[i].length_m = 20.0;
+  }
+  const auto sections = uniform_deployment(slots, 5, ChargingSectionSpec{});
+  ASSERT_EQ(sections.size(), 5u);
+  EXPECT_DOUBLE_EQ(sections[0].offset_m, 0.0);
+  EXPECT_DOUBLE_EQ(sections[1].offset_m, 40.0);
+  EXPECT_DOUBLE_EQ(sections[4].offset_m, 160.0);
+}
+
+TEST(ScoreSlots, QueueAtRedLightScoresHighest) {
+  // Always-red interior signal: vehicles queue at the end of edge 0, so
+  // slots near the stop line must collect the most occupancy.
+  traffic::Network net = traffic::Network::arterial(
+      2, 200.0, util::mph_to_mps(30.0),
+      traffic::SignalProgram({{traffic::LightState::kRed, 10000.0}}), 1);
+  traffic::SimulationConfig config;
+  config.deterministic = true;
+  traffic::Simulation sim(net, config);
+  traffic::DemandConfig demand;
+  demand.counts.fill(600.0);
+  sim.add_source(traffic::FlowSource({0, 1}, demand, traffic::VehicleType::olev()));
+
+  auto slots = enumerate_slots(net, 20.0);
+  score_slots_by_occupancy(sim, slots, 600.0);
+
+  // The best slot sits on edge 0 near the stop line (offset 180).
+  const auto best = std::max_element(
+      slots.begin(), slots.end(),
+      [](const auto& a, const auto& b) { return a.score < b.score; });
+  EXPECT_EQ(best->edge, 0u);
+  EXPECT_GE(best->offset_m, 160.0);
+  EXPECT_GT(best->score, 0.0);
+  // Edge 1 is starved by the red light: its slots score ~0.
+  for (const auto& slot : slots) {
+    if (slot.edge == 1) {
+      EXPECT_LT(slot.score, best->score * 0.1);
+    }
+  }
+}
+
+TEST(ScoreSlots, SimulationUsableAfterScoring) {
+  traffic::Network net = corridor();
+  traffic::SimulationConfig config;
+  config.deterministic = true;
+  traffic::Simulation sim(net, config);
+  auto slots = enumerate_slots(net, 20.0);
+  score_slots_by_occupancy(sim, slots, 10.0);
+  // Detectors were unhooked; stepping further must be safe.
+  sim.run_until(20.0);
+  SUCCEED();
+}
+
+TEST(EdgeCoverage, SumsSectionLengths) {
+  traffic::Network net = corridor();
+  std::vector<ChargingSection> sections(3);
+  sections[0].edge = 0;
+  sections[0].spec.length_m = 20.0;
+  sections[1].edge = 0;
+  sections[1].spec.length_m = 30.0;
+  sections[2].edge = 1;
+  sections[2].spec.length_m = 10.0;
+  const auto coverage = edge_coverage_m(net, sections);
+  ASSERT_EQ(coverage.size(), 2u);
+  EXPECT_DOUBLE_EQ(coverage[0], 50.0);
+  EXPECT_DOUBLE_EQ(coverage[1], 10.0);
+}
+
+TEST(ChargingRouteBonus, NegativeProportionalToCoverage) {
+  traffic::Network net = corridor();
+  std::vector<ChargingSection> sections(1);
+  sections[0].edge = 1;
+  sections[0].spec.length_m = 40.0;
+  const auto bonus = charging_route_bonus(net, sections, 0.5);
+  EXPECT_DOUBLE_EQ(bonus[0], 0.0);
+  EXPECT_DOUBLE_EQ(bonus[1], -20.0);
+}
+
+TEST(ReachableSections, WithinHorizonOnCurrentEdge) {
+  traffic::Network net = corridor();  // two 200 m edges
+  std::vector<ChargingSection> sections(3);
+  sections[0] = {0, 50.0, ChargingSectionSpec{}};
+  sections[1] = {0, 150.0, ChargingSectionSpec{}};
+  sections[2] = {1, 50.0, ChargingSectionSpec{}};
+  for (auto& s : sections) s.spec.length_m = 20.0;
+  // At 10 m/s with a 9 s horizon from position 20: reach up to 110 m.
+  const auto mask =
+      reachable_sections(net, sections, {0, 1}, 0, 20.0, 10.0, 9.0);
+  EXPECT_TRUE(mask[0]);    // [50, 70) within reach
+  EXPECT_FALSE(mask[1]);   // starts at 150, beyond 110
+  EXPECT_FALSE(mask[2]);   // next edge, unreachable
+}
+
+TEST(ReachableSections, CrossesEdgeBoundary) {
+  traffic::Network net = corridor();
+  std::vector<ChargingSection> sections(2);
+  sections[0] = {0, 150.0, ChargingSectionSpec{}};
+  sections[1] = {1, 30.0, ChargingSectionSpec{}};
+  for (auto& s : sections) s.spec.length_m = 20.0;
+  // From position 100 at 15 m/s with 12 s horizon: reach 280 m along the
+  // route = all of edge 0 plus 80 m of edge 1.
+  const auto mask =
+      reachable_sections(net, sections, {0, 1}, 0, 100.0, 15.0, 12.0);
+  EXPECT_TRUE(mask[0]);
+  EXPECT_TRUE(mask[1]);
+}
+
+TEST(ReachableSections, SectionsBehindAreExcluded) {
+  traffic::Network net = corridor();
+  std::vector<ChargingSection> sections(1);
+  sections[0] = {0, 20.0, ChargingSectionSpec{}};
+  sections[0].spec.length_m = 20.0;
+  // Vehicle already at 80 m: the section [20, 40) is behind it.
+  const auto mask =
+      reachable_sections(net, sections, {0, 1}, 0, 80.0, 10.0, 60.0);
+  EXPECT_FALSE(mask[0]);
+}
+
+TEST(ReachableSections, DegenerateInputsGiveEmptyMask) {
+  traffic::Network net = corridor();
+  std::vector<ChargingSection> sections(1);
+  sections[0] = {0, 50.0, ChargingSectionSpec{}};
+  EXPECT_FALSE(
+      reachable_sections(net, sections, {0}, 5, 0.0, 10.0, 10.0)[0]);
+  EXPECT_FALSE(reachable_sections(net, sections, {0}, 0, 0.0, 0.0, 10.0)[0]);
+  EXPECT_FALSE(reachable_sections(net, sections, {0}, 0, 0.0, 10.0, 0.0)[0]);
+}
+
+TEST(ReachableSections, FeedsGameMask) {
+  // End to end: derive a mask and hand it to the game.
+  traffic::Network net = corridor();
+  std::vector<ChargingSection> sections(2);
+  sections[0] = {0, 50.0, ChargingSectionSpec{}};
+  sections[1] = {1, 50.0, ChargingSectionSpec{}};
+  for (auto& s : sections) s.spec.length_m = 20.0;
+  const auto mask =
+      reachable_sections(net, sections, {0, 1}, 0, 0.0, 10.0, 10.0);
+  ASSERT_TRUE(mask[0]);
+  ASSERT_FALSE(mask[1]);
+
+  core::PlayerSpec player;
+  player.satisfaction = std::make_unique<core::LogSatisfaction>(10.0);
+  player.p_max = 30.0;
+  player.allowed_sections = mask;
+  std::vector<core::PlayerSpec> players;
+  players.push_back(std::move(player));
+  core::SectionCost cost(
+      std::make_unique<core::NonlinearPricing>(5.0, 0.875, 40.0),
+      core::OverloadCost{1.0}, 40.0);
+  core::Game game(std::move(players), cost, 2, 50.0);
+  const auto result = game.run();
+  ASSERT_TRUE(result.converged);
+  EXPECT_GT(result.schedule.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(result.schedule.at(0, 1), 0.0);
+}
+
+TEST(Deployment, BonusIntegratesWithRouting) {
+  // End to end: plan a deployment, derive routing bonuses, verify the
+  // shortest route prefers the equipped street in a grid.
+  const auto program = traffic::SignalProgram::fixed_cycle(30.0, 4.0, 26.0);
+  traffic::Network net = traffic::grid_city(3, 3, 200.0, 12.0, program);
+  std::vector<ChargingSection> sections(1);
+  sections[0].edge = *net.find_edge("e0_1_0_2");
+  sections[0].spec.length_m = 100.0;
+  const auto adjust = charging_route_bonus(net, sections, 0.3);  // 30 s worth
+  const auto start = *net.find_edge("e0_0_0_1");
+  const auto goal = *net.find_edge("e1_2_2_2");
+  const auto lured = traffic::shortest_route(net, start, goal, adjust);
+  ASSERT_TRUE(lured.found);
+  EXPECT_NE(std::find(lured.route.begin(), lured.route.end(), sections[0].edge),
+            lured.route.end());
+}
+
+}  // namespace
+}  // namespace olev::wpt

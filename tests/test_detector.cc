@@ -1,0 +1,151 @@
+#include "traffic/detector.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace olev::traffic {
+namespace {
+
+Vehicle make_vehicle(EdgeId edge, double pos, double speed, bool olev = true) {
+  Vehicle vehicle;
+  vehicle.id = 1;
+  vehicle.type = VehicleType::passenger();
+  vehicle.route = {edge};
+  vehicle.pos_m = pos;
+  vehicle.speed_mps = speed;
+  vehicle.is_olev = olev;
+  return vehicle;
+}
+
+StepView view_of(const std::vector<Vehicle>& vehicles, double time_s,
+                 double dt_s = 1.0) {
+  return StepView{time_s, dt_s, std::span<const Vehicle>(vehicles)};
+}
+
+TEST(HourBucket, MapsAndWraps) {
+  EXPECT_EQ(hour_bucket(0.0), 0u);
+  EXPECT_EQ(hour_bucket(3599.0), 0u);
+  EXPECT_EQ(hour_bucket(3600.0), 1u);
+  EXPECT_EQ(hour_bucket(23.5 * 3600.0), 23u);
+  EXPECT_EQ(hour_bucket(24.0 * 3600.0), 0u);  // next day wraps
+}
+
+TEST(SegmentDetector, AccumulatesOccupancy) {
+  SegmentDetector detector(0, 50.0, 70.0);
+  std::vector<Vehicle> vehicles{make_vehicle(0, 60.0, 10.0)};
+  detector.on_step(view_of(vehicles, 0.0));
+  detector.on_step(view_of(vehicles, 1.0));
+  EXPECT_DOUBLE_EQ(detector.total_occupancy_s(), 2.0);
+  EXPECT_DOUBLE_EQ(detector.hourly_occupancy_s()[0], 2.0);
+  EXPECT_EQ(detector.occupied_steps(), 2u);
+}
+
+TEST(SegmentDetector, IgnoresVehiclesOutsideSegment) {
+  SegmentDetector detector(0, 50.0, 70.0);
+  std::vector<Vehicle> vehicles{make_vehicle(0, 20.0, 10.0),
+                                make_vehicle(0, 90.0, 10.0)};
+  // Front at 90, rear at 85: beyond [50,70).  Front at 20: before.
+  detector.on_step(view_of(vehicles, 0.0));
+  EXPECT_DOUBLE_EQ(detector.total_occupancy_s(), 0.0);
+}
+
+TEST(SegmentDetector, BodyOverlapCounts) {
+  SegmentDetector detector(0, 50.0, 70.0);
+  // Front at 72, rear at 67: body still touches the segment.
+  std::vector<Vehicle> vehicles{make_vehicle(0, 72.0, 10.0)};
+  detector.on_step(view_of(vehicles, 0.0));
+  EXPECT_DOUBLE_EQ(detector.total_occupancy_s(), 1.0);
+}
+
+TEST(SegmentDetector, IgnoresOtherEdges) {
+  SegmentDetector detector(1, 0.0, 100.0);
+  std::vector<Vehicle> vehicles{make_vehicle(0, 50.0, 10.0)};
+  detector.on_step(view_of(vehicles, 0.0));
+  EXPECT_DOUBLE_EQ(detector.total_occupancy_s(), 0.0);
+}
+
+TEST(SegmentDetector, OlevOnlyFilter) {
+  SegmentDetector all(0, 0.0, 100.0, /*olev_only=*/false);
+  SegmentDetector olev_only(0, 0.0, 100.0, /*olev_only=*/true);
+  std::vector<Vehicle> vehicles{make_vehicle(0, 50.0, 10.0, /*olev=*/false)};
+  all.on_step(view_of(vehicles, 0.0));
+  olev_only.on_step(view_of(vehicles, 0.0));
+  EXPECT_DOUBLE_EQ(all.total_occupancy_s(), 1.0);
+  EXPECT_DOUBLE_EQ(olev_only.total_occupancy_s(), 0.0);
+}
+
+TEST(SegmentDetector, HourBucketsSplitOccupancy) {
+  SegmentDetector detector(0, 0.0, 100.0);
+  std::vector<Vehicle> vehicles{make_vehicle(0, 50.0, 10.0)};
+  detector.on_step(view_of(vehicles, 10.0));           // hour 0
+  detector.on_step(view_of(vehicles, 2.0 * 3600.0));   // hour 2
+  detector.on_step(view_of(vehicles, 2.5 * 3600.0));   // hour 2
+  EXPECT_DOUBLE_EQ(detector.hourly_occupancy_s()[0], 1.0);
+  EXPECT_DOUBLE_EQ(detector.hourly_occupancy_s()[2], 2.0);
+}
+
+TEST(SegmentDetector, MeanOccupantSpeed) {
+  SegmentDetector detector(0, 0.0, 100.0);
+  std::vector<Vehicle> fast{make_vehicle(0, 50.0, 20.0)};
+  std::vector<Vehicle> slow{make_vehicle(0, 50.0, 10.0)};
+  detector.on_step(view_of(fast, 0.0));
+  detector.on_step(view_of(slow, 1.0));
+  EXPECT_DOUBLE_EQ(detector.mean_occupant_speed_mps(), 15.0);
+}
+
+TEST(SegmentDetector, ResetClearsState) {
+  SegmentDetector detector(0, 0.0, 100.0);
+  std::vector<Vehicle> vehicles{make_vehicle(0, 50.0, 10.0)};
+  detector.on_step(view_of(vehicles, 0.0));
+  detector.reset();
+  EXPECT_DOUBLE_EQ(detector.total_occupancy_s(), 0.0);
+  EXPECT_EQ(detector.occupied_steps(), 0u);
+  EXPECT_DOUBLE_EQ(detector.mean_occupant_speed_mps(), 0.0);
+}
+
+TEST(InductionLoop, CountsCrossings) {
+  InductionLoop loop(0, 50.0);
+  // Vehicle moving 10 m/s: previous front at 45, current at 55 -> crossed.
+  std::vector<Vehicle> vehicles{make_vehicle(0, 55.0, 10.0)};
+  loop.on_step(view_of(vehicles, 0.0));
+  EXPECT_EQ(loop.total_count(), 1u);
+  EXPECT_EQ(loop.last_step_count(), 1u);
+}
+
+TEST(InductionLoop, NoDoubleCountAfterCrossing) {
+  InductionLoop loop(0, 50.0);
+  std::vector<Vehicle> vehicles{make_vehicle(0, 55.0, 10.0)};
+  loop.on_step(view_of(vehicles, 0.0));
+  vehicles[0].pos_m = 65.0;  // already past, prev front 55 >= 50
+  loop.on_step(view_of(vehicles, 1.0));
+  EXPECT_EQ(loop.total_count(), 1u);
+  EXPECT_EQ(loop.last_step_count(), 0u);
+}
+
+TEST(InductionLoop, StationaryVehicleNotCounted) {
+  InductionLoop loop(0, 50.0);
+  std::vector<Vehicle> vehicles{make_vehicle(0, 50.0, 0.0)};
+  // prev front == current front == 50: prev_front < 50 is false.
+  loop.on_step(view_of(vehicles, 0.0));
+  EXPECT_EQ(loop.total_count(), 0u);
+}
+
+TEST(InductionLoop, HourlyBuckets) {
+  InductionLoop loop(0, 50.0);
+  std::vector<Vehicle> vehicles{make_vehicle(0, 55.0, 10.0)};
+  loop.on_step(view_of(vehicles, 5.0 * 3600.0));
+  EXPECT_EQ(loop.hourly_counts()[5], 1u);
+  EXPECT_EQ(loop.hourly_counts()[4], 0u);
+}
+
+TEST(InductionLoop, ResetClears) {
+  InductionLoop loop(0, 50.0);
+  std::vector<Vehicle> vehicles{make_vehicle(0, 55.0, 10.0)};
+  loop.on_step(view_of(vehicles, 0.0));
+  loop.reset();
+  EXPECT_EQ(loop.total_count(), 0u);
+}
+
+}  // namespace
+}  // namespace olev::traffic

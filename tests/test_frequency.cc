@@ -1,0 +1,142 @@
+#include "grid/frequency.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace olev::grid {
+namespace {
+
+TEST(FrequencySimulator, ValidatesConfig) {
+  FrequencyModelConfig bad;
+  bad.system_mva = 0.0;
+  EXPECT_THROW(FrequencySimulator{bad}, std::invalid_argument);
+  bad = FrequencyModelConfig{};
+  bad.droop = -0.01;
+  EXPECT_THROW(FrequencySimulator{bad}, std::invalid_argument);
+}
+
+TEST(FrequencySimulator, NoDisturbanceHoldsNominal) {
+  FrequencySimulator sim;
+  for (int i = 0; i < 100; ++i) sim.step(0.0);
+  EXPECT_NEAR(sim.frequency_hz(), 60.0, 1e-9);
+}
+
+TEST(FrequencySimulator, ShortageDepressesFrequency) {
+  FrequencySimulator sim;
+  sim.step(200.0);  // 200 MW shortage
+  EXPECT_LT(sim.frequency_hz(), 60.0);
+}
+
+TEST(FrequencySimulator, SurplusRaisesFrequency) {
+  FrequencySimulator sim;
+  sim.step(-200.0);
+  EXPECT_GT(sim.frequency_hz(), 60.0);
+}
+
+TEST(FrequencySimulator, DroopArrestsTheFall) {
+  // Sustained shortage: frequency falls but droop response arrests it at a
+  // quasi-steady offset rather than collapsing.
+  FrequencyModelConfig config;
+  config.agc_gain = 0.0;  // primary response only
+  FrequencySimulator sim(config);
+  std::vector<double> disturbance(3000, 100.0);  // 300 s of 100 MW shortage
+  const auto trace = sim.run(disturbance);
+  const double settled = trace.back().frequency_hz;
+  EXPECT_LT(settled, 60.0);
+  EXPECT_GT(settled, 59.5);  // arrested, not collapsing
+  // Quasi-steady: droop output balances the shortage.
+  EXPECT_NEAR(trace.back().droop_mw, 100.0, 1.0);
+}
+
+TEST(FrequencySimulator, AgcRestoresNominal) {
+  // With regulation, a step disturbance is fully corrected back to 60 Hz.
+  FrequencySimulator sim;
+  std::vector<double> disturbance(6000, 100.0);  // 600 s
+  const auto trace = sim.run(disturbance);
+  EXPECT_NEAR(trace.back().frequency_hz, 60.0, 0.01);
+  EXPECT_NEAR(trace.back().agc_mw, 100.0, 2.0);  // AGC carries the shortage
+}
+
+TEST(FrequencySimulator, ReserveSaturationLimitsRecovery) {
+  // A disturbance exceeding the regulation reserve leaves a standing error
+  // (served by droop, i.e. off-nominal frequency).
+  FrequencyModelConfig config;
+  config.regulation_reserve_mw = 50.0;
+  FrequencySimulator sim(config);
+  std::vector<double> disturbance(6000, 200.0);
+  const auto trace = sim.run(disturbance);
+  EXPECT_NEAR(trace.back().agc_mw, 50.0, 1e-6);  // pinned at the reserve
+  EXPECT_LT(trace.back().frequency_hz, 59.995);  // standing deviation
+}
+
+TEST(FrequencySimulator, LargerReserveSmallerStandingDeviation) {
+  // The nadir is set by inertia + droop in the first seconds; what the
+  // regulation reserve buys is the *standing* deviation after AGC settles.
+  auto standing_deviation = [](double reserve) {
+    FrequencyModelConfig config;
+    config.regulation_reserve_mw = reserve;
+    FrequencySimulator sim(config);
+    std::vector<double> disturbance(6000, 150.0);
+    const auto trace = sim.run(disturbance);
+    return std::abs(trace.back().frequency_hz - 60.0);
+  };
+  EXPECT_GT(standing_deviation(10.0), standing_deviation(300.0));
+  EXPECT_LT(standing_deviation(300.0), 0.01);
+}
+
+TEST(FrequencySimulator, ResetRestoresState) {
+  FrequencySimulator sim;
+  sim.step(500.0);
+  sim.reset();
+  EXPECT_DOUBLE_EQ(sim.frequency_hz(), 60.0);
+  EXPECT_DOUBLE_EQ(sim.time_s(), 0.0);
+}
+
+TEST(SummarizeTrace, EmptyTrace) {
+  const FrequencyExcursion summary = summarize_trace({}, 60.0);
+  EXPECT_DOUBLE_EQ(summary.nadir_hz, 60.0);
+  EXPECT_DOUBLE_EQ(summary.max_abs_dev_hz, 0.0);
+}
+
+TEST(SummarizeTrace, CapturesNadirAndSettling) {
+  std::vector<FrequencyTick> trace;
+  for (int i = 0; i < 10; ++i) {
+    FrequencyTick tick;
+    tick.time_s = i * 1.0;
+    tick.frequency_hz = (i < 5) ? 59.9 : 60.0;
+    trace.push_back(tick);
+  }
+  const FrequencyExcursion summary = summarize_trace(trace, 60.0, 0.02);
+  EXPECT_DOUBLE_EQ(summary.nadir_hz, 59.9);
+  EXPECT_NEAR(summary.max_abs_dev_hz, 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(summary.settling_time_s, 4.0);
+}
+
+TEST(FrequencySimulator, OlevFleetAsDisturbanceAndResource) {
+  // The paper's tension end to end: an OLEV fleet switching on is an
+  // unanticipated load (bad for frequency); the same fleet enrolled as
+  // regulation (V2G) shrinks the excursion.
+  const double fleet_mw = 120.0;
+  std::vector<double> fleet_on(6000, fleet_mw);
+
+  FrequencyModelConfig without_v2g;
+  without_v2g.regulation_reserve_mw = 20.0;  // thin conventional reserve
+  FrequencySimulator bare(without_v2g);
+  const double bare_standing =
+      std::abs(bare.run(fleet_on).back().frequency_hz - 60.0);
+
+  FrequencyModelConfig with_v2g = without_v2g;
+  with_v2g.regulation_reserve_mw = 20.0 + fleet_mw;  // fleet enrolls
+  FrequencySimulator assisted(with_v2g);
+  const double assisted_standing =
+      std::abs(assisted.run(fleet_on).back().frequency_hz - 60.0);
+
+  EXPECT_LT(assisted_standing, bare_standing);
+  EXPECT_LT(assisted_standing, 0.01);  // fully restored with V2G
+}
+
+}  // namespace
+}  // namespace olev::grid

@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "grid/ancillary.h"
+#include "grid/control_period.h"
+#include "grid/lbmp.h"
+#include "grid/load_model.h"
+#include "grid/nyiso_day.h"
+
+namespace olev::grid {
+namespace {
+
+// ---------- control periods ----------
+
+TEST(ControlPeriod, TraitsTableIsConsistent) {
+  for (auto period : {ControlPeriod::kBaseload, ControlPeriod::kPeak,
+                      ControlPeriod::kSpinningReserve,
+                      ControlPeriod::kFrequencyControl}) {
+    const auto& t = traits(period);
+    EXPECT_EQ(t.period, period);
+    EXPECT_FALSE(t.name.empty());
+    EXPECT_GT(t.response_time_s, 0.0);
+    EXPECT_GT(t.typical_dispatch_s, 0.0);
+  }
+}
+
+TEST(ControlPeriod, AncillaryFlagMatchesPaper) {
+  // "spinning reserves and frequency control are ... 'ancillary services'".
+  EXPECT_TRUE(traits(ControlPeriod::kSpinningReserve).ancillary);
+  EXPECT_TRUE(traits(ControlPeriod::kFrequencyControl).ancillary);
+  EXPECT_FALSE(traits(ControlPeriod::kBaseload).ancillary);
+  EXPECT_FALSE(traits(ControlPeriod::kPeak).ancillary);
+}
+
+TEST(ControlPeriod, ReserveResponseIsFasterThanPeak) {
+  EXPECT_LT(traits(ControlPeriod::kSpinningReserve).response_time_s,
+            traits(ControlPeriod::kPeak).response_time_s);
+  EXPECT_LT(traits(ControlPeriod::kFrequencyControl).response_time_s,
+            traits(ControlPeriod::kSpinningReserve).response_time_s);
+}
+
+TEST(ControlPeriod, ClassifyByLoadAndDeficiency) {
+  EXPECT_EQ(classify(4000.0, 0.0, 6000.0, 100.0), ControlPeriod::kBaseload);
+  EXPECT_EQ(classify(6500.0, 0.0, 6000.0, 100.0), ControlPeriod::kPeak);
+  EXPECT_EQ(classify(5000.0, 150.0, 6000.0, 100.0),
+            ControlPeriod::kSpinningReserve);
+  EXPECT_EQ(classify(5000.0, -150.0, 6000.0, 100.0),
+            ControlPeriod::kSpinningReserve);
+}
+
+// ---------- load model ----------
+
+TEST(LoadModel, ShapeIsNormalizedAndPeriodic) {
+  const auto shape = weekday_load_shape();
+  EXPECT_DOUBLE_EQ(shape.min_value(), 0.0);
+  EXPECT_DOUBLE_EQ(shape.max_value(), 1.0);
+  EXPECT_NEAR(shape(1.0), shape(25.0), 1e-12);
+}
+
+TEST(LoadModel, TroughAndPeakAtPublishedHours) {
+  const auto shape = weekday_load_shape();
+  EXPECT_DOUBLE_EQ(shape(4.0), 0.0);   // overnight trough
+  EXPECT_DOUBLE_EQ(shape(19.0), 1.0);  // evening peak
+}
+
+TEST(LoadModel, ForecastSpansPaperRange) {
+  LoadModelConfig config;
+  EXPECT_NEAR(forecast_load_mw(config, 4.0), config.min_load_mw, 1e-9);
+  EXPECT_NEAR(forecast_load_mw(config, 19.0), config.max_load_mw, 1e-9);
+}
+
+TEST(LoadModel, DayHasExpectedTickCount) {
+  LoadModelConfig config;
+  config.tick_minutes = 5.0;
+  EXPECT_EQ(generate_load_day(config).size(), 288u);
+  config.tick_minutes = 60.0;
+  EXPECT_EQ(generate_load_day(config).size(), 24u);
+}
+
+TEST(LoadModel, DeficiencyRespectsSoftCap) {
+  LoadModelConfig config;
+  const auto day = generate_load_day(config);
+  for (const auto& tick : day) {
+    EXPECT_LE(std::abs(tick.deficiency_mw), config.deficiency_cap_mw + 1e-9);
+    EXPECT_NEAR(tick.actual_mw, tick.forecast_mw + tick.deficiency_mw, 1e-9);
+  }
+}
+
+TEST(LoadModel, DeterministicForFixedSeed) {
+  LoadModelConfig config;
+  const auto a = generate_load_day(config);
+  const auto b = generate_load_day(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].actual_mw, b[i].actual_mw);
+  }
+}
+
+TEST(LoadModel, DifferentSeedsDiffer) {
+  LoadModelConfig a_config;
+  LoadModelConfig b_config;
+  b_config.seed = a_config.seed + 1;
+  const auto a = generate_load_day(a_config);
+  const auto b = generate_load_day(b_config);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    diff += std::abs(a[i].deficiency_mw - b[i].deficiency_mw);
+  }
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(LoadModel, DeficiencyIsNonTrivial) {
+  // The point of Fig. 2(b): deficiency exists.  The AR(1) process should
+  // produce meaningful excursions over a day.
+  const auto day = generate_load_day(LoadModelConfig{});
+  double worst = 0.0;
+  for (const auto& tick : day) worst = std::max(worst, std::abs(tick.deficiency_mw));
+  EXPECT_GT(worst, 30.0);
+}
+
+// ---------- LBMP ----------
+
+TEST(Lbmp, WithinPublishedBand) {
+  LoadModelConfig load_config;
+  LbmpConfig price_config;
+  const auto day = generate_load_day(load_config);
+  for (const auto& tick : day) {
+    const double price = lbmp(price_config, load_config, tick);
+    EXPECT_GE(price, price_config.min_price);
+    EXPECT_LE(price, price_config.max_price);
+  }
+}
+
+TEST(Lbmp, IncreasingInLoad) {
+  LoadModelConfig load_config;
+  LbmpConfig price_config;
+  LoadTick low{4.0, 4200.0, 4200.0, 0.0};
+  LoadTick high{19.0, 6500.0, 6500.0, 0.0};
+  EXPECT_LT(lbmp(price_config, load_config, low),
+            lbmp(price_config, load_config, high));
+}
+
+TEST(Lbmp, PositiveDeficiencyAddsScarcityPremium) {
+  LoadModelConfig load_config;
+  LbmpConfig price_config;
+  LoadTick base{12.0, 5500.0, 5500.0, 0.0};
+  LoadTick stressed = base;
+  stressed.deficiency_mw = 150.0;
+  stressed.actual_mw = base.actual_mw;  // isolate the deficiency term
+  EXPECT_GT(lbmp(price_config, load_config, stressed),
+            lbmp(price_config, load_config, base));
+}
+
+TEST(Lbmp, NegativeDeficiencyNoPremium) {
+  LoadModelConfig load_config;
+  LbmpConfig price_config;
+  LoadTick base{12.0, 5500.0, 5500.0, 0.0};
+  LoadTick surplus = base;
+  surplus.deficiency_mw = -150.0;
+  EXPECT_DOUBLE_EQ(lbmp(price_config, load_config, surplus),
+                   lbmp(price_config, load_config, base));
+}
+
+TEST(Lbmp, DaySeriesAligned) {
+  LoadModelConfig load_config;
+  LbmpConfig price_config;
+  const auto day = generate_load_day(load_config);
+  const auto prices = lbmp_day(price_config, load_config, day);
+  EXPECT_EQ(prices.size(), day.size());
+}
+
+// ---------- ancillary ----------
+
+TEST(Ancillary, PricesArePositive) {
+  LoadModelConfig load_config;
+  AncillaryConfig config;
+  const auto day = generate_load_day(load_config);
+  for (const auto& tick : day) {
+    const auto prices = ancillary_prices(config, load_config, tick);
+    EXPECT_GT(prices.sync10, 0.0);
+    EXPECT_GT(prices.regulation_capacity, 0.0);
+    EXPECT_GT(prices.regulation_movement, 0.0);
+    EXPECT_NEAR(prices.total(), prices.sync10 + prices.regulation_capacity +
+                                    prices.regulation_movement,
+                1e-12);
+  }
+}
+
+TEST(Ancillary, PeakHoursAreMoreExpensive) {
+  LoadModelConfig load_config;
+  AncillaryConfig config;
+  LoadTick trough{4.0, load_config.min_load_mw, load_config.min_load_mw, 0.0};
+  LoadTick peak{19.0, load_config.max_load_mw, load_config.max_load_mw, 0.0};
+  EXPECT_LT(ancillary_prices(config, load_config, trough).total(),
+            ancillary_prices(config, load_config, peak).total());
+}
+
+TEST(Ancillary, DeficiencyRaisesPrices) {
+  LoadModelConfig load_config;
+  AncillaryConfig config;
+  LoadTick calm{12.0, 5000.0, 5000.0, 0.0};
+  LoadTick stressed{12.0, 5000.0, 5000.0, 120.0};
+  EXPECT_LT(ancillary_prices(config, load_config, calm).total(),
+            ancillary_prices(config, load_config, stressed).total());
+}
+
+TEST(Ancillary, DayMeanNearPaperValue) {
+  // The paper reports NYISO paid $13.41 on average for ancillary services.
+  const auto day = NyisoDay::generate();
+  EXPECT_NEAR(day.mean_ancillary_total(), 13.41, 4.0);
+}
+
+// ---------- NyisoDay aggregate ----------
+
+TEST(NyisoDay, GeneratesAlignedSeries) {
+  const auto day = NyisoDay::generate();
+  EXPECT_EQ(day.tick_count(), 288u);
+  EXPECT_EQ(day.lbmp_series().size(), 288u);
+  EXPECT_EQ(day.ancillary_series().size(), 288u);
+}
+
+TEST(NyisoDay, LoadStaysInPaperRange) {
+  const auto day = NyisoDay::generate();
+  for (const auto& tick : day.ticks()) {
+    EXPECT_GT(tick.actual_mw, 3800.0);
+    EXPECT_LT(tick.actual_mw, 6900.0);
+  }
+}
+
+TEST(NyisoDay, HourLookupWraps) {
+  const auto day = NyisoDay::generate();
+  EXPECT_DOUBLE_EQ(day.tick_at(25.0).hour, day.tick_at(1.0).hour);
+  EXPECT_DOUBLE_EQ(day.lbmp_at(-1.0), day.lbmp_at(23.0));
+}
+
+TEST(NyisoDay, MaxDeficiencyNearPaperMax) {
+  const auto day = NyisoDay::generate();
+  EXPECT_GT(day.max_abs_deficiency(), 50.0);
+  EXPECT_LE(day.max_abs_deficiency(), 167.8 + 1e-9);
+}
+
+TEST(NyisoDay, PeakLbmpExceedsTroughLbmp) {
+  const auto day = NyisoDay::generate();
+  EXPECT_GT(day.lbmp_at(19.0), day.lbmp_at(4.0));
+}
+
+TEST(NyisoDay, ControlPeriodVariesOverDay) {
+  const auto day = NyisoDay::generate();
+  EXPECT_EQ(day.control_period_at(4.0), ControlPeriod::kBaseload);
+  // At peak the period is either peak or reserve depending on the deficiency
+  // draw -- never baseload.
+  EXPECT_NE(day.control_period_at(19.0), ControlPeriod::kBaseload);
+}
+
+}  // namespace
+}  // namespace olev::grid

@@ -1,0 +1,130 @@
+#include "traffic/krauss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace olev::traffic {
+namespace {
+
+const KraussParams kDefault{};
+
+TEST(SafeSpeed, ZeroGapStandingLeaderIsZero) {
+  EXPECT_DOUBLE_EQ(safe_speed(0.0, 0.0, kDefault), 0.0);
+}
+
+TEST(SafeSpeed, NegativeGapTreatedAsZero) {
+  EXPECT_DOUBLE_EQ(safe_speed(0.0, -5.0, kDefault), 0.0);
+}
+
+TEST(SafeSpeed, GrowsWithGap) {
+  double prev = 0.0;
+  for (double gap : {1.0, 5.0, 20.0, 100.0}) {
+    const double v = safe_speed(0.0, gap, kDefault);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(SafeSpeed, GrowsWithLeaderSpeed) {
+  EXPECT_LT(safe_speed(0.0, 10.0, kDefault), safe_speed(10.0, 10.0, kDefault));
+}
+
+TEST(SafeSpeed, StoppingDistanceInvariant) {
+  // Braking from v_safe at rate b after reaction time tau must not cover
+  // more distance than gap + leader's own stopping distance.
+  const KraussParams params{2.6, 4.5, 0.0, 1.0};
+  for (double leader_v : {0.0, 5.0, 15.0}) {
+    for (double gap : {2.0, 10.0, 50.0}) {
+      const double v = safe_speed(leader_v, gap, params);
+      const double follower_stop = v * params.tau_s + v * v / (2.0 * params.decel_mps2);
+      const double leader_stop = leader_v * leader_v / (2.0 * params.decel_mps2);
+      EXPECT_LE(follower_stop, gap + leader_stop + 1e-6)
+          << "leader_v=" << leader_v << " gap=" << gap;
+    }
+  }
+}
+
+TEST(KraussStep, DeterministicWithoutRng) {
+  const double v = krauss_step(10.0, 20.0, 100.0, 15.0, 1.0, kDefault, nullptr);
+  // Free enough: accelerate by a*dt up to the limit.
+  EXPECT_DOUBLE_EQ(v, 12.6);
+}
+
+TEST(KraussStep, RespectsSpeedLimit) {
+  const double v = krauss_step(14.5, 30.0, 500.0, 15.0, 1.0, kDefault, nullptr);
+  EXPECT_DOUBLE_EQ(v, 15.0);
+}
+
+TEST(KraussStep, BrakesForStandingObstacle) {
+  // Approaching a red light 5 m ahead at 10 m/s: must slow down hard.
+  const double v = krauss_step(10.0, 0.0, 5.0, 15.0, 1.0, kDefault, nullptr);
+  EXPECT_LT(v, 10.0);
+}
+
+TEST(KraussStep, NeverNegative) {
+  const double v = krauss_step(0.5, 0.0, 0.0, 15.0, 1.0, kDefault, nullptr);
+  EXPECT_GE(v, 0.0);
+}
+
+TEST(KraussStep, DawdlingOnlySlowsDown) {
+  util::Rng rng(99);
+  KraussParams noisy = kDefault;
+  noisy.sigma = 0.5;
+  for (int i = 0; i < 200; ++i) {
+    const double deterministic =
+        krauss_step(8.0, 20.0, 200.0, 15.0, 1.0, kDefault, nullptr);
+    const double noisy_v = krauss_step(8.0, 20.0, 200.0, 15.0, 1.0, noisy, &rng);
+    EXPECT_LE(noisy_v, deterministic + 1e-12);
+    EXPECT_GE(noisy_v, deterministic - noisy.sigma * noisy.accel_mps2 - 1e-12);
+  }
+}
+
+TEST(KraussFreeStep, AcceleratesTowardLimit) {
+  double v = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    v = krauss_free_step(v, 13.89, 1.0, kDefault, nullptr);
+  }
+  EXPECT_DOUBLE_EQ(v, 13.89);
+}
+
+TEST(KraussFreeStep, HoldsAtLimit) {
+  const double v = krauss_free_step(13.89, 13.89, 1.0, kDefault, nullptr);
+  EXPECT_DOUBLE_EQ(v, 13.89);
+}
+
+TEST(KraussChain, PlatoonNeverCollides) {
+  // 5 vehicles behind a leader that brakes to a stop; simulate 60 steps and
+  // check ordering is preserved with positive gaps.
+  const KraussParams params{2.6, 4.5, 0.0, 1.0};
+  constexpr int kCars = 6;
+  double pos[kCars];
+  double vel[kCars];
+  for (int i = 0; i < kCars; ++i) {
+    pos[i] = (kCars - 1 - i) * 15.0;  // car 0 at front
+    vel[i] = 12.0;
+  }
+  const double length = 5.0;
+  const double min_gap = 2.5;
+  for (int t = 0; t < 60; ++t) {
+    double next_vel[kCars];
+    next_vel[0] = std::max(0.0, vel[0] - 4.5);  // leader brakes hard
+    for (int i = 1; i < kCars; ++i) {
+      const double gap = pos[i - 1] - length - pos[i] - min_gap;
+      next_vel[i] = krauss_step(vel[i], vel[i - 1], gap, 15.0, 1.0, params, nullptr);
+    }
+    for (int i = 0; i < kCars; ++i) {
+      vel[i] = next_vel[i];
+      pos[i] += vel[i];
+    }
+    for (int i = 1; i < kCars; ++i) {
+      EXPECT_GT(pos[i - 1] - pos[i], length - 1e-9)
+          << "collision at t=" << t << " car " << i;
+    }
+  }
+  // Everyone eventually stops.
+  for (int i = 0; i < kCars; ++i) EXPECT_NEAR(vel[i], 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace olev::traffic

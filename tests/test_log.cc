@@ -1,0 +1,78 @@
+#include "util/log.h"
+
+#include <gtest/gtest.h>
+
+#include <iostream>
+#include <sstream>
+
+namespace olev::util {
+namespace {
+
+/// Redirects stderr for the scope of a test.
+class CaptureStderr {
+ public:
+  CaptureStderr() : old_(std::cerr.rdbuf(buffer_.rdbuf())) {}
+  ~CaptureStderr() { std::cerr.rdbuf(old_); }
+  std::string text() const { return buffer_.str(); }
+
+ private:
+  std::ostringstream buffer_;
+  std::streambuf* old_;
+};
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = log_level(); }
+  void TearDown() override { set_log_level(previous_); }
+
+ private:
+  LogLevel previous_;
+};
+
+TEST_F(LogTest, ThresholdFiltersLowerLevels) {
+  set_log_level(LogLevel::kWarn);
+  CaptureStderr capture;
+  log_line(LogLevel::kDebug, "hidden");
+  log_line(LogLevel::kInfo, "hidden too");
+  log_line(LogLevel::kWarn, "visible");
+  const std::string out = capture.text();
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+  EXPECT_NE(out.find("visible"), std::string::npos);
+}
+
+TEST_F(LogTest, LevelNamesAppear) {
+  set_log_level(LogLevel::kDebug);
+  CaptureStderr capture;
+  log_line(LogLevel::kError, "boom");
+  EXPECT_NE(capture.text().find("ERROR"), std::string::npos);
+  EXPECT_NE(capture.text().find("boom"), std::string::npos);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  set_log_level(LogLevel::kOff);
+  CaptureStderr capture;
+  log_line(LogLevel::kError, "nope");
+  EXPECT_TRUE(capture.text().empty());
+}
+
+TEST_F(LogTest, StreamInterfaceFormats) {
+  set_log_level(LogLevel::kInfo);
+  CaptureStderr capture;
+  log_info() << "value=" << 42 << " pi=" << 3.5;
+  EXPECT_NE(capture.text().find("value=42 pi=3.5"), std::string::npos);
+}
+
+TEST_F(LogTest, StreamBelowThresholdIsCheapNoop) {
+  set_log_level(LogLevel::kError);
+  CaptureStderr capture;
+  log_debug() << "invisible";
+  EXPECT_TRUE(capture.text().empty());
+}
+
+TEST_F(LogTest, GetterReflectsSetter) {
+  set_log_level(LogLevel::kInfo);
+  EXPECT_EQ(log_level(), LogLevel::kInfo);
+}
+
+}  // namespace
+}  // namespace olev::util

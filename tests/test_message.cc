@@ -1,0 +1,132 @@
+#include "net/message.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace olev::net {
+namespace {
+
+template <typename T>
+T round_trip(const T& msg) {
+  const auto bytes = serialize(Message(msg));
+  const Message parsed = deserialize(bytes);
+  return std::get<T>(parsed);
+}
+
+TEST(Message, BeaconRoundTrip) {
+  BeaconMsg msg{7, 123.5, 26.8, 0.55};
+  EXPECT_EQ(round_trip(msg), msg);
+}
+
+TEST(Message, PaymentFunctionRoundTrip) {
+  PaymentFunctionMsg msg;
+  msg.player = 3;
+  msg.round = 42;
+  msg.others_load_kw = {0.0, 1.5, -2.25, 1e9, 1e-30};
+  EXPECT_EQ(round_trip(msg), msg);
+}
+
+TEST(Message, PaymentFunctionEmptyVector) {
+  PaymentFunctionMsg msg;
+  msg.player = 1;
+  msg.round = 0;
+  EXPECT_EQ(round_trip(msg), msg);
+}
+
+TEST(Message, PowerRequestRoundTrip) {
+  PowerRequestMsg msg{9, 1234567890123ULL, 33.25};
+  EXPECT_EQ(round_trip(msg), msg);
+}
+
+TEST(Message, ScheduleRoundTrip) {
+  ScheduleMsg msg;
+  msg.player = 2;
+  msg.round = 5;
+  msg.row_kw = {1.0, 0.0, 2.5};
+  msg.payment = 0.125;
+  EXPECT_EQ(round_trip(msg), msg);
+}
+
+TEST(Message, SpecialDoubleValuesSurvive) {
+  PowerRequestMsg msg{0, 0, -0.0};
+  const auto back = round_trip(msg);
+  EXPECT_EQ(back.total_kw, 0.0);
+  msg.total_kw = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(round_trip(msg).total_kw, std::numeric_limits<double>::infinity());
+}
+
+TEST(Message, EmptyInputThrows) {
+  EXPECT_THROW(deserialize({}), std::runtime_error);
+}
+
+TEST(Message, UnknownTagThrows) {
+  const std::vector<std::uint8_t> bytes{0xff, 0x00};
+  EXPECT_THROW(deserialize(bytes), std::runtime_error);
+}
+
+TEST(Message, TruncatedPayloadThrows) {
+  auto bytes = serialize(Message(PowerRequestMsg{1, 2, 3.0}));
+  bytes.resize(bytes.size() - 1);
+  EXPECT_THROW(deserialize(bytes), std::runtime_error);
+}
+
+TEST(Message, TrailingBytesThrow) {
+  auto bytes = serialize(Message(BeaconMsg{1, 2.0, 3.0, 0.4}));
+  bytes.push_back(0x00);
+  EXPECT_THROW(deserialize(bytes), std::runtime_error);
+}
+
+TEST(Message, CorruptVectorLengthThrows) {
+  PaymentFunctionMsg msg;
+  msg.player = 1;
+  msg.round = 1;
+  msg.others_load_kw = {1.0};
+  auto bytes = serialize(Message(msg));
+  // Vector length field sits after tag(1) + player(4) + round(8).
+  bytes[13] = 0xff;
+  bytes[14] = 0xff;
+  bytes[15] = 0xff;
+  bytes[16] = 0x7f;
+  EXPECT_THROW(deserialize(bytes), std::runtime_error);
+}
+
+TEST(Message, FuzzRandomBytesNeverCrash) {
+  util::Rng rng(0xfe);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> bytes(
+        static_cast<std::size_t>(rng.uniform_int(0, 64)));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    try {
+      (void)deserialize(bytes);  // either parses or throws; never UB
+    } catch (const std::runtime_error&) {
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Message, FuzzTruncationsOfValidMessages) {
+  PaymentFunctionMsg msg;
+  msg.player = 5;
+  msg.round = 77;
+  msg.others_load_kw = {1.0, 2.0, 3.0, 4.0};
+  const auto bytes = serialize(Message(msg));
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix(bytes.data(), cut);
+    EXPECT_THROW((void)deserialize(prefix), std::runtime_error) << "cut=" << cut;
+  }
+}
+
+TEST(Message, WireFormatIsCompact) {
+  // tag(1) + player(4) + round(8) + total(8) = 21 bytes.
+  EXPECT_EQ(serialize(Message(PowerRequestMsg{1, 2, 3.0})).size(), 21u);
+  // tag + player + round + len(4) + 2*8.
+  PaymentFunctionMsg msg;
+  msg.others_load_kw = {1.0, 2.0};
+  EXPECT_EQ(serialize(Message(msg)).size(), 33u);
+}
+
+}  // namespace
+}  // namespace olev::net

@@ -1,0 +1,125 @@
+#include "traffic/network.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace olev::traffic {
+namespace {
+
+Network two_edge_corridor() {
+  Network net;
+  const EdgeId a = net.add_edge("a", 200.0, 15.0, 2);
+  const EdgeId b = net.add_edge("b", 300.0, 15.0, 1);
+  net.connect(a, b);
+  return net;
+}
+
+TEST(Network, AddEdgeAssignsSequentialIds) {
+  Network net;
+  EXPECT_EQ(net.add_edge("a", 100.0, 10.0), 0u);
+  EXPECT_EQ(net.add_edge("b", 100.0, 10.0), 1u);
+  EXPECT_EQ(net.edge_count(), 2u);
+}
+
+TEST(Network, EdgeValidation) {
+  Network net;
+  EXPECT_THROW(net.add_edge("bad", 0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(net.add_edge("bad", 100.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(net.add_edge("bad", 100.0, 10.0, 0), std::invalid_argument);
+}
+
+TEST(Network, EdgeAccessors) {
+  Network net = two_edge_corridor();
+  const Edge& a = net.edge(0);
+  EXPECT_EQ(a.name, "a");
+  EXPECT_DOUBLE_EQ(a.length_m, 200.0);
+  EXPECT_EQ(a.lane_count, 2);
+  EXPECT_THROW(net.edge(99), std::out_of_range);
+}
+
+TEST(Network, FindEdgeByName) {
+  Network net = two_edge_corridor();
+  ASSERT_TRUE(net.find_edge("b").has_value());
+  EXPECT_EQ(*net.find_edge("b"), 1u);
+  EXPECT_FALSE(net.find_edge("nope").has_value());
+}
+
+TEST(Network, SuccessorsTrackConnections) {
+  Network net = two_edge_corridor();
+  ASSERT_EQ(net.successors(0).size(), 1u);
+  EXPECT_EQ(net.successors(0)[0], 1u);
+  EXPECT_TRUE(net.successors(1).empty());
+}
+
+TEST(Network, ValidateRoute) {
+  Network net = two_edge_corridor();
+  EXPECT_TRUE(net.validate_route({0, 1}));
+  EXPECT_TRUE(net.validate_route({1}));
+  EXPECT_FALSE(net.validate_route({1, 0}));  // not connected that way
+  EXPECT_FALSE(net.validate_route({}));
+  EXPECT_FALSE(net.validate_route({0, 7}));  // unknown edge
+}
+
+TEST(Network, RouteLength) {
+  Network net = two_edge_corridor();
+  EXPECT_DOUBLE_EQ(net.route_length_m({0, 1}), 500.0);
+}
+
+TEST(Network, SignalForEdge) {
+  Network net = two_edge_corridor();
+  const SignalId sid = net.add_signal(SignalProgram::fixed_cycle(30, 5, 25));
+  const JunctionId j = net.add_junction("tl", JunctionKind::kTrafficLight);
+  // Junction must reference the signal; Network::arterial does this wiring
+  // internally, here we check the unsignalized default first.
+  EXPECT_EQ(net.signal_for_edge(0), nullptr);
+  net.set_edge_end(0, j);
+  // Junction has kInvalidSignal until assigned; still no signal reported.
+  EXPECT_EQ(net.signal_for_edge(0), nullptr);
+  (void)sid;
+}
+
+TEST(Network, SetJunctionSignalValidation) {
+  Network net;
+  net.add_edge("a", 100.0, 10.0);
+  const SignalId sid = net.add_signal(SignalProgram::fixed_cycle(30, 5, 25));
+  const JunctionId priority = net.add_junction("p", JunctionKind::kPriority);
+  EXPECT_THROW(net.set_junction_signal(priority, sid), std::invalid_argument);
+  const JunctionId tl = net.add_junction("tl", JunctionKind::kTrafficLight);
+  EXPECT_THROW(net.set_junction_signal(tl, 99), std::out_of_range);
+  net.set_junction_signal(tl, sid);
+  net.set_edge_end(0, tl);
+  EXPECT_NE(net.signal_for_edge(0), nullptr);
+}
+
+TEST(Network, ArterialFactoryShape) {
+  const auto program = SignalProgram::fixed_cycle(30.0, 5.0, 25.0);
+  Network net = Network::arterial(4, 250.0, 13.4, program, 2);
+  EXPECT_EQ(net.edge_count(), 4u);
+  // Route through all segments is valid.
+  EXPECT_TRUE(net.validate_route({0, 1, 2, 3}));
+  EXPECT_DOUBLE_EQ(net.route_length_m({0, 1, 2, 3}), 1000.0);
+  // Interior edges end at traffic lights; the last edge does not.
+  EXPECT_NE(net.signal_for_edge(0), nullptr);
+  EXPECT_NE(net.signal_for_edge(2), nullptr);
+  EXPECT_EQ(net.signal_for_edge(3), nullptr);
+}
+
+TEST(Network, ArterialStaggersOffsets) {
+  const auto program = SignalProgram::fixed_cycle(30.0, 5.0, 25.0);
+  Network net = Network::arterial(3, 250.0, 13.4, program);
+  const SignalProgram* s0 = net.signal_for_edge(0);
+  const SignalProgram* s1 = net.signal_for_edge(1);
+  ASSERT_NE(s0, nullptr);
+  ASSERT_NE(s1, nullptr);
+  // Adjacent lights are half a cycle out of phase.
+  EXPECT_NE(s0->state_at(0.0), s1->state_at(0.0));
+}
+
+TEST(Network, ArterialRejectsZeroSegments) {
+  const auto program = SignalProgram::fixed_cycle(30.0, 5.0, 25.0);
+  EXPECT_THROW(Network::arterial(0, 100.0, 10.0, program), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace olev::traffic

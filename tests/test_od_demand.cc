@@ -1,0 +1,114 @@
+#include "traffic/od_demand.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <stdexcept>
+
+#include "traffic/simulation.h"
+
+namespace olev::traffic {
+namespace {
+
+SignalProgram program() { return SignalProgram::fixed_cycle(30.0, 4.0, 26.0); }
+
+TEST(GatewayHelpers, ArterialHasOneEntryOneExit) {
+  Network net = Network::arterial(3, 200.0, 13.0, program(), 1);
+  const auto entries = entry_edges(net);
+  const auto exits = exit_edges(net);
+  ASSERT_EQ(entries.size(), 1u);
+  ASSERT_EQ(exits.size(), 1u);
+  EXPECT_EQ(entries[0], 0u);
+  EXPECT_EQ(exits[0], 2u);
+}
+
+TEST(GatewayHelpers, GridCityHasNoDeadEnds) {
+  Network net = grid_city(3, 3, 200.0, 12.0, program());
+  EXPECT_TRUE(entry_edges(net).empty());
+  EXPECT_TRUE(exit_edges(net).empty());
+}
+
+TEST(OdTripSource, ThrowsWhenNothingRoutable) {
+  Network net;
+  net.add_edge("a", 100.0, 10.0);
+  net.add_edge("b", 100.0, 10.0);  // disconnected
+  DemandConfig config;
+  EXPECT_THROW(OdTripSource(net, {0}, {1}, config, VehicleType::passenger()),
+               std::invalid_argument);
+  EXPECT_THROW(OdTripSource(net, {0}, {0}, config, VehicleType::passenger()),
+               std::invalid_argument);  // from == to is skipped
+}
+
+TEST(OdTripSource, EnumeratesRoutablePairs) {
+  Network net = grid_city(3, 3, 200.0, 12.0, program());
+  const EdgeId a = *net.find_edge("e0_0_0_1");
+  const EdgeId b = *net.find_edge("e1_0_1_1");
+  const EdgeId x = *net.find_edge("e2_1_2_2");
+  const EdgeId y = *net.find_edge("e1_2_0_2");
+  DemandConfig config;
+  OdTripSource source(net, {a, b}, {x, y}, config, VehicleType::olev());
+  EXPECT_GE(source.routable_pairs(), 3u);
+  for (const Route& route : source.routes()) {
+    EXPECT_TRUE(net.validate_route(route));
+  }
+}
+
+TEST(OdTripSource, VehiclesSpreadOverRoutes) {
+  Network net = grid_city(3, 3, 200.0, 12.0, program());
+  const EdgeId a = *net.find_edge("e0_0_0_1");
+  const EdgeId x = *net.find_edge("e2_1_2_2");
+  const EdgeId y = *net.find_edge("e1_2_0_2");
+  DemandConfig config;
+  OdTripSource source(net, {a}, {x, y}, config, VehicleType::olev());
+  util::Rng rng(5);
+  std::set<EdgeId> destinations;
+  for (int i = 0; i < 200; ++i) {
+    const Vehicle vehicle = source.make_vehicle(0.0, rng);
+    destinations.insert(vehicle.route.back());
+  }
+  EXPECT_EQ(destinations.size(), source.routable_pairs());
+}
+
+TEST(OdTripSource, ArrivalRateFollowsCounts) {
+  Network net = grid_city(2, 2, 200.0, 12.0, program());
+  const EdgeId a = *net.find_edge("e0_0_0_1");
+  const EdgeId b = *net.find_edge("e1_1_1_0");
+  DemandConfig config;
+  config.counts.fill(3600.0);  // one per second
+  OdTripSource source(net, {a}, {b}, config, VehicleType::olev());
+  util::Rng rng(9);
+  std::size_t total = 0;
+  for (int i = 0; i < 5000; ++i) total += source.sample_arrivals(0.0, 1.0, rng);
+  EXPECT_NEAR(static_cast<double>(total) / 5000.0, 1.0, 0.06);
+}
+
+TEST(OdTripSource, DrivesSimulationEndToEnd) {
+  Network net = grid_city(3, 3, 200.0, 12.0, program());
+  const EdgeId a = *net.find_edge("e0_0_0_1");
+  const EdgeId b = *net.find_edge("e1_0_1_1");
+  const EdgeId x = *net.find_edge("e2_1_2_2");
+  const EdgeId y = *net.find_edge("e1_2_0_2");
+  DemandConfig demand;
+  demand.counts.fill(900.0);
+  SimulationConfig sim_config;
+  sim_config.seed = 31;
+  Simulation sim(net, sim_config);
+  sim.add_source(std::make_unique<OdTripSource>(net, std::vector<EdgeId>{a, b},
+                                                std::vector<EdgeId>{x, y},
+                                                demand, VehicleType::olev()));
+  sim.run_until(900.0);
+  EXPECT_GT(sim.stats().departed, 100u);
+  EXPECT_GT(sim.stats().arrived, 30u);
+}
+
+TEST(Simulation, RejectsNullSource) {
+  Network net;
+  net.add_edge("a", 100.0, 10.0);
+  Simulation sim(net, SimulationConfig{});
+  EXPECT_THROW(sim.add_source(std::unique_ptr<DemandSource>()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace olev::traffic

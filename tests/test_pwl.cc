@@ -1,0 +1,98 @@
+#include "util/pwl.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace olev::util {
+namespace {
+
+TEST(PiecewiseLinear, EmptyEvaluatesToZero) {
+  PiecewiseLinear pwl;
+  EXPECT_TRUE(pwl.empty());
+  EXPECT_DOUBLE_EQ(pwl(3.0), 0.0);
+}
+
+TEST(PiecewiseLinear, RejectsNonIncreasingKnots) {
+  EXPECT_THROW(PiecewiseLinear({{0.0, 1.0}, {0.0, 2.0}}), std::invalid_argument);
+  EXPECT_THROW(PiecewiseLinear({{1.0, 1.0}, {0.0, 2.0}}), std::invalid_argument);
+}
+
+TEST(PiecewiseLinear, InterpolatesBetweenKnots) {
+  PiecewiseLinear pwl({{0.0, 0.0}, {10.0, 100.0}});
+  EXPECT_DOUBLE_EQ(pwl(5.0), 50.0);
+  EXPECT_DOUBLE_EQ(pwl(2.5), 25.0);
+}
+
+TEST(PiecewiseLinear, ClampsOutsideRange) {
+  PiecewiseLinear pwl({{1.0, 10.0}, {2.0, 20.0}});
+  EXPECT_DOUBLE_EQ(pwl(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(pwl(5.0), 20.0);
+}
+
+TEST(PiecewiseLinear, ExactKnotValues) {
+  PiecewiseLinear pwl({{0.0, 1.0}, {1.0, 4.0}, {3.0, 2.0}});
+  EXPECT_DOUBLE_EQ(pwl(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(pwl(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(pwl(3.0), 2.0);
+}
+
+TEST(PiecewiseLinear, PeriodicWraps) {
+  PiecewiseLinear pwl({{0.0, 0.0}, {12.0, 12.0}});
+  pwl.periodic(24.0);
+  EXPECT_DOUBLE_EQ(pwl(6.0), 6.0);
+  EXPECT_DOUBLE_EQ(pwl(30.0), 6.0);   // 30 mod 24 = 6
+  EXPECT_DOUBLE_EQ(pwl(-18.0), 6.0);  // wraps negatives too
+}
+
+TEST(PiecewiseLinear, PeriodicSeamInterpolatesBackToStart) {
+  PiecewiseLinear pwl({{0.0, 0.0}, {12.0, 12.0}});
+  pwl.periodic(24.0);
+  // Between hour 12 (value 12) and hour 24 == hour 0 (value 0).
+  EXPECT_DOUBLE_EQ(pwl(18.0), 6.0);
+}
+
+TEST(PiecewiseLinear, PeriodicRejectsNonPositiveSpan) {
+  PiecewiseLinear pwl({{0.0, 0.0}, {1.0, 1.0}});
+  EXPECT_THROW(pwl.periodic(0.0), std::invalid_argument);
+  EXPECT_THROW(pwl.periodic(-1.0), std::invalid_argument);
+}
+
+TEST(PiecewiseLinear, MinMaxValues) {
+  PiecewiseLinear pwl({{0.0, 3.0}, {1.0, -2.0}, {2.0, 7.0}});
+  EXPECT_DOUBLE_EQ(pwl.min_value(), -2.0);
+  EXPECT_DOUBLE_EQ(pwl.max_value(), 7.0);
+}
+
+TEST(PiecewiseLinear, RescaledMapsRange) {
+  PiecewiseLinear pwl({{0.0, 0.0}, {1.0, 1.0}});
+  const PiecewiseLinear scaled = pwl.rescaled(10.0, 30.0);
+  EXPECT_DOUBLE_EQ(scaled(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(scaled(1.0), 30.0);
+  EXPECT_DOUBLE_EQ(scaled(0.5), 20.0);
+}
+
+TEST(PiecewiseLinear, RescaledConstantIsNoop) {
+  PiecewiseLinear pwl({{0.0, 5.0}, {1.0, 5.0}});
+  const PiecewiseLinear scaled = pwl.rescaled(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(scaled(0.5), 5.0);
+}
+
+TEST(PiecewiseLinear, IntegralOfLinearRamp) {
+  PiecewiseLinear pwl({{0.0, 0.0}, {10.0, 10.0}});
+  EXPECT_NEAR(pwl.integral(0.0, 10.0), 50.0, 1e-6);
+}
+
+TEST(PiecewiseLinear, IntegralEmptyInterval) {
+  PiecewiseLinear pwl({{0.0, 1.0}, {1.0, 1.0}});
+  EXPECT_DOUBLE_EQ(pwl.integral(2.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(pwl.integral(3.0, 2.0), 0.0);
+}
+
+TEST(PiecewiseLinear, IntegralConstant) {
+  PiecewiseLinear pwl({{0.0, 4.0}, {100.0, 4.0}});
+  EXPECT_NEAR(pwl.integral(10.0, 20.0), 40.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace olev::util

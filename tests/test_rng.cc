@@ -1,0 +1,198 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace olev::util {
+namespace {
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng rng(77);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(rng());
+  rng.reseed(77);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 7.5);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 7.5);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(9);
+  double sum = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(11);
+  std::vector<int> seen(6, 0);
+  for (int i = 0; i < 6000; ++i) {
+    const auto v = rng.uniform_int(0, 5);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 5);
+    ++seen[static_cast<std::size_t>(v)];
+  }
+  for (int count : seen) EXPECT_GT(count, 700);  // ~1000 each
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, UniformIntNegativeRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-10, -5);
+    EXPECT_GE(v, -10);
+    EXPECT_LE(v, -5);
+  }
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kSamples, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShiftedAndScaled) {
+  Rng rng(17);
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / kSamples, 10.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(19);
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / kSamples, 0.25, 0.01);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, PoissonSmallMeanMatches) {
+  Rng rng(29);
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) sum += static_cast<double>(rng.poisson(2.5));
+  EXPECT_NEAR(sum / kSamples, 2.5, 0.05);
+}
+
+TEST(Rng, PoissonLargeMeanMatches) {
+  Rng rng(31);
+  double sum = 0.0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) sum += static_cast<double>(rng.poisson(80.0));
+  EXPECT_NEAR(sum / kSamples, 80.0, 0.5);
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng(37);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(41);
+  int hits = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(43);
+  std::vector<int> values{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> shuffled = values;
+  rng.shuffle(std::span<int>(shuffled));
+  std::vector<int> sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, values);
+}
+
+TEST(Rng, ShuffleIsNotIdentityOnAverage) {
+  Rng rng(47);
+  int moved = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<int> values{0, 1, 2, 3, 4, 5, 6, 7};
+    rng.shuffle(std::span<int>(values));
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (values[i] != static_cast<int>(i)) ++moved;
+    }
+  }
+  EXPECT_GT(moved, 200);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(51);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, DeriveSeedDistinctPerStream) {
+  const auto a = derive_seed(100, 0);
+  const auto b = derive_seed(100, 1);
+  const auto c = derive_seed(101, 0);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a, derive_seed(100, 0));
+}
+
+}  // namespace
+}  // namespace olev::util

@@ -1,0 +1,154 @@
+#include "traffic/routing.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace olev::traffic {
+namespace {
+
+SignalProgram half_green() { return SignalProgram::fixed_cycle(30.0, 0.0001, 30.0); }
+
+TEST(ExpectedEdgeTime, FreeFlowWithoutSignal) {
+  Network net;
+  net.add_edge("a", 300.0, 15.0);
+  EXPECT_DOUBLE_EQ(expected_edge_time_s(net, 0), 20.0);
+}
+
+TEST(ExpectedEdgeTime, AddsExpectedSignalDelay) {
+  // Arterial: interior edge ends at a signal with known red share.
+  Network net = Network::arterial(2, 300.0, 15.0, half_green(), 1);
+  const double without = 300.0 / 15.0;
+  const double with_signal = expected_edge_time_s(net, 0);
+  // red ~= 30 of 60 s cycle: E[delay] = 30^2 / (2 * 60) = 7.5 s.
+  EXPECT_NEAR(with_signal - without, 7.5, 0.1);
+  // Terminal edge has no signal.
+  EXPECT_DOUBLE_EQ(expected_edge_time_s(net, 1), without);
+}
+
+TEST(ShortestRoute, TrivialSingleEdge) {
+  Network net;
+  net.add_edge("a", 300.0, 15.0);
+  const RouteResult result = shortest_route(net, 0, 0);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.route, Route{0});
+  EXPECT_DOUBLE_EQ(result.travel_time_s, 20.0);
+}
+
+TEST(ShortestRoute, FollowsArterial) {
+  Network net = Network::arterial(4, 250.0, 12.5, half_green(), 1);
+  const RouteResult result = shortest_route(net, 0, 3);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.route, Route({0, 1, 2, 3}));
+  EXPECT_GT(result.travel_time_s, 4 * 20.0);  // includes signal delays
+}
+
+TEST(ShortestRoute, UnreachableReturnsNotFound) {
+  Network net;
+  net.add_edge("a", 100.0, 10.0);
+  net.add_edge("b", 100.0, 10.0);  // never connected
+  const RouteResult result = shortest_route(net, 0, 1);
+  EXPECT_FALSE(result.found);
+}
+
+TEST(ShortestRoute, ValidatesArguments) {
+  Network net;
+  net.add_edge("a", 100.0, 10.0);
+  EXPECT_THROW(shortest_route(net, 0, 7), std::out_of_range);
+  const std::vector<double> bad_adjust{0.0, 0.0};
+  EXPECT_THROW(shortest_route(net, 0, 0, bad_adjust), std::invalid_argument);
+}
+
+TEST(GridCity, Shape) {
+  Network net = grid_city(3, 3, 200.0, 12.0, half_green());
+  // 3x3 nodes: 2*3 horizontal pairs * 2 directions + 2*3 vertical = 24 edges.
+  EXPECT_EQ(net.edge_count(), 24u);
+  EXPECT_EQ(net.junction_count(), 9u);
+  // Every edge ends at a signalized junction.
+  for (EdgeId e = 0; e < net.edge_count(); ++e) {
+    EXPECT_NE(net.signal_for_edge(e), nullptr) << "edge " << e;
+  }
+}
+
+TEST(GridCity, RejectsDegenerate) {
+  EXPECT_THROW(grid_city(1, 5, 100.0, 10.0, half_green()), std::invalid_argument);
+}
+
+TEST(GridCity, RoutesExistBetweenCorners) {
+  Network net = grid_city(3, 3, 200.0, 12.0, half_green());
+  const EdgeId start = *net.find_edge("e0_0_0_1");
+  const EdgeId goal = *net.find_edge("e2_1_2_2");
+  const RouteResult result = shortest_route(net, start, goal);
+  ASSERT_TRUE(result.found);
+  EXPECT_TRUE(net.validate_route(result.route));
+  EXPECT_EQ(result.route.front(), start);
+  EXPECT_EQ(result.route.back(), goal);
+  // Manhattan distance (0,0)->(2,2) needs exactly 4 blocks.
+  EXPECT_EQ(result.route.size(), 4u);
+}
+
+TEST(GridCity, NoUTurnConnections) {
+  Network net = grid_city(2, 2, 200.0, 12.0, half_green());
+  const EdgeId forward = *net.find_edge("e0_0_0_1");
+  const EdgeId reverse = *net.find_edge("e0_1_0_0");
+  for (EdgeId succ : net.successors(forward)) {
+    EXPECT_NE(succ, reverse);
+  }
+}
+
+TEST(ShortestRoute, BonusDivertsRoute) {
+  // In a 3x3 grid with symmetric costs there are multiple shortest paths;
+  // a charging bonus on one street must pull the route onto it.
+  Network net = grid_city(3, 3, 200.0, 12.0, half_green());
+  const EdgeId start = *net.find_edge("e0_0_0_1");
+  const EdgeId goal = *net.find_edge("e1_2_2_2");
+  const EdgeId sweetened = *net.find_edge("e0_1_0_2");
+
+  const RouteResult plain = shortest_route(net, start, goal);
+  std::vector<double> adjust(net.edge_count(), 0.0);
+  adjust[sweetened] = -15.0;  // 15 s equivalent charging benefit
+  const RouteResult lured = shortest_route(net, start, goal, adjust);
+  ASSERT_TRUE(plain.found);
+  ASSERT_TRUE(lured.found);
+  EXPECT_NE(std::find(lured.route.begin(), lured.route.end(), sweetened),
+            lured.route.end());
+  // The lured route trades clock time for charging: never faster.
+  EXPECT_GE(lured.travel_time_s, plain.travel_time_s - 1e-9);
+  EXPECT_LE(lured.cost, plain.cost + 1e-9);
+}
+
+TEST(ShortestRoute, HugeBonusStillTerminates) {
+  // Cost floor keeps Dijkstra sound even when bonuses exceed edge times.
+  Network net = grid_city(3, 3, 200.0, 12.0, half_green());
+  std::vector<double> adjust(net.edge_count(), -1e9);
+  const EdgeId start = *net.find_edge("e0_0_0_1");
+  const EdgeId goal = *net.find_edge("e2_1_2_2");
+  const RouteResult result = shortest_route(net, start, goal, adjust);
+  EXPECT_TRUE(result.found);
+  EXPECT_TRUE(net.validate_route(result.route));
+}
+
+TEST(GridCity, TwoByTwoSplitsIntoOneWayRings) {
+  // Documented property: with U-turns forbidden, a 2x2 grid decomposes into
+  // two disjoint one-way rings, so cross-ring routes do not exist.
+  Network net = grid_city(2, 2, 200.0, 12.0, half_green());
+  const EdgeId ring_a = *net.find_edge("e0_0_0_1");
+  const EdgeId ring_b = *net.find_edge("e1_0_1_1");
+  EXPECT_FALSE(shortest_route(net, ring_a, ring_b).found);
+  // Within a ring every edge reaches every other.
+  const EdgeId same_ring = *net.find_edge("e1_1_1_0");
+  EXPECT_TRUE(shortest_route(net, ring_a, same_ring).found);
+}
+
+TEST(RouteExpectedTime, SumsEdges) {
+  Network net = Network::arterial(3, 300.0, 15.0, half_green(), 1);
+  const double total = route_expected_time_s(net, {0, 1, 2});
+  EXPECT_NEAR(total,
+              expected_edge_time_s(net, 0) + expected_edge_time_s(net, 1) +
+                  expected_edge_time_s(net, 2),
+              1e-12);
+}
+
+}  // namespace
+}  // namespace olev::traffic

@@ -1,0 +1,108 @@
+#include "core/satisfaction.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace olev::core {
+namespace {
+
+// The paper requires U to be strictly increasing and strictly concave with
+// U(0) = 0.  These parameterized properties run over every concrete family.
+class SatisfactionProperties
+    : public ::testing::TestWithParam<std::shared_ptr<Satisfaction>> {};
+
+TEST_P(SatisfactionProperties, ZeroAtZero) {
+  EXPECT_NEAR(GetParam()->value(0.0), 0.0, 1e-12);
+}
+
+TEST_P(SatisfactionProperties, StrictlyIncreasing) {
+  const auto& u = *GetParam();
+  double prev = u.value(0.0);
+  for (double p = 1.0; p <= 50.0; p += 1.0) {
+    const double v = u.value(p);
+    EXPECT_GT(v, prev) << "at p=" << p;
+    prev = v;
+  }
+}
+
+TEST_P(SatisfactionProperties, DerivativePositive) {
+  const auto& u = *GetParam();
+  for (double p = 0.0; p <= 50.0; p += 2.5) {
+    EXPECT_GT(u.derivative(p), 0.0) << "at p=" << p;
+  }
+}
+
+TEST_P(SatisfactionProperties, DerivativeStrictlyDecreasing) {
+  const auto& u = *GetParam();
+  double prev = u.derivative(0.0);
+  for (double p = 1.0; p <= 50.0; p += 1.0) {
+    const double d = u.derivative(p);
+    EXPECT_LT(d, prev) << "at p=" << p;
+    prev = d;
+  }
+}
+
+TEST_P(SatisfactionProperties, DerivativeMatchesFiniteDifference) {
+  const auto& u = *GetParam();
+  constexpr double kH = 1e-6;
+  for (double p : {0.5, 3.0, 10.0, 40.0}) {
+    const double numeric = (u.value(p + kH) - u.value(p - kH)) / (2.0 * kH);
+    EXPECT_NEAR(u.derivative(p), numeric, 1e-5) << "at p=" << p;
+  }
+}
+
+TEST_P(SatisfactionProperties, CloneIsIndependentCopy) {
+  const auto& u = *GetParam();
+  const auto copy = u.clone();
+  for (double p : {0.0, 1.0, 7.0, 30.0}) {
+    EXPECT_DOUBLE_EQ(copy->value(p), u.value(p));
+    EXPECT_DOUBLE_EQ(copy->derivative(p), u.derivative(p));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, SatisfactionProperties,
+    ::testing::Values(std::make_shared<LogSatisfaction>(),
+                      std::make_shared<LogSatisfaction>(3.0, 2.0),
+                      std::make_shared<SqrtSatisfaction>(),
+                      std::make_shared<SqrtSatisfaction>(5.0),
+                      std::make_shared<QuadraticSatisfaction>(1.0, 100.0),
+                      std::make_shared<QuadraticSatisfaction>(2.5, 60.0)));
+
+TEST(LogSatisfaction, MatchesPaperForm) {
+  // The paper's evaluation: U(p) = log(1 + p).
+  LogSatisfaction u;
+  EXPECT_NEAR(u.value(4.0), std::log(5.0), 1e-12);
+  EXPECT_NEAR(u.derivative(4.0), 0.2, 1e-12);
+}
+
+TEST(LogSatisfaction, WeightAndScale) {
+  LogSatisfaction u(2.0, 4.0);
+  EXPECT_NEAR(u.value(4.0), 2.0 * std::log(2.0), 1e-12);
+}
+
+TEST(LogSatisfaction, RejectsBadParameters) {
+  EXPECT_THROW(LogSatisfaction(0.0), std::invalid_argument);
+  EXPECT_THROW(LogSatisfaction(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(SqrtSatisfaction, RejectsBadParameters) {
+  EXPECT_THROW(SqrtSatisfaction(-1.0), std::invalid_argument);
+}
+
+TEST(QuadraticSatisfaction, RejectsBadParameters) {
+  EXPECT_THROW(QuadraticSatisfaction(0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(QuadraticSatisfaction(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(QuadraticSatisfaction, SaturatesAtCap) {
+  QuadraticSatisfaction u(1.0, 50.0);
+  EXPECT_NEAR(u.derivative(50.0), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace olev::core

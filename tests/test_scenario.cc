@@ -1,0 +1,206 @@
+#include "core/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace olev::core {
+namespace {
+
+ScenarioConfig small_config() {
+  ScenarioConfig config;
+  config.num_olevs = 10;
+  config.num_sections = 8;
+  config.beta_lbmp = 20.0;
+  config.target_degree = 0.5;
+  config.seed = 11;
+  return config;
+}
+
+TEST(Scenario, ValidatesCounts) {
+  ScenarioConfig config = small_config();
+  config.num_olevs = 0;
+  EXPECT_THROW(Scenario::build(config), std::invalid_argument);
+  config = small_config();
+  config.num_sections = 0;
+  EXPECT_THROW(Scenario::build(config), std::invalid_argument);
+}
+
+TEST(Scenario, PLineFollowsEquation1) {
+  ScenarioConfig config = small_config();
+  config.velocity_mph = 60.0;
+  const Scenario at60 = Scenario::build(config);
+  config.velocity_mph = 80.0;
+  const Scenario at80 = Scenario::build(config);
+  EXPECT_GT(at60.p_line_kw(), at80.p_line_kw());
+  EXPECT_NEAR(at60.cap_kw(), config.eta * at60.p_line_kw(), 1e-12);
+}
+
+TEST(Scenario, BetaFromExplicitValue) {
+  const Scenario scenario = Scenario::build(small_config());
+  EXPECT_DOUBLE_EQ(scenario.beta_lbmp(), 20.0);
+}
+
+TEST(Scenario, BetaSampledFromGridModelWhenUnset) {
+  ScenarioConfig config = small_config();
+  config.beta_lbmp = 0.0;
+  config.hour_of_day = 19.0;  // evening peak
+  const Scenario peak = Scenario::build(config);
+  config.hour_of_day = 4.0;  // overnight trough
+  const Scenario trough = Scenario::build(config);
+  EXPECT_GT(peak.beta_lbmp(), trough.beta_lbmp());
+  EXPECT_GE(trough.beta_lbmp(), 12.52);
+  EXPECT_LE(peak.beta_lbmp(), 244.04);
+}
+
+TEST(Scenario, PlayerCapsAreEquation2Feasible) {
+  const Scenario scenario = Scenario::build(small_config());
+  ASSERT_EQ(scenario.p_max().size(), 10u);
+  const double absolute_max = wpt::OlevParams{}.battery.max_power_kw();
+  for (double cap : scenario.p_max()) {
+    EXPECT_GT(cap, 0.0);
+    EXPECT_LT(cap, absolute_max);
+  }
+}
+
+TEST(Scenario, NonlinearMarginalCrossesLbmpAtHalfCap) {
+  // The normalization documented in the header: Z'(0.5 cap) = beta / 1000.
+  const Scenario scenario = Scenario::build(small_config());
+  EXPECT_NEAR(scenario.cost().derivative(0.5 * scenario.cap_kw()),
+              scenario.beta_lbmp() / 1000.0, 1e-9);
+}
+
+TEST(Scenario, PaperPricingHelpers) {
+  const auto nonlinear = paper_nonlinear_pricing(20.0, 0.875, 60.0);
+  EXPECT_TRUE(nonlinear->strictly_convex());
+  EXPECT_NEAR(nonlinear->derivative(30.0), 20.0 / 1000.0, 1e-12);
+  const auto linear = paper_linear_pricing(20.0);
+  EXPECT_DOUBLE_EQ(linear->derivative(999.0), 0.02);
+}
+
+TEST(Scenario, GameConvergesNearTargetDegree) {
+  ScenarioConfig config = small_config();
+  config.target_degree = 0.5;
+  config.demand_diversity = 0.0;
+  const Scenario scenario = Scenario::build(config);
+  Game game = scenario.make_game();
+  const GameResult result = game.run();
+  ASSERT_TRUE(result.converged);
+  // Caps may bind below target, so expect the band [0.3, 0.6].
+  EXPECT_GT(result.congestion.mean, 0.3);
+  EXPECT_LT(result.congestion.mean, 0.6);
+}
+
+TEST(Scenario, LinearPricingUsesGreedyScheduler) {
+  ScenarioConfig config = small_config();
+  config.pricing = PricingKind::kLinear;
+  const Scenario scenario = Scenario::build(config);
+  Game game = scenario.make_game();
+  const GameResult result = game.run();
+  ASSERT_TRUE(result.converged);
+  // Greedy fill: unbalanced sections.
+  EXPECT_LT(result.congestion.jain_fairness, 0.99);
+}
+
+TEST(Scenario, NonlinearBalancesBetterThanLinear) {
+  ScenarioConfig config = small_config();
+  const Scenario nonlinear = Scenario::build(config);
+  config.pricing = PricingKind::kLinear;
+  const Scenario linear = Scenario::build(config);
+  Game game_nl = nonlinear.make_game();
+  Game game_lin = linear.make_game();
+  const auto r_nl = game_nl.run();
+  const auto r_lin = game_lin.run();
+  EXPECT_GT(r_nl.congestion.jain_fairness, r_lin.congestion.jain_fairness);
+}
+
+TEST(Scenario, DeterministicForFixedSeed) {
+  const Scenario a = Scenario::build(small_config());
+  const Scenario b = Scenario::build(small_config());
+  ASSERT_EQ(a.p_max().size(), b.p_max().size());
+  for (std::size_t n = 0; n < a.p_max().size(); ++n) {
+    EXPECT_DOUBLE_EQ(a.p_max()[n], b.p_max()[n]);
+    EXPECT_DOUBLE_EQ(a.weights()[n], b.weights()[n]);
+  }
+}
+
+TEST(Scenario, CloneSatisfactionsMatchesWeights) {
+  const Scenario scenario = Scenario::build(small_config());
+  const auto satisfactions = scenario.clone_satisfactions();
+  ASSERT_EQ(satisfactions.size(), scenario.weights().size());
+  for (std::size_t n = 0; n < satisfactions.size(); ++n) {
+    // U'(0) = weight for LogSatisfaction with scale 1.
+    EXPECT_NEAR(satisfactions[n]->derivative(0.0), scenario.weights()[n], 1e-12);
+  }
+}
+
+TEST(Scenario, UnitPaymentIsPerMwh) {
+  GameResult result;
+  result.payments = {0.02, 0.04};      // $/h
+  result.requests = {1.0, 2.0};        // kW
+  // (0.06 / 3 kW) * 1000 = 20 $/MWh.
+  EXPECT_NEAR(Scenario::unit_payment_per_mwh(result), 20.0, 1e-12);
+  GameResult empty;
+  EXPECT_DOUBLE_EQ(Scenario::unit_payment_per_mwh(empty), 0.0);
+}
+
+TEST(Scenario, Equation3CapsBindAtHighVelocity) {
+  // p_max = min(P_OLEV, P_line): at high velocity the line limit clips the
+  // strongest batteries.
+  ScenarioConfig config = small_config();
+  config.velocity_mph = 120.0;  // extreme: P_line well below battery bounds
+  const Scenario fast = Scenario::build(config);
+  for (double cap : fast.p_max()) {
+    EXPECT_LE(cap, fast.p_line_kw() + 1e-12);
+  }
+  // At low velocity the battery side binds instead; total capability grows.
+  config.velocity_mph = 30.0;
+  const Scenario slow = Scenario::build(config);
+  double fast_total = 0.0;
+  double slow_total = 0.0;
+  for (double cap : fast.p_max()) fast_total += cap;
+  for (double cap : slow.p_max()) slow_total += cap;
+  EXPECT_GT(slow_total, fast_total);
+}
+
+TEST(Scenario, AchievedDegreeMonotoneInTarget) {
+  double previous = -1.0;
+  for (double target : {0.2, 0.4, 0.6}) {
+    ScenarioConfig config = small_config();
+    config.target_degree = target;
+    config.demand_diversity = 0.0;
+    const Scenario scenario = Scenario::build(config);
+    Game game = scenario.make_game();
+    const GameResult result = game.run();
+    ASSERT_TRUE(result.converged);
+    EXPECT_GT(result.congestion.mean, previous) << "target " << target;
+    previous = result.congestion.mean;
+  }
+}
+
+TEST(Scenario, CalibrationAnchorDecouplesWeightsFromN) {
+  ScenarioConfig config = small_config();
+  config.calibration_players = 20;
+  config.calibration_sections = 10;
+  const Scenario small = Scenario::build(config);
+  config.num_olevs = 30;
+  const Scenario large = Scenario::build(config);
+  // Same anchor + same seed stream prefix: the first 10 weights coincide.
+  for (std::size_t n = 0; n < 10; ++n) {
+    EXPECT_DOUBLE_EQ(small.weights()[n], large.weights()[n]) << n;
+  }
+}
+
+TEST(Scenario, MakeGameMintsIndependentGames) {
+  const Scenario scenario = Scenario::build(small_config());
+  Game a = scenario.make_game();
+  Game b = scenario.make_game();
+  const auto ra = a.run();
+  const auto rb = b.run();
+  EXPECT_NEAR(ra.welfare, rb.welfare, 1e-9);
+}
+
+}  // namespace
+}  // namespace olev::core

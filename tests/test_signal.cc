@@ -1,0 +1,78 @@
+#include "traffic/signal.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace olev::traffic {
+namespace {
+
+TEST(SignalProgram, EmptyIsAlwaysGreen) {
+  SignalProgram program;
+  EXPECT_EQ(program.state_at(0.0), LightState::kGreen);
+  EXPECT_EQ(program.state_at(1e6), LightState::kGreen);
+  EXPECT_DOUBLE_EQ(program.time_to_green(5.0), 0.0);
+}
+
+TEST(SignalProgram, RejectsNonPositivePhase) {
+  EXPECT_THROW(SignalProgram({{LightState::kGreen, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(SignalProgram({{LightState::kRed, -3.0}}), std::invalid_argument);
+}
+
+TEST(SignalProgram, FixedCycleStates) {
+  const auto program = SignalProgram::fixed_cycle(30.0, 5.0, 25.0);
+  EXPECT_DOUBLE_EQ(program.cycle_length_s(), 60.0);
+  EXPECT_EQ(program.state_at(0.0), LightState::kGreen);
+  EXPECT_EQ(program.state_at(29.9), LightState::kGreen);
+  EXPECT_EQ(program.state_at(30.0), LightState::kYellow);
+  EXPECT_EQ(program.state_at(34.9), LightState::kYellow);
+  EXPECT_EQ(program.state_at(35.0), LightState::kRed);
+  EXPECT_EQ(program.state_at(59.9), LightState::kRed);
+}
+
+TEST(SignalProgram, CycleRepeats) {
+  const auto program = SignalProgram::fixed_cycle(30.0, 5.0, 25.0);
+  for (double t : {0.0, 12.0, 31.0, 40.0, 59.0}) {
+    EXPECT_EQ(program.state_at(t), program.state_at(t + 60.0));
+    EXPECT_EQ(program.state_at(t), program.state_at(t + 600.0));
+  }
+}
+
+TEST(SignalProgram, OffsetShiftsCycle) {
+  const auto shifted = SignalProgram::fixed_cycle(30.0, 5.0, 25.0, 30.0);
+  // At t=0 the shifted program is 30 s into its cycle: yellow.
+  EXPECT_EQ(shifted.state_at(0.0), LightState::kYellow);
+  EXPECT_EQ(shifted.state_at(5.0), LightState::kRed);
+  // 30 s later the cycle wraps back to green.
+  EXPECT_EQ(shifted.state_at(30.0), LightState::kGreen);
+}
+
+TEST(SignalProgram, TimeToGreenWithinPhase) {
+  const auto program = SignalProgram::fixed_cycle(30.0, 5.0, 25.0);
+  EXPECT_DOUBLE_EQ(program.time_to_green(0.0), 0.0);    // already green
+  EXPECT_DOUBLE_EQ(program.time_to_green(30.0), 30.0);  // yellow+red ahead
+  EXPECT_DOUBLE_EQ(program.time_to_green(35.0), 25.0);  // full red
+  EXPECT_DOUBLE_EQ(program.time_to_green(50.0), 10.0);  // mid red
+}
+
+TEST(SignalProgram, TimeToGreenNegativeTime) {
+  const auto program = SignalProgram::fixed_cycle(10.0, 2.0, 8.0);
+  // Negative times wrap into the cycle consistently.
+  EXPECT_EQ(program.state_at(-20.0), program.state_at(0.0));
+}
+
+TEST(SignalProgram, GreenRatio) {
+  const auto program = SignalProgram::fixed_cycle(30.0, 10.0, 60.0);
+  EXPECT_DOUBLE_EQ(program.green_ratio(), 0.3);
+  SignalProgram empty;
+  EXPECT_DOUBLE_EQ(empty.green_ratio(), 1.0);
+}
+
+TEST(SignalProgram, AllRedProgramNeverGreen) {
+  SignalProgram program({{LightState::kRed, 10.0}});
+  EXPECT_EQ(program.state_at(3.0), LightState::kRed);
+  EXPECT_DOUBLE_EQ(program.green_ratio(), 0.0);
+}
+
+}  // namespace
+}  // namespace olev::traffic

@@ -1,0 +1,97 @@
+#include "util/solver.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace olev::util {
+namespace {
+
+TEST(BisectRoot, FindsLinearRoot) {
+  const auto result = bisect_root([](double x) { return 2.0 * x - 4.0; }, 0.0, 10.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x, 2.0, 1e-9);
+}
+
+TEST(BisectRoot, FindsTranscendentalRoot) {
+  const auto result =
+      bisect_root([](double x) { return std::cos(x) - x; }, 0.0, 1.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x, 0.7390851332, 1e-8);
+}
+
+TEST(BisectRoot, ExactEndpointRoot) {
+  const auto result = bisect_root([](double x) { return x; }, 0.0, 1.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_DOUBLE_EQ(result.x, 0.0);
+  EXPECT_EQ(result.iterations, 0);
+}
+
+TEST(BisectRoot, NoSignChangeReportsNotConverged) {
+  const auto result = bisect_root([](double x) { return x * x + 1.0; }, -1.0, 1.0);
+  EXPECT_FALSE(result.converged);
+}
+
+TEST(BisectRoot, NoSignChangeReturnsBetterEndpoint) {
+  const auto result = bisect_root([](double x) { return x + 10.0; }, 0.0, 5.0);
+  EXPECT_FALSE(result.converged);
+  EXPECT_DOUBLE_EQ(result.x, 0.0);  // |f(0)| = 10 < |f(5)| = 15
+}
+
+TEST(BisectRoot, RespectsTolerance) {
+  SolverOptions opts;
+  opts.x_tolerance = 1e-3;
+  opts.f_tolerance = 0.0;
+  const auto result =
+      bisect_root([](double x) { return x - 0.333; }, 0.0, 1.0, opts);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x, 0.333, 1e-3);
+}
+
+TEST(DecreasingRootClamped, InteriorRoot) {
+  const auto result =
+      decreasing_root_clamped([](double x) { return 3.0 - x; }, 0.0, 10.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x, 3.0, 1e-8);
+}
+
+TEST(DecreasingRootClamped, NegativeAtLowerEndpointClampsToLo) {
+  // f(0) < 0: "corner at zero" case of Lemma IV.3.
+  const auto result =
+      decreasing_root_clamped([](double x) { return -1.0 - x; }, 0.0, 10.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_DOUBLE_EQ(result.x, 0.0);
+}
+
+TEST(DecreasingRootClamped, PositiveAtUpperEndpointClampsToHi) {
+  // f(hi) > 0: "corner at the cap" case of Lemma IV.3.
+  const auto result =
+      decreasing_root_clamped([](double x) { return 100.0 - x; }, 0.0, 10.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_DOUBLE_EQ(result.x, 10.0);
+}
+
+TEST(GoldenSection, FindsParabolaMax) {
+  const auto result = golden_section_max(
+      [](double x) { return -(x - 2.5) * (x - 2.5); }, 0.0, 10.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x, 2.5, 1e-6);
+  EXPECT_NEAR(result.fx, 0.0, 1e-10);
+}
+
+TEST(GoldenSection, MaxAtBoundary) {
+  const auto result = golden_section_max([](double x) { return x; }, 0.0, 1.0);
+  EXPECT_NEAR(result.x, 1.0, 1e-6);
+}
+
+TEST(GoldenSection, ConcaveUtilityShape) {
+  // The exact shape the best-response solver faces: log satisfaction minus
+  // quadratic payment.
+  auto f = [](double p) { return std::log1p(p) - 0.01 * p * p; };
+  const auto result = golden_section_max(f, 0.0, 100.0);
+  // Analytic argmax: 1/(1+p) = 0.02 p -> p ~ 6.59.
+  EXPECT_NEAR(result.x, 6.589, 1e-2);
+}
+
+}  // namespace
+}  // namespace olev::util

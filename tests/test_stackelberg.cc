@@ -1,0 +1,147 @@
+#include "core/stackelberg.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/central.h"
+#include "core/game.h"
+
+namespace olev::core {
+namespace {
+
+SectionCost make_cost(double cap = 40.0) {
+  return SectionCost(std::make_unique<NonlinearPricing>(5.0, 0.875, cap),
+                     OverloadCost{1.0}, cap);
+}
+
+std::vector<std::unique_ptr<Satisfaction>> make_satisfactions(
+    const std::vector<double>& weights) {
+  std::vector<std::unique_ptr<Satisfaction>> out;
+  for (double w : weights) out.push_back(std::make_unique<LogSatisfaction>(w));
+  return out;
+}
+
+TEST(FollowerReaction, OptsOutWhenPriceHigh) {
+  LogSatisfaction u(2.0);  // U'(0) = 2
+  EXPECT_DOUBLE_EQ(follower_reaction(u, 3.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(follower_reaction(u, 2.0, 100.0), 0.0);
+}
+
+TEST(FollowerReaction, CapBindsWhenPriceLow) {
+  LogSatisfaction u(100.0);
+  EXPECT_DOUBLE_EQ(follower_reaction(u, 0.01, 5.0), 5.0);
+}
+
+TEST(FollowerReaction, InteriorSolvesFoc) {
+  LogSatisfaction u(10.0);  // U'(p) = 10/(1+p)
+  const double p = follower_reaction(u, 2.0, 100.0);
+  EXPECT_NEAR(p, 4.0, 1e-6);  // 10/(1+p) = 2
+}
+
+TEST(FollowerReaction, NonIncreasingInPrice) {
+  LogSatisfaction u(10.0);
+  double prev = follower_reaction(u, 0.1, 100.0);
+  for (double price : {0.5, 1.0, 2.0, 5.0, 9.0}) {
+    const double p = follower_reaction(u, price, 100.0);
+    EXPECT_LE(p, prev + 1e-12);
+    prev = p;
+  }
+}
+
+TEST(FollowerReaction, ZeroCap) {
+  LogSatisfaction u(10.0);
+  EXPECT_DOUBLE_EQ(follower_reaction(u, 1.0, 0.0), 0.0);
+}
+
+TEST(Stackelberg, ValidatesInput) {
+  const auto players = make_satisfactions({10.0});
+  const std::vector<double> caps{10.0, 20.0};
+  EXPECT_THROW(solve_stackelberg(players, caps, make_cost(), 2),
+               std::invalid_argument);
+  const std::vector<double> one_cap{10.0};
+  EXPECT_THROW(solve_stackelberg(players, one_cap, make_cost(), 0),
+               std::invalid_argument);
+}
+
+TEST(Stackelberg, LeaderPriceIsRevenueMaximal) {
+  const auto players = make_satisfactions({10.0, 25.0, 18.0});
+  const std::vector<double> caps{50.0, 50.0, 50.0};
+  const StackelbergResult result =
+      solve_stackelberg(players, caps, make_cost(), 3);
+  auto revenue_at = [&](double price) {
+    double demand = 0.0;
+    for (std::size_t n = 0; n < players.size(); ++n) {
+      demand += follower_reaction(*players[n], price, caps[n]);
+    }
+    return price * demand;
+  };
+  EXPECT_NEAR(result.revenue, revenue_at(result.price), 1e-9);
+  for (double probe = 0.05; probe < 25.0; probe += 0.05) {
+    EXPECT_LE(revenue_at(probe), result.revenue + 1e-6) << "price " << probe;
+  }
+}
+
+TEST(Stackelberg, RequestsMatchFollowerReactions) {
+  const auto players = make_satisfactions({10.0, 25.0});
+  const std::vector<double> caps{50.0, 50.0};
+  const StackelbergResult result =
+      solve_stackelberg(players, caps, make_cost(), 2);
+  ASSERT_EQ(result.requests.size(), 2u);
+  for (std::size_t n = 0; n < 2; ++n) {
+    EXPECT_NEAR(result.requests[n],
+                follower_reaction(*players[n], result.price, caps[n]), 1e-9);
+  }
+  EXPECT_NEAR(result.total_power,
+              result.requests[0] + result.requests[1], 1e-12);
+}
+
+TEST(Stackelberg, ScheduleIsEvenSplit) {
+  const auto players = make_satisfactions({10.0});
+  const std::vector<double> caps{30.0};
+  const StackelbergResult result =
+      solve_stackelberg(players, caps, make_cost(), 4);
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_NEAR(result.schedule.at(0, c), result.requests[0] / 4.0, 1e-12);
+  }
+}
+
+TEST(Stackelberg, WelfareBelowSocialOptimum) {
+  // The revenue-maximizing leader under-serves relative to the welfare
+  // optimum -- the gap our pricing policy closes.
+  const std::vector<double> weights{10.0, 25.0, 18.0};
+  const auto players = make_satisfactions(weights);
+  const std::vector<double> caps{60.0, 60.0, 60.0};
+  const SectionCost z = make_cost();
+  const StackelbergResult leader = solve_stackelberg(players, caps, z, 3);
+  const CentralResult optimum = maximize_welfare(players, caps, z, 3);
+  ASSERT_TRUE(optimum.converged);
+  EXPECT_LT(leader.welfare, optimum.welfare);
+  EXPECT_GT(leader.revenue, 0.0);
+}
+
+TEST(Stackelberg, GameBeatsStackelbergOnWelfare) {
+  // Head to head against the paper's mechanism via the Game engine.
+  const std::vector<double> weights{10.0, 25.0, 18.0, 12.0};
+  const double cap = 60.0;
+  std::vector<PlayerSpec> specs;
+  for (double w : weights) {
+    PlayerSpec spec;
+    spec.satisfaction = std::make_unique<LogSatisfaction>(w);
+    spec.p_max = cap;
+    specs.push_back(std::move(spec));
+  }
+  Game game(std::move(specs), make_cost(), 3, 50.0);
+  const GameResult ours = game.run();
+  ASSERT_TRUE(ours.converged);
+
+  const auto players = make_satisfactions(weights);
+  const std::vector<double> caps(weights.size(), cap);
+  const StackelbergResult baseline =
+      solve_stackelberg(players, caps, make_cost(), 3);
+  EXPECT_GT(ours.welfare, baseline.welfare);
+}
+
+}  // namespace
+}  // namespace olev::core

@@ -1,0 +1,94 @@
+#include "core/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+namespace olev::core {
+namespace {
+
+GameResult run_small_game(bool record_trajectory) {
+  std::vector<PlayerSpec> players;
+  for (double w : {10.0, 20.0}) {
+    PlayerSpec player;
+    player.satisfaction = std::make_unique<LogSatisfaction>(w);
+    player.p_max = 60.0;
+    players.push_back(std::move(player));
+  }
+  SectionCost cost(std::make_unique<NonlinearPricing>(5.0, 0.875, 40.0),
+                   OverloadCost{1.0}, 40.0);
+  GameConfig config;
+  config.record_trajectory = record_trajectory;
+  Game game(std::move(players), cost, 3, 50.0, config);
+  return game.run();
+}
+
+TEST(Trace, ContainsOutcomeFields) {
+  const GameResult result = run_small_game(false);
+  const std::string json = to_json(result);
+  EXPECT_NE(json.find("\"converged\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"players\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"sections\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"requests\":["), std::string::npos);
+  EXPECT_NE(json.find("\"jain_fairness\":"), std::string::npos);
+  EXPECT_NE(json.find("\"trajectory\":[]"), std::string::npos);
+}
+
+TEST(Trace, TrajectoryEntriesSerialized) {
+  const GameResult result = run_small_game(true);
+  const std::string json = to_json(result);
+  EXPECT_NE(json.find("\"trajectory\":[{"), std::string::npos);
+  EXPECT_NE(json.find("\"update\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"mean_congestion\":"), std::string::npos);
+}
+
+TEST(Trace, ScheduleMatrixShape) {
+  const GameResult result = run_small_game(false);
+  const std::string json = to_json(result);
+  // Two rows of three entries each: "schedule":[[a,b,c],[d,e,f]]
+  const auto pos = json.find("\"schedule\":[[");
+  ASSERT_NE(pos, std::string::npos);
+}
+
+TEST(Trace, BalancedJsonBrackets) {
+  const GameResult result = run_small_game(true);
+  const std::string json = to_json(result);
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(Trace, SaveJsonWritesFile) {
+  const GameResult result = run_small_game(false);
+  const std::string path = ::testing::TempDir() + "/olev_trace_test.json";
+  save_json(result, path);
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), to_json(result) + "\n");
+  std::remove(path.c_str());
+  EXPECT_THROW(save_json(result, "/nonexistent_dir_xyz/trace.json"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace olev::core

@@ -1,0 +1,230 @@
+#include "traci/traci.h"
+
+#include <gtest/gtest.h>
+
+namespace olev::traci {
+namespace {
+
+using traffic::Network;
+using traffic::Simulation;
+using traffic::SimulationConfig;
+using traffic::Vehicle;
+using traffic::VehicleType;
+
+Simulation make_sim(double length = 1000.0) {
+  Network net;
+  net.add_edge("main", length, 13.89, 2);
+  SimulationConfig config;
+  config.deterministic = true;
+  return Simulation(net, config);
+}
+
+Vehicle make_vehicle() {
+  Vehicle vehicle;
+  vehicle.type = VehicleType::passenger();
+  vehicle.route = {0};
+  vehicle.is_olev = true;
+  return vehicle;
+}
+
+TEST(Traci, SimulationStepAdvancesTime) {
+  Simulation sim = make_sim();
+  TraciClient client(sim);
+  EXPECT_DOUBLE_EQ(client.getTime(), 0.0);
+  client.simulationStep();
+  EXPECT_DOUBLE_EQ(client.getTime(), 1.0);
+  client.simulationStepUntil(5.0);
+  EXPECT_DOUBLE_EQ(client.getTime(), 5.0);
+}
+
+TEST(Traci, VehicleGetters) {
+  Simulation sim = make_sim();
+  TraciClient client(sim);
+  ASSERT_TRUE(sim.try_insert(make_vehicle()));
+  const auto ids = client.vehicle_getIDList();
+  ASSERT_EQ(ids.size(), 1u);
+  const auto id = ids[0];
+  EXPECT_GE(client.vehicle_getSpeed(id), 0.0);
+  EXPECT_EQ(client.vehicle_getRoadID(id), "main");
+  EXPECT_GE(client.vehicle_getLanePosition(id), 0.0);
+  EXPECT_GE(client.vehicle_getLaneIndex(id), 0);
+  EXPECT_TRUE(client.vehicle_isOLEV(id));
+  client.simulationStep();
+  EXPECT_GT(client.vehicle_getDistance(id), 0.0);
+}
+
+TEST(Traci, UnknownVehicleThrows) {
+  Simulation sim = make_sim();
+  TraciClient client(sim);
+  EXPECT_THROW(client.vehicle_getSpeed(42), TraciError);
+}
+
+TEST(Traci, UnknownEdgeThrows) {
+  Simulation sim = make_sim();
+  TraciClient client(sim);
+  EXPECT_THROW(client.edge_getLastStepVehicleNumber("nope"), TraciError);
+}
+
+TEST(Traci, EdgeCountsVehicles) {
+  Simulation sim = make_sim();
+  TraciClient client(sim);
+  EXPECT_EQ(client.edge_getLastStepVehicleNumber("main"), 0u);
+  ASSERT_TRUE(sim.try_insert(make_vehicle()));
+  EXPECT_EQ(client.edge_getLastStepVehicleNumber("main"), 1u);
+}
+
+TEST(Traci, EmptyEdgeReportsSpeedLimit) {
+  Simulation sim = make_sim();
+  TraciClient client(sim);
+  EXPECT_DOUBLE_EQ(client.edge_getLastStepMeanSpeed("main"), 13.89);
+}
+
+TEST(Traci, TrafficLightState) {
+  using traffic::LightState;
+  using traffic::SignalProgram;
+  Network corridor = Network::arterial(
+      2, 200.0, 13.89, SignalProgram({{LightState::kRed, 100.0}}), 1);
+  SimulationConfig config;
+  config.deterministic = true;
+  Simulation sim(corridor, config);
+  TraciClient client(sim);
+  EXPECT_EQ(client.trafficlight_getRedYellowGreenState("seg0"), "r");
+  EXPECT_THROW(client.trafficlight_getRedYellowGreenState("seg1"), TraciError);
+}
+
+TEST(Traci, GenericScalarDispatch) {
+  Simulation sim = make_sim();
+  TraciClient client(sim);
+  ASSERT_TRUE(sim.try_insert(make_vehicle()));
+  const auto id = client.vehicle_getIDList()[0];
+  EXPECT_DOUBLE_EQ(
+      client.get_scalar(Domain::kSimulation, Var::kTime, ""), 0.0);
+  EXPECT_DOUBLE_EQ(
+      client.get_scalar(Domain::kVehicle, Var::kSpeed, std::to_string(id)),
+      client.vehicle_getSpeed(id));
+  EXPECT_DOUBLE_EQ(
+      client.get_scalar(Domain::kEdge, Var::kLastStepVehicleNumber, "main"), 1.0);
+  EXPECT_THROW(client.get_scalar(Domain::kEdge, Var::kSpeed, "main"), TraciError);
+}
+
+TEST(Traci, DepartedAndArrivedCounters) {
+  Simulation sim = make_sim(120.0);
+  TraciClient client(sim);
+  ASSERT_TRUE(sim.try_insert(make_vehicle()));
+  EXPECT_EQ(client.getDepartedNumber(), 1u);
+  client.simulationStepUntil(60.0);
+  EXPECT_EQ(client.getArrivedNumber(), 1u);
+  EXPECT_EQ(client.getActiveVehicleNumber(), 0u);
+}
+
+TEST(Traci, SubscriptionRefreshesEachStep) {
+  Simulation sim = make_sim();
+  TraciClient client(sim);
+  ASSERT_TRUE(sim.try_insert(make_vehicle()));
+  const auto id = client.vehicle_getIDList()[0];
+  client.subscribe(Domain::kVehicle, std::to_string(id),
+                   {Var::kSpeed, Var::kLanePosition});
+  const auto& initial = client.getSubscriptionResults(Domain::kVehicle,
+                                                      std::to_string(id));
+  ASSERT_TRUE(initial.contains(Var::kLanePosition));
+  const double pos0 = initial.at(Var::kLanePosition);
+  client.simulationStep();
+  const auto& after = client.getSubscriptionResults(Domain::kVehicle,
+                                                    std::to_string(id));
+  EXPECT_GT(after.at(Var::kLanePosition), pos0);
+}
+
+TEST(Traci, SubscriptionDropsArrivedVehicle) {
+  Simulation sim = make_sim(100.0);
+  TraciClient client(sim);
+  ASSERT_TRUE(sim.try_insert(make_vehicle()));
+  const auto id = client.vehicle_getIDList()[0];
+  client.subscribe(Domain::kVehicle, std::to_string(id), {Var::kSpeed});
+  client.simulationStepUntil(60.0);  // vehicle arrives and is removed
+  const auto& values = client.getSubscriptionResults(Domain::kVehicle,
+                                                     std::to_string(id));
+  EXPECT_TRUE(values.empty());
+}
+
+TEST(Traci, UnsubscribeRemoves) {
+  Simulation sim = make_sim();
+  TraciClient client(sim);
+  client.subscribe(Domain::kEdge, "main", {Var::kLastStepVehicleNumber});
+  client.unsubscribe(Domain::kEdge, "main");
+  EXPECT_THROW(client.getSubscriptionResults(Domain::kEdge, "main"), TraciError);
+}
+
+TEST(Traci, VehicleAddInsertsOnNamedRoute) {
+  Simulation sim = make_sim();
+  TraciClient client(sim);
+  const auto id = client.vehicle_add({"main"}, /*is_olev=*/true);
+  ASSERT_NE(id, 0u);
+  EXPECT_TRUE(client.vehicle_isOLEV(id));
+  EXPECT_EQ(client.vehicle_getRoadID(id), "main");
+}
+
+TEST(Traci, VehicleAddRejectsUnknownEdgeAndBadRoute) {
+  Simulation sim = make_sim();
+  TraciClient client(sim);
+  EXPECT_THROW(client.vehicle_add({"nope"}), TraciError);
+  EXPECT_THROW(client.vehicle_add({}), TraciError);  // empty route invalid
+}
+
+TEST(Traci, VehicleAddReturnsZeroWhenBlocked) {
+  Simulation sim = make_sim(100.0);
+  TraciClient client(sim);
+  // Fill both lanes of the entry.
+  ASSERT_NE(client.vehicle_add({"main"}), 0u);
+  ASSERT_NE(client.vehicle_add({"main"}), 0u);
+  EXPECT_EQ(client.vehicle_add({"main"}), 0u);
+}
+
+TEST(Traci, ChangeLaneMovesVehicle) {
+  Simulation sim = make_sim();
+  TraciClient client(sim);
+  const auto id = client.vehicle_add({"main"});
+  ASSERT_NE(id, 0u);
+  const int other = client.vehicle_getLaneIndex(id) == 0 ? 1 : 0;
+  client.vehicle_changeLane(id, other);
+  EXPECT_EQ(client.vehicle_getLaneIndex(id), other);
+  EXPECT_THROW(client.vehicle_changeLane(id, 7), TraciError);
+  EXPECT_THROW(client.vehicle_changeLane(id + 99, 0), TraciError);
+}
+
+TEST(Traci, MinExpectedNumberCountsActivePlusBacklog) {
+  Simulation sim = make_sim(120.0);
+  TraciClient client(sim);
+  EXPECT_EQ(client.getMinExpectedNumber(), 0u);
+  ASSERT_NE(client.vehicle_add({"main"}), 0u);
+  EXPECT_EQ(client.getMinExpectedNumber(), 1u);
+  client.simulationStepUntil(60.0);
+  EXPECT_EQ(client.getMinExpectedNumber(), 0u);
+}
+
+TEST(Traci, HaltingNumberCountsStoppedVehicles) {
+  using traffic::LightState;
+  using traffic::SignalProgram;
+  Network corridor = Network::arterial(
+      2, 150.0, 13.89, SignalProgram({{LightState::kRed, 10000.0}}), 1);
+  SimulationConfig config;
+  config.deterministic = true;
+  Simulation sim(corridor, config);
+  TraciClient client(sim);
+  ASSERT_NE(client.vehicle_add({"seg0", "seg1"}), 0u);
+  EXPECT_EQ(client.edge_getLastStepHaltingNumber("seg0"), 0u);  // still rolling
+  client.simulationStepUntil(120.0);  // queued at the forever-red light
+  EXPECT_EQ(client.edge_getLastStepHaltingNumber("seg0"), 1u);
+}
+
+TEST(Traci, AllSubscriptionResultsByDomain) {
+  Simulation sim = make_sim();
+  TraciClient client(sim);
+  client.subscribe(Domain::kEdge, "main", {Var::kLastStepMeanSpeed});
+  client.subscribe(Domain::kSimulation, "", {Var::kTime});
+  const auto edges = client.getAllSubscriptionResults(Domain::kEdge);
+  EXPECT_EQ(edges.size(), 1u);
+  EXPECT_TRUE(edges.contains("main"));
+}
+
+}  // namespace
+}  // namespace olev::traci

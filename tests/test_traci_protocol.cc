@@ -1,0 +1,209 @@
+#include "traci/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace olev::traci {
+namespace {
+
+using traffic::Network;
+using traffic::Simulation;
+using traffic::SimulationConfig;
+using traffic::Vehicle;
+using traffic::VehicleType;
+
+Simulation make_sim() {
+  Network net;
+  net.add_edge("main", 1000.0, 13.89, 2);
+  SimulationConfig config;
+  config.deterministic = true;
+  return Simulation(net, config);
+}
+
+// ---------- framing ----------
+
+TEST(Framing, EmptyMessage) {
+  const auto bytes = frame_message({});
+  EXPECT_EQ(bytes.size(), 4u);
+  EXPECT_TRUE(parse_message(bytes).empty());
+}
+
+TEST(Framing, RoundTripSmallCommand) {
+  RawCommand command{0x42, {1, 2, 3}};
+  const auto bytes = frame_message(std::span<const RawCommand>(&command, 1));
+  const auto parsed = parse_message(bytes);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0], command);
+}
+
+TEST(Framing, RoundTripMultipleCommands) {
+  std::vector<RawCommand> commands{{0x01, {}}, {0x02, {9}}, {0x03, {1, 2}}};
+  const auto parsed = parse_message(frame_message(commands));
+  EXPECT_EQ(parsed, commands);
+}
+
+TEST(Framing, ExtendedLengthForLargePayload) {
+  RawCommand command{0x55, std::vector<std::uint8_t>(1000, 0xAB)};
+  const auto bytes = frame_message(std::span<const RawCommand>(&command, 1));
+  const auto parsed = parse_message(bytes);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0], command);
+}
+
+TEST(Framing, LengthMismatchThrows) {
+  RawCommand command{0x42, {1}};
+  auto bytes = frame_message(std::span<const RawCommand>(&command, 1));
+  bytes.push_back(0);  // trailing garbage
+  EXPECT_THROW(parse_message(bytes), std::runtime_error);
+}
+
+TEST(Framing, TruncationThrows) {
+  RawCommand command{0x42, {1, 2, 3, 4}};
+  const auto bytes = frame_message(std::span<const RawCommand>(&command, 1));
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix(bytes.data(), cut);
+    EXPECT_THROW((void)parse_message(prefix), std::runtime_error) << cut;
+  }
+}
+
+TEST(Framing, FuzzNeverCrashes) {
+  util::Rng rng(0xace);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> bytes(
+        static_cast<std::size_t>(rng.uniform_int(0, 64)));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    try {
+      (void)parse_message(bytes);
+    } catch (const std::runtime_error&) {
+    }
+  }
+  SUCCEED();
+}
+
+// ---------- payload encoding ----------
+
+TEST(Payload, ScalarRoundTrips) {
+  PayloadWriter writer;
+  writer.u8(7);
+  writer.i32(-12345);
+  writer.f64(3.25);
+  writer.string("hello");
+  const auto bytes = writer.take();
+  PayloadReader reader(bytes);
+  EXPECT_EQ(reader.u8(), 7);
+  EXPECT_EQ(reader.i32(), -12345);
+  EXPECT_DOUBLE_EQ(reader.f64(), 3.25);
+  EXPECT_EQ(reader.string(), "hello");
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(Payload, BigEndianLayout) {
+  PayloadWriter writer;
+  writer.i32(1);
+  const auto bytes = writer.take();
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(bytes[0], 0);
+  EXPECT_EQ(bytes[3], 1);
+}
+
+TEST(Payload, TruncatedReadThrows) {
+  PayloadWriter writer;
+  writer.u8(1);
+  const auto bytes = writer.take();
+  PayloadReader reader(bytes);
+  (void)reader.u8();
+  EXPECT_THROW(reader.i32(), std::runtime_error);
+}
+
+TEST(Status, EncodeDecode) {
+  const Status status{0xa4, kStatusErr, "unknown vehicle"};
+  const Status back = decode_status(encode_status(status));
+  EXPECT_EQ(back.command, status.command);
+  EXPECT_EQ(back.result, status.result);
+  EXPECT_EQ(back.description, status.description);
+}
+
+// ---------- server/connection ----------
+
+TEST(Server, SimStepAdvancesSimulation) {
+  Simulation sim = make_sim();
+  TraciClient client(sim);
+  TraciServer server(client);
+  TraciConnection connection(server);
+  connection.simulationStep();
+  connection.simulationStep();
+  EXPECT_DOUBLE_EQ(sim.time_s(), 2.0);
+  EXPECT_GT(connection.bytes_sent(), 0u);
+  EXPECT_GT(connection.bytes_received(), 0u);
+}
+
+TEST(Server, GetDoubleOverTheWire) {
+  Simulation sim = make_sim();
+  TraciClient client(sim);
+  TraciServer server(client);
+  TraciConnection connection(server);
+  const double time = connection.get_double(Domain::kSimulation, Var::kTime, "");
+  EXPECT_DOUBLE_EQ(time, 0.0);
+  EXPECT_DOUBLE_EQ(
+      connection.get_double(Domain::kEdge, Var::kLastStepMeanSpeed, "main"),
+      13.89);
+}
+
+TEST(Server, VehicleValuesOverTheWire) {
+  Simulation sim = make_sim();
+  TraciClient client(sim);
+  Vehicle vehicle;
+  vehicle.type = VehicleType::passenger();
+  vehicle.route = {0};
+  ASSERT_TRUE(sim.try_insert(vehicle));
+  const auto id = std::to_string(sim.vehicles()[0].id);
+
+  TraciServer server(client);
+  TraciConnection connection(server);
+  connection.simulationStep();
+  EXPECT_GT(connection.get_double(Domain::kVehicle, Var::kSpeed, id), 0.0);
+  EXPECT_GT(connection.get_double(Domain::kVehicle, Var::kLanePosition, id), 0.0);
+}
+
+TEST(Server, ErrorsBecomeErrorStatus) {
+  Simulation sim = make_sim();
+  TraciClient client(sim);
+  TraciServer server(client);
+  TraciConnection connection(server);
+  EXPECT_THROW(connection.get_double(Domain::kEdge, Var::kLastStepMeanSpeed,
+                                     "no_such_edge"),
+               std::runtime_error);
+  // The connection stays usable after an error.
+  connection.simulationStep();
+  EXPECT_DOUBLE_EQ(sim.time_s(), 1.0);
+}
+
+TEST(Server, CloseMarksServer) {
+  Simulation sim = make_sim();
+  TraciClient client(sim);
+  TraciServer server(client);
+  TraciConnection connection(server);
+  EXPECT_FALSE(server.closed());
+  connection.close();
+  EXPECT_TRUE(server.closed());
+}
+
+TEST(Server, BatchedCommandsInOneMessage) {
+  Simulation sim = make_sim();
+  TraciClient client(sim);
+  TraciServer server(client);
+  // Hand-build a message with two simulation steps.
+  std::vector<RawCommand> commands{{kCmdSimStep, {}}, {kCmdSimStep, {}}};
+  const auto response = server.handle_message(frame_message(commands));
+  const auto parsed = parse_message(response);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(decode_status(parsed[0]).result, kStatusOk);
+  EXPECT_EQ(decode_status(parsed[1]).result, kStatusOk);
+  EXPECT_DOUBLE_EQ(sim.time_s(), 2.0);
+}
+
+}  // namespace
+}  // namespace olev::traci

@@ -1,0 +1,109 @@
+#include "traffic/trip_log.h"
+
+#include <gtest/gtest.h>
+
+#include "traffic/simulation.h"
+
+namespace olev::traffic {
+namespace {
+
+Network straight_road(double length = 400.0) {
+  Network net;
+  net.add_edge("main", length, 13.89, 1);
+  return net;
+}
+
+Vehicle olev_vehicle() {
+  Vehicle vehicle;
+  vehicle.type = VehicleType::olev();
+  vehicle.route = {0};
+  vehicle.is_olev = true;
+  return vehicle;
+}
+
+TEST(TripLog, RecordsCompletedTrip) {
+  SimulationConfig config;
+  config.deterministic = true;
+  Simulation sim(straight_road(), config);
+  TripLog log;
+  sim.add_observer(&log);
+  ASSERT_TRUE(sim.try_insert(olev_vehicle()));
+  sim.run_until(120.0);
+  ASSERT_EQ(log.completed_trips(), 1u);
+  ASSERT_EQ(log.records().size(), 1u);
+  const TripRecord& record = log.records()[0];
+  EXPECT_TRUE(record.is_olev);
+  EXPECT_GE(record.travel_time_s, 28.0);  // 400 m at <= 13.89 m/s
+  EXPECT_NEAR(record.distance_m, 400.0, 20.0);
+  EXPECT_GT(record.mean_speed_mps(), 3.0);
+  EXPECT_EQ(log.olev_trips(), 1u);
+}
+
+TEST(TripLog, AggregatesWithoutKeepingRecords) {
+  SimulationConfig config;
+  config.deterministic = true;
+  Simulation sim(straight_road(), config);
+  TripLog log(/*keep_records=*/false);
+  sim.add_observer(&log);
+  DemandConfig demand;
+  demand.counts.fill(900.0);
+  sim.add_source(FlowSource({0}, demand, VehicleType::passenger()));
+  sim.run_until(600.0);
+  EXPECT_GT(log.completed_trips(), 20u);
+  EXPECT_TRUE(log.records().empty());
+  EXPECT_GT(log.travel_time().mean(), 0.0);
+  EXPECT_EQ(log.travel_time().count(), log.completed_trips());
+}
+
+TEST(TripLog, WaitingFractionRisesWithRedLights) {
+  auto waiting_fraction = [](double green_s, double red_s) {
+    Network corridor = Network::arterial(
+        2, 200.0, 13.89, SignalProgram::fixed_cycle(green_s, 4.0, red_s), 1);
+    SimulationConfig config;
+    config.seed = 3;
+    Simulation sim(corridor, config);
+    TripLog log;
+    sim.add_observer(&log);
+    DemandConfig demand;
+    demand.counts.fill(600.0);
+    sim.add_source(FlowSource({0, 1}, demand, VehicleType::passenger()));
+    sim.run_until(1800.0);
+    EXPECT_GT(log.completed_trips(), 50u);
+    return log.waiting_fraction();
+  };
+  EXPECT_GT(waiting_fraction(15.0, 60.0), waiting_fraction(60.0, 15.0));
+}
+
+TEST(TripLog, ResetClearsEverything) {
+  SimulationConfig config;
+  config.deterministic = true;
+  Simulation sim(straight_road(), config);
+  TripLog log;
+  sim.add_observer(&log);
+  ASSERT_TRUE(sim.try_insert(olev_vehicle()));
+  sim.run_until(120.0);
+  log.reset();
+  EXPECT_EQ(log.completed_trips(), 0u);
+  EXPECT_TRUE(log.records().empty());
+  EXPECT_DOUBLE_EQ(log.waiting_fraction(), 0.0);
+}
+
+TEST(TripLog, ObserverArrivalHookFiresExactlyOnce) {
+  struct Counter : StepObserver {
+    int arrivals = 0;
+    void on_step(const StepView&) override {}
+    void on_vehicle_arrived(const Vehicle&, double) override { ++arrivals; }
+  };
+  SimulationConfig config;
+  config.deterministic = true;
+  Simulation sim(straight_road(), config);
+  Counter counter;
+  sim.add_observer(&counter);
+  ASSERT_TRUE(sim.try_insert(olev_vehicle()));
+  sim.run_until(120.0);
+  sim.run_until(240.0);  // no further arrivals
+  EXPECT_EQ(counter.arrivals, 1);
+}
+
+}  // namespace
+}  // namespace olev::traffic

@@ -1,0 +1,55 @@
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace olev::util {
+namespace {
+
+TEST(Units, MphRoundTrip) {
+  EXPECT_NEAR(mph_to_mps(60.0), 26.8224, 1e-4);
+  EXPECT_NEAR(mps_to_mph(mph_to_mps(80.0)), 80.0, 1e-12);
+}
+
+TEST(Units, KmhRoundTrip) {
+  EXPECT_DOUBLE_EQ(kmh_to_mps(36.0), 10.0);
+  EXPECT_DOUBLE_EQ(mps_to_kmh(10.0), 36.0);
+}
+
+TEST(Units, PowerConversions) {
+  EXPECT_DOUBLE_EQ(kw_to_w(2.0), 2000.0);
+  EXPECT_DOUBLE_EQ(w_to_kw(500.0), 0.5);
+  EXPECT_DOUBLE_EQ(mw_to_kw(1.5), 1500.0);
+  EXPECT_DOUBLE_EQ(kw_to_mw(2500.0), 2.5);
+}
+
+TEST(Units, EnergyConversions) {
+  EXPECT_DOUBLE_EQ(kwh_to_joule(1.0), 3.6e6);
+  EXPECT_DOUBLE_EQ(joule_to_kwh(3.6e6), 1.0);
+}
+
+TEST(Units, EnergyFromPowerAndTime) {
+  // 100 kW for 36 seconds = 1 kWh.
+  EXPECT_DOUBLE_EQ(kwh_from_kw(100.0, 36.0), 1.0);
+  EXPECT_DOUBLE_EQ(kwh_from_kw(50.0, 3600.0), 50.0);
+}
+
+TEST(Units, TimeConversions) {
+  EXPECT_DOUBLE_EQ(hours_to_seconds(2.0), 7200.0);
+  EXPECT_DOUBLE_EQ(seconds_to_hours(1800.0), 0.5);
+  EXPECT_DOUBLE_EQ(minutes_to_seconds(2.0), 120.0);
+  EXPECT_DOUBLE_EQ(seconds_to_minutes(90.0), 1.5);
+}
+
+TEST(Units, BatteryPackEnergy) {
+  // The paper's Chevy Spark battery: 46.2 Ah at 399 V ~ 18.43 kWh.
+  EXPECT_NEAR(ah_volts_to_kwh(46.2, 399.0), 18.4338, 1e-4);
+}
+
+TEST(Units, ConstexprUsable) {
+  static_assert(mph_to_mps(0.0) == 0.0);
+  static_assert(kw_to_w(1.0) == 1000.0);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace olev::util

@@ -1,0 +1,123 @@
+#include "core/welfare.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace olev::core {
+namespace {
+
+SectionCost make_cost(double cap = 50.0) {
+  return SectionCost(std::make_unique<NonlinearPricing>(8.0, 0.875, cap),
+                     OverloadCost{1.5}, cap);
+}
+
+std::vector<std::unique_ptr<Satisfaction>> two_players() {
+  std::vector<std::unique_ptr<Satisfaction>> players;
+  players.push_back(std::make_unique<LogSatisfaction>(10.0));
+  players.push_back(std::make_unique<LogSatisfaction>(5.0));
+  return players;
+}
+
+TEST(SocialWelfare, EmptyScheduleIsZero) {
+  // W(0) = sum U(0) - sum (Z(0) - Z(0)) = 0: idle capacity carries no cost.
+  const SectionCost z = make_cost();
+  const auto players = two_players();
+  PowerSchedule schedule(2, 3);
+  EXPECT_NEAR(social_welfare(players, z, schedule), 0.0, 1e-12);
+}
+
+TEST(SocialWelfare, MatchesManualComputation) {
+  const SectionCost z = make_cost();
+  const auto players = two_players();
+  PowerSchedule schedule(2, 2);
+  schedule.set(0, 0, 3.0);
+  schedule.set(0, 1, 1.0);
+  schedule.set(1, 1, 2.0);
+  const double expected = players[0]->value(4.0) + players[1]->value(2.0) -
+                          (z.value(3.0) - z.value(0.0)) -
+                          (z.value(3.0) - z.value(0.0));
+  EXPECT_NEAR(social_welfare(players, z, schedule), expected, 1e-12);
+}
+
+TEST(SocialWelfare, InvariantToIdleSections) {
+  // Adding empty sections must not change welfare (the Fig. 5(b) sweep
+  // varies C; welfare must be comparable across C).
+  const SectionCost z = make_cost();
+  const auto players = two_players();
+  PowerSchedule narrow(2, 1);
+  narrow.set(0, 0, 2.0);
+  PowerSchedule wide(2, 5);
+  wide.set(0, 0, 2.0);
+  EXPECT_NEAR(social_welfare(players, z, narrow),
+              social_welfare(players, z, wide), 1e-12);
+}
+
+TEST(SocialWelfare, PlayerCountMismatchThrows) {
+  const SectionCost z = make_cost();
+  const auto players = two_players();
+  PowerSchedule schedule(3, 2);
+  EXPECT_THROW(social_welfare(players, z, schedule), std::invalid_argument);
+}
+
+TEST(TotalPayments, ZeroScheduleZeroPayments) {
+  const SectionCost z = make_cost();
+  PowerSchedule schedule(2, 2);
+  EXPECT_DOUBLE_EQ(total_payments(z, schedule), 0.0);
+}
+
+TEST(TotalPayments, SinglePlayerEqualsExternality) {
+  const SectionCost z = make_cost();
+  PowerSchedule schedule(1, 2);
+  schedule.set(0, 0, 5.0);
+  const double expected = z.value(5.0) - z.value(0.0);
+  EXPECT_NEAR(total_payments(z, schedule), expected, 1e-12);
+}
+
+TEST(TotalPayments, ExceedsTotalCostIncreaseWithManyPlayers) {
+  // Each player pays its externality against the *other* players' load, so
+  // total payments over-recover the cost increase (standard VCG property
+  // under convex costs).
+  const SectionCost z = make_cost();
+  PowerSchedule schedule(2, 1);
+  schedule.set(0, 0, 10.0);
+  schedule.set(1, 0, 10.0);
+  const double cost_increase = z.value(20.0) - z.value(0.0);
+  EXPECT_GE(total_payments(z, schedule), cost_increase - 1e-9);
+}
+
+TEST(CongestionReport, PerSectionDegrees) {
+  PowerSchedule schedule(2, 2);
+  schedule.set(0, 0, 30.0);
+  schedule.set(1, 0, 15.0);
+  schedule.set(0, 1, 60.0);
+  const CongestionReport report = congestion_report(schedule, 100.0);
+  ASSERT_EQ(report.per_section.size(), 2u);
+  EXPECT_NEAR(report.per_section[0], 0.45, 1e-12);
+  EXPECT_NEAR(report.per_section[1], 0.60, 1e-12);
+  EXPECT_NEAR(report.mean, 0.525, 1e-12);
+  EXPECT_NEAR(report.max, 0.60, 1e-12);
+}
+
+TEST(CongestionReport, FairnessDetectsImbalance) {
+  PowerSchedule balanced(1, 2);
+  balanced.set(0, 0, 10.0);
+  balanced.set(0, 1, 10.0);
+  PowerSchedule skewed(1, 2);
+  skewed.set(0, 0, 20.0);
+  const auto fair = congestion_report(balanced, 100.0);
+  const auto unfair = congestion_report(skewed, 100.0);
+  EXPECT_NEAR(fair.jain_fairness, 1.0, 1e-12);
+  EXPECT_LT(unfair.jain_fairness, 0.6);
+}
+
+TEST(CongestionReport, RejectsBadPLine) {
+  PowerSchedule schedule(1, 1);
+  EXPECT_THROW(congestion_report(schedule, 0.0), std::invalid_argument);
+  EXPECT_THROW(congestion_report(schedule, -5.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace olev::core

@@ -1,0 +1,143 @@
+// Tests for the paper's power-limit equations (Eq. 1-3).
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+#include "wpt/charging_section.h"
+#include "wpt/olev.h"
+
+namespace olev::wpt {
+namespace {
+
+TEST(PLine, Equation1Literal) {
+  // P_line = V * Curr * l / vel (treated as kW per the paper's convention).
+  ChargingSectionSpec spec;
+  spec.line_voltage = 480.0;
+  spec.max_current_a = 210.0;
+  spec.length_m = 20.0;
+  spec.rated_power_kw = 1e9;  // disable the inverter cap for this check
+  const double vel = util::mph_to_mps(60.0);
+  EXPECT_NEAR(p_line_kw(spec, vel), 480.0 * 210.0 * 20.0 / vel / 1000.0, 1e-9);
+}
+
+TEST(PLine, DecreasesWithVelocity) {
+  ChargingSectionSpec spec;
+  const double at60 = p_line_kw(spec, util::mph_to_mps(60.0));
+  const double at80 = p_line_kw(spec, util::mph_to_mps(80.0));
+  EXPECT_GT(at60, at80);
+  // Exactly inversely proportional in the uncapped regime.
+  EXPECT_NEAR(at60 / at80, 80.0 / 60.0, 1e-9);
+}
+
+TEST(PLine, StationaryVehicleGetsRatedPower) {
+  ChargingSectionSpec spec;
+  EXPECT_DOUBLE_EQ(p_line_kw(spec, 0.0), spec.rated_power_kw);
+  EXPECT_DOUBLE_EQ(p_line_kw(spec, -1.0), spec.rated_power_kw);
+}
+
+TEST(PLine, CappedByRatedPower) {
+  ChargingSectionSpec spec;
+  // Crawling: Eq. (1) would exceed the inverter rating.
+  EXPECT_DOUBLE_EQ(p_line_kw(spec, 0.1), spec.rated_power_kw);
+}
+
+TEST(PLine, CapacityCapAppliesSafetyFactor) {
+  ChargingSectionSpec spec;
+  const double vel = util::mph_to_mps(60.0);
+  EXPECT_NEAR(capacity_cap_kw(spec, vel),
+              spec.safety_factor * p_line_kw(spec, vel), 1e-12);
+}
+
+TEST(ChargingSection, CoverageGeometry) {
+  ChargingSection section;
+  section.edge = 0;
+  section.offset_m = 100.0;
+  section.spec.length_m = 20.0;
+  EXPECT_DOUBLE_EQ(section.end_m(), 120.0);
+  EXPECT_TRUE(section.covers(110.0, 105.0));   // fully inside
+  EXPECT_TRUE(section.covers(125.0, 118.0));   // rear still on section
+  EXPECT_TRUE(section.covers(102.0, 97.0));    // front on section
+  EXPECT_FALSE(section.covers(95.0, 90.0));    // before
+  EXPECT_FALSE(section.covers(130.0, 125.0));  // past
+}
+
+TEST(POlev, Equation2Literal) {
+  OlevParams params;
+  const double soc = 0.5;
+  const double soc_req = 0.7;
+  const double expected = (soc_req - soc + params.battery.soc_min) *
+                          params.battery.max_power_kw() * params.eta_e /
+                          params.eta_olev;
+  EXPECT_NEAR(p_olev_kw(params, soc, soc_req), expected, 1e-9);
+}
+
+TEST(POlev, ZeroWhenBatterySufficient) {
+  OlevParams params;
+  // SOC far above requirement + floor.
+  EXPECT_DOUBLE_EQ(p_olev_kw(params, 0.9, 0.3), 0.0);
+}
+
+TEST(POlev, IncreasesWithDeficit) {
+  OlevParams params;
+  EXPECT_LT(p_olev_kw(params, 0.6, 0.7), p_olev_kw(params, 0.4, 0.7));
+  EXPECT_LT(p_olev_kw(params, 0.5, 0.6), p_olev_kw(params, 0.5, 0.8));
+}
+
+TEST(FeasiblePower, Equation3TakesTheMinimum) {
+  OlevParams params;
+  ChargingSectionSpec section;
+  const double vel = util::mph_to_mps(60.0);
+  const double p_line = p_line_kw(section, vel);
+  const double p_olev = p_olev_kw(params, 0.5, 0.7);
+  EXPECT_DOUBLE_EQ(feasible_power_kw(params, section, vel, 0.5, 0.7),
+                   std::min(p_line, p_olev));
+}
+
+TEST(FeasiblePower, LineLimitedAtHighDeficit) {
+  OlevParams params;
+  ChargingSectionSpec section;
+  const double vel = util::mph_to_mps(80.0);
+  // Huge deficit: the battery could take more than the line supplies.
+  const double feasible = feasible_power_kw(params, section, vel, 0.2, 0.9);
+  EXPECT_DOUBLE_EQ(feasible, p_line_kw(section, vel));
+}
+
+TEST(SocForTrip, ScalesWithDistance) {
+  OlevParams params;
+  const double short_trip = soc_required_for_trip(params, 10.0);
+  const double long_trip = soc_required_for_trip(params, 30.0);
+  EXPECT_GT(long_trip, short_trip);
+  EXPECT_NEAR(long_trip, 3.0 * short_trip, 1e-12);
+}
+
+TEST(SocForTrip, ClampsToFullBattery) {
+  OlevParams params;
+  EXPECT_DOUBLE_EQ(soc_required_for_trip(params, 1e6), 1.0);
+  EXPECT_DOUBLE_EQ(soc_required_for_trip(params, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(soc_required_for_trip(params, -5.0), 0.0);
+}
+
+TEST(SocForTrip, AccountsForDrivingEfficiency) {
+  OlevParams efficient;
+  efficient.eta_olev = 1.0;
+  OlevParams lossy;
+  lossy.eta_olev = 0.5;
+  EXPECT_GT(soc_required_for_trip(lossy, 20.0),
+            soc_required_for_trip(efficient, 20.0));
+}
+
+TEST(DailyReceivable, HalfSocRuleFromNhts) {
+  OlevParams params;
+  // At SOC 0.5 the 50%-of-SOC rule allows 0.25; ceiling room is 0.4.
+  EXPECT_NEAR(daily_receivable_kwh(params, 0.5),
+              0.25 * params.battery.capacity_kwh(), 1e-9);
+}
+
+TEST(DailyReceivable, LimitedByPolicyCeiling) {
+  OlevParams params;
+  // At SOC 0.85 ceiling room is only 0.05 < half-SOC 0.425.
+  EXPECT_NEAR(daily_receivable_kwh(params, 0.85),
+              0.05 * params.battery.capacity_kwh(), 1e-9);
+}
+
+}  // namespace
+}  // namespace olev::wpt

@@ -12,6 +12,7 @@
 
 #include "core/hetero_game.h"
 #include "core/scenario.h"
+#include "core/sweep.h"
 #include "util/csv.h"
 #include "util/units.h"
 #include "wpt/charging_section.h"
@@ -30,25 +31,48 @@ core::ScenarioConfig base_config() {
   return config;
 }
 
-core::GameResult run(const core::ScenarioConfig& config) {
-  const core::Scenario scenario = core::Scenario::build(config);
-  core::Game game = scenario.make_game();
-  return game.run();
-}
-
 }  // namespace
 
 int main() {
+  // Ablations 1, 3 and 4 are independent scenario points: solve them all in
+  // one parallel sweep, then slice the result list per ablation.
+  constexpr double kAlphas[] = {0.0, 0.25, 0.5, 0.875, 1.25, 2.0};
+  constexpr core::UpdateOrder kOrders[] = {core::UpdateOrder::kRoundRobin,
+                                           core::UpdateOrder::kUniformRandom};
+  constexpr double kEtas[] = {0.5, 0.7, 0.9, 1.0};
+
+  std::vector<core::ScenarioSpec> specs;
+  for (double alpha : kAlphas) {
+    core::ScenarioSpec spec;
+    spec.config = base_config();
+    spec.config.alpha = alpha;
+    specs.push_back(std::move(spec));
+  }
+  for (auto order : kOrders) {
+    core::ScenarioSpec spec;
+    spec.config = base_config();
+    spec.config.game.order = order;
+    specs.push_back(std::move(spec));
+  }
+  for (double eta : kEtas) {
+    core::ScenarioSpec spec;
+    spec.config = base_config();
+    spec.config.eta = eta;
+    spec.config.target_degree = eta;  // demand calibrated to the cap
+    specs.push_back(std::move(spec));
+  }
+  const auto sweep = core::run_sweep(specs);
+  std::size_t at = 0;
+
   std::cout << "=== Ablation 1: alpha sweep (paper fixes alpha = 0.875) ===\n";
   {
     util::Table table({"alpha", "unit_payment_$per_MWh", "mean_degree",
                        "welfare"});
-    for (double alpha : {0.0, 0.25, 0.5, 0.875, 1.25, 2.0}) {
-      core::ScenarioConfig config = base_config();
-      config.alpha = alpha;
-      const auto result = run(config);
-      table.add_row_numeric({alpha, core::Scenario::unit_payment_per_mwh(result),
-                             result.congestion.mean, result.welfare},
+    for (double alpha : kAlphas) {
+      const core::SweepResult& point = sweep[at++];
+      table.add_row_numeric({alpha, point.unit_payment_per_mwh,
+                             point.result.congestion.mean,
+                             point.result.welfare},
                             3);
     }
     bench::emit(table, "ablation_alpha");
@@ -102,11 +126,8 @@ int main() {
   std::cout << "=== Ablation 3: update order ===\n";
   {
     util::Table table({"order", "updates_to_converge", "welfare"});
-    for (auto order : {core::UpdateOrder::kRoundRobin,
-                       core::UpdateOrder::kUniformRandom}) {
-      core::ScenarioConfig config = base_config();
-      config.game.order = order;
-      const auto result = run(config);
+    for (auto order : kOrders) {
+      const core::GameResult& result = sweep[at++].result;
       table.add_row({order == core::UpdateOrder::kRoundRobin ? "round-robin"
                                                              : "uniform-random",
                      util::fmt(static_cast<double>(result.updates), 0),
@@ -121,11 +142,8 @@ int main() {
   std::cout << "=== Ablation 4: safety factor eta ===\n";
   {
     util::Table table({"eta", "mean_degree", "total_power_kW"});
-    for (double eta : {0.5, 0.7, 0.9, 1.0}) {
-      core::ScenarioConfig config = base_config();
-      config.eta = eta;
-      config.target_degree = eta;  // demand calibrated to the cap
-      const auto result = run(config);
+    for (double eta : kEtas) {
+      const core::GameResult& result = sweep[at++].result;
       table.add_row_numeric({eta, result.congestion.mean,
                              result.schedule.total()},
                             3);

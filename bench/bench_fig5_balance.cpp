@@ -5,12 +5,14 @@
 // Expected shape: nonlinear pricing balances load evenly across all
 // sections (flat line); linear pricing leaves sections unequal -- the
 // greedy allocation saturates low-index sections and idles the tail.
+//
+// The four (velocity, policy) runs are solved by one parallel run_sweep.
 
 #include <iostream>
 
 #include "bench_util.h"
 
-#include "core/scenario.h"
+#include "core/sweep.h"
 #include "util/csv.h"
 #include "util/stats.h"
 
@@ -18,8 +20,9 @@ namespace {
 
 using namespace olev;
 
-core::GameResult run_policy(double velocity_mph, core::PricingKind pricing) {
-  core::ScenarioConfig config;
+core::ScenarioSpec make_spec(double velocity_mph, core::PricingKind pricing) {
+  core::ScenarioSpec spec;
+  core::ScenarioConfig& config = spec.config;
   config.num_olevs = 50;
   config.num_sections = 100;
   config.velocity_mph = velocity_mph;
@@ -31,17 +34,23 @@ core::GameResult run_policy(double velocity_mph, core::PricingKind pricing) {
   // updates".
   config.game.max_updates = 1000;
   config.game.epsilon = 0.0;  // run all 1000 updates like the paper
-  const core::Scenario scenario = core::Scenario::build(config);
-  core::Game game = scenario.make_game();
-  return game.run();
+  return spec;
 }
 
 }  // namespace
 
 int main() {
+  std::vector<core::ScenarioSpec> specs;
   for (double velocity : {60.0, 80.0}) {
-    const auto nonlinear = run_policy(velocity, core::PricingKind::kNonlinear);
-    const auto linear = run_policy(velocity, core::PricingKind::kLinear);
+    specs.push_back(make_spec(velocity, core::PricingKind::kNonlinear));
+    specs.push_back(make_spec(velocity, core::PricingKind::kLinear));
+  }
+  const auto results = core::run_sweep(specs);
+
+  std::size_t at = 0;
+  for (double velocity : {60.0, 80.0}) {
+    const core::GameResult& nonlinear = results[at++].result;
+    const core::GameResult& linear = results[at++].result;
 
     std::cout << "=== Fig. " << (velocity == 60.0 ? 5 : 6)
               << "(c): per-section total power after 1000 updates, " << velocity

@@ -6,13 +6,18 @@
 // Expected shape: the mean congestion degree climbs from 0 toward the 0.9
 // target and flattens; more OLEVs need more updates; convergence at 60 mph
 // is faster (fewer updates) than at 80 mph.
+//
+// All 300 runs (2 velocities x 3 fleet sizes x 50 repetitions) go through
+// one parallel run_sweep; each repetition keeps its own derived seed so the
+// averages match the serial protocol exactly.
 
+#include <cmath>
 #include <iostream>
-
-#include "bench_util.h"
 #include <vector>
 
-#include "core/scenario.h"
+#include "bench_util.h"
+
+#include "core/sweep.h"
 #include "util/csv.h"
 #include "util/rng.h"
 
@@ -23,36 +28,39 @@ using namespace olev;
 constexpr std::size_t kRuns = 50;      // the paper averages 50 runs
 constexpr std::size_t kMaxUpdates = 60;  // the paper's x-axis range
 
-// Mean congestion degree after each update, averaged over kRuns random-order
-// runs.
-std::vector<double> convergence_curve(double velocity_mph, std::size_t olevs) {
-  std::vector<double> mean_curve(kMaxUpdates, 0.0);
-  std::size_t converged_runs = 0;
+core::ScenarioSpec make_spec(double velocity_mph, std::size_t olevs,
+                             std::size_t run) {
+  core::ScenarioSpec spec;
+  core::ScenarioConfig& config = spec.config;
+  config.num_olevs = olevs;
+  // Few sections relative to N so that the 0.9 degree target is reachable
+  // within the P_OLEV caps.
+  config.num_sections = 10;
+  config.velocity_mph = velocity_mph;
+  config.beta_lbmp = 16.0;
+  config.target_degree = 0.9;
+  config.seed = util::derive_seed(0xd0d0, run);
+  config.game.order = core::UpdateOrder::kUniformRandom;
+  config.game.seed = util::derive_seed(0xcafe, run);
+  config.game.max_updates = kMaxUpdates;
+  config.game.epsilon = 0.0;
+  config.game.record_trajectory = true;
+  return spec;
+}
+
+// Mean congestion degree after each update across one block of kRuns
+// consecutive sweep results.
+std::vector<double> mean_curve(const std::vector<core::SweepResult>& results,
+                               std::size_t first) {
+  std::vector<double> curve(kMaxUpdates, 0.0);
   for (std::size_t run = 0; run < kRuns; ++run) {
-    core::ScenarioConfig config;
-    config.num_olevs = olevs;
-    // Few sections relative to N so that the 0.9 degree target is reachable
-    // within the P_OLEV caps.
-    config.num_sections = 10;
-    config.velocity_mph = velocity_mph;
-    config.beta_lbmp = 16.0;
-    config.target_degree = 0.9;
-    config.seed = util::derive_seed(0xd0d0, run);
-    config.game.order = core::UpdateOrder::kUniformRandom;
-    config.game.seed = util::derive_seed(0xcafe, run);
-    config.game.max_updates = kMaxUpdates;
-    config.game.epsilon = 0.0;
-    config.game.record_trajectory = true;
-    const core::Scenario scenario = core::Scenario::build(config);
-    core::Game game = scenario.make_game();
-    const core::GameResult result = game.run();
-    for (std::size_t u = 0; u < kMaxUpdates && u < result.trajectory.size(); ++u) {
-      mean_curve[u] += result.trajectory[u].mean_congestion;
+    const auto& trajectory = results[first + run].result.trajectory;
+    for (std::size_t u = 0; u < kMaxUpdates && u < trajectory.size(); ++u) {
+      curve[u] += trajectory[u].mean_congestion;
     }
-    ++converged_runs;
   }
-  for (double& v : mean_curve) v /= static_cast<double>(converged_runs);
-  return mean_curve;
+  for (double& v : curve) v /= static_cast<double>(kRuns);
+  return curve;
 }
 
 // First update index at which the curve stays within 5% of its final value.
@@ -74,13 +82,26 @@ std::size_t settle_point(const std::vector<double>& curve) {
 }  // namespace
 
 int main() {
+  constexpr std::size_t kOlevs[] = {30, 40, 50};
+  std::vector<core::ScenarioSpec> specs;
+  for (double velocity : {60.0, 80.0}) {
+    for (std::size_t olevs : kOlevs) {
+      for (std::size_t run = 0; run < kRuns; ++run) {
+        specs.push_back(make_spec(velocity, olevs, run));
+      }
+    }
+  }
+  const auto results = core::run_sweep(specs);
+
+  std::size_t block = 0;
   for (double velocity : {60.0, 80.0}) {
     std::cout << "=== Fig. " << (velocity == 60.0 ? 5 : 6)
               << "(d): congestion degree vs. #updates, " << velocity
               << " mph (mean of " << kRuns << " runs, target 0.9) ===\n";
-    const auto n30 = convergence_curve(velocity, 30);
-    const auto n40 = convergence_curve(velocity, 40);
-    const auto n50 = convergence_curve(velocity, 50);
+    const auto n30 = mean_curve(results, block);
+    const auto n40 = mean_curve(results, block + kRuns);
+    const auto n50 = mean_curve(results, block + 2 * kRuns);
+    block += 3 * kRuns;
     util::Table table({"updates", "N=30", "N=40", "N=50"});
     for (std::size_t u = 4; u <= kMaxUpdates; u += 5) {
       table.add_row_numeric({static_cast<double>(u), n30[u - 1], n40[u - 1],

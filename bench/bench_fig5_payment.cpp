@@ -7,27 +7,26 @@
 // congestion degree; linear payment stays flat at the LBMP; the curves
 // cross mid-range; higher velocity shifts the nonlinear curve up slightly
 // while total delivered power drops.
+//
+// The whole grid (2 velocities x 9 degrees x 2 policies = 36 equilibria) is
+// solved in one run_sweep call across all cores.
 
 #include <iostream>
 
 #include "bench_util.h"
 
-#include "core/scenario.h"
+#include "core/sweep.h"
 #include "util/csv.h"
 
 namespace {
 
 using namespace olev;
 
-struct Point {
-  double unit_payment = 0.0;  ///< $/MWh
-  double mean_degree = 0.0;
-  double total_power = 0.0;
-};
-
-Point run_point(double velocity_mph, core::PricingKind pricing,
-                double target_degree) {
-  core::ScenarioConfig config;
+core::ScenarioSpec make_spec(double velocity_mph, core::PricingKind pricing,
+                             double target_degree) {
+  core::ScenarioSpec spec;
+  spec.label = (pricing == core::PricingKind::kNonlinear ? "nl" : "lin");
+  core::ScenarioConfig& config = spec.config;
   config.num_olevs = 50;
   // Few sections relative to N so the desired degree is physically
   // reachable under the Eq. (2) P_OLEV caps (the paper does not fix C for
@@ -39,20 +38,24 @@ Point run_point(double velocity_mph, core::PricingKind pricing,
   config.target_degree = target_degree;
   config.seed = 0x5a;
   config.game.max_updates = 60000;
-  const core::Scenario scenario = core::Scenario::build(config);
-  core::Game game = scenario.make_game();
-  const core::GameResult result = game.run();
-
-  Point point;
-  point.unit_payment = core::Scenario::unit_payment_per_mwh(result);
-  point.mean_degree = result.congestion.mean;
-  point.total_power = result.schedule.total();
-  return point;
+  return spec;
 }
 
 }  // namespace
 
 int main() {
+  // Grid order: velocity-major, then degree, then (nonlinear, linear).
+  std::vector<core::ScenarioSpec> specs;
+  for (double velocity : {60.0, 80.0}) {
+    for (int step = 1; step <= 9; ++step) {
+      const double degree = 0.1 * step;
+      specs.push_back(make_spec(velocity, core::PricingKind::kNonlinear, degree));
+      specs.push_back(make_spec(velocity, core::PricingKind::kLinear, degree));
+    }
+  }
+  const auto results = core::run_sweep(specs);
+
+  std::size_t at = 0;
   for (double velocity : {60.0, 80.0}) {
     std::cout << "=== Fig. " << (velocity == 60.0 ? 5 : 6)
               << "(a): payment vs. congestion degree, " << velocity
@@ -62,11 +65,12 @@ int main() {
                        "total_power_nl_kW"});
     for (int step = 1; step <= 9; ++step) {
       const double degree = 0.1 * step;
-      const Point nonlinear =
-          run_point(velocity, core::PricingKind::kNonlinear, degree);
-      const Point linear = run_point(velocity, core::PricingKind::kLinear, degree);
-      table.add_row_numeric({degree, nonlinear.unit_payment, linear.unit_payment,
-                             nonlinear.mean_degree, nonlinear.total_power},
+      const core::SweepResult& nonlinear = results[at++];
+      const core::SweepResult& linear = results[at++];
+      table.add_row_numeric({degree, nonlinear.unit_payment_per_mwh,
+                             linear.unit_payment_per_mwh,
+                             nonlinear.result.congestion.mean,
+                             nonlinear.result.schedule.total()},
                             2);
     }
     bench::emit(table, "fig5a_payment_" + std::to_string(static_cast<int>(velocity)) + "mph");

@@ -4,20 +4,24 @@
 // Expected shape: welfare increases with the number of sections (more
 // capacity -> cheaper power -> more satisfaction), increases with the
 // number of OLEVs, and saturates once capacity stops binding.
+//
+// All 30 (velocity, N, C) equilibria are solved by one parallel run_sweep.
 
 #include <iostream>
 
 #include "bench_util.h"
 
-#include "core/scenario.h"
+#include "core/sweep.h"
 #include "util/csv.h"
 
 namespace {
 
 using namespace olev;
 
-double welfare_at(double velocity_mph, std::size_t olevs, std::size_t sections) {
-  core::ScenarioConfig config;
+core::ScenarioSpec make_spec(double velocity_mph, std::size_t olevs,
+                             std::size_t sections) {
+  core::ScenarioSpec spec;
+  core::ScenarioConfig& config = spec.config;
   config.num_olevs = olevs;
   config.num_sections = sections;
   config.velocity_mph = velocity_mph;
@@ -29,25 +33,36 @@ double welfare_at(double velocity_mph, std::size_t olevs, std::size_t sections) 
   config.calibration_sections = 50;
   config.seed = 0xbe;
   config.game.max_updates = 80000;
-  const core::Scenario scenario = core::Scenario::build(config);
-  core::Game game = scenario.make_game();
-  return game.run().welfare;
+  return spec;
 }
 
 }  // namespace
 
 int main() {
+  constexpr std::size_t kSections[] = {10, 30, 50, 70, 90};
+  constexpr std::size_t kOlevs[] = {30, 40, 50};
+
+  std::vector<core::ScenarioSpec> specs;
+  for (double velocity : {60.0, 80.0}) {
+    for (std::size_t sections : kSections) {
+      for (std::size_t olevs : kOlevs) {
+        specs.push_back(make_spec(velocity, olevs, sections));
+      }
+    }
+  }
+  const auto results = core::run_sweep(specs);
+
+  std::size_t at = 0;
   for (double velocity : {60.0, 80.0}) {
     std::cout << "=== Fig. " << (velocity == 60.0 ? 5 : 6)
               << "(b): social welfare vs. #charging sections, " << velocity
               << " mph ===\n";
     util::Table table({"sections", "N=30", "N=40", "N=50"});
-    for (std::size_t sections : {10u, 30u, 50u, 70u, 90u}) {
-      table.add_row_numeric({static_cast<double>(sections),
-                             welfare_at(velocity, 30, sections),
-                             welfare_at(velocity, 40, sections),
-                             welfare_at(velocity, 50, sections)},
-                            2);
+    for (std::size_t sections : kSections) {
+      const double n30 = results[at++].result.welfare;
+      const double n40 = results[at++].result.welfare;
+      const double n50 = results[at++].result.welfare;
+      table.add_row_numeric({static_cast<double>(sections), n30, n40, n50}, 2);
     }
     bench::emit(table, "fig5b_welfare_" + std::to_string(static_cast<int>(velocity)) + "mph");
     std::cout << '\n';

@@ -1,0 +1,165 @@
+// Throughput benchmark for the parallel scenario-sweep engine.
+//
+// Solves a Fig. 5-style grid of independent equilibria (N x C x velocity)
+// at 1, 2, 4 and hardware_concurrency threads, reports scenarios/sec and
+// speedup over serial, checks that every thread count reproduces the serial
+// results bit-for-bit, and measures the incremental best-response hot path
+// (updates/sec and cache-counter totals on a 50x100 game).
+//
+// Writes BENCH_sweep.json next to the binary's working directory so runs
+// can be compared across machines and commits.
+
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+
+#include "core/sweep.h"
+#include "util/csv.h"
+
+namespace {
+
+using namespace olev;
+using Clock = std::chrono::steady_clock;
+
+std::vector<core::ScenarioSpec> fig5_grid() {
+  std::vector<core::ScenarioSpec> specs;
+  for (double velocity : {60.0, 80.0}) {
+    for (std::size_t olevs : {10u, 20u, 30u, 40u, 50u}) {
+      for (std::size_t sections : {10u, 40u, 70u, 100u}) {
+        core::ScenarioSpec spec;
+        core::ScenarioConfig& config = spec.config;
+        config.num_olevs = olevs;
+        config.num_sections = sections;
+        config.velocity_mph = velocity;
+        config.beta_lbmp = 16.0;
+        config.target_degree = 0.9;
+        config.calibration_players = 30;
+        config.calibration_sections = 50;
+        config.seed = 0x5eed;
+        config.game.max_updates = 40000;
+        specs.push_back(std::move(spec));
+      }
+    }
+  }
+  return specs;
+}
+
+bool identical(const std::vector<core::SweepResult>& a,
+               const std::vector<core::SweepResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].result.schedule.flat().size() != b[i].result.schedule.flat().size())
+      return false;
+    for (std::size_t k = 0; k < a[i].result.schedule.flat().size(); ++k) {
+      if (a[i].result.schedule.flat()[k] != b[i].result.schedule.flat()[k])
+        return false;
+    }
+    if (a[i].result.welfare != b[i].result.welfare) return false;
+    if (a[i].result.updates != b[i].result.updates) return false;
+  }
+  return true;
+}
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int main() {
+  const auto specs = fig5_grid();
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  std::cout << "sweep: " << specs.size()
+            << " independent equilibria (Fig. 5-style grid), hardware "
+               "concurrency "
+            << hw << "\n\n";
+
+  std::vector<std::size_t> thread_counts{1, 2, 4};
+  if (hw != 1 && hw != 2 && hw != 4) thread_counts.push_back(hw);
+
+  util::Table table({"threads", "seconds", "scenarios_per_sec", "speedup_x",
+                     "bit_identical"});
+  std::vector<core::SweepResult> reference;
+  double serial_seconds = 0.0;
+  std::vector<std::pair<std::size_t, double>> timings;
+  bool all_identical = true;
+  for (std::size_t threads : thread_counts) {
+    core::SweepConfig config;
+    config.threads = threads;
+    const auto start = Clock::now();
+    auto results = core::run_sweep(specs, config);
+    const double elapsed = seconds_since(start);
+    timings.emplace_back(threads, elapsed);
+
+    bool matches = true;
+    if (threads == 1) {
+      serial_seconds = elapsed;
+      reference = std::move(results);
+    } else {
+      matches = identical(reference, results);
+      all_identical = all_identical && matches;
+    }
+    table.add_row({std::to_string(threads), util::fmt(elapsed, 3),
+                   util::fmt(static_cast<double>(specs.size()) / elapsed, 2),
+                   util::fmt(serial_seconds / elapsed, 2),
+                   matches ? "yes" : "NO"});
+  }
+  bench::emit(table, "sweep_throughput");
+  std::cout << (all_identical
+                    ? "determinism: every thread count reproduced the serial "
+                      "results bit-for-bit\n\n"
+                    : "DETERMINISM VIOLATION: thread counts disagree\n\n");
+
+  // Incremental hot path: per-update cost and cache behavior on the paper's
+  // largest configuration (N = 50, C = 100).
+  core::ScenarioConfig big;
+  big.num_olevs = 50;
+  big.num_sections = 100;
+  big.beta_lbmp = 16.0;
+  big.target_degree = 0.9;
+  big.seed = 0x5eed;
+  big.game.max_updates = 5000;
+  big.game.epsilon = 0.0;  // force all updates: measures steady-state cost
+  const core::Scenario scenario = core::Scenario::build(big);
+  core::Game game = scenario.make_game();
+  const auto start = Clock::now();
+  const core::GameResult result = game.run();
+  const double game_seconds = seconds_since(start);
+  const double updates_per_sec =
+      static_cast<double>(result.updates) / game_seconds;
+  std::cout << "hot path (N=50, C=100): " << result.updates << " updates in "
+            << util::fmt(game_seconds, 3) << " s = "
+            << util::fmt(updates_per_sec, 0) << " updates/sec\n"
+            << "cache counters: best-response hits "
+            << result.caches.response_cache_hits << ", recomputes "
+            << result.caches.response_recomputes << ", section-cost reuses "
+            << result.caches.section_cost_reuses << ", refreshes "
+            << result.caches.section_cost_refreshes << "\n";
+
+  std::ofstream json("BENCH_sweep.json");
+  json << "{\n  \"scenarios\": " << specs.size() << ",\n  \"hardware_concurrency\": "
+       << hw << ",\n  \"bit_identical_across_threads\": "
+       << (all_identical ? "true" : "false") << ",\n  \"sweep\": [\n";
+  for (std::size_t i = 0; i < timings.size(); ++i) {
+    json << "    {\"threads\": " << timings[i].first << ", \"seconds\": "
+         << timings[i].second << ", \"scenarios_per_sec\": "
+         << static_cast<double>(specs.size()) / timings[i].second
+         << ", \"speedup\": " << serial_seconds / timings[i].second << "}"
+         << (i + 1 < timings.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"hot_path\": {\"players\": 50, \"sections\": 100, "
+       << "\"updates\": " << result.updates << ", \"seconds\": " << game_seconds
+       << ", \"updates_per_sec\": " << updates_per_sec
+       << ", \"response_cache_hits\": " << result.caches.response_cache_hits
+       << ", \"response_recomputes\": " << result.caches.response_recomputes
+       << ", \"section_cost_reuses\": " << result.caches.section_cost_reuses
+       << ", \"section_cost_refreshes\": "
+       << result.caches.section_cost_refreshes << "}\n}\n";
+  std::cout << "[timings saved to BENCH_sweep.json]\n";
+  return 0;
+}

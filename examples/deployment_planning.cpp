@@ -10,13 +10,16 @@
 //   3. evaluate: re-simulate the same demand with each deployment and
 //      compare delivered energy;
 //   4. route: show that charging coverage diverts an OLEV's planned route
-//      in a 3x3 grid city.
+//      in a 3x3 grid city;
+//   5. size: sweep the pricing-game equilibrium over candidate section
+//      budgets in parallel (run_sweep) to see where welfare saturates.
 //
 //   $ ./deployment_planning
 
 #include <algorithm>
 #include <iostream>
 
+#include "core/sweep.h"
 #include "traffic/routing.h"
 #include "traffic/simulation.h"
 #include "util/csv.h"
@@ -115,5 +118,40 @@ int main() {
   std::cout << "  -> the charging-aware route "
             << (diverted ? "detours over" : "ignores")
             << " the equipped street e1_1_1_2.\n";
+
+  // ---- 5. budget sizing via the pricing game ----
+  // How many sections are worth deploying?  Each candidate budget is an
+  // independent equilibrium computation (30 OLEVs sharing C sections);
+  // run_sweep solves all of them in parallel.
+  std::cout << "\nBudget sizing: welfare at the pricing-game equilibrium per\n"
+               "candidate section count (30 OLEVs, demand held fixed):\n";
+  constexpr std::size_t kBudgets[] = {5, 10, 15, 20, 30};
+  std::vector<core::ScenarioSpec> specs;
+  for (std::size_t sections : kBudgets) {
+    core::ScenarioSpec spec;
+    core::ScenarioConfig& config = spec.config;
+    config.num_olevs = 30;
+    config.num_sections = sections;
+    config.beta_lbmp = 16.0;
+    config.target_degree = 0.9;
+    // Fix per-OLEV preferences across budgets so only capacity varies.
+    config.calibration_players = 30;
+    config.calibration_sections = 10;
+    config.seed = 0xd31;
+    specs.push_back(std::move(spec));
+  }
+  const auto sweep = core::run_sweep(specs);
+
+  util::Table budget_table({"sections", "welfare", "unit_payment_$per_MWh",
+                            "mean_degree"});
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    budget_table.add_row_numeric(
+        {static_cast<double>(kBudgets[i]), sweep[i].result.welfare,
+         sweep[i].unit_payment_per_mwh, sweep[i].result.congestion.mean},
+        2);
+  }
+  budget_table.write_pretty(std::cout);
+  std::cout << "welfare climbs while capacity binds and flattens once it\n"
+               "stops -- the knee is the budget worth deploying.\n";
   return 0;
 }

@@ -11,8 +11,19 @@ double utility_derivative(const Satisfaction& u, const SectionCost& z,
   return u.derivative(p) - payment_derivative(z, others_load, p);
 }
 
+double utility_derivative(const Satisfaction& u, const SectionCost& z,
+                          const SortedLoads& others_load, double p) {
+  return u.derivative(p) - payment_derivative(z, others_load, p);
+}
+
 BestResponse best_response(const Satisfaction& u, const SectionCost& z,
                            std::span<const double> others_load, double p_max,
+                           const BestResponseOptions& options) {
+  return best_response(u, z, SortedLoads(others_load), p_max, options);
+}
+
+BestResponse best_response(const Satisfaction& u, const SectionCost& z,
+                           const SortedLoads& others_load, double p_max,
                            const BestResponseOptions& options) {
   if (p_max < 0.0) throw std::invalid_argument("best_response: negative p_max");
   if (!z.strictly_convex()) {
@@ -53,8 +64,9 @@ BestResponse best_response(const Satisfaction& u, const SectionCost& z,
     }
   }
 
-  response.allocation = water_fill(others_load, response.p_star);
-  response.payment = externality_payment(z, others_load, response.allocation.row);
+  response.allocation = others_load.fill(response.p_star);
+  response.payment =
+      externality_payment(z, others_load.values(), response.allocation.row);
   response.utility = u.value(response.p_star) - response.payment;
   return response;
 }

@@ -39,8 +39,17 @@ BestResponse best_response(const Satisfaction& u, const SectionCost& z,
                            std::span<const double> others_load, double p_max,
                            const BestResponseOptions& options = {});
 
+/// Hot-path variant against a pre-sorted b.  b is sorted once by the caller;
+/// every bisection step then finds the water level in O(log C) instead of
+/// O(C log C).  Bit-identical to the span overload (which delegates here).
+BestResponse best_response(const Satisfaction& u, const SectionCost& z,
+                           const SortedLoads& others_load, double p_max,
+                           const BestResponseOptions& options = {});
+
 /// F'_n(p): marginal utility of requesting one more unit of power.
 double utility_derivative(const Satisfaction& u, const SectionCost& z,
                           std::span<const double> others_load, double p);
+double utility_derivative(const Satisfaction& u, const SectionCost& z,
+                          const SortedLoads& others_load, double p);
 
 }  // namespace olev::core

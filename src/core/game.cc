@@ -40,6 +40,25 @@ Game::Game(std::vector<PlayerSpec> players, SectionCost cost,
       }
     }
   }
+  rebuild_caches();
+}
+
+void Game::rebuild_caches() {
+  column_totals_ = schedule_.column_totals();
+  cost_values_.resize(sections_);
+  for (std::size_t c = 0; c < sections_; ++c) {
+    cost_values_[c] = cost_.value(column_totals_[c]);
+  }
+  row_totals_.resize(players_.size());
+  sat_values_.resize(players_.size());
+  for (std::size_t n = 0; n < players_.size(); ++n) {
+    row_totals_[n] = schedule_.row_total(n);
+    sat_values_[n] = players_[n].satisfaction->value(row_totals_[n]);
+  }
+  last_b_.assign(players_.size(), {});
+  has_last_b_.assign(players_.size(), false);
+  last_p_star_.assign(players_.size(), 0.0);
+  caches_ = CacheCounters{};
 }
 
 std::vector<double> Game::others_load(std::size_t player) const {
@@ -54,21 +73,38 @@ std::vector<double> Game::others_load(std::size_t player) const {
 void Game::commit_row(std::size_t player, std::span<const double> others,
                       std::span<const double> row) {
   schedule_.set_row(player, row);
+  // Same summation order as PowerSchedule::row_total so the cached value is
+  // bit-identical to a recomputation.
+  double row_total = 0.0;
+  for (double v : row) row_total += v;
   for (std::size_t c = 0; c < sections_; ++c) {
-    column_totals_[c] = others[c] + row[c];
+    const double updated = others[c] + row[c];
+    if (updated == column_totals_[c]) {
+      ++caches_.section_cost_reuses;
+      continue;
+    }
+    column_totals_[c] = updated;
+    cost_values_[c] = cost_.value(updated);
+    ++caches_.section_cost_refreshes;
+  }
+  if (row_total != row_totals_[player]) {
+    row_totals_[player] = row_total;
+    sat_values_[player] = players_[player].satisfaction->value(row_total);
   }
 }
 
-double Game::update_waterfill(std::size_t player) {
-  const auto others = others_load(player);
-  const double previous = schedule_.row_total(player);
+double Game::update_waterfill(std::size_t player,
+                              const std::vector<double>& others) {
+  const double previous = row_totals_[player];
   const auto& mask = players_[player].allowed_sections;
 
   if (mask.empty()) {
+    const SortedLoads sorted(others);
     const BestResponse response =
-        best_response(*players_[player].satisfaction, cost_, others,
+        best_response(*players_[player].satisfaction, cost_, sorted,
                       players_[player].p_max);
     commit_row(player, others, response.allocation.row);
+    last_p_star_[player] = response.p_star;
     return std::abs(response.p_star - previous);
   }
 
@@ -85,8 +121,9 @@ double Game::update_waterfill(std::size_t player) {
   std::vector<double> row(sections_, 0.0);
   double p_star = 0.0;
   if (!positions.empty()) {
+    const SortedLoads sorted(subset);
     const BestResponse response =
-        best_response(*players_[player].satisfaction, cost_, subset,
+        best_response(*players_[player].satisfaction, cost_, sorted,
                       players_[player].p_max);
     p_star = response.p_star;
     for (std::size_t i = 0; i < positions.size(); ++i) {
@@ -94,10 +131,12 @@ double Game::update_waterfill(std::size_t player) {
     }
   }
   commit_row(player, others, row);
+  last_p_star_[player] = p_star;
   return std::abs(p_star - previous);
 }
 
-double Game::update_greedy(std::size_t player) {
+double Game::update_greedy(std::size_t player,
+                           const std::vector<double>& others) {
   // Linear-pricing baseline.  Psi_n(p) = beta * p regardless of the split,
   // so the scalar best response solves U'(p) = beta directly; the grid then
   // fills sections in index order up to the safety cap (no balancing
@@ -129,7 +168,6 @@ double Game::update_greedy(std::size_t player) {
   // forward, with no attempt to balance across sections.
   const std::size_t offset = static_cast<std::size_t>(
       util::derive_seed(config_.seed, player) % sections_);
-  const auto others = others_load(player);
   std::vector<double> row(sections_, 0.0);
   double remaining = p_star;
   for (std::size_t k = 0; k < sections_ && remaining > 0.0; ++k) {
@@ -143,16 +181,29 @@ double Game::update_greedy(std::size_t player) {
   // no congestion disincentive; overload simply happens).
   if (remaining > 0.0) row[offset] += remaining;
 
-  const double previous = schedule_.row_total(player);
+  const double previous = row_totals_[player];
   commit_row(player, others, row);
+  last_p_star_[player] = p_star;
   return std::abs(p_star - previous);
 }
 
 double Game::update_player(std::size_t player) {
   if (player >= players_.size()) throw std::out_of_range("Game::update_player");
-  return config_.scheduler == SchedulerKind::kWaterFilling
-             ? update_waterfill(player)
-             : update_greedy(player);
+  std::vector<double> others = others_load(player);
+  // Both schedulers are deterministic functions of b (and fixed player
+  // parameters): if b is unchanged since this player's last solve, its row
+  // is already its best response -- skip the solve entirely.
+  if (has_last_b_[player] && others == last_b_[player]) {
+    ++caches_.response_cache_hits;
+    return std::abs(last_p_star_[player] - row_totals_[player]);
+  }
+  ++caches_.response_recomputes;
+  const double delta = config_.scheduler == SchedulerKind::kWaterFilling
+                           ? update_waterfill(player, others)
+                           : update_greedy(player, others);
+  last_b_[player] = std::move(others);
+  has_last_b_[player] = true;
+  return delta;
 }
 
 std::size_t Game::pick_player() {
@@ -168,12 +219,11 @@ std::size_t Game::pick_player() {
 double Game::step() { return update_player(pick_player()); }
 
 double Game::current_welfare() const {
+  // O(N + C) over the cached values; no satisfaction or cost re-evaluation.
   double welfare = 0.0;
-  for (std::size_t n = 0; n < players_.size(); ++n) {
-    welfare += players_[n].satisfaction->value(schedule_.row_total(n));
-  }
+  for (double satisfaction : sat_values_) welfare += satisfaction;
   const double idle_cost = cost_.value(0.0);
-  for (double load : column_totals_) welfare -= cost_.value(load) - idle_cost;
+  for (double section_cost : cost_values_) welfare -= section_cost - idle_cost;
   return welfare;
 }
 
@@ -184,8 +234,8 @@ CongestionReport Game::current_congestion() const {
 GameResult Game::run(bool warm_start) {
   if (!warm_start) {
     schedule_ = PowerSchedule(players_.size(), sections_);
-    column_totals_.assign(sections_, 0.0);
     cursor_ = 0;
+    rebuild_caches();
   }
 
   std::vector<UpdateMetrics> trajectory;
@@ -200,7 +250,7 @@ GameResult Game::run(bool warm_start) {
 
   while (updates < config_.max_updates) {
     const std::size_t player = pick_player();
-    const double previous = schedule_.row_total(player);
+    const double previous = row_totals_[player];
     const double delta = update_player(player);
     ++updates;
     cycle_max_delta = std::max(cycle_max_delta, delta);
@@ -213,10 +263,11 @@ GameResult Game::run(bool warm_start) {
       UpdateMetrics metrics;
       metrics.update = updates;
       metrics.player = player;
-      metrics.request = schedule_.row_total(player);
+      metrics.request = row_totals_[player];
       metrics.request_delta = std::abs(metrics.request - previous);
       metrics.welfare = current_welfare();
       metrics.mean_congestion = current_congestion().mean;
+      metrics.caches = caches_;
       trajectory.push_back(metrics);
     }
 
@@ -241,6 +292,7 @@ GameResult Game::finalize(bool converged, std::size_t updates,
   result.converged = converged;
   result.updates = updates;
   result.trajectory = std::move(trajectory);
+  result.caches = caches_;
 
   double welfare = 0.0;
   result.requests.reserve(players_.size());

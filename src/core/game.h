@@ -51,6 +51,19 @@ struct GameConfig {
   bool record_trajectory = false;
 };
 
+/// Counters for the incremental-update caches (cumulative since the last
+/// reset).  `response_*` counts whole player updates: a hit means the
+/// player's b vector was unchanged since its last update, so the stored
+/// best response was reused without solving anything.  `section_*` counts
+/// per-section cost cells in commit_row: a reuse means the section's load
+/// did not change, so Z(P_c) kept its cached value.
+struct CacheCounters {
+  std::size_t response_cache_hits = 0;
+  std::size_t response_recomputes = 0;
+  std::size_t section_cost_reuses = 0;
+  std::size_t section_cost_refreshes = 0;
+};
+
 /// Per-update metrics (one entry per player update when recording).
 struct UpdateMetrics {
   std::size_t update = 0;
@@ -59,6 +72,7 @@ struct UpdateMetrics {
   double request_delta = 0.0;    ///< |p_n* - previous p_n|
   double welfare = 0.0;
   double mean_congestion = 0.0;  ///< mean_c P_c / P_line
+  CacheCounters caches;          ///< cumulative snapshot at this update
 };
 
 struct GameResult {
@@ -71,6 +85,7 @@ struct GameResult {
   std::vector<double> payments;   ///< per-player Psi_n at the fixed point
   std::vector<double> utilities;  ///< per-player F_n at the fixed point
   std::vector<UpdateMetrics> trajectory;  ///< empty unless recording
+  CacheCounters caches;           ///< totals for the whole run
 };
 
 class Game {
@@ -100,15 +115,22 @@ class Game {
   double current_welfare() const;
   CongestionReport current_congestion() const;
 
+  /// Cache counters for the current run (see CacheCounters).
+  const CacheCounters& cache_counters() const { return caches_; }
+
  private:
   /// b for `player`: cached column totals minus the player's own row.
   std::vector<double> others_load(std::size_t player) const;
-  /// Writes the new row and refreshes the cached column totals.
+  /// Writes the new row and refreshes the cached column totals, per-section
+  /// cost values, row totals and satisfaction values -- all by delta, only
+  /// for the sections whose load actually changed.
   void commit_row(std::size_t player, std::span<const double> others,
                   std::span<const double> row);
-  double update_waterfill(std::size_t player);
-  double update_greedy(std::size_t player);
+  double update_waterfill(std::size_t player, const std::vector<double>& others);
+  double update_greedy(std::size_t player, const std::vector<double>& others);
   std::size_t pick_player();
+  /// (Re)derives every cached aggregate from the current schedule.
+  void rebuild_caches();
   GameResult finalize(bool converged, std::size_t updates,
                       std::vector<UpdateMetrics> trajectory) const;
 
@@ -119,6 +141,14 @@ class Game {
   GameConfig config_;
   PowerSchedule schedule_;
   std::vector<double> column_totals_;  ///< cached P_c, kept in sync with schedule_
+  // --- incremental hot-path caches (invariants in docs/ALGORITHMS.md) ---
+  std::vector<double> cost_values_;   ///< Z(P_c) per section
+  std::vector<double> row_totals_;    ///< p_n per player
+  std::vector<double> sat_values_;    ///< U_n(p_n) per player
+  std::vector<std::vector<double>> last_b_;  ///< b at each player's last solve
+  std::vector<bool> has_last_b_;
+  std::vector<double> last_p_star_;   ///< p_n* from each player's last solve
+  CacheCounters caches_;
   util::Rng rng_;
   std::size_t cursor_ = 0;  // round-robin position
 };

@@ -29,6 +29,17 @@ double payment_derivative(const SectionCost& z,
   return z.derivative(allocation.level);
 }
 
+double payment_of_total(const SectionCost& z, const SortedLoads& others_load,
+                        double total) {
+  const WaterFillResult allocation = others_load.fill(total);
+  return externality_payment(z, others_load.values(), allocation.row);
+}
+
+double payment_derivative(const SectionCost& z, const SortedLoads& others_load,
+                          double total) {
+  return z.derivative(others_load.level_for(total));
+}
+
 PaymentQuote quote_payment(const SectionCost& z,
                            std::span<const double> others_load, double total) {
   PaymentQuote quote;

@@ -33,6 +33,14 @@ double payment_of_total(const SectionCost& z, std::span<const double> others_loa
 double payment_derivative(const SectionCost& z, std::span<const double> others_load,
                           double total);
 
+/// Hot-path variants against a pre-sorted b: the water level costs O(log C)
+/// instead of O(C log C) per evaluation.  Results are bit-identical to the
+/// span overloads.
+double payment_of_total(const SectionCost& z, const SortedLoads& others_load,
+                        double total);
+double payment_derivative(const SectionCost& z, const SortedLoads& others_load,
+                          double total);
+
 /// Convenience bundle when both the value and the allocation are needed.
 struct PaymentQuote {
   double payment = 0.0;

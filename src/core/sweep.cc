@@ -1,0 +1,54 @@
+#include "core/sweep.h"
+
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace olev::core {
+
+SweepResult solve_scenario(const ScenarioSpec& spec, std::size_t index) {
+  const Scenario scenario = Scenario::build(spec.config);
+  Game game = scenario.make_game();
+
+  SweepResult out;
+  out.index = index;
+  out.label = spec.label;
+  out.result = game.run();
+  out.p_line_kw = scenario.p_line_kw();
+  out.cap_kw = scenario.cap_kw();
+  out.beta_lbmp = scenario.beta_lbmp();
+  out.unit_payment_per_mwh = Scenario::unit_payment_per_mwh(out.result);
+  return out;
+}
+
+std::vector<SweepResult> run_sweep(const std::vector<ScenarioSpec>& specs,
+                                   const SweepConfig& config) {
+  std::vector<ScenarioSpec> reseeded;
+  const std::vector<ScenarioSpec>* work = &specs;
+  if (config.derive_seeds) {
+    reseeded = specs;
+    for (std::size_t i = 0; i < reseeded.size(); ++i) {
+      reseeded[i].config.seed = util::derive_seed(config.seed_base, i);
+      reseeded[i].config.game.seed =
+          util::derive_seed(config.seed_base ^ 0x736565702d67616dULL, i);
+    }
+    work = &reseeded;
+  }
+
+  std::vector<SweepResult> results(work->size());
+  const std::size_t threads =
+      std::min(util::resolve_threads(config.threads), std::max<std::size_t>(1, work->size()));
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < work->size(); ++i) {
+      results[i] = solve_scenario((*work)[i], i);
+    }
+    return results;
+  }
+
+  util::ThreadPool pool(threads);
+  pool.parallel_for(work->size(), [&](std::size_t i) {
+    results[i] = solve_scenario((*work)[i], i);
+  });
+  return results;
+}
+
+}  // namespace olev::core

@@ -1,0 +1,59 @@
+// Parallel scenario-sweep engine.
+//
+// The paper's evaluation (Section V, Figs. 5-6) is a grid of *independent*
+// equilibrium computations: N x C x velocity x pricing-policy points, each
+// one Scenario::build + Game::run.  run_sweep solves such a grid across a
+// fixed-size thread pool.
+//
+// Determinism contract: every scenario is self-seeded (ScenarioConfig::seed
+// and GameConfig::seed live inside the spec), each scenario is solved in
+// isolation on whichever worker picks it up, and results land at the spec's
+// index.  The output is therefore bit-identical to serial execution
+// regardless of the thread count (covered by tests/test_sweep.cc).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/scenario.h"
+
+namespace olev::core {
+
+/// One point of a sweep: a label for reporting plus the full scenario
+/// configuration (including both seeds).
+struct ScenarioSpec {
+  std::string label;
+  ScenarioConfig config;
+};
+
+struct SweepConfig {
+  /// Worker threads; 0 means hardware_concurrency.  `threads == 1` runs
+  /// inline without spawning a pool.
+  std::size_t threads = 0;
+  /// When true, overwrites each spec's seeds with streams derived from
+  /// `seed_base` and the spec index -- one knob re-seeds a whole grid.
+  bool derive_seeds = false;
+  std::uint64_t seed_base = 0;
+};
+
+struct SweepResult {
+  std::size_t index = 0;    ///< position in the input spec list
+  std::string label;
+  GameResult result;
+  double p_line_kw = 0.0;
+  double cap_kw = 0.0;
+  double beta_lbmp = 0.0;
+  double unit_payment_per_mwh = 0.0;
+};
+
+/// Solves one spec serially (the unit of work run_sweep fans out).
+SweepResult solve_scenario(const ScenarioSpec& spec, std::size_t index = 0);
+
+/// Solves every spec across the pool; results are ordered like `specs`.
+/// The first exception thrown by any scenario is rethrown after all
+/// scenarios finish.
+std::vector<SweepResult> run_sweep(const std::vector<ScenarioSpec>& specs,
+                                   const SweepConfig& config = {});
+
+}  // namespace olev::core

@@ -15,44 +15,126 @@ double water_fill_volume(std::span<const double> others_load, double level) {
   return volume;
 }
 
+namespace {
+
+// The level that exhausts `total` against pre-sorted loads.  After filling
+// the k lowest loads b_(0..k-1) the candidate level is
+// (total + sum b_(0..k-1)) / k; it is valid once it does not exceed the next
+// load b_(k).  Validity is monotone in k (if level_k <= b_(k) then level_{k+1}
+// is a convex combination of level_k and b_(k), hence <= b_(k) <= b_(k+1)),
+// so the smallest valid k is found by binary search.  `prefix[k]` must be the
+// fold-left sum of sorted[0..k) so every caller computes the identical level.
+double level_from_sorted(const std::vector<double>& sorted,
+                         const std::vector<double>& prefix, double total) {
+  std::size_t lo = 1;
+  std::size_t hi = sorted.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;  // mid < sorted.size()
+    const double level = (total + prefix[mid]) / static_cast<double>(mid);
+    if (level <= sorted[mid]) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return (total + prefix[lo]) / static_cast<double>(lo);
+}
+
+WaterFillResult fill_at_level(std::span<const double> others_load,
+                              double level) {
+  WaterFillResult result;
+  result.level = level;
+  result.row.resize(others_load.size());
+  for (std::size_t c = 0; c < others_load.size(); ++c) {
+    const double fill = std::max(0.0, level - others_load[c]);
+    result.row[c] = fill;
+    if (fill > 0.0) ++result.active_sections;
+  }
+  return result;
+}
+
+}  // namespace
+
+SortedLoads::SortedLoads(std::span<const double> others_load) {
+  assign(others_load);
+}
+
+void SortedLoads::assign(std::span<const double> others_load) {
+  values_.assign(others_load.begin(), others_load.end());
+  sorted_ = values_;
+  std::sort(sorted_.begin(), sorted_.end());
+  prefix_.resize(values_.size() + 1);
+  rebuild_prefix(0);
+}
+
+void SortedLoads::rebuild_prefix(std::size_t from) {
+  prefix_[0] = 0.0;
+  for (std::size_t k = std::max<std::size_t>(from, 1); k <= sorted_.size(); ++k) {
+    prefix_[k] = prefix_[k - 1] + sorted_[k - 1];
+  }
+}
+
+void SortedLoads::update_one(std::size_t index, double new_value) {
+  if (index >= values_.size()) {
+    throw std::out_of_range("SortedLoads::update_one");
+  }
+  const double old_value = values_[index];
+  if (old_value == new_value) return;
+  values_[index] = new_value;
+  // Remove one copy of the old value and insert the new one; equal doubles
+  // are interchangeable, so which duplicate is erased does not matter.
+  const auto erase_at =
+      std::lower_bound(sorted_.begin(), sorted_.end(), old_value);
+  const std::size_t erased = static_cast<std::size_t>(erase_at - sorted_.begin());
+  sorted_.erase(erase_at);
+  const auto insert_at =
+      std::lower_bound(sorted_.begin(), sorted_.end(), new_value);
+  const std::size_t inserted =
+      static_cast<std::size_t>(insert_at - sorted_.begin());
+  sorted_.insert(insert_at, new_value);
+  rebuild_prefix(std::min(erased, inserted));
+}
+
+double SortedLoads::level_for(double total) const {
+  if (values_.empty()) {
+    throw std::invalid_argument("SortedLoads: need at least one section");
+  }
+  if (total < 0.0) throw std::invalid_argument("SortedLoads: negative total");
+  if (total == 0.0) return sorted_.front();
+  return level_from_sorted(sorted_, prefix_, total);
+}
+
+WaterFillResult SortedLoads::fill(double total) const {
+  const double level = level_for(total);
+  if (total == 0.0) {
+    WaterFillResult result;
+    result.level = level;
+    result.row.assign(values_.size(), 0.0);
+    return result;
+  }
+  return fill_at_level(values_, level);
+}
+
 WaterFillResult water_fill(std::span<const double> others_load, double total) {
   if (others_load.empty()) {
     throw std::invalid_argument("water_fill: need at least one section");
   }
   if (total < 0.0) throw std::invalid_argument("water_fill: negative total");
 
-  WaterFillResult result;
-  result.row.assign(others_load.size(), 0.0);
   if (total == 0.0) {
+    WaterFillResult result;
+    result.row.assign(others_load.size(), 0.0);
     result.level = *std::min_element(others_load.begin(), others_load.end());
     return result;
   }
 
-  // Sort section loads ascending; fill the lowest sections first.  After
-  // considering the k lowest loads b_(0..k-1), the level that exhausts the
-  // budget is (total + sum b_(0..k-1)) / k; it is valid if it does not
-  // exceed the next load b_(k).
   std::vector<double> sorted(others_load.begin(), others_load.end());
   std::sort(sorted.begin(), sorted.end());
-
-  double prefix = 0.0;
-  double level = 0.0;
-  const std::size_t count = sorted.size();
-  for (std::size_t k = 1; k <= count; ++k) {
-    prefix += sorted[k - 1];
-    level = (total + prefix) / static_cast<double>(k);
-    if (k == count || level <= sorted[k]) {
-      result.level = level;
-      break;
-    }
+  std::vector<double> prefix(sorted.size() + 1, 0.0);
+  for (std::size_t k = 1; k <= sorted.size(); ++k) {
+    prefix[k] = prefix[k - 1] + sorted[k - 1];
   }
-
-  for (std::size_t c = 0; c < others_load.size(); ++c) {
-    const double fill = std::max(0.0, result.level - others_load[c]);
-    result.row[c] = fill;
-    if (fill > 0.0) ++result.active_sections;
-  }
-  return result;
+  return fill_at_level(others_load, level_from_sorted(sorted, prefix, total));
 }
 
 WaterFillResult water_fill_masked(std::span<const double> others_load,

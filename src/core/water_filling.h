@@ -45,6 +45,49 @@ double water_fill_volume(std::span<const double> others_load, double level);
 WaterFillResult water_fill_masked(std::span<const double> others_load,
                                   double total, const std::vector<bool>& mask);
 
+/// A pre-sorted view of an others-load vector b for repeated water-fill
+/// queries against the same (or nearly the same) b.
+///
+/// The best-response bisection evaluates Psi_n'(p) = Z'(lambda*(p)) dozens
+/// of times against one fixed b; re-sorting b on every evaluation made each
+/// query O(C log C).  SortedLoads sorts once, keeps fold-left prefix sums of
+/// the sorted loads, and answers
+///   - level_for(total) in O(log C)  (binary search over the active count),
+///   - fill(total)      in O(C)      (one pass, no sort),
+///   - update_one(...)  in O(C)      (memmove instead of a full re-sort when
+///                                    a single entry of b moved).
+/// All three reproduce water_fill()'s arithmetic exactly -- same fold-left
+/// summation order, same level formula -- so results are bit-identical to
+/// the one-shot solver (property-tested).
+class SortedLoads {
+ public:
+  SortedLoads() = default;
+  explicit SortedLoads(std::span<const double> others_load);
+
+  /// Re-seeds from a fresh b.  O(C log C).
+  void assign(std::span<const double> others_load);
+  /// Replaces b[index] with new_value, repositioning it in the sorted order
+  /// without a full sort.  O(C) worst case (one erase + one insert).
+  void update_one(std::size_t index, double new_value);
+
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  /// b in its original section order.
+  const std::vector<double>& values() const { return values_; }
+
+  /// lambda* for the given total; bit-identical to water_fill().level.
+  double level_for(double total) const;
+  /// Full allocation at `total`; bit-identical to water_fill().
+  WaterFillResult fill(double total) const;
+
+ private:
+  void rebuild_prefix(std::size_t from);
+
+  std::vector<double> values_;  ///< original order
+  std::vector<double> sorted_;  ///< ascending
+  std::vector<double> prefix_;  ///< prefix_[k] = fold-left sum of sorted_[0..k)
+};
+
 /// Generalized water-filling for *heterogeneous* sections.
 ///
 /// The paper assumes one Z for every section, which reduces the KKT

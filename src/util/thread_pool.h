@@ -1,0 +1,64 @@
+// Fixed-size worker pool with a FIFO work queue and std::future results.
+//
+// The pool exists for embarrassingly parallel sweeps (many independent game
+// instances); it deliberately has no work stealing, priorities, or dynamic
+// sizing.  Tasks must not block on other tasks submitted to the same pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace olev::util {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues `task` and returns a future for its result.  Exceptions thrown
+  /// by the task are captured in the future.
+  template <typename F>
+  auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto packaged =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
+    std::future<R> result = packaged->get_future();
+    enqueue([packaged]() { (*packaged)(); });
+    return result;
+  }
+
+  /// Runs body(0..n-1) across the pool and waits for all of them.  The
+  /// assignment of indices to threads is unspecified; bodies must be
+  /// independent.  The first exception (by index) is rethrown.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  void enqueue(std::function<void()> job);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stop_ = false;
+};
+
+/// Resolved thread count for a user-facing "0 = auto" knob.
+std::size_t resolve_threads(std::size_t requested);
+
+}  // namespace olev::util

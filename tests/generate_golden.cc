@@ -1,0 +1,67 @@
+// Regenerates the golden equilibrium fixtures under tests/golden/.
+//
+//   $ ./generate_golden <output-dir>
+//
+// Run this ONLY when an intentional algorithm change moves the equilibrium;
+// commit the new CSVs together with the change that caused them.
+
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+
+#include "core/scenario.h"
+#include "golden_fixture.h"
+
+namespace {
+
+using namespace olev;
+
+void write_fixture(const std::string& dir, core::PricingKind pricing) {
+  const core::ScenarioConfig config = testing::golden_config(pricing);
+  const core::Scenario scenario = core::Scenario::build(config);
+  core::Game game = scenario.make_game();
+  const core::GameResult result = game.run();
+  if (!result.converged) {
+    throw std::runtime_error("golden scenario failed to converge");
+  }
+
+  const std::string path = dir + "/" + testing::golden_file(pricing);
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open " + path);
+  os << std::setprecision(17);
+  os << "quantity,i,j,value\n";
+  for (std::size_t n = 0; n < result.schedule.players(); ++n) {
+    for (std::size_t c = 0; c < result.schedule.sections(); ++c) {
+      os << "schedule," << n << "," << c << "," << result.schedule.at(n, c)
+         << "\n";
+    }
+  }
+  for (std::size_t n = 0; n < result.requests.size(); ++n) {
+    os << "request," << n << ",0," << result.requests[n] << "\n";
+  }
+  for (std::size_t n = 0; n < result.payments.size(); ++n) {
+    os << "payment," << n << ",0," << result.payments[n] << "\n";
+  }
+  for (std::size_t n = 0; n < result.utilities.size(); ++n) {
+    os << "utility," << n << ",0," << result.utilities[n] << "\n";
+  }
+  os << "welfare,0,0," << result.welfare << "\n";
+  std::cout << "wrote " << path << " (" << result.updates << " updates)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: generate_golden <output-dir>\n";
+    return 1;
+  }
+  try {
+    write_fixture(argv[1], core::PricingKind::kNonlinear);
+    write_fixture(argv[1], core::PricingKind::kLinear);
+  } catch (const std::exception& e) {
+    std::cerr << "generate_golden: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

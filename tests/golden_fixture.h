@@ -1,0 +1,41 @@
+// Shared definition of the golden equilibrium fixtures: the exact scenarios
+// and the CSV schema used by both generate_golden.cc (writer) and
+// test_golden_equilibrium.cc (checker).  Keeping both sides on one header
+// means a fixture can only go stale by intent, not by drift.
+//
+// Schema (one file per pricing policy):
+//   quantity,i,j,value
+// where quantity is one of
+//   schedule  -- p_{n,c}: i = player, j = section
+//   request   -- p_n:     i = player, j = 0
+//   payment   -- Psi_n:   i = player, j = 0
+//   utility   -- F_n:     i = player, j = 0
+//   welfare   -- scalar:  i = j = 0
+// and value is printed with 17 significant digits (round-trip exact).
+#pragma once
+
+#include <string>
+
+#include "core/scenario.h"
+
+namespace olev::testing {
+
+inline core::ScenarioConfig golden_config(core::PricingKind pricing) {
+  core::ScenarioConfig config;
+  config.num_olevs = 10;
+  config.num_sections = 10;
+  config.pricing = pricing;
+  config.beta_lbmp = 16.0;  // the paper's reference LBMP, $/MWh
+  config.target_degree = 0.9;
+  config.seed = 0x601d;
+  config.game.seed = 0x601d2;
+  config.game.max_updates = 100000;
+  return config;
+}
+
+inline std::string golden_file(core::PricingKind pricing) {
+  return pricing == core::PricingKind::kNonlinear ? "equilibrium_nonlinear.csv"
+                                                  : "equilibrium_linear.csv";
+}
+
+}  // namespace olev::testing

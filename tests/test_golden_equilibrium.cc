@@ -1,0 +1,93 @@
+// Golden-fixture regression test: the N=10, C=10 equilibrium (nonlinear and
+// linear pricing) must match the committed CSVs under tests/golden/ to 1e-6.
+// This pins down the *numbers*, not just the invariants -- an accidental
+// change to the solver arithmetic that still satisfies every property test
+// trips here.  Regenerate intentionally with the generate_golden tool.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <tuple>
+
+#include "core/scenario.h"
+#include "golden_fixture.h"
+
+#ifndef OLEV_GOLDEN_DIR
+#error "OLEV_GOLDEN_DIR must point at tests/golden (set by tests/CMakeLists.txt)"
+#endif
+
+namespace olev::core {
+namespace {
+
+using GoldenMap =
+    std::map<std::tuple<std::string, std::size_t, std::size_t>, double>;
+
+GoldenMap load_golden(const std::string& file) {
+  const std::string path = std::string(OLEV_GOLDEN_DIR) + "/" + file;
+  std::ifstream is(path);
+  EXPECT_TRUE(is.good()) << "missing fixture " << path;
+  GoldenMap golden;
+  std::string line;
+  std::getline(is, line);  // header
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream cells(line);
+    std::string quantity, i, j, value;
+    std::getline(cells, quantity, ',');
+    std::getline(cells, i, ',');
+    std::getline(cells, j, ',');
+    std::getline(cells, value, ',');
+    golden[{quantity, std::stoul(i), std::stoul(j)}] = std::stod(value);
+  }
+  return golden;
+}
+
+void check_fixture(PricingKind pricing) {
+  const GoldenMap golden = load_golden(testing::golden_file(pricing));
+  ASSERT_FALSE(golden.empty());
+
+  const Scenario scenario = Scenario::build(testing::golden_config(pricing));
+  Game game = scenario.make_game();
+  const GameResult result = game.run();
+  ASSERT_TRUE(result.converged);
+
+  constexpr double kTol = 1e-6;
+  std::size_t checked = 0;
+  for (std::size_t n = 0; n < result.schedule.players(); ++n) {
+    for (std::size_t c = 0; c < result.schedule.sections(); ++c) {
+      const auto it = golden.find({"schedule", n, c});
+      ASSERT_NE(it, golden.end()) << "schedule(" << n << "," << c << ")";
+      EXPECT_NEAR(result.schedule.at(n, c), it->second, kTol)
+          << "schedule(" << n << "," << c << ")";
+      ++checked;
+    }
+  }
+  for (std::size_t n = 0; n < result.requests.size(); ++n) {
+    EXPECT_NEAR(result.requests[n], golden.at({"request", n, 0}), kTol)
+        << "request " << n;
+    EXPECT_NEAR(result.payments[n], golden.at({"payment", n, 0}), kTol)
+        << "payment " << n;
+    EXPECT_NEAR(result.utilities[n], golden.at({"utility", n, 0}), kTol)
+        << "utility " << n;
+    checked += 3;
+  }
+  EXPECT_NEAR(result.welfare, golden.at({"welfare", 0, 0}), kTol);
+  ++checked;
+  // Every committed value was consumed (no stale rows hiding in the CSV).
+  EXPECT_EQ(checked, golden.size());
+}
+
+TEST(GoldenEquilibrium, NonlinearPricingMatchesFixture) {
+  check_fixture(PricingKind::kNonlinear);
+}
+
+TEST(GoldenEquilibrium, LinearPricingMatchesFixture) {
+  check_fixture(PricingKind::kLinear);
+}
+
+}  // namespace
+}  // namespace olev::core

@@ -219,5 +219,70 @@ TEST(WaterFill, MinimizesConvexCostAmongAlternatives) {
   }
 }
 
+// ---- Edge cases pinned down while building the property suite ----
+
+TEST(WaterFill, DuplicateMinimaShareTheBudget) {
+  // Two tied minima: both become active and split evenly.
+  const std::vector<double> b{2.0, 2.0, 9.0};
+  const auto result = water_fill(b, 4.0);
+  EXPECT_DOUBLE_EQ(result.row[0], 2.0);
+  EXPECT_DOUBLE_EQ(result.row[1], 2.0);
+  EXPECT_DOUBLE_EQ(result.row[2], 0.0);
+  EXPECT_DOUBLE_EQ(result.level, 4.0);
+  EXPECT_EQ(result.active_sections, 2);
+}
+
+TEST(WaterFill, TinyTotalStaysOnMinSection) {
+  // A total far below the gap to the second-lowest load must land entirely
+  // on the argmin section, never spill via rounding.
+  const std::vector<double> b{1.0, 1.0 + 1e-3};
+  const auto result = water_fill(b, 1e-10);
+  // p_0 = (total + b_0) - b_0 cancels at machine epsilon of b_0, so the
+  // argmin share is exact only to ~eps * b_0, not to eps * total.
+  EXPECT_NEAR(result.row[0], 1e-10, 1e-15);
+  EXPECT_DOUBLE_EQ(result.row[1], 0.0);
+  EXPECT_EQ(result.active_sections, 1);
+}
+
+TEST(WaterFill, LevelExactlyAtNextLoadBoundary) {
+  // total chosen so lambda* lands exactly on b[1]: the boundary section
+  // contributes zero but either active count is consistent with the row.
+  const std::vector<double> b{1.0, 3.0};
+  const auto result = water_fill(b, 2.0);
+  EXPECT_DOUBLE_EQ(result.level, 3.0);
+  EXPECT_DOUBLE_EQ(result.row[0], 2.0);
+  EXPECT_DOUBLE_EQ(result.row[1], 0.0);
+}
+
+TEST(WaterFillMasked, SingleMaskedSection) {
+  const std::vector<double> b{4.0, 100.0, 6.0};
+  const std::vector<bool> mask{false, true, false};
+  const auto result = water_fill_masked(b, 2.5, mask);
+  EXPECT_DOUBLE_EQ(result.row[0], 0.0);
+  EXPECT_DOUBLE_EQ(result.row[1], 2.5);  // even though it's the priciest
+  EXPECT_DOUBLE_EQ(result.row[2], 0.0);
+  EXPECT_DOUBLE_EQ(result.level, 102.5);
+}
+
+TEST(SortedLoads, HandlesSingleSectionAndRepeatedUpdates) {
+  SortedLoads sorted(std::vector<double>{5.0});
+  EXPECT_DOUBLE_EQ(sorted.level_for(2.0), 7.0);
+  sorted.update_one(0, 1.0);
+  EXPECT_DOUBLE_EQ(sorted.level_for(2.0), 3.0);
+  sorted.update_one(0, 1.0);  // no-op value change
+  EXPECT_DOUBLE_EQ(sorted.level_for(0.0), 1.0);
+}
+
+TEST(SortedLoads, UpdateOneMovesEntryAcrossTies) {
+  std::vector<double> b{3.0, 3.0, 3.0, 0.5};
+  SortedLoads sorted(b);
+  sorted.update_one(1, 10.0);
+  b[1] = 10.0;
+  const SortedLoads fresh(b);
+  for (double total : {0.0, 1.0, 5.0, 50.0}) {
+    EXPECT_EQ(fresh.level_for(total), sorted.level_for(total)) << total;
+  }
+}
+
 }  // namespace
 }  // namespace olev::core

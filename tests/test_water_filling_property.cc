@@ -1,0 +1,208 @@
+// Property-based cross-check of the three water-filling solvers.
+//
+// For ~1000 random (b, total, mask) instances:
+//   * water_fill, water_fill_bisect and generalized_fill (with identical
+//     per-section costs) must agree on the allocation;
+//   * the budget is conserved: sum(row) == total;
+//   * every entry is non-negative;
+//   * no *inactive* section sits below the water level (a section left
+//     empty must already be loaded to at least lambda*);
+//   * the masked solver leaves unmasked sections at exactly zero and solves
+//     Lemma IV.1 verbatim on the subset;
+//   * SortedLoads reproduces water_fill bit-for-bit, both freshly assigned
+//     and after single-entry update_one repositioning.
+
+#include "core/water_filling.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "core/cost.h"
+#include "util/rng.h"
+
+namespace olev::core {
+namespace {
+
+constexpr int kTrials = 1000;
+
+double sum_of(const std::vector<double>& xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0.0);
+}
+
+struct Instance {
+  std::vector<double> b;
+  double total = 0.0;
+  std::vector<bool> mask;  ///< at least one true
+};
+
+Instance random_instance(util::Rng& rng, int trial) {
+  Instance instance;
+  const auto sections = static_cast<std::size_t>(rng.uniform_int(1, 80));
+  instance.b.resize(sections);
+  for (double& v : instance.b) v = rng.uniform(0.0, 60.0);
+  // Exercise the edge lattice: zero totals, all-equal loads, duplicated
+  // minima, tiny totals -- not just generic interiors.
+  switch (trial % 7) {
+    case 0:
+      instance.total = 0.0;
+      break;
+    case 1:
+      std::fill(instance.b.begin(), instance.b.end(), rng.uniform(0.0, 30.0));
+      instance.total = rng.uniform(0.0, 100.0);
+      break;
+    case 2: {
+      const double low = rng.uniform(0.0, 5.0);
+      for (std::size_t c = 0; c + 1 < instance.b.size(); c += 2) {
+        instance.b[c] = low;
+      }
+      instance.total = rng.uniform(0.0, 100.0);
+      break;
+    }
+    case 3:
+      instance.total = rng.uniform(0.0, 1e-7);
+      break;
+    default:
+      instance.total = rng.uniform(0.0, 300.0);
+      break;
+  }
+  instance.mask.assign(sections, false);
+  std::size_t masked = 0;
+  for (std::size_t c = 0; c < sections; ++c) {
+    if (rng.bernoulli(0.6)) {
+      instance.mask[c] = true;
+      ++masked;
+    }
+  }
+  if (masked == 0) {
+    instance.mask[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(sections) - 1))] = true;
+  }
+  return instance;
+}
+
+// Scale-aware tolerance: 1e-9 absolute for unit-scale instances, relative
+// for large totals.
+double tol(double total) { return 1e-9 * std::max(1.0, total); }
+
+TEST(WaterFillProperty, SolversAgreeAndInvariantsHold) {
+  util::Rng rng(0xf177);
+  const SectionCost shared_cost(
+      std::make_unique<NonlinearPricing>(5.0, 0.875, 40.0), OverloadCost{1.0},
+      40.0);
+
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const Instance instance = random_instance(rng, trial);
+    const auto& b = instance.b;
+    const double total = instance.total;
+
+    const WaterFillResult exact = water_fill(b, total);
+    const WaterFillResult bisect = water_fill_bisect(b, total, 1e-13);
+    std::vector<const SectionCost*> costs(b.size(), &shared_cost);
+    const GeneralizedFillResult general =
+        generalized_fill(costs, b, total, 1e-13);
+
+    // Conservation and non-negativity for every solver.
+    EXPECT_NEAR(sum_of(exact.row), total, tol(total)) << "trial " << trial;
+    EXPECT_NEAR(sum_of(bisect.row), total, tol(total)) << "trial " << trial;
+    EXPECT_NEAR(sum_of(general.row), total, tol(total)) << "trial " << trial;
+    for (std::size_t c = 0; c < b.size(); ++c) {
+      EXPECT_GE(exact.row[c], 0.0) << "trial " << trial;
+      EXPECT_GE(bisect.row[c], 0.0) << "trial " << trial;
+      EXPECT_GE(general.row[c], 0.0) << "trial " << trial;
+    }
+
+    // The three solvers agree entry-wise.
+    for (std::size_t c = 0; c < b.size(); ++c) {
+      EXPECT_NEAR(exact.row[c], bisect.row[c], tol(total))
+          << "trial " << trial << " section " << c;
+      EXPECT_NEAR(exact.row[c], general.row[c], tol(total))
+          << "trial " << trial << " section " << c;
+    }
+
+    // No inactive section below the water level: if p_c == 0 then
+    // b_c >= lambda* (else water-filling would have used it).
+    if (total > 0.0) {
+      for (std::size_t c = 0; c < b.size(); ++c) {
+        if (exact.row[c] == 0.0) {
+          EXPECT_GE(b[c], exact.level - tol(total))
+              << "trial " << trial << " section " << c;
+        }
+      }
+    }
+
+    // Masked solver: zero off-mask, Lemma IV.1 verbatim on the subset.
+    const WaterFillResult masked = water_fill_masked(b, total, instance.mask);
+    EXPECT_NEAR(sum_of(masked.row), total, tol(total)) << "trial " << trial;
+    std::vector<double> subset;
+    for (std::size_t c = 0; c < b.size(); ++c) {
+      if (!instance.mask[c]) {
+        EXPECT_EQ(masked.row[c], 0.0) << "trial " << trial << " section " << c;
+      } else {
+        subset.push_back(b[c]);
+      }
+    }
+    const WaterFillResult on_subset = water_fill(subset, total);
+    std::size_t i = 0;
+    for (std::size_t c = 0; c < b.size(); ++c) {
+      if (instance.mask[c]) {
+        EXPECT_EQ(masked.row[c], on_subset.row[i++])
+            << "trial " << trial << " section " << c;
+      }
+    }
+  }
+}
+
+TEST(WaterFillProperty, SortedLoadsIsBitIdenticalToWaterFill) {
+  util::Rng rng(0x50f7);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const Instance instance = random_instance(rng, trial);
+    const auto& b = instance.b;
+
+    const WaterFillResult reference = water_fill(b, instance.total);
+    const SortedLoads sorted(b);
+    const WaterFillResult cached = sorted.fill(instance.total);
+    EXPECT_EQ(reference.level, cached.level) << "trial " << trial;
+    EXPECT_EQ(reference.active_sections, cached.active_sections)
+        << "trial " << trial;
+    for (std::size_t c = 0; c < b.size(); ++c) {
+      EXPECT_EQ(reference.row[c], cached.row[c])
+          << "trial " << trial << " section " << c;
+    }
+  }
+}
+
+TEST(WaterFillProperty, UpdateOneMatchesFreshSort) {
+  util::Rng rng(0x1e37);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto sections = static_cast<std::size_t>(rng.uniform_int(1, 40));
+    std::vector<double> b(sections);
+    for (double& v : b) v = rng.uniform(0.0, 60.0);
+
+    SortedLoads incremental(b);
+    for (int move = 0; move < 10; ++move) {
+      const auto index = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(sections) - 1));
+      const double value = rng.uniform(0.0, 60.0);
+      b[index] = value;
+      incremental.update_one(index, value);
+
+      const double total = rng.uniform(0.0, 200.0);
+      const SortedLoads fresh(b);
+      EXPECT_EQ(fresh.level_for(total), incremental.level_for(total))
+          << "trial " << trial << " move " << move;
+      const auto expect = fresh.fill(total);
+      const auto got = incremental.fill(total);
+      for (std::size_t c = 0; c < sections; ++c) {
+        EXPECT_EQ(expect.row[c], got.row[c])
+            << "trial " << trial << " move " << move << " section " << c;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace olev::core

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/payment.h"
+#include "util/audit.h"
 
 namespace olev::core {
 
@@ -26,6 +27,7 @@ BestResponse best_response(const Satisfaction& u, const SectionCost& z,
                            const SortedLoads& others_load, double p_max,
                            const BestResponseOptions& options) {
   if (p_max < 0.0) throw std::invalid_argument("best_response: negative p_max");
+  OLEV_AUDIT_FINITE(p_max, "best_response: p_max");
   if (!z.strictly_convex()) {
     throw std::logic_error(
         "best_response: the best-response characterization requires a "
@@ -68,6 +70,9 @@ BestResponse best_response(const Satisfaction& u, const SectionCost& z,
   response.payment =
       externality_payment(z, others_load.values(), response.allocation.row);
   response.utility = u.value(response.p_star) - response.payment;
+  OLEV_AUDIT_FINITE(response.p_star, "best_response: p_star");
+  OLEV_AUDIT_FINITE(response.payment, "best_response: payment");
+  OLEV_AUDIT_FINITE(response.utility, "best_response: utility");
   return response;
 }
 

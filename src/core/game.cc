@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/payment.h"
+#include "util/audit.h"
 #include "util/rng.h"
 
 namespace olev::core {
@@ -91,6 +92,40 @@ void Game::commit_row(std::size_t player, std::span<const double> others,
     row_totals_[player] = row_total;
     sat_values_[player] = players_[player].satisfaction->value(row_total);
   }
+
+#if OLEV_AUDIT_ENABLED
+  // Cache-coherence audit: every incrementally maintained aggregate must
+  // match a from-scratch recompute.  Derived cells (cost of a cached total,
+  // satisfaction of a cached row total) are pure functions of cached inputs
+  // and must match to the bit; the column totals themselves are maintained
+  // by +/- deltas, so they only agree with a fresh fold-left sum to
+  // rounding (1e-9 relative catches any stale cell, which would be off by
+  // a whole allocation, not an ulp).
+  {
+    namespace audit = util::audit;
+    for (std::size_t c = 0; c < sections_; ++c) {
+      OLEV_AUDIT_FINITE(column_totals_[c],
+                        "commit_row: column total " + std::to_string(c));
+      OLEV_AUDIT_CHECK(
+          audit::close(column_totals_[c], schedule_.column_total(c), 1e-9),
+          "commit_row: cached column total " + std::to_string(c) + " = " +
+              std::to_string(column_totals_[c]) + " drifted from schedule " +
+              std::to_string(schedule_.column_total(c)));
+      OLEV_AUDIT_CHECK(
+          cost_values_[c] == cost_.value(column_totals_[c]),
+          "commit_row: stale cost cell " + std::to_string(c));
+    }
+    for (std::size_t n = 0; n < players_.size(); ++n) {
+      OLEV_AUDIT_CHECK(row_totals_[n] == schedule_.row_total(n),
+                       "commit_row: stale row total for player " +
+                           std::to_string(n));
+      OLEV_AUDIT_CHECK(
+          sat_values_[n] == players_[n].satisfaction->value(row_totals_[n]),
+          "commit_row: stale satisfaction cell for player " +
+              std::to_string(n));
+    }
+  }
+#endif
 }
 
 double Game::update_waterfill(std::size_t player,
@@ -103,6 +138,18 @@ double Game::update_waterfill(std::size_t player,
     const BestResponse response =
         best_response(*players_[player].satisfaction, cost_, sorted,
                       players_[player].p_max);
+    // Eq. 8-9: the externality payment of a non-negative allocation against
+    // a nondecreasing Z is non-negative (VCG individual rationality).
+    OLEV_AUDIT_FINITE(response.payment, "update_waterfill: payment");
+    OLEV_AUDIT_CHECK(response.payment >= -1e-9,
+                     "update_waterfill: negative externality payment " +
+                         std::to_string(response.payment) + " for player " +
+                         std::to_string(player));
+    OLEV_AUDIT_CHECK(response.p_star >= 0.0 &&
+                         response.p_star <= players_[player].p_max + 1e-12,
+                     "update_waterfill: best response " +
+                         std::to_string(response.p_star) +
+                         " outside [0, p_max]");
     commit_row(player, others, response.allocation.row);
     last_p_star_[player] = response.p_star;
     return std::abs(response.p_star - previous);
@@ -247,12 +294,33 @@ GameResult Game::run(bool warm_start) {
   // and a small max-delta would be meaningless.
   std::vector<bool> touched(players_.size(), false);
   std::size_t touched_count = 0;
+  // Theorem IV.1: under the nonlinear policy W is an exact potential for
+  // the asynchronous game, so every best-response update is a weak ascent
+  // step.  The greedy baseline has no such guarantee (linear pricing never
+  // internalizes the overload cost), so the audit only arms for the
+  // water-filling scheduler.
+  OLEV_AUDIT_ONLY(double audit_welfare = current_welfare();)
 
   while (updates < config_.max_updates) {
     const std::size_t player = pick_player();
     const double previous = row_totals_[player];
     const double delta = update_player(player);
     ++updates;
+
+#if OLEV_AUDIT_ENABLED
+    if (config_.scheduler == SchedulerKind::kWaterFilling) {
+      const double welfare_now = current_welfare();
+      OLEV_AUDIT_FINITE(welfare_now, "Game::run: welfare");
+      OLEV_AUDIT_CHECK(
+          welfare_now >=
+              audit_welfare - 1e-6 * std::max(1.0, std::abs(audit_welfare)),
+          "Game::run: welfare decreased on update " + std::to_string(updates) +
+              " (player " + std::to_string(player) + "): " +
+              std::to_string(audit_welfare) + " -> " +
+              std::to_string(welfare_now));
+      audit_welfare = welfare_now;
+    }
+#endif
     cycle_max_delta = std::max(cycle_max_delta, delta);
     if (!touched[player]) {
       touched[player] = true;
@@ -304,8 +372,19 @@ GameResult Game::finalize(bool converged, std::size_t updates,
     const auto others = schedule_.column_totals_excluding(n);
     const double payment =
         externality_payment(cost_, others, schedule_.row(n));
+    // Eq. 8-9 at the fixed point: every externality payment is finite and
+    // non-negative (each OLEV pays exactly the section cost its own load
+    // adds; Z nondecreasing + p >= 0 makes that sum >= 0).
+    OLEV_AUDIT_FINITE(payment, "finalize: payment of player " +
+                                   std::to_string(n));
+    OLEV_AUDIT_CHECK(payment >= -1e-9 * std::max(1.0, std::abs(payment)),
+                     "finalize: negative externality payment " +
+                         std::to_string(payment) + " for player " +
+                         std::to_string(n));
     result.payments.push_back(payment);
     const double satisfaction = players_[n].satisfaction->value(request);
+    OLEV_AUDIT_FINITE(satisfaction, "finalize: satisfaction of player " +
+                                        std::to_string(n));
     result.utilities.push_back(satisfaction - payment);
     welfare += satisfaction;
   }

@@ -1,6 +1,9 @@
 #include "core/payment.h"
 
 #include <stdexcept>
+#include <string>
+
+#include "util/audit.h"
 
 namespace olev::core {
 
@@ -12,8 +15,13 @@ double externality_payment(const SectionCost& z,
   }
   double payment = 0.0;
   for (std::size_t c = 0; c < row.size(); ++c) {
+    OLEV_AUDIT_FINITE(others_load[c], "externality_payment: b[" +
+                                         std::to_string(c) + "]");
+    OLEV_AUDIT_FINITE(row[c],
+                      "externality_payment: row[" + std::to_string(c) + "]");
     payment += z.value(others_load[c] + row[c]) - z.value(others_load[c]);
   }
+  OLEV_AUDIT_FINITE(payment, "externality_payment: xi_n");
   return payment;
 }
 

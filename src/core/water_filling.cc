@@ -6,8 +6,60 @@
 #include <stdexcept>
 
 #include "core/cost.h"
+#include "util/audit.h"
 
 namespace olev::core {
+
+namespace {
+
+#if OLEV_AUDIT_ENABLED
+// Post-conditions shared by every water-filling solver (Lemma IV.1, the
+// conservation constraint of Eq. 12): the row is non-negative and finite,
+// sums back to the request, and satisfies water-level complementarity --
+// loaded sections sit exactly at the level, untouched sections at or above
+// it.  `tol` is relative (see audit::close); the exact solver passes 1e-9,
+// the bisection solvers pass a band derived from their own tolerance.
+void audit_fill(std::span<const double> others_load, double total,
+                const std::vector<double>& row, double level, double tol,
+                const char* who) {
+  namespace audit = util::audit;
+  OLEV_AUDIT_FINITE(total, who);
+  OLEV_AUDIT_FINITE(level, who);
+  OLEV_AUDIT_CHECK(row.size() == others_load.size(),
+                   std::string(who) + ": row/b shape mismatch");
+  double sum = 0.0;
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    const double b = others_load[c];
+    const double fill = row[c];
+    OLEV_AUDIT_FINITE(b, std::string(who) + ": b[" + std::to_string(c) + "]");
+    OLEV_AUDIT_FINITE(fill,
+                      std::string(who) + ": row[" + std::to_string(c) + "]");
+    OLEV_AUDIT_CHECK(fill >= 0.0, std::string(who) + ": negative allocation " +
+                                      std::to_string(fill) + " on section " +
+                                      std::to_string(c));
+    if (fill > 0.0) {
+      OLEV_AUDIT_CHECK(audit::close(b + fill, level, tol),
+                       std::string(who) + ": loaded section " +
+                           std::to_string(c) + " off the water level: b+p=" +
+                           std::to_string(b + fill) + " level=" +
+                           std::to_string(level));
+    } else {
+      OLEV_AUDIT_CHECK(b >= level - tol * std::max(1.0, std::abs(level)),
+                       std::string(who) + ": idle section " +
+                           std::to_string(c) + " below the water level: b=" +
+                           std::to_string(b) + " level=" +
+                           std::to_string(level));
+    }
+    sum += fill;
+  }
+  OLEV_AUDIT_CHECK(audit::close(sum, total, tol),
+                   std::string(who) + ": allocation sums to " +
+                       std::to_string(sum) + ", request was " +
+                       std::to_string(total));
+}
+#endif
+
+}  // namespace
 
 double water_fill_volume(std::span<const double> others_load, double level) {
   double volume = 0.0;
@@ -112,7 +164,10 @@ WaterFillResult SortedLoads::fill(double total) const {
     result.row.assign(values_.size(), 0.0);
     return result;
   }
-  return fill_at_level(values_, level);
+  WaterFillResult result = fill_at_level(values_, level);
+  OLEV_AUDIT_ONLY(audit_fill(values_, total, result.row, result.level, 1e-9,
+                             "SortedLoads::fill");)
+  return result;
 }
 
 WaterFillResult water_fill(std::span<const double> others_load, double total) {
@@ -134,7 +189,12 @@ WaterFillResult water_fill(std::span<const double> others_load, double total) {
   for (std::size_t k = 1; k <= sorted.size(); ++k) {
     prefix[k] = prefix[k - 1] + sorted[k - 1];
   }
-  return fill_at_level(others_load, level_from_sorted(sorted, prefix, total));
+  WaterFillResult result =
+      fill_at_level(others_load, level_from_sorted(sorted, prefix, total));
+  OLEV_AUDIT_ONLY(
+      audit_fill(others_load, total, result.row, result.level, 1e-9,
+                 "water_fill");)
+  return result;
 }
 
 WaterFillResult water_fill_masked(std::span<const double> others_load,
@@ -169,6 +229,17 @@ WaterFillResult water_fill_masked(std::span<const double> others_load,
   for (std::size_t i = 0; i < positions.size(); ++i) {
     result.row[positions[i]] = inner.row[i];
   }
+#if OLEV_AUDIT_ENABLED
+  // Section IV-A mask contract: sections off the OLEV's path receive
+  // *exactly* zero (the inner call already audited Lemma IV.1 on the
+  // admissible subset).
+  for (std::size_t c = 0; c < mask.size(); ++c) {
+    OLEV_AUDIT_CHECK(mask[c] || result.row[c] == 0.0,
+                     "water_fill_masked: allocation " +
+                         std::to_string(result.row[c]) +
+                         " on masked-out section " + std::to_string(c));
+  }
+#endif
   return result;
 }
 
@@ -214,6 +285,11 @@ WaterFillResult water_fill_bisect(std::span<const double> others_load,
     const double scale = total / sum;
     for (double& v : result.row) v *= scale;
   }
+  // The bisection bracket closed to `tolerance`, so the lambda* contract
+  // only holds to a band of that width (the exact solver audits at 1e-9).
+  OLEV_AUDIT_ONLY(audit_fill(others_load, total, result.row, result.level,
+                             std::max(1e-9, 10.0 * tolerance),
+                             "water_fill_bisect");)
   return result;
 }
 
@@ -284,6 +360,46 @@ GeneralizedFillResult generalized_fill(
   for (double v : result.row) {
     if (v > 0.0) ++result.active_sections;
   }
+#if OLEV_AUDIT_ENABLED
+  {
+    // Heterogeneous KKT contract: loaded sections equalize marginal cost at
+    // rho*, idle sections already price at or above it; the row conserves
+    // the request.  The band is wider than the homogeneous case because the
+    // allocation passes through derivative_inverse (its own bisection).
+    namespace audit = util::audit;
+    const double band = std::max(1e-6, 10.0 * tolerance);
+    double audit_sum = 0.0;
+    for (std::size_t c = 0; c < result.row.size(); ++c) {
+      const double fill = result.row[c];
+      OLEV_AUDIT_FINITE(fill, "generalized_fill: row[" + std::to_string(c) + "]");
+      OLEV_AUDIT_CHECK(fill >= 0.0,
+                       "generalized_fill: negative allocation on section " +
+                           std::to_string(c));
+      audit_sum += fill;
+      const double marginal_here =
+          section_costs[c]->derivative(others_load[c] + fill);
+      if (fill > 0.0) {
+        OLEV_AUDIT_CHECK(
+            audit::close(marginal_here, result.marginal, band),
+            "generalized_fill: loaded section " + std::to_string(c) +
+                " off the marginal price: Z'=" + std::to_string(marginal_here) +
+                " rho*=" + std::to_string(result.marginal));
+      } else {
+        OLEV_AUDIT_CHECK(
+            marginal_here >=
+                result.marginal -
+                    band * std::max(1.0, std::abs(result.marginal)),
+            "generalized_fill: idle section " + std::to_string(c) +
+                " priced below rho*: Z'=" + std::to_string(marginal_here) +
+                " rho*=" + std::to_string(result.marginal));
+      }
+    }
+    OLEV_AUDIT_CHECK(audit::close(audit_sum, total, std::max(1e-9, tolerance)),
+                     "generalized_fill: allocation sums to " +
+                         std::to_string(audit_sum) + ", request was " +
+                         std::to_string(total));
+  }
+#endif
   return result;
 }
 

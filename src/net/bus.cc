@@ -2,6 +2,16 @@
 
 #include <limits>
 
+// gcc 12's -Wmaybe-uninitialized fires inside push_heap/pop_heap when the
+// element type holds a std::variant of vector-bearing messages: the heap
+// sift moves are flagged even though every InFlight is fully constructed
+// before queue_.push.  Known gcc false-positive family (PR105562 et al.);
+// suppressed for this translation unit only so -DOLEV_WERROR=ON stays
+// usable.  clang and gcc>=13 compile this file clean without the pragma.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
 namespace olev::net {
 
 MessageBus::MessageBus(LinkModel link) : link_(link), rng_(link.seed) {}

@@ -1,0 +1,44 @@
+#include "util/audit.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <sstream>
+
+namespace olev::util::audit {
+
+namespace {
+
+std::atomic<std::size_t> g_firings{0};
+std::atomic<Handler> g_handler{nullptr};
+
+}  // namespace
+
+bool is_finite(double x) { return std::isfinite(x); }
+
+bool close(double a, double b, double tol) {
+  const double scale = std::max({1.0, std::abs(a), std::abs(b)});
+  return std::abs(a - b) <= tol * scale;
+}
+
+Handler set_handler(Handler handler) {
+  return g_handler.exchange(handler);
+}
+
+std::size_t firings() { return g_firings.load(std::memory_order_relaxed); }
+
+void reset_firings() { g_firings.store(0, std::memory_order_relaxed); }
+
+void fail(const char* invariant, const char* file, int line,
+          const std::string& detail) {
+  g_firings.fetch_add(1, std::memory_order_relaxed);
+  std::ostringstream message;
+  message << "audit: " << invariant << " violated at " << file << ":" << line;
+  if (!detail.empty()) message << ": " << detail;
+  if (Handler handler = g_handler.load()) handler(message.str());
+  // Reached when no handler is installed *and* when an installed handler
+  // returns: a violated invariant never resumes the offending code path.
+  throw AuditFailure(message.str());
+}
+
+}  // namespace olev::util::audit

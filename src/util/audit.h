@@ -1,0 +1,81 @@
+// Runtime invariant auditor: checked asserts for the paper's machine-checkable
+// guarantees (water-filling conservation of Eq. 12, non-negative externality
+// payments of Eq. 8-9, monotone convergence of Theorem IV.1) plus cache
+// coherence of the incremental Game hot path.
+//
+// The checks compile to nothing unless the build defines OLEV_AUDIT (CMake
+// option -DOLEV_AUDIT=ON); Release builds carry zero overhead.  In an audit
+// build a failed check calls audit::fail(), which by default throws
+// AuditFailure -- tests install a counting handler instead when they want to
+// assert that an auditor does (or does not) fire.
+//
+// The support code below the macros (fail/handler/firing counter) is always
+// compiled so test binaries can reference it from either build flavor; only
+// the check sites vanish.  docs/ANALYSIS.md lists every audited invariant.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace olev::util::audit {
+
+/// Thrown by the default failure handler.  Derives from logic_error: a fired
+/// auditor means the code violated a proven property, not a bad input.
+class AuditFailure : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Called by every failed check.  Formats "<invariant> at <file>:<line>:
+/// <detail>", bumps the firing counter, then invokes the installed handler
+/// (default: throw AuditFailure).
+[[noreturn]] void fail(const char* invariant, const char* file, int line,
+                       const std::string& detail);
+
+/// Replacement failure handler.  A handler that returns is an error; fail()
+/// throws AuditFailure afterwards regardless, so control never falls back
+/// into the violated code path.
+using Handler = void (*)(const std::string& message);
+
+/// Installs `handler` (nullptr restores the default) and returns the
+/// previous one.  Not thread-safe against concurrent fail(); intended for
+/// single-threaded test setup.
+Handler set_handler(Handler handler);
+
+/// Number of auditor firings since process start (or the last reset).
+std::size_t firings();
+void reset_firings();
+
+/// True iff x is neither NaN nor +-Inf.  Always available (used by check
+/// sites and by tests).
+bool is_finite(double x);
+
+/// Absolute-plus-relative tolerance band: |a - b| <= tol * max(1, |a|, |b|).
+bool close(double a, double b, double tol);
+
+}  // namespace olev::util::audit
+
+// OLEV_AUDIT_CHECK(cond, detail): verify a domain invariant.  `detail` is a
+// std::string expression evaluated only on failure (the ternary keeps the
+// happy path free of formatting work).
+// OLEV_AUDIT_FINITE(x, what): NaN/Inf guard for one scalar.
+// OLEV_AUDIT_ONLY(...): statement(s) compiled only in audit builds -- used
+// for from-scratch recomputations whose only purpose is to be compared.
+#if defined(OLEV_AUDIT)
+#define OLEV_AUDIT_ENABLED 1
+#define OLEV_AUDIT_CHECK(cond, detail)                                     \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::olev::util::audit::fail(#cond, __FILE__, __LINE__, (detail)))
+#define OLEV_AUDIT_FINITE(x, what)                                         \
+  (::olev::util::audit::is_finite(x)                                       \
+       ? static_cast<void>(0)                                              \
+       : ::olev::util::audit::fail("is_finite(" #x ")", __FILE__, __LINE__, \
+                                   (what)))
+#define OLEV_AUDIT_ONLY(...) __VA_ARGS__
+#else
+#define OLEV_AUDIT_ENABLED 0
+#define OLEV_AUDIT_CHECK(cond, detail) static_cast<void>(0)
+#define OLEV_AUDIT_FINITE(x, what) static_cast<void>(0)
+#define OLEV_AUDIT_ONLY(...)
+#endif

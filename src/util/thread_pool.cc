@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <exception>
+#include <limits>
 
 namespace olev::util {
 
@@ -52,21 +53,61 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
-  std::vector<std::future<void>> pending;
-  pending.reserve(n);
+
+  // Every queued task owns shared copies of its state: if enqueueing fails
+  // halfway (e.g. bad_alloc) or a body throws while later tasks are still
+  // queued, the already-queued tasks stay self-contained -- nothing
+  // references this stack frame -- and the completion wait below cannot
+  // deadlock the workers' join.  (The previous future-per-index scheme left
+  // queued tasks holding a reference to `body` after an enqueue failure
+  // unwound the caller.)
+  struct Control {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining;
+    std::exception_ptr first_error;
+    std::size_t first_error_index;
+    explicit Control(std::size_t n)
+        : remaining(n), first_error_index(std::numeric_limits<std::size_t>::max()) {}
+  };
+  auto control = std::make_shared<Control>(n);
+  auto shared_body = std::make_shared<std::function<void(std::size_t)>>(body);
+
   for (std::size_t i = 0; i < n; ++i) {
-    pending.push_back(submit([&body, i] { body(i); }));
-  }
-  // Collect everything before rethrowing so no task outlives the call.
-  std::exception_ptr first_error;
-  for (auto& future : pending) {
     try {
-      future.get();
+      enqueue([control, shared_body, i] {
+        std::exception_ptr error;
+        try {
+          (*shared_body)(i);
+        } catch (...) {
+          error = std::current_exception();
+        }
+        std::lock_guard<std::mutex> lock(control->mutex);
+        if (error && i < control->first_error_index) {
+          control->first_error = error;
+          control->first_error_index = i;
+        }
+        if (--control->remaining == 0) control->done.notify_all();
+      });
     } catch (...) {
-      if (!first_error) first_error = std::current_exception();
+      // Tasks i..n-1 never reached the queue; account for them so the wait
+      // below terminates once the queued prefix drains.
+      std::lock_guard<std::mutex> lock(control->mutex);
+      control->remaining -= n - i;
+      if (control->first_error_index > i) {
+        control->first_error = std::current_exception();
+        control->first_error_index = i;
+      }
+      if (control->remaining == 0) control->done.notify_all();
+      break;
     }
   }
-  if (first_error) std::rethrow_exception(first_error);
+
+  // Drain before rethrowing so no task outlives the call; the first error
+  // *by index* wins, matching serial execution order.
+  std::unique_lock<std::mutex> lock(control->mutex);
+  control->done.wait(lock, [&] { return control->remaining == 0; });
+  if (control->first_error) std::rethrow_exception(control->first_error);
 }
 
 }  // namespace olev::util

@@ -44,7 +44,11 @@ class ThreadPool {
 
   /// Runs body(0..n-1) across the pool and waits for all of them.  The
   /// assignment of indices to threads is unspecified; bodies must be
-  /// independent.  The first exception (by index) is rethrown.
+  /// independent.  All queued bodies run to completion even when some
+  /// throw; afterwards the lowest-index exception is rethrown.  Queued
+  /// tasks are self-contained (shared ownership of the body), so a throw --
+  /// from a body or from enqueueing itself -- can never leave a worker
+  /// holding a dangling reference or deadlock the destructor's join.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
  private:

@@ -1,0 +1,245 @@
+// The runtime invariant auditor (src/util/audit.h) in both build flavors.
+//
+// Degenerate solver inputs are the cases most likely to make a *correct*
+// auditor fire spuriously -- zero total requests, all-masked sections,
+// duplicate-minimum loads sitting exactly on the water level -- so each one
+// runs here with the auditor armed (in -DOLEV_AUDIT=ON builds) and must
+// complete with zero firings.  The plumbing tests (fail/handler/counter)
+// compile in every flavor because the audit support code is always built;
+// only the check sites vanish in non-audit builds.
+
+#include "util/audit.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cost.h"
+#include "core/game.h"
+#include "core/satisfaction.h"
+#include "core/water_filling.h"
+
+namespace olev {
+namespace {
+
+namespace audit = util::audit;
+using core::GameConfig;
+using core::PlayerSpec;
+using core::SortedLoads;
+using core::WaterFillResult;
+
+core::SectionCost make_cost(double cap_kw = 100.0) {
+  return core::SectionCost(
+      std::make_unique<core::NonlinearPricing>(16.0, 0.875, 100.0),
+      core::OverloadCost{1.0}, cap_kw);
+}
+
+// --- auditor plumbing (both flavors) ---------------------------------------
+
+TEST(Audit, FailThrowsAuditFailureWithContext) {
+  audit::reset_firings();
+  try {
+    audit::fail("sum == total", "water_filling.cc", 42, "sum=1 total=2");
+    FAIL() << "audit::fail returned";
+  } catch (const audit::AuditFailure& failure) {
+    const std::string message = failure.what();
+    EXPECT_NE(message.find("sum == total"), std::string::npos);
+    EXPECT_NE(message.find("water_filling.cc:42"), std::string::npos);
+    EXPECT_NE(message.find("sum=1 total=2"), std::string::npos);
+  }
+  EXPECT_EQ(audit::firings(), 1u);
+  audit::reset_firings();
+}
+
+TEST(Audit, HandlerObservesFailureButCannotResume) {
+  static std::string seen;
+  seen.clear();
+  audit::reset_firings();
+  const audit::Handler previous =
+      audit::set_handler(+[](const std::string& message) { seen = message; });
+  // Even a handler that returns must not resume the violated code path.
+  EXPECT_THROW(audit::fail("x >= 0", "game.cc", 7, "x=-1"), audit::AuditFailure);
+  EXPECT_NE(seen.find("x >= 0"), std::string::npos);
+  EXPECT_EQ(audit::firings(), 1u);
+  audit::set_handler(previous);
+  audit::reset_firings();
+}
+
+TEST(Audit, CloseUsesAbsolutePlusRelativeBand) {
+  EXPECT_TRUE(audit::close(1.0, 1.0 + 1e-10, 1e-9));
+  EXPECT_FALSE(audit::close(1.0, 1.0 + 1e-6, 1e-9));
+  // Relative scaling: 1e5 apart at 1e12 magnitude is well inside 1e-6.
+  EXPECT_TRUE(audit::close(1e12, 1e12 + 1e5, 1e-6));
+  EXPECT_TRUE(audit::close(0.0, 0.0, 0.0));
+}
+
+TEST(Audit, IsFiniteRejectsNanAndInf) {
+  EXPECT_TRUE(audit::is_finite(0.0));
+  EXPECT_TRUE(audit::is_finite(-1e300));
+  EXPECT_FALSE(audit::is_finite(std::nan("")));
+  EXPECT_FALSE(audit::is_finite(std::numeric_limits<double>::infinity()));
+}
+
+// --- degenerate solver inputs: the auditor must pass, not fire -------------
+
+class AuditFiringGuard {
+ public:
+  AuditFiringGuard() { audit::reset_firings(); }
+  ~AuditFiringGuard() { EXPECT_EQ(audit::firings(), 0u) << "auditor fired"; }
+};
+
+TEST(AuditDegenerate, ZeroTotalRequestAllSolvers) {
+  AuditFiringGuard guard;
+  const std::vector<double> b{3.0, 1.0, 2.0};
+  const WaterFillResult exact = core::water_fill(b, 0.0);
+  EXPECT_EQ(exact.row, std::vector<double>({0.0, 0.0, 0.0}));
+  EXPECT_EQ(exact.level, 1.0);  // min load; nothing allocated
+
+  const WaterFillResult bisect = core::water_fill_bisect(b, 0.0);
+  EXPECT_EQ(bisect.row, std::vector<double>({0.0, 0.0, 0.0}));
+
+  const SortedLoads sorted(b);
+  EXPECT_EQ(sorted.fill(0.0).row, std::vector<double>({0.0, 0.0, 0.0}));
+
+  const core::SectionCost cost = make_cost();
+  const core::SectionCost* costs[] = {&cost, &cost, &cost};
+  const auto generalized = core::generalized_fill(costs, b, 0.0);
+  EXPECT_EQ(generalized.row, std::vector<double>({0.0, 0.0, 0.0}));
+}
+
+TEST(AuditDegenerate, AllMaskedSectionsZeroTotal) {
+  AuditFiringGuard guard;
+  const std::vector<double> b{5.0, 6.0};
+  const std::vector<bool> none{false, false};
+  const WaterFillResult result = core::water_fill_masked(b, 0.0, none);
+  EXPECT_EQ(result.row, std::vector<double>({0.0, 0.0}));
+  // Positive total with an empty mask is a *caller* error, not an invariant
+  // violation: invalid_argument, no auditor firing.
+  EXPECT_THROW(core::water_fill_masked(b, 1.0, none), std::invalid_argument);
+}
+
+TEST(AuditDegenerate, SingleAdmissibleSectionTakesEverything) {
+  AuditFiringGuard guard;
+  const std::vector<double> b{9.0, 1.0, 7.0};
+  const std::vector<bool> only_middle{false, true, false};
+  const WaterFillResult result = core::water_fill_masked(b, 4.0, only_middle);
+  EXPECT_DOUBLE_EQ(result.row[1], 4.0);
+  EXPECT_EQ(result.row[0], 0.0);
+  EXPECT_EQ(result.row[2], 0.0);
+}
+
+TEST(AuditDegenerate, DuplicateMinimumLoads) {
+  AuditFiringGuard guard;
+  // Several sections tie at the minimum: the water level rises from a
+  // plateau, the exact/incremental/bisection solvers must all agree and no
+  // complementarity check may trip on the equal-load boundary.
+  const std::vector<double> b{2.0, 2.0, 2.0, 5.0, 2.0};
+  for (double total : {0.0, 1e-12, 0.5, 9.0, 12.0, 1000.0}) {
+    const WaterFillResult exact = core::water_fill(b, total);
+    double sum = 0.0;
+    for (double v : exact.row) sum += v;
+    EXPECT_NEAR(sum, total, 1e-9 * std::max(1.0, total));
+
+    const SortedLoads sorted(b);
+    const WaterFillResult incremental = sorted.fill(total);
+    EXPECT_EQ(exact.row, incremental.row);
+    EXPECT_EQ(exact.level, incremental.level);
+
+    const WaterFillResult bisect = core::water_fill_bisect(b, total);
+    EXPECT_NEAR(bisect.level, exact.level, 1e-8 * std::max(1.0, exact.level));
+  }
+}
+
+TEST(AuditDegenerate, AllLoadsIdentical) {
+  AuditFiringGuard guard;
+  const std::vector<double> b(8, 4.0);
+  const WaterFillResult result = core::water_fill(b, 16.0);
+  for (double v : result.row) EXPECT_DOUBLE_EQ(v, 2.0);
+  EXPECT_EQ(result.active_sections, 8);
+}
+
+TEST(AuditDegenerate, SortedLoadsUpdateOneThroughDuplicates) {
+  AuditFiringGuard guard;
+  SortedLoads sorted(std::vector<double>{3.0, 3.0, 3.0, 1.0});
+  sorted.update_one(1, 0.5);  // moves one duplicate below the old minimum
+  sorted.update_one(3, 3.0);  // re-creates the duplicate plateau
+  const WaterFillResult incremental = sorted.fill(5.0);
+  const WaterFillResult fresh = core::water_fill(sorted.values(), 5.0);
+  EXPECT_EQ(incremental.row, fresh.row);
+  EXPECT_EQ(incremental.level, fresh.level);
+}
+
+TEST(AuditDegenerate, GameWithZeroCapacityAndMaskedPlayers) {
+  AuditFiringGuard guard;
+  // Degenerate fleet: one player that cannot draw at all, one restricted to
+  // a single section, one unrestricted.  The game must converge with the
+  // auditor silent (zero rows, masked-out columns, tied loads throughout).
+  std::vector<PlayerSpec> players(3);
+  players[0].satisfaction = std::make_unique<core::LogSatisfaction>(40.0);
+  players[0].p_max = 0.0;
+  players[1].satisfaction = std::make_unique<core::LogSatisfaction>(55.0);
+  players[1].p_max = 30.0;
+  players[1].allowed_sections = {false, true, false, false};
+  players[2].satisfaction = std::make_unique<core::LogSatisfaction>(70.0);
+  players[2].p_max = 50.0;
+
+  GameConfig config;
+  config.epsilon = 1e-6;
+  core::Game game(std::move(players), make_cost(60.0), 4, 120.0, config);
+  const core::GameResult result = game.run();
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.requests[0], 0.0);
+  for (std::size_t c = 0; c < 4; ++c) {
+    if (c != 1) {
+      EXPECT_EQ(result.schedule.at(1, c), 0.0) << "section " << c;
+    }
+  }
+  for (double payment : result.payments) EXPECT_GE(payment, 0.0);
+}
+
+// --- armed-build behavior: violations actually fire ------------------------
+
+#if OLEV_AUDIT_ENABLED
+
+TEST(AuditArmed, CheckMacroFiresOnViolation) {
+  audit::reset_firings();
+  EXPECT_THROW(OLEV_AUDIT_CHECK(1 + 1 == 3, std::string("arithmetic")),
+               audit::AuditFailure);
+  EXPECT_EQ(audit::firings(), 1u);
+  audit::reset_firings();
+  OLEV_AUDIT_CHECK(1 + 1 == 2, std::string("fine"));  // silent
+  EXPECT_EQ(audit::firings(), 0u);
+}
+
+TEST(AuditArmed, NanRequestTripsTheEntryGuard) {
+  audit::reset_firings();
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW(core::water_fill(b, std::nan("")), audit::AuditFailure);
+  EXPECT_GE(audit::firings(), 1u);
+  audit::reset_firings();
+}
+
+TEST(AuditArmed, NanLoadTripsTheEntryGuard) {
+  audit::reset_firings();
+  const std::vector<double> b{1.0, std::nan("")};
+  EXPECT_THROW(core::water_fill(b, 3.0), audit::AuditFailure);
+  audit::reset_firings();
+}
+
+#else
+
+TEST(AuditDisarmed, CheckSitesCompileToNothing) {
+  audit::reset_firings();
+  OLEV_AUDIT_CHECK(false, "never evaluated");
+  OLEV_AUDIT_FINITE(std::nan(""), "never evaluated");
+  EXPECT_EQ(audit::firings(), 0u);
+}
+
+#endif
+
+}  // namespace
+}  // namespace olev

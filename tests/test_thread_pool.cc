@@ -59,6 +59,76 @@ TEST(ThreadPool, SubmitPropagatesExceptionThroughFuture) {
   EXPECT_THROW(future.get(), std::logic_error);
 }
 
+// Shutdown-hardening regressions: a body that throws while many tasks are
+// still queued must neither deadlock parallel_for's completion wait nor the
+// destructor's join, and the pool must stay usable afterwards.
+
+TEST(ThreadPool, ParallelForWithDeepQueueOfThrowingTasksJoinsCleanly) {
+  std::atomic<int> completed{0};
+  {
+    ThreadPool pool(2);
+    // 500 tasks on 2 workers: the queue is deep when the first throw lands.
+    EXPECT_THROW(pool.parallel_for(500,
+                                   [&](std::size_t i) {
+                                     if (i % 2 == 0) {
+                                       throw std::runtime_error("even");
+                                     }
+                                     ++completed;
+                                   }),
+                 std::runtime_error);
+    // Every non-throwing body still ran before the rethrow.
+    EXPECT_EQ(completed.load(), 250);
+    // The pool survives: later work is unaffected by the earlier storm.
+    EXPECT_EQ(pool.submit([] { return 41 + 1; }).get(), 42);
+    std::atomic<int> after{0};
+    pool.parallel_for(100, [&](std::size_t) { ++after; });
+    EXPECT_EQ(after.load(), 100);
+  }  // ~ThreadPool joins here; a deadlock shows up as a test timeout
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestIndexException) {
+  ThreadPool pool(4);
+  // Several bodies throw concurrently; serial order must win regardless of
+  // which worker reports first.
+  try {
+    pool.parallel_for(200, [](std::size_t i) {
+      if (i == 13 || i == 14 || i == 150) {
+        throw std::runtime_error(std::to_string(i));
+      }
+    });
+    FAIL() << "parallel_for did not rethrow";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "13");
+  }
+}
+
+TEST(ThreadPool, ParallelForExceptionsDoNotCorruptLaterRuns) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int> ran{0};
+    EXPECT_THROW(pool.parallel_for(60,
+                                   [&](std::size_t i) {
+                                     if (i == 0) throw std::logic_error("x");
+                                     ++ran;
+                                   }),
+                 std::logic_error);
+    EXPECT_EQ(ran.load(), 59) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&ran] { ++ran; });
+    }
+    // Destruction races the queue on purpose: stop_ is set while tasks are
+    // still pending, and the worker must drain them all before joining.
+  }
+  EXPECT_EQ(ran.load(), 50);
+}
+
 TEST(ThreadPool, ResolveThreads) {
   EXPECT_EQ(resolve_threads(3), 3u);
   EXPECT_GE(resolve_threads(0), 1u);

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Static-analysis wall over the game core: src/core, src/util, src/grid.
+#
+#   tools/lint.sh [build-dir]
+#
+# Primary mode runs clang-tidy (config in .clang-tidy, WarningsAsErrors='*')
+# against the compile database CMake exports.  When clang-tidy is not
+# installed -- e.g. a gcc-only container -- the script degrades to a gcc
+# warning wall: every translation unit is fully compiled (not just parsed,
+# so flow-sensitive diagnostics like -Wmaybe-uninitialized still run) with
+# -Wall -Wextra -Wpedantic -Werror.  Either way a non-zero exit means the
+# wall was hit; exit 0 means the audited directories are clean.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-${BUILD_DIR:-$ROOT/build}}"
+LINT_DIRS=(src/core src/util src/grid)
+
+# The compile database is exported unconditionally by the top-level
+# CMakeLists (CMAKE_EXPORT_COMPILE_COMMANDS); configure on demand.
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  echo "lint: no compile database in $BUILD_DIR; configuring..." >&2
+  cmake -B "$BUILD_DIR" -S "$ROOT" > /dev/null
+fi
+
+mapfile -t sources < <(
+  for dir in "${LINT_DIRS[@]}"; do
+    find "$ROOT/$dir" -name '*.cc' | sort
+  done
+)
+echo "lint: ${#sources[@]} translation units across ${LINT_DIRS[*]}"
+
+if command -v clang-tidy > /dev/null 2>&1; then
+  echo "lint: $(clang-tidy --version | head -n 1)"
+  status=0
+  for source in "${sources[@]}"; do
+    if ! clang-tidy --quiet -p "$BUILD_DIR" "$source"; then
+      status=1
+      echo "lint: FAILED ${source#"$ROOT"/}" >&2
+    fi
+  done
+  if [[ $status -ne 0 ]]; then
+    echo "lint: clang-tidy wall hit; see diagnostics above" >&2
+    exit 1
+  fi
+  echo "lint: clang-tidy clean"
+else
+  echo "lint: clang-tidy not found; falling back to the gcc warning wall" >&2
+  : "${CXX:=g++}"
+  status=0
+  for source in "${sources[@]}"; do
+    if ! "$CXX" -std=c++20 -O2 -Wall -Wextra -Wpedantic -Werror \
+        -I "$ROOT/src" -c "$source" -o /dev/null; then
+      status=1
+      echo "lint: FAILED ${source#"$ROOT"/}" >&2
+    fi
+  done
+  if [[ $status -ne 0 ]]; then
+    echo "lint: gcc wall hit; see diagnostics above" >&2
+    exit 1
+  fi
+  echo "lint: gcc warning wall clean (-Wall -Wextra -Wpedantic -Werror)"
+fi

@@ -25,7 +25,7 @@ core::ScenarioConfig base_config() {
   core::ScenarioConfig config;
   config.num_olevs = 30;
   config.num_sections = 10;
-  config.beta_lbmp = 16.0;
+  config.beta_lbmp = olev::util::Price::per_mwh(16.0);
   config.target_degree = 0.9;
   config.seed = 0xab1;
   return config;
@@ -100,17 +100,17 @@ int main() {
         core::PlayerSpec player;
         player.satisfaction =
             std::make_unique<core::LogSatisfaction>(scenario.weights()[n]);
-        player.p_max = scenario.p_max()[n];
+        player.p_max = olev::util::kw(scenario.p_max()[n]);
         players.push_back(std::move(player));
       }
       core::SectionCost cost(
           core::paper_nonlinear_pricing(config.beta_lbmp, config.alpha,
-                                        scenario.cap_kw()),
-          core::OverloadCost{scale * config.beta_lbmp / 1000.0 /
+                                        olev::util::kw(scenario.cap_kw())),
+          core::OverloadCost{scale * config.beta_lbmp.value() / 1000.0 /
                              scenario.p_line_kw()},
-          scenario.cap_kw());
+          olev::util::kw(scenario.cap_kw()));
       core::Game game(std::move(players), cost, config.num_sections,
-                      scenario.p_line_kw());
+                      olev::util::kw(scenario.p_line_kw()));
       const auto result = game.run();
       table.add_row_numeric({scale, result.congestion.mean,
                              result.congestion.max,
@@ -166,11 +166,11 @@ int main() {
     std::vector<core::SectionCost> costs;
     std::vector<double> p_lines;
     for (double mph : speeds_mph) {
-      const double p_line = wpt::p_line_kw(spec, util::mph_to_mps(mph));
+      const double p_line = wpt::p_line_kw(spec, util::to_mps(util::mph(mph)));
       const double cap = 0.9 * p_line;
-      costs.emplace_back(core::paper_nonlinear_pricing(beta, 0.875, cap),
+      costs.emplace_back(core::paper_nonlinear_pricing(olev::util::Price::per_mwh(beta), 0.875, olev::util::kw(cap)),
                          core::OverloadCost{25.0 * beta / 1000.0 / p_line},
-                         cap);
+                         olev::util::kw(cap));
       p_lines.push_back(p_line);
     }
     std::vector<core::PlayerSpec> players;
@@ -178,7 +178,7 @@ int main() {
       core::PlayerSpec player;
       player.satisfaction = std::make_unique<core::LogSatisfaction>(
           w * costs[2].derivative(30.0) * 60.0);
-      player.p_max = 60.0;
+      player.p_max = olev::util::kw(60.0);
       players.push_back(std::move(player));
     }
     core::HeteroGame game(std::move(players), costs, p_lines);

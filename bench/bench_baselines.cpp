@@ -27,7 +27,7 @@ int main() {
   core::ScenarioConfig config;
   config.num_olevs = 30;
   config.num_sections = 10;
-  config.beta_lbmp = 16.0;
+  config.beta_lbmp = olev::util::Price::per_mwh(16.0);
   config.target_degree = 0.8;
   config.seed = 0xba5e;
   const core::Scenario scenario = core::Scenario::build(config);

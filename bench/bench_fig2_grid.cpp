@@ -77,7 +77,7 @@ int main() {
     util::Table stack_table({"load_MW", "clearing_price", "reserve_MW",
                              "CO2_t_per_h"});
     for (double load : {4017.1, 5500.0, 6657.8}) {
-      const auto dispatch = stack.dispatch(load);
+      const auto dispatch = stack.dispatch(olev::util::mw(load));
       stack_table.add_row_numeric(
           {load, dispatch.price, dispatch.reserve_margin_mw,
            dispatch.co2_t_per_h},

@@ -25,7 +25,7 @@ double day_energy_kwh(double participation, double willingness,
                       int coverage_sections) {
   const auto program = traffic::SignalProgram::fixed_cycle(35.0, 4.0, 41.0);
   traffic::Network net =
-      traffic::Network::arterial(3, 300.0, util::mph_to_mps(30.0), program, 2);
+      traffic::Network::arterial(3, 300.0, util::to_mps(util::mph(30.0)).value(), program, 2);
   traffic::SimulationConfig sim_config;
   sim_config.seed = 20130131;
   traffic::Simulation sim(std::move(net), sim_config);
@@ -45,7 +45,7 @@ double day_energy_kwh(double participation, double willingness,
   const double end = 300.0;
   const double start = end - 20.0 * coverage_sections;
   wpt::ChargingLane lane(
-      wpt::ChargingLane::evenly_spaced(0, start, end, coverage_sections, spec),
+      wpt::ChargingLane::evenly_spaced(0, olev::util::meters(start), olev::util::meters(end), coverage_sections, spec),
       wpt::ChargingLaneConfig{});
   sim.add_observer(&lane);
   sim.run_until(24.0 * 3600.0);

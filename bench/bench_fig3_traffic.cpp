@@ -40,7 +40,7 @@ struct DayResult {
 DayResult run_day(bool at_light, std::uint64_t seed) {
   const auto program = traffic::SignalProgram::fixed_cycle(35.0, 4.0, 41.0);
   traffic::Network net =
-      traffic::Network::arterial(3, 300.0, util::mph_to_mps(30.0), program, 2);
+      traffic::Network::arterial(3, 300.0, util::to_mps(util::mph(30.0)).value(), program, 2);
   traffic::SimulationConfig sim_config;
   sim_config.seed = seed;
   traffic::Simulation sim(std::move(net), sim_config);
@@ -59,7 +59,7 @@ DayResult run_day(bool at_light, std::uint64_t seed) {
   wpt::ChargingLaneConfig lane_config;
   lane_config.initial_soc = 0.5;  // the paper's SOC setting
   wpt::ChargingLane lane(
-      wpt::ChargingLane::evenly_spaced(0, start, start + 200.0, 10, spec),
+      wpt::ChargingLane::evenly_spaced(0, olev::util::meters(start), olev::util::meters(start + 200.0), 10, spec),
       lane_config);
   traffic::SegmentDetector detector(0, start, start + 200.0, /*olev_only=*/true);
   sim.add_observer(&lane);

@@ -25,9 +25,9 @@ core::ScenarioSpec make_spec(double velocity_mph, core::PricingKind pricing) {
   core::ScenarioConfig& config = spec.config;
   config.num_olevs = 50;
   config.num_sections = 100;
-  config.velocity_mph = velocity_mph;
+  config.velocity = olev::util::mph(velocity_mph);
   config.pricing = pricing;
-  config.beta_lbmp = 16.0;
+  config.beta_lbmp = olev::util::Price::per_mwh(16.0);
   config.target_degree = 0.9;
   config.seed = 0xc0;
   // The paper: "running the best response strategy for 1000 number of

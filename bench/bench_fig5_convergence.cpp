@@ -36,8 +36,8 @@ core::ScenarioSpec make_spec(double velocity_mph, std::size_t olevs,
   // Few sections relative to N so that the 0.9 degree target is reachable
   // within the P_OLEV caps.
   config.num_sections = 10;
-  config.velocity_mph = velocity_mph;
-  config.beta_lbmp = 16.0;
+  config.velocity = olev::util::mph(velocity_mph);
+  config.beta_lbmp = olev::util::Price::per_mwh(16.0);
   config.target_degree = 0.9;
   config.seed = util::derive_seed(0xd0d0, run);
   config.game.order = core::UpdateOrder::kUniformRandom;

@@ -32,9 +32,9 @@ core::ScenarioSpec make_spec(double velocity_mph, core::PricingKind pricing,
   // reachable under the Eq. (2) P_OLEV caps (the paper does not fix C for
   // this figure; it fixes C = 100 only for Fig. 5(c)).
   config.num_sections = 20;
-  config.velocity_mph = velocity_mph;
+  config.velocity = olev::util::mph(velocity_mph);
   config.pricing = pricing;
-  config.beta_lbmp = 16.0;  // LBMP of a mid-range hour
+  config.beta_lbmp = olev::util::Price::per_mwh(16.0);  // LBMP of a mid-range hour
   config.target_degree = target_degree;
   config.seed = 0x5a;
   config.game.max_updates = 60000;

@@ -24,8 +24,8 @@ core::ScenarioSpec make_spec(double velocity_mph, std::size_t olevs,
   core::ScenarioConfig& config = spec.config;
   config.num_olevs = olevs;
   config.num_sections = sections;
-  config.velocity_mph = velocity_mph;
-  config.beta_lbmp = 16.0;
+  config.velocity = olev::util::mph(velocity_mph);
+  config.beta_lbmp = olev::util::Price::per_mwh(16.0);
   config.target_degree = 0.9;
   // Identical per-OLEV preferences across the whole sweep: anchor the
   // demand calibration at (N, C) = (30, 50) instead of each grid point.

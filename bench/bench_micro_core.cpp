@@ -36,13 +36,13 @@ std::vector<double> random_loads(std::size_t sections, std::uint64_t seed) {
 core::SectionCost make_cost() {
   return core::SectionCost(
       std::make_unique<core::NonlinearPricing>(5.0, 0.875, 40.0),
-      core::OverloadCost{1.0}, 40.0);
+      core::OverloadCost{1.0}, olev::util::kw(40.0));
 }
 
 void BM_WaterFillExact(benchmark::State& state) {
   const auto loads = random_loads(static_cast<std::size_t>(state.range(0)), 1);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::water_fill(loads, 100.0));
+    benchmark::DoNotOptimize(core::water_fill(loads, olev::util::kw(100.0)));
   }
 }
 BENCHMARK(BM_WaterFillExact)->Arg(10)->Arg(100)->Arg(1000);
@@ -50,7 +50,7 @@ BENCHMARK(BM_WaterFillExact)->Arg(10)->Arg(100)->Arg(1000);
 void BM_WaterFillBisect(benchmark::State& state) {
   const auto loads = random_loads(static_cast<std::size_t>(state.range(0)), 1);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::water_fill_bisect(loads, 100.0));
+    benchmark::DoNotOptimize(core::water_fill_bisect(loads, olev::util::kw(100.0)));
   }
 }
 BENCHMARK(BM_WaterFillBisect)->Arg(10)->Arg(100)->Arg(1000);
@@ -60,7 +60,7 @@ void BM_WaterFillPresorted(benchmark::State& state) {
   const auto loads = random_loads(static_cast<std::size_t>(state.range(0)), 1);
   const core::SortedLoads sorted(loads);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sorted.fill(100.0));
+    benchmark::DoNotOptimize(sorted.fill(olev::util::kw(100.0)));
   }
 }
 BENCHMARK(BM_WaterFillPresorted)->Arg(10)->Arg(100)->Arg(1000);
@@ -74,7 +74,7 @@ void BM_SortedLoadsUpdateOne(benchmark::State& state) {
     const auto index = static_cast<std::size_t>(
         rng.uniform_int(0, static_cast<std::int64_t>(loads.size()) - 1));
     sorted.update_one(index, rng.uniform(0.0, 50.0));
-    benchmark::DoNotOptimize(sorted.level_for(100.0));
+    benchmark::DoNotOptimize(sorted.level_for(olev::util::kw(100.0)));
   }
 }
 BENCHMARK(BM_SortedLoadsUpdateOne)->Arg(100)->Arg(1000);
@@ -83,7 +83,7 @@ void BM_PaymentOfTotal(benchmark::State& state) {
   const auto loads = random_loads(static_cast<std::size_t>(state.range(0)), 2);
   const core::SectionCost z = make_cost();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::payment_of_total(z, loads, 75.0));
+    benchmark::DoNotOptimize(core::payment_of_total(z, loads, olev::util::kw(75.0)));
   }
 }
 BENCHMARK(BM_PaymentOfTotal)->Arg(10)->Arg(100);
@@ -93,7 +93,7 @@ void BM_BestResponse(benchmark::State& state) {
   const core::SectionCost z = make_cost();
   const core::LogSatisfaction u(20.0);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::best_response(u, z, loads, 120.0));
+    benchmark::DoNotOptimize(core::best_response(u, z, loads, olev::util::kw(120.0)));
   }
 }
 BENCHMARK(BM_BestResponse)->Arg(10)->Arg(100);
@@ -105,10 +105,10 @@ core::Game make_game(std::size_t players, std::size_t sections) {
     core::PlayerSpec spec;
     spec.satisfaction =
         std::make_unique<core::LogSatisfaction>(rng.uniform(5.0, 40.0));
-    spec.p_max = rng.uniform(20.0, 100.0);
+    spec.p_max = olev::util::kw(rng.uniform(20.0, 100.0));
     specs.push_back(std::move(spec));
   }
-  return core::Game(std::move(specs), make_cost(), sections, 50.0);
+  return core::Game(std::move(specs), make_cost(), sections, olev::util::kw(50.0));
 }
 
 void BM_GameUpdate(benchmark::State& state) {
@@ -161,13 +161,13 @@ void BM_GeneralizedFill(benchmark::State& state) {
   for (std::size_t c = 0; c < sections; ++c) {
     const double cap = rng.uniform(20.0, 80.0);
     costs.emplace_back(std::make_unique<core::NonlinearPricing>(5.0, 0.875, cap),
-                       core::OverloadCost{1.0}, cap);
+                       core::OverloadCost{1.0}, olev::util::kw(cap));
   }
   std::vector<const core::SectionCost*> pointers;
   for (const auto& cost : costs) pointers.push_back(&cost);
   const auto loads = random_loads(sections, 6);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::generalized_fill(pointers, loads, 60.0));
+    benchmark::DoNotOptimize(core::generalized_fill(pointers, loads, olev::util::kw(60.0)));
   }
 }
 BENCHMARK(BM_GeneralizedFill)->Arg(10)->Arg(100);
@@ -191,7 +191,7 @@ BENCHMARK(BM_StackelbergSolve)->Unit(benchmark::kMicrosecond);
 void BM_FrequencyStep(benchmark::State& state) {
   grid::FrequencySimulator sim;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sim.step(100.0));
+    benchmark::DoNotOptimize(sim.step(olev::util::mw(100.0)));
   }
 }
 BENCHMARK(BM_FrequencyStep);
@@ -200,7 +200,7 @@ void BM_DispatchStack(benchmark::State& state) {
   const grid::DispatchStack stack = grid::DispatchStack::nyiso_like();
   double load = 4000.0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(stack.dispatch(load));
+    benchmark::DoNotOptimize(stack.dispatch(olev::util::mw(load)));
     load = load >= 6600.0 ? 4000.0 : load + 10.0;
   }
 }
@@ -225,7 +225,7 @@ BENCHMARK(BM_TraciWireRoundTrip);
 void BM_TrafficSimStep(benchmark::State& state) {
   const auto program = traffic::SignalProgram::fixed_cycle(35.0, 4.0, 31.0);
   traffic::Network net = traffic::Network::arterial(
-      3, 300.0, util::mph_to_mps(30.0), program, 2);
+      3, 300.0, util::to_mps(util::mph(30.0)).value(), program, 2);
   traffic::Simulation sim(std::move(net), traffic::SimulationConfig{});
   traffic::DemandConfig demand;
   demand.counts.fill(static_cast<double>(state.range(0)));

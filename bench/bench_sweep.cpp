@@ -35,8 +35,8 @@ std::vector<core::ScenarioSpec> fig5_grid() {
         core::ScenarioConfig& config = spec.config;
         config.num_olevs = olevs;
         config.num_sections = sections;
-        config.velocity_mph = velocity;
-        config.beta_lbmp = 16.0;
+        config.velocity = olev::util::mph(velocity);
+        config.beta_lbmp = olev::util::Price::per_mwh(16.0);
         config.target_degree = 0.9;
         config.calibration_players = 30;
         config.calibration_sections = 50;
@@ -120,7 +120,7 @@ int main() {
   core::ScenarioConfig big;
   big.num_olevs = 50;
   big.num_sections = 100;
-  big.beta_lbmp = 16.0;
+  big.beta_lbmp = olev::util::Price::per_mwh(16.0);
   big.target_degree = 0.9;
   big.seed = 0x5eed;
   big.game.max_updates = 5000;

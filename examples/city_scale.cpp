@@ -27,7 +27,7 @@ constexpr int kCols = 4;
 
 traffic::Network make_city() {
   const auto program = traffic::SignalProgram::fixed_cycle(30.0, 4.0, 26.0);
-  return traffic::grid_city(kRows, kCols, 250.0, util::mph_to_mps(30.0), program);
+  return traffic::grid_city(kRows, kCols, 250.0, util::to_mps(util::mph(30.0)).value(), program);
 }
 
 std::unique_ptr<traffic::OdTripSource> make_demand(const traffic::Network& city) {
@@ -59,10 +59,10 @@ int main() {
   sim_config.seed = 404;
   traffic::Simulation pilot(city, sim_config);
   pilot.add_source(make_demand(city));
-  auto slots = wpt::enumerate_slots(city, 25.0);
+  auto slots = wpt::enumerate_slots(city, olev::util::meters(25.0));
   // Start at 07:00 so the pilot hour carries real demand.
   pilot.run_until(7.0 * 3600.0);
-  wpt::score_slots_by_occupancy(pilot, slots, 8.0 * 3600.0, /*olev_only=*/true);
+  wpt::score_slots_by_occupancy(pilot, slots, olev::util::seconds(8.0 * 3600.0), /*olev_only=*/true);
 
   // ---- plan: 30 sections city-wide ----
   wpt::ChargingSectionSpec spec;
@@ -80,7 +80,9 @@ int main() {
     if (coverage[order[i]] <= 0.0) break;
     double street_score = 0.0;
     for (const auto& slot : slots) {
-      if (slot.edge == order[i]) street_score += slot.score;
+      if (slot.edge == static_cast<traffic::EdgeId>(order[i])) {
+        street_score += slot.score;
+      }
     }
     streets.add_row({city.edge(order[i]).name, util::fmt(coverage[order[i]], 0),
                      util::fmt(street_score, 0)});
@@ -122,8 +124,8 @@ int main() {
       config.num_olevs = 50;
       config.num_sections = 30;
       config.pricing = pricing;
-      config.beta_lbmp = 0.0;  // sample the grid model's LBMP at this hour
-      config.hour_of_day = hour;
+      config.beta_lbmp = olev::util::Price::per_mwh(0.0);  // sample the grid model's LBMP at this hour
+      config.hour_of_day = olev::util::hours(hour);
       config.target_degree = 0.85;
       config.seed = 0xc17;
       specs.push_back(std::move(spec));

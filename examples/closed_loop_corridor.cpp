@@ -33,7 +33,7 @@ struct Outcome {
 Outcome run(bool scheduled) {
   const auto program = traffic::SignalProgram::fixed_cycle(35.0, 4.0, 31.0);
   traffic::Network net =
-      traffic::Network::arterial(2, 300.0, util::mph_to_mps(30.0), program, 2);
+      traffic::Network::arterial(2, 300.0, util::to_mps(util::mph(30.0)).value(), program, 2);
   traffic::SimulationConfig sim_config;
   sim_config.seed = 17;
   traffic::Simulation sim(std::move(net), sim_config);
@@ -45,7 +45,7 @@ Outcome run(bool scheduled) {
   wpt::ChargingSectionSpec spec;
   spec.length_m = 20.0;
   wpt::ChargingLane lane(
-      wpt::ChargingLane::evenly_spaced(0, 100.0, 300.0, 10, spec),
+      wpt::ChargingLane::evenly_spaced(0, olev::util::meters(100.0), olev::util::meters(300.0), 10, spec),
       wpt::ChargingLaneConfig{});
   sim.add_observer(&lane);
 
@@ -71,7 +71,8 @@ Outcome run(bool scheduled) {
       ++populated;
     }
   }
-  outcome.mean_welfare = populated > 0 ? welfare / populated : 0.0;
+  outcome.mean_welfare =
+      populated > 0 ? welfare / static_cast<double>(populated) : 0.0;
   return outcome;
 }
 

@@ -34,7 +34,7 @@ using namespace olev;
 traffic::Simulation make_corridor(std::uint64_t seed) {
   const auto program = traffic::SignalProgram::fixed_cycle(35.0, 4.0, 41.0);
   traffic::Network net =
-      traffic::Network::arterial(3, 300.0, util::mph_to_mps(30.0), program, 2);
+      traffic::Network::arterial(3, 300.0, util::to_mps(util::mph(30.0)).value(), program, 2);
   traffic::SimulationConfig config;
   config.seed = seed;
   traffic::Simulation sim(std::move(net), config);
@@ -60,8 +60,8 @@ int main() {
   // ---- 1. pilot scoring ----
   std::cout << "Pilot: scoring candidate slots over one rush hour...\n";
   traffic::Simulation pilot = make_corridor(101);
-  auto slots = wpt::enumerate_slots(pilot.network(), 20.0);
-  wpt::score_slots_by_occupancy(pilot, slots, 3600.0, /*olev_only=*/true);
+  auto slots = wpt::enumerate_slots(pilot.network(), olev::util::meters(20.0));
+  wpt::score_slots_by_occupancy(pilot, slots, olev::util::seconds(3600.0), /*olev_only=*/true);
 
   std::vector<wpt::CandidateSlot> ranked(slots.begin(), slots.end());
   std::stable_sort(ranked.begin(), ranked.end(),
@@ -101,7 +101,7 @@ int main() {
   const auto start = *city.find_edge("e0_0_0_1");
   const auto goal = *city.find_edge("e1_2_2_2");
   const auto plain = traffic::shortest_route(city, start, goal);
-  const auto bonus = wpt::charging_route_bonus(city, city_sections, 0.2);
+  const auto bonus = wpt::charging_route_bonus(city, city_sections, olev::util::SecondsPerMeter(0.2));
   const auto lured = traffic::shortest_route(city, start, goal, bonus);
 
   auto print_route = [&city](const char* label, const traffic::RouteResult& r) {
@@ -132,7 +132,7 @@ int main() {
     core::ScenarioConfig& config = spec.config;
     config.num_olevs = 30;
     config.num_sections = sections;
-    config.beta_lbmp = 16.0;
+    config.beta_lbmp = olev::util::Price::per_mwh(16.0);
     config.target_degree = 0.9;
     // Fix per-OLEV preferences across budgets so only capacity varies.
     config.calibration_players = 30;

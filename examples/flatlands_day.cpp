@@ -34,7 +34,7 @@ struct DayOutcome {
 DayOutcome run_day(double participation) {
   const auto program = traffic::SignalProgram::fixed_cycle(35.0, 4.0, 41.0);
   traffic::Network net =
-      traffic::Network::arterial(3, 300.0, util::mph_to_mps(30.0), program, 2);
+      traffic::Network::arterial(3, 300.0, util::to_mps(util::mph(30.0)).value(), program, 2);
   traffic::SimulationConfig sim_config;
   sim_config.seed = 20130131;  // the paper's NYCDOT trace date
   traffic::Simulation sim(std::move(net), sim_config);
@@ -52,7 +52,7 @@ DayOutcome run_day(double participation) {
   wpt::ChargingLaneConfig lane_config;
   lane_config.initial_soc = 0.5;
   wpt::ChargingLane lane(
-      wpt::ChargingLane::evenly_spaced(0, 100.0, 300.0, 10, spec), lane_config);
+      wpt::ChargingLane::evenly_spaced(0, olev::util::meters(100.0), olev::util::meters(300.0), 10, spec), lane_config);
   traffic::SegmentDetector detector(0, 100.0, 300.0, /*olev_only=*/true);
   sim.add_observer(&lane);
   sim.add_observer(&detector);

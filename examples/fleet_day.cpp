@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(file.get_int("fleet", "size", 40));
     config.num_sections =
         static_cast<std::size_t>(file.get_int("fleet", "sections", 15));
-    config.velocity_mph = file.get_double("fleet", "velocity_mph", 60.0);
+    config.velocity = olev::util::mph(file.get_double("fleet", "velocity_mph", 60.0));
     config.period_minutes = file.get_double("fleet", "period_minutes", 60.0);
     config.seed =
         static_cast<std::uint64_t>(file.get_int("fleet", "seed", 0xda7));

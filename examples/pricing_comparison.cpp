@@ -24,7 +24,7 @@ core::GameResult solve_hour(double beta, core::PricingKind pricing) {
   config.num_olevs = 30;
   config.num_sections = 12;
   config.pricing = pricing;
-  config.beta_lbmp = beta;
+  config.beta_lbmp = olev::util::Price::per_mwh(beta);
   config.target_degree = 0.7;
   config.seed = 0x70;
   const core::Scenario scenario = core::Scenario::build(config);

@@ -22,9 +22,9 @@ int main() {
   core::ScenarioConfig config;
   config.num_olevs = 10;
   config.num_sections = 8;
-  config.velocity_mph = 60.0;
+  config.velocity = olev::util::mph(60.0);
   config.pricing = core::PricingKind::kNonlinear;
-  config.beta_lbmp = 20.0;  // $/MWh; pass <= 0 to sample the NYISO-style model
+  config.beta_lbmp = olev::util::Price::per_mwh(20.0);  // $/MWh; pass <= 0 to sample the NYISO-style model
   config.target_degree = 0.6;
   config.seed = 7;
 

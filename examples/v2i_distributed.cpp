@@ -24,7 +24,7 @@ std::vector<core::PlayerSpec> make_players() {
   for (double w : weights) {
     core::PlayerSpec player;
     player.satisfaction = std::make_unique<core::LogSatisfaction>(w);
-    player.p_max = 60.0;
+    player.p_max = olev::util::kw(60.0);
     players.push_back(std::move(player));
   }
   return players;
@@ -33,7 +33,7 @@ std::vector<core::PlayerSpec> make_players() {
 core::SectionCost make_cost() {
   return core::SectionCost(
       std::make_unique<core::NonlinearPricing>(5.0, 0.875, 40.0),
-      core::OverloadCost{1.0}, 40.0);
+      core::OverloadCost{1.0}, olev::util::kw(40.0));
 }
 
 }  // namespace
@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
   }
 
   // Reference: the in-process game (no network).
-  core::Game reference(make_players(), make_cost(), 5, 50.0);
+  core::Game reference(make_players(), make_cost(), 5, olev::util::kw(50.0));
   const core::GameResult expected = reference.run();
 
   std::cout << "Running the decentralized V2I game at three loss rates...\n\n";
@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
     config.link.drop_probability = rate;
     config.retransmit_timeout_s = 0.15;
     const core::DistributedResult result = core::run_distributed_game(
-        make_players(), make_cost(), 5, 50.0, config);
+        make_players(), make_cost(), 5, olev::util::kw(50.0), config);
     table.add_row({util::fmt(rate, 2), result.converged ? "yes" : "no",
                    util::fmt(static_cast<double>(result.rounds), 0),
                    util::fmt(static_cast<double>(result.retransmissions), 0),

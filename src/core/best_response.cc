@@ -8,24 +8,25 @@
 namespace olev::core {
 
 double utility_derivative(const Satisfaction& u, const SectionCost& z,
-                          std::span<const double> others_load, double p) {
-  return u.derivative(p) - payment_derivative(z, others_load, p);
+                          std::span<const double> others_load, Kilowatts p) {
+  return u.derivative(p.value()) - payment_derivative(z, others_load, p);
 }
 
 double utility_derivative(const Satisfaction& u, const SectionCost& z,
-                          const SortedLoads& others_load, double p) {
-  return u.derivative(p) - payment_derivative(z, others_load, p);
+                          const SortedLoads& others_load, Kilowatts p) {
+  return u.derivative(p.value()) - payment_derivative(z, others_load, p);
 }
 
 BestResponse best_response(const Satisfaction& u, const SectionCost& z,
-                           std::span<const double> others_load, double p_max,
+                           std::span<const double> others_load, Kilowatts p_max,
                            const BestResponseOptions& options) {
   return best_response(u, z, SortedLoads(others_load), p_max, options);
 }
 
 BestResponse best_response(const Satisfaction& u, const SectionCost& z,
-                           const SortedLoads& others_load, double p_max,
+                           const SortedLoads& others_load, Kilowatts p_max_kw,
                            const BestResponseOptions& options) {
+  const double p_max = p_max_kw.value();
   if (p_max < 0.0) throw std::invalid_argument("best_response: negative p_max");
   OLEV_AUDIT_FINITE(p_max, "best_response: p_max");
   if (!z.strictly_convex()) {
@@ -36,13 +37,13 @@ BestResponse best_response(const Satisfaction& u, const SectionCost& z,
 
   BestResponse response;
 
-  const double f_at_zero = utility_derivative(u, z, others_load, 0.0);
+  const double f_at_zero = utility_derivative(u, z, others_load, Kilowatts{});
   if (f_at_zero <= 0.0 || p_max == 0.0) {
     // Marginal price at zero already exceeds marginal satisfaction.
     response.p_star = 0.0;
     response.kind = BestResponse::Case::kCornerZero;
   } else {
-    const double f_at_cap = utility_derivative(u, z, others_load, p_max);
+    const double f_at_cap = utility_derivative(u, z, others_load, p_max_kw);
     if (f_at_cap >= 0.0) {
       response.p_star = p_max;
       response.kind = BestResponse::Case::kCornerCap;
@@ -53,7 +54,7 @@ BestResponse best_response(const Satisfaction& u, const SectionCost& z,
       int it = 0;
       while (hi - lo > options.tolerance && it < options.max_iterations) {
         const double mid = 0.5 * (lo + hi);
-        if (utility_derivative(u, z, others_load, mid) > 0.0) {
+        if (utility_derivative(u, z, others_load, Kilowatts{mid}) > 0.0) {
           lo = mid;
         } else {
           hi = mid;
@@ -66,7 +67,7 @@ BestResponse best_response(const Satisfaction& u, const SectionCost& z,
     }
   }
 
-  response.allocation = others_load.fill(response.p_star);
+  response.allocation = others_load.fill(Kilowatts{response.p_star});
   response.payment =
       externality_payment(z, others_load.values(), response.allocation.row);
   response.utility = u.value(response.p_star) - response.payment;

@@ -35,21 +35,25 @@ struct BestResponseOptions {
 
 /// Solves Lemma IV.3 for one player.  `p_max` is P_OLEV_n (Eq. 2-3);
 /// `others_load` is b.  Requires a strictly convex section cost.
-BestResponse best_response(const Satisfaction& u, const SectionCost& z,
-                           std::span<const double> others_load, double p_max,
-                           const BestResponseOptions& options = {});
+[[nodiscard]] BestResponse best_response(const Satisfaction& u, const SectionCost& z,
+                                         std::span<const double> others_load,
+                                         Kilowatts p_max,
+                                         const BestResponseOptions& options = {});
 
 /// Hot-path variant against a pre-sorted b.  b is sorted once by the caller;
 /// every bisection step then finds the water level in O(log C) instead of
 /// O(C log C).  Bit-identical to the span overload (which delegates here).
-BestResponse best_response(const Satisfaction& u, const SectionCost& z,
-                           const SortedLoads& others_load, double p_max,
-                           const BestResponseOptions& options = {});
+[[nodiscard]] BestResponse best_response(const Satisfaction& u, const SectionCost& z,
+                                         const SortedLoads& others_load,
+                                         Kilowatts p_max,
+                                         const BestResponseOptions& options = {});
 
 /// F'_n(p): marginal utility of requesting one more unit of power.
-double utility_derivative(const Satisfaction& u, const SectionCost& z,
-                          std::span<const double> others_load, double p);
-double utility_derivative(const Satisfaction& u, const SectionCost& z,
-                          const SortedLoads& others_load, double p);
+[[nodiscard]] double utility_derivative(const Satisfaction& u, const SectionCost& z,
+                                        std::span<const double> others_load,
+                                        Kilowatts p);
+[[nodiscard]] double utility_derivative(const Satisfaction& u, const SectionCost& z,
+                                        const SortedLoads& others_load,
+                                        Kilowatts p);
 
 }  // namespace olev::core

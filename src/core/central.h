@@ -33,7 +33,7 @@ struct CentralResult {
 };
 
 /// Maximizes W over the feasible set.  `p_max` has one cap per player.
-CentralResult maximize_welfare(
+[[nodiscard]] CentralResult maximize_welfare(
     std::span<const std::unique_ptr<Satisfaction>> players,
     std::span<const double> p_max, const SectionCost& z, std::size_t sections,
     const CentralOptions& options = {});

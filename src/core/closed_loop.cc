@@ -16,11 +16,12 @@ ClosedLoopController::ClosedLoopController(wpt::ChargingLane& lane,
 void ClosedLoopController::on_step(const traffic::StepView& view) {
   if (view.time_s + 1e-9 < next_replan_s_) return;
   next_replan_s_ = view.time_s + config_.replan_period_s;
-  replan(view.time_s, view.vehicles);
+  replan(util::seconds(view.time_s), view.vehicles);
 }
 
-void ClosedLoopController::replan(double time_s,
+void ClosedLoopController::replan(util::Seconds time,
                                   std::span<const traffic::Vehicle> vehicles) {
+  const double time_s = time.value();
   const double hour = time_s / 3600.0;
   const double beta = day_.lbmp_at(hour);
 
@@ -58,10 +59,12 @@ void ClosedLoopController::replan(double time_s,
     return;
   }
 
-  SectionCost cost(paper_nonlinear_pricing(beta, config_.alpha, cap),
+  SectionCost cost(
+      paper_nonlinear_pricing(util::Price::per_mwh(beta), config_.alpha,
+                              util::kw(cap)),
                    OverloadCost{config_.overload_weight_scale * beta / 1000.0 /
                                 p_line},
-                   cap);
+      util::kw(cap));
   const double base_marginal = cost.derivative(0.5 * cap);
 
   std::vector<PlayerSpec> players;
@@ -74,14 +77,16 @@ void ClosedLoopController::replan(double time_s,
         1e-9, config_.demand_weight * base_marginal * p_line * (1.0 + deficit)));
     const double p_olev =
         wpt::p_olev_kw(config_.olev, candidate.soc, config_.soc_required);
-    player.p_max = std::min(p_olev, wpt::p_line_kw(spec, candidate.velocity_mps));
+    player.p_max = util::kw(std::min(
+        p_olev, wpt::p_line_kw(spec, util::mps(candidate.velocity_mps))));
     players.push_back(std::move(player));
   }
 
   GameConfig game_config = config_.game;
   game_config.seed =
       util::derive_seed(config_.seed, static_cast<std::uint64_t>(time_s));
-  Game game(std::move(players), cost, sections, p_line, game_config);
+  Game game(std::move(players), cost, sections, util::kw(p_line),
+            game_config);
   const GameResult result = game.run();
 
   record.converged = result.converged;

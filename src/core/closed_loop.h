@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/game.h"
+#include "util/quantity.h"
 #include "grid/nyiso_day.h"
 #include "traffic/detector.h"
 #include "wpt/charging_lane.h"
@@ -59,7 +60,7 @@ class ClosedLoopController : public traffic::StepObserver {
   std::size_t replan_count() const { return replans_.size(); }
 
  private:
-  void replan(double time_s, std::span<const traffic::Vehicle> vehicles);
+  void replan(util::Seconds time, std::span<const traffic::Vehicle> vehicles);
 
   wpt::ChargingLane& lane_;
   const grid::NyisoDay& day_;

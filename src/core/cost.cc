@@ -48,10 +48,10 @@ double OverloadCost::derivative(double y) const {
 }
 
 SectionCost::SectionCost(std::unique_ptr<CostPolicy> v, OverloadCost a,
-                         double cap_kw)
-    : v_(std::move(v)), a_(a), cap_kw_(cap_kw) {
+                         util::Kilowatts cap)
+    : v_(std::move(v)), a_(a), cap_kw_(cap.value()) {
   if (v_ == nullptr) throw std::invalid_argument("SectionCost: null cost policy");
-  if (cap_kw < 0.0) throw std::invalid_argument("SectionCost: negative capacity");
+  if (cap_kw_ < 0.0) throw std::invalid_argument("SectionCost: negative capacity");
 }
 
 SectionCost::SectionCost(const SectionCost& other)

@@ -10,6 +10,8 @@
 
 #include <memory>
 
+#include "util/quantity.h"
+
 namespace olev::core {
 
 /// Power charging cost V(.): convex, nondecreasing, V(0) finite.
@@ -72,7 +74,7 @@ struct OverloadCost {
 /// corridor: identical V, A and cap across sections).
 class SectionCost {
  public:
-  SectionCost(std::unique_ptr<CostPolicy> v, OverloadCost a, double cap_kw);
+  SectionCost(std::unique_ptr<CostPolicy> v, OverloadCost a, util::Kilowatts cap);
   SectionCost(const SectionCost& other);
   SectionCost& operator=(const SectionCost& other);
   SectionCost(SectionCost&&) noexcept = default;

@@ -15,7 +15,7 @@ double AgentProfile::admission_cap_kw() const {
   // Eq. (3) from beacon-visible state: the line limit at the announced
   // velocity and an upper bound on Eq. (2) demand (requirement at most
   // soc_max -- the policy ceiling caps any legitimate trip requirement).
-  const double line = wpt::p_line_kw(section, velocity_mps);
+  const double line = wpt::p_line_kw(section, util::mps(velocity_mps));
   const double battery_bound =
       wpt::p_olev_kw(olev, soc, olev.battery.soc_max);
   return std::min(line, battery_bound);
@@ -27,7 +27,8 @@ namespace {
 /// response; optionally beacons physical state and overstates demand.
 class OlevAgent {
  public:
-  OlevAgent(std::uint32_t player, const Satisfaction& satisfaction, double p_max,
+  OlevAgent(std::uint32_t player, const Satisfaction& satisfaction,
+            util::Kilowatts p_max,
             const SectionCost& cost, std::optional<AgentProfile> profile)
       : player_(player), satisfaction_(satisfaction.clone()), p_max_(p_max),
         cost_(cost), profile_(std::move(profile)) {}
@@ -51,7 +52,7 @@ class OlevAgent {
     if (announcement == nullptr || announcement->player != player_) return;
     // Duplicate payment functions (retransmissions) are re-answered: the
     // response is deterministic, so this is idempotent at the grid.
-    const double claimed_cap =
+    const util::Kilowatts claimed_cap =
         profile_ ? p_max_ * profile_->claim_factor : p_max_;
     const BestResponse response = best_response(
         *satisfaction_, cost_, announcement->others_load_kw, claimed_cap);
@@ -65,7 +66,7 @@ class OlevAgent {
  private:
   std::uint32_t player_;
   std::unique_ptr<Satisfaction> satisfaction_;
-  double p_max_;
+  util::Kilowatts p_max_;
   SectionCost cost_;
   std::optional<AgentProfile> profile_;
 };
@@ -108,7 +109,7 @@ class SmartGrid {
     const double previous = schedule_.row_total(player);
     const double admitted =
         std::clamp(request->total_kw, 0.0, caps_[player]);
-    const WaterFillResult allocation = water_fill(others, admitted);
+    const WaterFillResult allocation = water_fill(others, util::kw(admitted));
     schedule_.set_row(player, allocation.row);
 
     net::ScheduleMsg confirmation;
@@ -238,9 +239,10 @@ DistributedResult run_session(std::vector<PlayerSpec> players,
 
 DistributedResult run_distributed_game(std::vector<PlayerSpec> players,
                                        const SectionCost& cost,
-                                       std::size_t sections, double p_line_kw,
+                                       std::size_t sections,
+                                       util::Kilowatts p_line,
                                        const DistributedConfig& config) {
-  (void)p_line_kw;  // kept in the signature for symmetry with Game
+  (void)p_line;  // kept in the signature for symmetry with Game
   return run_session(std::move(players), nullptr, cost, sections, config);
 }
 

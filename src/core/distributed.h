@@ -44,10 +44,10 @@ struct DistributedResult {
 
 /// Runs the full decentralized game: one grid node plus one agent node per
 /// player, exchanging serialized messages over a lossy bus.
-DistributedResult run_distributed_game(std::vector<PlayerSpec> players,
-                                       const SectionCost& cost,
-                                       std::size_t sections, double p_line_kw,
-                                       const DistributedConfig& config = {});
+[[nodiscard]] DistributedResult run_distributed_game(
+    std::vector<PlayerSpec> players, const SectionCost& cost,
+    std::size_t sections, util::Kilowatts p_line,
+    const DistributedConfig& config = {});
 
 /// Physical profile an OLEV announces via V2I beacons (Section IV-A: OLEVs
 /// "inform their current positions and velocities"; the grid derives the
@@ -73,9 +73,9 @@ struct AgentProfile {
 /// request is clamped to its cap before scheduling.  Overstated demand
 /// (claim_factor > 1) is therefore neutralized at the grid -- the fleet's
 /// schedule stays physical no matter what an individual agent claims.
-DistributedResult run_v2i_session(std::vector<PlayerSpec> players,
-                                  const std::vector<AgentProfile>& profiles,
-                                  const SectionCost& cost, std::size_t sections,
-                                  const DistributedConfig& config = {});
+[[nodiscard]] DistributedResult run_v2i_session(
+    std::vector<PlayerSpec> players, const std::vector<AgentProfile>& profiles,
+    const SectionCost& cost, std::size_t sections,
+    const DistributedConfig& config = {});
 
 }  // namespace olev::core

@@ -24,8 +24,8 @@ FleetDayConfig::FleetDayConfig() {
 FleetDayResult run_fleet_day(const FleetDayConfig& config,
                              const grid::NyisoDay& day) {
   util::Rng rng(config.seed);
-  const double velocity_mps = util::mph_to_mps(config.velocity_mph);
-  const double p_line = wpt::p_line_kw(config.section, velocity_mps);
+  const util::MetersPerSecond velocity = util::to_mps(config.velocity);
+  const double p_line = wpt::p_line_kw(config.section, velocity);
   const double cap = config.eta * p_line;
   const double period_h = config.period_minutes / 60.0;
 
@@ -42,7 +42,7 @@ FleetDayResult run_fleet_day(const FleetDayConfig& config,
   }
 
   // Per-OLEV driving drain for one active period.
-  const double distance_km_per_period = util::mps_to_kmh(velocity_mps) *
+  const double distance_km_per_period = util::mps_to_kmh(velocity.value()) *
                                         period_h * config.driving_duty;
   const double drain_kwh = distance_km_per_period *
                            config.olev.consumption_kwh_per_km /
@@ -68,10 +68,12 @@ FleetDayResult run_fleet_day(const FleetDayConfig& config,
 
     if (!active.empty()) {
       // Build the period's cost and players from live battery state.
-      SectionCost cost(paper_nonlinear_pricing(beta, config.alpha, cap),
+      SectionCost cost(
+          paper_nonlinear_pricing(util::Price::per_mwh(beta), config.alpha,
+                                  util::kw(cap)),
                        OverloadCost{config.overload_weight_scale * beta /
                                     1000.0 / p_line},
-                       cap);
+          util::kw(cap));
       const double base_marginal = cost.derivative(0.5 * cap);
 
       std::vector<PlayerSpec> players;
@@ -93,14 +95,14 @@ FleetDayResult run_fleet_day(const FleetDayConfig& config,
         const double p_accept =
             olev.battery.headroom_kwh() /
             std::max(1e-9, period_h * config.section.transfer_efficiency);
-        player.p_max = std::min({p_olev, p_line, p_accept});
+        player.p_max = util::kw(std::min({p_olev, p_line, p_accept}));
         players.push_back(std::move(player));
       }
 
       GameConfig game_config = config.game;
       game_config.seed = util::derive_seed(config.seed, period);
-      Game game(std::move(players), cost, config.num_sections, p_line,
-                game_config);
+      Game game(std::move(players), cost, config.num_sections,
+                util::kw(p_line), game_config);
       const GameResult outcome = game.run();
 
       record.converged = outcome.converged;
@@ -110,7 +112,7 @@ FleetDayResult run_fleet_day(const FleetDayConfig& config,
         FleetOlev& olev = result.fleet[active[i]];
         const double grid_kwh = outcome.requests[i] * period_h;
         const double accepted = olev.battery.charge_kwh(
-            grid_kwh * config.section.transfer_efficiency);
+            util::kwh(grid_kwh * config.section.transfer_efficiency));
         olev.energy_received_kwh += accepted;
         record.energy_kwh += accepted;
         const double paid = outcome.payments[i] * period_h;
@@ -123,7 +125,7 @@ FleetDayResult run_fleet_day(const FleetDayConfig& config,
     // Driving drain for everyone who was on the road.
     for (std::size_t n : active) {
       FleetOlev& olev = result.fleet[n];
-      olev.energy_driven_kwh += olev.battery.discharge_kwh(drain_kwh);
+      olev.energy_driven_kwh += olev.battery.discharge_kwh(util::kwh(drain_kwh));
     }
 
     result.total_energy_kwh += record.energy_kwh;

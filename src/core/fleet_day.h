@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/game.h"
+#include "util/quantity.h"
 #include "grid/nyiso_day.h"
 #include "wpt/battery.h"
 #include "wpt/charging_section.h"
@@ -38,7 +39,7 @@ struct FleetOlev {
 struct FleetDayConfig {
   std::size_t fleet_size = 40;
   std::size_t num_sections = 15;
-  double velocity_mph = 60.0;
+  util::MilesPerHour velocity{60.0};
   double alpha = 0.875;
   double eta = 0.9;
   double overload_weight_scale = 25.0;
@@ -79,7 +80,7 @@ struct FleetDayResult {
 };
 
 /// Runs the full day.  Deterministic for a fixed config seed and grid day.
-FleetDayResult run_fleet_day(const FleetDayConfig& config,
+[[nodiscard]] FleetDayResult run_fleet_day(const FleetDayConfig& config,
                              const grid::NyisoDay& day);
 
 }  // namespace olev::core

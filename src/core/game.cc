@@ -11,11 +11,11 @@
 namespace olev::core {
 
 Game::Game(std::vector<PlayerSpec> players, SectionCost cost,
-           std::size_t sections, double p_line_kw, GameConfig config)
+           std::size_t sections, util::Kilowatts p_line, GameConfig config)
     : players_(std::move(players)),
       cost_(std::move(cost)),
       sections_(sections),
-      p_line_kw_(p_line_kw),
+      p_line_kw_(p_line.value()),
       config_(config),
       schedule_(players_.size(), sections),
       column_totals_(sections, 0.0),
@@ -27,7 +27,8 @@ Game::Game(std::vector<PlayerSpec> players, SectionCost cost,
     if (player.satisfaction == nullptr) {
       throw std::invalid_argument("Game: player without satisfaction function");
     }
-    if (player.p_max < 0.0) throw std::invalid_argument("Game: negative p_max");
+    if (player.p_max.value() < 0.0)
+      throw std::invalid_argument("Game: negative p_max");
     if (!player.allowed_sections.empty()) {
       if (player.allowed_sections.size() != sections_) {
         throw std::invalid_argument("Game: allowed_sections length mismatch");
@@ -35,7 +36,7 @@ Game::Game(std::vector<PlayerSpec> players, SectionCost cost,
       if (std::none_of(player.allowed_sections.begin(),
                        player.allowed_sections.end(),
                        [](bool allowed) { return allowed; }) &&
-          player.p_max > 0.0) {
+          player.p_max.value() > 0.0) {
         throw std::invalid_argument(
             "Game: player with positive cap but no admissible section");
       }
@@ -146,7 +147,7 @@ double Game::update_waterfill(std::size_t player,
                          std::to_string(response.payment) + " for player " +
                          std::to_string(player));
     OLEV_AUDIT_CHECK(response.p_star >= 0.0 &&
-                         response.p_star <= players_[player].p_max + 1e-12,
+                         response.p_star <= players_[player].p_max.value() + 1e-12,
                      "update_waterfill: best response " +
                          std::to_string(response.p_star) +
                          " outside [0, p_max]");
@@ -190,7 +191,7 @@ double Game::update_greedy(std::size_t player,
   // incentive exists under a flat unit price).
   const double beta = cost_.pricing().derivative(0.0);
   const Satisfaction& u = *players_[player].satisfaction;
-  const double p_max = players_[player].p_max;
+  const double p_max = players_[player].p_max.value();
   double p_star;
   if (u.derivative(0.0) <= beta) {
     p_star = 0.0;
@@ -275,7 +276,7 @@ double Game::current_welfare() const {
 }
 
 CongestionReport Game::current_congestion() const {
-  return congestion_report(schedule_, p_line_kw_);
+  return congestion_report(schedule_, util::Kilowatts{p_line_kw_});
 }
 
 GameResult Game::run(bool warm_start) {
@@ -393,7 +394,7 @@ GameResult Game::finalize(bool converged, std::size_t updates,
     welfare -= cost_.value(load) - idle_cost;
   }
   result.welfare = welfare;
-  result.congestion = congestion_report(schedule_, p_line_kw_);
+  result.congestion = congestion_report(schedule_, util::Kilowatts{p_line_kw_});
   return result;
 }
 

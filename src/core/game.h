@@ -27,13 +27,14 @@
 #include "core/satisfaction.h"
 #include "core/schedule.h"
 #include "core/welfare.h"
+#include "util/quantity.h"
 #include "util/rng.h"
 
 namespace olev::core {
 
 struct PlayerSpec {
   std::unique_ptr<Satisfaction> satisfaction;
-  double p_max = 0.0;  ///< P_OLEV_n of Eq. (2)-(3)
+  util::Kilowatts p_max{};  ///< P_OLEV_n of Eq. (2)-(3)
   /// Sections this OLEV can physically draw from (its planned path).
   /// Empty = all sections.  Must have `sections` entries otherwise.
   std::vector<bool> allowed_sections;
@@ -90,10 +91,10 @@ struct GameResult {
 
 class Game {
  public:
-  /// `p_line_kw` is the (uniform) raw line capacity used for congestion
+  /// `p_line` is the (uniform) raw line capacity used for congestion
   /// normalization; the safety cap eta*P_line lives inside `cost`.
   Game(std::vector<PlayerSpec> players, SectionCost cost, std::size_t sections,
-       double p_line_kw, GameConfig config = {});
+       util::Kilowatts p_line, GameConfig config = {});
 
   std::size_t players() const { return players_.size(); }
   std::size_t sections() const { return sections_; }
@@ -109,7 +110,7 @@ class Game {
 
   /// Runs to convergence (or max_updates); resets the schedule first unless
   /// `warm_start`.
-  GameResult run(bool warm_start = false);
+  [[nodiscard]] GameResult run(bool warm_start = false);
 
   /// Metrics snapshot of the current schedule.
   double current_welfare() const;

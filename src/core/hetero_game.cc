@@ -26,7 +26,7 @@ HeteroGame::HeteroGame(std::vector<PlayerSpec> players,
     }
   }
   for (const PlayerSpec& player : players_) {
-    if (player.satisfaction == nullptr || player.p_max < 0.0) {
+    if (player.satisfaction == nullptr || player.p_max.value() < 0.0) {
       throw std::invalid_argument("HeteroGame: bad player spec");
     }
     if (!player.allowed_sections.empty()) {
@@ -52,11 +52,11 @@ double HeteroGame::update_player(std::size_t player) {
   const auto others = others_load(player);
   const double previous = schedule_.row_total(player);
   const Satisfaction& u = *players_[player].satisfaction;
-  const double p_max = players_[player].p_max;
+  const double p_max = players_[player].p_max.value();
 
   // Psi'(p) = rho*(p): marginal price of the generalized fill at total p.
   auto marginal_at = [&](double total) {
-    return generalized_fill(cost_pointers_, others, total).marginal;
+    return generalized_fill(cost_pointers_, others, util::kw(total)).marginal;
   };
 
   double p_star;
@@ -79,7 +79,7 @@ double HeteroGame::update_player(std::size_t player) {
   }
 
   const GeneralizedFillResult fill =
-      generalized_fill(cost_pointers_, others, p_star);
+      generalized_fill(cost_pointers_, others, util::kw(p_star));
   schedule_.set_row(player, fill.row);
   for (std::size_t c = 0; c < column_totals_.size(); ++c) {
     column_totals_[c] = others[c] + fill.row[c];

@@ -49,7 +49,7 @@ class HeteroGame {
   /// One asynchronous update for `player`; returns |delta p_n|.
   double update_player(std::size_t player);
 
-  HeteroGameResult run();
+  [[nodiscard]] HeteroGameResult run();
 
  private:
   std::vector<double> others_load(std::size_t player) const;

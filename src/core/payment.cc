@@ -26,30 +26,30 @@ double externality_payment(const SectionCost& z,
 }
 
 double payment_of_total(const SectionCost& z,
-                        std::span<const double> others_load, double total) {
+                        std::span<const double> others_load, Kilowatts total) {
   const WaterFillResult allocation = water_fill(others_load, total);
   return externality_payment(z, others_load, allocation.row);
 }
 
 double payment_derivative(const SectionCost& z,
-                          std::span<const double> others_load, double total) {
+                          std::span<const double> others_load, Kilowatts total) {
   const WaterFillResult allocation = water_fill(others_load, total);
   return z.derivative(allocation.level);
 }
 
 double payment_of_total(const SectionCost& z, const SortedLoads& others_load,
-                        double total) {
+                        Kilowatts total) {
   const WaterFillResult allocation = others_load.fill(total);
   return externality_payment(z, others_load.values(), allocation.row);
 }
 
 double payment_derivative(const SectionCost& z, const SortedLoads& others_load,
-                          double total) {
+                          Kilowatts total) {
   return z.derivative(others_load.level_for(total));
 }
 
 PaymentQuote quote_payment(const SectionCost& z,
-                           std::span<const double> others_load, double total) {
+                           std::span<const double> others_load, Kilowatts total) {
   PaymentQuote quote;
   quote.allocation = water_fill(others_load, total);
   quote.payment = externality_payment(z, others_load, quote.allocation.row);

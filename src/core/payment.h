@@ -19,34 +19,41 @@
 
 namespace olev::core {
 
-/// xi_n for an explicit row allocation (Eq. 9).
-double externality_payment(const SectionCost& z, std::span<const double> others_load,
-                           std::span<const double> row);
+/// xi_n for an explicit row allocation (Eq. 9).  Returns $/h in raw Rep
+/// (Psi_n is a payment *rate*: the row is sustained power in kW).
+[[nodiscard]] double externality_payment(const SectionCost& z,
+                                         std::span<const double> others_load,
+                                         std::span<const double> row);
 
 /// The announced payment function Psi_n evaluated at a scalar request:
 /// water-fills `total` against `others_load`, then charges the externality.
-double payment_of_total(const SectionCost& z, std::span<const double> others_load,
-                        double total);
+[[nodiscard]] double payment_of_total(const SectionCost& z,
+                                      std::span<const double> others_load,
+                                      Kilowatts total);
 
 /// Psi_n'(total) = Z'(lambda*(total)) (envelope theorem).  For total = 0 the
 /// right derivative Z'(min_c b_c) is returned.
-double payment_derivative(const SectionCost& z, std::span<const double> others_load,
-                          double total);
+[[nodiscard]] double payment_derivative(const SectionCost& z,
+                                        std::span<const double> others_load,
+                                        Kilowatts total);
 
 /// Hot-path variants against a pre-sorted b: the water level costs O(log C)
 /// instead of O(C log C) per evaluation.  Results are bit-identical to the
 /// span overloads.
-double payment_of_total(const SectionCost& z, const SortedLoads& others_load,
-                        double total);
-double payment_derivative(const SectionCost& z, const SortedLoads& others_load,
-                          double total);
+[[nodiscard]] double payment_of_total(const SectionCost& z,
+                                      const SortedLoads& others_load,
+                                      Kilowatts total);
+[[nodiscard]] double payment_derivative(const SectionCost& z,
+                                        const SortedLoads& others_load,
+                                        Kilowatts total);
 
 /// Convenience bundle when both the value and the allocation are needed.
 struct PaymentQuote {
   double payment = 0.0;
   WaterFillResult allocation;
 };
-PaymentQuote quote_payment(const SectionCost& z, std::span<const double> others_load,
-                           double total);
+[[nodiscard]] PaymentQuote quote_payment(const SectionCost& z,
+                                         std::span<const double> others_load,
+                                         Kilowatts total);
 
 }  // namespace olev::core

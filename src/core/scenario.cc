@@ -9,17 +9,19 @@
 
 namespace olev::core {
 
-std::unique_ptr<CostPolicy> paper_nonlinear_pricing(double beta_lbmp,
-                                                    double alpha, double cap_kw) {
+std::unique_ptr<CostPolicy> paper_nonlinear_pricing(util::DollarsPerMwh beta_lbmp,
+                                                    double alpha,
+                                                    util::Kilowatts cap) {
   // V(x) = beta_eff (alpha + x/cap)^2 with beta_eff chosen so that
   // V'(0.5 * cap) = beta_lbmp / 1000  [$ per kWh per hour == $/h per kW].
+  const double cap_kw = cap.value();
   const double beta_eff =
-      beta_lbmp / 1000.0 * cap_kw / (2.0 * (alpha + 0.5));
+      beta_lbmp.value() / 1000.0 * cap_kw / (2.0 * (alpha + 0.5));
   return std::make_unique<NonlinearPricing>(beta_eff, alpha, cap_kw);
 }
 
-std::unique_ptr<CostPolicy> paper_linear_pricing(double beta_lbmp) {
-  return std::make_unique<LinearPricing>(beta_lbmp / 1000.0);
+std::unique_ptr<CostPolicy> paper_linear_pricing(util::DollarsPerMwh beta_lbmp) {
+  return std::make_unique<LinearPricing>(beta_lbmp.value() / 1000.0);
 }
 
 Scenario Scenario::build(const ScenarioConfig& config) {
@@ -29,24 +31,25 @@ Scenario Scenario::build(const ScenarioConfig& config) {
   Scenario scenario;
   scenario.config_ = config;
 
-  const double velocity_mps = util::mph_to_mps(config.velocity_mph);
-  scenario.p_line_kw_ = wpt::p_line_kw(config.section, velocity_mps);
+  const util::MetersPerSecond velocity = util::to_mps(config.velocity);
+  scenario.p_line_kw_ = wpt::p_line_kw(config.section, velocity);
   scenario.cap_kw_ = config.eta * scenario.p_line_kw_;
 
-  scenario.beta_lbmp_ = config.beta_lbmp;
+  scenario.beta_lbmp_ = config.beta_lbmp.value();
   if (scenario.beta_lbmp_ <= 0.0) {
     const auto day = grid::NyisoDay::generate();
-    scenario.beta_lbmp_ = day.lbmp_at(config.hour_of_day);
+    scenario.beta_lbmp_ = day.lbmp_at(config.hour_of_day.value());
   }
 
-  auto pricing =
-      config.pricing == PricingKind::kNonlinear
-          ? paper_nonlinear_pricing(scenario.beta_lbmp_, config.alpha,
-                                    scenario.cap_kw_)
-          : paper_linear_pricing(scenario.beta_lbmp_);
+  const auto beta = util::Price::per_mwh(scenario.beta_lbmp_);
+  auto pricing = config.pricing == PricingKind::kNonlinear
+                     ? paper_nonlinear_pricing(beta, config.alpha,
+                                               util::kw(scenario.cap_kw_))
+                     : paper_linear_pricing(beta);
   OverloadCost overload{config.overload_weight_scale * scenario.beta_lbmp_ /
                         1000.0 / scenario.p_line_kw_};
-  scenario.cost_.emplace(std::move(pricing), overload, scenario.cap_kw_);
+  scenario.cost_.emplace(std::move(pricing), overload,
+                         util::kw(scenario.cap_kw_));
 
   // Per-player physical caps P_OLEV_n from Eq. (2): heterogeneous SOC and
   // trip requirements.
@@ -91,15 +94,15 @@ Game Scenario::make_game() const {
   for (std::size_t n = 0; n < p_max_.size(); ++n) {
     PlayerSpec player;
     player.satisfaction = std::make_unique<LogSatisfaction>(weights_[n]);
-    player.p_max = p_max_[n];
+    player.p_max = util::kw(p_max_[n]);
     players.push_back(std::move(player));
   }
   GameConfig game_config = config_.game;
   if (config_.pricing == PricingKind::kLinear) {
     game_config.scheduler = SchedulerKind::kGreedy;
   }
-  return Game(std::move(players), *cost_, config_.num_sections, p_line_kw_,
-              game_config);
+  return Game(std::move(players), *cost_, config_.num_sections,
+              util::kw(p_line_kw_), game_config);
 }
 
 std::vector<std::unique_ptr<Satisfaction>> Scenario::clone_satisfactions() const {

@@ -17,6 +17,7 @@
 
 #include "core/game.h"
 #include "grid/nyiso_day.h"
+#include "util/quantity.h"
 #include "wpt/charging_section.h"
 #include "wpt/olev.h"
 
@@ -27,11 +28,12 @@ enum class PricingKind { kNonlinear, kLinear };
 struct ScenarioConfig {
   std::size_t num_olevs = 50;
   std::size_t num_sections = 100;
-  double velocity_mph = 60.0;
+  util::MilesPerHour velocity{60.0};
   PricingKind pricing = PricingKind::kNonlinear;
   double alpha = 0.875;           ///< the paper's alpha
-  double beta_lbmp = 0.0;         ///< $/MWh; <= 0 means "sample the grid model"
-  double hour_of_day = 17.0;      ///< hour whose LBMP supplies beta
+  /// <= 0 means "sample the grid model".
+  util::DollarsPerMwh beta_lbmp{};
+  util::Hours hour_of_day{17.0};  ///< hour whose LBMP supplies beta
   double eta = 0.9;               ///< safety factor (Eq. 4)
   double target_degree = 0.9;     ///< desired congestion degree (demand level)
   double demand_diversity = 0.2;  ///< +/- spread on satisfaction weights
@@ -83,8 +85,9 @@ class Scenario {
 /// The normalized pricing policies used by Scenario (exposed for tests):
 /// nonlinear Z'(x) = (beta/1000)(alpha + x/cap)/(alpha + 0.5), so the
 /// marginal price crosses the LBMP exactly at congestion degree 0.5.
-std::unique_ptr<CostPolicy> paper_nonlinear_pricing(double beta_lbmp, double alpha,
-                                                    double cap_kw);
-std::unique_ptr<CostPolicy> paper_linear_pricing(double beta_lbmp);
+[[nodiscard]] std::unique_ptr<CostPolicy> paper_nonlinear_pricing(
+    util::DollarsPerMwh beta_lbmp, double alpha, util::Kilowatts cap);
+[[nodiscard]] std::unique_ptr<CostPolicy> paper_linear_pricing(
+    util::DollarsPerMwh beta_lbmp);
 
 }  // namespace olev::core

@@ -8,7 +8,10 @@
 
 namespace olev::core {
 
-double follower_reaction(const Satisfaction& u, double price, double p_max) {
+double follower_reaction(const Satisfaction& u, util::DollarsPerKwh price_per_kwh,
+                         util::Kilowatts p_max_kw) {
+  const double price = price_per_kwh.value();
+  const double p_max = p_max_kw.value();
   if (p_max <= 0.0) return 0.0;
   if (u.derivative(0.0) <= price) return 0.0;     // too expensive: opt out
   if (u.derivative(p_max) >= price) return p_max;  // cap binds
@@ -47,7 +50,8 @@ StackelbergResult solve_stackelberg(
   auto total_demand = [&](double price) {
     double demand = 0.0;
     for (std::size_t n = 0; n < players.size(); ++n) {
-      demand += follower_reaction(*players[n], price, p_max[n]);
+      demand += follower_reaction(*players[n], util::DollarsPerKwh{price},
+                                  util::Kilowatts{p_max[n]});
     }
     return demand;
   };
@@ -64,7 +68,8 @@ StackelbergResult solve_stackelberg(
   result.requests.reserve(players.size());
   for (std::size_t n = 0; n < players.size(); ++n) {
     result.requests.push_back(
-        follower_reaction(*players[n], result.price, p_max[n]));
+        follower_reaction(*players[n], util::DollarsPerKwh{result.price},
+                          util::Kilowatts{p_max[n]}));
     result.total_power += result.requests.back();
   }
   result.revenue = result.price * result.total_power;

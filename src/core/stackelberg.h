@@ -21,6 +21,7 @@
 #include "core/cost.h"
 #include "core/satisfaction.h"
 #include "core/schedule.h"
+#include "util/quantity.h"
 
 namespace olev::core {
 
@@ -40,14 +41,18 @@ struct StackelbergResult {
   double welfare = 0.0;         ///< social welfare of the outcome (Eq. 7)
 };
 
-/// Follower best response to a posted unit price.
-double follower_reaction(const Satisfaction& u, double price, double p_max);
+/// Follower best response to a posted unit price ($/kWh against the
+/// per-kWh satisfaction U_n).  Returns the reaction in kW (raw solver
+/// Rep, like the request vectors).
+[[nodiscard]] double follower_reaction(const Satisfaction& u,
+                                       util::DollarsPerKwh price,
+                                       util::Kilowatts p_max);
 
 /// Solves the leader's revenue maximization and evaluates the outcome's
 /// social welfare under section cost `z` with `sections` symmetric
 /// sections (the leader splits demand evenly -- the most charitable
 /// allocation for the baseline).
-StackelbergResult solve_stackelberg(
+[[nodiscard]] StackelbergResult solve_stackelberg(
     std::span<const std::unique_ptr<Satisfaction>> players,
     std::span<const double> p_max, const SectionCost& z, std::size_t sections,
     const StackelbergOptions& options = {});

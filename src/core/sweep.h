@@ -48,12 +48,13 @@ struct SweepResult {
 };
 
 /// Solves one spec serially (the unit of work run_sweep fans out).
-SweepResult solve_scenario(const ScenarioSpec& spec, std::size_t index = 0);
+[[nodiscard]] SweepResult solve_scenario(const ScenarioSpec& spec,
+                                         std::size_t index = 0);
 
 /// Solves every spec across the pool; results are ordered like `specs`.
 /// The first exception thrown by any scenario is rethrown after all
 /// scenarios finish.
-std::vector<SweepResult> run_sweep(const std::vector<ScenarioSpec>& specs,
-                                   const SweepConfig& config = {});
+[[nodiscard]] std::vector<SweepResult> run_sweep(
+    const std::vector<ScenarioSpec>& specs, const SweepConfig& config = {});
 
 }  // namespace olev::core

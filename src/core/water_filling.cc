@@ -61,7 +61,9 @@ void audit_fill(std::span<const double> others_load, double total,
 
 }  // namespace
 
-double water_fill_volume(std::span<const double> others_load, double level) {
+double water_fill_volume(std::span<const double> others_load,
+                         Kilowatts level_kw) {
+  const double level = level_kw.value();
   double volume = 0.0;
   for (double b : others_load) volume += std::max(0.0, level - b);
   return volume;
@@ -147,7 +149,8 @@ void SortedLoads::update_one(std::size_t index, double new_value) {
   rebuild_prefix(std::min(erased, inserted));
 }
 
-double SortedLoads::level_for(double total) const {
+double SortedLoads::level_for(Kilowatts total_kw) const {
+  const double total = total_kw.value();
   if (values_.empty()) {
     throw std::invalid_argument("SortedLoads: need at least one section");
   }
@@ -156,8 +159,9 @@ double SortedLoads::level_for(double total) const {
   return level_from_sorted(sorted_, prefix_, total);
 }
 
-WaterFillResult SortedLoads::fill(double total) const {
-  const double level = level_for(total);
+WaterFillResult SortedLoads::fill(Kilowatts total_kw) const {
+  const double total = total_kw.value();
+  const double level = level_for(total_kw);
   if (total == 0.0) {
     WaterFillResult result;
     result.level = level;
@@ -170,7 +174,9 @@ WaterFillResult SortedLoads::fill(double total) const {
   return result;
 }
 
-WaterFillResult water_fill(std::span<const double> others_load, double total) {
+WaterFillResult water_fill(std::span<const double> others_load,
+                           Kilowatts total_kw) {
+  const double total = total_kw.value();
   if (others_load.empty()) {
     throw std::invalid_argument("water_fill: need at least one section");
   }
@@ -198,7 +204,9 @@ WaterFillResult water_fill(std::span<const double> others_load, double total) {
 }
 
 WaterFillResult water_fill_masked(std::span<const double> others_load,
-                                  double total, const std::vector<bool>& mask) {
+                                  Kilowatts total_kw,
+                                  const std::vector<bool>& mask) {
+  const double total = total_kw.value();
   if (mask.size() != others_load.size()) {
     throw std::invalid_argument("water_fill_masked: mask length mismatch");
   }
@@ -220,7 +228,7 @@ WaterFillResult water_fill_masked(std::span<const double> others_load,
     empty.row.assign(others_load.size(), 0.0);
     return empty;
   }
-  WaterFillResult inner = water_fill(subset, total);
+  WaterFillResult inner = water_fill(subset, total_kw);
   WaterFillResult result;
   result.level = inner.level;
   result.active_sections = inner.active_sections;
@@ -244,7 +252,8 @@ WaterFillResult water_fill_masked(std::span<const double> others_load,
 }
 
 WaterFillResult water_fill_bisect(std::span<const double> others_load,
-                                  double total, double tolerance) {
+                                  Kilowatts total_kw, double tolerance) {
+  const double total = total_kw.value();
   if (others_load.empty()) {
     throw std::invalid_argument("water_fill_bisect: need at least one section");
   }
@@ -264,7 +273,7 @@ WaterFillResult water_fill_bisect(std::span<const double> others_load,
   int iterations = 0;
   while (hi - lo > tolerance && iterations < 200) {
     const double mid = 0.5 * (lo + hi);
-    if (water_fill_volume(others_load, mid) < total) {
+    if (water_fill_volume(others_load, Kilowatts{mid}) < total) {
       lo = mid;
     } else {
       hi = mid;
@@ -295,7 +304,9 @@ WaterFillResult water_fill_bisect(std::span<const double> others_load,
 
 GeneralizedFillResult generalized_fill(
     std::span<const SectionCost* const> section_costs,
-    std::span<const double> others_load, double total, double tolerance) {
+    std::span<const double> others_load, Kilowatts total_kw,
+    double tolerance) {
+  const double total = total_kw.value();
   if (section_costs.size() != others_load.size() || section_costs.empty()) {
     throw std::invalid_argument("generalized_fill: shape mismatch or empty");
   }

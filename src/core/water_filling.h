@@ -17,7 +17,15 @@
 #include <span>
 #include <vector>
 
+#include "util/quantity.h"
+
 namespace olev::core {
+
+/// Scalar power requests and water levels are strongly typed (kW).  The
+/// other-load vectors b stay spans of raw `double` *in kW*: they are the
+/// solvers' inner representation (see util/quantity.h's preamble), and the
+/// per-section rows in the results likewise.
+using util::Kilowatts;
 
 struct WaterFillResult {
   double level = 0.0;           ///< lambda*
@@ -27,14 +35,17 @@ struct WaterFillResult {
 };
 
 /// Exact sort-based water-filling.  `others_load` is b; `total` is p_n >= 0.
-WaterFillResult water_fill(std::span<const double> others_load, double total);
+[[nodiscard]] WaterFillResult water_fill(std::span<const double> others_load,
+                                         Kilowatts total);
 
 /// Bisection on Y(lambda) - total = 0 (Section IV-F's method).
-WaterFillResult water_fill_bisect(std::span<const double> others_load,
-                                  double total, double tolerance = 1e-10);
+[[nodiscard]] WaterFillResult water_fill_bisect(std::span<const double> others_load,
+                                                Kilowatts total,
+                                                double tolerance = 1e-10);
 
 /// Y(x) = sum_c [x - b_c]^+, the strictly increasing function of Eq. (24).
-double water_fill_volume(std::span<const double> others_load, double level);
+[[nodiscard]] double water_fill_volume(std::span<const double> others_load,
+                                       Kilowatts level);
 
 /// Masked variant: water-fills `total` over only the sections with
 /// mask[c] == true (the sections on the OLEV's planned path -- Section
@@ -42,8 +53,9 @@ double water_fill_volume(std::span<const double> others_load, double level);
 /// actually traverse).  Unmasked sections receive exactly 0.  Lemma IV.1
 /// holds verbatim on the masked subset.  Requires at least one masked
 /// section when total > 0.
-WaterFillResult water_fill_masked(std::span<const double> others_load,
-                                  double total, const std::vector<bool>& mask);
+[[nodiscard]] WaterFillResult water_fill_masked(std::span<const double> others_load,
+                                                Kilowatts total,
+                                                const std::vector<bool>& mask);
 
 /// A pre-sorted view of an others-load vector b for repeated water-fill
 /// queries against the same (or nearly the same) b.
@@ -76,9 +88,9 @@ class SortedLoads {
   const std::vector<double>& values() const { return values_; }
 
   /// lambda* for the given total; bit-identical to water_fill().level.
-  double level_for(double total) const;
+  [[nodiscard]] double level_for(Kilowatts total) const;
   /// Full allocation at `total`; bit-identical to water_fill().
-  WaterFillResult fill(double total) const;
+  [[nodiscard]] WaterFillResult fill(Kilowatts total) const;
 
  private:
   void rebuild_prefix(std::size_t from);
@@ -108,8 +120,9 @@ struct GeneralizedFillResult {
   int iterations = 0;
 };
 class SectionCost;  // cost.h
-GeneralizedFillResult generalized_fill(
+[[nodiscard]] GeneralizedFillResult generalized_fill(
     std::span<const SectionCost* const> section_costs,
-    std::span<const double> others_load, double total, double tolerance = 1e-9);
+    std::span<const double> others_load, Kilowatts total,
+    double tolerance = 1e-9);
 
 }  // namespace olev::core

@@ -36,7 +36,8 @@ double total_payments(const SectionCost& z, const PowerSchedule& schedule) {
 }
 
 CongestionReport congestion_report(const PowerSchedule& schedule,
-                                   double p_line_kw) {
+                                   util::Kilowatts p_line) {
+  const double p_line_kw = p_line.value();
   if (p_line_kw <= 0.0) {
     throw std::invalid_argument("congestion_report: p_line must be positive");
   }

@@ -15,6 +15,7 @@
 #include "core/cost.h"
 #include "core/satisfaction.h"
 #include "core/schedule.h"
+#include "util/quantity.h"
 
 namespace olev::core {
 
@@ -39,6 +40,7 @@ struct CongestionReport {
 
 /// Congestion degrees for a schedule given the raw line capacity P_line
 /// (NOT the eta-discounted cap; the paper normalizes by total capacity).
-CongestionReport congestion_report(const PowerSchedule& schedule, double p_line_kw);
+[[nodiscard]] CongestionReport congestion_report(const PowerSchedule& schedule,
+                                                util::Kilowatts p_line);
 
 }  // namespace olev::core

@@ -19,8 +19,13 @@ const ControlPeriodTraits& traits(ControlPeriod period) {
 
 std::string_view name(ControlPeriod period) { return traits(period).name; }
 
-ControlPeriod classify(double load_mw, double deficiency_mw,
-                       double peak_threshold_mw, double reserve_threshold_mw) {
+ControlPeriod classify(util::Megawatts load, util::Megawatts deficiency,
+                       util::Megawatts peak_threshold,
+                       util::Megawatts reserve_threshold) {
+  const double load_mw = load.value();
+  const double deficiency_mw = deficiency.value();
+  const double peak_threshold_mw = peak_threshold.value();
+  const double reserve_threshold_mw = reserve_threshold.value();
   if (std::abs(deficiency_mw) >= reserve_threshold_mw) {
     return ControlPeriod::kSpinningReserve;
   }

@@ -6,6 +6,8 @@
 
 #include <string_view>
 
+#include "util/quantity.h"
+
 namespace olev::grid {
 
 enum class ControlPeriod {
@@ -33,7 +35,9 @@ std::string_view name(ControlPeriod period);
 /// Classifies the grid state into the period that marginal demand is served
 /// from: baseload at low load, peak at high load, spinning reserve when the
 /// deficiency (actual - forecast) exceeds the reserve threshold.
-ControlPeriod classify(double load_mw, double deficiency_mw, double peak_threshold_mw,
-                       double reserve_threshold_mw);
+[[nodiscard]] ControlPeriod classify(util::Megawatts load,
+                                     util::Megawatts deficiency,
+                                     util::Megawatts peak_threshold,
+                                     util::Megawatts reserve_threshold);
 
 }  // namespace olev::grid

@@ -36,7 +36,8 @@ DispatchStack DispatchStack::nyiso_like() {
   });
 }
 
-DispatchResult DispatchStack::dispatch(double load_mw) const {
+DispatchResult DispatchStack::dispatch(util::Megawatts load) const {
+  const double load_mw = load.value();
   if (load_mw < 0.0) throw std::invalid_argument("DispatchStack: negative load");
   DispatchResult result;
   result.output_mw.assign(generators_.size(), 0.0);

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "grid/control_period.h"
+#include "util/quantity.h"
 
 namespace olev::grid {
 
@@ -42,9 +43,9 @@ class DispatchStack {
   /// peak ~6658 MW) with prices inside the published [12.52, 244.04] band.
   static DispatchStack nyiso_like();
 
-  /// Economic dispatch of `load_mw` (>= 0).  When load exceeds capacity,
+  /// Economic dispatch of `load` (>= 0).  When load exceeds capacity,
   /// price is the value-of-lost-load cap and `served` is false.
-  DispatchResult dispatch(double load_mw) const;
+  [[nodiscard]] DispatchResult dispatch(util::Megawatts load) const;
 
   double total_capacity_mw() const { return total_capacity_mw_; }
   const std::vector<Generator>& generators() const { return generators_; }

@@ -14,7 +14,8 @@ FrequencySimulator::FrequencySimulator(FrequencyModelConfig config)
   }
 }
 
-FrequencyTick FrequencySimulator::step(double disturbance_mw) {
+FrequencyTick FrequencySimulator::step(util::Megawatts disturbance) {
+  const double disturbance_mw = disturbance.value();
   const double f0 = config_.nominal_hz;
 
   // Primary (droop) response proportional to the frequency error.
@@ -47,7 +48,7 @@ std::vector<FrequencyTick> FrequencySimulator::run(
     const std::vector<double>& disturbance_mw) {
   std::vector<FrequencyTick> trace;
   trace.reserve(disturbance_mw.size());
-  for (double d : disturbance_mw) trace.push_back(step(d));
+  for (double d : disturbance_mw) trace.push_back(step(util::mw(d)));
   return trace;
 }
 

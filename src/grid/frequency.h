@@ -16,6 +16,8 @@
 
 #include <vector>
 
+#include "util/quantity.h"
+
 namespace olev::grid {
 
 struct FrequencyModelConfig {
@@ -42,7 +44,7 @@ class FrequencySimulator {
 
   /// Advances one step with `disturbance_mw` = load minus scheduled
   /// generation (positive = shortage, pulls frequency down).
-  FrequencyTick step(double disturbance_mw);
+  FrequencyTick step(util::Megawatts disturbance);
 
   /// Runs a full trace for a disturbance series.
   std::vector<FrequencyTick> run(const std::vector<double>& disturbance_mw);

@@ -26,10 +26,10 @@ util::PiecewiseLinear weekday_load_shape() {
   return shape;
 }
 
-double forecast_load_mw(const LoadModelConfig& config, double hour) {
+double forecast_load_mw(const LoadModelConfig& config, util::Hours hour) {
   static const util::PiecewiseLinear shape = weekday_load_shape();
   return config.min_load_mw +
-         shape(hour) * (config.max_load_mw - config.min_load_mw);
+         shape(hour.value()) * (config.max_load_mw - config.min_load_mw);
 }
 
 std::vector<LoadTick> generate_load_day(const LoadModelConfig& config) {
@@ -43,7 +43,7 @@ std::vector<LoadTick> generate_load_day(const LoadModelConfig& config) {
   for (std::size_t i = 0; i < count; ++i) {
     LoadTick tick;
     tick.hour = static_cast<double>(i) * dt_h;
-    tick.forecast_mw = forecast_load_mw(config, tick.hour);
+    tick.forecast_mw = forecast_load_mw(config, util::hours(tick.hour));
     error = config.deficiency_rho * error +
             rng.normal(0.0, config.deficiency_sigma_mw);
     // Soft cap: tanh saturation keeps |deficiency| within the published max

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "util/pwl.h"
+#include "util/quantity.h"
 #include "util/rng.h"
 
 namespace olev::grid {
@@ -40,7 +41,9 @@ util::PiecewiseLinear weekday_load_shape();
 /// Generates a full day of load ticks under `config`.
 std::vector<LoadTick> generate_load_day(const LoadModelConfig& config);
 
-/// Forecast load at an arbitrary hour (deterministic component only).
-double forecast_load_mw(const LoadModelConfig& config, double hour);
+/// Forecast load (MW, raw Rep) at an arbitrary hour of day
+/// (deterministic component only).
+[[nodiscard]] double forecast_load_mw(const LoadModelConfig& config,
+                                      util::Hours hour);
 
 }  // namespace olev::grid

@@ -42,8 +42,8 @@ ControlPeriod NyisoDay::control_period_at(double hour) const {
       config_.load.min_load_mw +
       0.75 * (config_.load.max_load_mw - config_.load.min_load_mw);
   const double reserve_threshold = 0.6 * config_.load.deficiency_cap_mw;
-  return classify(tick.actual_mw, tick.deficiency_mw, peak_threshold,
-                  reserve_threshold);
+  return classify(util::mw(tick.actual_mw), util::mw(tick.deficiency_mw),
+                  util::mw(peak_threshold), util::mw(reserve_threshold));
 }
 
 double NyisoDay::max_abs_deficiency() const {

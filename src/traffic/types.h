@@ -4,7 +4,16 @@
 #include <cstdint>
 #include <limits>
 
+#include "util/quantity.h"
+
 namespace olev::traffic {
+
+// Dimensioned scalars shared by the microsimulation's public surfaces.
+// The traffic layer works natively in SI (m, s, m/s); these aliases make
+// that explicit at API boundaries without repeating the util:: spelling.
+using Seconds = util::Seconds;
+using Meters = util::Meters;
+using MetersPerSecond = util::MetersPerSecond;
 
 using EdgeId = std::uint32_t;
 using JunctionId = std::uint32_t;

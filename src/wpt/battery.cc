@@ -25,7 +25,8 @@ double Battery::usable_kwh() const {
   return std::max(0.0, (soc_ - spec_.soc_min) * spec_.capacity_kwh());
 }
 
-double Battery::charge_kwh(double energy_kwh) {
+double Battery::charge_kwh(util::KilowattHours energy) {
+  const double energy_kwh = energy.value();
   if (energy_kwh < 0.0) throw std::invalid_argument("Battery::charge_kwh: negative energy");
   const double accepted = std::min(energy_kwh, headroom_kwh());
   soc_ += accepted / spec_.capacity_kwh();
@@ -34,7 +35,8 @@ double Battery::charge_kwh(double energy_kwh) {
   return accepted;
 }
 
-double Battery::discharge_kwh(double energy_kwh) {
+double Battery::discharge_kwh(util::KilowattHours energy) {
+  const double energy_kwh = energy.value();
   if (energy_kwh < 0.0) throw std::invalid_argument("Battery::discharge_kwh: negative energy");
   const double available = soc_ * spec_.capacity_kwh();
   const double delivered = std::min(energy_kwh, available);

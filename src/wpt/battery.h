@@ -5,6 +5,8 @@
 // [SOC_min, SOC_max] = [0.2, 0.9] "to ensure the safety and battery life".
 #pragma once
 
+#include "util/quantity.h"
+
 namespace olev::wpt {
 
 struct BatterySpec {
@@ -44,11 +46,11 @@ class Battery {
   bool at_policy_ceiling() const { return soc_ >= spec_.soc_max; }
   bool below_policy_floor() const { return soc_ < spec_.soc_min; }
 
-  /// Charges by `energy_kwh` but never above soc_max; returns the energy
-  /// actually accepted.
-  double charge_kwh(double energy_kwh);
-  /// Discharges by `energy_kwh` but never below 0; returns energy delivered.
-  double discharge_kwh(double energy_kwh);
+  /// Charges by `energy` but never above soc_max; returns the energy
+  /// actually accepted (kWh, raw Rep like the other accessors).
+  double charge_kwh(util::KilowattHours energy);
+  /// Discharges by `energy` but never below 0; returns energy delivered.
+  double discharge_kwh(util::KilowattHours energy);
 
   void set_soc(double soc);
 

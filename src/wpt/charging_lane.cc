@@ -16,9 +16,11 @@ ChargingLane::ChargingLane(std::vector<ChargingSection> sections,
 }
 
 std::vector<ChargingSection> ChargingLane::evenly_spaced(traffic::EdgeId edge,
-                                                         double from_m, double to_m,
-                                                         int count,
+                                                         util::Meters from,
+                                                         util::Meters to, int count,
                                                          ChargingSectionSpec spec) {
+  const double from_m = from.value();
+  const double to_m = to.value();
   if (count < 1) throw std::invalid_argument("ChargingLane: count must be >= 1");
   if (to_m <= from_m) throw std::invalid_argument("ChargingLane: empty span");
   std::vector<ChargingSection> sections;
@@ -35,10 +37,10 @@ std::vector<ChargingSection> ChargingLane::evenly_spaced(traffic::EdgeId edge,
   return sections;
 }
 
-int ChargingLane::section_at(traffic::EdgeId edge, double front_m,
-                             double rear_m) const {
+int ChargingLane::section_at(traffic::EdgeId edge, util::Meters front,
+                             util::Meters rear) const {
   for (std::size_t i = 0; i < sections_.size(); ++i) {
-    if (sections_[i].edge == edge && sections_[i].covers(front_m, rear_m)) {
+    if (sections_[i].edge == edge && sections_[i].covers(front, rear)) {
       return static_cast<int>(i);
     }
   }
@@ -65,7 +67,8 @@ void ChargingLane::on_step(const traffic::StepView& view) {
     if (!vehicle.is_olev || vehicle.arrived) continue;
     const double front = vehicle.pos_m;
     const double rear = vehicle.pos_m - vehicle.type.length_m;
-    const int idx = section_at(vehicle.current_edge(), front, rear);
+    const int idx = section_at(vehicle.current_edge(), util::meters(front),
+                               util::meters(rear));
     if (idx < 0) continue;
     const auto section_index = static_cast<std::size_t>(idx);
     const ChargingSection& section = sections_[section_index];
@@ -76,7 +79,8 @@ void ChargingLane::on_step(const traffic::StepView& view) {
 
     // Eq. (3) feasible power, further limited by the section's shared budget.
     double power_kw =
-        feasible_power_kw(config_.olev, section.spec, vehicle.speed_mps,
+        feasible_power_kw(config_.olev, section.spec,
+                          util::mps(vehicle.speed_mps),
                           battery.soc(), config_.soc_required);
     power_kw = std::min(power_kw, budget_kw[section_index]);
     if (power_kw <= 0.0) continue;
@@ -85,7 +89,8 @@ void ChargingLane::on_step(const traffic::StepView& view) {
     // Air-gap losses: only transfer_efficiency of grid-side energy lands in
     // the pack; the ledger books the grid-side draw.
     const double accepted_kwh =
-        battery.charge_kwh(offered_kwh * section.spec.transfer_efficiency);
+        battery.charge_kwh(
+            util::kwh(offered_kwh * section.spec.transfer_efficiency));
     if (accepted_kwh <= 0.0) continue;
     const double grid_kwh = accepted_kwh / section.spec.transfer_efficiency;
     budget_kw[section_index] -= grid_kwh * 3600.0 / view.dt_s;

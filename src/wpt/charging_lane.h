@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "traffic/detector.h"
+#include "util/quantity.h"
 #include "wpt/battery.h"
 #include "wpt/charging_section.h"
 #include "wpt/energy_ledger.h"
@@ -28,10 +29,10 @@ class ChargingLane : public traffic::StepObserver {
  public:
   ChargingLane(std::vector<ChargingSection> sections, ChargingLaneConfig config);
 
-  /// Places `count` sections of `spec` evenly over [from_m, to_m) of `edge`.
+  /// Places `count` sections of `spec` evenly over [from, to) of `edge`.
   static std::vector<ChargingSection> evenly_spaced(traffic::EdgeId edge,
-                                                    double from_m, double to_m,
-                                                    int count,
+                                                    util::Meters from,
+                                                    util::Meters to, int count,
                                                     ChargingSectionSpec spec);
 
   void on_step(const traffic::StepView& view) override;
@@ -45,7 +46,8 @@ class ChargingLane : public traffic::StepObserver {
   std::size_t tracked_vehicles() const { return batteries_.size(); }
 
   /// Index of the section covering (edge, front, rear); -1 if none.
-  int section_at(traffic::EdgeId edge, double front_m, double rear_m) const;
+  [[nodiscard]] int section_at(traffic::EdgeId edge, util::Meters front,
+                               util::Meters rear) const;
 
   /// Overrides the per-section power budgets (kW) -- the hook a scheduling
   /// controller (e.g. the pricing game) uses to impose its allocation on

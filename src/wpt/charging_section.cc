@@ -4,7 +4,9 @@
 
 namespace olev::wpt {
 
-double p_line_kw(const ChargingSectionSpec& spec, double velocity_mps) {
+double p_line_kw(const ChargingSectionSpec& spec,
+                 util::MetersPerSecond velocity) {
+  const double velocity_mps = velocity.value();
   if (velocity_mps <= 0.0) return spec.rated_power_kw;
   const double line_kw =
       spec.line_voltage * spec.max_current_a * spec.length_m / velocity_mps /
@@ -12,8 +14,9 @@ double p_line_kw(const ChargingSectionSpec& spec, double velocity_mps) {
   return std::min(line_kw, spec.rated_power_kw);
 }
 
-double capacity_cap_kw(const ChargingSectionSpec& spec, double velocity_mps) {
-  return spec.safety_factor * p_line_kw(spec, velocity_mps);
+double capacity_cap_kw(const ChargingSectionSpec& spec,
+                       util::MetersPerSecond velocity) {
+  return spec.safety_factor * p_line_kw(spec, velocity);
 }
 
 }  // namespace olev::wpt

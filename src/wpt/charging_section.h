@@ -13,6 +13,7 @@
 #pragma once
 
 #include "traffic/types.h"
+#include "util/quantity.h"
 
 namespace olev::wpt {
 
@@ -30,13 +31,16 @@ struct ChargingSectionSpec {
   }
 };
 
-/// Eq. (1) for a vehicle crossing at `velocity_mps`; capped by the section's
-/// rated inverter power.  Returns the rated power for velocity <= 0
-/// (stationary vehicle parked on the section).
-double p_line_kw(const ChargingSectionSpec& spec, double velocity_mps);
+/// Eq. (1) for a vehicle crossing at `velocity`; capped by the section's
+/// rated inverter power.  Returns the rated power in kW (raw solver Rep)
+/// -- the rated power for velocity <= 0 (stationary vehicle parked on the
+/// section).
+[[nodiscard]] double p_line_kw(const ChargingSectionSpec& spec,
+                               util::MetersPerSecond velocity);
 
 /// Capacity bound of Eq. (4): eta * P_line.
-double capacity_cap_kw(const ChargingSectionSpec& spec, double velocity_mps);
+[[nodiscard]] double capacity_cap_kw(const ChargingSectionSpec& spec,
+                                     util::MetersPerSecond velocity);
 
 /// A charging section placed on a road edge at [offset_m, offset_m+length).
 struct ChargingSection {
@@ -46,8 +50,8 @@ struct ChargingSection {
 
   double end_m() const { return offset_m + spec.length_m; }
   /// True if a vehicle body [rear, front] overlaps the section.
-  bool covers(double front_m, double rear_m) const {
-    return front_m >= offset_m && rear_m <= end_m();
+  bool covers(util::Meters front, util::Meters rear) const {
+    return front.value() >= offset_m && rear.value() <= end_m();
   }
 };
 

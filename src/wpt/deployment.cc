@@ -10,7 +10,8 @@
 namespace olev::wpt {
 
 std::vector<CandidateSlot> enumerate_slots(const traffic::Network& network,
-                                           double slot_length_m) {
+                                           util::Meters slot_length) {
+  const double slot_length_m = slot_length.value();
   if (slot_length_m <= 0.0) {
     throw std::invalid_argument("enumerate_slots: slot length must be positive");
   }
@@ -31,7 +32,7 @@ std::vector<CandidateSlot> enumerate_slots(const traffic::Network& network,
 
 void score_slots_by_occupancy(traffic::Simulation& sim,
                               std::vector<CandidateSlot>& slots,
-                              double until_time_s, bool olev_only) {
+                              util::Seconds until_time, bool olev_only) {
   std::vector<std::unique_ptr<traffic::SegmentDetector>> detectors;
   detectors.reserve(slots.size());
   for (const CandidateSlot& slot : slots) {
@@ -39,7 +40,7 @@ void score_slots_by_occupancy(traffic::Simulation& sim,
         slot.edge, slot.offset_m, slot.offset_m + slot.length_m, olev_only));
     sim.add_observer(detectors.back().get());
   }
-  sim.run_until(until_time_s);
+  sim.run_until(until_time.value());
   for (std::size_t i = 0; i < slots.size(); ++i) {
     slots[i].score = detectors[i]->total_occupancy_s();
     // The detectors die with this scope: unhook them so the simulation can
@@ -87,7 +88,8 @@ std::vector<ChargingSection> uniform_deployment(std::span<const CandidateSlot> s
   const double stride =
       static_cast<double>(slots.size()) / static_cast<double>(take);
   for (std::size_t i = 0; i < take; ++i) {
-    const auto index = static_cast<std::size_t>(i * stride);
+    const auto index =
+        static_cast<std::size_t>(static_cast<double>(i) * stride);
     sections.push_back(equip(slots[std::min(index, slots.size() - 1)], spec));
   }
   return sections;
@@ -106,17 +108,22 @@ std::vector<double> edge_coverage_m(const traffic::Network& network,
 
 std::vector<double> charging_route_bonus(const traffic::Network& network,
                                          std::span<const ChargingSection> sections,
-                                         double bonus_s_per_m) {
+                                         util::SecondsPerMeter bonus_rate) {
   std::vector<double> bonus = edge_coverage_m(network, sections);
-  for (double& value : bonus) value *= -bonus_s_per_m;
+  for (double& value : bonus) value *= -bonus_rate.value();
   return bonus;
 }
 
 std::vector<bool> reachable_sections(const traffic::Network& network,
                                      std::span<const ChargingSection> sections,
                                      const traffic::Route& route,
-                                     std::size_t route_index, double position_m,
-                                     double velocity_mps, double horizon_s) {
+                                     std::size_t route_index,
+                                     util::Meters position,
+                                     util::MetersPerSecond velocity,
+                                     util::Seconds horizon) {
+  const double position_m = position.value();
+  const double velocity_mps = velocity.value();
+  const double horizon_s = horizon.value();
   std::vector<bool> mask(sections.size(), false);
   if (route_index >= route.size() || velocity_mps <= 0.0 || horizon_s <= 0.0) {
     return mask;

@@ -19,6 +19,7 @@
 
 #include "traffic/network.h"
 #include "traffic/simulation.h"
+#include "util/quantity.h"
 #include "wpt/charging_section.h"
 
 namespace olev::wpt {
@@ -32,8 +33,8 @@ struct CandidateSlot {
 
 /// Tiles every edge with back-to-back slots of `slot_length_m` (the last
 /// partial slot of an edge is dropped).
-std::vector<CandidateSlot> enumerate_slots(const traffic::Network& network,
-                                           double slot_length_m);
+[[nodiscard]] std::vector<CandidateSlot> enumerate_slots(
+    const traffic::Network& network, util::Meters slot_length);
 
 /// Scores `slots` by running `sim` until `until_time_s` with one
 /// SegmentDetector per slot; each slot's score becomes its accumulated
@@ -41,7 +42,7 @@ std::vector<CandidateSlot> enumerate_slots(const traffic::Network& network,
 /// one).  When `olev_only` is set, only OLEV-tagged vehicles count.
 void score_slots_by_occupancy(traffic::Simulation& sim,
                               std::vector<CandidateSlot>& slots,
-                              double until_time_s, bool olev_only = false);
+                              util::Seconds until_time, bool olev_only = false);
 
 /// Picks the `budget` highest-scoring slots (stable on ties) and equips
 /// them with `spec` (spec.length_m is overridden by each slot's length).
@@ -63,17 +64,16 @@ std::vector<double> edge_coverage_m(const traffic::Network& network,
 /// -bonus_s_per_m * coverage meters (pass to traffic::shortest_route).
 std::vector<double> charging_route_bonus(const traffic::Network& network,
                                          std::span<const ChargingSection> sections,
-                                         double bonus_s_per_m);
+                                         util::SecondsPerMeter bonus);
 
 /// Sections an OLEV can reach within `horizon_s` while following `route`
 /// from (current edge index, position) at `velocity_mps` -- the mask the
 /// pricing game should restrict the vehicle's allocation to (Section
 /// IV-A's ETA exchange; feeds PlayerSpec::allowed_sections).  One entry per
 /// element of `sections`.
-std::vector<bool> reachable_sections(const traffic::Network& network,
-                                     std::span<const ChargingSection> sections,
-                                     const traffic::Route& route,
-                                     std::size_t route_index, double position_m,
-                                     double velocity_mps, double horizon_s);
+[[nodiscard]] std::vector<bool> reachable_sections(
+    const traffic::Network& network, std::span<const ChargingSection> sections,
+    const traffic::Route& route, std::size_t route_index, util::Meters position,
+    util::MetersPerSecond velocity, util::Seconds horizon);
 
 }  // namespace olev::wpt

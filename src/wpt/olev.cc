@@ -11,13 +11,15 @@ double p_olev_kw(const OlevParams& params, double soc, double soc_required) {
 }
 
 double feasible_power_kw(const OlevParams& params,
-                         const ChargingSectionSpec& section, double velocity_mps,
-                         double soc, double soc_required) {
-  return std::min(p_line_kw(section, velocity_mps),
+                         const ChargingSectionSpec& section,
+                         util::MetersPerSecond velocity, double soc,
+                         double soc_required) {
+  return std::min(p_line_kw(section, velocity),
                   p_olev_kw(params, soc, soc_required));
 }
 
-double soc_required_for_trip(const OlevParams& params, double trip_km) {
+double soc_required_for_trip(const OlevParams& params, util::Kilometers trip) {
+  const double trip_km = trip.value();
   if (trip_km <= 0.0) return 0.0;
   const double energy_kwh =
       trip_km * params.consumption_kwh_per_km / params.eta_olev;

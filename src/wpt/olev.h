@@ -22,19 +22,24 @@ struct OlevParams {
 /// Eq. (2): maximum power (kW) OLEV n can usefully receive, given its
 /// current SOC and the SOC required to finish the trip.  Non-negative; zero
 /// when the battery already holds enough energy.
-double p_olev_kw(const OlevParams& params, double soc, double soc_required);
+[[nodiscard]] double p_olev_kw(const OlevParams& params, double soc,
+                               double soc_required);
 
-/// Eq. (3): feasible power from one section = min(P_line, P_OLEV).
-double feasible_power_kw(const OlevParams& params, const ChargingSectionSpec& section,
-                         double velocity_mps, double soc, double soc_required);
+/// Eq. (3): feasible power from one section = min(P_line, P_OLEV), in kW.
+[[nodiscard]] double feasible_power_kw(const OlevParams& params,
+                                       const ChargingSectionSpec& section,
+                                       util::MetersPerSecond velocity, double soc,
+                                       double soc_required);
 
 /// SOC needed to cover `trip_km` from the current point (before efficiency
 /// losses), clamped to [0, 1].
-double soc_required_for_trip(const OlevParams& params, double trip_km);
+[[nodiscard]] double soc_required_for_trip(const OlevParams& params,
+                                           util::Kilometers trip);
 
 /// The paper's evaluation cap: OLEVs "can receive up to 50% of their SOC
 /// from the smart grid based on daily travel distance" (NHTS: ~70% of trips
 /// are 10-30 miles).  Returns the per-day receivable energy in kWh.
-double daily_receivable_kwh(const OlevParams& params, double soc);
+[[nodiscard]] double daily_receivable_kwh(const OlevParams& params,
+                                          double soc);
 
 }  // namespace olev::wpt

@@ -1,0 +1,8 @@
+// MUST NOT COMPILE: energy + power is dimensionally meaningless.
+#include "util/quantity.h"
+
+int main() {
+  using namespace olev::util;
+  auto bad = kwh(1.0) + kw(1.0);  // kWh + kW
+  return static_cast<int>(bad.value());
+}

@@ -1,0 +1,8 @@
+// MUST NOT COMPILE: comparing velocities quoted in different units must go
+// through an explicit conversion (to_mps / to_mph), never operator==.
+#include "util/quantity.h"
+
+int main() {
+  using namespace olev::util;
+  return mph(60.0) == mps(26.8224) ? 0 : 1;
+}

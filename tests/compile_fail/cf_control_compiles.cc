@@ -1,0 +1,18 @@
+// POSITIVE CONTROL: this snippet MUST compile.  It exercises the same
+// headers and constructs as the cf_* failure snippets, so if the include
+// paths or toolchain flags ever break, this test fails instead of every
+// WILL_FAIL test silently "passing" for the wrong reason.
+#include "util/quantity.h"
+#include "wpt/battery.h"
+#include "wpt/charging_section.h"
+
+int main() {
+  using namespace olev::util;
+  const KilowattHours energy = kw(100.0) * hours(0.5);
+  const Dollars bill = Price::per_kwh(0.244) * energy;
+  olev::wpt::ChargingSectionSpec spec;
+  const double p_line = olev::wpt::p_line_kw(spec, to_mps(mph(60.0)));
+  olev::wpt::Battery battery;
+  (void)battery.charge_kwh(kwh(1.5));
+  return (bill.value() > 0.0 && p_line > 0.0) ? 0 : 1;
+}

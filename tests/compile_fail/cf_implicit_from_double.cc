@@ -1,0 +1,7 @@
+// MUST NOT COMPILE: a bare double never silently becomes a quantity -- the
+// Quantity constructor is explicit, so every boundary crossing is visible.
+#include "util/quantity.h"
+
+olev::util::Kilowatts cap() { return 100.0; }
+
+int main() { return static_cast<int>(cap().value()); }

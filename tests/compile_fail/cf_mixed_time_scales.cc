@@ -1,0 +1,9 @@
+// MUST NOT COMPILE: hours + seconds without an explicit to_seconds()/
+// to_hours() conversion -- the classic 3600x bug this layer exists to stop.
+#include "util/quantity.h"
+
+int main() {
+  using namespace olev::util;
+  auto bad = hours(1.0) + seconds(30.0);
+  return static_cast<int>(bad.value());
+}

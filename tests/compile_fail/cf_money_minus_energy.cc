@@ -1,0 +1,8 @@
+// MUST NOT COMPILE: subtracting energy from money.
+#include "util/quantity.h"
+
+int main() {
+  using namespace olev::util;
+  auto bad = dollars(5.0) - kwh(2.0);
+  return static_cast<int>(bad.value());
+}

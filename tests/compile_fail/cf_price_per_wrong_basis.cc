@@ -1,0 +1,9 @@
+// MUST NOT COMPILE: a $/MWh LBMP quote is not interchangeable with the $/kWh
+// retail basis -- mixing them in arithmetic needs to_per_kwh()/to_per_mwh().
+#include "util/quantity.h"
+
+int main() {
+  using namespace olev::util;
+  auto bad = Price::per_mwh(244.04) + Price::per_kwh(0.016);
+  return static_cast<int>(bad.value());
+}

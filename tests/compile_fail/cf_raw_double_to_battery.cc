@@ -1,0 +1,8 @@
+// MUST NOT COMPILE: Battery::charge_kwh takes util::KilowattHours; a raw
+// double could be joules or watt-seconds from an upstream integrator.
+#include "wpt/battery.h"
+
+int main() {
+  olev::wpt::Battery battery;
+  return static_cast<int>(battery.charge_kwh(1.5));
+}

@@ -1,0 +1,9 @@
+// MUST NOT COMPILE: wpt::p_line_kw takes util::MetersPerSecond -- passing a
+// bare number (is it mph? m/s? km/h?) is exactly the call-site ambiguity the
+// typed API removes.
+#include "wpt/charging_section.h"
+
+int main() {
+  olev::wpt::ChargingSectionSpec spec;
+  return static_cast<int>(olev::wpt::p_line_kw(spec, 26.8224));
+}

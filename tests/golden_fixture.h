@@ -25,7 +25,7 @@ inline core::ScenarioConfig golden_config(core::PricingKind pricing) {
   config.num_olevs = 10;
   config.num_sections = 10;
   config.pricing = pricing;
-  config.beta_lbmp = 16.0;  // the paper's reference LBMP, $/MWh
+  config.beta_lbmp = olev::util::Price::per_mwh(16.0);  // the paper's reference LBMP, $/MWh
   config.target_degree = 0.9;
   config.seed = 0x601d;
   config.game.seed = 0x601d2;

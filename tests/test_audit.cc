@@ -35,7 +35,7 @@ using core::WaterFillResult;
 core::SectionCost make_cost(double cap_kw = 100.0) {
   return core::SectionCost(
       std::make_unique<core::NonlinearPricing>(16.0, 0.875, 100.0),
-      core::OverloadCost{1.0}, cap_kw);
+      core::OverloadCost{1.0}, olev::util::kw(cap_kw));
 }
 
 // --- auditor plumbing (both flavors) ---------------------------------------
@@ -95,19 +95,19 @@ class AuditFiringGuard {
 TEST(AuditDegenerate, ZeroTotalRequestAllSolvers) {
   AuditFiringGuard guard;
   const std::vector<double> b{3.0, 1.0, 2.0};
-  const WaterFillResult exact = core::water_fill(b, 0.0);
+  const WaterFillResult exact = core::water_fill(b, olev::util::kw(0.0));
   EXPECT_EQ(exact.row, std::vector<double>({0.0, 0.0, 0.0}));
   EXPECT_EQ(exact.level, 1.0);  // min load; nothing allocated
 
-  const WaterFillResult bisect = core::water_fill_bisect(b, 0.0);
+  const WaterFillResult bisect = core::water_fill_bisect(b, olev::util::kw(0.0));
   EXPECT_EQ(bisect.row, std::vector<double>({0.0, 0.0, 0.0}));
 
   const SortedLoads sorted(b);
-  EXPECT_EQ(sorted.fill(0.0).row, std::vector<double>({0.0, 0.0, 0.0}));
+  EXPECT_EQ(sorted.fill(olev::util::kw(0.0)).row, std::vector<double>({0.0, 0.0, 0.0}));
 
   const core::SectionCost cost = make_cost();
   const core::SectionCost* costs[] = {&cost, &cost, &cost};
-  const auto generalized = core::generalized_fill(costs, b, 0.0);
+  const auto generalized = core::generalized_fill(costs, b, olev::util::kw(0.0));
   EXPECT_EQ(generalized.row, std::vector<double>({0.0, 0.0, 0.0}));
 }
 
@@ -115,18 +115,18 @@ TEST(AuditDegenerate, AllMaskedSectionsZeroTotal) {
   AuditFiringGuard guard;
   const std::vector<double> b{5.0, 6.0};
   const std::vector<bool> none{false, false};
-  const WaterFillResult result = core::water_fill_masked(b, 0.0, none);
+  const WaterFillResult result = core::water_fill_masked(b, olev::util::kw(0.0), none);
   EXPECT_EQ(result.row, std::vector<double>({0.0, 0.0}));
   // Positive total with an empty mask is a *caller* error, not an invariant
   // violation: invalid_argument, no auditor firing.
-  EXPECT_THROW(core::water_fill_masked(b, 1.0, none), std::invalid_argument);
+  EXPECT_THROW((void)core::water_fill_masked(b, olev::util::kw(1.0), none), std::invalid_argument);
 }
 
 TEST(AuditDegenerate, SingleAdmissibleSectionTakesEverything) {
   AuditFiringGuard guard;
   const std::vector<double> b{9.0, 1.0, 7.0};
   const std::vector<bool> only_middle{false, true, false};
-  const WaterFillResult result = core::water_fill_masked(b, 4.0, only_middle);
+  const WaterFillResult result = core::water_fill_masked(b, olev::util::kw(4.0), only_middle);
   EXPECT_DOUBLE_EQ(result.row[1], 4.0);
   EXPECT_EQ(result.row[0], 0.0);
   EXPECT_EQ(result.row[2], 0.0);
@@ -139,17 +139,17 @@ TEST(AuditDegenerate, DuplicateMinimumLoads) {
   // complementarity check may trip on the equal-load boundary.
   const std::vector<double> b{2.0, 2.0, 2.0, 5.0, 2.0};
   for (double total : {0.0, 1e-12, 0.5, 9.0, 12.0, 1000.0}) {
-    const WaterFillResult exact = core::water_fill(b, total);
+    const WaterFillResult exact = core::water_fill(b, olev::util::kw(total));
     double sum = 0.0;
     for (double v : exact.row) sum += v;
     EXPECT_NEAR(sum, total, 1e-9 * std::max(1.0, total));
 
     const SortedLoads sorted(b);
-    const WaterFillResult incremental = sorted.fill(total);
+    const WaterFillResult incremental = sorted.fill(olev::util::kw(total));
     EXPECT_EQ(exact.row, incremental.row);
     EXPECT_EQ(exact.level, incremental.level);
 
-    const WaterFillResult bisect = core::water_fill_bisect(b, total);
+    const WaterFillResult bisect = core::water_fill_bisect(b, olev::util::kw(total));
     EXPECT_NEAR(bisect.level, exact.level, 1e-8 * std::max(1.0, exact.level));
   }
 }
@@ -157,7 +157,7 @@ TEST(AuditDegenerate, DuplicateMinimumLoads) {
 TEST(AuditDegenerate, AllLoadsIdentical) {
   AuditFiringGuard guard;
   const std::vector<double> b(8, 4.0);
-  const WaterFillResult result = core::water_fill(b, 16.0);
+  const WaterFillResult result = core::water_fill(b, olev::util::kw(16.0));
   for (double v : result.row) EXPECT_DOUBLE_EQ(v, 2.0);
   EXPECT_EQ(result.active_sections, 8);
 }
@@ -167,8 +167,8 @@ TEST(AuditDegenerate, SortedLoadsUpdateOneThroughDuplicates) {
   SortedLoads sorted(std::vector<double>{3.0, 3.0, 3.0, 1.0});
   sorted.update_one(1, 0.5);  // moves one duplicate below the old minimum
   sorted.update_one(3, 3.0);  // re-creates the duplicate plateau
-  const WaterFillResult incremental = sorted.fill(5.0);
-  const WaterFillResult fresh = core::water_fill(sorted.values(), 5.0);
+  const WaterFillResult incremental = sorted.fill(olev::util::kw(5.0));
+  const WaterFillResult fresh = core::water_fill(sorted.values(), olev::util::kw(5.0));
   EXPECT_EQ(incremental.row, fresh.row);
   EXPECT_EQ(incremental.level, fresh.level);
 }
@@ -180,16 +180,16 @@ TEST(AuditDegenerate, GameWithZeroCapacityAndMaskedPlayers) {
   // auditor silent (zero rows, masked-out columns, tied loads throughout).
   std::vector<PlayerSpec> players(3);
   players[0].satisfaction = std::make_unique<core::LogSatisfaction>(40.0);
-  players[0].p_max = 0.0;
+  players[0].p_max = olev::util::kw(0.0);
   players[1].satisfaction = std::make_unique<core::LogSatisfaction>(55.0);
-  players[1].p_max = 30.0;
+  players[1].p_max = olev::util::kw(30.0);
   players[1].allowed_sections = {false, true, false, false};
   players[2].satisfaction = std::make_unique<core::LogSatisfaction>(70.0);
-  players[2].p_max = 50.0;
+  players[2].p_max = olev::util::kw(50.0);
 
   GameConfig config;
   config.epsilon = 1e-6;
-  core::Game game(std::move(players), make_cost(60.0), 4, 120.0, config);
+  core::Game game(std::move(players), make_cost(60.0), 4, olev::util::kw(120.0), config);
   const core::GameResult result = game.run();
   EXPECT_TRUE(result.converged);
   EXPECT_EQ(result.requests[0], 0.0);
@@ -218,7 +218,7 @@ TEST(AuditArmed, CheckMacroFiresOnViolation) {
 TEST(AuditArmed, NanRequestTripsTheEntryGuard) {
   audit::reset_firings();
   const std::vector<double> b{1.0, 2.0};
-  EXPECT_THROW(core::water_fill(b, std::nan("")), audit::AuditFailure);
+  EXPECT_THROW((void)core::water_fill(b, olev::util::kw(std::nan(""))), audit::AuditFailure);
   EXPECT_GE(audit::firings(), 1u);
   audit::reset_firings();
 }
@@ -226,7 +226,7 @@ TEST(AuditArmed, NanRequestTripsTheEntryGuard) {
 TEST(AuditArmed, NanLoadTripsTheEntryGuard) {
   audit::reset_firings();
   const std::vector<double> b{1.0, std::nan("")};
-  EXPECT_THROW(core::water_fill(b, 3.0), audit::AuditFailure);
+  EXPECT_THROW((void)core::water_fill(b, olev::util::kw(3.0)), audit::AuditFailure);
   audit::reset_firings();
 }
 

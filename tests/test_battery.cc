@@ -49,7 +49,7 @@ TEST(Battery, ChargeRespectsCeiling) {
   Battery battery(BatterySpec::chevy_spark(), 0.85);
   const double headroom = battery.headroom_kwh();
   EXPECT_NEAR(headroom, 0.05 * battery.spec().capacity_kwh(), 1e-9);
-  const double accepted = battery.charge_kwh(10.0);
+  const double accepted = battery.charge_kwh(olev::util::kwh(10.0));
   EXPECT_NEAR(accepted, headroom, 1e-9);
   EXPECT_NEAR(battery.soc(), 0.9, 1e-12);
   EXPECT_TRUE(battery.at_policy_ceiling());
@@ -57,33 +57,33 @@ TEST(Battery, ChargeRespectsCeiling) {
 
 TEST(Battery, ChargeFullAmountWhenRoomAvailable) {
   Battery battery(BatterySpec::chevy_spark(), 0.5);
-  const double accepted = battery.charge_kwh(1.0);
+  const double accepted = battery.charge_kwh(olev::util::kwh(1.0));
   EXPECT_DOUBLE_EQ(accepted, 1.0);
   EXPECT_NEAR(battery.soc(), 0.5 + 1.0 / battery.spec().capacity_kwh(), 1e-12);
 }
 
 TEST(Battery, ChargeRejectsNegative) {
   Battery battery(BatterySpec::chevy_spark(), 0.5);
-  EXPECT_THROW(battery.charge_kwh(-1.0), std::invalid_argument);
+  EXPECT_THROW(battery.charge_kwh(olev::util::kwh(-1.0)), std::invalid_argument);
 }
 
 TEST(Battery, DischargeNeverBelowZero) {
   Battery battery(BatterySpec::chevy_spark(), 0.1);
   const double available = battery.energy_kwh();
-  const double delivered = battery.discharge_kwh(1000.0);
+  const double delivered = battery.discharge_kwh(olev::util::kwh(1000.0));
   EXPECT_NEAR(delivered, available, 1e-9);
   EXPECT_DOUBLE_EQ(battery.soc(), 0.0);
 }
 
 TEST(Battery, DischargeRejectsNegative) {
   Battery battery(BatterySpec::chevy_spark(), 0.5);
-  EXPECT_THROW(battery.discharge_kwh(-1.0), std::invalid_argument);
+  EXPECT_THROW(battery.discharge_kwh(olev::util::kwh(-1.0)), std::invalid_argument);
 }
 
 TEST(Battery, PolicyFloorDetection) {
   Battery battery(BatterySpec::chevy_spark(), 0.15);
   EXPECT_TRUE(battery.below_policy_floor());
-  battery.charge_kwh(2.0);
+  battery.charge_kwh(olev::util::kwh(2.0));
   EXPECT_FALSE(battery.below_policy_floor());
 }
 
@@ -96,30 +96,30 @@ TEST(Battery, UsableEnergyAboveFloor) {
 
 TEST(Battery, ThroughputAccumulatesBothDirections) {
   Battery battery(BatterySpec::chevy_spark(), 0.5);
-  battery.charge_kwh(2.0);
-  battery.discharge_kwh(1.5);
+  battery.charge_kwh(olev::util::kwh(2.0));
+  battery.discharge_kwh(olev::util::kwh(1.5));
   EXPECT_NEAR(battery.throughput_kwh(), 3.5, 1e-12);
 }
 
 TEST(Battery, ThroughputCountsOnlyAcceptedEnergy) {
   Battery battery(BatterySpec::chevy_spark(), 0.89);
-  const double accepted = battery.charge_kwh(100.0);  // clipped at soc_max
+  const double accepted = battery.charge_kwh(olev::util::kwh(100.0));  // clipped at soc_max
   EXPECT_NEAR(battery.throughput_kwh(), accepted, 1e-12);
 }
 
 TEST(Battery, EquivalentFullCycles) {
   Battery battery(BatterySpec::chevy_spark(), 0.5);
   const double capacity = battery.spec().capacity_kwh();
-  battery.charge_kwh(0.2 * capacity);
-  battery.discharge_kwh(0.2 * capacity);
+  battery.charge_kwh(olev::util::kwh(0.2 * capacity));
+  battery.discharge_kwh(olev::util::kwh(0.2 * capacity));
   // One full cycle = capacity charged + capacity discharged.
   EXPECT_NEAR(battery.equivalent_full_cycles(), 0.2, 1e-12);
 }
 
 TEST(Battery, ChargeDischargeRoundTrip) {
   Battery battery(BatterySpec::chevy_spark(), 0.5);
-  battery.charge_kwh(2.0);
-  battery.discharge_kwh(2.0);
+  battery.charge_kwh(olev::util::kwh(2.0));
+  battery.discharge_kwh(olev::util::kwh(2.0));
   EXPECT_NEAR(battery.soc(), 0.5, 1e-12);
 }
 

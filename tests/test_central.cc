@@ -14,7 +14,7 @@ namespace {
 
 SectionCost make_cost(double cap = 40.0) {
   return SectionCost(std::make_unique<NonlinearPricing>(5.0, 0.875, cap),
-                     OverloadCost{1.0}, cap);
+                     OverloadCost{1.0}, olev::util::kw(cap));
 }
 
 TEST(ProjectCappedSimplex, ClampsNegativesWhenUnderCap) {

@@ -31,7 +31,7 @@ traffic::StepView view_of(const std::vector<traffic::Vehicle>& vehicles,
 ChargingLane make_lane(int sections = 2) {
   ChargingSectionSpec spec;
   return ChargingLane(
-      ChargingLane::evenly_spaced(0, 0.0, 200.0, sections, spec),
+      ChargingLane::evenly_spaced(0, olev::util::meters(0.0), olev::util::meters(200.0), sections, spec),
       ChargingLaneConfig{});
 }
 
@@ -85,7 +85,7 @@ TEST(EnergyLedger, ResetClears) {
 TEST(ChargingLane, EvenlySpacedLayout) {
   ChargingSectionSpec spec;
   spec.length_m = 20.0;
-  const auto sections = ChargingLane::evenly_spaced(0, 0.0, 200.0, 4, spec);
+  const auto sections = ChargingLane::evenly_spaced(0, olev::util::meters(0.0), olev::util::meters(200.0), 4, spec);
   ASSERT_EQ(sections.size(), 4u);
   EXPECT_DOUBLE_EQ(sections[0].offset_m, 0.0);
   EXPECT_DOUBLE_EQ(sections[1].offset_m, 50.0);
@@ -97,9 +97,9 @@ TEST(ChargingLane, EvenlySpacedLayout) {
 
 TEST(ChargingLane, EvenlySpacedValidation) {
   ChargingSectionSpec spec;
-  EXPECT_THROW(ChargingLane::evenly_spaced(0, 0.0, 100.0, 0, spec),
+  EXPECT_THROW(ChargingLane::evenly_spaced(0, olev::util::meters(0.0), olev::util::meters(100.0), 0, spec),
                std::invalid_argument);
-  EXPECT_THROW(ChargingLane::evenly_spaced(0, 100.0, 100.0, 1, spec),
+  EXPECT_THROW(ChargingLane::evenly_spaced(0, olev::util::meters(100.0), olev::util::meters(100.0), 1, spec),
                std::invalid_argument);
 }
 
@@ -109,10 +109,10 @@ TEST(ChargingLane, RequiresSections) {
 
 TEST(ChargingLane, SectionLookup) {
   ChargingLane lane = make_lane(2);  // sections at [0,20) and [100,120)
-  EXPECT_EQ(lane.section_at(0, 10.0, 5.0), 0);
-  EXPECT_EQ(lane.section_at(0, 110.0, 105.0), 1);
-  EXPECT_EQ(lane.section_at(0, 60.0, 55.0), -1);
-  EXPECT_EQ(lane.section_at(1, 10.0, 5.0), -1);  // wrong edge
+  EXPECT_EQ(lane.section_at(0, olev::util::meters(10.0), olev::util::meters(5.0)), 0);
+  EXPECT_EQ(lane.section_at(0, olev::util::meters(110.0), olev::util::meters(105.0)), 1);
+  EXPECT_EQ(lane.section_at(0, olev::util::meters(60.0), olev::util::meters(55.0)), -1);
+  EXPECT_EQ(lane.section_at(1, olev::util::meters(10.0), olev::util::meters(5.0)), -1);  // wrong edge
 }
 
 TEST(ChargingLane, ChargesOlevOnSection) {
@@ -164,7 +164,7 @@ TEST(ChargingLane, FullBatteryStopsCharging) {
   ChargingLaneConfig config;
   config.initial_soc = 0.9;  // already at the policy ceiling
   ChargingSectionSpec spec;
-  ChargingLane lane(ChargingLane::evenly_spaced(0, 0.0, 200.0, 1, spec), config);
+  ChargingLane lane(ChargingLane::evenly_spaced(0, olev::util::meters(0.0), olev::util::meters(200.0), 1, spec), config);
   std::vector<traffic::Vehicle> vehicles{olev_at(1, 0, 10.0, 5.0)};
   lane.on_step(view_of(vehicles, 0.0));
   EXPECT_DOUBLE_EQ(lane.ledger().total_kwh(), 0.0);
@@ -177,7 +177,7 @@ TEST(ChargingLane, SectionBudgetSharedAcrossOccupants) {
   spec.length_m = 100.0;
   spec.rated_power_kw = 50.0;
   ChargingLaneConfig config;
-  ChargingLane lane(ChargingLane::evenly_spaced(0, 0.0, 100.0, 1, spec), config);
+  ChargingLane lane(ChargingLane::evenly_spaced(0, olev::util::meters(0.0), olev::util::meters(100.0), 1, spec), config);
   std::vector<traffic::Vehicle> vehicles{olev_at(1, 0, 30.0, 2.0),
                                          olev_at(2, 0, 70.0, 2.0)};
   lane.on_step(view_of(vehicles, 0.0));

@@ -18,7 +18,7 @@ struct Rig {
   static Rig make(std::uint64_t seed = 7) {
     const auto program = traffic::SignalProgram::fixed_cycle(35.0, 4.0, 31.0);
     traffic::Network net = traffic::Network::arterial(
-        2, 300.0, util::mph_to_mps(30.0), program, 2);
+        2, 300.0, util::to_mps(util::mph(30.0)).value(), program, 2);
     traffic::SimulationConfig config;
     config.seed = seed;
     traffic::Simulation sim(std::move(net), config);
@@ -29,7 +29,7 @@ struct Rig {
     wpt::ChargingSectionSpec spec;
     spec.length_m = 20.0;
     wpt::ChargingLane lane(
-        wpt::ChargingLane::evenly_spaced(0, 100.0, 300.0, 10, spec),
+        wpt::ChargingLane::evenly_spaced(0, olev::util::meters(100.0), olev::util::meters(300.0), 10, spec),
         wpt::ChargingLaneConfig{});
     return Rig{std::move(sim), std::move(lane), grid::NyisoDay::generate()};
   }

@@ -10,7 +10,7 @@ namespace {
 
 SectionCost nonlinear_cost(double cap = 60.0) {
   return SectionCost(std::make_unique<NonlinearPricing>(10.0, 0.875, cap),
-                     OverloadCost{2.0}, cap);
+                     OverloadCost{2.0}, olev::util::kw(cap));
 }
 
 TEST(NonlinearPricing, MatchesPaperForm) {
@@ -109,7 +109,7 @@ TEST(SectionCost, DerivativeInverseClampsBelowZero) {
 }
 
 TEST(SectionCost, DerivativeInverseRejectsLinearNoOverload) {
-  SectionCost z(std::make_unique<LinearPricing>(2.0), OverloadCost{0.0}, 50.0);
+  SectionCost z(std::make_unique<LinearPricing>(2.0), OverloadCost{0.0}, olev::util::kw(50.0));
   EXPECT_FALSE(z.strictly_convex());
   EXPECT_THROW(z.derivative_inverse(2.0), std::logic_error);
 }
@@ -120,23 +120,23 @@ TEST(SectionCost, CopySemantics) {
   EXPECT_DOUBLE_EQ(copy.value(33.0), original.value(33.0));
   EXPECT_DOUBLE_EQ(copy.cap_kw(), original.cap_kw());
   SectionCost assigned(std::make_unique<LinearPricing>(1.0), OverloadCost{1.0},
-                       10.0);
+                       olev::util::kw(10.0));
   assigned = original;
   EXPECT_DOUBLE_EQ(assigned.value(33.0), original.value(33.0));
 }
 
 TEST(SectionCost, Validation) {
-  EXPECT_THROW(SectionCost(nullptr, OverloadCost{1.0}, 10.0),
+  EXPECT_THROW(SectionCost(nullptr, OverloadCost{1.0}, olev::util::kw(10.0)),
                std::invalid_argument);
   EXPECT_THROW(SectionCost(std::make_unique<LinearPricing>(1.0),
-                           OverloadCost{1.0}, -5.0),
+                           OverloadCost{1.0}, olev::util::kw(-5.0)),
                std::invalid_argument);
 }
 
 TEST(SectionCost, LinearWithOverloadIsConvexEnough) {
   // The linear baseline plus a positive hinge is still flagged usable by
   // the strictly-convex machinery (unique level exists above the cap).
-  SectionCost z(std::make_unique<LinearPricing>(2.0), OverloadCost{1.0}, 50.0);
+  SectionCost z(std::make_unique<LinearPricing>(2.0), OverloadCost{1.0}, olev::util::kw(50.0));
   EXPECT_TRUE(z.strictly_convex());
 }
 

@@ -14,12 +14,12 @@ namespace {
 
 traffic::Network corridor() {
   const auto program = traffic::SignalProgram::fixed_cycle(30.0, 4.0, 26.0);
-  return traffic::Network::arterial(2, 200.0, util::mph_to_mps(30.0), program, 1);
+  return traffic::Network::arterial(2, 200.0, util::to_mps(util::mph(30.0)).value(), program, 1);
 }
 
 TEST(EnumerateSlots, TilesEdges) {
   traffic::Network net = corridor();
-  const auto slots = enumerate_slots(net, 20.0);
+  const auto slots = enumerate_slots(net, olev::util::meters(20.0));
   // Two 200 m edges, 10 slots each.
   ASSERT_EQ(slots.size(), 20u);
   EXPECT_EQ(slots[0].edge, 0u);
@@ -32,8 +32,8 @@ TEST(EnumerateSlots, TilesEdges) {
 TEST(EnumerateSlots, DropsPartialSlots) {
   traffic::Network net;
   net.add_edge("a", 50.0, 10.0);
-  EXPECT_EQ(enumerate_slots(net, 20.0).size(), 2u);
-  EXPECT_THROW(enumerate_slots(net, 0.0), std::invalid_argument);
+  EXPECT_EQ(enumerate_slots(net, olev::util::meters(20.0)).size(), 2u);
+  EXPECT_THROW((void)enumerate_slots(net, olev::util::meters(0.0)), std::invalid_argument);
 }
 
 TEST(PlanDeployment, PicksHighestScores) {
@@ -75,7 +75,7 @@ TEST(ScoreSlots, QueueAtRedLightScoresHighest) {
   // Always-red interior signal: vehicles queue at the end of edge 0, so
   // slots near the stop line must collect the most occupancy.
   traffic::Network net = traffic::Network::arterial(
-      2, 200.0, util::mph_to_mps(30.0),
+      2, 200.0, util::to_mps(util::mph(30.0)).value(),
       traffic::SignalProgram({{traffic::LightState::kRed, 10000.0}}), 1);
   traffic::SimulationConfig config;
   config.deterministic = true;
@@ -84,8 +84,8 @@ TEST(ScoreSlots, QueueAtRedLightScoresHighest) {
   demand.counts.fill(600.0);
   sim.add_source(traffic::FlowSource({0, 1}, demand, traffic::VehicleType::olev()));
 
-  auto slots = enumerate_slots(net, 20.0);
-  score_slots_by_occupancy(sim, slots, 600.0);
+  auto slots = enumerate_slots(net, olev::util::meters(20.0));
+  score_slots_by_occupancy(sim, slots, olev::util::seconds(600.0));
 
   // The best slot sits on edge 0 near the stop line (offset 180).
   const auto best = std::max_element(
@@ -107,8 +107,8 @@ TEST(ScoreSlots, SimulationUsableAfterScoring) {
   traffic::SimulationConfig config;
   config.deterministic = true;
   traffic::Simulation sim(net, config);
-  auto slots = enumerate_slots(net, 20.0);
-  score_slots_by_occupancy(sim, slots, 10.0);
+  auto slots = enumerate_slots(net, olev::util::meters(20.0));
+  score_slots_by_occupancy(sim, slots, olev::util::seconds(10.0));
   // Detectors were unhooked; stepping further must be safe.
   sim.run_until(20.0);
   SUCCEED();
@@ -134,7 +134,7 @@ TEST(ChargingRouteBonus, NegativeProportionalToCoverage) {
   std::vector<ChargingSection> sections(1);
   sections[0].edge = 1;
   sections[0].spec.length_m = 40.0;
-  const auto bonus = charging_route_bonus(net, sections, 0.5);
+  const auto bonus = charging_route_bonus(net, sections, olev::util::SecondsPerMeter(0.5));
   EXPECT_DOUBLE_EQ(bonus[0], 0.0);
   EXPECT_DOUBLE_EQ(bonus[1], -20.0);
 }
@@ -148,7 +148,7 @@ TEST(ReachableSections, WithinHorizonOnCurrentEdge) {
   for (auto& s : sections) s.spec.length_m = 20.0;
   // At 10 m/s with a 9 s horizon from position 20: reach up to 110 m.
   const auto mask =
-      reachable_sections(net, sections, {0, 1}, 0, 20.0, 10.0, 9.0);
+      reachable_sections(net, sections, {0, 1}, 0, olev::util::meters(20.0), olev::util::mps(10.0), olev::util::seconds(9.0));
   EXPECT_TRUE(mask[0]);    // [50, 70) within reach
   EXPECT_FALSE(mask[1]);   // starts at 150, beyond 110
   EXPECT_FALSE(mask[2]);   // next edge, unreachable
@@ -163,7 +163,7 @@ TEST(ReachableSections, CrossesEdgeBoundary) {
   // From position 100 at 15 m/s with 12 s horizon: reach 280 m along the
   // route = all of edge 0 plus 80 m of edge 1.
   const auto mask =
-      reachable_sections(net, sections, {0, 1}, 0, 100.0, 15.0, 12.0);
+      reachable_sections(net, sections, {0, 1}, 0, olev::util::meters(100.0), olev::util::mps(15.0), olev::util::seconds(12.0));
   EXPECT_TRUE(mask[0]);
   EXPECT_TRUE(mask[1]);
 }
@@ -175,7 +175,7 @@ TEST(ReachableSections, SectionsBehindAreExcluded) {
   sections[0].spec.length_m = 20.0;
   // Vehicle already at 80 m: the section [20, 40) is behind it.
   const auto mask =
-      reachable_sections(net, sections, {0, 1}, 0, 80.0, 10.0, 60.0);
+      reachable_sections(net, sections, {0, 1}, 0, olev::util::meters(80.0), olev::util::mps(10.0), olev::util::seconds(60.0));
   EXPECT_FALSE(mask[0]);
 }
 
@@ -184,9 +184,9 @@ TEST(ReachableSections, DegenerateInputsGiveEmptyMask) {
   std::vector<ChargingSection> sections(1);
   sections[0] = {0, 50.0, ChargingSectionSpec{}};
   EXPECT_FALSE(
-      reachable_sections(net, sections, {0}, 5, 0.0, 10.0, 10.0)[0]);
-  EXPECT_FALSE(reachable_sections(net, sections, {0}, 0, 0.0, 0.0, 10.0)[0]);
-  EXPECT_FALSE(reachable_sections(net, sections, {0}, 0, 0.0, 10.0, 0.0)[0]);
+      reachable_sections(net, sections, {0}, 5, olev::util::meters(0.0), olev::util::mps(10.0), olev::util::seconds(10.0))[0]);
+  EXPECT_FALSE(reachable_sections(net, sections, {0}, 0, olev::util::meters(0.0), olev::util::mps(0.0), olev::util::seconds(10.0))[0]);
+  EXPECT_FALSE(reachable_sections(net, sections, {0}, 0, olev::util::meters(0.0), olev::util::mps(10.0), olev::util::seconds(0.0))[0]);
 }
 
 TEST(ReachableSections, FeedsGameMask) {
@@ -197,20 +197,20 @@ TEST(ReachableSections, FeedsGameMask) {
   sections[1] = {1, 50.0, ChargingSectionSpec{}};
   for (auto& s : sections) s.spec.length_m = 20.0;
   const auto mask =
-      reachable_sections(net, sections, {0, 1}, 0, 0.0, 10.0, 10.0);
+      reachable_sections(net, sections, {0, 1}, 0, olev::util::meters(0.0), olev::util::mps(10.0), olev::util::seconds(10.0));
   ASSERT_TRUE(mask[0]);
   ASSERT_FALSE(mask[1]);
 
   core::PlayerSpec player;
   player.satisfaction = std::make_unique<core::LogSatisfaction>(10.0);
-  player.p_max = 30.0;
+  player.p_max = olev::util::kw(30.0);
   player.allowed_sections = mask;
   std::vector<core::PlayerSpec> players;
   players.push_back(std::move(player));
   core::SectionCost cost(
       std::make_unique<core::NonlinearPricing>(5.0, 0.875, 40.0),
-      core::OverloadCost{1.0}, 40.0);
-  core::Game game(std::move(players), cost, 2, 50.0);
+      core::OverloadCost{1.0}, olev::util::kw(40.0));
+  core::Game game(std::move(players), cost, 2, olev::util::kw(50.0));
   const auto result = game.run();
   ASSERT_TRUE(result.converged);
   EXPECT_GT(result.schedule.at(0, 0), 0.0);
@@ -225,7 +225,7 @@ TEST(Deployment, BonusIntegratesWithRouting) {
   std::vector<ChargingSection> sections(1);
   sections[0].edge = *net.find_edge("e0_1_0_2");
   sections[0].spec.length_m = 100.0;
-  const auto adjust = charging_route_bonus(net, sections, 0.3);  // 30 s worth
+  const auto adjust = charging_route_bonus(net, sections, olev::util::SecondsPerMeter(0.3));  // 30 s worth
   const auto start = *net.find_edge("e0_0_0_1");
   const auto goal = *net.find_edge("e1_2_2_2");
   const auto lured = traffic::shortest_route(net, start, goal, adjust);

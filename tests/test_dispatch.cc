@@ -32,7 +32,7 @@ TEST(DispatchStack, SortsIntoMeritOrder) {
 
 TEST(DispatchStack, CheapUnitsDispatchedFirst) {
   const DispatchStack stack = two_unit_stack();
-  const DispatchResult result = stack.dispatch(80.0);
+  const DispatchResult result = stack.dispatch(olev::util::mw(80.0));
   EXPECT_DOUBLE_EQ(result.output_mw[0], 80.0);
   EXPECT_DOUBLE_EQ(result.output_mw[1], 0.0);
   EXPECT_DOUBLE_EQ(result.price, 20.0);
@@ -40,7 +40,7 @@ TEST(DispatchStack, CheapUnitsDispatchedFirst) {
 
 TEST(DispatchStack, MarginalUnitSetsPrice) {
   const DispatchStack stack = two_unit_stack();
-  const DispatchResult result = stack.dispatch(120.0);
+  const DispatchResult result = stack.dispatch(olev::util::mw(120.0));
   EXPECT_DOUBLE_EQ(result.output_mw[0], 100.0);
   EXPECT_DOUBLE_EQ(result.output_mw[1], 20.0);
   EXPECT_DOUBLE_EQ(result.price, 100.0);
@@ -48,7 +48,7 @@ TEST(DispatchStack, MarginalUnitSetsPrice) {
 
 TEST(DispatchStack, ZeroLoadPaysBaseloadPrice) {
   const DispatchStack stack = two_unit_stack();
-  const DispatchResult result = stack.dispatch(0.0);
+  const DispatchResult result = stack.dispatch(olev::util::mw(0.0));
   EXPECT_DOUBLE_EQ(result.price, 20.0);
   EXPECT_TRUE(result.served);
   EXPECT_DOUBLE_EQ(result.reserve_margin_mw, 150.0);
@@ -56,7 +56,7 @@ TEST(DispatchStack, ZeroLoadPaysBaseloadPrice) {
 
 TEST(DispatchStack, UnservedLoadHitsPriceCap) {
   const DispatchStack stack = two_unit_stack();
-  const DispatchResult result = stack.dispatch(200.0);
+  const DispatchResult result = stack.dispatch(olev::util::mw(200.0));
   EXPECT_FALSE(result.served);
   EXPECT_DOUBLE_EQ(result.unserved_mw, 50.0);
   EXPECT_DOUBLE_EQ(result.price, stack.value_of_lost_load());
@@ -67,7 +67,7 @@ TEST(DispatchStack, PriceNondecreasingInLoad) {
   double prev = 0.0;
   for (double load = 0.0; load <= stack.total_capacity_mw() + 500.0;
        load += 100.0) {
-    const double price = stack.dispatch(load).price;
+    const double price = stack.dispatch(olev::util::mw(load)).price;
     EXPECT_GE(price, prev) << "load " << load;
     prev = price;
   }
@@ -75,16 +75,16 @@ TEST(DispatchStack, PriceNondecreasingInLoad) {
 
 TEST(DispatchStack, ReserveMarginShrinksWithLoad) {
   const DispatchStack stack = DispatchStack::nyiso_like();
-  EXPECT_GT(stack.dispatch(4000.0).reserve_margin_mw,
-            stack.dispatch(6500.0).reserve_margin_mw);
+  EXPECT_GT(stack.dispatch(olev::util::mw(4000.0)).reserve_margin_mw,
+            stack.dispatch(olev::util::mw(6500.0)).reserve_margin_mw);
 }
 
 TEST(DispatchStack, EmissionsGrowWithLoad) {
   const DispatchStack stack = DispatchStack::nyiso_like();
   // Marginal units are fossil: emissions convex-ish increasing.
-  EXPECT_LT(stack.dispatch(3000.0).co2_t_per_h, stack.dispatch(6000.0).co2_t_per_h);
+  EXPECT_LT(stack.dispatch(olev::util::mw(3000.0)).co2_t_per_h, stack.dispatch(olev::util::mw(6000.0)).co2_t_per_h);
   // Nuclear/hydro-only dispatch emits nothing.
-  EXPECT_DOUBLE_EQ(stack.dispatch(2000.0).co2_t_per_h, 0.0);
+  EXPECT_DOUBLE_EQ(stack.dispatch(olev::util::mw(2000.0)).co2_t_per_h, 0.0);
 }
 
 TEST(DispatchStack, NyisoLikeCoversPaperLoadRange) {
@@ -93,25 +93,26 @@ TEST(DispatchStack, NyisoLikeCoversPaperLoadRange) {
   EXPECT_GE(stack.total_capacity_mw(), load_config.max_load_mw);
   // Prices across the paper's load range stay within the published band.
   for (double load : {4017.1, 5000.0, 6000.0, 6657.8}) {
-    const DispatchResult result = stack.dispatch(load);
+    const DispatchResult result = stack.dispatch(olev::util::mw(load));
     EXPECT_TRUE(result.served) << load;
     EXPECT_GE(result.price, 12.52);
     EXPECT_LE(result.price, 244.04);
   }
   // Trough cheap, peak expensive -- the Fig. 2(c) dynamic.
-  EXPECT_LT(stack.dispatch(4017.1).price, stack.dispatch(6657.8).price);
+  EXPECT_LT(stack.dispatch(olev::util::mw(4017.1)).price, stack.dispatch(olev::util::mw(6657.8)).price);
 }
 
 TEST(DispatchStack, OutputsSumToServedLoad) {
   const DispatchStack stack = DispatchStack::nyiso_like();
-  const DispatchResult result = stack.dispatch(5500.0);
+  const DispatchResult result = stack.dispatch(olev::util::mw(5500.0));
   const double total = std::accumulate(result.output_mw.begin(),
                                        result.output_mw.end(), 0.0);
   EXPECT_NEAR(total, 5500.0, 1e-9);
 }
 
 TEST(DispatchStack, RejectsNegativeLoad) {
-  EXPECT_THROW(two_unit_stack().dispatch(-1.0), std::invalid_argument);
+  EXPECT_THROW((void)two_unit_stack().dispatch(olev::util::mw(-1.0)),
+               std::invalid_argument);
 }
 
 }  // namespace

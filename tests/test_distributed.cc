@@ -11,7 +11,7 @@ namespace {
 
 SectionCost make_cost(double cap = 40.0) {
   return SectionCost(std::make_unique<NonlinearPricing>(5.0, 0.875, cap),
-                     OverloadCost{1.0}, cap);
+                     OverloadCost{1.0}, olev::util::kw(cap));
 }
 
 std::vector<PlayerSpec> make_players(const std::vector<double>& weights,
@@ -20,7 +20,7 @@ std::vector<PlayerSpec> make_players(const std::vector<double>& weights,
   for (double w : weights) {
     PlayerSpec player;
     player.satisfaction = std::make_unique<LogSatisfaction>(w);
-    player.p_max = p_max;
+    player.p_max = olev::util::kw(p_max);
     players.push_back(std::move(player));
   }
   return players;
@@ -28,7 +28,7 @@ std::vector<PlayerSpec> make_players(const std::vector<double>& weights,
 
 GameResult reference_equilibrium(const std::vector<double>& weights,
                                  std::size_t sections, double p_max = 200.0) {
-  Game game(make_players(weights, p_max), make_cost(), sections, 50.0);
+  Game game(make_players(weights, p_max), make_cost(), sections, olev::util::kw(50.0));
   return game.run();
 }
 
@@ -36,7 +36,7 @@ TEST(Distributed, ConvergesOnPerfectLink) {
   DistributedConfig config;
   const DistributedResult result =
       run_distributed_game(make_players({10.0, 20.0, 15.0}), make_cost(), 3,
-                           50.0, config);
+                           olev::util::kw(50.0), config);
   EXPECT_TRUE(result.converged);
   EXPECT_EQ(result.retransmissions, 0u);
   EXPECT_EQ(result.bus.dropped, 0u);
@@ -47,7 +47,7 @@ TEST(Distributed, MatchesInProcessEquilibrium) {
   const GameResult reference = reference_equilibrium(weights, 3);
   DistributedConfig config;
   const DistributedResult result =
-      run_distributed_game(make_players(weights), make_cost(), 3, 50.0, config);
+      run_distributed_game(make_players(weights), make_cost(), 3, olev::util::kw(50.0), config);
   ASSERT_TRUE(result.converged);
   EXPECT_NEAR(result.schedule.max_abs_diff(reference.schedule), 0.0, 1e-4);
 }
@@ -59,7 +59,7 @@ TEST(Distributed, SurvivesMessageLoss) {
   config.link.drop_probability = 0.2;
   config.retransmit_timeout_s = 0.1;
   const DistributedResult result =
-      run_distributed_game(make_players(weights), make_cost(), 3, 50.0, config);
+      run_distributed_game(make_players(weights), make_cost(), 3, olev::util::kw(50.0), config);
   ASSERT_TRUE(result.converged);
   EXPECT_GT(result.retransmissions, 0u);
   EXPECT_GT(result.bus.dropped, 0u);
@@ -73,7 +73,7 @@ TEST(Distributed, SurvivesHeavyLoss) {
   config.retransmit_timeout_s = 0.05;
   config.max_sim_time_s = 7200.0;
   const DistributedResult result = run_distributed_game(
-      make_players({10.0, 20.0}), make_cost(), 2, 50.0, config);
+      make_players({10.0, 20.0}), make_cost(), 2, olev::util::kw(50.0), config);
   EXPECT_TRUE(result.converged);
 }
 
@@ -83,9 +83,9 @@ TEST(Distributed, LatencyOnlyDelaysConvergence) {
   DistributedConfig slow;
   slow.link.base_latency_s = 0.1;
   const auto quick = run_distributed_game(make_players({10.0, 20.0}),
-                                          make_cost(), 2, 50.0, fast);
+                                          make_cost(), 2, olev::util::kw(50.0), fast);
   const auto tardy = run_distributed_game(make_players({10.0, 20.0}),
-                                          make_cost(), 2, 50.0, slow);
+                                          make_cost(), 2, olev::util::kw(50.0), slow);
   ASSERT_TRUE(quick.converged);
   ASSERT_TRUE(tardy.converged);
   EXPECT_LT(quick.sim_time_s, tardy.sim_time_s);
@@ -96,7 +96,7 @@ TEST(Distributed, LatencyOnlyDelaysConvergence) {
 TEST(Distributed, SinglePlayer) {
   DistributedConfig config;
   const DistributedResult result =
-      run_distributed_game(make_players({10.0}), make_cost(), 2, 50.0, config);
+      run_distributed_game(make_players({10.0}), make_cost(), 2, olev::util::kw(50.0), config);
   EXPECT_TRUE(result.converged);
   EXPECT_GT(result.schedule.row_total(0), 0.0);
 }
@@ -131,7 +131,7 @@ TEST(V2ISession, HonestAgentsMatchTrustedProtocol) {
 
 TEST(V2ISession, ValidatesProfileCount) {
   std::vector<AgentProfile> profiles(1);
-  EXPECT_THROW(run_v2i_session(make_players({10.0, 20.0}), profiles,
+  EXPECT_THROW((void)run_v2i_session(make_players({10.0, 20.0}), profiles,
                                make_cost(), 2, DistributedConfig{}),
                std::invalid_argument);
 }
@@ -191,7 +191,7 @@ TEST(Distributed, HighJitterReorderingTolerated) {
   config.link.jitter_s = 0.2;  // 40x the base latency
   config.retransmit_timeout_s = 0.5;
   const DistributedResult result =
-      run_distributed_game(make_players(weights), make_cost(), 3, 50.0, config);
+      run_distributed_game(make_players(weights), make_cost(), 3, olev::util::kw(50.0), config);
   ASSERT_TRUE(result.converged);
   EXPECT_NEAR(result.schedule.max_abs_diff(reference.schedule), 0.0, 1e-4);
 }
@@ -204,14 +204,14 @@ TEST(Distributed, LossAndJitterCombined) {
   config.retransmit_timeout_s = 0.12;
   config.max_sim_time_s = 7200.0;
   const DistributedResult result = run_distributed_game(
-      make_players({10.0, 20.0, 15.0, 9.0}), make_cost(), 3, 50.0, config);
+      make_players({10.0, 20.0, 15.0, 9.0}), make_cost(), 3, olev::util::kw(50.0), config);
   EXPECT_TRUE(result.converged);
 }
 
 TEST(Distributed, BusTrafficAccounted) {
   DistributedConfig config;
   const DistributedResult result = run_distributed_game(
-      make_players({10.0, 20.0}), make_cost(), 2, 50.0, config);
+      make_players({10.0, 20.0}), make_cost(), 2, olev::util::kw(50.0), config);
   // Every completed round needs announce + request + confirm >= 3 messages.
   EXPECT_GE(result.bus.sent, 3 * result.rounds);
   EXPECT_GT(result.bus.bytes_sent, 0u);

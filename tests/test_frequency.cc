@@ -20,19 +20,19 @@ TEST(FrequencySimulator, ValidatesConfig) {
 
 TEST(FrequencySimulator, NoDisturbanceHoldsNominal) {
   FrequencySimulator sim;
-  for (int i = 0; i < 100; ++i) sim.step(0.0);
+  for (int i = 0; i < 100; ++i) sim.step(olev::util::mw(0.0));
   EXPECT_NEAR(sim.frequency_hz(), 60.0, 1e-9);
 }
 
 TEST(FrequencySimulator, ShortageDepressesFrequency) {
   FrequencySimulator sim;
-  sim.step(200.0);  // 200 MW shortage
+  sim.step(olev::util::mw(200.0));  // 200 MW shortage
   EXPECT_LT(sim.frequency_hz(), 60.0);
 }
 
 TEST(FrequencySimulator, SurplusRaisesFrequency) {
   FrequencySimulator sim;
-  sim.step(-200.0);
+  sim.step(olev::util::mw(-200.0));
   EXPECT_GT(sim.frequency_hz(), 60.0);
 }
 
@@ -89,7 +89,7 @@ TEST(FrequencySimulator, LargerReserveSmallerStandingDeviation) {
 
 TEST(FrequencySimulator, ResetRestoresState) {
   FrequencySimulator sim;
-  sim.step(500.0);
+  sim.step(olev::util::mw(500.0));
   sim.reset();
   EXPECT_DOUBLE_EQ(sim.frequency_hz(), 60.0);
   EXPECT_DOUBLE_EQ(sim.time_s(), 0.0);

@@ -15,7 +15,7 @@ namespace {
 
 SectionCost make_cost(double cap = 40.0) {
   return SectionCost(std::make_unique<NonlinearPricing>(5.0, 0.875, cap),
-                     OverloadCost{1.0}, cap);
+                     OverloadCost{1.0}, olev::util::kw(cap));
 }
 
 std::vector<PlayerSpec> make_players(const std::vector<double>& weights,
@@ -24,27 +24,27 @@ std::vector<PlayerSpec> make_players(const std::vector<double>& weights,
   for (double w : weights) {
     PlayerSpec player;
     player.satisfaction = std::make_unique<LogSatisfaction>(w);
-    player.p_max = p_max;
+    player.p_max = olev::util::kw(p_max);
     players.push_back(std::move(player));
   }
   return players;
 }
 
 TEST(Game, ConstructorValidation) {
-  EXPECT_THROW(Game({}, make_cost(), 2, 50.0), std::invalid_argument);
-  EXPECT_THROW(Game(make_players({1.0}), make_cost(), 0, 50.0),
+  EXPECT_THROW(Game({}, make_cost(), 2, olev::util::kw(50.0)), std::invalid_argument);
+  EXPECT_THROW(Game(make_players({1.0}), make_cost(), 0, olev::util::kw(50.0)),
                std::invalid_argument);
-  EXPECT_THROW(Game(make_players({1.0}), make_cost(), 2, 0.0),
+  EXPECT_THROW(Game(make_players({1.0}), make_cost(), 2, olev::util::kw(0.0)),
                std::invalid_argument);
   auto players = make_players({1.0});
-  players[0].p_max = -1.0;
-  EXPECT_THROW(Game(std::move(players), make_cost(), 2, 50.0),
+  players[0].p_max = olev::util::kw(-1.0);
+  EXPECT_THROW(Game(std::move(players), make_cost(), 2, olev::util::kw(50.0)),
                std::invalid_argument);
 }
 
 TEST(Game, SinglePlayerConvergesInOneCycle) {
   GameConfig config;
-  Game game(make_players({10.0}), make_cost(), 3, 50.0, config);
+  Game game(make_players({10.0}), make_cost(), 3, olev::util::kw(50.0), config);
   const GameResult result = game.run();
   EXPECT_TRUE(result.converged);
   // One update sets the best response; the next confirms no change.
@@ -52,21 +52,21 @@ TEST(Game, SinglePlayerConvergesInOneCycle) {
 }
 
 TEST(Game, ConvergesForManyPlayers) {
-  Game game(make_players({10.0, 20.0, 15.0, 8.0, 12.0}), make_cost(), 4, 50.0);
+  Game game(make_players({10.0, 20.0, 15.0, 8.0, 12.0}), make_cost(), 4, olev::util::kw(50.0));
   const GameResult result = game.run();
   EXPECT_TRUE(result.converged);
   EXPECT_GT(result.welfare, 0.0);
 }
 
 TEST(Game, FixedPointIsMutualBestResponse) {
-  Game game(make_players({10.0, 20.0, 15.0}), make_cost(), 3, 50.0);
+  Game game(make_players({10.0, 20.0, 15.0}), make_cost(), 3, olev::util::kw(50.0));
   const GameResult result = game.run();
   ASSERT_TRUE(result.converged);
   const SectionCost z = make_cost();
   for (std::size_t n = 0; n < 3; ++n) {
     const auto others = result.schedule.column_totals_excluding(n);
     LogSatisfaction u(n == 0 ? 10.0 : (n == 1 ? 20.0 : 15.0));
-    const BestResponse response = best_response(u, z, others, 200.0);
+    const BestResponse response = best_response(u, z, others, olev::util::kw(200.0));
     EXPECT_NEAR(response.p_star, result.requests[n], 1e-5) << "player " << n;
   }
 }
@@ -75,7 +75,7 @@ TEST(Game, EquilibriumMatchesCentralOptimum) {
   // Theorem IV.1: the asynchronous fixed point attains the social optimum.
   const std::vector<double> weights{10.0, 25.0, 18.0};
   const double p_max = 60.0;
-  Game game(make_players(weights, p_max), make_cost(), 3, 50.0);
+  Game game(make_players(weights, p_max), make_cost(), 3, olev::util::kw(50.0));
   const GameResult game_result = game.run();
   ASSERT_TRUE(game_result.converged);
 
@@ -99,8 +99,8 @@ TEST(Game, RandomOrderReachesSameEquilibrium) {
   random.order = UpdateOrder::kUniformRandom;
   random.max_updates = 100000;
 
-  Game a(make_players({10.0, 20.0, 15.0}), make_cost(), 3, 50.0, round_robin);
-  Game b(make_players({10.0, 20.0, 15.0}), make_cost(), 3, 50.0, random);
+  Game a(make_players({10.0, 20.0, 15.0}), make_cost(), 3, olev::util::kw(50.0), round_robin);
+  Game b(make_players({10.0, 20.0, 15.0}), make_cost(), 3, olev::util::kw(50.0), random);
   const GameResult ra = a.run();
   const GameResult rb = b.run();
   ASSERT_TRUE(ra.converged);
@@ -114,14 +114,14 @@ TEST(Game, RandomOrderReachesSameEquilibrium) {
 TEST(Game, EquilibriumBalancesLoad) {
   // Lemma IV.1 balancing: at the fixed point, symmetric sections carry
   // near-identical load (the Fig. 5(c) nonlinear curve).
-  Game game(make_players({30.0, 30.0, 30.0, 30.0}), make_cost(), 5, 50.0);
+  Game game(make_players({30.0, 30.0, 30.0, 30.0}), make_cost(), 5, olev::util::kw(50.0));
   const GameResult result = game.run();
   ASSERT_TRUE(result.converged);
   EXPECT_GT(result.congestion.jain_fairness, 0.9999);
 }
 
 TEST(Game, PaymentsMatchExternality) {
-  Game game(make_players({12.0, 18.0}), make_cost(), 2, 50.0);
+  Game game(make_players({12.0, 18.0}), make_cost(), 2, olev::util::kw(50.0));
   const GameResult result = game.run();
   const SectionCost z = make_cost();
   for (std::size_t n = 0; n < 2; ++n) {
@@ -134,7 +134,7 @@ TEST(Game, PaymentsMatchExternality) {
 TEST(Game, TrajectoryRecordsEveryUpdate) {
   GameConfig config;
   config.record_trajectory = true;
-  Game game(make_players({10.0, 20.0}), make_cost(), 2, 50.0, config);
+  Game game(make_players({10.0, 20.0}), make_cost(), 2, olev::util::kw(50.0), config);
   const GameResult result = game.run();
   ASSERT_TRUE(result.converged);
   ASSERT_EQ(result.trajectory.size(), result.updates);
@@ -153,14 +153,14 @@ TEST(Game, MaxUpdatesBoundsRun) {
   GameConfig config;
   config.max_updates = 5;
   config.epsilon = 0.0;  // never converge
-  Game game(make_players({10.0, 20.0}), make_cost(), 2, 50.0, config);
+  Game game(make_players({10.0, 20.0}), make_cost(), 2, olev::util::kw(50.0), config);
   const GameResult result = game.run();
   EXPECT_FALSE(result.converged);
   EXPECT_EQ(result.updates, 5u);
 }
 
 TEST(Game, WarmStartKeepsSchedule) {
-  Game game(make_players({10.0, 20.0}), make_cost(), 2, 50.0);
+  Game game(make_players({10.0, 20.0}), make_cost(), 2, olev::util::kw(50.0));
   const GameResult first = game.run();
   ASSERT_TRUE(first.converged);
   // Warm restart from the fixed point: converges immediately (one cycle).
@@ -171,7 +171,7 @@ TEST(Game, WarmStartKeepsSchedule) {
 }
 
 TEST(Game, UpdatePlayerOutOfRangeThrows) {
-  Game game(make_players({10.0}), make_cost(), 2, 50.0);
+  Game game(make_players({10.0}), make_cost(), 2, olev::util::kw(50.0));
   EXPECT_THROW(game.update_player(5), std::out_of_range);
 }
 
@@ -179,10 +179,10 @@ TEST(Game, GreedySchedulerUnbalancesLoad) {
   // The linear-pricing baseline: greedy fill leaves sections unequal
   // (Fig. 5(c) "linear pricing" curve).
   SectionCost linear(std::make_unique<LinearPricing>(0.02), OverloadCost{0.0},
-                     30.0);
+                     olev::util::kw(30.0));
   GameConfig config;
   config.scheduler = SchedulerKind::kGreedy;
-  Game game(make_players({60.0, 60.0}, 50.0), linear, 4, 50.0, config);
+  Game game(make_players({60.0, 60.0}, 50.0), linear, 4, olev::util::kw(50.0), config);
   const GameResult result = game.run();
   ASSERT_TRUE(result.converged);
   EXPECT_LT(result.congestion.jain_fairness, 0.9);
@@ -193,10 +193,10 @@ TEST(Game, GreedySchedulerUnbalancesLoad) {
 TEST(Game, GreedyScalarRequestSolvesLinearFoc) {
   // Under V = beta x the baseline best response solves U'(p) = beta.
   SectionCost linear(std::make_unique<LinearPricing>(0.5), OverloadCost{0.0},
-                     1000.0);
+                     olev::util::kw(1000.0));
   GameConfig config;
   config.scheduler = SchedulerKind::kGreedy;
-  Game game(make_players({10.0}, 500.0), linear, 3, 50.0, config);
+  Game game(make_players({10.0}, 500.0), linear, 3, olev::util::kw(50.0), config);
   const GameResult result = game.run();
   // w/(1+p) = beta -> p = w/beta - 1 = 19.
   EXPECT_NEAR(result.requests[0], 19.0, 1e-6);
@@ -206,7 +206,7 @@ TEST(Game, PathMaskConfinesAllocation) {
   auto players = make_players({20.0, 20.0});
   players[0].allowed_sections = {true, true, false, false};
   players[1].allowed_sections = {false, false, true, true};
-  Game game(std::move(players), make_cost(), 4, 50.0);
+  Game game(std::move(players), make_cost(), 4, olev::util::kw(50.0));
   const GameResult result = game.run();
   ASSERT_TRUE(result.converged);
   // Each player's power stays on its own path.
@@ -226,7 +226,7 @@ TEST(Game, OverlappingMasksStillConverge) {
   players[0].allowed_sections = {true, true, false};
   players[1].allowed_sections = {false, true, true};
   // player 2: unrestricted (empty mask).
-  Game game(std::move(players), make_cost(), 3, 50.0);
+  Game game(std::move(players), make_cost(), 3, olev::util::kw(50.0));
   const GameResult result = game.run();
   EXPECT_TRUE(result.converged);
   EXPECT_DOUBLE_EQ(result.schedule.at(0, 2), 0.0);
@@ -236,17 +236,17 @@ TEST(Game, OverlappingMasksStillConverge) {
 TEST(Game, MaskValidation) {
   auto players = make_players({10.0});
   players[0].allowed_sections = {true};  // wrong length for 3 sections
-  EXPECT_THROW(Game(std::move(players), make_cost(), 3, 50.0),
+  EXPECT_THROW(Game(std::move(players), make_cost(), 3, olev::util::kw(50.0)),
                std::invalid_argument);
   auto blocked = make_players({10.0});
   blocked[0].allowed_sections = {false, false, false};
-  EXPECT_THROW(Game(std::move(blocked), make_cost(), 3, 50.0),
+  EXPECT_THROW(Game(std::move(blocked), make_cost(), 3, olev::util::kw(50.0)),
                std::invalid_argument);
 }
 
 TEST(Game, CurrentMetricsAccessors) {
-  Game game(make_players({10.0, 20.0}), make_cost(), 2, 50.0);
-  game.run();
+  Game game(make_players({10.0, 20.0}), make_cost(), 2, olev::util::kw(50.0));
+  (void)game.run();
   EXPECT_GT(game.current_welfare(), 0.0);
   EXPECT_GT(game.current_congestion().mean, 0.0);
 }

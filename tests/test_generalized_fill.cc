@@ -12,7 +12,7 @@ namespace {
 
 SectionCost make_cost(double cap) {
   return SectionCost(std::make_unique<NonlinearPricing>(8.0, 0.875, cap),
-                     OverloadCost{1.5}, cap);
+                     OverloadCost{1.5}, olev::util::kw(cap));
 }
 
 std::vector<const SectionCost*> pointers(const std::vector<SectionCost>& costs) {
@@ -26,20 +26,20 @@ TEST(GeneralizedFill, Validation) {
   costs.push_back(make_cost(40.0));
   const auto ptrs = pointers(costs);
   const std::vector<double> wrong_b{1.0, 2.0};
-  EXPECT_THROW(generalized_fill(ptrs, wrong_b, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)generalized_fill(ptrs, wrong_b, olev::util::kw(1.0)), std::invalid_argument);
   const std::vector<double> b{1.0};
-  EXPECT_THROW(generalized_fill(ptrs, b, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)generalized_fill(ptrs, b, olev::util::kw(-1.0)), std::invalid_argument);
   const std::vector<const SectionCost*> with_null{nullptr};
-  EXPECT_THROW(generalized_fill(with_null, b, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)generalized_fill(with_null, b, olev::util::kw(1.0)), std::invalid_argument);
 }
 
 TEST(GeneralizedFill, RejectsLinearSections) {
   std::vector<SectionCost> costs;
   costs.emplace_back(std::make_unique<LinearPricing>(2.0), OverloadCost{0.0},
-                     40.0);
+                     olev::util::kw(40.0));
   const auto ptrs = pointers(costs);
   const std::vector<double> b{0.0};
-  EXPECT_THROW(generalized_fill(ptrs, b, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)generalized_fill(ptrs, b, olev::util::kw(1.0)), std::invalid_argument);
 }
 
 TEST(GeneralizedFill, HomogeneousReducesToWaterFill) {
@@ -48,8 +48,8 @@ TEST(GeneralizedFill, HomogeneousReducesToWaterFill) {
   const auto ptrs = pointers(costs);
   const std::vector<double> b{3.0, 1.0, 8.0, 2.0};
   for (double total : {0.0, 2.5, 9.0, 40.0}) {
-    const auto general = generalized_fill(ptrs, b, total);
-    const auto classic = water_fill(b, total);
+    const auto general = generalized_fill(ptrs, b, olev::util::kw(total));
+    const auto classic = water_fill(b, olev::util::kw(total));
     for (std::size_t c = 0; c < b.size(); ++c) {
       EXPECT_NEAR(general.row[c], classic.row[c], 1e-5)
           << "total " << total << " section " << c;
@@ -65,7 +65,7 @@ TEST(GeneralizedFill, BudgetConservation) {
   const auto ptrs = pointers(costs);
   const std::vector<double> b{5.0, 0.0, 2.0};
   for (double total : {1.0, 10.0, 50.0}) {
-    const auto result = generalized_fill(ptrs, b, total);
+    const auto result = generalized_fill(ptrs, b, olev::util::kw(total));
     const double sum =
         std::accumulate(result.row.begin(), result.row.end(), 0.0);
     EXPECT_NEAR(sum, total, 1e-6) << "total " << total;
@@ -82,7 +82,7 @@ TEST(GeneralizedFill, KktStationarity) {
   costs.push_back(make_cost(35.0));
   const auto ptrs = pointers(costs);
   const std::vector<double> b{4.0, 1.0, 30.0};
-  const auto result = generalized_fill(ptrs, b, 12.0);
+  const auto result = generalized_fill(ptrs, b, olev::util::kw(12.0));
   for (std::size_t c = 0; c < b.size(); ++c) {
     const double marginal_here = costs[c].derivative(b[c] + result.row[c]);
     if (result.row[c] > 1e-9) {
@@ -102,7 +102,7 @@ TEST(GeneralizedFill, CheaperSectionGetsMore) {
   costs.push_back(make_cost(80.0));
   const auto ptrs = pointers(costs);
   const std::vector<double> b{0.0, 0.0};
-  const auto result = generalized_fill(ptrs, b, 10.0);
+  const auto result = generalized_fill(ptrs, b, olev::util::kw(10.0));
   EXPECT_GT(result.row[1], result.row[0]);
 }
 
@@ -114,7 +114,7 @@ TEST(GeneralizedFill, MinimizesTotalCostAmongRandomSplits) {
   const auto ptrs = pointers(costs);
   const std::vector<double> b{2.0, 6.0, 1.0};
   const double total = 9.0;
-  const auto result = generalized_fill(ptrs, b, total);
+  const auto result = generalized_fill(ptrs, b, olev::util::kw(total));
   auto cost_of = [&](const std::vector<double>& row) {
     double sum = 0.0;
     for (std::size_t c = 0; c < row.size(); ++c) {
@@ -140,7 +140,7 @@ TEST(GeneralizedFill, ZeroTotalReportsMinMarginal) {
   costs.push_back(make_cost(60.0));
   const auto ptrs = pointers(costs);
   const std::vector<double> b{0.0, 0.0};
-  const auto result = generalized_fill(ptrs, b, 0.0);
+  const auto result = generalized_fill(ptrs, b, olev::util::kw(0.0));
   EXPECT_EQ(result.active_sections, 0);
   EXPECT_NEAR(result.marginal,
               std::min(costs[0].derivative(0.0), costs[1].derivative(0.0)),

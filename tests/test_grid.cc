@@ -42,11 +42,11 @@ TEST(ControlPeriod, ReserveResponseIsFasterThanPeak) {
 }
 
 TEST(ControlPeriod, ClassifyByLoadAndDeficiency) {
-  EXPECT_EQ(classify(4000.0, 0.0, 6000.0, 100.0), ControlPeriod::kBaseload);
-  EXPECT_EQ(classify(6500.0, 0.0, 6000.0, 100.0), ControlPeriod::kPeak);
-  EXPECT_EQ(classify(5000.0, 150.0, 6000.0, 100.0),
+  EXPECT_EQ(classify(olev::util::mw(4000.0), olev::util::mw(0.0), olev::util::mw(6000.0), olev::util::mw(100.0)), ControlPeriod::kBaseload);
+  EXPECT_EQ(classify(olev::util::mw(6500.0), olev::util::mw(0.0), olev::util::mw(6000.0), olev::util::mw(100.0)), ControlPeriod::kPeak);
+  EXPECT_EQ(classify(olev::util::mw(5000.0), olev::util::mw(150.0), olev::util::mw(6000.0), olev::util::mw(100.0)),
             ControlPeriod::kSpinningReserve);
-  EXPECT_EQ(classify(5000.0, -150.0, 6000.0, 100.0),
+  EXPECT_EQ(classify(olev::util::mw(5000.0), olev::util::mw(-150.0), olev::util::mw(6000.0), olev::util::mw(100.0)),
             ControlPeriod::kSpinningReserve);
 }
 
@@ -67,8 +67,8 @@ TEST(LoadModel, TroughAndPeakAtPublishedHours) {
 
 TEST(LoadModel, ForecastSpansPaperRange) {
   LoadModelConfig config;
-  EXPECT_NEAR(forecast_load_mw(config, 4.0), config.min_load_mw, 1e-9);
-  EXPECT_NEAR(forecast_load_mw(config, 19.0), config.max_load_mw, 1e-9);
+  EXPECT_NEAR(forecast_load_mw(config, olev::util::hours(4.0)), config.min_load_mw, 1e-9);
+  EXPECT_NEAR(forecast_load_mw(config, olev::util::hours(19.0)), config.max_load_mw, 1e-9);
 }
 
 TEST(LoadModel, DayHasExpectedTickCount) {

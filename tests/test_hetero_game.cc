@@ -12,7 +12,7 @@ namespace {
 
 SectionCost make_cost(double cap) {
   return SectionCost(std::make_unique<NonlinearPricing>(8.0, 0.875, cap),
-                     OverloadCost{1.5}, cap);
+                     OverloadCost{1.5}, olev::util::kw(cap));
 }
 
 std::vector<PlayerSpec> make_players(const std::vector<double>& weights,
@@ -21,7 +21,7 @@ std::vector<PlayerSpec> make_players(const std::vector<double>& weights,
   for (double w : weights) {
     PlayerSpec player;
     player.satisfaction = std::make_unique<LogSatisfaction>(w);
-    player.p_max = p_max;
+    player.p_max = olev::util::kw(p_max);
     players.push_back(std::move(player));
   }
   return players;
@@ -40,7 +40,7 @@ TEST(HeteroGame, Validation) {
                std::invalid_argument);
   std::vector<SectionCost> linear;
   linear.emplace_back(std::make_unique<LinearPricing>(1.0), OverloadCost{0.0},
-                      40.0);
+                      olev::util::kw(40.0));
   EXPECT_THROW(HeteroGame(make_players({10.0}), std::move(linear), {50.0}),
                std::invalid_argument);
   auto masked = make_players({10.0});
@@ -57,7 +57,7 @@ TEST(HeteroGame, UniformSectionsMatchGame) {
   const HeteroGameResult hetero_result = hetero.run();
   ASSERT_TRUE(hetero_result.converged);
 
-  Game classic(make_players(weights), make_cost(40.0), 3, 50.0);
+  Game classic(make_players(weights), make_cost(40.0), 3, olev::util::kw(50.0));
   const GameResult classic_result = classic.run();
   ASSERT_TRUE(classic_result.converged);
 

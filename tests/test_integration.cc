@@ -19,7 +19,7 @@ namespace {
 traffic::Simulation make_corridor_sim(std::uint64_t seed = 1) {
   const auto program = traffic::SignalProgram::fixed_cycle(35.0, 4.0, 31.0);
   traffic::Network net =
-      traffic::Network::arterial(3, 300.0, util::mph_to_mps(30.0), program, 2);
+      traffic::Network::arterial(3, 300.0, util::to_mps(util::mph(30.0)).value(), program, 2);
   traffic::SimulationConfig config;
   config.seed = seed;
   traffic::Simulation sim(std::move(net), config);
@@ -38,7 +38,7 @@ TEST(Integration, CorridorHourOfTrafficDeliversEnergy) {
   spec.length_m = 20.0;
   wpt::ChargingLaneConfig lane_config;
   wpt::ChargingLane lane(
-      wpt::ChargingLane::evenly_spaced(0, 100.0, 300.0, 10, spec), lane_config);
+      wpt::ChargingLane::evenly_spaced(0, olev::util::meters(100.0), olev::util::meters(300.0), 10, spec), lane_config);
   sim.add_observer(&lane);
 
   // Run 07:00-08:00 (traffic ramp); start mid-morning for nonzero demand.
@@ -88,15 +88,15 @@ TEST(Integration, GridBetaFeedsScenarioGame) {
   core::ScenarioConfig config;
   config.num_olevs = 8;
   config.num_sections = 6;
-  config.beta_lbmp = 0.0;  // sample the NYISO model
+  config.beta_lbmp = olev::util::Price::per_mwh(0.0);  // sample the NYISO model
   config.seed = 5;
   // Calibrate demand against a fixed reference so the two runs share
   // identical satisfaction weights and caps.
   config.target_degree = 0.5;
 
-  config.hour_of_day = 4.0;
+  config.hour_of_day = olev::util::hours(4.0);
   core::Scenario trough = core::Scenario::build(config);
-  config.hour_of_day = 19.0;
+  config.hour_of_day = olev::util::hours(19.0);
   core::Scenario peak = core::Scenario::build(config);
   ASSERT_GT(peak.beta_lbmp(), trough.beta_lbmp());
 
@@ -109,11 +109,11 @@ TEST(Integration, GridBetaFeedsScenarioGame) {
     core::PlayerSpec player;
     player.satisfaction =
         std::make_unique<core::LogSatisfaction>(trough.weights()[n]);
-    player.p_max = trough.p_max()[n];
+    player.p_max = olev::util::kw(trough.p_max()[n]);
     players.push_back(std::move(player));
   }
   core::Game expensive(std::move(players), peak.cost(), config.num_sections,
-                       peak.p_line_kw());
+                       olev::util::kw(peak.p_line_kw()));
   const auto dear_result = expensive.run();
 
   ASSERT_TRUE(cheap_result.converged);
@@ -129,7 +129,7 @@ TEST(Integration, DayLongLedgerHourlyShapeFollowsDemand) {
   traffic::Simulation sim = make_corridor_sim(11);
   wpt::ChargingSectionSpec spec;
   wpt::ChargingLane lane(
-      wpt::ChargingLane::evenly_spaced(0, 100.0, 300.0, 10, spec),
+      wpt::ChargingLane::evenly_spaced(0, olev::util::meters(100.0), olev::util::meters(300.0), 10, spec),
       wpt::ChargingLaneConfig{});
   sim.add_observer(&lane);
   // Simulate 03:00-09:00: the ramp from trough into the AM peak.
@@ -145,13 +145,13 @@ TEST(Integration, VelocityReducesHarvestedPower) {
   auto harvest = [](double limit_mph) {
     const auto program = traffic::SignalProgram({{traffic::LightState::kGreen, 1000.0}});
     traffic::Network net = traffic::Network::arterial(
-        1, 500.0, util::mph_to_mps(limit_mph), program, 1);
+        1, 500.0, util::to_mps(util::mph(limit_mph)).value(), program, 1);
     traffic::SimulationConfig config;
     config.deterministic = true;
     traffic::Simulation sim(std::move(net), config);
     wpt::ChargingSectionSpec spec;
     wpt::ChargingLane lane(
-        wpt::ChargingLane::evenly_spaced(0, 100.0, 400.0, 5, spec),
+        wpt::ChargingLane::evenly_spaced(0, olev::util::meters(100.0), olev::util::meters(400.0), 5, spec),
         wpt::ChargingLaneConfig{});
     sim.add_observer(&lane);
     traffic::Vehicle vehicle;

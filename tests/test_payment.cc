@@ -13,7 +13,7 @@ namespace {
 
 SectionCost make_cost(double cap = 50.0) {
   return SectionCost(std::make_unique<NonlinearPricing>(8.0, 0.875, cap),
-                     OverloadCost{1.5}, cap);
+                     OverloadCost{1.5}, olev::util::kw(cap));
 }
 
 TEST(ExternalityPayment, ZeroRowPaysNothing) {
@@ -37,7 +37,7 @@ TEST(ExternalityPayment, LengthMismatchThrows) {
   const SectionCost z = make_cost();
   const std::vector<double> b{1.0, 2.0};
   const std::vector<double> row{1.0};
-  EXPECT_THROW(externality_payment(z, b, row), std::invalid_argument);
+  EXPECT_THROW((void)externality_payment(z, b, row), std::invalid_argument);
 }
 
 TEST(ExternalityPayment, PositiveForPositiveRow) {
@@ -50,7 +50,7 @@ TEST(ExternalityPayment, PositiveForPositiveRow) {
 TEST(PaymentOfTotal, ZeroRequestIsFree) {
   const SectionCost z = make_cost();
   const std::vector<double> b{4.0, 2.0, 9.0};
-  EXPECT_DOUBLE_EQ(payment_of_total(z, b, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(payment_of_total(z, b, olev::util::kw(0.0)), 0.0);
 }
 
 TEST(PaymentOfTotal, StrictlyIncreasingInRequest) {
@@ -58,7 +58,7 @@ TEST(PaymentOfTotal, StrictlyIncreasingInRequest) {
   const std::vector<double> b{4.0, 2.0, 9.0};
   double prev = 0.0;
   for (double total = 1.0; total <= 60.0; total += 1.0) {
-    const double payment = payment_of_total(z, b, total);
+    const double payment = payment_of_total(z, b, olev::util::kw(total));
     EXPECT_GT(payment, prev) << "total=" << total;
     prev = payment;
   }
@@ -71,8 +71,8 @@ TEST(PaymentOfTotal, ConvexInRequest) {
   constexpr double kStep = 2.0;
   double prev_diff = -1e18;
   for (double total = kStep; total <= 80.0; total += kStep) {
-    const double diff = payment_of_total(z, b, total) -
-                        payment_of_total(z, b, total - kStep);
+    const double diff = payment_of_total(z, b, olev::util::kw(total)) -
+                        payment_of_total(z, b, olev::util::kw(total - kStep));
     EXPECT_GT(diff, prev_diff) << "total=" << total;
     prev_diff = diff;
   }
@@ -84,7 +84,7 @@ TEST(PaymentOfTotal, CheaperWhenOthersLoadIsLower) {
   const SectionCost z = make_cost();
   const std::vector<double> light{1.0, 1.0, 1.0};
   const std::vector<double> heavy{30.0, 30.0, 30.0};
-  EXPECT_LT(payment_of_total(z, light, 10.0), payment_of_total(z, heavy, 10.0));
+  EXPECT_LT(payment_of_total(z, light, olev::util::kw(10.0)), payment_of_total(z, heavy, olev::util::kw(10.0)));
 }
 
 TEST(PaymentDerivative, EnvelopeMatchesFiniteDifference) {
@@ -92,10 +92,10 @@ TEST(PaymentDerivative, EnvelopeMatchesFiniteDifference) {
   const std::vector<double> b{4.0, 2.0, 9.0, 0.5};
   constexpr double kH = 1e-5;
   for (double total : {0.5, 3.0, 12.0, 40.0}) {
-    const double numeric = (payment_of_total(z, b, total + kH) -
-                            payment_of_total(z, b, total - kH)) /
+    const double numeric = (payment_of_total(z, b, olev::util::kw(total + kH)) -
+                            payment_of_total(z, b, olev::util::kw(total - kH))) /
                            (2.0 * kH);
-    EXPECT_NEAR(payment_derivative(z, b, total), numeric, 1e-4)
+    EXPECT_NEAR(payment_derivative(z, b, olev::util::kw(total)), numeric, 1e-4)
         << "total=" << total;
   }
 }
@@ -103,15 +103,15 @@ TEST(PaymentDerivative, EnvelopeMatchesFiniteDifference) {
 TEST(PaymentDerivative, AtZeroEqualsMarginalAtMinLoad) {
   const SectionCost z = make_cost();
   const std::vector<double> b{4.0, 2.0, 9.0};
-  EXPECT_NEAR(payment_derivative(z, b, 0.0), z.derivative(2.0), 1e-12);
+  EXPECT_NEAR(payment_derivative(z, b, olev::util::kw(0.0)), z.derivative(2.0), 1e-12);
 }
 
 TEST(PaymentDerivative, IncreasingInTotal) {
   const SectionCost z = make_cost();
   const std::vector<double> b{4.0, 2.0};
-  double prev = payment_derivative(z, b, 0.0);
+  double prev = payment_derivative(z, b, olev::util::kw(0.0));
   for (double total = 2.0; total <= 50.0; total += 2.0) {
-    const double d = payment_derivative(z, b, total);
+    const double d = payment_derivative(z, b, olev::util::kw(total));
     EXPECT_GE(d, prev - 1e-12);
     prev = d;
   }
@@ -120,8 +120,8 @@ TEST(PaymentDerivative, IncreasingInTotal) {
 TEST(QuotePayment, ConsistentWithComponents) {
   const SectionCost z = make_cost();
   const std::vector<double> b{6.0, 1.0, 3.0};
-  const PaymentQuote quote = quote_payment(z, b, 7.0);
-  EXPECT_NEAR(quote.payment, payment_of_total(z, b, 7.0), 1e-12);
+  const PaymentQuote quote = quote_payment(z, b, olev::util::kw(7.0));
+  EXPECT_NEAR(quote.payment, payment_of_total(z, b, olev::util::kw(7.0)), 1e-12);
   EXPECT_NEAR(quote.payment, externality_payment(z, b, quote.allocation.row),
               1e-12);
 }
@@ -132,7 +132,7 @@ TEST(PaymentOfTotal, WaterFilledSplitIsCheapestSplit) {
   const SectionCost z = make_cost();
   const std::vector<double> b{6.0, 1.0, 3.0};
   const double total = 9.0;
-  const double announced = payment_of_total(z, b, total);
+  const double announced = payment_of_total(z, b, olev::util::kw(total));
   util::Rng rng(21);
   for (int trial = 0; trial < 300; ++trial) {
     double u1 = rng.uniform(0.0, total);

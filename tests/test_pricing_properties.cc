@@ -40,7 +40,7 @@ class PricingCalculus : public ::testing::TestWithParam<PricingParams> {
     const auto& p = GetParam();
     return SectionCost(
         std::make_unique<NonlinearPricing>(p.beta, p.alpha, p.cap),
-        OverloadCost{p.overload_weight}, p.cap);
+        OverloadCost{p.overload_weight}, olev::util::kw(p.cap));
   }
 
   std::vector<double> loads(std::uint64_t seed) const {
@@ -90,11 +90,11 @@ TEST_P(PricingCalculus, PaymentIsUnbiasedAndIncreasing) {
   const SectionCost z = cost();
   for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
     const auto b = loads(seed);
-    EXPECT_DOUBLE_EQ(payment_of_total(z, b, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(payment_of_total(z, b, olev::util::kw(0.0)), 0.0);
     double prev = 0.0;
     for (double total = 0.2 * GetParam().cap; total <= 2.0 * GetParam().cap;
          total += 0.2 * GetParam().cap) {
-      const double payment = payment_of_total(z, b, total);
+      const double payment = payment_of_total(z, b, olev::util::kw(total));
       EXPECT_GT(payment, prev) << "seed " << seed << " total " << total;
       prev = payment;
     }
@@ -109,10 +109,10 @@ TEST_P(PricingCalculus, EnvelopeIdentity) {
     const auto b = loads(seed);
     const double h = 1e-5 * cap;
     for (double total : {0.25 * cap, 0.9 * cap, 1.6 * cap}) {
-      const double numeric = (payment_of_total(z, b, total + h) -
-                              payment_of_total(z, b, total - h)) /
+      const double numeric = (payment_of_total(z, b, olev::util::kw(total + h)) -
+                              payment_of_total(z, b, olev::util::kw(total - h))) /
                              (2.0 * h);
-      EXPECT_NEAR(payment_derivative(z, b, total), numeric,
+      EXPECT_NEAR(payment_derivative(z, b, olev::util::kw(total)), numeric,
                   2e-3 * std::max(1.0, numeric))
           << "seed " << seed << " total " << total;
     }
@@ -125,10 +125,10 @@ TEST_P(PricingCalculus, BestResponseIsGloballyOptimal) {
   for (std::uint64_t seed : {6ULL, 7ULL}) {
     const auto b = loads(seed);
     const double p_max = 1.5 * GetParam().cap;
-    const BestResponse response = best_response(u, z, b, p_max);
+    const BestResponse response = best_response(u, z, b, olev::util::kw(p_max));
     for (int i = 0; i <= 40; ++i) {
       const double p = p_max * i / 40.0;
-      const double utility = u.value(p) - payment_of_total(z, b, p);
+      const double utility = u.value(p) - payment_of_total(z, b, olev::util::kw(p));
       EXPECT_LE(utility, response.utility + 1e-6)
           << "seed " << seed << " p=" << p;
     }

@@ -34,7 +34,7 @@ class GameSweep : public ::testing::TestWithParam<SweepParams> {
   SectionCost cost() const {
     const auto& p = GetParam();
     return SectionCost(std::make_unique<NonlinearPricing>(p.beta, 0.875, p.cap),
-                       OverloadCost{1.0}, p.cap);
+                       OverloadCost{1.0}, olev::util::kw(p.cap));
   }
 
   std::vector<double> weights() const {
@@ -60,7 +60,7 @@ class GameSweep : public ::testing::TestWithParam<SweepParams> {
     for (std::size_t n = 0; n < w.size(); ++n) {
       PlayerSpec spec;
       spec.satisfaction = std::make_unique<LogSatisfaction>(w[n]);
-      spec.p_max = c[n];
+      spec.p_max = olev::util::kw(c[n]);
       specs.push_back(std::move(spec));
     }
     return specs;
@@ -68,13 +68,13 @@ class GameSweep : public ::testing::TestWithParam<SweepParams> {
 };
 
 TEST_P(GameSweep, Converges) {
-  Game game(players(), cost(), GetParam().sections, 50.0);
+  Game game(players(), cost(), GetParam().sections, olev::util::kw(50.0));
   const GameResult result = game.run();
   EXPECT_TRUE(result.converged) << "updates=" << result.updates;
 }
 
 TEST_P(GameSweep, FeasibilityInvariants) {
-  Game game(players(), cost(), GetParam().sections, 50.0);
+  Game game(players(), cost(), GetParam().sections, olev::util::kw(50.0));
   const GameResult result = game.run();
   const auto c = caps();
   for (std::size_t n = 0; n < GetParam().players; ++n) {
@@ -88,7 +88,7 @@ TEST_P(GameSweep, FeasibilityInvariants) {
 }
 
 TEST_P(GameSweep, FixedPointIsNashEquilibrium) {
-  Game game(players(), cost(), GetParam().sections, 50.0);
+  Game game(players(), cost(), GetParam().sections, olev::util::kw(50.0));
   const GameResult result = game.run();
   ASSERT_TRUE(result.converged);
   const SectionCost z = cost();
@@ -97,13 +97,13 @@ TEST_P(GameSweep, FixedPointIsNashEquilibrium) {
   for (std::size_t n = 0; n < GetParam().players; ++n) {
     const auto others = result.schedule.column_totals_excluding(n);
     LogSatisfaction u(w[n]);
-    const BestResponse response = best_response(u, z, others, c[n]);
+    const BestResponse response = best_response(u, z, others, olev::util::kw(c[n]));
     EXPECT_NEAR(response.p_star, result.requests[n], 1e-4) << "player " << n;
   }
 }
 
 TEST_P(GameSweep, MatchesCentralizedOptimum) {
-  Game game(players(), cost(), GetParam().sections, 50.0);
+  Game game(players(), cost(), GetParam().sections, olev::util::kw(50.0));
   const GameResult result = game.run();
   ASSERT_TRUE(result.converged);
 
@@ -127,8 +127,8 @@ TEST_P(GameSweep, UniqueAcrossUpdateOrders) {
   random_order.order = UpdateOrder::kUniformRandom;
   random_order.max_updates = 200000;
   random_order.seed = GetParam().seed + 17;
-  Game a(players(), cost(), GetParam().sections, 50.0);
-  Game b(players(), cost(), GetParam().sections, 50.0, random_order);
+  Game a(players(), cost(), GetParam().sections, olev::util::kw(50.0));
+  Game b(players(), cost(), GetParam().sections, olev::util::kw(50.0), random_order);
   const GameResult ra = a.run();
   const GameResult rb = b.run();
   ASSERT_TRUE(ra.converged);
@@ -139,7 +139,7 @@ TEST_P(GameSweep, UniqueAcrossUpdateOrders) {
 }
 
 TEST_P(GameSweep, LoadBalancedAtFixedPoint) {
-  Game game(players(), cost(), GetParam().sections, 50.0);
+  Game game(players(), cost(), GetParam().sections, olev::util::kw(50.0));
   const GameResult result = game.run();
   ASSERT_TRUE(result.converged);
   if (result.schedule.total() > 1.0) {
@@ -166,7 +166,7 @@ std::vector<PlayerSpec> mixed_family_players(std::uint64_t seed) {
   std::vector<PlayerSpec> players;
   for (int n = 0; n < 9; ++n) {
     PlayerSpec player;
-    player.p_max = rng.uniform(20.0, 80.0);
+    player.p_max = olev::util::kw(rng.uniform(20.0, 80.0));
     switch (n % 3) {
       case 0:
         player.satisfaction =
@@ -180,7 +180,7 @@ std::vector<PlayerSpec> mixed_family_players(std::uint64_t seed) {
         // Saturation level above p_max keeps U strictly increasing on the
         // feasible interval.
         player.satisfaction = std::make_unique<QuadraticSatisfaction>(
-            rng.uniform(0.5, 2.0), player.p_max * rng.uniform(1.2, 3.0));
+            rng.uniform(0.5, 2.0), player.p_max.value() * rng.uniform(1.2, 3.0));
     }
     players.push_back(std::move(player));
   }
@@ -190,8 +190,8 @@ std::vector<PlayerSpec> mixed_family_players(std::uint64_t seed) {
 TEST(MixedFamilies, GameConvergesAndMatchesOracle) {
   for (std::uint64_t seed : {11ULL, 22ULL, 33ULL}) {
     SectionCost cost(std::make_unique<NonlinearPricing>(5.0, 0.875, 40.0),
-                     OverloadCost{1.0}, 40.0);
-    Game game(mixed_family_players(seed), cost, 4, 50.0);
+                     OverloadCost{1.0}, olev::util::kw(40.0));
+    Game game(mixed_family_players(seed), cost, 4, olev::util::kw(50.0));
     const GameResult result = game.run();
     ASSERT_TRUE(result.converged) << "seed " << seed;
 
@@ -201,7 +201,7 @@ TEST(MixedFamilies, GameConvergesAndMatchesOracle) {
     std::vector<double> caps;
     for (auto& spec : players) {
       satisfactions.push_back(std::move(spec.satisfaction));
-      caps.push_back(spec.p_max);
+      caps.push_back(spec.p_max.value());
     }
     CentralOptions options;
     options.step_size = 2.0;
@@ -216,8 +216,8 @@ TEST(MixedFamilies, GameConvergesAndMatchesOracle) {
 
 TEST(MixedFamilies, EquilibriumBalancesLoad) {
   SectionCost cost(std::make_unique<NonlinearPricing>(5.0, 0.875, 40.0),
-                   OverloadCost{1.0}, 40.0);
-  Game game(mixed_family_players(44), cost, 5, 50.0);
+                   OverloadCost{1.0}, olev::util::kw(40.0));
+  Game game(mixed_family_players(44), cost, 5, olev::util::kw(50.0));
   const GameResult result = game.run();
   ASSERT_TRUE(result.converged);
   EXPECT_GT(result.congestion.jain_fairness, 0.999);
@@ -231,12 +231,12 @@ double welfare_for(std::size_t players, std::size_t sections) {
   for (std::size_t n = 0; n < players; ++n) {
     PlayerSpec spec;
     spec.satisfaction = std::make_unique<LogSatisfaction>(rng.uniform(10.0, 30.0));
-    spec.p_max = rng.uniform(20.0, 80.0);
+    spec.p_max = olev::util::kw(rng.uniform(20.0, 80.0));
     specs.push_back(std::move(spec));
   }
   SectionCost cost(std::make_unique<NonlinearPricing>(5.0, 0.875, 40.0),
-                   OverloadCost{1.0}, 40.0);
-  Game game(std::move(specs), cost, sections, 50.0);
+                   OverloadCost{1.0}, olev::util::kw(40.0));
+  Game game(std::move(specs), cost, sections, olev::util::kw(50.0));
   const GameResult result = game.run();
   EXPECT_TRUE(result.converged);
   return result.welfare;

@@ -13,7 +13,7 @@ ScenarioConfig small_config() {
   ScenarioConfig config;
   config.num_olevs = 10;
   config.num_sections = 8;
-  config.beta_lbmp = 20.0;
+  config.beta_lbmp = olev::util::Price::per_mwh(20.0);
   config.target_degree = 0.5;
   config.seed = 11;
   return config;
@@ -30,9 +30,9 @@ TEST(Scenario, ValidatesCounts) {
 
 TEST(Scenario, PLineFollowsEquation1) {
   ScenarioConfig config = small_config();
-  config.velocity_mph = 60.0;
+  config.velocity = olev::util::mph(60.0);
   const Scenario at60 = Scenario::build(config);
-  config.velocity_mph = 80.0;
+  config.velocity = olev::util::mph(80.0);
   const Scenario at80 = Scenario::build(config);
   EXPECT_GT(at60.p_line_kw(), at80.p_line_kw());
   EXPECT_NEAR(at60.cap_kw(), config.eta * at60.p_line_kw(), 1e-12);
@@ -45,10 +45,10 @@ TEST(Scenario, BetaFromExplicitValue) {
 
 TEST(Scenario, BetaSampledFromGridModelWhenUnset) {
   ScenarioConfig config = small_config();
-  config.beta_lbmp = 0.0;
-  config.hour_of_day = 19.0;  // evening peak
+  config.beta_lbmp = olev::util::Price::per_mwh(0.0);
+  config.hour_of_day = olev::util::hours(19.0);  // evening peak
   const Scenario peak = Scenario::build(config);
-  config.hour_of_day = 4.0;  // overnight trough
+  config.hour_of_day = olev::util::hours(4.0);  // overnight trough
   const Scenario trough = Scenario::build(config);
   EXPECT_GT(peak.beta_lbmp(), trough.beta_lbmp());
   EXPECT_GE(trough.beta_lbmp(), 12.52);
@@ -73,10 +73,10 @@ TEST(Scenario, NonlinearMarginalCrossesLbmpAtHalfCap) {
 }
 
 TEST(Scenario, PaperPricingHelpers) {
-  const auto nonlinear = paper_nonlinear_pricing(20.0, 0.875, 60.0);
+  const auto nonlinear = paper_nonlinear_pricing(olev::util::Price::per_mwh(20.0), 0.875, olev::util::kw(60.0));
   EXPECT_TRUE(nonlinear->strictly_convex());
   EXPECT_NEAR(nonlinear->derivative(30.0), 20.0 / 1000.0, 1e-12);
-  const auto linear = paper_linear_pricing(20.0);
+  const auto linear = paper_linear_pricing(olev::util::Price::per_mwh(20.0));
   EXPECT_DOUBLE_EQ(linear->derivative(999.0), 0.02);
 }
 
@@ -150,13 +150,13 @@ TEST(Scenario, Equation3CapsBindAtHighVelocity) {
   // p_max = min(P_OLEV, P_line): at high velocity the line limit clips the
   // strongest batteries.
   ScenarioConfig config = small_config();
-  config.velocity_mph = 120.0;  // extreme: P_line well below battery bounds
+  config.velocity = olev::util::mph(120.0);  // extreme: P_line well below battery bounds
   const Scenario fast = Scenario::build(config);
   for (double cap : fast.p_max()) {
     EXPECT_LE(cap, fast.p_line_kw() + 1e-12);
   }
   // At low velocity the battery side binds instead; total capability grows.
-  config.velocity_mph = 30.0;
+  config.velocity = olev::util::mph(30.0);
   const Scenario slow = Scenario::build(config);
   double fast_total = 0.0;
   double slow_total = 0.0;

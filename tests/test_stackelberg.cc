@@ -13,7 +13,7 @@ namespace {
 
 SectionCost make_cost(double cap = 40.0) {
   return SectionCost(std::make_unique<NonlinearPricing>(5.0, 0.875, cap),
-                     OverloadCost{1.0}, cap);
+                     OverloadCost{1.0}, olev::util::kw(cap));
 }
 
 std::vector<std::unique_ptr<Satisfaction>> make_satisfactions(
@@ -25,26 +25,26 @@ std::vector<std::unique_ptr<Satisfaction>> make_satisfactions(
 
 TEST(FollowerReaction, OptsOutWhenPriceHigh) {
   LogSatisfaction u(2.0);  // U'(0) = 2
-  EXPECT_DOUBLE_EQ(follower_reaction(u, 3.0, 100.0), 0.0);
-  EXPECT_DOUBLE_EQ(follower_reaction(u, 2.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(follower_reaction(u, olev::util::Price::per_kwh(3.0), olev::util::kw(100.0)), 0.0);
+  EXPECT_DOUBLE_EQ(follower_reaction(u, olev::util::Price::per_kwh(2.0), olev::util::kw(100.0)), 0.0);
 }
 
 TEST(FollowerReaction, CapBindsWhenPriceLow) {
   LogSatisfaction u(100.0);
-  EXPECT_DOUBLE_EQ(follower_reaction(u, 0.01, 5.0), 5.0);
+  EXPECT_DOUBLE_EQ(follower_reaction(u, olev::util::Price::per_kwh(0.01), olev::util::kw(5.0)), 5.0);
 }
 
 TEST(FollowerReaction, InteriorSolvesFoc) {
   LogSatisfaction u(10.0);  // U'(p) = 10/(1+p)
-  const double p = follower_reaction(u, 2.0, 100.0);
+  const double p = follower_reaction(u, olev::util::Price::per_kwh(2.0), olev::util::kw(100.0));
   EXPECT_NEAR(p, 4.0, 1e-6);  // 10/(1+p) = 2
 }
 
 TEST(FollowerReaction, NonIncreasingInPrice) {
   LogSatisfaction u(10.0);
-  double prev = follower_reaction(u, 0.1, 100.0);
+  double prev = follower_reaction(u, olev::util::Price::per_kwh(0.1), olev::util::kw(100.0));
   for (double price : {0.5, 1.0, 2.0, 5.0, 9.0}) {
-    const double p = follower_reaction(u, price, 100.0);
+    const double p = follower_reaction(u, olev::util::Price::per_kwh(price), olev::util::kw(100.0));
     EXPECT_LE(p, prev + 1e-12);
     prev = p;
   }
@@ -52,16 +52,16 @@ TEST(FollowerReaction, NonIncreasingInPrice) {
 
 TEST(FollowerReaction, ZeroCap) {
   LogSatisfaction u(10.0);
-  EXPECT_DOUBLE_EQ(follower_reaction(u, 1.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(follower_reaction(u, olev::util::Price::per_kwh(1.0), olev::util::kw(0.0)), 0.0);
 }
 
 TEST(Stackelberg, ValidatesInput) {
   const auto players = make_satisfactions({10.0});
   const std::vector<double> caps{10.0, 20.0};
-  EXPECT_THROW(solve_stackelberg(players, caps, make_cost(), 2),
+  EXPECT_THROW((void)solve_stackelberg(players, caps, make_cost(), 2),
                std::invalid_argument);
   const std::vector<double> one_cap{10.0};
-  EXPECT_THROW(solve_stackelberg(players, one_cap, make_cost(), 0),
+  EXPECT_THROW((void)solve_stackelberg(players, one_cap, make_cost(), 0),
                std::invalid_argument);
 }
 
@@ -73,7 +73,7 @@ TEST(Stackelberg, LeaderPriceIsRevenueMaximal) {
   auto revenue_at = [&](double price) {
     double demand = 0.0;
     for (std::size_t n = 0; n < players.size(); ++n) {
-      demand += follower_reaction(*players[n], price, caps[n]);
+      demand += follower_reaction(*players[n], olev::util::Price::per_kwh(price), olev::util::kw(caps[n]));
     }
     return price * demand;
   };
@@ -91,7 +91,7 @@ TEST(Stackelberg, RequestsMatchFollowerReactions) {
   ASSERT_EQ(result.requests.size(), 2u);
   for (std::size_t n = 0; n < 2; ++n) {
     EXPECT_NEAR(result.requests[n],
-                follower_reaction(*players[n], result.price, caps[n]), 1e-9);
+                follower_reaction(*players[n], olev::util::Price::per_kwh(result.price), olev::util::kw(caps[n])), 1e-9);
   }
   EXPECT_NEAR(result.total_power,
               result.requests[0] + result.requests[1], 1e-12);
@@ -129,10 +129,10 @@ TEST(Stackelberg, GameBeatsStackelbergOnWelfare) {
   for (double w : weights) {
     PlayerSpec spec;
     spec.satisfaction = std::make_unique<LogSatisfaction>(w);
-    spec.p_max = cap;
+    spec.p_max = olev::util::kw(cap);
     specs.push_back(std::move(spec));
   }
-  Game game(std::move(specs), make_cost(), 3, 50.0);
+  Game game(std::move(specs), make_cost(), 3, olev::util::kw(50.0));
   const GameResult ours = game.run();
   ASSERT_TRUE(ours.converged);
 

@@ -28,7 +28,7 @@ std::vector<ScenarioSpec> small_grid(UpdateOrder order) {
         spec.config.num_olevs = players;
         spec.config.num_sections = sections;
         spec.config.pricing = pricing;
-        spec.config.beta_lbmp = 16.0;
+        spec.config.beta_lbmp = olev::util::Price::per_mwh(16.0);
         spec.config.seed = 0x5eed + players;
         spec.config.game.order = order;
         spec.config.game.max_updates = 20000;
@@ -123,7 +123,7 @@ TEST(Sweep, DeriveSeedsRewritesPerIndexStreams) {
   for (auto& spec : specs) {
     spec.config.num_olevs = 8;
     spec.config.num_sections = 6;
-    spec.config.beta_lbmp = 16.0;
+    spec.config.beta_lbmp = olev::util::Price::per_mwh(16.0);
     spec.config.seed = 0;  // overwritten below
     spec.config.game.max_updates = 20000;
   }

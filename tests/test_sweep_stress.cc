@@ -36,7 +36,7 @@ std::vector<ScenarioSpec> stress_grid(std::uint64_t salt) {
         spec.config.num_olevs = players;
         spec.config.num_sections = sections;
         spec.config.pricing = pricing;
-        spec.config.beta_lbmp = 16.0;
+        spec.config.beta_lbmp = olev::util::Price::per_mwh(16.0);
         spec.config.seed = 0xfeed + salt * 131 + players;
         // Randomized update order: the most race-prone path (per-game RNG
         // draws interleaved with cache-counter updates on every worker).

@@ -15,14 +15,14 @@ GameResult run_small_game(bool record_trajectory) {
   for (double w : {10.0, 20.0}) {
     PlayerSpec player;
     player.satisfaction = std::make_unique<LogSatisfaction>(w);
-    player.p_max = 60.0;
+    player.p_max = olev::util::kw(60.0);
     players.push_back(std::move(player));
   }
   SectionCost cost(std::make_unique<NonlinearPricing>(5.0, 0.875, 40.0),
-                   OverloadCost{1.0}, 40.0);
+                   OverloadCost{1.0}, olev::util::kw(40.0));
   GameConfig config;
   config.record_trajectory = record_trajectory;
-  Game game(std::move(players), cost, 3, 50.0, config);
+  Game game(std::move(players), cost, 3, olev::util::kw(50.0), config);
   return game.run();
 }
 

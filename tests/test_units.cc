@@ -1,5 +1,7 @@
 #include "util/units.h"
 
+#include "util/quantity.h"
+
 #include <gtest/gtest.h>
 
 namespace olev::util {
@@ -48,6 +50,139 @@ TEST(Units, BatteryPackEnergy) {
 TEST(Units, ConstexprUsable) {
   static_assert(mph_to_mps(0.0) == 0.0);
   static_assert(kw_to_w(1.0) == 1000.0);
+  SUCCEED();
+}
+
+// ---- quantity.h: the compile-time dimensional-analysis layer ----
+//
+// Everything below is constexpr: a failure is a compile failure, so merely
+// building this test binary proves the identities.  The runtime EXPECTs
+// exist only so the suite reports them.
+
+TEST(Quantity, VelocityConversionsMatchUnitsH) {
+  // to_mps/to_mph wrap the exact units.h formulas -- bit-identical.
+  static_assert(to_mps(mph(60.0)).value() == mph_to_mps(60.0));
+  static_assert(to_mph(mps(26.8224)).value() == mps_to_mph(26.8224));
+  static_assert(to_mps(kmh(36.0)).value() == 10.0);
+  static_assert(to_kmh(mps(10.0)).value() == 36.0);
+  // Round trip at the paper's 60 mph operating point.
+  static_assert(to_mph(to_mps(80.0_mph)).value() == mps_to_mph(mph_to_mps(80.0)));
+  EXPECT_NEAR(to_mph(to_mps(80.0_mph)).value(), 80.0, 1e-12);
+}
+
+TEST(Quantity, EnergyConversionsMatchUnitsH) {
+  static_assert(to_joules(1.0_kWh).value() == 3.6e6);
+  static_assert(to_kwh(Joules{3.6e6}).value() == 1.0);
+  static_assert(to_kwh(to_joules(2.5_kWh)).value() == 2.5);
+  static_assert(to_kwh(1.5_MWh).value() == 1500.0);
+  EXPECT_DOUBLE_EQ(to_joules(1.0_kWh).value(), kwh_to_joule(1.0));
+}
+
+TEST(Quantity, PowerConversionsMatchUnitsH) {
+  static_assert(to_kw(1.5_MW).value() == 1500.0);
+  static_assert(to_mw(kw(2500.0)).value() == 2.5);
+  static_assert(to_kw(Watts{500.0}).value() == 0.5);
+  static_assert(to_kw(to_mw(kw(750.0))).value() == 750.0);
+  EXPECT_DOUBLE_EQ(to_kw(1.5_MW).value(), mw_to_kw(1.5));
+}
+
+TEST(Quantity, TimeConversionsMatchUnitsH) {
+  static_assert(to_seconds(2.0_h).value() == 7200.0);
+  static_assert(to_hours(1800.0_s).value() == 0.5);
+  static_assert(to_seconds(minutes(2.0)).value() == 120.0);
+  static_assert(to_minutes(90.0_s).value() == 1.5);
+  static_assert(to_hours(to_seconds(3.0_h)).value() == 3.0);
+  EXPECT_DOUBLE_EQ(to_seconds(2.0_h).value(), hours_to_seconds(2.0));
+}
+
+TEST(Quantity, LengthAndPriceConversions) {
+  static_assert(to_meters(2.0_km).value() == 2000.0);
+  static_assert(to_kilometers(500.0_m).value() == 0.5);
+  // The LBMP quote path: $/MWh -> $/kWh is a divide-by-1000 (Eq. 10's
+  // beta / 1000 factor), and round-trips exactly.
+  static_assert(to_per_kwh(Price::per_mwh(16.0)).value() == 0.016);
+  static_assert(to_per_mwh(to_per_kwh(Price::per_mwh(244.04))).value() == 244.04);
+  EXPECT_DOUBLE_EQ(to_per_kwh(Price::per_mwh(16.0)).value(), 16.0 / 1000.0);
+}
+
+TEST(Quantity, DimensionAlgebraProducesDerivedUnits) {
+  // kW x h -> kWh at scale 1: a raw multiply, no conversion factor.
+  constexpr auto e = kw(3.0) * hours(2.0);
+  static_assert(std::same_as<decltype(e), const KilowattHours>);
+  static_assert(e.value() == 6.0);
+  // kWh / h -> kW and kWh / kW -> h close the triangle.
+  static_assert(std::same_as<decltype(6.0_kWh / 2.0_h), Kilowatts>);
+  static_assert((6.0_kWh / 2.0_h).value() == 3.0);
+  static_assert(std::same_as<decltype(6.0_kWh / kw(3.0)), Hours>);
+  // $ / kWh -> price; price * energy -> money.
+  static_assert(std::same_as<decltype(4.0_usd / 2.0_kWh), DollarsPerKwh>);
+  static_assert((Price::per_kwh(0.25) * 8.0_kWh) == 2.0_usd);
+  // m/s * s -> m at scale 1 (3600 * 1/3600).
+  static_assert(std::same_as<decltype(mps(5.0) * 10.0_s), Meters>);
+  static_assert((mps(5.0) * 10.0_s).value() == 50.0);
+  // Same-dimension ratio at equal scale collapses to the raw Rep.
+  static_assert(std::same_as<decltype(6.0_kWh / 3.0_kWh), double>);
+  static_assert(6.0_kWh / 3.0_kWh == 2.0);
+  SUCCEED();
+}
+
+TEST(Quantity, EnergyFromPowerAndTimeMatchesUnitsH) {
+  // energy_from() wraps kwh_from_kw exactly (the Eq. 1 bookkeeping path).
+  static_assert(energy_from(kw(100.0), 36.0_s).value() == kwh_from_kw(100.0, 36.0));
+  static_assert(energy_from(kw(100.0), 36.0_s) == 1.0_kWh);
+  static_assert(energy_from(kw(50.0), seconds(3600.0)).value() == 50.0);
+  SUCCEED();
+}
+
+TEST(Quantity, ChevySparkPackIdentity) {
+  // Ah * V -> kWh with the Section V battery: 46.2 Ah at 399 V.
+  static_assert(pack_energy(46.2, 399.0).value() == ah_volts_to_kwh(46.2, 399.0));
+  EXPECT_NEAR(pack_energy(46.2, 399.0).value(), 18.4338, 1e-4);
+  // The same identity through the dimension algebra: pack power (kW) times
+  // a one-hour dispatch is the pack energy in kWh.
+  constexpr Kilowatts pack_kw{46.2 * 399.0 / 1000.0};
+  static_assert(pack_kw * hours(1.0) == pack_energy(46.2, 399.0));
+}
+
+TEST(Quantity, QuantityCastAgreesWithNamedConverters) {
+  static_assert(quantity_cast<Kilowatts>(1.5_MW).value() == 1500.0);
+  static_assert(quantity_cast<Seconds>(2.0_h).value() == 7200.0);
+  static_assert(quantity_cast<Meters>(2.0_km).value() == 2000.0);
+  static_assert(quantity_cast<DollarsPerKwh>(Price::per_mwh(16.0)).value() ==
+                0.016);
+  SUCCEED();
+}
+
+TEST(Quantity, LiteralsAndFactoriesAgree) {
+  static_assert(1.5_kWh == kwh(1.5));
+  static_assert(100_kW == kw(100.0));
+  static_assert(1.5_MW == megawatts(1.5));
+  static_assert(60.0_mph == mph(60.0));
+  static_assert(300.0_s == seconds(300.0));
+  static_assert(17_h == hours(17.0));
+  static_assert(20.0_m == meters(20.0));
+  static_assert(10.0_km == kilometers(10.0));
+  static_assert(2.5_usd == dollars(2.5));
+  SUCCEED();
+}
+
+TEST(Quantity, ScalarArithmeticIsRawArithmetic) {
+  static_assert((kw(3.0) * 2.0).value() == 6.0);
+  static_assert((2.0 * kw(3.0)).value() == 6.0);
+  static_assert((kw(6.0) / 2.0).value() == 3.0);
+  static_assert((kw(3.0) + kw(4.0)).value() == 7.0);
+  static_assert((kw(3.0) - kw(4.0)).value() == -1.0);
+  static_assert(-kw(3.0) == kw(-3.0));
+  static_assert(kw(3.0) < kw(4.0));
+  constexpr auto accumulate = [] {
+    Kilowatts p{1.0};
+    p += kw(2.0);
+    p -= kw(0.5);
+    p *= 4.0;
+    p /= 2.0;
+    return p;
+  }();
+  static_assert(accumulate.value() == 5.0);
   SUCCEED();
 }
 

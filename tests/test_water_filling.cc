@@ -17,21 +17,21 @@ double sum_of(const std::vector<double>& xs) {
 
 TEST(WaterFillVolume, MatchesDefinition) {
   const std::vector<double> b{1.0, 3.0, 5.0};
-  EXPECT_DOUBLE_EQ(water_fill_volume(b, 0.0), 0.0);
-  EXPECT_DOUBLE_EQ(water_fill_volume(b, 2.0), 1.0);        // [1]+0+0
-  EXPECT_DOUBLE_EQ(water_fill_volume(b, 4.0), 3.0 + 1.0);  // 3+1
-  EXPECT_DOUBLE_EQ(water_fill_volume(b, 6.0), 5.0 + 3.0 + 1.0);
+  EXPECT_DOUBLE_EQ(water_fill_volume(b, olev::util::kw(0.0)), 0.0);
+  EXPECT_DOUBLE_EQ(water_fill_volume(b, olev::util::kw(2.0)), 1.0);        // [1]+0+0
+  EXPECT_DOUBLE_EQ(water_fill_volume(b, olev::util::kw(4.0)), 3.0 + 1.0);  // 3+1
+  EXPECT_DOUBLE_EQ(water_fill_volume(b, olev::util::kw(6.0)), 5.0 + 3.0 + 1.0);
 }
 
 TEST(WaterFill, ValidatesInput) {
-  EXPECT_THROW(water_fill({}, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)water_fill({}, olev::util::kw(1.0)), std::invalid_argument);
   const std::vector<double> b{1.0};
-  EXPECT_THROW(water_fill(b, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)water_fill(b, olev::util::kw(-1.0)), std::invalid_argument);
 }
 
 TEST(WaterFill, ZeroTotalGivesZeroRow) {
   const std::vector<double> b{2.0, 1.0, 3.0};
-  const auto result = water_fill(b, 0.0);
+  const auto result = water_fill(b, olev::util::kw(0.0));
   EXPECT_DOUBLE_EQ(sum_of(result.row), 0.0);
   EXPECT_DOUBLE_EQ(result.level, 1.0);  // min load
   EXPECT_EQ(result.active_sections, 0);
@@ -39,7 +39,7 @@ TEST(WaterFill, ZeroTotalGivesZeroRow) {
 
 TEST(WaterFill, UniformLoadsSplitEvenly) {
   const std::vector<double> b{5.0, 5.0, 5.0, 5.0};
-  const auto result = water_fill(b, 8.0);
+  const auto result = water_fill(b, olev::util::kw(8.0));
   for (double v : result.row) EXPECT_NEAR(v, 2.0, 1e-12);
   EXPECT_NEAR(result.level, 7.0, 1e-12);
   EXPECT_EQ(result.active_sections, 4);
@@ -47,7 +47,7 @@ TEST(WaterFill, UniformLoadsSplitEvenly) {
 
 TEST(WaterFill, FillsLowestSectionsFirst) {
   const std::vector<double> b{0.0, 10.0};
-  const auto result = water_fill(b, 5.0);
+  const auto result = water_fill(b, olev::util::kw(5.0));
   EXPECT_NEAR(result.row[0], 5.0, 1e-12);
   EXPECT_NEAR(result.row[1], 0.0, 1e-12);
   EXPECT_EQ(result.active_sections, 1);
@@ -55,7 +55,7 @@ TEST(WaterFill, FillsLowestSectionsFirst) {
 
 TEST(WaterFill, SpillsOverWhenBudgetLarge) {
   const std::vector<double> b{0.0, 10.0};
-  const auto result = water_fill(b, 30.0);
+  const auto result = water_fill(b, olev::util::kw(30.0));
   // Level: (30 + 10) / 2 = 20.
   EXPECT_NEAR(result.level, 20.0, 1e-12);
   EXPECT_NEAR(result.row[0], 20.0, 1e-12);
@@ -64,7 +64,7 @@ TEST(WaterFill, SpillsOverWhenBudgetLarge) {
 
 TEST(WaterFill, KnownThreeSectionCase) {
   const std::vector<double> b{1.0, 2.0, 6.0};
-  const auto result = water_fill(b, 3.0);
+  const auto result = water_fill(b, olev::util::kw(3.0));
   // Level (3 + 1 + 2)/2 = 3 <= 6: sections 0 and 1 active.
   EXPECT_NEAR(result.level, 3.0, 1e-12);
   EXPECT_NEAR(result.row[0], 2.0, 1e-12);
@@ -75,7 +75,7 @@ TEST(WaterFill, KnownThreeSectionCase) {
 TEST(WaterFill, Lemma41Form) {
   // p_{n,c} = [lambda* - b_c]^+ for every section.
   const std::vector<double> b{4.0, 0.5, 7.0, 2.0};
-  const auto result = water_fill(b, 6.5);
+  const auto result = water_fill(b, olev::util::kw(6.5));
   for (std::size_t c = 0; c < b.size(); ++c) {
     EXPECT_NEAR(result.row[c], std::max(0.0, result.level - b[c]), 1e-12);
   }
@@ -84,7 +84,7 @@ TEST(WaterFill, Lemma41Form) {
 
 TEST(WaterFill, PostAllocationLoadsEqualizeOnActiveSections) {
   const std::vector<double> b{3.0, 1.0, 8.0, 2.0};
-  const auto result = water_fill(b, 9.0);
+  const auto result = water_fill(b, olev::util::kw(9.0));
   for (std::size_t c = 0; c < b.size(); ++c) {
     if (result.row[c] > 0.0) {
       EXPECT_NEAR(b[c] + result.row[c], result.level, 1e-12);
@@ -101,8 +101,8 @@ TEST(WaterFillBisect, AgreesWithExactSolver) {
     std::vector<double> b(sections);
     for (double& v : b) v = rng.uniform(0.0, 50.0);
     const double total = rng.uniform(0.0, 200.0);
-    const auto exact = water_fill(b, total);
-    const auto approx = water_fill_bisect(b, total);
+    const auto exact = water_fill(b, olev::util::kw(total));
+    const auto approx = water_fill_bisect(b, olev::util::kw(total));
     EXPECT_NEAR(exact.level, approx.level, 1e-6) << "trial " << trial;
     for (std::size_t c = 0; c < sections; ++c) {
       EXPECT_NEAR(exact.row[c], approx.row[c], 1e-6)
@@ -113,19 +113,19 @@ TEST(WaterFillBisect, AgreesWithExactSolver) {
 
 TEST(WaterFillBisect, RowSumsExactlyToTotal) {
   const std::vector<double> b{2.0, 9.0, 4.0};
-  const auto result = water_fill_bisect(b, 7.5);
+  const auto result = water_fill_bisect(b, olev::util::kw(7.5));
   EXPECT_NEAR(sum_of(result.row), 7.5, 1e-12);
 }
 
 TEST(WaterFillBisect, ValidatesInput) {
-  EXPECT_THROW(water_fill_bisect({}, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)water_fill_bisect({}, olev::util::kw(1.0)), std::invalid_argument);
   const std::vector<double> b{1.0};
-  EXPECT_THROW(water_fill_bisect(b, -0.5), std::invalid_argument);
+  EXPECT_THROW((void)water_fill_bisect(b, olev::util::kw(-0.5)), std::invalid_argument);
 }
 
 TEST(WaterFill, SingleSectionTakesEverything) {
   const std::vector<double> b{42.0};
-  const auto result = water_fill(b, 13.0);
+  const auto result = water_fill(b, olev::util::kw(13.0));
   EXPECT_NEAR(result.row[0], 13.0, 1e-12);
   EXPECT_NEAR(result.level, 55.0, 1e-12);
 }
@@ -137,7 +137,7 @@ TEST(WaterFill, PropertyRandomizedInvariants) {
     std::vector<double> b(sections);
     for (double& v : b) v = rng.uniform(0.0, 100.0);
     const double total = rng.uniform(0.0, 500.0);
-    const auto result = water_fill(b, total);
+    const auto result = water_fill(b, olev::util::kw(total));
     // (1) budget conservation
     EXPECT_NEAR(sum_of(result.row), total, 1e-8);
     // (2) nonnegativity
@@ -147,14 +147,14 @@ TEST(WaterFill, PropertyRandomizedInvariants) {
       EXPECT_NEAR(result.row[c], std::max(0.0, result.level - b[c]), 1e-8);
     }
     // (4) Y(level) recovers the total
-    EXPECT_NEAR(water_fill_volume(b, result.level), total, 1e-8);
+    EXPECT_NEAR(water_fill_volume(b, olev::util::kw(result.level)), total, 1e-8);
   }
 }
 
 TEST(WaterFillMasked, ZeroOutsideMask) {
   const std::vector<double> b{1.0, 2.0, 3.0, 4.0};
   const std::vector<bool> mask{true, false, true, false};
-  const auto result = water_fill_masked(b, 5.0, mask);
+  const auto result = water_fill_masked(b, olev::util::kw(5.0), mask);
   EXPECT_DOUBLE_EQ(result.row[1], 0.0);
   EXPECT_DOUBLE_EQ(result.row[3], 0.0);
   EXPECT_NEAR(result.row[0] + result.row[2], 5.0, 1e-12);
@@ -163,9 +163,9 @@ TEST(WaterFillMasked, ZeroOutsideMask) {
 TEST(WaterFillMasked, MatchesUnmaskedSolveOnSubset) {
   const std::vector<double> b{1.0, 2.0, 3.0, 4.0};
   const std::vector<bool> mask{true, false, true, false};
-  const auto masked = water_fill_masked(b, 5.0, mask);
+  const auto masked = water_fill_masked(b, olev::util::kw(5.0), mask);
   const std::vector<double> subset{1.0, 3.0};
-  const auto direct = water_fill(subset, 5.0);
+  const auto direct = water_fill(subset, olev::util::kw(5.0));
   EXPECT_NEAR(masked.level, direct.level, 1e-12);
   EXPECT_NEAR(masked.row[0], direct.row[0], 1e-12);
   EXPECT_NEAR(masked.row[2], direct.row[1], 1e-12);
@@ -174,8 +174,8 @@ TEST(WaterFillMasked, MatchesUnmaskedSolveOnSubset) {
 TEST(WaterFillMasked, FullMaskEqualsUnmasked) {
   const std::vector<double> b{3.0, 1.0, 2.0};
   const std::vector<bool> mask(3, true);
-  const auto masked = water_fill_masked(b, 4.0, mask);
-  const auto plain = water_fill(b, 4.0);
+  const auto masked = water_fill_masked(b, olev::util::kw(4.0), mask);
+  const auto plain = water_fill(b, olev::util::kw(4.0));
   for (std::size_t c = 0; c < 3; ++c) {
     EXPECT_NEAR(masked.row[c], plain.row[c], 1e-12);
   }
@@ -184,14 +184,14 @@ TEST(WaterFillMasked, FullMaskEqualsUnmasked) {
 TEST(WaterFillMasked, Validation) {
   const std::vector<double> b{1.0, 2.0};
   const std::vector<bool> short_mask{true};
-  EXPECT_THROW(water_fill_masked(b, 1.0, short_mask),
+  EXPECT_THROW((void)water_fill_masked(b, olev::util::kw(1.0), short_mask),
                std::invalid_argument);
   const std::vector<bool> empty_mask{false, false};
-  EXPECT_THROW(water_fill_masked(b, 1.0, empty_mask),
+  EXPECT_THROW((void)water_fill_masked(b, olev::util::kw(1.0), empty_mask),
                std::invalid_argument);
   // Zero total with an empty mask is fine (nothing to place).
   const auto result =
-      water_fill_masked(b, 0.0, empty_mask);
+      water_fill_masked(b, olev::util::kw(0.0), empty_mask);
   EXPECT_DOUBLE_EQ(result.row[0], 0.0);
   EXPECT_DOUBLE_EQ(result.row[1], 0.0);
 }
@@ -202,7 +202,7 @@ TEST(WaterFill, MinimizesConvexCostAmongAlternatives) {
   auto z = [](double x) { return (0.875 + x / 10.0) * (0.875 + x / 10.0); };
   const std::vector<double> b{1.0, 4.0, 2.5};
   const double total = 5.0;
-  const auto optimal = water_fill(b, total);
+  const auto optimal = water_fill(b, olev::util::kw(total));
   double optimal_cost = 0.0;
   for (std::size_t c = 0; c < b.size(); ++c) optimal_cost += z(b[c] + optimal.row[c]);
 
@@ -224,7 +224,7 @@ TEST(WaterFill, MinimizesConvexCostAmongAlternatives) {
 TEST(WaterFill, DuplicateMinimaShareTheBudget) {
   // Two tied minima: both become active and split evenly.
   const std::vector<double> b{2.0, 2.0, 9.0};
-  const auto result = water_fill(b, 4.0);
+  const auto result = water_fill(b, olev::util::kw(4.0));
   EXPECT_DOUBLE_EQ(result.row[0], 2.0);
   EXPECT_DOUBLE_EQ(result.row[1], 2.0);
   EXPECT_DOUBLE_EQ(result.row[2], 0.0);
@@ -236,7 +236,7 @@ TEST(WaterFill, TinyTotalStaysOnMinSection) {
   // A total far below the gap to the second-lowest load must land entirely
   // on the argmin section, never spill via rounding.
   const std::vector<double> b{1.0, 1.0 + 1e-3};
-  const auto result = water_fill(b, 1e-10);
+  const auto result = water_fill(b, olev::util::kw(1e-10));
   // p_0 = (total + b_0) - b_0 cancels at machine epsilon of b_0, so the
   // argmin share is exact only to ~eps * b_0, not to eps * total.
   EXPECT_NEAR(result.row[0], 1e-10, 1e-15);
@@ -248,7 +248,7 @@ TEST(WaterFill, LevelExactlyAtNextLoadBoundary) {
   // total chosen so lambda* lands exactly on b[1]: the boundary section
   // contributes zero but either active count is consistent with the row.
   const std::vector<double> b{1.0, 3.0};
-  const auto result = water_fill(b, 2.0);
+  const auto result = water_fill(b, olev::util::kw(2.0));
   EXPECT_DOUBLE_EQ(result.level, 3.0);
   EXPECT_DOUBLE_EQ(result.row[0], 2.0);
   EXPECT_DOUBLE_EQ(result.row[1], 0.0);
@@ -257,7 +257,7 @@ TEST(WaterFill, LevelExactlyAtNextLoadBoundary) {
 TEST(WaterFillMasked, SingleMaskedSection) {
   const std::vector<double> b{4.0, 100.0, 6.0};
   const std::vector<bool> mask{false, true, false};
-  const auto result = water_fill_masked(b, 2.5, mask);
+  const auto result = water_fill_masked(b, olev::util::kw(2.5), mask);
   EXPECT_DOUBLE_EQ(result.row[0], 0.0);
   EXPECT_DOUBLE_EQ(result.row[1], 2.5);  // even though it's the priciest
   EXPECT_DOUBLE_EQ(result.row[2], 0.0);
@@ -266,11 +266,11 @@ TEST(WaterFillMasked, SingleMaskedSection) {
 
 TEST(SortedLoads, HandlesSingleSectionAndRepeatedUpdates) {
   SortedLoads sorted(std::vector<double>{5.0});
-  EXPECT_DOUBLE_EQ(sorted.level_for(2.0), 7.0);
+  EXPECT_DOUBLE_EQ(sorted.level_for(olev::util::kw(2.0)), 7.0);
   sorted.update_one(0, 1.0);
-  EXPECT_DOUBLE_EQ(sorted.level_for(2.0), 3.0);
+  EXPECT_DOUBLE_EQ(sorted.level_for(olev::util::kw(2.0)), 3.0);
   sorted.update_one(0, 1.0);  // no-op value change
-  EXPECT_DOUBLE_EQ(sorted.level_for(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(sorted.level_for(olev::util::kw(0.0)), 1.0);
 }
 
 TEST(SortedLoads, UpdateOneMovesEntryAcrossTies) {
@@ -280,7 +280,7 @@ TEST(SortedLoads, UpdateOneMovesEntryAcrossTies) {
   b[1] = 10.0;
   const SortedLoads fresh(b);
   for (double total : {0.0, 1.0, 5.0, 50.0}) {
-    EXPECT_EQ(fresh.level_for(total), sorted.level_for(total)) << total;
+    EXPECT_EQ(fresh.level_for(olev::util::kw(total)), sorted.level_for(olev::util::kw(total))) << total;
   }
 }
 

@@ -92,18 +92,18 @@ TEST(WaterFillProperty, SolversAgreeAndInvariantsHold) {
   util::Rng rng(0xf177);
   const SectionCost shared_cost(
       std::make_unique<NonlinearPricing>(5.0, 0.875, 40.0), OverloadCost{1.0},
-      40.0);
+      olev::util::kw(40.0));
 
   for (int trial = 0; trial < kTrials; ++trial) {
     const Instance instance = random_instance(rng, trial);
     const auto& b = instance.b;
     const double total = instance.total;
 
-    const WaterFillResult exact = water_fill(b, total);
-    const WaterFillResult bisect = water_fill_bisect(b, total, 1e-13);
+    const WaterFillResult exact = water_fill(b, olev::util::kw(total));
+    const WaterFillResult bisect = water_fill_bisect(b, olev::util::kw(total), 1e-13);
     std::vector<const SectionCost*> costs(b.size(), &shared_cost);
     const GeneralizedFillResult general =
-        generalized_fill(costs, b, total, 1e-13);
+        generalized_fill(costs, b, olev::util::kw(total), 1e-13);
 
     // Conservation and non-negativity for every solver.
     EXPECT_NEAR(sum_of(exact.row), total, tol(total)) << "trial " << trial;
@@ -135,7 +135,7 @@ TEST(WaterFillProperty, SolversAgreeAndInvariantsHold) {
     }
 
     // Masked solver: zero off-mask, Lemma IV.1 verbatim on the subset.
-    const WaterFillResult masked = water_fill_masked(b, total, instance.mask);
+    const WaterFillResult masked = water_fill_masked(b, olev::util::kw(total), instance.mask);
     EXPECT_NEAR(sum_of(masked.row), total, tol(total)) << "trial " << trial;
     std::vector<double> subset;
     for (std::size_t c = 0; c < b.size(); ++c) {
@@ -145,7 +145,7 @@ TEST(WaterFillProperty, SolversAgreeAndInvariantsHold) {
         subset.push_back(b[c]);
       }
     }
-    const WaterFillResult on_subset = water_fill(subset, total);
+    const WaterFillResult on_subset = water_fill(subset, olev::util::kw(total));
     std::size_t i = 0;
     for (std::size_t c = 0; c < b.size(); ++c) {
       if (instance.mask[c]) {
@@ -162,9 +162,9 @@ TEST(WaterFillProperty, SortedLoadsIsBitIdenticalToWaterFill) {
     const Instance instance = random_instance(rng, trial);
     const auto& b = instance.b;
 
-    const WaterFillResult reference = water_fill(b, instance.total);
+    const WaterFillResult reference = water_fill(b, olev::util::kw(instance.total));
     const SortedLoads sorted(b);
-    const WaterFillResult cached = sorted.fill(instance.total);
+    const WaterFillResult cached = sorted.fill(olev::util::kw(instance.total));
     EXPECT_EQ(reference.level, cached.level) << "trial " << trial;
     EXPECT_EQ(reference.active_sections, cached.active_sections)
         << "trial " << trial;
@@ -192,10 +192,10 @@ TEST(WaterFillProperty, UpdateOneMatchesFreshSort) {
 
       const double total = rng.uniform(0.0, 200.0);
       const SortedLoads fresh(b);
-      EXPECT_EQ(fresh.level_for(total), incremental.level_for(total))
+      EXPECT_EQ(fresh.level_for(olev::util::kw(total)), incremental.level_for(olev::util::kw(total)))
           << "trial " << trial << " move " << move;
-      const auto expect = fresh.fill(total);
-      const auto got = incremental.fill(total);
+      const auto expect = fresh.fill(olev::util::kw(total));
+      const auto got = incremental.fill(olev::util::kw(total));
       for (std::size_t c = 0; c < sections; ++c) {
         EXPECT_EQ(expect.row[c], got.row[c])
             << "trial " << trial << " move " << move << " section " << c;

@@ -11,7 +11,7 @@ namespace {
 
 SectionCost make_cost(double cap = 50.0) {
   return SectionCost(std::make_unique<NonlinearPricing>(8.0, 0.875, cap),
-                     OverloadCost{1.5}, cap);
+                     OverloadCost{1.5}, olev::util::kw(cap));
 }
 
 std::vector<std::unique_ptr<Satisfaction>> two_players() {
@@ -93,7 +93,7 @@ TEST(CongestionReport, PerSectionDegrees) {
   schedule.set(0, 0, 30.0);
   schedule.set(1, 0, 15.0);
   schedule.set(0, 1, 60.0);
-  const CongestionReport report = congestion_report(schedule, 100.0);
+  const CongestionReport report = congestion_report(schedule, olev::util::kw(100.0));
   ASSERT_EQ(report.per_section.size(), 2u);
   EXPECT_NEAR(report.per_section[0], 0.45, 1e-12);
   EXPECT_NEAR(report.per_section[1], 0.60, 1e-12);
@@ -107,16 +107,16 @@ TEST(CongestionReport, FairnessDetectsImbalance) {
   balanced.set(0, 1, 10.0);
   PowerSchedule skewed(1, 2);
   skewed.set(0, 0, 20.0);
-  const auto fair = congestion_report(balanced, 100.0);
-  const auto unfair = congestion_report(skewed, 100.0);
+  const auto fair = congestion_report(balanced, olev::util::kw(100.0));
+  const auto unfair = congestion_report(skewed, olev::util::kw(100.0));
   EXPECT_NEAR(fair.jain_fairness, 1.0, 1e-12);
   EXPECT_LT(unfair.jain_fairness, 0.6);
 }
 
 TEST(CongestionReport, RejectsBadPLine) {
   PowerSchedule schedule(1, 1);
-  EXPECT_THROW(congestion_report(schedule, 0.0), std::invalid_argument);
-  EXPECT_THROW(congestion_report(schedule, -5.0), std::invalid_argument);
+  EXPECT_THROW((void)congestion_report(schedule, olev::util::kw(0.0)), std::invalid_argument);
+  EXPECT_THROW((void)congestion_report(schedule, olev::util::kw(-5.0)), std::invalid_argument);
 }
 
 }  // namespace

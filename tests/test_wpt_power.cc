@@ -15,14 +15,14 @@ TEST(PLine, Equation1Literal) {
   spec.max_current_a = 210.0;
   spec.length_m = 20.0;
   spec.rated_power_kw = 1e9;  // disable the inverter cap for this check
-  const double vel = util::mph_to_mps(60.0);
-  EXPECT_NEAR(p_line_kw(spec, vel), 480.0 * 210.0 * 20.0 / vel / 1000.0, 1e-9);
+  const double vel = util::to_mps(util::mph(60.0)).value();
+  EXPECT_NEAR(p_line_kw(spec, olev::util::mps(vel)), 480.0 * 210.0 * 20.0 / vel / 1000.0, 1e-9);
 }
 
 TEST(PLine, DecreasesWithVelocity) {
   ChargingSectionSpec spec;
-  const double at60 = p_line_kw(spec, util::mph_to_mps(60.0));
-  const double at80 = p_line_kw(spec, util::mph_to_mps(80.0));
+  const double at60 = p_line_kw(spec, util::to_mps(util::mph(60.0)));
+  const double at80 = p_line_kw(spec, util::to_mps(util::mph(80.0)));
   EXPECT_GT(at60, at80);
   // Exactly inversely proportional in the uncapped regime.
   EXPECT_NEAR(at60 / at80, 80.0 / 60.0, 1e-9);
@@ -30,21 +30,21 @@ TEST(PLine, DecreasesWithVelocity) {
 
 TEST(PLine, StationaryVehicleGetsRatedPower) {
   ChargingSectionSpec spec;
-  EXPECT_DOUBLE_EQ(p_line_kw(spec, 0.0), spec.rated_power_kw);
-  EXPECT_DOUBLE_EQ(p_line_kw(spec, -1.0), spec.rated_power_kw);
+  EXPECT_DOUBLE_EQ(p_line_kw(spec, olev::util::mps(0.0)), spec.rated_power_kw);
+  EXPECT_DOUBLE_EQ(p_line_kw(spec, olev::util::mps(-1.0)), spec.rated_power_kw);
 }
 
 TEST(PLine, CappedByRatedPower) {
   ChargingSectionSpec spec;
   // Crawling: Eq. (1) would exceed the inverter rating.
-  EXPECT_DOUBLE_EQ(p_line_kw(spec, 0.1), spec.rated_power_kw);
+  EXPECT_DOUBLE_EQ(p_line_kw(spec, olev::util::mps(0.1)), spec.rated_power_kw);
 }
 
 TEST(PLine, CapacityCapAppliesSafetyFactor) {
   ChargingSectionSpec spec;
-  const double vel = util::mph_to_mps(60.0);
-  EXPECT_NEAR(capacity_cap_kw(spec, vel),
-              spec.safety_factor * p_line_kw(spec, vel), 1e-12);
+  const double vel = util::to_mps(util::mph(60.0)).value();
+  EXPECT_NEAR(capacity_cap_kw(spec, olev::util::mps(vel)),
+              spec.safety_factor * p_line_kw(spec, olev::util::mps(vel)), 1e-12);
 }
 
 TEST(ChargingSection, CoverageGeometry) {
@@ -53,11 +53,11 @@ TEST(ChargingSection, CoverageGeometry) {
   section.offset_m = 100.0;
   section.spec.length_m = 20.0;
   EXPECT_DOUBLE_EQ(section.end_m(), 120.0);
-  EXPECT_TRUE(section.covers(110.0, 105.0));   // fully inside
-  EXPECT_TRUE(section.covers(125.0, 118.0));   // rear still on section
-  EXPECT_TRUE(section.covers(102.0, 97.0));    // front on section
-  EXPECT_FALSE(section.covers(95.0, 90.0));    // before
-  EXPECT_FALSE(section.covers(130.0, 125.0));  // past
+  EXPECT_TRUE(section.covers(olev::util::meters(110.0), olev::util::meters(105.0)));   // fully inside
+  EXPECT_TRUE(section.covers(olev::util::meters(125.0), olev::util::meters(118.0)));   // rear still on section
+  EXPECT_TRUE(section.covers(olev::util::meters(102.0), olev::util::meters(97.0)));    // front on section
+  EXPECT_FALSE(section.covers(olev::util::meters(95.0), olev::util::meters(90.0)));    // before
+  EXPECT_FALSE(section.covers(olev::util::meters(130.0), olev::util::meters(125.0)));  // past
 }
 
 TEST(POlev, Equation2Literal) {
@@ -85,35 +85,35 @@ TEST(POlev, IncreasesWithDeficit) {
 TEST(FeasiblePower, Equation3TakesTheMinimum) {
   OlevParams params;
   ChargingSectionSpec section;
-  const double vel = util::mph_to_mps(60.0);
-  const double p_line = p_line_kw(section, vel);
+  const double vel = util::to_mps(util::mph(60.0)).value();
+  const double p_line = p_line_kw(section, olev::util::mps(vel));
   const double p_olev = p_olev_kw(params, 0.5, 0.7);
-  EXPECT_DOUBLE_EQ(feasible_power_kw(params, section, vel, 0.5, 0.7),
+  EXPECT_DOUBLE_EQ(feasible_power_kw(params, section, olev::util::mps(vel), 0.5, 0.7),
                    std::min(p_line, p_olev));
 }
 
 TEST(FeasiblePower, LineLimitedAtHighDeficit) {
   OlevParams params;
   ChargingSectionSpec section;
-  const double vel = util::mph_to_mps(80.0);
+  const double vel = util::to_mps(util::mph(80.0)).value();
   // Huge deficit: the battery could take more than the line supplies.
-  const double feasible = feasible_power_kw(params, section, vel, 0.2, 0.9);
-  EXPECT_DOUBLE_EQ(feasible, p_line_kw(section, vel));
+  const double feasible = feasible_power_kw(params, section, olev::util::mps(vel), 0.2, 0.9);
+  EXPECT_DOUBLE_EQ(feasible, p_line_kw(section, olev::util::mps(vel)));
 }
 
 TEST(SocForTrip, ScalesWithDistance) {
   OlevParams params;
-  const double short_trip = soc_required_for_trip(params, 10.0);
-  const double long_trip = soc_required_for_trip(params, 30.0);
+  const double short_trip = soc_required_for_trip(params, olev::util::kilometers(10.0));
+  const double long_trip = soc_required_for_trip(params, olev::util::kilometers(30.0));
   EXPECT_GT(long_trip, short_trip);
   EXPECT_NEAR(long_trip, 3.0 * short_trip, 1e-12);
 }
 
 TEST(SocForTrip, ClampsToFullBattery) {
   OlevParams params;
-  EXPECT_DOUBLE_EQ(soc_required_for_trip(params, 1e6), 1.0);
-  EXPECT_DOUBLE_EQ(soc_required_for_trip(params, 0.0), 0.0);
-  EXPECT_DOUBLE_EQ(soc_required_for_trip(params, -5.0), 0.0);
+  EXPECT_DOUBLE_EQ(soc_required_for_trip(params, olev::util::kilometers(1e6)), 1.0);
+  EXPECT_DOUBLE_EQ(soc_required_for_trip(params, olev::util::kilometers(0.0)), 0.0);
+  EXPECT_DOUBLE_EQ(soc_required_for_trip(params, olev::util::kilometers(-5.0)), 0.0);
 }
 
 TEST(SocForTrip, AccountsForDrivingEfficiency) {
@@ -121,8 +121,8 @@ TEST(SocForTrip, AccountsForDrivingEfficiency) {
   efficient.eta_olev = 1.0;
   OlevParams lossy;
   lossy.eta_olev = 0.5;
-  EXPECT_GT(soc_required_for_trip(lossy, 20.0),
-            soc_required_for_trip(efficient, 20.0));
+  EXPECT_GT(soc_required_for_trip(lossy, olev::util::kilometers(20.0)),
+            soc_required_for_trip(efficient, olev::util::kilometers(20.0)));
 }
 
 TEST(DailyReceivable, HalfSocRuleFromNhts) {

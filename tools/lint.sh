@@ -1,20 +1,31 @@
 #!/usr/bin/env bash
-# Static-analysis wall over the game core: src/core, src/util, src/grid.
+# Static-analysis wall over the whole library surface: src/core, src/util,
+# src/grid, src/traci, src/traffic, src/wpt, src/net.
 #
 #   tools/lint.sh [build-dir]
 #
-# Primary mode runs clang-tidy (config in .clang-tidy, WarningsAsErrors='*')
+# Stage 1 is the domain linter (tools/olev_lint.py): the dimensional-
+# analysis contract -- no raw-double quantity parameters in public headers,
+# no exact float equality, [[nodiscard]] solver entry points.  Pure Python,
+# runs everywhere.
+#
+# Stage 2 runs clang-tidy (config in .clang-tidy, WarningsAsErrors='*')
 # against the compile database CMake exports.  When clang-tidy is not
 # installed -- e.g. a gcc-only container -- the script degrades to a gcc
 # warning wall: every translation unit is fully compiled (not just parsed,
 # so flow-sensitive diagnostics like -Wmaybe-uninitialized still run) with
-# -Wall -Wextra -Wpedantic -Werror.  Either way a non-zero exit means the
-# wall was hit; exit 0 means the audited directories are clean.
+# -Wall -Wextra -Wpedantic -Wconversion -Wdouble-promotion -Werror.  Either
+# way a non-zero exit means the wall was hit; exit 0 means the audited
+# directories are clean.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${1:-${BUILD_DIR:-$ROOT/build}}"
-LINT_DIRS=(src/core src/util src/grid)
+LINT_DIRS=(src/core src/util src/grid src/traci src/traffic src/wpt src/net)
+
+echo "lint: domain rules (tools/olev_lint.py)"
+python3 "$ROOT/tools/olev_lint.py" --self-test > /dev/null
+python3 "$ROOT/tools/olev_lint.py" --root "$ROOT"
 
 # The compile database is exported unconditionally by the top-level
 # CMakeLists (CMAKE_EXPORT_COMPILE_COMMANDS); configure on demand.
@@ -49,7 +60,8 @@ else
   : "${CXX:=g++}"
   status=0
   for source in "${sources[@]}"; do
-    if ! "$CXX" -std=c++20 -O2 -Wall -Wextra -Wpedantic -Werror \
+    if ! "$CXX" -std=c++20 -O2 -Wall -Wextra -Wpedantic -Wconversion \
+        -Wdouble-promotion -Werror \
         -I "$ROOT/src" -c "$source" -o /dev/null; then
       status=1
       echo "lint: FAILED ${source#"$ROOT"/}" >&2
@@ -59,5 +71,6 @@ else
     echo "lint: gcc wall hit; see diagnostics above" >&2
     exit 1
   fi
-  echo "lint: gcc warning wall clean (-Wall -Wextra -Wpedantic -Werror)"
+  echo "lint: gcc warning wall clean" \
+       "(-Wall -Wextra -Wpedantic -Wconversion -Wdouble-promotion -Werror)"
 fi

@@ -1,0 +1,303 @@
+#!/usr/bin/env python3
+"""Domain linter for the pricing core's dimensional-analysis contract.
+
+Pure stdlib + regex so it runs anywhere Python 3 does (the CI containers
+have no clang tooling guarantee).  Three rules, each encoding a convention
+that util/quantity.h makes checkable but cannot enforce by itself:
+
+  R1 raw-quantity-param   Public headers of src/core, src/grid and src/wpt
+                          must not declare a function parameter of raw
+                          `double` whose name *claims* a unit (`*_kwh`,
+                          `*_kw`, `*_mw`, `*_mph`, `*_mps`, `*_s`,
+                          `price*`).  Such a parameter is a Quantity that
+                          escaped the type system: callers can pass mph
+                          where m/s is meant and no compiler objects.
+                          Returns and result-struct fields stay raw by
+                          design (documented solver Rep boundary), so only
+                          parameters are policed.
+
+  R2 float-equality       `==`/`!=` against a nonzero floating literal is
+                          almost always a latent tolerance bug in numeric
+                          code.  Exact comparisons against 0.0 are idiomatic
+                          sentinels (water-filling's empty-allocation path)
+                          and stay legal.  Approved helpers -- the quantity
+                          layer's constexpr scale algebra -- are allowlisted.
+
+  R3 nodiscard-solver     Solver entry points return equilibria or money;
+                          silently discarding one is always a bug.  Each
+                          name in ENTRY_POINTS must carry [[nodiscard]] on
+                          its header declaration.
+
+Usage:
+  tools/olev_lint.py [--root DIR]     lint the tree (exit 1 on findings)
+  tools/olev_lint.py --self-test      prove each rule fires on a seeded
+                                      violation and stays quiet on clean
+                                      input (exit 1 if any rule is dead)
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Public-API surface the dimensional-analysis contract covers.
+HEADER_DIRS = ("src/core", "src/grid", "src/wpt")
+# R2 additionally sweeps implementation files in the numeric core.
+SOURCE_DIRS = HEADER_DIRS + ("src/util",)
+
+# Files allowed to compare floats exactly: the quantity layer's compile-time
+# scale algebra (S1 * S2 == 1.0 decides a *type*, not a runtime tolerance).
+FLOAT_EQ_ALLOWLIST = {"src/util/quantity.h"}
+
+# Parameter names that claim a unit.  `_s` (seconds) also catches `_mps`
+# and the like, but list them explicitly so the rule reads as the policy.
+UNIT_SUFFIXES = ("_kwh", "_kw", "_mw", "_mwh", "_mph", "_mps", "_kmh", "_s")
+R1_PARAM = re.compile(
+    r"\bdouble\s+("
+    + r"|".join(rf"\w+{re.escape(suffix)}" for suffix in UNIT_SUFFIXES)
+    + r"|price\w*"
+    + r")\s*(=[^,);]*)?[,)]"
+)
+
+# A floating literal that is not a spelling of zero (0.0, 0., .0, 0e0...).
+_FLOAT = r"(?:\d+\.\d*|\.\d+|\d+\.?\d*[eE][-+]?\d+)"
+_ZERO = re.compile(r"^0*\.?0*(?:[eE][-+]?\d+)?$")
+R2_EQ = re.compile(rf"(?:[=!]=\s*(-?{_FLOAT})\b|\b({_FLOAT})\s*[=!]=)")
+
+# Solver entry points that must be [[nodiscard]] at their declaration.
+ENTRY_POINTS = {
+    "src/core/water_filling.h": ("water_fill", "generalized_fill"),
+    "src/core/best_response.h": ("best_response",),
+    "src/core/central.h": ("maximize_welfare",),
+    "src/core/stackelberg.h": ("follower_reaction", "solve_stackelberg"),
+    "src/core/sweep.h": ("solve_scenario", "run_sweep"),
+    "src/core/fleet_day.h": ("run_fleet_day",),
+    "src/grid/dispatch.h": ("dispatch",),
+    "src/grid/control_period.h": ("classify",),
+    "src/wpt/charging_section.h": ("p_line_kw", "capacity_cap_kw"),
+}
+
+COMMENT = re.compile(r"//.*$")
+
+
+class Finding:
+    def __init__(self, rule: str, path: str, line: int, message: str):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comment(line: str) -> str:
+    return COMMENT.sub("", line)
+
+
+def lint_raw_quantity_params(path: str, text: str) -> list[Finding]:
+    findings = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        code = strip_comment(line)
+        for match in R1_PARAM.finditer(code):
+            findings.append(
+                Finding(
+                    "raw-quantity-param",
+                    path,
+                    number,
+                    f"parameter 'double {match.group(1)}' claims a unit; "
+                    "take a util::Quantity (see util/quantity.h)",
+                )
+            )
+    return findings
+
+
+def lint_float_equality(path: str, text: str) -> list[Finding]:
+    if path in FLOAT_EQ_ALLOWLIST:
+        return []
+    findings = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        code = strip_comment(line)
+        for match in R2_EQ.finditer(code):
+            literal = match.group(1) or match.group(2)
+            if _ZERO.match(literal.lstrip("-")):
+                continue  # exact-zero sentinels are idiomatic
+            findings.append(
+                Finding(
+                    "float-equality",
+                    path,
+                    number,
+                    f"exact ==/!= against {literal}; use a tolerance "
+                    "(util::approx_equal / EXPECT_NEAR) or compare integers",
+                )
+            )
+    return findings
+
+
+def lint_nodiscard_solvers(path: str, text: str) -> list[Finding]:
+    names = ENTRY_POINTS.get(path)
+    if not names:
+        return []
+    findings = []
+    lines = text.splitlines()
+    for name in names:
+        declared = False
+        covered = False
+        pattern = re.compile(rf"\b{name}\s*\(")
+        for index, line in enumerate(lines):
+            code = strip_comment(line)
+            if not pattern.search(code):
+                continue
+            # Skip uses inside comments/doc prose (stripped) and macro-ish
+            # lines; a declaration line contains a return type or attribute.
+            declared = True
+            window = " ".join(lines[max(0, index - 1) : index + 1])
+            if "[[nodiscard]]" in window:
+                covered = True
+                break
+        if declared and not covered:
+            findings.append(
+                Finding(
+                    "nodiscard-solver",
+                    path,
+                    1,
+                    f"solver entry point '{name}' must be [[nodiscard]]",
+                )
+            )
+    return findings
+
+
+def collect_files(root: pathlib.Path) -> tuple[list[pathlib.Path], list[pathlib.Path]]:
+    headers, sources = [], []
+    for directory in HEADER_DIRS:
+        headers.extend(sorted((root / directory).glob("*.h")))
+    for directory in SOURCE_DIRS:
+        sources.extend(sorted((root / directory).glob("*.h")))
+        sources.extend(sorted((root / directory).glob("*.cc")))
+    return headers, sources
+
+
+def run_lint(root: pathlib.Path) -> list[Finding]:
+    headers, sources = collect_files(root)
+    findings: list[Finding] = []
+    for header in headers:
+        rel = header.relative_to(root).as_posix()
+        text = header.read_text()
+        findings.extend(lint_raw_quantity_params(rel, text))
+        findings.extend(lint_nodiscard_solvers(rel, text))
+    for source in sources:
+        rel = source.relative_to(root).as_posix()
+        findings.extend(lint_float_equality(rel, source.read_text()))
+    return findings
+
+
+# ---- self test ------------------------------------------------------------
+
+SELF_TESTS = [
+    # (rule function, path, snippet, expect_findings)
+    (
+        lint_raw_quantity_params,
+        "src/core/fake.h",
+        "double p_line_kw(const Spec& spec, double velocity_mps);\n",
+        True,
+    ),
+    (
+        lint_raw_quantity_params,
+        "src/core/fake.h",
+        "double request(const Spec& spec, util::MetersPerSecond velocity);\n",
+        False,
+    ),
+    (
+        lint_raw_quantity_params,
+        "src/core/fake.h",
+        "// double legacy_kwh(double amount_kwh); -- commented out\n",
+        False,
+    ),
+    (
+        lint_raw_quantity_params,
+        "src/core/fake.h",
+        "void pay(double price_per_kwh = 0.2, int n = 1);\n",
+        True,
+    ),
+    (
+        lint_float_equality,
+        "src/core/fake.cc",
+        "if (welfare == 42.5) return;\n",
+        True,
+    ),
+    (
+        lint_float_equality,
+        "src/core/fake.cc",
+        "if (total == 0.0) return;  // empty-allocation sentinel\n",
+        False,
+    ),
+    (
+        lint_float_equality,
+        "src/core/fake.cc",
+        "if (1.5e3 != budget) overflow();\n",
+        True,
+    ),
+    (
+        lint_float_equality,
+        "src/util/quantity.h",
+        "if constexpr (S1 * S2 == 1.0) { }\n",
+        False,  # allowlisted file
+    ),
+    (
+        lint_nodiscard_solvers,
+        "src/core/central.h",
+        "CentralResult maximize_welfare(std::span<const double> p_max);\n",
+        True,
+    ),
+    (
+        lint_nodiscard_solvers,
+        "src/core/central.h",
+        "[[nodiscard]] CentralResult maximize_welfare(\n    std::span<const double> p_max);\n",
+        False,
+    ),
+]
+
+
+def self_test() -> int:
+    failures = 0
+    for rule, path, snippet, expect in SELF_TESTS:
+        found = bool(rule(path, snippet))
+        verdict = "ok" if found == expect else "DEAD RULE" if expect else "FALSE POSITIVE"
+        if found != expect:
+            failures += 1
+        print(f"self-test [{rule.__name__}] {verdict}: {snippet.strip()!r}")
+    if failures:
+        print(f"olev_lint: self-test FAILED ({failures} case(s))", file=sys.stderr)
+        return 1
+    print(f"olev_lint: self-test passed ({len(SELF_TESTS)} cases)")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None, help="repo root (default: script's parent)")
+    parser.add_argument("--self-test", action="store_true", help="verify each rule fires")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    root = pathlib.Path(args.root) if args.root else pathlib.Path(__file__).resolve().parent.parent
+    findings = run_lint(root)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"olev_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    headers, sources = collect_files(root)
+    print(
+        f"olev_lint: clean ({len(headers)} public headers, "
+        f"{len(sources)} files swept for float equality)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

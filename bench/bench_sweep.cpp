@@ -11,6 +11,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <thread>
@@ -19,6 +20,8 @@
 #include "bench_util.h"
 
 #include "core/sweep.h"
+#include "core/trace.h"
+#include "obs/report.h"
 #include "util/csv.h"
 
 namespace {
@@ -72,6 +75,11 @@ double seconds_since(Clock::time_point start) {
 }  // namespace
 
 int main() {
+  // OLEV_TRACE=<path> captures a Perfetto trace of the whole run (one lane
+  // per sweep worker); OLEV_METRICS=<path> a registry snapshot;
+  // OLEV_SWEEP_REPORT=<path> the last sweep's run report as JSON.
+  olev::obs::EnvSession obs_session;
+
   const auto specs = fig5_grid();
   const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
   std::cout << "sweep: " << specs.size()
@@ -88,12 +96,15 @@ int main() {
   double serial_seconds = 0.0;
   std::vector<std::pair<std::size_t, double>> timings;
   bool all_identical = true;
+  core::SweepReport last_report;
   for (std::size_t threads : thread_counts) {
     core::SweepConfig config;
     config.threads = threads;
     const auto start = Clock::now();
-    auto results = core::run_sweep(specs, config);
+    core::SweepRun run = core::run_sweep_reported(specs, config);
     const double elapsed = seconds_since(start);
+    auto results = std::move(run.results);
+    last_report = std::move(run.report);
     timings.emplace_back(threads, elapsed);
 
     bool matches = true;
@@ -114,6 +125,14 @@ int main() {
                     ? "determinism: every thread count reproduced the serial "
                       "results bit-for-bit\n\n"
                     : "DETERMINISM VIOLATION: thread counts disagree\n\n");
+
+  // Run report of the last (widest) sweep: worker utilization, cache
+  // ratios, per-scenario update/solve-time histograms.
+  std::cout << last_report.to_text() << "\n";
+  if (const char* report_path = std::getenv("OLEV_SWEEP_REPORT")) {
+    core::save_json(last_report, report_path);
+    std::cout << "[sweep report saved to " << report_path << "]\n";
+  }
 
   // Incremental hot path: per-update cost and cache behavior on the paper's
   // largest configuration (N = 50, C = 100).

@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "core/sweep.h"
+#include "obs/report.h"
 #include "traffic/od_demand.h"
 #include "traffic/simulation.h"
 #include "util/csv.h"
@@ -48,6 +49,10 @@ std::unique_ptr<traffic::OdTripSource> make_demand(const traffic::Network& city)
 }  // namespace
 
 int main() {
+  // OLEV_TRACE / OLEV_METRICS env vars export a Perfetto trace / metrics
+  // snapshot of the whole study (docs/OBSERVABILITY.md).
+  olev::obs::EnvSession obs_session;
+
   traffic::Network city = make_city();
   std::cout << "City: " << kRows << "x" << kCols << " grid, "
             << city.edge_count() << " directed streets, "
@@ -131,7 +136,8 @@ int main() {
       specs.push_back(std::move(spec));
     }
   }
-  const auto sweep = core::run_sweep(specs);
+  const core::SweepRun sweep_run = core::run_sweep_reported(specs);
+  const auto& sweep = sweep_run.results;
 
   util::Table pricing_table({"hour", "LBMP_$per_MWh", "nonlinear_$per_MWh",
                              "linear_$per_MWh", "nl_mean_degree"});
@@ -147,5 +153,7 @@ int main() {
   pricing_table.write_pretty(std::cout);
   std::cout << "the nonlinear policy prices each hour's congestion against\n"
                "that hour's LBMP; the flat linear price cannot react.\n";
+
+  std::cout << "\n" << sweep_run.report.to_text();
   return 0;
 }

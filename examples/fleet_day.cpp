@@ -15,11 +15,16 @@
 #include <iostream>
 
 #include "core/fleet_day.h"
+#include "obs/report.h"
 #include "util/config.h"
 #include "util/csv.h"
 
 int main(int argc, char** argv) {
   using namespace olev;
+
+  // OLEV_TRACE / OLEV_METRICS env vars export a Perfetto trace / metrics
+  // snapshot of the 24 hourly solves (docs/OBSERVABILITY.md).
+  obs::EnvSession obs_session;
 
   core::FleetDayConfig config;
   config.fleet_size = 40;

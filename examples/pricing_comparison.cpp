@@ -13,6 +13,7 @@
 
 #include "core/scenario.h"
 #include "grid/nyiso_day.h"
+#include "obs/report.h"
 #include "util/csv.h"
 
 namespace {
@@ -35,6 +36,10 @@ core::GameResult solve_hour(double beta, core::PricingKind pricing) {
 }  // namespace
 
 int main() {
+  // OLEV_TRACE / OLEV_METRICS env vars export a Perfetto trace / metrics
+  // snapshot of the per-hour solves (docs/OBSERVABILITY.md).
+  olev::obs::EnvSession obs_session;
+
   const grid::NyisoDay day = grid::NyisoDay::generate();
 
   std::cout << "Solving the power-scheduling game for every other hour of a "

@@ -13,10 +13,15 @@
 #include <iostream>
 
 #include "core/scenario.h"
+#include "obs/report.h"
 #include "util/csv.h"
 
 int main() {
   using namespace olev;
+
+  // OLEV_TRACE=<path> saves a Perfetto trace of the solve; OLEV_METRICS=
+  // <path> a metrics-registry snapshot (docs/OBSERVABILITY.md).
+  obs::EnvSession obs_session;
 
   // 10 OLEVs sharing 8 charging sections at 60 mph, nonlinear pricing.
   core::ScenarioConfig config;

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/payment.h"
+#include "obs/obs.h"
 #include "util/audit.h"
 
 namespace olev::core {
@@ -71,6 +72,12 @@ BestResponse best_response(const Satisfaction& u, const SectionCost& z,
   response.payment =
       externality_payment(z, others_load.values(), response.allocation.row);
   response.utility = u.value(response.p_star) - response.payment;
+  OLEV_OBS_COUNTER(obs_solves, "core.best_response.solves");
+  OLEV_OBS_ADD(obs_solves, 1);
+  // Corner solutions report 0 iterations; interior ones the bisection count.
+  OLEV_OBS_HISTOGRAM(obs_iterations, "core.best_response.iterations",
+                     {0, 8, 16, 24, 32, 40, 48, 64, 96});
+  OLEV_OBS_OBSERVE(obs_iterations, static_cast<double>(response.iterations));
   OLEV_AUDIT_FINITE(response.p_star, "best_response: p_star");
   OLEV_AUDIT_FINITE(response.payment, "best_response: payment");
   OLEV_AUDIT_FINITE(response.utility, "best_response: utility");

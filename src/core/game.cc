@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/payment.h"
+#include "obs/obs.h"
 #include "util/audit.h"
 #include "util/rng.h"
 
@@ -79,16 +80,26 @@ void Game::commit_row(std::size_t player, std::span<const double> others,
   // bit-identical to a recomputation.
   double row_total = 0.0;
   for (double v : row) row_total += v;
+  // Tally into locals and flush once below: one registry add per commit
+  // instead of one per section keeps the hot loop free of atomics.
+  std::size_t reuses = 0;
+  std::size_t refreshes = 0;
   for (std::size_t c = 0; c < sections_; ++c) {
     const double updated = others[c] + row[c];
     if (updated == column_totals_[c]) {
-      ++caches_.section_cost_reuses;
+      ++reuses;
       continue;
     }
     column_totals_[c] = updated;
     cost_values_[c] = cost_.value(updated);
-    ++caches_.section_cost_refreshes;
+    ++refreshes;
   }
+  caches_.section_cost_reuses += reuses;
+  caches_.section_cost_refreshes += refreshes;
+  OLEV_OBS_COUNTER(obs_reuses, "core.game.section_cost_reuses");
+  OLEV_OBS_COUNTER(obs_refreshes, "core.game.section_cost_refreshes");
+  OLEV_OBS_ADD(obs_reuses, reuses);
+  OLEV_OBS_ADD(obs_refreshes, refreshes);
   if (row_total != row_totals_[player]) {
     row_totals_[player] = row_total;
     sat_values_[player] = players_[player].satisfaction->value(row_total);
@@ -241,11 +252,15 @@ double Game::update_player(std::size_t player) {
   // Both schedulers are deterministic functions of b (and fixed player
   // parameters): if b is unchanged since this player's last solve, its row
   // is already its best response -- skip the solve entirely.
+  OLEV_OBS_COUNTER(obs_hits, "core.game.response_cache_hits");
+  OLEV_OBS_COUNTER(obs_recomputes, "core.game.response_recomputes");
   if (has_last_b_[player] && others == last_b_[player]) {
     ++caches_.response_cache_hits;
+    OLEV_OBS_ADD(obs_hits, 1);
     return std::abs(last_p_star_[player] - row_totals_[player]);
   }
   ++caches_.response_recomputes;
+  OLEV_OBS_ADD(obs_recomputes, 1);
   const double delta = config_.scheduler == SchedulerKind::kWaterFilling
                            ? update_waterfill(player, others)
                            : update_greedy(player, others);
@@ -280,6 +295,7 @@ CongestionReport Game::current_congestion() const {
 }
 
 GameResult Game::run(bool warm_start) {
+  OLEV_OBS_SPAN(run_span, "game.run", "solver");
   if (!warm_start) {
     schedule_ = PowerSchedule(players_.size(), sections_);
     cursor_ = 0;
@@ -305,6 +321,8 @@ GameResult Game::run(bool warm_start) {
   while (updates < config_.max_updates) {
     const std::size_t player = pick_player();
     const double previous = row_totals_[player];
+    // Fine detail only: one span per player update swamps a phase trace.
+    OLEV_OBS_FINE_SPAN(update_span, "game.update", "solver");
     const double delta = update_player(player);
     ++updates;
 
@@ -351,11 +369,19 @@ GameResult Game::run(bool warm_start) {
     }
   }
 
+  OLEV_OBS_COUNTER(obs_runs, "core.game.runs");
+  OLEV_OBS_ADD(obs_runs, 1);
+  OLEV_OBS_HISTOGRAM(obs_updates, "core.game.updates_per_run",
+                     {10, 30, 100, 300, 1000, 3000, 10000, 100000});
+  OLEV_OBS_OBSERVE(obs_updates, static_cast<double>(updates));
+  OLEV_OBS_SPAN_ARG(run_span, "updates", static_cast<double>(updates));
+  OLEV_OBS_SPAN_ARG(run_span, "converged", converged ? 1.0 : 0.0);
   return finalize(converged, updates, std::move(trajectory));
 }
 
 GameResult Game::finalize(bool converged, std::size_t updates,
                           std::vector<UpdateMetrics> trajectory) const {
+  OLEV_OBS_SPAN(finalize_span, "game.finalize", "solver");
   GameResult result;
   result.schedule = schedule_;
   result.converged = converged;

@@ -58,11 +58,34 @@ struct GameConfig {
 /// best response was reused without solving anything.  `section_*` counts
 /// per-section cost cells in commit_row: a reuse means the section's load
 /// did not change, so Z(P_c) kept its cached value.
+///
+/// This struct is the per-Game view; every increment is mirrored into the
+/// process-wide obs registry under `core.game.*` (docs/OBSERVABILITY.md),
+/// which aggregates across all Game instances and threads.
 struct CacheCounters {
   std::size_t response_cache_hits = 0;
   std::size_t response_recomputes = 0;
   std::size_t section_cost_reuses = 0;
   std::size_t section_cost_refreshes = 0;
+
+  /// Fraction of player updates served from the response cache; 0 when no
+  /// updates happened yet (so the ratio is always a valid probability).
+  double response_hit_ratio() const {
+    const std::size_t total = response_cache_hits + response_recomputes;
+    return total == 0 ? 0.0
+                      : static_cast<double>(response_cache_hits) /
+                            static_cast<double>(total);
+  }
+  /// Fraction of per-section cost cells reused without re-evaluating Z.
+  double section_reuse_ratio() const {
+    const std::size_t total = section_cost_reuses + section_cost_refreshes;
+    return total == 0 ? 0.0
+                      : static_cast<double>(section_cost_reuses) /
+                            static_cast<double>(total);
+  }
+  /// Zeroes every counter (the struct stays aggregate-initializable; this
+  /// mirrors obs::Registry::reset() for the per-Game view).
+  void reset() { *this = CacheCounters{}; }
 };
 
 /// Per-update metrics (one entry per player update when recording).

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/obs.h"
 #include "util/audit.h"
 
 namespace olev::core {
@@ -13,6 +14,8 @@ double externality_payment(const SectionCost& z,
   if (others_load.size() != row.size()) {
     throw std::invalid_argument("externality_payment: length mismatch");
   }
+  OLEV_OBS_COUNTER(obs_evaluations, "core.payment.evaluations");
+  OLEV_OBS_ADD(obs_evaluations, 1);
   double payment = 0.0;
   for (std::size_t c = 0; c < row.size(); ++c) {
     OLEV_AUDIT_FINITE(others_load[c], "externality_payment: b[" +

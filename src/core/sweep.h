@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/scenario.h"
+#include "obs/metrics.h"
 
 namespace olev::core {
 
@@ -56,5 +57,51 @@ struct SweepResult {
 /// scenarios finish.
 [[nodiscard]] std::vector<SweepResult> run_sweep(
     const std::vector<ScenarioSpec>& specs, const SweepConfig& config = {});
+
+/// Per-worker accounting for one sweep run.  `busy_seconds` sums the solve
+/// time of the scenarios this worker executed; `utilization` divides it by
+/// the sweep's wall time (1.0 = the worker never idled).
+struct SweepWorkerStats {
+  std::size_t worker = 0;
+  std::size_t scenarios = 0;
+  double busy_seconds = 0.0;
+  double utilization = 0.0;
+};
+
+/// Run report for a whole sweep: throughput, convergence, cache
+/// effectiveness, per-phase distributions, and worker utilization.  Built
+/// deterministically from the per-scenario results (NOT scraped from the
+/// global obs registry), so two runs of the same grid produce identical
+/// reports modulo timing fields.
+struct SweepReport {
+  std::size_t scenarios = 0;
+  std::size_t threads = 0;
+  std::size_t converged = 0;
+  std::size_t total_updates = 0;
+  double wall_seconds = 0.0;
+  double scenarios_per_second = 0.0;
+  double response_hit_ratio = 0.0;    ///< over all scenarios' CacheCounters
+  double section_reuse_ratio = 0.0;
+  obs::HistogramSnapshot updates_per_scenario;
+  obs::HistogramSnapshot solve_millis;  ///< per-scenario solve wall time
+  std::vector<SweepWorkerStats> workers;
+
+  /// Wall-time fraction the pool spent solving: sum(busy) / (threads*wall).
+  double worker_utilization() const;
+  /// Human-readable multi-line rendering (run logs, stderr summaries).
+  std::string to_text() const;
+};
+
+/// Results plus the run report.
+struct SweepRun {
+  std::vector<SweepResult> results;
+  SweepReport report;
+};
+
+/// run_sweep plus per-scenario timing and per-worker accounting.  Results
+/// are bit-identical to run_sweep on the same specs/config; only the
+/// report's timing fields vary run to run.
+[[nodiscard]] SweepRun run_sweep_reported(const std::vector<ScenarioSpec>& specs,
+                                          const SweepConfig& config = {});
 
 }  // namespace olev::core

@@ -1,8 +1,6 @@
 #include "core/trace.h"
 
-#include <fstream>
-#include <stdexcept>
-
+#include "obs/strings.h"
 #include "util/json.h"
 
 namespace olev::core {
@@ -53,10 +51,59 @@ std::string to_json(const GameResult& result) {
 }
 
 void save_json(const GameResult& result, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("save_json: cannot open " + path);
-  out << to_json(result) << '\n';
-  if (!out) throw std::runtime_error("save_json: write failed for " + path);
+  // obs::write_file reports the failing path and errno in its exception.
+  obs::write_file(path, to_json(result) + '\n');
+}
+
+std::string to_json(const SweepReport& report) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("scenarios").value(report.scenarios);
+  json.key("threads").value(report.threads);
+  json.key("converged").value(report.converged);
+  json.key("total_updates").value(report.total_updates);
+  json.key("wall_seconds").value(report.wall_seconds);
+  json.key("scenarios_per_second").value(report.scenarios_per_second);
+  json.key("response_hit_ratio").value(report.response_hit_ratio);
+  json.key("section_reuse_ratio").value(report.section_reuse_ratio);
+  json.key("worker_utilization").value(report.worker_utilization());
+
+  json.key("workers").begin_array();
+  for (const SweepWorkerStats& worker : report.workers) {
+    json.begin_object();
+    json.key("worker").value(worker.worker);
+    json.key("scenarios").value(worker.scenarios);
+    json.key("busy_seconds").value(worker.busy_seconds);
+    json.key("utilization").value(worker.utilization);
+    json.end_object();
+  }
+  json.end_array();
+
+  const auto histogram = [&json](const obs::HistogramSnapshot& snapshot) {
+    json.begin_object();
+    json.key("name").value(snapshot.name);
+    json.key("bounds").value(snapshot.bounds);
+    json.key("counts").begin_array();
+    for (std::uint64_t c : snapshot.counts) {
+      json.value(static_cast<std::size_t>(c));
+    }
+    json.end_array();
+    json.key("count").value(static_cast<std::size_t>(snapshot.count));
+    json.key("sum").value(snapshot.sum);
+    json.key("mean").value(snapshot.mean());
+    json.end_object();
+  };
+  json.key("updates_per_scenario");
+  histogram(report.updates_per_scenario);
+  json.key("solve_millis");
+  histogram(report.solve_millis);
+
+  json.end_object();
+  return json.str();
+}
+
+void save_json(const SweepReport& report, const std::string& path) {
+  obs::write_file(path, to_json(report) + '\n');
 }
 
 }  // namespace olev::core

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "core/game.h"
+#include "core/sweep.h"
 
 namespace olev::core {
 
@@ -14,7 +15,17 @@ namespace olev::core {
 /// trajectory of (update, player, request, welfare, congestion).
 std::string to_json(const GameResult& result);
 
-/// Writes to_json(result) to `path`; throws std::runtime_error on failure.
+/// Writes to_json(result) to `path`; throws std::runtime_error naming the
+/// path and errno on failure.
 void save_json(const GameResult& result, const std::string& path);
+
+/// SweepReport as a JSON object: throughput and convergence scalars,
+/// cache ratios, per-worker utilization, and the per-scenario
+/// updates/solve-time histograms (bounds + counts, obs edge semantics).
+std::string to_json(const SweepReport& report);
+
+/// Writes to_json(report) to `path`; throws std::runtime_error naming the
+/// path and errno on failure.
+void save_json(const SweepReport& report, const std::string& path);
 
 }  // namespace olev::core

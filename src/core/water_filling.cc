@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/cost.h"
+#include "obs/obs.h"
 #include "util/audit.h"
 
 namespace olev::core {
@@ -282,6 +283,9 @@ WaterFillResult water_fill_bisect(std::span<const double> others_load,
   }
   result.level = 0.5 * (lo + hi);
   result.iterations = iterations;
+  OLEV_OBS_HISTOGRAM(obs_iterations, "core.water_fill.bisect_iterations",
+                     {0, 10, 20, 30, 40, 50, 60, 80, 100, 200});
+  OLEV_OBS_OBSERVE(obs_iterations, static_cast<double>(iterations));
   for (std::size_t c = 0; c < others_load.size(); ++c) {
     const double fill = std::max(0.0, result.level - others_load[c]);
     result.row[c] = fill;

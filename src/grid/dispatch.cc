@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace olev::grid {
 
 DispatchStack::DispatchStack(std::vector<Generator> generators)
@@ -39,6 +41,8 @@ DispatchStack DispatchStack::nyiso_like() {
 DispatchResult DispatchStack::dispatch(util::Megawatts load) const {
   const double load_mw = load.value();
   if (load_mw < 0.0) throw std::invalid_argument("DispatchStack: negative load");
+  OLEV_OBS_COUNTER(obs_dispatches, "grid.dispatch.calls");
+  OLEV_OBS_ADD(obs_dispatches, 1);
   DispatchResult result;
   result.output_mw.assign(generators_.size(), 0.0);
 

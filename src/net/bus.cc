@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "obs/obs.h"
+
 // gcc 12's -Wmaybe-uninitialized fires inside push_heap/pop_heap when the
 // element type holds a std::variant of vector-bearing messages: the heap
 // sift moves are flagged even though every InFlight is fully constructed
@@ -20,6 +22,8 @@ std::uint64_t MessageBus::send(NodeId from, NodeId to, double now_s,
                                Message payload) {
   const std::uint64_t seq = next_seq_++;
   ++stats_.sent;
+  OLEV_OBS_COUNTER(obs_sent, "net.bus.messages_sent");
+  OLEV_OBS_ADD(obs_sent, 1);
 
   std::vector<std::uint8_t> wire = serialize(payload);
   stats_.bytes_sent += wire.size();

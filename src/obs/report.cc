@@ -1,0 +1,184 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/span.h"
+#include "obs/strings.h"
+
+namespace olev::obs {
+
+// Serialization below appends with += only: chained operator+ on string
+// temporaries trips gcc-12's bogus -Wrestrict at -O3 (PR105651).
+std::string to_json(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const CounterSnapshot& counter : snapshot.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(counter.name);
+    out += "\":";
+    out += std::to_string(counter.value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const GaugeSnapshot& gauge : snapshot.gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(gauge.name);
+    out += "\":";
+    out += format_double(gauge.value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const HistogramSnapshot& histogram : snapshot.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(histogram.name);
+    out += "\":{\"bounds\":[";
+    for (std::size_t i = 0; i < histogram.bounds.size(); ++i) {
+      if (i > 0) out += ',';
+      out += format_double(histogram.bounds[i]);
+    }
+    out += "],\"counts\":[";
+    for (std::size_t i = 0; i < histogram.counts.size(); ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string(histogram.counts[i]);
+    }
+    out += "],\"count\":";
+    out += std::to_string(histogram.count);
+    out += ",\"sum\":";
+    out += format_double(histogram.sum);
+    out += ",\"mean\":";
+    out += format_double(histogram.mean());
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+std::string to_text(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::size_t width = 0;
+  for (const CounterSnapshot& c : snapshot.counters)
+    width = std::max(width, c.name.size());
+  for (const GaugeSnapshot& g : snapshot.gauges)
+    width = std::max(width, g.name.size());
+  for (const HistogramSnapshot& h : snapshot.histograms)
+    width = std::max(width, h.name.size());
+
+  auto pad = [&](const std::string& name) {
+    std::string padded = name;
+    padded.append(width > name.size() ? width - name.size() : 0, ' ');
+    return padded;
+  };
+  for (const CounterSnapshot& counter : snapshot.counters) {
+    out += pad(counter.name);
+    out += "  ";
+    out += std::to_string(counter.value);
+    out += '\n';
+  }
+  for (const GaugeSnapshot& gauge : snapshot.gauges) {
+    out += pad(gauge.name);
+    out += "  ";
+    out += format_double(gauge.value);
+    out += '\n';
+  }
+  for (const HistogramSnapshot& histogram : snapshot.histograms) {
+    out += pad(histogram.name);
+    out += "  count=";
+    out += std::to_string(histogram.count);
+    out += " mean=";
+    out += format_double(histogram.mean());
+    out += "  [";
+    for (std::size_t i = 0; i < histogram.counts.size(); ++i) {
+      if (i > 0) out += ' ';
+      if (i < histogram.bounds.size()) {
+        out += "<=";
+        out += format_double(histogram.bounds[i]);
+      } else {
+        out += '>';
+        out += format_double(histogram.bounds.empty() ? 0.0
+                                                      : histogram.bounds.back());
+      }
+      out += ':';
+      out += std::to_string(histogram.counts[i]);
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+HistogramSnapshot bucketize(std::string name, std::vector<double> bounds,
+                            std::span<const double> values) {
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+  HistogramSnapshot snap;
+  snap.name = std::move(name);
+  snap.bounds = std::move(bounds);
+  snap.counts.assign(snap.bounds.size() + 1, 0);
+  for (double v : values) {
+    const std::size_t bucket = static_cast<std::size_t>(
+        std::lower_bound(snap.bounds.begin(), snap.bounds.end(), v) -
+        snap.bounds.begin());
+    ++snap.counts[bucket];
+    snap.sum += v;
+    ++snap.count;
+  }
+  return snap;
+}
+
+namespace {
+std::string env_or_empty(const char* name) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? std::string() : std::string(value);
+}
+}  // namespace
+
+EnvSession::EnvSession()
+    : trace_path_(env_or_empty("OLEV_TRACE")),
+      metrics_path_(env_or_empty("OLEV_METRICS")) {
+  if (trace_path_.empty() && metrics_path_.empty()) return;
+  set_thread_name("main");
+  if (!trace_path_.empty()) {
+    const bool fine = env_or_empty("OLEV_TRACE_DETAIL") == "fine";
+    Tracer::instance().start(fine ? TraceDetail::kFine : TraceDetail::kPhase);
+    std::fprintf(stderr, "[obs] tracing enabled (%s detail) -> %s\n",
+                 fine ? "fine" : "phase", trace_path_.c_str());
+  }
+  if (!metrics_path_.empty()) {
+    std::fprintf(stderr, "[obs] metrics snapshot on exit -> %s\n",
+                 metrics_path_.c_str());
+  }
+}
+
+EnvSession::~EnvSession() {
+  // Destructors must not throw; report sink failures and carry on.
+  if (!trace_path_.empty()) {
+    Tracer& tracer = Tracer::instance();
+    tracer.stop();
+    try {
+      tracer.save(trace_path_);
+      std::fprintf(stderr, "[obs] trace saved: %zu events -> %s\n",
+                   tracer.event_count(), trace_path_.c_str());
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "[obs] trace save FAILED: %s\n", error.what());
+    }
+  }
+  if (!metrics_path_.empty()) {
+    try {
+      write_file(metrics_path_,
+                 to_json(Registry::instance().snapshot()) + "\n");
+      std::fprintf(stderr, "[obs] metrics saved -> %s\n",
+                   metrics_path_.c_str());
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "[obs] metrics save FAILED: %s\n", error.what());
+    }
+  }
+}
+
+}  // namespace olev::obs

@@ -1,0 +1,216 @@
+#include "obs/span.h"
+
+#include <chrono>
+
+#include "obs/strings.h"
+
+namespace olev::obs {
+
+std::int64_t now_micros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+Tracer::Lane& Tracer::local_lane() {
+  // The shared_ptr keeps the lane alive after its thread exits, so worker
+  // lanes spawned inside a finished sweep still export.
+  thread_local std::shared_ptr<Lane> lane = [this] {
+    auto fresh = std::make_shared<Lane>();
+    std::lock_guard<std::mutex> lock(lanes_mutex_);
+    fresh->tid = static_cast<int>(lanes_.size()) + 1;
+    lanes_.push_back(fresh);
+    return fresh;
+  }();
+  // A second Tracer never exists (singleton), so `this` always matches the
+  // instance that registered the lane.
+  return *lane;
+}
+
+void Tracer::start(TraceDetail detail) {
+  std::lock_guard<std::mutex> lock(lanes_mutex_);
+  for (const std::shared_ptr<Lane>& lane : lanes_) {
+    std::lock_guard<std::mutex> lane_lock(lane->mutex);
+    lane->events.clear();
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+  epoch_us_ = now_micros();
+  fine_.store(detail == TraceDetail::kFine, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::stop() { enabled_.store(false, std::memory_order_release); }
+
+void Tracer::set_thread_name(std::string name) {
+  Lane& lane = local_lane();
+  std::lock_guard<std::mutex> lock(lane.mutex);
+  lane.name = std::move(name);
+}
+
+bool Tracer::lane_has_room() {
+  Lane& lane = local_lane();
+  std::lock_guard<std::mutex> lock(lane.mutex);
+  // A begin/end pair needs two slots.
+  return lane.events.size() + 2 <= max_events_per_lane_;
+}
+
+void Tracer::record(TraceEvent event) {
+  if (!enabled()) return;
+  record_always(std::move(event));
+}
+
+void Tracer::record_always(TraceEvent event) {
+  Lane& lane = local_lane();
+  std::lock_guard<std::mutex> lock(lane.mutex);
+  lane.events.push_back(std::move(event));
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(lanes_mutex_);
+  std::size_t count = 0;
+  for (const std::shared_ptr<Lane>& lane : lanes_) {
+    std::lock_guard<std::mutex> lane_lock(lane->mutex);
+    count += lane->events.size();
+  }
+  return count;
+}
+
+std::string Tracer::to_json() const {
+  std::vector<std::shared_ptr<Lane>> lanes;
+  std::int64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(lanes_mutex_);
+    lanes = lanes_;
+    epoch = epoch_us_;
+  }
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& event_json) {
+    if (!first) out += ',';
+    first = false;
+    out += event_json;
+  };
+
+  emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+       "\"args\":{\"name\":\"olev\"}}");
+  for (const std::shared_ptr<Lane>& lane : lanes) {
+    std::lock_guard<std::mutex> lane_lock(lane->mutex);
+    // Built with += throughout: chained operator+ on string temporaries
+    // trips gcc-12's bogus -Wrestrict at -O3 (PR105651), and this is the
+    // export hot loop anyway.
+    const std::string tid = std::to_string(lane->tid);
+    if (!lane->name.empty()) {
+      std::string meta = "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+      meta += tid;
+      meta += ",\"args\":{\"name\":\"";
+      meta += json_escape(lane->name);
+      meta += "\"}}";
+      emit(meta);
+    }
+    for (const TraceEvent& event : lane->events) {
+      std::string entry = "{\"name\":\"";
+      entry += json_escape(event.name);
+      entry += "\",\"cat\":\"";
+      entry += json_escape(event.category);
+      entry += "\",\"ph\":\"";
+      entry += event.phase;
+      entry += "\",\"ts\":";
+      entry += std::to_string(event.ts_us - epoch);
+      entry += ",\"pid\":1,\"tid\":";
+      entry += tid;
+      if (event.nargs > 0 || !event.detail.empty()) {
+        entry += ",\"args\":{";
+        bool first_arg = true;
+        if (!event.detail.empty()) {
+          entry += "\"label\":\"";
+          entry += json_escape(event.detail);
+          entry += '"';
+          first_arg = false;
+        }
+        for (int i = 0; i < event.nargs; ++i) {
+          if (!first_arg) entry += ',';
+          first_arg = false;
+          entry += '"';
+          entry += json_escape(event.args[static_cast<std::size_t>(i)].first);
+          entry += "\":";
+          entry += format_double(event.args[static_cast<std::size_t>(i)].second);
+        }
+        entry += '}';
+      }
+      entry += '}';
+      emit(entry);
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+void Tracer::save(const std::string& path) const {
+  write_file(path, to_json() + "\n");
+}
+
+ScopedSpan::ScopedSpan(const char* name, const char* category)
+    : name_(name), category_(category) {
+  if (!Tracer::instance().enabled()) return;
+  begin({});
+}
+
+ScopedSpan::ScopedSpan(const char* name, const char* category,
+                       std::string label)
+    : name_(name), category_(category) {
+  if (!Tracer::instance().enabled()) return;
+  begin(std::move(label));
+}
+
+ScopedSpan::ScopedSpan(const char* name, const char* category,
+                       TraceDetail level)
+    : name_(name), category_(category) {
+  Tracer& tracer = Tracer::instance();
+  if (level == TraceDetail::kFine ? !tracer.fine_enabled() : !tracer.enabled())
+    return;
+  begin({});
+}
+
+void ScopedSpan::begin(std::string label) {
+  Tracer& tracer = Tracer::instance();
+  if (!tracer.lane_has_room()) {
+    // Cap hit: drop the whole span (begin AND end) so the trace stays
+    // balanced, and account for it.
+    tracer.note_dropped_span();
+    return;
+  }
+  active_ = true;
+  TraceEvent event;
+  event.name = name_;
+  event.category = category_;
+  event.phase = 'B';
+  event.ts_us = now_micros();
+  event.detail = std::move(label);
+  tracer.record_always(event);
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  TraceEvent event;
+  event.name = name_;
+  event.category = category_;
+  event.phase = 'E';
+  event.ts_us = now_micros();
+  event.args = args_;
+  event.nargs = nargs_;
+  // record_always: a begin was written, so the end must land even if the
+  // tracer was stopped while this span was open.
+  Tracer::instance().record_always(std::move(event));
+}
+
+void set_thread_name(std::string name) {
+  Tracer::instance().set_thread_name(std::move(name));
+}
+
+}  // namespace olev::obs

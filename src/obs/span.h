@@ -1,0 +1,170 @@
+// Span tracer: scoped RAII timers around solver phases, exported as Chrome
+// trace-event JSON (the format ui.perfetto.dev and chrome://tracing load
+// directly).  One lane per thread: the sweep's worker threads register
+// themselves with stable small tids and human names ("worker 3"), so a whole
+// run_sweep opens as a per-worker timeline.
+//
+// Overhead contract:
+//   - tracing DISABLED (the default): constructing a span is one relaxed
+//     atomic load and two pointer stores -- nanoseconds, safe to leave in
+//     per-update solver code;
+//   - tracing ENABLED: each span records two events (begin/end) into a
+//     per-thread buffer guarded by that thread's own (uncontended) mutex;
+//   - compiled OUT (OLEV_OBS=OFF): the OLEV_OBS_SPAN* macros in obs/obs.h
+//     expand to a no-op object and the call sites vanish entirely.
+//
+// This header is also the repo's ONLY approved timing source for src/core
+// and src/util: tools/olev_lint.py's raw-steady-clock rule rejects direct
+// std::chrono::*_clock::now() calls there so every measurement flows
+// through one clock (and can be compiled out or redirected centrally).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace olev::obs {
+
+/// Microseconds from a process-wide monotonic clock (steady_clock epoch).
+std::int64_t now_micros();
+
+/// Minimal monotonic timer for code that needs a duration, not a trace
+/// event (e.g. the sweep report's wall/busy accounting).
+class Stopwatch {
+ public:
+  Stopwatch() : start_us_(now_micros()) {}
+  void restart() { start_us_ = now_micros(); }
+  double seconds() const {
+    return static_cast<double>(now_micros() - start_us_) * 1e-6;
+  }
+
+ private:
+  std::int64_t start_us_;
+};
+
+/// Phase-level spans (scenario solve, game run) are always recorded while
+/// tracing is on; fine spans (per player update, per bisection) only when
+/// the trace was started at kFine detail -- they multiply event counts by
+/// the update count.
+enum class TraceDetail { kPhase, kFine };
+
+/// One Chrome trace event.  `name`/`category`/arg keys must be string
+/// literals (the tracer stores the pointers); dynamic text goes through
+/// `detail`, which is escaped on export.
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* category = nullptr;
+  char phase = 'B';  ///< 'B' begin, 'E' end, 'I' instant
+  std::int64_t ts_us = 0;
+  std::string detail;  ///< optional dynamic label, exported as args.label
+  std::array<std::pair<const char*, double>, 4> args{};
+  int nargs = 0;
+};
+
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Clears previous events, stamps the time origin and enables recording.
+  void start(TraceDetail detail = TraceDetail::kPhase);
+  void stop();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  bool fine_enabled() const {
+    return enabled() && fine_.load(std::memory_order_relaxed);
+  }
+
+  /// Names the calling thread's lane (emitted as thread_name metadata).
+  /// Registers the thread even while tracing is disabled, so pool workers
+  /// can name themselves at spawn.
+  void set_thread_name(std::string name);
+
+  /// Appends `event` to the calling thread's buffer when tracing is on.
+  void record(TraceEvent event);
+  /// Appends regardless of the enabled flag -- span destructors use this so
+  /// a begin recorded before stop() still gets its matching end.
+  void record_always(TraceEvent event);
+
+  /// Chrome trace-event JSON ({"traceEvents": [...]}); safe to call while
+  /// other threads trace (their lanes are copied under per-buffer locks).
+  std::string to_json() const;
+  /// Writes to_json() to `path`; throws std::runtime_error naming the path
+  /// and errno on failure.
+  void save(const std::string& path) const;
+
+  std::size_t event_count() const;
+  /// Spans skipped because a lane hit its event cap (begin AND end are
+  /// dropped together, so exported traces stay balanced).
+  std::uint64_t dropped_spans() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  void note_dropped_span() { dropped_.fetch_add(1, std::memory_order_relaxed); }
+  /// True while the calling thread's lane has room for another span.
+  bool lane_has_room();
+
+ private:
+  struct Lane {
+    std::mutex mutex;
+    std::vector<TraceEvent> events;
+    int tid = 0;
+    std::string name;
+  };
+
+  Tracer() = default;
+  Lane& local_lane();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<bool> fine_{false};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::int64_t epoch_us_ = 0;
+  std::size_t max_events_per_lane_ = 1 << 20;
+  mutable std::mutex lanes_mutex_;
+  std::vector<std::shared_ptr<Lane>> lanes_;
+};
+
+/// RAII span: begin event at construction, end event (carrying the numeric
+/// args) at destruction.  Construction decides once whether this span is
+/// live; a tracer stopped mid-span still receives the end event.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* name, const char* category);
+  ScopedSpan(const char* name, const char* category, std::string label);
+  ScopedSpan(const char* name, const char* category, TraceDetail level);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches a numeric argument to the end event (first 4 kept).
+  void arg(const char* key, double value) {
+    if (!active_ || nargs_ >= static_cast<int>(args_.size())) return;
+    args_[static_cast<std::size_t>(nargs_++)] = {key, value};
+  }
+  bool active() const { return active_; }
+
+ private:
+  void begin(std::string label);
+
+  const char* name_;
+  const char* category_;
+  std::array<std::pair<const char*, double>, 4> args_{};
+  int nargs_ = 0;
+  bool active_ = false;
+};
+
+/// Vanishing stand-in the OLEV_OBS_SPAN macros expand to when the layer is
+/// compiled out.
+struct NullSpan {
+  void arg(const char*, double) {}
+  bool active() const { return false; }
+};
+
+/// Convenience: Tracer::instance().set_thread_name(...).
+void set_thread_name(std::string name);
+
+}  // namespace olev::obs

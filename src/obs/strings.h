@@ -1,0 +1,32 @@
+// String helpers shared by the observability sinks, kept dependency-free so
+// they can also back src/util's JSON writer (util sits ABOVE obs: the
+// thread pool is instrumented, so obs may not link util).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace olev::obs {
+
+/// Escapes `text` for embedding inside a JSON string literal (surrounding
+/// quotes not included).  Guarantees pure-ASCII, always-valid JSON output
+/// for ANY byte sequence:
+///   - '"', '\\' and the C0 control characters are backslash-escaped
+///     (\n, \r, \t, \b, \f get their short forms, the rest \u00XX);
+///   - DEL (0x7f) and every non-ASCII code point are emitted as \uXXXX,
+///     decoding well-formed UTF-8 first (astral code points become
+///     surrogate pairs);
+///   - malformed UTF-8 bytes (stray continuation bytes, overlong or
+///     truncated sequences, surrogates) are replaced with U+FFFD instead of
+///     leaking raw bytes into the output.
+std::string json_escape(std::string_view text);
+
+/// Shortest round-trippable decimal for a double, with NaN/Inf mapped to
+/// null (JSON has no non-finite literals).
+std::string format_double(double v);
+
+/// Writes `content` to `path`, throwing std::runtime_error that names the
+/// failing path and the errno message on open or write failure.
+void write_file(const std::string& path, std::string_view content);
+
+}  // namespace olev::obs

@@ -2,11 +2,15 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace olev::traci {
 
 TraciClient::TraciClient(traffic::Simulation& sim) : sim_(sim) {}
 
 void TraciClient::simulationStep() {
+  OLEV_OBS_COUNTER(obs_steps, "traci.client.simulation_steps");
+  OLEV_OBS_ADD(obs_steps, 1);
   sim_.step();
   refresh_subscriptions();
 }

@@ -6,6 +6,8 @@
 #include <map>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace olev::traffic {
 namespace {
 // Distance short of the stop line at which a red-light leader "stands".
@@ -346,6 +348,8 @@ void Simulation::notify_observers() {
 }
 
 void Simulation::step() {
+  OLEV_OBS_COUNTER(obs_steps, "traffic.simulation.steps");
+  OLEV_OBS_ADD(obs_steps, 1);
   insert_arrivals();
   change_lanes();
   update_speeds();

@@ -3,29 +3,16 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/strings.h"
+
 namespace olev::util {
 
 std::string json_escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
-          out += buffer;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
+  // One escaper for the whole repo: obs owns it (that layer cannot depend
+  // on util) and handles control characters, DEL, and non-ASCII -- labels
+  // with UTF-8 or stray bytes escape identically in experiment traces and
+  // Perfetto traces.
+  return obs::json_escape(text);
 }
 
 void JsonWriter::separator() {

@@ -39,7 +39,10 @@ class JsonWriter {
   std::vector<bool> first_;
 };
 
-/// Escapes a string for embedding in JSON (quotes not included).
+/// Escapes a string for embedding in JSON (quotes not included).  Control
+/// characters, DEL, and non-ASCII input all become \uXXXX escapes (malformed
+/// UTF-8 is replaced with U+FFFD); delegates to obs::json_escape so every
+/// exporter in the repo emits ASCII-only, parseable strings.
 std::string json_escape(const std::string& text);
 
 }  // namespace olev::util

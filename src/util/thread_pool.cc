@@ -3,8 +3,18 @@
 #include <algorithm>
 #include <exception>
 #include <limits>
+#include <string>
+
+#include "obs/obs.h"
 
 namespace olev::util {
+
+namespace {
+// Set once per worker thread at loop entry; npos everywhere else.
+thread_local std::size_t tls_worker_index = ThreadPool::npos;
+}  // namespace
+
+std::size_t ThreadPool::worker_index() { return tls_worker_index; }
 
 std::size_t resolve_threads(std::size_t requested) {
   if (requested > 0) return requested;
@@ -15,7 +25,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
   const std::size_t count = resolve_threads(threads);
   workers_.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -29,24 +39,58 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::enqueue(std::function<void()> job) {
+  OLEV_OBS_GAUGE(queue_depth, "util.thread_pool.queue_depth");
+  Job entry{std::move(job), 0};
+#if OLEV_OBS_ENABLED
+  entry.enqueued_us = obs::now_micros();
+#endif
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(job));
+    queue_.push_back(std::move(entry));
+    OLEV_OBS_SET(queue_depth, static_cast<double>(queue_.size()));
   }
   wake_.notify_one();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t index) {
+  tls_worker_index = index;
+#if OLEV_OBS_ENABLED
+  obs::set_thread_name("worker " + std::to_string(index));
+  OLEV_OBS_COUNTER(tasks, "util.thread_pool.tasks");
+  OLEV_OBS_COUNTER(idle_micros, "util.thread_pool.idle_micros");
+  OLEV_OBS_COUNTER(busy_micros, "util.thread_pool.busy_micros");
+  OLEV_OBS_GAUGE(queue_depth, "util.thread_pool.queue_depth");
+  // Time from enqueue to dequeue: the backlog a task sees, distinct from
+  // its own runtime.  Bounds in microseconds.
+  OLEV_OBS_HISTOGRAM(queue_latency, "util.thread_pool.queue_latency_micros",
+                     {10, 100, 1000, 10000, 100000, 1000000});
+#endif
   for (;;) {
-    std::function<void()> job;
+    Job job;
+    OLEV_OBS_ONLY(const std::int64_t wait_start = obs::now_micros();)
     {
       std::unique_lock<std::mutex> lock(mutex_);
       wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ and drained
       job = std::move(queue_.front());
       queue_.pop_front();
+      OLEV_OBS_SET(queue_depth, static_cast<double>(queue_.size()));
     }
-    job();  // packaged_task captures exceptions in the future
+#if OLEV_OBS_ENABLED
+    const std::int64_t run_start = obs::now_micros();
+    idle_micros.add(static_cast<std::uint64_t>(run_start - wait_start));
+    if (job.enqueued_us > 0) {
+      queue_latency.observe(static_cast<double>(run_start - job.enqueued_us));
+    }
+    tasks.add(1);
+    {
+      OLEV_OBS_SPAN(task_span, "pool.task", "pool");
+      job.fn();  // packaged_task captures exceptions in the future
+    }
+    busy_micros.add(static_cast<std::uint64_t>(obs::now_micros() - run_start));
+#else
+    job.fn();  // packaged_task captures exceptions in the future
+#endif
   }
 }
 

@@ -7,6 +7,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -30,6 +31,13 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// Index of the calling pool worker within its pool (0..size-1), or
+  /// `npos` on a thread that is not a pool worker.  Lets task bodies keep
+  /// per-worker accounting (the sweep report's utilization breakdown)
+  /// without a map lookup.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  static std::size_t worker_index();
+
   /// Enqueues `task` and returns a future for its result.  Exceptions thrown
   /// by the task are captured in the future.
   template <typename F>
@@ -52,11 +60,18 @@ class ThreadPool {
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
  private:
+  /// A queued task plus its enqueue timestamp (observability: the queue
+  /// latency histogram; 0 when the obs layer is compiled out).
+  struct Job {
+    std::function<void()> fn;
+    std::int64_t enqueued_us = 0;
+  };
+
   void enqueue(std::function<void()> job);
-  void worker_loop();
+  void worker_loop(std::size_t index);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Job> queue_;
   std::mutex mutex_;
   std::condition_variable wake_;
   bool stop_ = false;

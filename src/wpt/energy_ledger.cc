@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace olev::wpt {
 namespace {
 std::size_t hour_of(double time_s) {
@@ -20,6 +22,8 @@ void EnergyLedger::record(const TransferRecord& record) {
   if (record.section_index >= hourly_by_section_.size()) {
     throw std::out_of_range("EnergyLedger: bad section index");
   }
+  OLEV_OBS_COUNTER(obs_transfers, "wpt.energy_ledger.transfers");
+  OLEV_OBS_ADD(obs_transfers, 1);
   hourly_by_section_[record.section_index][hour_of(record.time_s)] +=
       record.energy_kwh;
   total_kwh_ += record.energy_kwh;

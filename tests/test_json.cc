@@ -16,6 +16,15 @@ TEST(JsonEscape, PassThroughAndSpecials) {
   EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
 }
 
+TEST(JsonEscape, NonAsciiAndMalformedBytesStayParseable) {
+  // util::json_escape delegates to obs::json_escape: UTF-8 becomes \uXXXX
+  // escapes and malformed bytes become U+FFFD, so scenario labels with
+  // accents or stray bytes can never corrupt an exported trace.
+  EXPECT_EQ(json_escape("caf\xc3\xa9"), "caf\\u00e9");
+  EXPECT_EQ(json_escape(std::string(1, '\x7f')), "\\u007f");
+  EXPECT_EQ(json_escape(std::string(1, '\x80')), "\\ufffd");
+}
+
 TEST(JsonWriter, EmptyContainers) {
   {
     JsonWriter json;

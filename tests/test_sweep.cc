@@ -153,5 +153,76 @@ TEST(Sweep, EmptySpecListYieldsEmptyResults) {
   EXPECT_TRUE(run_sweep({}).empty());
 }
 
+TEST(SweepReported, ResultsMatchPlainRunSweep) {
+  const auto specs = small_grid(UpdateOrder::kRoundRobin);
+  SweepConfig config;
+  config.threads = 2;
+  const auto plain = run_sweep(specs, config);
+  const SweepRun reported = run_sweep_reported(specs, config);
+  expect_identical(plain, reported.results);
+}
+
+TEST(SweepReported, ReportAccountsForEveryScenario) {
+  const auto specs = small_grid(UpdateOrder::kRoundRobin);
+  SweepConfig config;
+  config.threads = 2;
+  const SweepRun run = run_sweep_reported(specs, config);
+  const SweepReport& report = run.report;
+
+  EXPECT_EQ(report.scenarios, specs.size());
+  EXPECT_EQ(report.threads, 2u);
+  EXPECT_EQ(report.converged, specs.size());  // this grid always converges
+  ASSERT_EQ(report.workers.size(), 2u);
+
+  // Every scenario is attributed to exactly one worker...
+  std::size_t attributed = 0;
+  double busy = 0.0;
+  for (const SweepWorkerStats& worker : report.workers) {
+    attributed += worker.scenarios;
+    busy += worker.busy_seconds;
+    EXPECT_GE(worker.utilization, 0.0);
+    EXPECT_LE(worker.utilization, 1.0 + 1e-9);
+  }
+  EXPECT_EQ(attributed, specs.size());
+  // ...and total busy time cannot exceed threads * wall time.
+  EXPECT_GT(report.wall_seconds, 0.0);
+  EXPECT_LE(busy, 2.0 * report.wall_seconds + 1e-6);
+  EXPECT_LE(report.worker_utilization(), 1.0 + 1e-9);
+  EXPECT_GT(report.scenarios_per_second, 0.0);
+
+  // Histograms bucket each scenario exactly once.
+  EXPECT_EQ(report.updates_per_scenario.count,
+            static_cast<std::uint64_t>(specs.size()));
+  EXPECT_EQ(report.solve_millis.count,
+            static_cast<std::uint64_t>(specs.size()));
+  std::size_t total_updates = 0;
+  for (const SweepResult& result : run.results) {
+    total_updates += result.result.updates;
+  }
+  EXPECT_EQ(report.total_updates, total_updates);
+  EXPECT_DOUBLE_EQ(report.updates_per_scenario.sum,
+                   static_cast<double>(total_updates));
+
+  // Cache ratios are probabilities, and this grid exercises both caches.
+  EXPECT_GE(report.response_hit_ratio, 0.0);
+  EXPECT_LE(report.response_hit_ratio, 1.0);
+  EXPECT_GT(report.section_reuse_ratio, 0.0);
+  EXPECT_LE(report.section_reuse_ratio, 1.0);
+
+  const std::string text = report.to_text();
+  EXPECT_NE(text.find("scenarios"), std::string::npos);
+  EXPECT_NE(text.find("worker 0"), std::string::npos);
+  EXPECT_NE(text.find("worker 1"), std::string::npos);
+}
+
+TEST(SweepReported, SerialRunAttributesEverythingToWorkerZero) {
+  const auto specs = small_grid(UpdateOrder::kRoundRobin);
+  SweepConfig config;
+  config.threads = 1;
+  const SweepRun run = run_sweep_reported(specs, config);
+  ASSERT_EQ(run.report.workers.size(), 1u);
+  EXPECT_EQ(run.report.workers[0].scenarios, specs.size());
+}
+
 }  // namespace
 }  // namespace olev::core

@@ -7,6 +7,8 @@
 #include <memory>
 #include <sstream>
 
+#include "obs/report.h"
+
 namespace olev::core {
 namespace {
 
@@ -88,6 +90,57 @@ TEST(Trace, SaveJsonWritesFile) {
   std::remove(path.c_str());
   EXPECT_THROW(save_json(result, "/nonexistent_dir_xyz/trace.json"),
                std::runtime_error);
+}
+
+TEST(Trace, SaveJsonErrorNamesPathAndErrno) {
+  const GameResult result = run_small_game(false);
+  try {
+    save_json(result, "/nonexistent_dir_xyz/trace.json");
+    FAIL() << "save_json should have thrown";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("/nonexistent_dir_xyz/trace.json"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("No such file"), std::string::npos) << what;
+  }
+}
+
+TEST(Trace, SweepReportSerializesEveryField) {
+  SweepReport report;
+  report.scenarios = 4;
+  report.threads = 2;
+  report.converged = 3;
+  report.total_updates = 123;
+  report.wall_seconds = 2.0;
+  report.scenarios_per_second = 2.0;
+  report.response_hit_ratio = 0.25;
+  report.section_reuse_ratio = 0.75;
+  report.workers.resize(2);
+  report.workers[0] = {0, 3, 1.5, 0.75};
+  report.workers[1] = {1, 1, 0.5, 0.25};
+  const std::vector<double> updates{10.0, 20.0, 30.0, 63.0};
+  report.updates_per_scenario =
+      obs::bucketize("sweep.updates_per_scenario", {25.0}, updates);
+
+  const std::string json = to_json(report);
+  EXPECT_NE(json.find("\"scenarios\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"threads\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"converged\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"response_hit_ratio\":0.25"), std::string::npos);
+  // sum(busy) / (threads * wall) = 2.0 / 4.0
+  EXPECT_NE(json.find("\"worker_utilization\":0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"busy_seconds\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"bounds\":[25]"), std::string::npos);
+  EXPECT_NE(json.find("\"counts\":[2,2]"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\":123"), std::string::npos);
+
+  const std::string path = ::testing::TempDir() + "/olev_sweep_report.json";
+  save_json(report, path);
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), json + "\n");
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Validator for the obs tracer's Chrome trace-event JSON export.
+
+The tracer (src/obs/span.{h,cc}) promises a file that ui.perfetto.dev can
+load: a top-level object with a `traceEvents` array of duration events whose
+B/E pairs balance per lane.  This checker proves those promises hold on a
+real export, so CI catches a malformed trace before a human tries to open
+one.  Pure stdlib; the strict `json` parser doubles as the escaping check --
+a label that leaked a raw control byte or unpaired surrogate fails parse.
+
+Checks, per file:
+  parse        strict JSON, top-level object with a `traceEvents` list
+  fields       every event has name/ph/pid/tid; B/E/X also need numeric ts
+  balance      per (pid, tid): B and E events pair up like brackets, with
+               matching names, and nothing is left open at end of trace
+  ordering     per (pid, tid): timestamps are monotonically non-decreasing
+               and every E is at or after its matching B
+  metadata     thread_name 'M' events carry args.name
+
+Usage:
+  tools/check_trace.py TRACE.json [TRACE2.json ...]   exit 1 on any violation
+  tools/check_trace.py --self-test                    prove each check fires
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+DURATION_PHASES = {"B", "E", "X"}
+
+
+def check_trace(name: str, text: str) -> list[str]:
+    """Return a list of violations (empty means the trace is valid)."""
+    try:
+        root = json.loads(text)
+    except json.JSONDecodeError as error:
+        return [f"{name}: not valid JSON: {error}"]
+    if not isinstance(root, dict) or not isinstance(root.get("traceEvents"), list):
+        return [f"{name}: top level must be an object with a 'traceEvents' array"]
+
+    errors: list[str] = []
+    # Per-lane stack of (event name, begin ts) for B/E pairing.
+    stacks: dict[tuple, list[tuple[str, float]]] = {}
+    last_ts: dict[tuple, float] = {}
+
+    for index, event in enumerate(root["traceEvents"]):
+        where = f"{name}: event {index}"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if not isinstance(event.get("name"), str) or phase is None:
+            errors.append(f"{where}: missing 'name' or 'ph'")
+            continue
+        if "pid" not in event or "tid" not in event:
+            errors.append(f"{where}: missing 'pid' or 'tid'")
+            continue
+        lane = (event["pid"], event["tid"])
+
+        if phase == "M":
+            if event["name"] == "thread_name" and not (
+                isinstance(event.get("args"), dict)
+                and isinstance(event["args"].get("name"), str)
+            ):
+                errors.append(f"{where}: thread_name metadata lacks args.name")
+            continue
+        if phase not in DURATION_PHASES:
+            errors.append(f"{where}: unknown phase {phase!r}")
+            continue
+
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            errors.append(f"{where}: phase {phase} needs a numeric 'ts'")
+            continue
+        if ts < last_ts.get(lane, float("-inf")):
+            errors.append(
+                f"{where}: ts {ts} goes backwards in lane {lane} "
+                f"(previous {last_ts[lane]})"
+            )
+        last_ts[lane] = ts
+
+        if phase == "B":
+            stacks.setdefault(lane, []).append((event["name"], ts))
+        elif phase == "E":
+            stack = stacks.setdefault(lane, [])
+            if not stack:
+                errors.append(f"{where}: E '{event['name']}' with no open B in lane {lane}")
+                continue
+            open_name, open_ts = stack.pop()
+            if open_name != event["name"]:
+                errors.append(
+                    f"{where}: E '{event['name']}' closes B '{open_name}' in lane {lane}"
+                )
+            if ts < open_ts:
+                errors.append(f"{where}: E at {ts} before its B at {open_ts}")
+
+    for lane, stack in stacks.items():
+        for open_name, _ in stack:
+            errors.append(f"{name}: B '{open_name}' in lane {lane} never closed")
+    return errors
+
+
+# ---- self test ------------------------------------------------------------
+
+
+def _trace(events: list[dict]) -> str:
+    return json.dumps({"displayTimeUnit": "ms", "traceEvents": events})
+
+
+SELF_TESTS = [
+    ("valid nested spans", _trace([
+        {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+         "args": {"name": "olev"}},
+        {"name": "thread_name", "ph": "M", "pid": 1, "tid": 0,
+         "args": {"name": "main"}},
+        {"name": "outer", "cat": "solver", "ph": "B", "ts": 0, "pid": 1, "tid": 0},
+        {"name": "inner", "cat": "solver", "ph": "B", "ts": 5, "pid": 1, "tid": 0},
+        {"name": "inner", "cat": "solver", "ph": "E", "ts": 9, "pid": 1, "tid": 0},
+        {"name": "outer", "cat": "solver", "ph": "E", "ts": 12, "pid": 1, "tid": 0},
+    ]), True),
+    ("independent lanes interleave freely", _trace([
+        {"name": "a", "ph": "B", "ts": 0, "pid": 1, "tid": 1},
+        {"name": "b", "ph": "B", "ts": 1, "pid": 1, "tid": 2},
+        {"name": "a", "ph": "E", "ts": 2, "pid": 1, "tid": 1},
+        {"name": "b", "ph": "E", "ts": 3, "pid": 1, "tid": 2},
+    ]), True),
+    ("not JSON at all", "{not json", False),
+    ("traceEvents missing", json.dumps({"events": []}), False),
+    ("unclosed B", _trace([
+        {"name": "leak", "ph": "B", "ts": 0, "pid": 1, "tid": 0},
+    ]), False),
+    ("stray E", _trace([
+        {"name": "orphan", "ph": "E", "ts": 0, "pid": 1, "tid": 0},
+    ]), False),
+    ("crossed names", _trace([
+        {"name": "a", "ph": "B", "ts": 0, "pid": 1, "tid": 0},
+        {"name": "b", "ph": "E", "ts": 1, "pid": 1, "tid": 0},
+    ]), False),
+    ("time runs backwards in a lane", _trace([
+        {"name": "a", "ph": "B", "ts": 10, "pid": 1, "tid": 0},
+        {"name": "a", "ph": "E", "ts": 5, "pid": 1, "tid": 0},
+    ]), False),
+    ("missing ts on a duration event", _trace([
+        {"name": "a", "ph": "B", "pid": 1, "tid": 0},
+    ]), False),
+    ("thread_name metadata without args.name", _trace([
+        {"name": "thread_name", "ph": "M", "pid": 1, "tid": 0},
+    ]), False),
+]
+
+
+def self_test() -> int:
+    failures = 0
+    for label, text, expect_valid in SELF_TESTS:
+        errors = check_trace(label, text)
+        ok = (not errors) == expect_valid
+        verdict = "ok" if ok else ("FALSE POSITIVE" if expect_valid else "DEAD CHECK")
+        if not ok:
+            failures += 1
+        print(f"self-test {verdict}: {label}")
+    if failures:
+        print(f"check_trace: self-test FAILED ({failures} case(s))", file=sys.stderr)
+        return 1
+    print(f"check_trace: self-test passed ({len(SELF_TESTS)} cases)")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("traces", nargs="*", help="trace JSON files to validate")
+    parser.add_argument("--self-test", action="store_true", help="verify each check fires")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.traces:
+        parser.error("no trace files given (or use --self-test)")
+
+    status = 0
+    for path in args.traces:
+        try:
+            with open(path, encoding="utf-8", errors="strict") as handle:
+                text = handle.read()
+        except OSError as error:
+            print(f"{path}: {error}", file=sys.stderr)
+            status = 1
+            continue
+        errors = check_trace(path, text)
+        for error in errors:
+            print(error, file=sys.stderr)
+        if errors:
+            status = 1
+        else:
+            events = len(json.loads(text)["traceEvents"])
+            print(f"check_trace: {path} ok ({events} events)")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # Static-analysis wall over the whole library surface: src/core, src/util,
-# src/grid, src/traci, src/traffic, src/wpt, src/net.
+# src/grid, src/traci, src/traffic, src/wpt, src/net, src/obs.
 #
 #   tools/lint.sh [build-dir]
 #
 # Stage 1 is the domain linter (tools/olev_lint.py): the dimensional-
 # analysis contract -- no raw-double quantity parameters in public headers,
-# no exact float equality, [[nodiscard]] solver entry points.  Pure Python,
-# runs everywhere.
+# no exact float equality, [[nodiscard]] solver entry points, no raw
+# chrono-clock reads outside src/obs -- plus the trace-checker self-test
+# (tools/check_trace.py), so a dead validator cannot rubber-stamp traces.
+# Pure Python, runs everywhere.
 #
 # Stage 2 runs clang-tidy (config in .clang-tidy, WarningsAsErrors='*')
 # against the compile database CMake exports.  When clang-tidy is not
@@ -21,11 +23,14 @@ set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${1:-${BUILD_DIR:-$ROOT/build}}"
-LINT_DIRS=(src/core src/util src/grid src/traci src/traffic src/wpt src/net)
+LINT_DIRS=(src/core src/util src/grid src/traci src/traffic src/wpt src/net src/obs)
 
 echo "lint: domain rules (tools/olev_lint.py)"
 python3 "$ROOT/tools/olev_lint.py" --self-test > /dev/null
 python3 "$ROOT/tools/olev_lint.py" --root "$ROOT"
+
+echo "lint: trace checker self-test (tools/check_trace.py)"
+python3 "$ROOT/tools/check_trace.py" --self-test > /dev/null
 
 # The compile database is exported unconditionally by the top-level
 # CMakeLists (CMAKE_EXPORT_COMPILE_COMMANDS); configure on demand.

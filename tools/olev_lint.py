@@ -28,6 +28,14 @@ that util/quantity.h makes checkable but cannot enforce by itself:
                           name in ENTRY_POINTS must carry [[nodiscard]] on
                           its header declaration.
 
+  R4 raw-clock            src/core and src/util must not call
+                          `std::chrono::*_clock::now()` directly; the only
+                          approved timing sources are obs::now_micros() and
+                          obs::Stopwatch (src/obs/span.h).  Raw clock reads
+                          bypass the tracer's epoch and the OLEV_OBS=OFF
+                          compile-out contract.  src/obs itself is exempt:
+                          it IS the clock wrapper.
+
 Usage:
   tools/olev_lint.py [--root DIR]     lint the tree (exit 1 on findings)
   tools/olev_lint.py --self-test      prove each rule fires on a seeded
@@ -65,6 +73,11 @@ R1_PARAM = re.compile(
 _FLOAT = r"(?:\d+\.\d*|\.\d+|\d+\.?\d*[eE][-+]?\d+)"
 _ZERO = re.compile(r"^0*\.?0*(?:[eE][-+]?\d+)?$")
 R2_EQ = re.compile(rf"(?:[=!]=\s*(-?{_FLOAT})\b|\b({_FLOAT})\s*[=!]=)")
+
+# R4 sweeps the solver core and util layer; src/obs wraps the clock and is
+# the one place allowed to read it raw.
+CLOCK_DIRS = ("src/core", "src/util")
+R4_CLOCK = re.compile(r"\b\w*_clock\s*::\s*now\s*\(")
 
 # Solver entry points that must be [[nodiscard]] at their declaration.
 ENTRY_POINTS = {
@@ -136,6 +149,25 @@ def lint_float_equality(path: str, text: str) -> list[Finding]:
     return findings
 
 
+def lint_raw_clock(path: str, text: str) -> list[Finding]:
+    if path.startswith("src/obs/"):
+        return []  # the clock wrapper itself
+    findings = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        code = strip_comment(line)
+        for match in R4_CLOCK.finditer(code):
+            findings.append(
+                Finding(
+                    "raw-clock",
+                    path,
+                    number,
+                    f"raw '{match.group(0).rstrip('(').strip()}()' call; use "
+                    "obs::now_micros() or obs::Stopwatch (src/obs/span.h)",
+                )
+            )
+    return findings
+
+
 def lint_nodiscard_solvers(path: str, text: str) -> list[Finding]:
     names = ENTRY_POINTS.get(path)
     if not names:
@@ -189,7 +221,10 @@ def run_lint(root: pathlib.Path) -> list[Finding]:
         findings.extend(lint_nodiscard_solvers(rel, text))
     for source in sources:
         rel = source.relative_to(root).as_posix()
-        findings.extend(lint_float_equality(rel, source.read_text()))
+        text = source.read_text()
+        findings.extend(lint_float_equality(rel, text))
+        if rel.startswith(CLOCK_DIRS):
+            findings.extend(lint_raw_clock(rel, text))
     return findings
 
 
@@ -244,6 +279,36 @@ SELF_TESTS = [
         "src/util/quantity.h",
         "if constexpr (S1 * S2 == 1.0) { }\n",
         False,  # allowlisted file
+    ),
+    (
+        lint_raw_clock,
+        "src/core/sweep.cc",
+        "const auto start = std::chrono::steady_clock::now();\n",
+        True,
+    ),
+    (
+        lint_raw_clock,
+        "src/util/thread_pool.cc",
+        "auto t0 = high_resolution_clock::now();\n",
+        True,
+    ),
+    (
+        lint_raw_clock,
+        "src/core/sweep.cc",
+        "obs::Stopwatch wall;  // approved timing source\n",
+        False,
+    ),
+    (
+        lint_raw_clock,
+        "src/core/sweep.cc",
+        "// auto start = std::chrono::steady_clock::now(); -- commented out\n",
+        False,
+    ),
+    (
+        lint_raw_clock,
+        "src/obs/span.cc",
+        "return std::chrono::steady_clock::now();\n",
+        False,  # the clock wrapper itself is exempt
     ),
     (
         lint_nodiscard_solvers,

@@ -89,7 +89,8 @@ int main() {
         street_score += slot.score;
       }
     }
-    streets.add_row({city.edge(order[i]).name, util::fmt(coverage[order[i]], 0),
+    streets.add_row({city.edge(static_cast<traffic::EdgeId>(order[i])).name,
+                     util::fmt(coverage[order[i]], 0),
                      util::fmt(street_score, 0)});
   }
   std::cout << "\nTop equipped streets:\n";

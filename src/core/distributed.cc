@@ -80,12 +80,14 @@ class SmartGrid {
             const DistributedConfig& config, bool admission_control)
       : cost_(cost), config_(config), schedule_(players, sections),
         admission_control_(admission_control),
-        caps_(players, std::numeric_limits<double>::infinity()) {}
+        caps_(players, std::numeric_limits<double>::infinity()),
+        payments_(players, 0.0) {}
 
   const PowerSchedule& schedule() const { return schedule_; }
   bool converged() const { return converged_; }
   std::size_t rounds() const { return round_; }
   std::size_t retransmissions() const { return retransmissions_; }
+  const std::vector<double>& payments() const { return payments_; }
 
   void start(net::MessageBus& bus, double now) { announce(bus, now); }
 
@@ -117,6 +119,7 @@ class SmartGrid {
     confirmation.round = round_;
     confirmation.row_kw = allocation.row;
     confirmation.payment = externality_payment(cost_, others, allocation.row);
+    payments_[player] = confirmation.payment;
     bus.send(net::kGridNode, envelope.from, now, confirmation);
 
     cycle_max_delta_ = std::max(
@@ -166,6 +169,7 @@ class SmartGrid {
   PowerSchedule schedule_;
   bool admission_control_;
   std::vector<double> caps_;
+  std::vector<double> payments_;  ///< last confirmed payment per player
   const std::vector<AgentProfile>* pending_profiles_ = nullptr;
   std::uint64_t round_ = 0;
   double cycle_max_delta_ = 0.0;
@@ -232,6 +236,7 @@ DistributedResult run_session(std::vector<PlayerSpec> players,
   result.retransmissions = grid.retransmissions();
   result.sim_time_s = now;
   result.bus = bus.stats();
+  result.payments = grid.payments();
   return result;
 }
 

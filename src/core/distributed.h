@@ -40,6 +40,11 @@ struct DistributedResult {
   std::size_t retransmissions = 0;
   double sim_time_s = 0.0;          ///< simulated time to convergence
   net::BusStats bus;
+  /// Per-player externality payment from each player's final ScheduleMsg
+  /// (Eq. 8-9 evaluated at the player's last applied update).  The socket
+  /// service (src/svc) serves the same protocol and must reproduce these
+  /// bit-exactly on the same scenario.
+  std::vector<double> payments;
 };
 
 /// Runs the full decentralized game: one grid node plus one agent node per

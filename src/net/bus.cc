@@ -55,6 +55,7 @@ std::vector<Envelope> MessageBus::poll(NodeId node, double now_s) {
       // Round-trip through the wire bytes: delivery hands the receiver a
       // deserialized copy, as a socket transport would.
       flight.envelope.payload = deserialize(flight.wire);
+      stats_.bytes_delivered += flight.wire.size();
       delivered.push_back(std::move(flight.envelope));
       ++stats_.delivered;
     } else {

@@ -25,6 +25,9 @@ struct BusStats {
   std::size_t dropped = 0;
   std::size_t delivered = 0;
   std::size_t bytes_sent = 0;
+  /// Wire bytes of envelopes actually handed to a receiver by poll();
+  /// bytes_sent minus dropped and still-in-flight payload bytes.
+  std::size_t bytes_delivered = 0;
 };
 
 class MessageBus {

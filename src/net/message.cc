@@ -11,6 +11,7 @@ enum class Tag : std::uint8_t {
   kPaymentFunction = 2,
   kPowerRequest = 3,
   kSchedule = 4,
+  kControl = 5,
 };
 
 class Writer {
@@ -116,6 +117,11 @@ std::vector<std::uint8_t> serialize(const Message& message) {
           w.u64(msg.round);
           w.f64_vector(msg.row_kw);
           w.f64(msg.payment);
+        } else if constexpr (std::is_same_v<T, ControlMsg>) {
+          w.u8(static_cast<std::uint8_t>(Tag::kControl));
+          w.u8(static_cast<std::uint8_t>(msg.code));
+          w.u32(msg.player);
+          w.u64(msg.round);
         }
       },
       message);
@@ -158,6 +164,19 @@ Message deserialize(std::span<const std::uint8_t> bytes) {
       msg.round = r.u64();
       msg.row_kw = r.f64_vector();
       msg.payment = r.f64();
+      message = msg;
+      break;
+    }
+    case Tag::kControl: {
+      ControlMsg msg;
+      const std::uint8_t code = r.u8();
+      if (code < static_cast<std::uint8_t>(ControlCode::kRetryLater) ||
+          code > static_cast<std::uint8_t>(ControlCode::kConverged)) {
+        throw std::runtime_error("message: unknown control code");
+      }
+      msg.code = static_cast<ControlCode>(code);
+      msg.player = r.u32();
+      msg.round = r.u64();
       message = msg;
       break;
     }

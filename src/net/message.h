@@ -60,8 +60,29 @@ struct ScheduleMsg {
   bool operator==(const ScheduleMsg&) const = default;
 };
 
-using Message =
-    std::variant<BeaconMsg, PaymentFunctionMsg, PowerRequestMsg, ScheduleMsg>;
+/// Service-layer control codes (src/svc): explicit backpressure and error
+/// signalling so a client never hangs on a request the grid will not serve.
+enum class ControlCode : std::uint8_t {
+  kRetryLater = 1,       ///< admission queue full; back off and resend
+  kDeadlineExpired = 2,  ///< request aged out before its batch was applied
+  kMalformed = 3,        ///< unparseable/oversized frame; connection closes
+  kBadRequest = 4,       ///< well-formed but invalid (unknown player, NaN)
+  kDraining = 5,         ///< server is shutting down gracefully
+  kConverged = 6,        ///< grid-paced session reached its fixed point
+};
+
+/// Grid -> OLEV: an out-of-band control response.  `player`/`round` echo the
+/// request being answered (0 when the control is connection-scoped).
+struct ControlMsg {
+  ControlCode code = ControlCode::kRetryLater;
+  std::uint32_t player = 0;
+  std::uint64_t round = 0;
+
+  bool operator==(const ControlMsg&) const = default;
+};
+
+using Message = std::variant<BeaconMsg, PaymentFunctionMsg, PowerRequestMsg,
+                             ScheduleMsg, ControlMsg>;
 
 /// Serializes to the binary wire format.
 std::vector<std::uint8_t> serialize(const Message& message);

@@ -1,0 +1,70 @@
+#include "svc/client.h"
+
+#include <sys/socket.h>
+
+#include <stdexcept>
+
+#include "obs/span.h"
+
+namespace olev::svc {
+
+ServiceClient::ServiceClient(Socket socket) : socket_(std::move(socket)) {}
+
+ServiceClient ServiceClient::connect(const std::string& host,
+                                     std::uint16_t port, double timeout_s) {
+  return ServiceClient(connect_to(host, port, timeout_s));
+}
+
+void ServiceClient::send(const net::Message& message) {
+  const std::vector<std::uint8_t> frame = encode_frame(message);
+  send_raw(frame);
+}
+
+void ServiceClient::send_raw(std::span<const std::uint8_t> bytes) {
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const IoResult io = write_some(socket_.fd(), bytes.subspan(written));
+    if (io.closed) {
+      peer_closed_ = true;
+      throw std::runtime_error("ServiceClient: peer closed during send");
+    }
+    if (io.would_block) {
+      // Blocking socket: would_block only surfaces via EINTR; retry.
+      continue;
+    }
+    written += io.bytes;
+  }
+}
+
+std::optional<net::Message> ServiceClient::recv(double timeout_s) {
+  const obs::Stopwatch elapsed;
+  for (;;) {
+    if (auto payload = decoder_.next()) {
+      return net::deserialize(*payload);  // throws on malformed replies
+    }
+    if (peer_closed_) return std::nullopt;
+    const double remaining_s = timeout_s - elapsed.seconds();
+    if (remaining_s <= 0.0) return std::nullopt;
+    PollItem item;
+    item.fd = socket_.fd();
+    item.want_read = true;
+    const int wait_ms = static_cast<int>(remaining_s * 1e3) + 1;
+    if (poll_fds({&item, 1}, wait_ms) == 0) continue;
+    std::uint8_t chunk[4096];
+    const IoResult io = read_some(socket_.fd(), chunk);
+    if (io.closed) {
+      peer_closed_ = true;
+      continue;  // drain any frame already buffered before reporting nullopt
+    }
+    if (io.bytes == 0) continue;
+    if (!decoder_.feed({chunk, io.bytes})) {
+      throw std::runtime_error("ServiceClient: oversized frame from server");
+    }
+  }
+}
+
+void ServiceClient::shutdown_write() {
+  (void)::shutdown(socket_.fd(), SHUT_WR);
+}
+
+}  // namespace olev::svc

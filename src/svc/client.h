@@ -1,0 +1,52 @@
+// Blocking client for the PricingService protocol: one TCP connection, one
+// net::Message per call.  Used by olev_loadgen, the service tests, and the
+// examples; a real OLEV-side agent would wrap this with the best-response
+// solver (examples/service_session.cpp shows the lockstep version).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/message.h"
+#include "svc/frame.h"
+#include "svc/socket.h"
+
+namespace olev::svc {
+
+class ServiceClient {
+ public:
+  /// Connects to host:port, retrying until `timeout_s` (the daemon may still
+  /// be binding).  Throws std::runtime_error on timeout.
+  static ServiceClient connect(const std::string& host, std::uint16_t port,
+                               double timeout_s = 5.0);
+
+  /// Frames and writes one message; throws if the peer closed.
+  void send(const net::Message& message);
+
+  /// Raw bytes on the wire, unframed -- for tests that need to speak
+  /// malformed or truncated frames at the server.
+  void send_raw(std::span<const std::uint8_t> bytes);
+
+  /// Blocks up to `timeout_s` for the next complete frame.  Returns
+  /// std::nullopt on timeout; throws on a malformed reply.  Peer close with
+  /// no pending frame also returns std::nullopt (check peer_closed()).
+  std::optional<net::Message> recv(double timeout_s = 5.0);
+
+  bool peer_closed() const { return peer_closed_; }
+  int fd() const { return socket_.fd(); }
+
+  /// Half-close: no more writes from us, reads still drain.
+  void shutdown_write();
+
+ private:
+  explicit ServiceClient(Socket socket);
+
+  Socket socket_;
+  FrameDecoder decoder_{kDefaultMaxFrameBytes};
+  bool peer_closed_ = false;
+};
+
+}  // namespace olev::svc

@@ -1,0 +1,57 @@
+#include "svc/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/payment.h"
+#include "core/water_filling.h"
+
+namespace olev::svc {
+
+PricingEngine::PricingEngine(core::SectionCost cost, EngineConfig config)
+    : cost_(std::move(cost)),
+      config_(config),
+      schedule_(config.players, config.sections),
+      caps_(config.caps_kw) {
+  if (config.players == 0 || config.sections == 0) {
+    throw std::invalid_argument("PricingEngine: players/sections must be > 0");
+  }
+  if (caps_.empty()) {
+    caps_.assign(config.players, std::numeric_limits<double>::infinity());
+  } else if (caps_.size() != config.players) {
+    throw std::invalid_argument("PricingEngine: caps_kw size != players");
+  }
+}
+
+PricingEngine::Applied PricingEngine::apply(std::size_t player,
+                                            double total_kw) {
+  // Mirror of SmartGrid::handle (src/core/distributed.cc): the service's
+  // bit-identity contract with the in-process driver depends on this exact
+  // call sequence.
+  const std::size_t n = player;
+  const auto others = schedule_.column_totals_excluding(n);
+  const double previous = schedule_.row_total(n);
+  const double admitted = std::clamp(total_kw, 0.0, caps_[n]);
+  core::WaterFillResult allocation = core::water_fill(others, util::kw(admitted));
+  schedule_.set_row(n, allocation.row);
+
+  Applied applied;
+  applied.payment = core::externality_payment(cost_, others, allocation.row);
+  applied.row = std::move(allocation.row);
+
+  cycle_max_delta_ = std::max(cycle_max_delta_,
+                              std::abs(schedule_.row_total(n) - previous));
+  ++updates_;
+  if (updates_ % schedule_.players() == 0 && !converged_) {
+    if (cycle_max_delta_ < config_.epsilon) {
+      converged_ = true;
+    } else {
+      cycle_max_delta_ = 0.0;
+    }
+  }
+  return applied;
+}
+
+}  // namespace olev::svc

@@ -1,0 +1,79 @@
+// The service's game state: an online, incrementally-updated instance of the
+// paper's asynchronous best-response process (Section IV-D).
+//
+// Each applied request is one player update: the grid water-fills the
+// admitted total against the other players' current load (Lemma IV.1) and
+// charges the externality payment (Eq. 8-9).  Theorem IV.1 guarantees the
+// sequence of such updates converges to the unique socially optimal schedule
+// no matter how requests interleave, which is exactly what lets the service
+// batch them: a batch is applied sequentially, each entry against the
+// then-current state.
+//
+// The arithmetic here is line-for-line the SmartGrid update of
+// src/core/distributed.cc -- same column_totals_excluding / water_fill /
+// externality_payment calls, same cycle-based convergence bookkeeping -- so
+// a grid-paced service session reproduces the in-process distributed driver
+// bit-for-bit (pinned by tests/test_svc.cc).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/cost.h"
+#include "core/schedule.h"
+
+namespace olev::svc {
+
+struct EngineConfig {
+  std::size_t players = 0;
+  std::size_t sections = 0;
+  /// Convergence threshold on the max row-total change over one N-update
+  /// cycle (the DistributedConfig::epsilon contract).
+  double epsilon = 1e-7;
+  /// Per-player admission caps in kW; empty = unlimited (the trusted
+  /// run_distributed_game mode).  Requests are clamped, never rejected.
+  std::vector<double> caps_kw;
+};
+
+class PricingEngine {
+ public:
+  PricingEngine(core::SectionCost cost, EngineConfig config);
+
+  struct Applied {
+    std::vector<double> row;  ///< water-filled allocation p_{n,c}
+    double payment = 0.0;     ///< externality payment at this update
+  };
+
+  /// One player update: clamp, water-fill, commit, charge.  `player` must be
+  /// < players() and `total_kw` finite (the service validates before
+  /// calling).
+  Applied apply(std::size_t player, double total_kw);
+
+  /// b for `player` under the current schedule -- the payment-function
+  /// announcement of Section IV-D.
+  std::vector<double> others_load(std::size_t player) const {
+    return schedule_.column_totals_excluding(player);
+  }
+
+  std::size_t players() const { return schedule_.players(); }
+  std::size_t sections() const { return schedule_.sections(); }
+  const core::PowerSchedule& schedule() const { return schedule_; }
+  const core::SectionCost& cost() const { return cost_; }
+
+  /// True once a full player cycle moved every row total by < epsilon.
+  bool converged() const { return converged_; }
+  std::size_t updates() const { return updates_; }
+  /// Round-robin cursor for grid-paced announcements (updates mod players).
+  std::size_t cursor() const { return updates_ % schedule_.players(); }
+
+ private:
+  core::SectionCost cost_;
+  EngineConfig config_;
+  core::PowerSchedule schedule_;
+  std::vector<double> caps_;
+  std::size_t updates_ = 0;
+  double cycle_max_delta_ = 0.0;
+  bool converged_ = false;
+};
+
+}  // namespace olev::svc

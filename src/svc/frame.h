@@ -1,0 +1,64 @@
+// Length-prefixed framing for net::Message over a byte stream.
+//
+// The in-process MessageBus delivers whole messages; a TCP socket delivers an
+// arbitrary byte stream.  This layer bridges the two: every frame is a 4-byte
+// little-endian payload length followed by the net::serialize() bytes of one
+// message, so src/net stays the single wire format for both the simulated V2I
+// link and the real service (src/svc).
+//
+// The decoder is explicitly bounded: a frame header declaring more than
+// `max_frame_bytes` latches an error instead of allocating, and the internal
+// buffer never grows past one maximal frame plus whatever the last feed()
+// appended.  A malicious or broken peer can therefore cost at most a fixed
+// amount of memory before the service drops the connection.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/message.h"
+
+namespace olev::svc {
+
+inline constexpr std::size_t kFrameHeaderBytes = 4;
+/// Generous default: a ScheduleMsg over 100k sections is still < 1 MiB.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 1u << 20;
+
+/// One message as a wire frame: header (little-endian u32 payload length)
+/// followed by net::serialize(message).
+std::vector<std::uint8_t> encode_frame(const net::Message& message);
+
+/// Incremental decoder for a stream of frames.  feed() raw socket bytes,
+/// then drain next() until it returns nullopt.  Once oversized() is set the
+/// decoder is poisoned (the stream cannot be resynchronized) and the
+/// connection should be closed.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Appends stream bytes.  Returns false (and latches oversized()) when the
+  /// frame under assembly declares a payload larger than the bound.
+  bool feed(std::span<const std::uint8_t> bytes);
+
+  /// Next complete frame payload (the serialized message, header stripped),
+  /// or nullopt when more bytes are needed.
+  std::optional<std::vector<std::uint8_t>> next();
+
+  bool oversized() const { return oversized_; }
+  std::size_t buffered_bytes() const { return buffer_.size(); }
+  std::size_t frames_decoded() const { return frames_decoded_; }
+
+ private:
+  /// Declared payload length once >= kFrameHeaderBytes are buffered.
+  std::optional<std::size_t> pending_length() const;
+
+  std::size_t max_frame_bytes_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t frames_decoded_ = 0;
+  bool oversized_ = false;
+};
+
+}  // namespace olev::svc

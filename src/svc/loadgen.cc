@@ -1,0 +1,194 @@
+#include "svc/loadgen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "net/message.h"
+#include "obs/span.h"
+#include "svc/client.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace olev::svc {
+namespace {
+
+struct WorkerResult {
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t retry_later = 0;
+  std::uint64_t deadline_expired = 0;
+  std::uint64_t draining = 0;
+  std::uint64_t garbled = 0;
+  std::uint64_t errors = 0;
+  std::vector<double> latencies_us;
+};
+
+bool valid_schedule(const net::ScheduleMsg& schedule, std::uint32_t player,
+                    std::uint64_t round, double requested_kw) {
+  if (schedule.player != player || schedule.round != round) return false;
+  if (schedule.row_kw.empty()) return false;
+  double total = 0.0;
+  for (const double entry : schedule.row_kw) {
+    if (!std::isfinite(entry) || entry < 0.0) return false;
+    total += entry;
+  }
+  // Water-filling never allocates more than the admitted request (Lemma
+  // IV.1); a tiny epsilon absorbs the summation order.
+  if (total > std::max(requested_kw, 0.0) + 1e-6) return false;
+  return std::isfinite(schedule.payment) && schedule.payment >= -1e-9;
+}
+
+void run_worker(const LoadgenConfig& config, std::size_t index,
+                WorkerResult& result) {
+  const auto player = static_cast<std::uint32_t>(index % config.players);
+  try {
+    ServiceClient client = ServiceClient::connect(config.host, config.port,
+                                                 config.connect_timeout_s);
+    net::BeaconMsg beacon;
+    beacon.player = player;
+    client.send(beacon);
+
+    util::Rng rng(util::derive_seed(config.seed, index));
+    for (std::size_t r = 0; r < config.requests_per_connection; ++r) {
+      const double request_kw =
+          rng.uniform(config.min_request_kw, config.max_request_kw);
+      // Rounds are echo tokens; unique per request within this connection.
+      const std::uint64_t round =
+          static_cast<std::uint64_t>(index) * config.requests_per_connection +
+          r;
+      net::PowerRequestMsg request;
+      request.player = player;
+      request.round = round;
+      request.total_kw = request_kw;
+
+      std::size_t retries = 0;
+      bool settled = false;
+      while (!settled) {
+        const std::int64_t sent_us = obs::now_micros();
+        client.send(request);
+        ++result.sent;
+        bool answered = false;
+        while (!answered) {
+          const auto reply = client.recv(config.recv_timeout_s);
+          if (!reply) {
+            ++result.errors;  // timeout or peer gone mid-request
+            return;
+          }
+          if (const auto* schedule = std::get_if<net::ScheduleMsg>(&*reply)) {
+            if (schedule->round != round) continue;  // stale duplicate
+            if (valid_schedule(*schedule, player, round, request_kw)) {
+              ++result.ok;
+              result.latencies_us.push_back(
+                  static_cast<double>(obs::now_micros() - sent_us));
+            } else {
+              ++result.garbled;
+            }
+            answered = settled = true;
+          } else if (const auto* control =
+                         std::get_if<net::ControlMsg>(&*reply)) {
+            switch (control->code) {
+              case net::ControlCode::kRetryLater:
+                if (control->round != round) continue;
+                ++result.retry_later;
+                if (++retries > config.max_retries_per_request) {
+                  ++result.errors;
+                  answered = settled = true;
+                  break;
+                }
+                std::this_thread::sleep_for(std::chrono::microseconds(
+                    static_cast<std::int64_t>(rng.uniform(200.0, 1000.0))));
+                answered = true;  // resend from the outer loop
+                break;
+              case net::ControlCode::kDeadlineExpired:
+                if (control->round != round) continue;
+                ++result.deadline_expired;
+                answered = settled = true;
+                break;
+              case net::ControlCode::kDraining:
+                ++result.draining;
+                return;  // server is going away; stop cleanly
+              case net::ControlCode::kConverged:
+                break;  // informational broadcast; keep waiting
+              default:
+                ++result.garbled;  // kMalformed/kBadRequest: we sent garbage?
+                answered = settled = true;
+                break;
+            }
+          }
+          // PaymentFunctionMsg announcements are ignored: the loadgen plays
+          // open-loop traffic, not best responses.
+        }
+      }
+    }
+  } catch (const std::exception&) {
+    ++result.errors;
+  }
+}
+
+}  // namespace
+
+LoadgenReport run_loadgen(const LoadgenConfig& config) {
+  std::vector<WorkerResult> results(config.connections);
+  std::vector<std::thread> workers;
+  workers.reserve(config.connections);
+  const obs::Stopwatch wall;
+  for (std::size_t i = 0; i < config.connections; ++i) {
+    workers.emplace_back(run_worker, std::cref(config), i,
+                         std::ref(results[i]));
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  LoadgenReport report;
+  report.wall_s = wall.seconds();
+  std::vector<double> latencies;
+  for (const WorkerResult& r : results) {
+    report.requests_sent += r.sent;
+    report.ok += r.ok;
+    report.retry_later += r.retry_later;
+    report.deadline_expired += r.deadline_expired;
+    report.draining += r.draining;
+    report.garbled += r.garbled;
+    report.errors += r.errors;
+    latencies.insert(latencies.end(), r.latencies_us.begin(),
+                     r.latencies_us.end());
+  }
+  if (report.wall_s > 0.0) {
+    report.requests_per_s =
+        static_cast<double>(report.ok) / report.wall_s;
+  }
+  if (!latencies.empty()) {
+    report.latency_p50_us = util::percentile(latencies, 50.0);
+    report.latency_p95_us = util::percentile(latencies, 95.0);
+    report.latency_p99_us = util::percentile(latencies, 99.0);
+    report.latency_max_us = *std::max_element(latencies.begin(),
+                                              latencies.end());
+  }
+  return report;
+}
+
+std::string LoadgenReport::to_json() const {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"requests_sent\": " << requests_sent << ",\n";
+  out << "  \"ok\": " << ok << ",\n";
+  out << "  \"retry_later\": " << retry_later << ",\n";
+  out << "  \"deadline_expired\": " << deadline_expired << ",\n";
+  out << "  \"draining\": " << draining << ",\n";
+  out << "  \"garbled\": " << garbled << ",\n";
+  out << "  \"errors\": " << errors << ",\n";
+  out << "  \"clean\": " << (clean() ? "true" : "false") << ",\n";
+  out << "  \"wall_s\": " << wall_s << ",\n";
+  out << "  \"requests_per_s\": " << requests_per_s << ",\n";
+  out << "  \"latency_p50_us\": " << latency_p50_us << ",\n";
+  out << "  \"latency_p95_us\": " << latency_p95_us << ",\n";
+  out << "  \"latency_p99_us\": " << latency_p99_us << ",\n";
+  out << "  \"latency_max_us\": " << latency_max_us << "\n";
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace olev::svc

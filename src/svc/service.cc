@@ -1,0 +1,492 @@
+#include "svc/service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "net/message.h"
+#include "obs/obs.h"
+
+namespace olev::svc {
+namespace {
+
+constexpr std::size_t kReadChunkBytes = 16 * 1024;
+
+std::int64_t micros(double seconds) {
+  return static_cast<std::int64_t>(seconds * 1e6);
+}
+
+}  // namespace
+
+/// One connected client: its socket, the framing decoder for its byte
+/// stream, a bounded outgoing buffer, and the player binding (if any).
+struct PricingService::Session {
+  Session(Socket sock, std::size_t max_frame)
+      : socket(std::move(sock)), decoder(max_frame) {}
+
+  Socket socket;
+  FrameDecoder decoder;
+  std::vector<std::uint8_t> outbuf;
+  std::size_t outbuf_offset = 0;
+  std::int64_t last_activity_us = 0;
+  bool has_player = false;
+  std::uint32_t player = 0;
+  bool closing = false;  ///< stop reading; close once outbuf flushes
+  bool dead = false;     ///< close now; queued entries must not respond
+
+  std::size_t pending_out() const { return outbuf.size() - outbuf_offset; }
+};
+
+PricingService::PricingService(core::SectionCost cost, ServiceConfig config)
+    : cost_(std::move(cost)),
+      config_(std::move(config)),
+      engine_(cost_,
+              EngineConfig{config_.players, config_.sections, config_.epsilon,
+                           config_.caps_kw}),
+      listener_(listen_on(config_.port)),
+      port_(local_port(listener_)) {
+  if (config_.max_batch == 0 || config_.max_queue == 0) {
+    throw std::invalid_argument("PricingService: max_batch/max_queue must be > 0");
+  }
+  if (config_.announce_after_players == 0 ||
+      config_.announce_after_players > config_.players) {
+    config_.announce_after_players = config_.players;
+  }
+}
+
+PricingService::~PricingService() = default;
+
+std::shared_ptr<PricingService::Session> PricingService::bound_session(
+    std::size_t player) const {
+  // Linear scan: session counts are poll(2)-scale, and the newest binding
+  // wins (a reconnecting player displaces its stale session).
+  std::shared_ptr<Session> found;
+  for (const auto& session : sessions_) {
+    if (!session->dead && session->has_player && session->player == player) {
+      found = session;
+    }
+  }
+  return found;
+}
+
+void PricingService::send_message(const std::shared_ptr<Session>& session,
+                                  const net::Message& message) {
+  if (session->dead) return;
+  const std::vector<std::uint8_t> frame = encode_frame(message);
+  if (session->pending_out() + frame.size() > config_.max_write_buffer_bytes) {
+    // The peer is not draining its socket; buffering without bound would let
+    // one slow client hold the schedule's memory hostage.
+    ++stats_.write_overflows;
+    session->dead = true;
+    return;
+  }
+  session->outbuf.insert(session->outbuf.end(), frame.begin(), frame.end());
+  ++stats_.frames_sent;
+  flush_session(*session);
+}
+
+void PricingService::flush_session(Session& session) {
+  while (session.pending_out() > 0) {
+    const std::span<const std::uint8_t> chunk(
+        session.outbuf.data() + session.outbuf_offset, session.pending_out());
+    const IoResult io = write_some(session.socket.fd(), chunk);
+    if (io.closed) {
+      session.dead = true;
+      return;
+    }
+    if (io.would_block || io.bytes == 0) return;
+    session.outbuf_offset += io.bytes;
+    stats_.bytes_sent += io.bytes;
+  }
+  session.outbuf.clear();
+  session.outbuf_offset = 0;
+  if (session.closing) session.dead = true;
+}
+
+void PricingService::fail_session(const std::shared_ptr<Session>& session,
+                                  net::ControlCode code) {
+  net::ControlMsg notice;
+  notice.code = code;
+  notice.player = session->has_player ? session->player : 0;
+  send_message(session, notice);
+  session->closing = true;
+  if (session->pending_out() == 0) session->dead = true;
+}
+
+void PricingService::accept_new_connections() {
+  for (;;) {
+    Socket sock = accept_connection(listener_);
+    if (!sock.valid()) return;
+    auto session =
+        std::make_shared<Session>(std::move(sock), config_.max_frame_bytes);
+    session->last_activity_us = obs::now_micros();
+    sessions_.push_back(std::move(session));
+    ++stats_.connections_accepted;
+    OLEV_OBS_COUNTER(accepted, "svc.connections.accepted");
+    OLEV_OBS_ADD(accepted, 1);
+  }
+}
+
+void PricingService::read_session(const std::shared_ptr<Session>& session,
+                                  std::int64_t now_us) {
+  std::uint8_t chunk[kReadChunkBytes];
+  for (;;) {
+    const IoResult io = read_some(session->socket.fd(), chunk);
+    if (io.closed) {
+      session->dead = true;
+      return;
+    }
+    if (io.would_block || io.bytes == 0) break;
+    session->last_activity_us = now_us;
+    stats_.bytes_received += io.bytes;
+    if (!session->decoder.feed({chunk, io.bytes})) {
+      // Oversized frame: the length prefix alone condemns the stream.
+      ++stats_.malformed_frames;
+      OLEV_OBS_COUNTER(rejected, "svc.frames.rejected");
+      OLEV_OBS_ADD(rejected, 1);
+      fail_session(session, net::ControlCode::kMalformed);
+      return;
+    }
+    while (auto payload = session->decoder.next()) {
+      ++stats_.frames_received;
+      net::Message message;
+      try {
+        message = net::deserialize(*payload);
+      } catch (const std::exception&) {
+        ++stats_.malformed_frames;
+        OLEV_OBS_COUNTER(rejected, "svc.frames.rejected");
+        OLEV_OBS_ADD(rejected, 1);
+        fail_session(session, net::ControlCode::kMalformed);
+        return;
+      }
+      dispatch(session, message, now_us);
+      if (session->dead || session->closing) return;
+    }
+  }
+}
+
+void PricingService::dispatch(const std::shared_ptr<Session>& session,
+                              const net::Message& message,
+                              std::int64_t now_us) {
+  if (const auto* beacon = std::get_if<net::BeaconMsg>(&message)) {
+    if (beacon->player >= config_.players) {
+      ++stats_.bad_requests;
+      net::ControlMsg notice;
+      notice.code = net::ControlCode::kBadRequest;
+      notice.player = beacon->player;
+      send_message(session, notice);
+      return;
+    }
+    const bool was_bound = bound_session(beacon->player) != nullptr;
+    session->has_player = true;
+    session->player = beacon->player;
+    if (!was_bound) ++bound_players_;
+    if (config_.announce && !announcing_started_ &&
+        bound_players_ >= config_.announce_after_players) {
+      announcing_started_ = true;
+    }
+    return;
+  }
+
+  if (const auto* request = std::get_if<net::PowerRequestMsg>(&message)) {
+    ++stats_.requests_received;
+    OLEV_OBS_COUNTER(received, "svc.requests.received");
+    OLEV_OBS_ADD(received, 1);
+    net::ControlMsg notice;
+    notice.player = request->player;
+    notice.round = request->round;
+    if (request->player >= config_.players ||
+        !std::isfinite(request->total_kw)) {
+      ++stats_.bad_requests;
+      notice.code = net::ControlCode::kBadRequest;
+      send_message(session, notice);
+      return;
+    }
+    if (draining_) {
+      ++stats_.drain_rejected;
+      notice.code = net::ControlCode::kDraining;
+      send_message(session, notice);
+      return;
+    }
+    if (queue_.size() >= config_.max_queue) {
+      ++stats_.retry_later;
+      OLEV_OBS_COUNTER(retries, "svc.requests.retry_later");
+      OLEV_OBS_ADD(retries, 1);
+      notice.code = net::ControlCode::kRetryLater;
+      send_message(session, notice);
+      return;
+    }
+    PendingRequest pending;
+    pending.session = session;
+    pending.player = request->player;
+    pending.round = request->round;
+    pending.total_kw = request->total_kw;
+    pending.arrival_us = now_us;
+    pending.deadline_us = now_us + micros(config_.request_deadline_s);
+    queue_.push_back(std::move(pending));
+    return;
+  }
+
+  // Grid-to-client message types (or a control frame) arriving inbound is a
+  // protocol violation; answer once and hang up.
+  ++stats_.bad_requests;
+  fail_session(session, net::ControlCode::kBadRequest);
+}
+
+void PricingService::expire_overdue(std::int64_t now_us) {
+  // Deadline = arrival + constant, so FIFO order is deadline order and only
+  // the front can be overdue.
+  while (!queue_.empty() && queue_.front().deadline_us <= now_us) {
+    PendingRequest expired = std::move(queue_.front());
+    queue_.pop_front();
+    ++stats_.deadline_expired;
+    OLEV_OBS_COUNTER(expired_count, "svc.requests.expired");
+    OLEV_OBS_ADD(expired_count, 1);
+    if (expired.session->dead) continue;
+    net::ControlMsg notice;
+    notice.code = net::ControlCode::kDeadlineExpired;
+    notice.player = expired.player;
+    notice.round = expired.round;
+    send_message(expired.session, notice);
+  }
+}
+
+void PricingService::run_batch(std::int64_t now_us) {
+  const std::size_t batch_size = std::min(queue_.size(), config_.max_batch);
+  if (batch_size == 0) return;
+  ++stats_.batches;
+  stats_.max_batch_size = std::max(stats_.max_batch_size, batch_size);
+  OLEV_OBS_HISTOGRAM(batch_hist, "svc.batch.size",
+                     {0, 1, 2, 4, 8, 16, 32, 64, 128, 256});
+  OLEV_OBS_OBSERVE(batch_hist, static_cast<double>(batch_size));
+  OLEV_OBS_HISTOGRAM(latency_hist, "svc.request.latency_us",
+                     {0, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000,
+                      100000, 500000});
+  const obs::Stopwatch apply_time;
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    PendingRequest entry = std::move(queue_.front());
+    queue_.pop_front();
+    if (entry.deadline_us <= now_us) {
+      ++stats_.deadline_expired;
+      OLEV_OBS_COUNTER(expired_count, "svc.requests.expired");
+      OLEV_OBS_ADD(expired_count, 1);
+      if (!entry.session->dead) {
+        net::ControlMsg notice;
+        notice.code = net::ControlCode::kDeadlineExpired;
+        notice.player = entry.player;
+        notice.round = entry.round;
+        send_message(entry.session, notice);
+      }
+      continue;
+    }
+    const PricingEngine::Applied applied =
+        engine_.apply(entry.player, entry.total_kw);
+    ++stats_.requests_served;
+    OLEV_OBS_COUNTER(served, "svc.requests.served");
+    OLEV_OBS_ADD(served, 1);
+    OLEV_OBS_OBSERVE(latency_hist,
+                     static_cast<double>(now_us - entry.arrival_us));
+    if (announce_inflight_ && entry.player == announced_player_ &&
+        entry.round == announced_round_) {
+      announce_answered_ = true;
+    }
+    if (entry.session->dead) continue;
+    net::ScheduleMsg confirmation;
+    confirmation.player = entry.player;
+    confirmation.round = entry.round;
+    confirmation.row_kw = applied.row;
+    confirmation.payment = applied.payment;
+    send_message(entry.session, confirmation);
+  }
+  OLEV_OBS_ONLY({
+    OLEV_OBS_HISTOGRAM(apply_hist, "svc.batch.apply_us",
+                       {0, 50, 100, 250, 500, 1000, 2500, 5000, 10000});
+    OLEV_OBS_OBSERVE(apply_hist, apply_time.seconds() * 1e6);
+  });
+}
+
+void PricingService::maybe_announce(std::int64_t now_us) {
+  if (!config_.announce || !announcing_started_ || draining_) return;
+  if (engine_.converged()) {
+    if (!converged_broadcast_) {
+      converged_broadcast_ = true;
+      for (const auto& session : sessions_) {
+        if (session->dead || !session->has_player) continue;
+        net::ControlMsg notice;
+        notice.code = net::ControlCode::kConverged;
+        notice.player = session->player;
+        notice.round = static_cast<std::uint64_t>(engine_.updates());
+        send_message(session, notice);
+      }
+    }
+    return;
+  }
+  const auto round = static_cast<std::uint64_t>(engine_.updates());
+  const bool waiting =
+      announce_inflight_ && !announce_answered_ && announced_round_ >= round;
+  if (waiting && now_us - announced_at_us_ < micros(config_.announce_retry_s)) {
+    return;
+  }
+  const std::size_t cursor = engine_.cursor();
+  const std::shared_ptr<Session> target = bound_session(cursor);
+  if (!target) return;  // stalls until the player (re)binds; retried each loop
+  if (waiting) ++stats_.announce_retransmissions;
+  net::PaymentFunctionMsg announcement;
+  announcement.player = static_cast<std::uint32_t>(cursor);
+  announcement.round = round;
+  announcement.others_load_kw = engine_.others_load(cursor);
+  send_message(target, announcement);
+  announce_inflight_ = true;
+  announce_answered_ = false;
+  announced_player_ = static_cast<std::uint32_t>(cursor);
+  announced_round_ = round;
+  announced_at_us_ = now_us;
+}
+
+void PricingService::begin_drain(std::int64_t now_us) {
+  draining_ = true;
+  drain_deadline_us_ = now_us + micros(config_.drain_timeout_s);
+  listener_.close();
+  // Answer everything already admitted (one final round per max_batch slice),
+  // then tell every peer we are going away and close after the flush.
+  expire_overdue(now_us);
+  while (!queue_.empty()) run_batch(now_us);
+  for (const auto& session : sessions_) {
+    if (session->dead) continue;
+    net::ControlMsg notice;
+    notice.code = net::ControlCode::kDraining;
+    notice.player = session->has_player ? session->player : 0;
+    send_message(session, notice);
+    session->closing = true;
+    if (session->pending_out() == 0) session->dead = true;
+  }
+}
+
+void PricingService::reap_idle(std::int64_t now_us) {
+  if (config_.idle_timeout_s <= 0.0) return;
+  const std::int64_t horizon = micros(config_.idle_timeout_s);
+  for (const auto& session : sessions_) {
+    if (session->dead || session->closing) continue;
+    if (now_us - session->last_activity_us >= horizon) {
+      ++stats_.connections_reaped;
+      OLEV_OBS_COUNTER(reaped, "svc.connections.reaped");
+      OLEV_OBS_ADD(reaped, 1);
+      session->dead = true;
+    }
+  }
+}
+
+void PricingService::remove_dead_sessions() {
+  const auto alive_end = std::remove_if(
+      sessions_.begin(), sessions_.end(),
+      [](const std::shared_ptr<Session>& s) { return s->dead; });
+  const auto removed =
+      static_cast<std::size_t>(sessions_.end() - alive_end);
+  if (removed == 0) return;
+  stats_.connections_closed += removed;
+  sessions_.erase(alive_end, sessions_.end());
+  // Rebuild the bound-player count: bindings die with their sessions.
+  std::vector<bool> bound(config_.players, false);
+  for (const auto& session : sessions_) {
+    if (session->has_player) bound[session->player] = true;
+  }
+  bound_players_ = static_cast<std::size_t>(
+      std::count(bound.begin(), bound.end(), true));
+}
+
+int PricingService::next_timeout_ms(std::int64_t now_us) const {
+  // Capped low so request_stop(), idle reaping, and announce retries are all
+  // noticed promptly even on an otherwise silent socket set.
+  std::int64_t next_us = 50'000;
+  if (!queue_.empty()) {
+    const std::int64_t fire_us =
+        std::min(queue_.front().arrival_us + micros(config_.batch_window_s),
+                 queue_.front().deadline_us);
+    next_us = std::clamp<std::int64_t>(fire_us - now_us, 0, next_us);
+  }
+  return static_cast<int>(next_us / 1000);
+}
+
+void PricingService::run() {
+  OLEV_OBS_SPAN(span, "svc.serve", "service");
+  std::vector<PollItem> items;
+  while (true) {
+    const std::int64_t now_us = obs::now_micros();
+
+    if (stop_requested_.load(std::memory_order_relaxed) && !draining_) {
+      begin_drain(now_us);
+    }
+    if (draining_) {
+      const bool flushed = std::all_of(
+          sessions_.begin(), sessions_.end(),
+          [](const std::shared_ptr<Session>& s) { return s->dead; });
+      if (flushed || now_us >= drain_deadline_us_) break;
+    }
+
+    reap_idle(now_us);
+    remove_dead_sessions();
+
+    if (!draining_) {
+      expire_overdue(now_us);
+      if (!queue_.empty() &&
+          (queue_.size() >= config_.max_batch ||
+           now_us - queue_.front().arrival_us >=
+               micros(config_.batch_window_s))) {
+        run_batch(now_us);
+      }
+      maybe_announce(now_us);
+    }
+
+    OLEV_OBS_ONLY({
+      OLEV_OBS_GAUGE(active, "svc.connections.active");
+      OLEV_OBS_SET(active, static_cast<double>(sessions_.size()));
+      OLEV_OBS_GAUGE(depth, "svc.queue.depth");
+      OLEV_OBS_SET(depth, static_cast<double>(queue_.size()));
+    });
+
+    items.clear();
+    if (listener_.valid()) {
+      PollItem item;
+      item.fd = listener_.fd();
+      item.want_read = true;
+      items.push_back(item);
+    }
+    for (const auto& session : sessions_) {
+      PollItem item;
+      item.fd = session->socket.fd();
+      item.want_read = !session->closing;
+      item.want_write = session->pending_out() > 0;
+      items.push_back(item);
+    }
+    if (items.empty()) {
+      if (draining_) break;
+      continue;  // unreachable outside drain: the listener stays registered
+    }
+
+    const int ready = poll_fds(items, next_timeout_ms(now_us));
+    if (ready == 0) continue;
+
+    std::size_t index = 0;
+    if (listener_.valid()) {
+      if (items[index].readable) accept_new_connections();
+      ++index;
+    }
+    // Snapshot: accept_new_connections() may have grown sessions_, but the
+    // poll results only cover the first `items.size() - offset` of them.
+    const std::int64_t io_now_us = obs::now_micros();
+    for (std::size_t s = 0; index < items.size(); ++index, ++s) {
+      const std::shared_ptr<Session> session = sessions_[s];
+      const PollItem& item = items[index];
+      if (session->dead) continue;
+      if (item.writable) flush_session(*session);
+      if (session->dead) continue;
+      if (item.readable) read_session(session, io_now_us);
+      if (session->dead) continue;
+      if (item.hangup && !item.readable) session->dead = true;
+    }
+  }
+  remove_dead_sessions();
+}
+
+}  // namespace olev::svc

@@ -1,0 +1,176 @@
+// olevd's serving core: the pricing game as a long-lived TCP service.
+//
+// One PricingService = one listening socket + one PricingEngine (the online
+// best-response state).  The event loop is single-threaded and non-blocking
+// (poll(2) over the listener and every session), which keeps the game state
+// lock-free and the request application order deterministic.
+//
+// Protocol (length-prefixed net::Message frames, svc/frame.h):
+//   client -> grid : BeaconMsg        binds the connection to a player id
+//   client -> grid : PowerRequestMsg  total power request p_n (round echoes)
+//   grid -> client : ScheduleMsg      water-filled row + externality payment
+//   grid -> client : PaymentFunctionMsg  grid-paced announcement (announce
+//                    mode): the b vector the next best response is against
+//   grid -> client : ControlMsg       backpressure / errors / lifecycle
+//                    (RETRY_LATER, DEADLINE_EXPIRED, MALFORMED, BAD_REQUEST,
+//                    DRAINING, CONVERGED)
+//
+// Batching: requests are admitted into a bounded queue and applied in one
+// best-response round when the oldest request has waited batch_window_s or
+// the queue reached max_batch -- each entry sequentially against the
+// then-current schedule (Theorem IV.1's asynchronous update), responses fan
+// back out afterwards.  A full queue answers RETRY_LATER immediately instead
+// of blocking; a request older than its deadline is answered
+// DEADLINE_EXPIRED instead of being applied.
+//
+// Robustness: bounded read buffers with oversized/malformed-frame rejection,
+// bounded write buffers (a sink-slow client is dropped, not buffered
+// forever), idle-connection reaping, and graceful drain on request_stop():
+// the listener closes, queued requests are answered, every session gets a
+// DRAINING notice, and run() returns once the flushes complete (or the drain
+// deadline forces the issue).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/cost.h"
+#include "svc/engine.h"
+#include "svc/frame.h"
+#include "svc/socket.h"
+
+namespace olev::svc {
+
+struct ServiceConfig {
+  std::uint16_t port = 0;  ///< 0 = kernel-assigned (read back via port())
+  std::size_t players = 0;
+  std::size_t sections = 0;
+  double epsilon = 1e-7;
+  std::vector<double> caps_kw;  ///< per-player admission caps; empty = none
+
+  // Batching core.
+  double batch_window_s = 0.002;  ///< coalescing window for one round
+  std::size_t max_batch = 64;     ///< apply at most this many per round
+  std::size_t max_queue = 1024;   ///< admission bound; beyond = RETRY_LATER
+  double request_deadline_s = 1.0;
+
+  // Robustness.
+  double idle_timeout_s = 60.0;  ///< reap silent connections; <= 0 disables
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  std::size_t max_write_buffer_bytes = 4u << 20;
+  double drain_timeout_s = 5.0;
+
+  // Grid-paced mode: the service announces payment functions round-robin
+  // (Section IV-D) once `announce_after_players` sessions have bound, and
+  // broadcasts CONVERGED at the fixed point.  0 = wait for all players.
+  bool announce = false;
+  std::size_t announce_after_players = 0;
+  double announce_retry_s = 1.0;  ///< re-announce into silence (lost client)
+};
+
+/// Plain counters, readable after run() returns (the loop is single-
+/// threaded; obs-registry mirrors of the interesting ones are exported live).
+struct ServiceStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t connections_reaped = 0;  ///< idle-timeout subset of closed
+  std::uint64_t frames_received = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t malformed_frames = 0;
+  std::uint64_t bad_requests = 0;
+  std::uint64_t requests_received = 0;
+  std::uint64_t requests_served = 0;
+  std::uint64_t retry_later = 0;
+  std::uint64_t deadline_expired = 0;
+  std::uint64_t drain_rejected = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t max_batch_size = 0;
+  std::uint64_t announce_retransmissions = 0;
+  std::uint64_t write_overflows = 0;
+};
+
+class PricingService {
+ public:
+  /// Binds the listener immediately (so port() is valid before run()).
+  PricingService(core::SectionCost cost, ServiceConfig config);
+  ~PricingService();
+
+  PricingService(const PricingService&) = delete;
+  PricingService& operator=(const PricingService&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Serves until request_stop() and the subsequent drain complete.
+  void run();
+
+  /// Thread-safe (and signal-safe: one relaxed atomic store); run() notices
+  /// within one poll timeout.
+  void request_stop() { stop_requested_.store(true, std::memory_order_relaxed); }
+
+  // Post-run (or externally-synchronized) inspection.
+  const ServiceStats& stats() const { return stats_; }
+  const core::PowerSchedule& schedule() const { return engine_.schedule(); }
+  bool game_converged() const { return engine_.converged(); }
+  std::size_t game_updates() const { return engine_.updates(); }
+
+ private:
+  struct Session;
+  struct PendingRequest {
+    std::shared_ptr<Session> session;
+    std::uint32_t player = 0;
+    std::uint64_t round = 0;
+    double total_kw = 0.0;
+    std::int64_t arrival_us = 0;
+    std::int64_t deadline_us = 0;
+  };
+
+  void accept_new_connections();
+  void read_session(const std::shared_ptr<Session>& session,
+                    std::int64_t now_us);
+  void dispatch(const std::shared_ptr<Session>& session,
+                const net::Message& message, std::int64_t now_us);
+  void send_message(const std::shared_ptr<Session>& session,
+                    const net::Message& message);
+  void flush_session(Session& session);
+  void fail_session(const std::shared_ptr<Session>& session,
+                    net::ControlCode code);
+  void expire_overdue(std::int64_t now_us);
+  void run_batch(std::int64_t now_us);
+  void maybe_announce(std::int64_t now_us);
+  void begin_drain(std::int64_t now_us);
+  void reap_idle(std::int64_t now_us);
+  void remove_dead_sessions();
+  int next_timeout_ms(std::int64_t now_us) const;
+  std::shared_ptr<Session> bound_session(std::size_t player) const;
+
+  core::SectionCost cost_;
+  ServiceConfig config_;
+  PricingEngine engine_;
+  Socket listener_;
+  std::uint16_t port_ = 0;
+  std::vector<std::shared_ptr<Session>> sessions_;
+  std::deque<PendingRequest> queue_;
+  ServiceStats stats_;
+  std::atomic<bool> stop_requested_{false};
+
+  // Drain state.
+  bool draining_ = false;
+  std::int64_t drain_deadline_us_ = 0;
+
+  // Grid-paced announcement state.
+  std::size_t bound_players_ = 0;
+  bool announcing_started_ = false;
+  bool announce_inflight_ = false;
+  bool announce_answered_ = false;
+  std::uint32_t announced_player_ = 0;
+  std::uint64_t announced_round_ = 0;
+  std::int64_t announced_at_us_ = 0;
+  bool converged_broadcast_ = false;
+};
+
+}  // namespace olev::svc

@@ -1,0 +1,169 @@
+#include "svc/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "obs/span.h"
+
+namespace olev::svc {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("svc::socket: " + what + ": " +
+                           std::strerror(errno));
+}
+
+sockaddr_in loopback_address(std::uint16_t port) {
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return address;
+}
+
+}  // namespace
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) fail("fcntl(F_GETFL)");
+  const int next = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, next) < 0) fail("fcntl(F_SETFL)");
+}
+
+Socket listen_on(std::uint16_t port, int backlog) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) fail("socket");
+  const int one = 1;
+  if (::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) <
+      0) {
+    fail("setsockopt(SO_REUSEADDR)");
+  }
+  sockaddr_in address = loopback_address(port);
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) < 0) {
+    fail("bind");
+  }
+  if (::listen(sock.fd(), backlog) < 0) fail("listen");
+  set_nonblocking(sock.fd(), true);
+  return sock;
+}
+
+std::uint16_t local_port(const Socket& socket) {
+  sockaddr_in address{};
+  socklen_t length = sizeof(address);
+  if (::getsockname(socket.fd(), reinterpret_cast<sockaddr*>(&address),
+                    &length) < 0) {
+    fail("getsockname");
+  }
+  return ntohs(address.sin_port);
+}
+
+Socket accept_connection(const Socket& listener) {
+  const int fd = ::accept(listener.fd(), nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+        errno == ECONNABORTED) {
+      return Socket{};
+    }
+    fail("accept");
+  }
+  Socket sock(fd);
+  set_nonblocking(fd, true);
+  const int one = 1;
+  // Best-effort latency knob; batching is the real pacing mechanism.
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+Socket connect_to(const std::string& host, std::uint16_t port,
+                  double timeout_s) {
+  sockaddr_in address = loopback_address(port);
+  if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
+    throw std::runtime_error("svc::socket: bad IPv4 address '" + host + "'");
+  }
+  const obs::Stopwatch elapsed;
+  for (;;) {
+    Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!sock.valid()) fail("socket");
+    if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&address),
+                  sizeof(address)) == 0) {
+      const int one = 1;
+      (void)::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof(one));
+      return sock;
+    }
+    if (elapsed.seconds() >= timeout_s) fail("connect");
+    // The daemon may still be binding (CI starts both at once); back off a
+    // beat and retry on a fresh socket.
+    pollfd none{};
+    none.fd = -1;
+    (void)::poll(&none, 1, 20);
+  }
+}
+
+IoResult read_some(int fd, std::span<std::uint8_t> buffer) {
+  IoResult result;
+  const ssize_t n = ::recv(fd, buffer.data(), buffer.size(), 0);
+  if (n > 0) {
+    result.bytes = static_cast<std::size_t>(n);
+  } else if (n == 0) {
+    result.closed = true;
+  } else if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+    result.would_block = true;
+  } else {
+    result.closed = true;  // hard error: treat as peer gone
+  }
+  return result;
+}
+
+IoResult write_some(int fd, std::span<const std::uint8_t> buffer) {
+  IoResult result;
+  const ssize_t n = ::send(fd, buffer.data(), buffer.size(), MSG_NOSIGNAL);
+  if (n >= 0) {
+    result.bytes = static_cast<std::size_t>(n);
+  } else if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+    result.would_block = true;
+  } else {
+    result.closed = true;
+  }
+  return result;
+}
+
+int poll_fds(std::span<PollItem> items, int timeout_ms) {
+  std::vector<pollfd> fds;
+  fds.reserve(items.size());
+  for (const PollItem& item : items) {
+    pollfd fd{};
+    fd.fd = item.fd;
+    fd.events = static_cast<short>((item.want_read ? POLLIN : 0) |
+                                   (item.want_write ? POLLOUT : 0));
+    fds.push_back(fd);
+  }
+  const int ready =
+      ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+  if (ready <= 0) return 0;  // timeout or EINTR; the loop re-evaluates timers
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    items[i].readable = (fds[i].revents & POLLIN) != 0;
+    items[i].writable = (fds[i].revents & POLLOUT) != 0;
+    items[i].hangup = (fds[i].revents & (POLLHUP | POLLERR | POLLNVAL)) != 0;
+  }
+  return ready;
+}
+
+}  // namespace olev::svc

@@ -1,0 +1,90 @@
+// Thin RAII layer over POSIX TCP sockets.
+//
+// src/svc is the ONLY directory allowed to touch the socket API and the raw
+// read/write/poll syscalls (tools/olev_lint.py rule R5): everything above --
+// core solvers, util, the grid/traffic substrates -- stays free of blocking
+// I/O by construction.  The wrappers here normalize the error surface into
+// three outcomes (progress, would-block, closed) so the event loop never has
+// to reason about errno.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace olev::svc {
+
+/// Move-only owning file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on 127.0.0.1:`port` (0 = kernel-assigned ephemeral
+/// port), non-blocking, SO_REUSEADDR.  Throws std::runtime_error on failure.
+Socket listen_on(std::uint16_t port, int backlog = 128);
+
+/// The locally bound port of a listening socket (resolves port 0).
+std::uint16_t local_port(const Socket& socket);
+
+/// Accepts one pending connection as a non-blocking socket; invalid Socket
+/// when the queue is empty (EAGAIN).
+Socket accept_connection(const Socket& listener);
+
+/// Blocking TCP connect to host:port, retrying until `timeout_s` elapses so
+/// clients can race a daemon that is still binding.  Throws on timeout.
+Socket connect_to(const std::string& host, std::uint16_t port,
+                  double timeout_s = 5.0);
+
+void set_nonblocking(int fd, bool on);
+
+struct IoResult {
+  std::size_t bytes = 0;
+  bool would_block = false;
+  bool closed = false;  ///< orderly shutdown or hard error from the peer
+};
+
+/// One recv(); never raises SIGPIPE-adjacent errors, never blocks on a
+/// non-blocking fd.
+IoResult read_some(int fd, std::span<std::uint8_t> buffer);
+/// One send() with MSG_NOSIGNAL; may write fewer bytes than offered.
+IoResult write_some(int fd, std::span<const std::uint8_t> buffer);
+
+/// One readiness query per registered fd.
+struct PollItem {
+  int fd = -1;
+  bool want_read = false;
+  bool want_write = false;
+  // filled by poll_fds:
+  bool readable = false;
+  bool writable = false;
+  bool hangup = false;
+};
+
+/// poll(2) wrapper; returns the number of ready items (0 on timeout or
+/// EINTR).  `timeout_ms` < 0 blocks indefinitely.
+int poll_fds(std::span<PollItem> items, int timeout_ms);
+
+}  // namespace olev::svc

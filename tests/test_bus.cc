@@ -99,6 +99,29 @@ TEST(MessageBus, StatsCountBytes) {
   EXPECT_EQ(bus.stats().bytes_sent, 21u);
 }
 
+TEST(MessageBus, StatsCountDeliveredBytes) {
+  MessageBus bus(perfect_link());
+  bus.send(1, 2, 0.0, PowerRequestMsg{1, 2, 3.0});
+  bus.send(1, 3, 0.0, PowerRequestMsg{1, 2, 3.0});
+  // Sent but not yet handed to a receiver: nothing delivered.
+  EXPECT_EQ(bus.stats().bytes_sent, 42u);
+  EXPECT_EQ(bus.stats().bytes_delivered, 0u);
+  ASSERT_EQ(bus.poll(2, 1.0).size(), 1u);
+  EXPECT_EQ(bus.stats().bytes_delivered, 21u);  // only node 2's envelope
+  ASSERT_EQ(bus.poll(3, 1.0).size(), 1u);
+  EXPECT_EQ(bus.stats().bytes_delivered, 42u);
+}
+
+TEST(MessageBus, DroppedBytesAreNeverDelivered) {
+  LinkModel lossy = perfect_link();
+  lossy.drop_probability = 1.0;
+  MessageBus bus(lossy);
+  bus.send(1, 2, 0.0, PowerRequestMsg{1, 2, 3.0});
+  EXPECT_TRUE(bus.poll(2, 1.0).empty());
+  EXPECT_EQ(bus.stats().bytes_sent, 21u);
+  EXPECT_EQ(bus.stats().bytes_delivered, 0u);
+}
+
 TEST(MessageBus, SequenceNumbersIncrease) {
   MessageBus bus(perfect_link());
   const auto s1 = bus.send(1, 2, 0.0, BeaconMsg{});

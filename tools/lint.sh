@@ -1,13 +1,14 @@
 #!/usr/bin/env bash
 # Static-analysis wall over the whole library surface: src/core, src/util,
-# src/grid, src/traci, src/traffic, src/wpt, src/net, src/obs.
+# src/grid, src/traci, src/traffic, src/wpt, src/net, src/obs, src/svc.
 #
 #   tools/lint.sh [build-dir]
 #
 # Stage 1 is the domain linter (tools/olev_lint.py): the dimensional-
 # analysis contract -- no raw-double quantity parameters in public headers,
 # no exact float equality, [[nodiscard]] solver entry points, no raw
-# chrono-clock reads outside src/obs -- plus the trace-checker self-test
+# chrono-clock reads outside src/obs, no socket-API use outside src/svc --
+# plus the trace-checker self-test
 # (tools/check_trace.py), so a dead validator cannot rubber-stamp traces.
 # Pure Python, runs everywhere.
 #
@@ -23,7 +24,7 @@ set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${1:-${BUILD_DIR:-$ROOT/build}}"
-LINT_DIRS=(src/core src/util src/grid src/traci src/traffic src/wpt src/net src/obs)
+LINT_DIRS=(src/core src/util src/grid src/traci src/traffic src/wpt src/net src/obs src/svc)
 
 echo "lint: domain rules (tools/olev_lint.py)"
 python3 "$ROOT/tools/olev_lint.py" --self-test > /dev/null

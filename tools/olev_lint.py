@@ -36,6 +36,18 @@ that util/quantity.h makes checkable but cannot enforce by itself:
                           compile-out contract.  src/obs itself is exempt:
                           it IS the clock wrapper.
 
+  R5 raw-socket           src/svc is the only directory allowed to touch
+                          the socket API: socket-family headers
+                          (<sys/socket.h>, <poll.h>, <netinet/*>, ...),
+                          global-scope I/O syscalls (::socket, ::recv,
+                          ::poll, ...) and unambiguous socket tokens
+                          (sockaddr, AF_INET, pollfd, ...) anywhere else
+                          under src/ are findings.  Keeps blocking I/O and
+                          fd lifetimes out of the solver core by
+                          construction (docs/SERVING.md).  Qualified member
+                          calls like `MessageBus::poll(` do not match: the
+                          rule requires the `::` to be global scope.
+
 Usage:
   tools/olev_lint.py [--root DIR]     lint the tree (exit 1 on findings)
   tools/olev_lint.py --self-test      prove each rule fires on a seeded
@@ -91,6 +103,28 @@ ENTRY_POINTS = {
     "src/grid/control_period.h": ("classify",),
     "src/wpt/charging_section.h": ("p_line_kw", "capacity_cap_kw"),
 }
+
+# R5 sweeps every implementation directory under src/; only the serving
+# layer may speak to the kernel.
+SOCKET_EXEMPT_PREFIX = "src/svc/"
+R5_HEADER = re.compile(
+    r"#\s*include\s*<(?:sys/socket\.h|sys/epoll\.h|sys/select\.h|poll\.h"
+    r"|netdb\.h|arpa/inet\.h|netinet/[\w./]+)>"
+)
+# Global-scope qualified syscalls only: `(?<![\w>])::` rejects member
+# qualifications such as `MessageBus::poll(` or `ServiceClient::connect(`.
+R5_SYSCALL = re.compile(
+    r"(?<![\w>])::\s*(socket|bind|listen|accept4?|connect|send(?:to|msg)?"
+    r"|recv(?:from|msg)?|read|write|poll|ppoll|select|epoll_\w+|shutdown"
+    r"|setsockopt|getsockopt|getsockname|getpeername|fcntl)\s*\("
+)
+# Tokens that only appear in socket-API code (plain `send(`/`poll(` are
+# legitimate identifiers elsewhere -- the message bus has both).
+R5_TOKEN = re.compile(
+    r"\b(sockaddr(?:_in6?|_un|_storage)?|AF_INET6?|AF_UNIX|SOCK_STREAM"
+    r"|SOCK_DGRAM|MSG_NOSIGNAL|MSG_DONTWAIT|INADDR_\w+|pollfd|nfds_t"
+    r"|epoll_event)\b"
+)
 
 COMMENT = re.compile(r"//.*$")
 
@@ -168,6 +202,33 @@ def lint_raw_clock(path: str, text: str) -> list[Finding]:
     return findings
 
 
+def lint_raw_sockets(path: str, text: str) -> list[Finding]:
+    if path.startswith(SOCKET_EXEMPT_PREFIX):
+        return []  # the serving layer IS the socket wrapper
+    findings = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        code = strip_comment(line)
+        for pattern, what in (
+            (R5_HEADER, "socket-API header"),
+            (R5_SYSCALL, "raw I/O syscall"),
+            (R5_TOKEN, "socket-API token"),
+        ):
+            match = pattern.search(code)
+            if match:
+                findings.append(
+                    Finding(
+                        "raw-socket",
+                        path,
+                        number,
+                        f"{what} '{match.group(0).strip()}' outside src/svc; "
+                        "route I/O through the serving layer "
+                        "(src/svc/socket.h, docs/SERVING.md)",
+                    )
+                )
+                break  # one finding per line is enough
+    return findings
+
+
 def lint_nodiscard_solvers(path: str, text: str) -> list[Finding]:
     names = ENTRY_POINTS.get(path)
     if not names:
@@ -201,18 +262,27 @@ def lint_nodiscard_solvers(path: str, text: str) -> list[Finding]:
     return findings
 
 
-def collect_files(root: pathlib.Path) -> tuple[list[pathlib.Path], list[pathlib.Path]]:
+def collect_files(
+    root: pathlib.Path,
+) -> tuple[list[pathlib.Path], list[pathlib.Path], list[pathlib.Path]]:
     headers, sources = [], []
     for directory in HEADER_DIRS:
         headers.extend(sorted((root / directory).glob("*.h")))
     for directory in SOURCE_DIRS:
         sources.extend(sorted((root / directory).glob("*.h")))
         sources.extend(sorted((root / directory).glob("*.cc")))
-    return headers, sources
+    # R5 sweeps everything under src/ recursively (exemption applied per
+    # file inside the rule, so the count below reflects the true sweep).
+    swept = sorted(
+        p
+        for suffix in ("*.h", "*.cc")
+        for p in (root / "src").rglob(suffix)
+    )
+    return headers, sources, swept
 
 
 def run_lint(root: pathlib.Path) -> list[Finding]:
-    headers, sources = collect_files(root)
+    headers, sources, swept = collect_files(root)
     findings: list[Finding] = []
     for header in headers:
         rel = header.relative_to(root).as_posix()
@@ -225,6 +295,9 @@ def run_lint(root: pathlib.Path) -> list[Finding]:
         findings.extend(lint_float_equality(rel, text))
         if rel.startswith(CLOCK_DIRS):
             findings.extend(lint_raw_clock(rel, text))
+    for source in swept:
+        rel = source.relative_to(root).as_posix()
+        findings.extend(lint_raw_sockets(rel, source.read_text()))
     return findings
 
 
@@ -311,6 +384,42 @@ SELF_TESTS = [
         False,  # the clock wrapper itself is exempt
     ),
     (
+        lint_raw_sockets,
+        "src/core/fake.cc",
+        "#include <sys/socket.h>\n",
+        True,
+    ),
+    (
+        lint_raw_sockets,
+        "src/util/fake.cc",
+        "const int ready = ::poll(fds.data(), n, timeout_ms);\n",
+        True,
+    ),
+    (
+        lint_raw_sockets,
+        "src/grid/fake.cc",
+        "sockaddr_in address{};\n",
+        True,
+    ),
+    (
+        lint_raw_sockets,
+        "src/net/bus.h",
+        "std::uint64_t send(NodeId from, NodeId to, double now, Message m);\n",
+        False,  # `send` is a legitimate identifier; only ::send( is policed
+    ),
+    (
+        lint_raw_sockets,
+        "src/net/bus.cc",
+        "std::vector<Envelope> MessageBus::poll(NodeId node, double now) {\n",
+        False,  # member qualification, not the global-scope syscall
+    ),
+    (
+        lint_raw_sockets,
+        "src/svc/socket.cc",
+        "Socket sock(::socket(AF_INET, SOCK_STREAM, 0));\n",
+        False,  # the serving layer is the one exempt directory
+    ),
+    (
         lint_nodiscard_solvers,
         "src/core/central.h",
         "CentralResult maximize_welfare(std::span<const double> p_max);\n",
@@ -356,10 +465,11 @@ def main() -> int:
     if findings:
         print(f"olev_lint: {len(findings)} finding(s)", file=sys.stderr)
         return 1
-    headers, sources = collect_files(root)
+    headers, sources, swept = collect_files(root)
     print(
         f"olev_lint: clean ({len(headers)} public headers, "
-        f"{len(sources)} files swept for float equality)"
+        f"{len(sources)} files swept for float equality, "
+        f"{len(swept)} for raw sockets)"
     )
     return 0
 

@@ -1,0 +1,163 @@
+// Scale benchmark for the mean-field pricing engine (core/mean_field.h).
+//
+// Solves the same calibrated scenario at N = 10^4, 10^5 and 10^6 players and
+// reports the cost of one representative-player update at each scale.  The
+// engine's claim is O(1) per player per field iteration -- no dependence on
+// N beyond the sum over responses -- so the per-player update time must stay
+// flat (within noise) across two orders of magnitude.  The exact game's
+// update is O(N * C) through the exclusion scan; at N = 10^6 a single exact
+// round would take hours, which is the gap this engine exists to close.
+//
+//   $ ./bench_meanfield              # full scan up to N = 10^6
+//   $ ./bench_meanfield --max-n 100000   # CI smoke: stop at 10^5
+//
+// Writes BENCH_meanfield.json (schema covered by tests/test_trace.cc's
+// sibling checks): one entry per scale with iterations, wall seconds and
+// per_player_update_ns, plus the flat-cost ratio the CI job asserts on.
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+#include "core/scenario.h"
+#include "obs/report.h"
+#include "obs/strings.h"
+#include "util/csv.h"
+#include "util/json.h"
+
+namespace {
+
+using namespace olev;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct ScalePoint {
+  std::size_t players = 0;
+  std::size_t iterations = 0;
+  bool converged = false;
+  double seconds = 0.0;
+  double per_player_update_ns = 0.0;
+  double welfare = 0.0;
+  double total_load_kw = 0.0;
+  double marginal_price = 0.0;
+  double mean_congestion = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t max_n = 1'000'000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--max-n") == 0 && i + 1 < argc) {
+      max_n = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--max-n N]\n";
+      return 2;
+    }
+  }
+
+  olev::obs::EnvSession obs_session;
+
+  constexpr std::size_t kSections = 100;
+  std::vector<std::size_t> scales;
+  for (std::size_t n : {10'000u, 100'000u, 1'000'000u}) {
+    if (n <= max_n) scales.push_back(n);
+  }
+  if (scales.empty()) scales.push_back(max_n);
+
+  std::cout << "mean-field scale scan: C = " << kSections
+            << " sections, N up to " << scales.back() << " players\n\n";
+
+  util::Table table({"players", "iterations", "seconds",
+                     "per_player_update_ns", "welfare", "total_load_kw",
+                     "converged"});
+  std::vector<ScalePoint> points;
+  for (std::size_t n : scales) {
+    core::ScenarioConfig config;
+    config.num_olevs = n;
+    config.num_sections = kSections;
+    config.beta_lbmp = olev::util::Price::per_mwh(16.0);
+    config.target_degree = 0.9;
+    // Hold per-OLEV preferences fixed while N scales (Fig. 5(b) protocol):
+    // demand is calibrated at the smallest scale so larger fleets compete
+    // for the same feeder.
+    config.calibration_players = scales.front();
+    config.calibration_sections = kSections;
+    config.seed = 0x5eed;
+    config.solver = core::SolverKind::kMeanField;
+
+    const core::Scenario scenario = core::Scenario::build(config);
+    core::MeanFieldGame game = scenario.make_mean_field();
+    const auto start = Clock::now();
+    const core::MeanFieldResult result = game.run();
+    const double elapsed = seconds_since(start);
+
+    ScalePoint point;
+    point.players = n;
+    point.iterations = result.iterations;
+    point.converged = result.converged;
+    point.seconds = elapsed;
+    // One field iteration re-prices every player once; the per-player
+    // update cost is the engine's O(1) claim.
+    const double player_updates =
+        static_cast<double>(result.iterations) * static_cast<double>(n);
+    point.per_player_update_ns =
+        player_updates > 0.0 ? elapsed * 1e9 / player_updates : 0.0;
+    point.welfare = result.welfare;
+    point.total_load_kw = result.total_load_kw;
+    point.marginal_price = result.marginal_price;
+    point.mean_congestion = result.congestion.mean;
+    points.push_back(point);
+
+    table.add_row({std::to_string(n), std::to_string(result.iterations),
+                   util::fmt(elapsed, 4),
+                   util::fmt(point.per_player_update_ns, 1),
+                   util::fmt(result.welfare, 2),
+                   util::fmt(result.total_load_kw, 1),
+                   result.converged ? "yes" : "NO"});
+  }
+  bench::emit(table, "meanfield_scale");
+
+  double min_cost = points.front().per_player_update_ns;
+  double max_cost = min_cost;
+  for (const ScalePoint& point : points) {
+    min_cost = std::min(min_cost, point.per_player_update_ns);
+    max_cost = std::max(max_cost, point.per_player_update_ns);
+  }
+  const double flat_ratio = min_cost > 0.0 ? max_cost / min_cost : 0.0;
+  std::cout << "\nper-player update cost spread across scales: "
+            << util::fmt(flat_ratio, 2) << "x (O(1)/player means ~1x)\n";
+
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("max_n").value(max_n);
+  json.key("sections").value(kSections);
+  json.key("points").begin_array();
+  for (const ScalePoint& point : points) {
+    json.begin_object();
+    json.key("players").value(point.players);
+    json.key("iterations").value(point.iterations);
+    json.key("converged").value(point.converged);
+    json.key("seconds").value(point.seconds);
+    json.key("per_player_update_ns").value(point.per_player_update_ns);
+    json.key("welfare").value(point.welfare);
+    json.key("total_load_kw").value(point.total_load_kw);
+    json.key("marginal_price").value(point.marginal_price);
+    json.key("mean_congestion").value(point.mean_congestion);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("per_player_update_ns_ratio").value(flat_ratio);
+  json.end_object();
+  olev::obs::write_file("BENCH_meanfield.json", json.str() + '\n');
+  std::cout << "[results saved to BENCH_meanfield.json]\n";
+  return 0;
+}

@@ -7,14 +7,16 @@
 // (updates/sec and cache-counter totals on a 50x100 game).
 //
 // Writes BENCH_sweep.json next to the binary's working directory so runs
-// can be compared across machines and commits.
+// can be compared across machines and commits.  The recorded
+// hardware_concurrency is the affinity-aware util::available_concurrency()
+// (std::thread::hardware_concurrency() reported 1 inside pinned CI
+// runners, making historical reports incomparable), and the thread counts
+// actually swept are recorded alongside the timings.
 
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
-#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -23,6 +25,7 @@
 #include "core/trace.h"
 #include "obs/report.h"
 #include "util/csv.h"
+#include "util/sysinfo.h"
 
 namespace {
 
@@ -81,9 +84,9 @@ int main() {
   olev::obs::EnvSession obs_session;
 
   const auto specs = fig5_grid();
-  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t hw = olev::util::available_concurrency();
   std::cout << "sweep: " << specs.size()
-            << " independent equilibria (Fig. 5-style grid), hardware "
+            << " independent equilibria (Fig. 5-style grid), available "
                "concurrency "
             << hw << "\n\n";
 
@@ -94,7 +97,7 @@ int main() {
                      "bit_identical"});
   std::vector<core::SweepResult> reference;
   double serial_seconds = 0.0;
-  std::vector<std::pair<std::size_t, double>> timings;
+  std::vector<core::SweepBenchTiming> timings;
   bool all_identical = true;
   core::SweepReport last_report;
   for (std::size_t threads : thread_counts) {
@@ -105,8 +108,6 @@ int main() {
     const double elapsed = seconds_since(start);
     auto results = std::move(run.results);
     last_report = std::move(run.report);
-    timings.emplace_back(threads, elapsed);
-
     bool matches = true;
     if (threads == 1) {
       serial_seconds = elapsed;
@@ -115,6 +116,12 @@ int main() {
       matches = identical(reference, results);
       all_identical = all_identical && matches;
     }
+    core::SweepBenchTiming timing;
+    timing.threads = threads;
+    timing.seconds = elapsed;
+    timing.scenarios_per_sec = static_cast<double>(specs.size()) / elapsed;
+    timing.speedup = serial_seconds / elapsed;
+    timings.push_back(timing);
     table.add_row({std::to_string(threads), util::fmt(elapsed, 3),
                    util::fmt(static_cast<double>(specs.size()) / elapsed, 2),
                    util::fmt(serial_seconds / elapsed, 2),
@@ -160,25 +167,19 @@ int main() {
             << result.caches.section_cost_reuses << ", refreshes "
             << result.caches.section_cost_refreshes << "\n";
 
-  std::ofstream json("BENCH_sweep.json");
-  json << "{\n  \"scenarios\": " << specs.size() << ",\n  \"hardware_concurrency\": "
-       << hw << ",\n  \"bit_identical_across_threads\": "
-       << (all_identical ? "true" : "false") << ",\n  \"sweep\": [\n";
-  for (std::size_t i = 0; i < timings.size(); ++i) {
-    json << "    {\"threads\": " << timings[i].first << ", \"seconds\": "
-         << timings[i].second << ", \"scenarios_per_sec\": "
-         << static_cast<double>(specs.size()) / timings[i].second
-         << ", \"speedup\": " << serial_seconds / timings[i].second << "}"
-         << (i + 1 < timings.size() ? "," : "") << "\n";
-  }
-  json << "  ],\n  \"hot_path\": {\"players\": 50, \"sections\": 100, "
-       << "\"updates\": " << result.updates << ", \"seconds\": " << game_seconds
-       << ", \"updates_per_sec\": " << updates_per_sec
-       << ", \"response_cache_hits\": " << result.caches.response_cache_hits
-       << ", \"response_recomputes\": " << result.caches.response_recomputes
-       << ", \"section_cost_reuses\": " << result.caches.section_cost_reuses
-       << ", \"section_cost_refreshes\": "
-       << result.caches.section_cost_refreshes << "}\n}\n";
+  core::SweepBenchReport bench_report;
+  bench_report.scenarios = specs.size();
+  bench_report.hardware_concurrency = hw;
+  bench_report.thread_counts = thread_counts;
+  bench_report.bit_identical_across_threads = all_identical;
+  bench_report.sweep = timings;
+  bench_report.hot_players = 50;
+  bench_report.hot_sections = 100;
+  bench_report.hot_updates = result.updates;
+  bench_report.hot_seconds = game_seconds;
+  bench_report.hot_updates_per_sec = updates_per_sec;
+  bench_report.hot_caches = result.caches;
+  core::save_json(bench_report, "BENCH_sweep.json");
   std::cout << "[timings saved to BENCH_sweep.json]\n";
   return 0;
 }

@@ -1,9 +1,36 @@
 #include "core/satisfaction.h"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace olev::core {
+
+double Satisfaction::derivative_inverse(double marginal) const {
+  if (!(marginal > 0.0)) {
+    throw std::invalid_argument(
+        "Satisfaction::derivative_inverse: marginal must be positive");
+  }
+  if (derivative(0.0) <= marginal) return 0.0;
+  // Bracket growth: U' is strictly decreasing, so the root lies below the
+  // first hi with U'(hi) <= marginal.  If no such hi exists within any
+  // physically meaningful range, the demand is effectively unbounded.
+  double hi = 1.0;
+  while (derivative(hi) > marginal) {
+    hi *= 2.0;
+    if (hi > 1e18) return std::numeric_limits<double>::infinity();
+  }
+  double lo = hi * 0.5 > 1.0 ? hi * 0.5 : 0.0;
+  for (int it = 0; it < 200 && hi - lo > 1e-12 * (1.0 + hi); ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (derivative(mid) > marginal) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
 
 LogSatisfaction::LogSatisfaction(double weight, double scale)
     : weight_(weight), scale_(scale) {
@@ -20,6 +47,16 @@ double LogSatisfaction::derivative(double p) const {
   return weight_ / (scale_ + p);
 }
 
+double LogSatisfaction::derivative_inverse(double marginal) const {
+  if (!(marginal > 0.0)) {
+    throw std::invalid_argument(
+        "LogSatisfaction::derivative_inverse: marginal must be positive");
+  }
+  // w / (s + p) = m  =>  p = w/m - s, clamped at 0 when U'(0) <= m.
+  const double p = weight_ / marginal - scale_;
+  return p > 0.0 ? p : 0.0;
+}
+
 std::unique_ptr<Satisfaction> LogSatisfaction::clone() const {
   return std::make_unique<LogSatisfaction>(*this);
 }
@@ -34,6 +71,17 @@ double SqrtSatisfaction::value(double p) const {
 
 double SqrtSatisfaction::derivative(double p) const {
   return weight_ * 0.5 / std::sqrt(1.0 + p);
+}
+
+double SqrtSatisfaction::derivative_inverse(double marginal) const {
+  if (!(marginal > 0.0)) {
+    throw std::invalid_argument(
+        "SqrtSatisfaction::derivative_inverse: marginal must be positive");
+  }
+  // w / (2 sqrt(1 + p)) = m  =>  p = (w / (2m))^2 - 1.
+  const double root = weight_ * 0.5 / marginal;
+  const double p = root * root - 1.0;
+  return p > 0.0 ? p : 0.0;
 }
 
 std::unique_ptr<Satisfaction> SqrtSatisfaction::clone() const {
@@ -53,6 +101,16 @@ double QuadraticSatisfaction::value(double p) const {
 
 double QuadraticSatisfaction::derivative(double p) const {
   return weight_ * (1.0 - p / cap_);
+}
+
+double QuadraticSatisfaction::derivative_inverse(double marginal) const {
+  if (!(marginal > 0.0)) {
+    throw std::invalid_argument(
+        "QuadraticSatisfaction::derivative_inverse: marginal must be positive");
+  }
+  // w (1 - p/cap) = m  =>  p = cap (1 - m/w); satiation bounds it by cap.
+  const double p = cap_ * (1.0 - marginal / weight_);
+  return p > 0.0 ? p : 0.0;
 }
 
 std::unique_ptr<Satisfaction> QuadraticSatisfaction::clone() const {

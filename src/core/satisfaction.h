@@ -18,6 +18,15 @@ class Satisfaction {
   virtual double value(double p) const = 0;
   /// U'(p) > 0, strictly decreasing (strict concavity).
   virtual double derivative(double p) const = 0;
+  /// (U')^{-1}: the p >= 0 with U'(p) == marginal, or 0 when U'(0) <=
+  /// marginal already.  Because U' is strictly decreasing this is the
+  /// one-shot best response to a flat marginal price -- the O(1)-per-player
+  /// primitive of the mean-field engine (core/mean_field.h).  May return
+  /// +infinity when U' stays above `marginal` forever (log/sqrt families as
+  /// marginal -> 0); callers clamp to the physical cap.  The base
+  /// implementation bisects on derivative(); concrete families override
+  /// with closed forms.  Requires marginal > 0.
+  virtual double derivative_inverse(double marginal) const;
   virtual std::unique_ptr<Satisfaction> clone() const = 0;
 };
 
@@ -27,6 +36,7 @@ class LogSatisfaction final : public Satisfaction {
   explicit LogSatisfaction(double weight = 1.0, double scale = 1.0);
   double value(double p) const override;
   double derivative(double p) const override;
+  double derivative_inverse(double marginal) const override;
   std::unique_ptr<Satisfaction> clone() const override;
   double weight() const { return weight_; }
 
@@ -41,6 +51,7 @@ class SqrtSatisfaction final : public Satisfaction {
   explicit SqrtSatisfaction(double weight = 1.0);
   double value(double p) const override;
   double derivative(double p) const override;
+  double derivative_inverse(double marginal) const override;
   std::unique_ptr<Satisfaction> clone() const override;
 
  private:
@@ -55,6 +66,7 @@ class QuadraticSatisfaction final : public Satisfaction {
   QuadraticSatisfaction(double weight, double cap);
   double value(double p) const override;
   double derivative(double p) const override;
+  double derivative_inverse(double marginal) const override;
   std::unique_ptr<Satisfaction> clone() const override;
 
  private:

@@ -105,6 +105,22 @@ Game Scenario::make_game() const {
               util::kw(p_line_kw_), game_config);
 }
 
+MeanFieldGame Scenario::make_mean_field() const {
+  std::vector<PlayerSpec> players;
+  players.reserve(p_max_.size());
+  for (std::size_t n = 0; n < p_max_.size(); ++n) {
+    PlayerSpec player;
+    player.satisfaction = std::make_unique<LogSatisfaction>(weights_[n]);
+    player.p_max = util::kw(p_max_[n]);
+    players.push_back(std::move(player));
+  }
+  MeanFieldConfig mean_field = config_.mean_field;
+  mean_field.record_trajectory =
+      mean_field.record_trajectory || config_.game.record_trajectory;
+  return MeanFieldGame(std::move(players), *cost_, config_.num_sections,
+                       util::kw(p_line_kw_), std::move(mean_field));
+}
+
 std::vector<std::unique_ptr<Satisfaction>> Scenario::clone_satisfactions() const {
   std::vector<std::unique_ptr<Satisfaction>> out;
   out.reserve(weights_.size());

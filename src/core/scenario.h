@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/game.h"
+#include "core/mean_field.h"
 #include "grid/nyiso_day.h"
 #include "util/quantity.h"
 #include "wpt/charging_section.h"
@@ -24,6 +25,11 @@
 namespace olev::core {
 
 enum class PricingKind { kNonlinear, kLinear };
+
+/// Which equilibrium solver a sweep point runs: the exact asynchronous
+/// best-response Game or the O(N) mean-field fixed point (core/mean_field.h,
+/// nonlinear pricing only).
+enum class SolverKind { kExactGame, kMeanField };
 
 struct ScenarioConfig {
   std::size_t num_olevs = 50;
@@ -47,6 +53,10 @@ struct ScenarioConfig {
   wpt::OlevParams olev;              ///< vehicle parameters
   std::uint64_t seed = 42;
   GameConfig game;
+  SolverKind solver = SolverKind::kExactGame;
+  /// Mean-field solver knobs; used only when solver == kMeanField
+  /// (record_trajectory is inherited from `game` when unset there).
+  MeanFieldConfig mean_field;
 };
 
 /// A fully instantiated evaluation scenario.
@@ -56,6 +66,10 @@ class Scenario {
 
   /// A fresh Game over cloned players (Scenario can mint many games).
   Game make_game() const;
+
+  /// The mean-field twin over the same cloned players (nonlinear pricing
+  /// only: MeanFieldGame requires a strictly convex section cost).
+  MeanFieldGame make_mean_field() const;
 
   double p_line_kw() const { return p_line_kw_; }
   double cap_kw() const { return cap_kw_; }

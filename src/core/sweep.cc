@@ -21,12 +21,17 @@ SweepResult solve_scenario(const ScenarioSpec& spec, std::size_t index) {
     OLEV_OBS_SPAN(build_span, "scenario.build", "sweep");
     return Scenario::build(spec.config);
   }();
-  Game game = scenario.make_game();
 
   SweepResult out;
   out.index = index;
   out.label = spec.label;
-  out.result = game.run();
+  if (spec.config.solver == SolverKind::kMeanField) {
+    MeanFieldGame game = scenario.make_mean_field();
+    out.result = game.to_game_result(game.run());
+  } else {
+    Game game = scenario.make_game();
+    out.result = game.run();
+  }
   out.p_line_kw = scenario.p_line_kw();
   out.cap_kw = scenario.cap_kw();
   out.beta_lbmp = scenario.beta_lbmp();

@@ -37,12 +37,18 @@ double total_payments(const SectionCost& z, const PowerSchedule& schedule) {
 
 CongestionReport congestion_report(const PowerSchedule& schedule,
                                    util::Kilowatts p_line) {
+  const std::vector<double> loads = schedule.column_totals();
+  return congestion_report(std::span<const double>(loads), p_line);
+}
+
+CongestionReport congestion_report(std::span<const double> section_loads,
+                                   util::Kilowatts p_line) {
   const double p_line_kw = p_line.value();
   if (p_line_kw <= 0.0) {
     throw std::invalid_argument("congestion_report: p_line must be positive");
   }
   CongestionReport report;
-  report.per_section = schedule.column_totals();
+  report.per_section.assign(section_loads.begin(), section_loads.end());
   for (double& load : report.per_section) load /= p_line_kw;
   if (!report.per_section.empty()) {
     report.mean = util::mean_of(report.per_section);

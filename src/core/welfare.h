@@ -43,4 +43,9 @@ struct CongestionReport {
 [[nodiscard]] CongestionReport congestion_report(const PowerSchedule& schedule,
                                                 util::Kilowatts p_line);
 
+/// Same report for a bare per-section load vector (kW) -- the mean-field
+/// engine carries the aggregate field, not an N x C schedule.
+[[nodiscard]] CongestionReport congestion_report(
+    std::span<const double> section_loads, util::Kilowatts p_line);
+
 }  // namespace olev::core

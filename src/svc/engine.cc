@@ -12,37 +12,71 @@ namespace olev::svc {
 
 PricingEngine::PricingEngine(core::SectionCost cost, EngineConfig config)
     : cost_(std::move(cost)),
-      config_(config),
-      schedule_(config.players, config.sections),
-      caps_(config.caps_kw) {
-  if (config.players == 0 || config.sections == 0) {
+      config_(std::move(config)),
+      schedule_(config_.players, config_.sections),
+      caps_(config_.caps_kw) {
+  if (config_.players == 0 || config_.sections == 0) {
     throw std::invalid_argument("PricingEngine: players/sections must be > 0");
   }
   if (caps_.empty()) {
-    caps_.assign(config.players, std::numeric_limits<double>::infinity());
-  } else if (caps_.size() != config.players) {
+    caps_.assign(config_.players, std::numeric_limits<double>::infinity());
+  } else if (caps_.size() != config_.players) {
     throw std::invalid_argument("PricingEngine: caps_kw size != players");
   }
 }
 
-PricingEngine::Applied PricingEngine::apply(std::size_t player,
-                                            double total_kw) {
+std::vector<double> PricingEngine::others_load(std::size_t player) const {
+  if (config_.mode == EngineMode::kMeanField) {
+    const double sections = static_cast<double>(schedule_.sections());
+    const double others = total_load_kw_ - schedule_.row_total(player);
+    return std::vector<double>(schedule_.sections(), others / sections);
+  }
+  return schedule_.column_totals_excluding(player);
+}
+
+PricingEngine::Applied PricingEngine::apply_exact(std::size_t player,
+                                                  double admitted) {
   // Mirror of SmartGrid::handle (src/core/distributed.cc): the service's
   // bit-identity contract with the in-process driver depends on this exact
   // call sequence.
-  const std::size_t n = player;
-  const auto others = schedule_.column_totals_excluding(n);
-  const double previous = schedule_.row_total(n);
-  const double admitted = std::clamp(total_kw, 0.0, caps_[n]);
-  core::WaterFillResult allocation = core::water_fill(others, util::kw(admitted));
-  schedule_.set_row(n, allocation.row);
+  const auto others = schedule_.column_totals_excluding(player);
+  core::WaterFillResult allocation =
+      core::water_fill(others, util::kw(admitted));
+  schedule_.set_row(player, allocation.row);
 
   Applied applied;
   applied.payment = core::externality_payment(cost_, others, allocation.row);
   applied.row = std::move(allocation.row);
+  return applied;
+}
+
+PricingEngine::Applied PricingEngine::apply_mean_field(std::size_t player,
+                                                       double admitted) {
+  // The aggregate-field update (core/mean_field.h): the player's row is its
+  // flat share of the field and the payment is the flat-field externality.
+  // No per-player exclusion scan -- O(C) regardless of how many players the
+  // schedule carries.
+  total_load_kw_ += admitted - schedule_.row_total(player);
+  const double sections = static_cast<double>(schedule_.sections());
+  Applied applied;
+  applied.row.assign(schedule_.sections(), admitted / sections);
+  schedule_.set_row(player, applied.row);
+  applied.payment =
+      sections * (cost_.value(total_load_kw_ / sections) -
+                  cost_.value((total_load_kw_ - admitted) / sections));
+  return applied;
+}
+
+PricingEngine::Applied PricingEngine::apply(std::size_t player,
+                                            double total_kw) {
+  const double previous = schedule_.row_total(player);
+  const double admitted = std::clamp(total_kw, 0.0, caps_[player]);
+  Applied applied = config_.mode == EngineMode::kMeanField
+                        ? apply_mean_field(player, admitted)
+                        : apply_exact(player, admitted);
 
   cycle_max_delta_ = std::max(cycle_max_delta_,
-                              std::abs(schedule_.row_total(n) - previous));
+                              std::abs(schedule_.row_total(player) - previous));
   ++updates_;
   if (updates_ % schedule_.players() == 0 && !converged_) {
     if (cycle_max_delta_ < config_.epsilon) {

@@ -24,6 +24,17 @@
 
 namespace olev::svc {
 
+/// Which pricing arithmetic the engine runs per update.
+///
+/// kExact is the paper's N-player update (column_totals_excluding +
+/// water_fill + externality payment, O(N * C) per update through the
+/// exclusion scan).  kMeanField prices the update against the aggregate
+/// field instead (core/mean_field.h): the row is the flat T-share spread
+/// p / C and the payment is the flat-field externality
+/// C * [Z(T/C) - Z((T - p)/C)], O(C) per update with no dependence on N --
+/// the serving mode that scales olevd to millions of bound players.
+enum class EngineMode { kExact, kMeanField };
+
 struct EngineConfig {
   std::size_t players = 0;
   std::size_t sections = 0;
@@ -33,6 +44,7 @@ struct EngineConfig {
   /// Per-player admission caps in kW; empty = unlimited (the trusted
   /// run_distributed_game mode).  Requests are clamped, never rejected.
   std::vector<double> caps_kw;
+  EngineMode mode = EngineMode::kExact;
 };
 
 class PricingEngine {
@@ -50,10 +62,11 @@ class PricingEngine {
   Applied apply(std::size_t player, double total_kw);
 
   /// b for `player` under the current schedule -- the payment-function
-  /// announcement of Section IV-D.
-  std::vector<double> others_load(std::size_t player) const {
-    return schedule_.column_totals_excluding(player);
-  }
+  /// announcement of Section IV-D.  In mean-field mode this is the flat
+  /// field excluding the player's own share, (T - p_n)/C on every section.
+  std::vector<double> others_load(std::size_t player) const;
+
+  EngineMode mode() const { return config_.mode; }
 
   std::size_t players() const { return schedule_.players(); }
   std::size_t sections() const { return schedule_.sections(); }
@@ -67,6 +80,9 @@ class PricingEngine {
   std::size_t cursor() const { return updates_ % schedule_.players(); }
 
  private:
+  Applied apply_exact(std::size_t player, double admitted);
+  Applied apply_mean_field(std::size_t player, double admitted);
+
   core::SectionCost cost_;
   EngineConfig config_;
   core::PowerSchedule schedule_;
@@ -74,6 +90,7 @@ class PricingEngine {
   std::size_t updates_ = 0;
   double cycle_max_delta_ = 0.0;
   bool converged_ = false;
+  double total_load_kw_ = 0.0;  ///< mean-field mode: running aggregate T
 };
 
 }  // namespace olev::svc

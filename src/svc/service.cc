@@ -43,7 +43,7 @@ PricingService::PricingService(core::SectionCost cost, ServiceConfig config)
       config_(std::move(config)),
       engine_(cost_,
               EngineConfig{config_.players, config_.sections, config_.epsilon,
-                           config_.caps_kw}),
+                           config_.caps_kw, config_.engine_mode}),
       listener_(listen_on(config_.port)),
       port_(local_port(listener_)) {
   if (config_.max_batch == 0 || config_.max_queue == 0) {

@@ -50,6 +50,9 @@ struct ServiceConfig {
   std::size_t sections = 0;
   double epsilon = 1e-7;
   std::vector<double> caps_kw;  ///< per-player admission caps; empty = none
+  /// Pricing arithmetic: the exact N-player update or the O(C) mean-field
+  /// update (olevd --engine=meanfield).  See EngineMode.
+  EngineMode engine_mode = EngineMode::kExact;
 
   // Batching core.
   double batch_window_s = 0.002;  ///< coalescing window for one round

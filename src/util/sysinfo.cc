@@ -1,0 +1,24 @@
+#include "util/sysinfo.h"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace olev::util {
+
+std::size_t available_concurrency() {
+#if defined(__linux__)
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+    const int count = CPU_COUNT(&mask);
+    if (count > 0) return static_cast<std::size_t>(count);
+  }
+#endif
+  const unsigned reported = std::thread::hardware_concurrency();
+  return reported == 0 ? 1 : static_cast<std::size_t>(reported);
+}
+
+}  // namespace olev::util

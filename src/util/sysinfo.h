@@ -1,0 +1,19 @@
+// Process-level hardware discovery.
+//
+// std::thread::hardware_concurrency() reports the machine's logical CPU
+// count, which overstates what a container or taskset-restricted CI runner
+// may actually use -- and some sandboxes make it return 0 or 1 on multi-core
+// hosts.  available_concurrency() consults the scheduler affinity mask
+// first, so benches report the parallelism the process can really get.
+#pragma once
+
+#include <cstddef>
+
+namespace olev::util {
+
+/// CPUs available to *this process*: the CPU-affinity mask cardinality when
+/// the platform exposes one (cgroup/taskset aware), otherwise
+/// std::thread::hardware_concurrency().  Never returns 0.
+[[nodiscard]] std::size_t available_concurrency();
+
+}  // namespace olev::util

@@ -49,6 +49,41 @@ void write_fixture(const std::string& dir, core::PricingKind pricing) {
   std::cout << "wrote " << path << " (" << result.updates << " updates)\n";
 }
 
+void write_mean_field_fixture(const std::string& dir,
+                              const testing::MeanFieldGoldenCase& golden) {
+  const core::Scenario scenario = core::Scenario::build(golden.config);
+  core::MeanFieldGame game = scenario.make_mean_field();
+  const core::MeanFieldResult result = game.run();
+  if (!result.converged) {
+    throw std::runtime_error("mean-field golden scenario '" + golden.label +
+                             "' failed to converge");
+  }
+
+  const std::string path = dir + "/" + golden.file;
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open " + path);
+  os << std::setprecision(17);
+  os << "quantity,i,j,value\n";
+  for (std::size_t c = 0; c < result.field.size(); ++c) {
+    os << "field," << c << ",0," << result.field[c] << "\n";
+  }
+  for (std::size_t n = 0; n < result.requests.size(); ++n) {
+    os << "request," << n << ",0," << result.requests[n] << "\n";
+  }
+  for (std::size_t n = 0; n < result.payments.size(); ++n) {
+    os << "payment," << n << ",0," << result.payments[n] << "\n";
+  }
+  for (std::size_t n = 0; n < result.utilities.size(); ++n) {
+    os << "utility," << n << ",0," << result.utilities[n] << "\n";
+  }
+  os << "welfare,0,0," << result.welfare << "\n";
+  os << "total_load,0,0," << result.total_load_kw << "\n";
+  os << "water_level,0,0," << result.water_level_kw << "\n";
+  os << "marginal_price,0,0," << result.marginal_price << "\n";
+  std::cout << "wrote " << path << " (" << result.iterations
+            << " field iterations)\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -59,6 +94,9 @@ int main(int argc, char** argv) {
   try {
     write_fixture(argv[1], core::PricingKind::kNonlinear);
     write_fixture(argv[1], core::PricingKind::kLinear);
+    for (const auto& golden : testing::golden_mean_field_cases()) {
+      write_mean_field_fixture(argv[1], golden);
+    }
   } catch (const std::exception& e) {
     std::cerr << "generate_golden: " << e.what() << "\n";
     return 1;

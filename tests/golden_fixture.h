@@ -15,6 +15,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "core/scenario.h"
 
@@ -36,6 +37,61 @@ inline core::ScenarioConfig golden_config(core::PricingKind pricing) {
 inline std::string golden_file(core::PricingKind pricing) {
   return pricing == core::PricingKind::kNonlinear ? "equilibrium_nonlinear.csv"
                                                   : "equilibrium_linear.csv";
+}
+
+/// The three pinned mean-field fixtures (solver = kMeanField; CSV schema
+/// gains `field` rows -- i = section -- plus the total_load / water_level /
+/// marginal_price scalars).  The mean-field solver is deterministic and
+/// RNG-free past Scenario::build, so the committed doubles are reproduced
+/// exactly on re-run; the checker compares at 1e-9 relative (ulp-scale
+/// slack for libm variation across toolchains).
+struct MeanFieldGoldenCase {
+  std::string label;
+  std::string file;
+  core::ScenarioConfig config;
+};
+
+inline std::vector<MeanFieldGoldenCase> golden_mean_field_cases() {
+  std::vector<MeanFieldGoldenCase> cases;
+  {
+    // The exact-game fixture's twin: same N=10, C=10 universe.
+    MeanFieldGoldenCase small;
+    small.label = "small";
+    small.file = "meanfield_small.csv";
+    small.config = golden_config(core::PricingKind::kNonlinear);
+    small.config.solver = core::SolverKind::kMeanField;
+    cases.push_back(std::move(small));
+  }
+  {
+    // Slow corridor, moderate demand, wider heterogeneity.
+    MeanFieldGoldenCase slow;
+    slow.label = "slow-corridor";
+    slow.file = "meanfield_slow_corridor.csv";
+    slow.config = golden_config(core::PricingKind::kNonlinear);
+    slow.config.solver = core::SolverKind::kMeanField;
+    slow.config.num_olevs = 25;
+    slow.config.num_sections = 15;
+    slow.config.velocity = olev::util::mph(40.0);
+    slow.config.target_degree = 0.7;
+    slow.config.demand_diversity = 0.4;
+    slow.config.seed = 0x601d3;
+    cases.push_back(std::move(slow));
+  }
+  {
+    // Over-subscribed rush hour: demand past the line's comfort point.
+    MeanFieldGoldenCase rush;
+    rush.label = "rush-hour";
+    rush.file = "meanfield_rush_hour.csv";
+    rush.config = golden_config(core::PricingKind::kNonlinear);
+    rush.config.solver = core::SolverKind::kMeanField;
+    rush.config.num_olevs = 40;
+    rush.config.num_sections = 20;
+    rush.config.velocity = olev::util::mph(80.0);
+    rush.config.target_degree = 1.1;
+    rush.config.seed = 0x601d4;
+    cases.push_back(std::move(rush));
+  }
+  return cases;
 }
 
 }  // namespace olev::testing

@@ -1,0 +1,108 @@
+// Golden-fixture regression test for the mean-field engine: the three
+// pinned scenarios of golden_fixture.h must reproduce the committed CSVs
+// under tests/golden/ to 1e-9 relative.  The solver is deterministic and
+// RNG-free past Scenario::build, so these are effectively ulp-level pins --
+// an arithmetic change to the fixed-point iteration, the payment closed
+// form, or the calibration that merely stays inside the property and
+// differential bands still trips here.  Regenerate intentionally with the
+// generate_golden tool.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <tuple>
+
+#include "core/mean_field.h"
+#include "core/scenario.h"
+#include "golden_fixture.h"
+
+#ifndef OLEV_GOLDEN_DIR
+#error "OLEV_GOLDEN_DIR must point at tests/golden (set by tests/CMakeLists.txt)"
+#endif
+
+namespace olev::core {
+namespace {
+
+using GoldenMap =
+    std::map<std::tuple<std::string, std::size_t, std::size_t>, double>;
+
+GoldenMap load_golden(const std::string& file) {
+  const std::string path = std::string(OLEV_GOLDEN_DIR) + "/" + file;
+  std::ifstream is(path);
+  EXPECT_TRUE(is.good()) << "missing fixture " << path;
+  GoldenMap golden;
+  std::string line;
+  std::getline(is, line);  // header
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream cells(line);
+    std::string quantity, i, j, value;
+    std::getline(cells, quantity, ',');
+    std::getline(cells, i, ',');
+    std::getline(cells, j, ',');
+    std::getline(cells, value, ',');
+    golden[{quantity, std::stoul(i), std::stoul(j)}] = std::stod(value);
+  }
+  return golden;
+}
+
+void expect_pinned(double actual, double golden, const std::string& what) {
+  EXPECT_NEAR(actual, golden, 1e-9 * std::max(1.0, std::abs(golden))) << what;
+}
+
+void check_fixture(const testing::MeanFieldGoldenCase& golden_case) {
+  const GoldenMap golden = load_golden(golden_case.file);
+  ASSERT_FALSE(golden.empty());
+
+  const Scenario scenario = Scenario::build(golden_case.config);
+  MeanFieldGame game = scenario.make_mean_field();
+  const MeanFieldResult result = game.run();
+  ASSERT_TRUE(result.converged) << golden_case.label;
+
+  std::size_t checked = 0;
+  for (std::size_t c = 0; c < result.field.size(); ++c) {
+    const auto it = golden.find({"field", c, 0});
+    ASSERT_NE(it, golden.end()) << "field(" << c << ")";
+    expect_pinned(result.field[c], it->second,
+                  "field(" + std::to_string(c) + ")");
+    ++checked;
+  }
+  for (std::size_t n = 0; n < result.requests.size(); ++n) {
+    expect_pinned(result.requests[n], golden.at({"request", n, 0}),
+                  "request " + std::to_string(n));
+    expect_pinned(result.payments[n], golden.at({"payment", n, 0}),
+                  "payment " + std::to_string(n));
+    expect_pinned(result.utilities[n], golden.at({"utility", n, 0}),
+                  "utility " + std::to_string(n));
+    checked += 3;
+  }
+  expect_pinned(result.welfare, golden.at({"welfare", 0, 0}), "welfare");
+  expect_pinned(result.total_load_kw, golden.at({"total_load", 0, 0}),
+                "total_load");
+  expect_pinned(result.water_level_kw, golden.at({"water_level", 0, 0}),
+                "water_level");
+  expect_pinned(result.marginal_price, golden.at({"marginal_price", 0, 0}),
+                "marginal_price");
+  checked += 4;
+  // Every committed value was consumed (no stale rows hiding in the CSV).
+  EXPECT_EQ(checked, golden.size()) << golden_case.label;
+}
+
+TEST(GoldenMeanField, SmallMatchesFixture) {
+  check_fixture(testing::golden_mean_field_cases()[0]);
+}
+
+TEST(GoldenMeanField, SlowCorridorMatchesFixture) {
+  check_fixture(testing::golden_mean_field_cases()[1]);
+}
+
+TEST(GoldenMeanField, RushHourMatchesFixture) {
+  check_fixture(testing::golden_mean_field_cases()[2]);
+}
+
+}  // namespace
+}  // namespace olev::core

@@ -296,6 +296,59 @@ TEST(Service, SixtyFourConcurrentConnectionsRunClean) {
   EXPECT_EQ(runner.service.stats().connections_accepted, 64u);
 }
 
+// --- mean-field engine mode (olevd --engine=meanfield) ----------------------
+
+TEST(Service, MeanFieldSessionServesFlatRowsAndClosedFormPayments) {
+  ServiceConfig config = base_config(/*players=*/3, /*sections=*/4);
+  config.engine_mode = EngineMode::kMeanField;
+  ServiceRunner runner(config);
+  ServiceClient client = runner.connect();
+
+  // Mean-field rows are the flat T-share spread p / C, and the payment is
+  // the flat-field closed form C * [Z(T/C) - Z((T - p)/C)] (engine.h).
+  client.send(request_msg(0, 1, 20.0));
+  auto reply = client.recv(5.0);
+  ASSERT_TRUE(reply.has_value());
+  const auto& first = std::get<net::ScheduleMsg>(*reply);
+  ASSERT_EQ(first.row_kw.size(), 4u);
+  for (const double cell : first.row_kw) EXPECT_DOUBLE_EQ(cell, 20.0 / 4.0);
+  const core::SectionCost cost = make_cost();
+  const double expected_first = 4.0 * (cost.value(5.0) - cost.value(0.0));
+  EXPECT_NEAR(first.payment, expected_first, 1e-9 * expected_first);
+
+  // The second player prices against the field already carrying the first.
+  client.send(request_msg(1, 2, 12.0));
+  reply = client.recv(5.0);
+  ASSERT_TRUE(reply.has_value());
+  const auto& second = std::get<net::ScheduleMsg>(*reply);
+  const double expected_second = 4.0 * (cost.value(8.0) - cost.value(5.0));
+  EXPECT_NEAR(second.payment, expected_second, 1e-9 * expected_second);
+
+  runner.stop();
+  EXPECT_EQ(runner.service.stats().requests_served, 2u);
+}
+
+TEST(Service, MeanFieldSixtyFourConcurrentConnectionsRunClean) {
+  ServiceConfig config = base_config(/*players=*/64, /*sections=*/8);
+  config.engine_mode = EngineMode::kMeanField;
+  ServiceRunner runner(config);
+
+  LoadgenConfig load;
+  load.port = runner.service.port();
+  load.connections = 64;
+  load.requests_per_connection = 10;
+  load.players = 64;
+  const LoadgenReport report = run_loadgen(load);
+
+  EXPECT_TRUE(report.clean()) << report.to_json();
+  EXPECT_EQ(report.ok, 640u);
+  EXPECT_EQ(report.garbled, 0u);
+  EXPECT_EQ(report.errors, 0u);
+
+  runner.stop();
+  EXPECT_EQ(runner.service.stats().requests_served, 640u);
+}
+
 // --- bit-identity with the in-process distributed driver --------------------
 
 /// A lockstep best-response player: answers each announcement exactly like

@@ -43,6 +43,7 @@ struct Options {
   double deadline_ms = 1000.0;
   double idle_timeout_s = 60.0;
   bool announce = false;
+  olev::svc::EngineMode engine = olev::svc::EngineMode::kExact;
   // Section cost knobs (defaults mirror the distributed-driver tests: the
   // paper's nonlinear V with beta=5, alpha=0.875, P_ref = P_line = 40 kW).
   double beta = 5.0;
@@ -65,6 +66,8 @@ void usage(const char* argv0) {
       << "  --deadline-ms N      per-request deadline (default 1000)\n"
       << "  --idle-timeout-s N   reap silent connections (default 60)\n"
       << "  --announce           grid-paced announcement mode\n"
+      << "  --engine NAME        pricing arithmetic: exact (default) or\n"
+      << "                       meanfield (O(C) aggregate-field updates)\n"
       << "  --beta X --alpha X --p-ref X --p-line X --overload-weight X\n"
       << "                       section cost parameters\n";
 }
@@ -108,6 +111,17 @@ bool parse(int argc, char** argv, Options& options) {
       options.deadline_ms = next_d();
     } else if (arg == "--idle-timeout-s") {
       options.idle_timeout_s = next_d();
+    } else if (arg == "--engine") {
+      const std::string name = argv[++i];
+      if (name == "exact") {
+        options.engine = olev::svc::EngineMode::kExact;
+      } else if (name == "meanfield") {
+        options.engine = olev::svc::EngineMode::kMeanField;
+      } else {
+        std::cerr << "olevd: unknown engine '" << name
+                  << "' (expected exact or meanfield)\n";
+        return false;
+      }
     } else if (arg == "--beta") {
       options.beta = next_d();
     } else if (arg == "--alpha") {
@@ -152,6 +166,7 @@ int main(int argc, char** argv) {
   config.request_deadline_s = options.deadline_ms * 1e-3;
   config.idle_timeout_s = options.idle_timeout_s;
   config.announce = options.announce;
+  config.engine_mode = options.engine;
 
   try {
     olev::svc::PricingService service(std::move(cost), config);

@@ -30,10 +30,11 @@
 #include <initializer_list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace olev::obs {
 
@@ -167,26 +168,34 @@ class Registry {
  public:
   static Registry& instance();
 
-  Counter& counter(std::string_view name);
-  Gauge& gauge(std::string_view name);
+  Counter& counter(std::string_view name) OLEV_EXCLUDES(mutex_);
+  Gauge& gauge(std::string_view name) OLEV_EXCLUDES(mutex_);
   /// First registration fixes the bucket bounds; later calls with the same
   /// name return the existing histogram regardless of the bounds passed.
-  Histogram& histogram(std::string_view name, std::initializer_list<double> bounds);
-  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+  Histogram& histogram(std::string_view name, std::initializer_list<double> bounds)
+      OLEV_EXCLUDES(mutex_);
+  Histogram& histogram(std::string_view name, std::vector<double> bounds)
+      OLEV_EXCLUDES(mutex_);
 
-  MetricsSnapshot snapshot() const;
+  MetricsSnapshot snapshot() const OLEV_EXCLUDES(mutex_);
   /// Explicit reset semantics: zeroes every metric in place (names and
   /// bucket layouts survive).  Intended for scoping a measurement at a
   /// quiescent point; concurrent writers lose at most in-flight deltas.
-  void reset();
+  void reset() OLEV_EXCLUDES(mutex_);
 
  private:
   Registry() = default;
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // mutex_ guards only the name -> metric maps (registration and scrape);
+  // the metric objects themselves are written lock-free through striped
+  // relaxed atomics and handed out as stable references.
+  mutable Mutex mutex_{"obs.registry"};
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      OLEV_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      OLEV_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      OLEV_GUARDED_BY(mutex_);
 };
 
 }  // namespace olev::obs

@@ -22,7 +22,7 @@ Tracer::Lane& Tracer::local_lane() {
   // lanes spawned inside a finished sweep still export.
   thread_local std::shared_ptr<Lane> lane = [this] {
     auto fresh = std::make_shared<Lane>();
-    std::lock_guard<std::mutex> lock(lanes_mutex_);
+    MutexLock lock(lanes_mutex_);
     fresh->tid = static_cast<int>(lanes_.size()) + 1;
     lanes_.push_back(fresh);
     return fresh;
@@ -33,9 +33,9 @@ Tracer::Lane& Tracer::local_lane() {
 }
 
 void Tracer::start(TraceDetail detail) {
-  std::lock_guard<std::mutex> lock(lanes_mutex_);
+  MutexLock lock(lanes_mutex_);
   for (const std::shared_ptr<Lane>& lane : lanes_) {
-    std::lock_guard<std::mutex> lane_lock(lane->mutex);
+    MutexLock lane_lock(lane->mutex);
     lane->events.clear();
   }
   dropped_.store(0, std::memory_order_relaxed);
@@ -48,13 +48,13 @@ void Tracer::stop() { enabled_.store(false, std::memory_order_release); }
 
 void Tracer::set_thread_name(std::string name) {
   Lane& lane = local_lane();
-  std::lock_guard<std::mutex> lock(lane.mutex);
+  MutexLock lock(lane.mutex);
   lane.name = std::move(name);
 }
 
 bool Tracer::lane_has_room() {
   Lane& lane = local_lane();
-  std::lock_guard<std::mutex> lock(lane.mutex);
+  MutexLock lock(lane.mutex);
   // A begin/end pair needs two slots.
   return lane.events.size() + 2 <= max_events_per_lane_;
 }
@@ -66,15 +66,15 @@ void Tracer::record(TraceEvent event) {
 
 void Tracer::record_always(TraceEvent event) {
   Lane& lane = local_lane();
-  std::lock_guard<std::mutex> lock(lane.mutex);
+  MutexLock lock(lane.mutex);
   lane.events.push_back(std::move(event));
 }
 
 std::size_t Tracer::event_count() const {
-  std::lock_guard<std::mutex> lock(lanes_mutex_);
+  MutexLock lock(lanes_mutex_);
   std::size_t count = 0;
   for (const std::shared_ptr<Lane>& lane : lanes_) {
-    std::lock_guard<std::mutex> lane_lock(lane->mutex);
+    MutexLock lane_lock(lane->mutex);
     count += lane->events.size();
   }
   return count;
@@ -84,7 +84,7 @@ std::string Tracer::to_json() const {
   std::vector<std::shared_ptr<Lane>> lanes;
   std::int64_t epoch;
   {
-    std::lock_guard<std::mutex> lock(lanes_mutex_);
+    MutexLock lock(lanes_mutex_);
     lanes = lanes_;
     epoch = epoch_us_;
   }
@@ -100,7 +100,7 @@ std::string Tracer::to_json() const {
   emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
        "\"args\":{\"name\":\"olev\"}}");
   for (const std::shared_ptr<Lane>& lane : lanes) {
-    std::lock_guard<std::mutex> lane_lock(lane->mutex);
+    MutexLock lane_lock(lane->mutex);
     // Built with += throughout: chained operator+ on string temporaries
     // trips gcc-12's bogus -Wrestrict at -O3 (PR105651), and this is the
     // export hot loop anyway.

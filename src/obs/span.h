@@ -24,10 +24,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace olev::obs {
 
@@ -109,22 +110,27 @@ class Tracer {
 
  private:
   struct Lane {
-    std::mutex mutex;
-    std::vector<TraceEvent> events;
+    Mutex mutex{"obs.tracer.lane"};
+    std::vector<TraceEvent> events OLEV_GUARDED_BY(mutex);
+    // Assigned once under lanes_mutex_ before the lane is published and
+    // immutable afterwards, so reads need no capability.
     int tid = 0;
-    std::string name;
+    std::string name OLEV_GUARDED_BY(mutex);
   };
 
   Tracer() = default;
-  Lane& local_lane();
+  Lane& local_lane() OLEV_EXCLUDES(lanes_mutex_);
 
   std::atomic<bool> enabled_{false};
   std::atomic<bool> fine_{false};
   std::atomic<std::uint64_t> dropped_{0};
-  std::int64_t epoch_us_ = 0;
   std::size_t max_events_per_lane_ = 1 << 20;
-  mutable std::mutex lanes_mutex_;
-  std::vector<std::shared_ptr<Lane>> lanes_;
+  // Lock order: lanes_mutex_ before any Lane::mutex (start(), event_count(),
+  // to_json() hold the registry lock while draining individual lanes); the
+  // lock-order auditor pins that order in audit builds.
+  mutable Mutex lanes_mutex_{"obs.tracer.lanes"};
+  std::int64_t epoch_us_ OLEV_GUARDED_BY(lanes_mutex_) = 0;
+  std::vector<std::shared_ptr<Lane>> lanes_ OLEV_GUARDED_BY(lanes_mutex_);
 };
 
 /// RAII span: begin event at construction, end event (carrying the numeric

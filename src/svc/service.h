@@ -29,6 +29,18 @@
 // the listener closes, queued requests are answered, every session gets a
 // DRAINING notice, and run() returns once the flushes complete (or the drain
 // deadline forces the issue).
+//
+// Thread-safety contract (docs/ANALYSIS.md "Thread-safety contract"): this
+// layer holds NO mutex by design.  Every field below is confined to the
+// run() thread; the only cross-thread entry points are request_stop() (one
+// relaxed atomic store, signal-safe) and the post-run accessors, which are
+// valid once run() has returned (the join is the synchronization point).
+// The multi-threaded machinery underneath -- the sweep pool, the metrics
+// registry, the tracer -- lives behind the capability-annotated wrappers of
+// util/sync.h; when the planned sharded multi-engine daemon pulls
+// PricingEngine out from behind this single admission queue, its shared
+// state must go through olev::Mutex + OLEV_GUARDED_BY, not raw std::mutex
+// (lint rule R6 enforces the latter mechanically).
 #pragma once
 
 #include <atomic>
@@ -151,6 +163,8 @@ class PricingService {
   int next_timeout_ms(std::int64_t now_us) const;
   std::shared_ptr<Session> bound_session(std::size_t player) const;
 
+  // All confined to the run() thread (see the thread-safety contract in the
+  // header comment); stop_requested_ is the one cross-thread flag.
   core::SectionCost cost_;
   ServiceConfig config_;
   PricingEngine engine_;

@@ -1,7 +1,9 @@
 // Runtime invariant auditor: checked asserts for the paper's machine-checkable
 // guarantees (water-filling conservation of Eq. 12, non-negative externality
 // payments of Eq. 8-9, monotone convergence of Theorem IV.1) plus cache
-// coherence of the incremental Game hot path.
+// coherence of the incremental Game hot path.  The lock-order auditor of
+// util/sync.h reports through the same fail()/handler/firings funnel, so
+// "zero firings across tier-1" covers lock-ordering too in audit builds.
 //
 // The checks compile to nothing unless the build defines OLEV_AUDIT (CMake
 // option -DOLEV_AUDIT=ON); Release builds carry zero overhead.  In an audit

@@ -1,0 +1,161 @@
+// Lock-order auditor behind olev::Mutex (util/sync.h): a lockdep-style
+// global order graph over mutex *classes* (grouped by constructor name).
+//
+// Every acquisition walks the calling thread's held chain and inserts
+// "held -> acquiring" edges; an edge whose reverse direction is already
+// reachable closes a cycle, which is a latent deadlock even if this
+// particular interleaving completes -- so the auditor fires immediately,
+// before the acquisition blocks, naming both acquisition chains.  Each
+// unordered class pair is reported at most once per process: a wall of
+// identical reports from a hot path would bury the first (and only
+// interesting) one.
+//
+// The graph's own lock is a raw std::mutex on purpose: it must never be
+// tracked by the auditor it implements (this file is the one R6 lint
+// exemption besides the header).  All functions here are always compiled --
+// the support-code-links-everywhere contract of util/audit.h -- but only
+// called from OLEV_AUDIT builds, where Mutex carries its order class.
+
+#include "util/sync.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace olev::sync_internal {
+
+namespace {
+
+struct Graph {
+  std::mutex mu;
+  std::vector<std::string> names;          // class id -> diagnostic name
+  std::map<std::string, int> ids;          // diagnostic name -> class id
+  // edges[from][to] = the acquisition chain that established the edge.
+  std::map<int, std::map<int, std::string>> edges;
+  std::set<std::pair<int, int>> reported;  // normalized (min,max) pairs
+};
+
+// Leaked on purpose: worker threads and process-lifetime singletons (the
+// metrics registry, the tracer) release mutexes during static destruction,
+// after a function-local static would already be gone.
+Graph& graph() {
+  static Graph* g = new Graph;
+  return *g;
+}
+
+// The calling thread's acquisition chain, innermost last.  Class ids, not
+// instances: two locks of one class nest legally (e.g. a fresh
+// parallel_for control block inside a sweep), so self-edges are skipped.
+thread_local std::vector<int> t_held;
+
+std::string chain_names(const Graph& g, const std::vector<int>& chain) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    if (i > 0) out += " -> ";
+    out += '"';
+    out += g.names[static_cast<std::size_t>(chain[i])];
+    out += '"';
+  }
+  out += ']';
+  return out;
+}
+
+// Depth-first reachability over the order graph.  The graph is kept acyclic
+// (a cycle-closing edge is reported, not inserted), but the visited set
+// makes the walk robust regardless.
+bool reachable(const Graph& g, int from, int to) {
+  std::vector<int> stack{from};
+  std::set<int> visited;
+  while (!stack.empty()) {
+    const int node = stack.back();
+    stack.pop_back();
+    if (node == to) return true;
+    if (!visited.insert(node).second) continue;
+    const auto out = g.edges.find(node);
+    if (out == g.edges.end()) continue;
+    for (const auto& [next, provenance] : out->second) stack.push_back(next);
+  }
+  return false;
+}
+
+}  // namespace
+
+int register_class(const char* name) {
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lock(g.mu);
+  const auto [it, inserted] =
+      g.ids.emplace(name, static_cast<int>(g.names.size()));
+  if (inserted) g.names.emplace_back(name);
+  return it->second;
+}
+
+void note_acquire(int order_class, const char* name) {
+  std::string message;
+  {
+    Graph& g = graph();
+    std::lock_guard<std::mutex> lock(g.mu);
+    for (const int held : t_held) {
+      if (held == order_class) continue;  // same-class nesting: no ordering
+      auto& out = g.edges[held];
+      if (out.find(order_class) != out.end()) continue;  // edge known
+      if (reachable(g, order_class, held)) {
+        // held -> order_class would close a cycle: the opposite order is
+        // already established.  Report once per unordered pair, and keep
+        // the graph acyclic by not inserting the inverting edge.
+        const auto pair = std::minmax(held, order_class);
+        if (!g.reported.insert({pair.first, pair.second}).second) continue;
+        std::ostringstream out_msg;
+        out_msg << "lock-order inversion: thread " << std::this_thread::get_id()
+                << " holds " << chain_names(g, t_held) << " while acquiring \""
+                << name << "\", but the opposite order \""
+                << g.names[static_cast<std::size_t>(order_class)] << "\" -> \""
+                << g.names[static_cast<std::size_t>(held)]
+                << "\" was established earlier by "
+                << g.edges[order_class][held]
+                << "; the two orders deadlock if interleaved";
+        message = out_msg.str();
+        break;
+      }
+      std::ostringstream provenance;
+      provenance << "thread " << std::this_thread::get_id() << " holding "
+                 << chain_names(g, t_held) << " acquiring \"" << name << '"';
+      out.emplace(order_class, provenance.str());
+    }
+  }
+  if (!message.empty()) {
+    // The graph lock is released and the acquiring mutex was NOT taken:
+    // fail() throws (or calls the installed handler) with the thread in a
+    // consistent state.
+    util::audit::fail("lock_order_acyclic", __FILE__, __LINE__, message);
+  }
+  t_held.push_back(order_class);
+}
+
+void note_try_acquire(int order_class) { t_held.push_back(order_class); }
+
+void note_release(int order_class) {
+  // Innermost-first search: scoped locks release LIFO, but manual
+  // lock/unlock may not, so erase the last matching entry.
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (*it == order_class) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void assert_held(int order_class, const char* name) {
+  if (std::find(t_held.begin(), t_held.end(), order_class) == t_held.end()) {
+    util::audit::fail("mutex_held", __FILE__, __LINE__,
+                      std::string("AssertHeld: mutex \"") + name +
+                          "\" is not held by this thread");
+  }
+}
+
+}  // namespace olev::sync_internal

@@ -1,0 +1,208 @@
+// Capability-annotated synchronization layer: the ONLY approved mutex and
+// condition-variable surface outside this file (lint rule R6 rejects raw
+// std::mutex / std::condition_variable / std::lock_guard / std::unique_lock
+// everywhere else under src/ and tools/).
+//
+// Two independent walls ride on the wrappers:
+//
+//   Static (clang builds): every type carries the Clang Thread Safety
+//   Analysis capability attributes, and the top-level CMakeLists promotes
+//   -Wthread-safety -Wthread-safety-beta to errors whenever the compiler is
+//   clang.  Annotate shared state with OLEV_GUARDED_BY(mutex) and internal
+//   helpers with OLEV_REQUIRES(mutex) / OLEV_EXCLUDES(mutex) and the
+//   compiler proves, per translation unit, that no annotated field is
+//   touched without its capability.  On non-clang toolchains every macro
+//   expands to nothing and the wrappers compile to plain std::mutex
+//   semantics -- zero overhead, identical codegen.
+//
+//   Dynamic (-DOLEV_AUDIT=ON builds): a lockdep-style lock-order auditor.
+//   Mutexes are grouped into order classes by their constructor name; every
+//   acquisition records "held H while acquiring A" edges into a global
+//   order graph, and an edge that closes a cycle fires the runtime auditor
+//   (util/audit.h) with both offending acquisition chains' lock names --
+//   BEFORE the acquisition blocks, so a potential deadlock is reported even
+//   on interleavings that never actually deadlock.  Each inverted pair is
+//   reported at most once per process.  Non-audit builds compile the hooks
+//   out entirely (same contract as OLEV_AUDIT_CHECK).
+//
+// The negative-compilation suite (tests/compile_fail/cf_tsa_*.cc) pins that
+// the static analysis genuinely rejects unguarded access, missing REQUIRES,
+// double-acquire and release-without-acquire; tests/test_audit.cc pins the
+// lock-order auditor.  docs/ANALYSIS.md documents the capability table.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/audit.h"  // OLEV_AUDIT_ENABLED
+
+// ---- Clang Thread Safety Analysis attribute set ---------------------------
+// Spelled exactly as in the Clang docs (capability, guarded_by, ...) behind
+// an OLEV_ prefix; empty on every other compiler.
+#if defined(__clang__)
+#define OLEV_TSA_ATTR(x) __attribute__((x))
+#else
+#define OLEV_TSA_ATTR(x)  // no-op: gcc et al. see plain classes
+#endif
+
+#define OLEV_CAPABILITY(x) OLEV_TSA_ATTR(capability(x))
+#define OLEV_SCOPED_CAPABILITY OLEV_TSA_ATTR(scoped_lockable)
+#define OLEV_GUARDED_BY(x) OLEV_TSA_ATTR(guarded_by(x))
+#define OLEV_PT_GUARDED_BY(x) OLEV_TSA_ATTR(pt_guarded_by(x))
+#define OLEV_ACQUIRED_BEFORE(...) OLEV_TSA_ATTR(acquired_before(__VA_ARGS__))
+#define OLEV_ACQUIRED_AFTER(...) OLEV_TSA_ATTR(acquired_after(__VA_ARGS__))
+#define OLEV_REQUIRES(...) OLEV_TSA_ATTR(requires_capability(__VA_ARGS__))
+#define OLEV_ACQUIRE(...) OLEV_TSA_ATTR(acquire_capability(__VA_ARGS__))
+#define OLEV_RELEASE(...) OLEV_TSA_ATTR(release_capability(__VA_ARGS__))
+#define OLEV_TRY_ACQUIRE(...) OLEV_TSA_ATTR(try_acquire_capability(__VA_ARGS__))
+#define OLEV_EXCLUDES(...) OLEV_TSA_ATTR(locks_excluded(__VA_ARGS__))
+#define OLEV_ASSERT_CAPABILITY(...) OLEV_TSA_ATTR(assert_capability(__VA_ARGS__))
+#define OLEV_RETURN_CAPABILITY(x) OLEV_TSA_ATTR(lock_returned(x))
+#define OLEV_NO_THREAD_SAFETY_ANALYSIS OLEV_TSA_ATTR(no_thread_safety_analysis)
+
+namespace olev {
+
+namespace sync_internal {
+// Lock-order auditor hooks (util/sync.cc).  Always compiled -- the support
+// code links in every build flavor -- but only *called* from audit builds.
+// `register_class` dedupes by name: mutexes constructed with the same name
+// form one order class (lockdep semantics: ordering is a property of the
+// lock's role, not the instance, so a fresh per-request mutex still inherits
+// its class's history).
+int register_class(const char* name);
+/// Records held-while-acquiring edges and fires audit::fail on a cycle,
+/// before the caller blocks on the underlying mutex.
+void note_acquire(int order_class, const char* name);
+/// Pushes without recording edges: a try-lock never blocks, so it cannot
+/// deadlock on the way in, but everything acquired while it is held can.
+void note_try_acquire(int order_class);
+void note_release(int order_class);
+/// audit::fail unless the calling thread holds a mutex of this class.
+void assert_held(int order_class, const char* name);
+}  // namespace sync_internal
+
+/// Annotated std::mutex.  The `name` groups instances into a lock-order
+/// class for the runtime auditor and labels its diagnostics; pass a stable
+/// literal describing the role ("obs.tracer.lane"), not the instance.
+class OLEV_CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(const char* name = "olev.mutex")
+      : name_(name)
+#if OLEV_AUDIT_ENABLED
+        ,
+        order_class_(sync_internal::register_class(name))
+#endif
+  {
+  }
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() OLEV_ACQUIRE() {
+#if OLEV_AUDIT_ENABLED
+    sync_internal::note_acquire(order_class_, name_);
+    try {
+      native_.lock();
+    } catch (...) {
+      sync_internal::note_release(order_class_);
+      throw;
+    }
+#else
+    native_.lock();
+#endif
+  }
+
+  void unlock() OLEV_RELEASE() {
+    native_.unlock();
+#if OLEV_AUDIT_ENABLED
+    sync_internal::note_release(order_class_);
+#endif
+  }
+
+  bool try_lock() OLEV_TRY_ACQUIRE(true) {
+    const bool acquired = native_.try_lock();
+#if OLEV_AUDIT_ENABLED
+    if (acquired) sync_internal::note_try_acquire(order_class_);
+#endif
+    return acquired;
+  }
+
+  /// Tells the static analysis the capability is held (for code paths it
+  /// cannot follow, e.g. condition-variable wait predicates); in audit
+  /// builds additionally verifies it dynamically.
+  void AssertHeld() const OLEV_ASSERT_CAPABILITY() {
+#if OLEV_AUDIT_ENABLED
+    sync_internal::assert_held(order_class_, name_);
+#endif
+  }
+
+  const char* name() const { return name_; }
+
+  /// Underlying handle for CondVar; everything else goes through the
+  /// annotated surface.
+  std::mutex& native() { return native_; }
+
+ private:
+  std::mutex native_;
+  const char* name_;
+#if OLEV_AUDIT_ENABLED
+  int order_class_;
+#endif
+};
+
+/// RAII scoped acquisition (std::lock_guard semantics).  The scoped
+/// capability tells the analysis the mutex is held for the lexical scope.
+class OLEV_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) OLEV_ACQUIRE(mu) : mu_(mu) { mu.lock(); }
+  ~MutexLock() OLEV_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Annotated std::condition_variable.  wait() takes the Mutex itself (the
+/// caller keeps its MutexLock alive across the call): the wrapper adopts
+/// the already-held native handle, waits, and hands ownership back, so the
+/// caller's scoped lock and the analysis both stay consistent.  The
+/// lock-order auditor deliberately keeps the mutex on the held chain during
+/// the wait: the wait re-acquires the same mutex it released, which cannot
+/// introduce a new ordering edge.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) OLEV_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.native(), std::adopt_lock);
+    cv_.wait(native);
+    native.release();  // ownership stays with the caller's MutexLock
+  }
+
+  /// Waits until `pred()` holds.  The predicate runs with `mu` held but is
+  /// analyzed as a separate function: start it with `mu.AssertHeld()` when
+  /// it reads OLEV_GUARDED_BY state.
+  template <typename Pred>
+  void wait(Mutex& mu, Pred pred) OLEV_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.native(), std::adopt_lock);
+    try {
+      cv_.wait(native, std::move(pred));
+    } catch (...) {
+      native.release();  // a throwing predicate exits with the lock held
+      throw;
+    }
+    native.release();
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace olev

@@ -31,7 +31,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   wake_.notify_all();
@@ -45,7 +45,7 @@ void ThreadPool::enqueue(std::function<void()> job) {
   entry.enqueued_us = obs::now_micros();
 #endif
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(std::move(entry));
     OLEV_OBS_SET(queue_depth, static_cast<double>(queue_.size()));
   }
@@ -69,8 +69,11 @@ void ThreadPool::worker_loop(std::size_t index) {
     Job job;
     OLEV_OBS_ONLY(const std::int64_t wait_start = obs::now_micros();)
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      wake_.wait(mutex_, [this] {
+        mutex_.AssertHeld();  // predicates run with the mutex re-acquired
+        return stop_ || !queue_.empty();
+      });
       if (queue_.empty()) return;  // stop_ and drained
       job = std::move(queue_.front());
       queue_.pop_front();
@@ -106,11 +109,11 @@ void ThreadPool::parallel_for(std::size_t n,
   // queued tasks holding a reference to `body` after an enqueue failure
   // unwound the caller.)
   struct Control {
-    std::mutex mutex;
-    std::condition_variable done;
-    std::size_t remaining;
-    std::exception_ptr first_error;
-    std::size_t first_error_index;
+    Mutex mutex{"util.parallel_for.control"};
+    CondVar done;
+    std::size_t remaining OLEV_GUARDED_BY(mutex);
+    std::exception_ptr first_error OLEV_GUARDED_BY(mutex);
+    std::size_t first_error_index OLEV_GUARDED_BY(mutex);
     explicit Control(std::size_t n)
         : remaining(n), first_error_index(std::numeric_limits<std::size_t>::max()) {}
   };
@@ -126,7 +129,7 @@ void ThreadPool::parallel_for(std::size_t n,
         } catch (...) {
           error = std::current_exception();
         }
-        std::lock_guard<std::mutex> lock(control->mutex);
+        MutexLock lock(control->mutex);
         if (error && i < control->first_error_index) {
           control->first_error = error;
           control->first_error_index = i;
@@ -136,7 +139,7 @@ void ThreadPool::parallel_for(std::size_t n,
     } catch (...) {
       // Tasks i..n-1 never reached the queue; account for them so the wait
       // below terminates once the queued prefix drains.
-      std::lock_guard<std::mutex> lock(control->mutex);
+      MutexLock lock(control->mutex);
       control->remaining -= n - i;
       if (control->first_error_index > i) {
         control->first_error = std::current_exception();
@@ -149,8 +152,11 @@ void ThreadPool::parallel_for(std::size_t n,
 
   // Drain before rethrowing so no task outlives the call; the first error
   // *by index* wins, matching serial execution order.
-  std::unique_lock<std::mutex> lock(control->mutex);
-  control->done.wait(lock, [&] { return control->remaining == 0; });
+  MutexLock lock(control->mutex);
+  control->done.wait(control->mutex, [&control] {
+    control->mutex.AssertHeld();
+    return control->remaining == 0;
+  });
   if (control->first_error) std::rethrow_exception(control->first_error);
 }
 

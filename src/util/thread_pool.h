@@ -5,18 +5,18 @@
 // sizing.  Tasks must not block on other tasks submitted to the same pool.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace olev::util {
 
@@ -67,14 +67,16 @@ class ThreadPool {
     std::int64_t enqueued_us = 0;
   };
 
-  void enqueue(std::function<void()> job);
-  void worker_loop(std::size_t index);
+  void enqueue(std::function<void()> job) OLEV_EXCLUDES(mutex_);
+  void worker_loop(std::size_t index) OLEV_EXCLUDES(mutex_);
 
+  // Written only by the constructor and joined by the destructor; never
+  // touched from worker threads, so unguarded by design.
   std::vector<std::thread> workers_;
-  std::deque<Job> queue_;
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  bool stop_ = false;
+  Mutex mutex_{"util.thread_pool.queue"};
+  CondVar wake_;
+  std::deque<Job> queue_ OLEV_GUARDED_BY(mutex_);
+  bool stop_ OLEV_GUARDED_BY(mutex_) = false;
 };
 
 /// Resolved thread count for a user-facing "0 = auto" knob.

@@ -1,0 +1,38 @@
+// Positive control for the cf_tsa_* suite: the same header and flags with
+// correct capability discipline MUST compile clean under
+// -Wthread-safety -Wthread-safety-beta -Werror.  Guards against a broken
+// include path or a bogus annotation making every WILL_FAIL test
+// vacuously green.
+#include "util/sync.h"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(double amount) OLEV_EXCLUDES(mutex_) {
+    olev::MutexLock lock(mutex_);
+    add_locked(amount);
+  }
+  double peek() const OLEV_EXCLUDES(mutex_) {
+    olev::MutexLock lock(mutex_);
+    return balance_;
+  }
+
+ private:
+  void add_locked(double amount) OLEV_REQUIRES(mutex_) { balance_ += amount; }
+
+  mutable olev::Mutex mutex_{"cf.control"};
+  double balance_ OLEV_GUARDED_BY(mutex_) = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit(1.0);
+  olev::Mutex mutex("cf.control.plain");
+  mutex.lock();
+  mutex.AssertHeld();
+  mutex.unlock();
+  return static_cast<int>(account.peek());
+}

@@ -1,0 +1,13 @@
+// MUST NOT COMPILE (clang -Wthread-safety): acquiring a capability the
+// thread already holds.  std::mutex makes this undefined behavior at
+// runtime; the analysis rejects it statically.
+#include "util/sync.h"
+
+int main() {
+  olev::Mutex mutex("cf.double");
+  mutex.lock();
+  mutex.lock();  // already held
+  mutex.unlock();
+  mutex.unlock();
+  return 0;
+}

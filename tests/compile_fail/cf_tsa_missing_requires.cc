@@ -1,0 +1,26 @@
+// MUST NOT COMPILE (clang -Wthread-safety): calling a REQUIRES(mutex)
+// helper without the capability.  The annotation is the contract; the
+// analysis enforces that every caller actually holds the lock.
+#include "util/sync.h"
+
+namespace {
+
+class Queue {
+ public:
+  void push_locked(int v) OLEV_REQUIRES(mutex_) { size_ += v; }
+  void push(int v) {
+    push_locked(v);  // caller never acquired mutex_
+  }
+
+ private:
+  olev::Mutex mutex_{"cf.queue"};
+  int size_ OLEV_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Queue queue;
+  queue.push(1);
+  return 0;
+}

@@ -1,0 +1,9 @@
+// MUST NOT COMPILE (clang -Wthread-safety): releasing a capability the
+// thread does not hold (undefined behavior on std::mutex at runtime).
+#include "util/sync.h"
+
+int main() {
+  olev::Mutex mutex("cf.release");
+  mutex.unlock();  // never acquired
+  return 0;
+}

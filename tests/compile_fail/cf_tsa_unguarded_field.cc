@@ -1,0 +1,28 @@
+// MUST NOT COMPILE (clang -Wthread-safety): reading a GUARDED_BY field
+// without holding its mutex is a data race the analysis rejects.
+#include "util/sync.h"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(double amount) {
+    olev::MutexLock lock(mutex_);
+    balance_ += amount;
+  }
+  double peek() const {
+    return balance_;  // no capability on mutex_ held here
+  }
+
+ private:
+  mutable olev::Mutex mutex_{"cf.account"};
+  double balance_ OLEV_GUARDED_BY(mutex_) = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit(1.0);
+  return static_cast<int>(account.peek());
+}

@@ -12,11 +12,15 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 #include "core/cost.h"
 #include "core/game.h"
@@ -201,6 +205,49 @@ TEST(AuditDegenerate, GameWithZeroCapacityAndMaskedPlayers) {
   for (double payment : result.payments) EXPECT_GE(payment, 0.0);
 }
 
+// --- the annotated sync wrappers (util/sync.h), both flavors ---------------
+
+TEST(SyncWrappers, MutexLockAndCondVarHandshake) {
+  // Plain std::mutex semantics through the wrappers: a producer/consumer
+  // handshake must round-trip in every build flavor.
+  olev::Mutex mu("sync.test.handshake");
+  olev::CondVar cv;
+  int stage = 0;  // guarded by mu
+  std::thread consumer([&] {
+    olev::MutexLock lock(mu);
+    cv.wait(mu, [&] {
+      mu.AssertHeld();
+      return stage == 1;
+    });
+    stage = 2;
+    cv.notify_all();
+  });
+  {
+    olev::MutexLock lock(mu);
+    stage = 1;
+  }
+  cv.notify_all();
+  {
+    olev::MutexLock lock(mu);
+    cv.wait(mu, [&] {
+      mu.AssertHeld();
+      return stage == 2;
+    });
+  }
+  consumer.join();
+  EXPECT_EQ(stage, 2);
+}
+
+TEST(SyncWrappers, TryLockReportsContention) {
+  olev::Mutex mu("sync.test.trylock");
+  ASSERT_TRUE(mu.try_lock());
+  std::atomic<bool> contended{false};
+  std::thread prober([&] { contended.store(!mu.try_lock()); });
+  prober.join();
+  EXPECT_TRUE(contended.load());
+  mu.unlock();
+}
+
 // --- armed-build behavior: violations actually fire ------------------------
 
 #if OLEV_AUDIT_ENABLED
@@ -230,12 +277,151 @@ TEST(AuditArmed, NanLoadTripsTheEntryGuard) {
   audit::reset_firings();
 }
 
+// --- lock-order auditor: inverted acquisition orders are latent deadlocks --
+
+TEST(LockOrderAudit, InvertedAcquisitionOrderFiresExactlyOnce) {
+  audit::reset_firings();
+  static std::string seen;
+  seen.clear();
+  const audit::Handler previous =
+      audit::set_handler(+[](const std::string& message) { seen = message; });
+
+  olev::Mutex a("lockorder.test.inverted.A");
+  olev::Mutex b("lockorder.test.inverted.B");
+
+  // Thread 1 establishes the order A -> B and exits cleanly.
+  std::thread t1([&] {
+    olev::MutexLock la(a);
+    olev::MutexLock lb(b);
+  });
+  t1.join();
+
+  // Thread 2 inverts it.  Nothing ever blocks -- t1 is long gone -- but the
+  // ORDER B -> A closes a cycle in the acquisition graph, which is exactly
+  // the interleaving-independent deadlock signal lockdep exists for.
+  std::atomic<bool> fired{false};
+  std::thread t2([&] {
+    try {
+      olev::MutexLock lb(b);
+      olev::MutexLock la(a);  // cycle detected here, before acquiring
+    } catch (const audit::AuditFailure&) {
+      fired.store(true);
+    }
+  });
+  t2.join();
+  EXPECT_TRUE(fired.load());
+  EXPECT_EQ(audit::firings(), 1u);
+  // Both offending chains, by lock name, land in the report.
+  EXPECT_NE(seen.find("lockorder.test.inverted.A"), std::string::npos) << seen;
+  EXPECT_NE(seen.find("lockorder.test.inverted.B"), std::string::npos) << seen;
+  EXPECT_NE(seen.find("lock-order inversion"), std::string::npos) << seen;
+
+  // The same inverted pair again: reported at most once per process, and
+  // the (non-deadlocking) acquisition itself now proceeds normally.
+  std::thread t3([&] {
+    olev::MutexLock lb(b);
+    olev::MutexLock la(a);
+  });
+  t3.join();
+  EXPECT_EQ(audit::firings(), 1u);
+
+  audit::set_handler(previous);
+  audit::reset_firings();
+}
+
+TEST(LockOrderAudit, ConsistentOrderStaysSilent) {
+  audit::reset_firings();
+  olev::Mutex outer("lockorder.test.clean.outer");
+  olev::Mutex inner("lockorder.test.clean.inner");
+  // Many threads, always outer -> inner: an acyclic order never fires.
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&] {
+      for (int j = 0; j < 100; ++j) {
+        olev::MutexLock lo(outer);
+        olev::MutexLock li(inner);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(audit::firings(), 0u);
+}
+
+TEST(LockOrderAudit, TransitiveCycleIsDetected) {
+  audit::reset_firings();
+  static std::string seen;
+  seen.clear();
+  const audit::Handler previous =
+      audit::set_handler(+[](const std::string& message) { seen = message; });
+
+  olev::Mutex a("lockorder.test.chain.A");
+  olev::Mutex b("lockorder.test.chain.B");
+  olev::Mutex c("lockorder.test.chain.C");
+  std::thread t1([&] {
+    olev::MutexLock la(a);
+    olev::MutexLock lb(b);  // A -> B
+  });
+  t1.join();
+  std::thread t2([&] {
+    olev::MutexLock lb(b);
+    olev::MutexLock lc(c);  // B -> C
+  });
+  t2.join();
+  std::atomic<bool> fired{false};
+  std::thread t3([&] {
+    try {
+      olev::MutexLock lc(c);
+      olev::MutexLock la(a);  // C -> A closes A -> B -> C -> A
+    } catch (const audit::AuditFailure&) {
+      fired.store(true);
+    }
+  });
+  t3.join();
+  EXPECT_TRUE(fired.load());
+  EXPECT_EQ(audit::firings(), 1u);
+  audit::set_handler(previous);
+  audit::reset_firings();
+}
+
+TEST(LockOrderAudit, AssertHeldFiresWhenUnheld) {
+  audit::reset_firings();
+  olev::Mutex mu("lockorder.test.assert");
+  EXPECT_THROW(mu.AssertHeld(), audit::AuditFailure);
+  EXPECT_EQ(audit::firings(), 1u);
+  {
+    olev::MutexLock lock(mu);
+    mu.AssertHeld();  // silent while held
+  }
+  EXPECT_EQ(audit::firings(), 1u);
+  audit::reset_firings();
+}
+
 #else
 
 TEST(AuditDisarmed, CheckSitesCompileToNothing) {
   audit::reset_firings();
   OLEV_AUDIT_CHECK(false, "never evaluated");
   OLEV_AUDIT_FINITE(std::nan(""), "never evaluated");
+  EXPECT_EQ(audit::firings(), 0u);
+}
+
+TEST(AuditDisarmed, LockOrderTrackingCompilesToNothing) {
+  audit::reset_firings();
+  olev::Mutex a("lockorder.disarmed.A");
+  olev::Mutex b("lockorder.disarmed.B");
+  // Opposite orders on two (sequential, never-deadlocking) threads: without
+  // OLEV_AUDIT the order graph does not exist and nothing fires.
+  std::thread t1([&] {
+    olev::MutexLock la(a);
+    olev::MutexLock lb(b);
+  });
+  t1.join();
+  std::thread t2([&] {
+    olev::MutexLock lb(b);
+    olev::MutexLock la(a);
+  });
+  t2.join();
+  a.AssertHeld();  // dynamic assert is compiled out too
   EXPECT_EQ(audit::firings(), 0u);
 }
 

@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # Static-analysis wall over the whole library surface: src/core, src/util,
-# src/grid, src/traci, src/traffic, src/wpt, src/net, src/obs, src/svc.
+# src/grid, src/traci, src/traffic, src/wpt, src/net, src/obs, src/svc --
+# plus the operational binaries tools/olevd.cpp and tools/olev_loadgen.cpp,
+# which sit outside src/ but ship in the same deliverable.
 #
 #   tools/lint.sh [build-dir]
 #
 # Stage 1 is the domain linter (tools/olev_lint.py): the dimensional-
 # analysis contract -- no raw-double quantity parameters in public headers,
 # no exact float equality, [[nodiscard]] solver entry points, no raw
-# chrono-clock reads outside src/obs, no socket-API use outside src/svc --
+# chrono-clock reads outside src/obs, no socket-API use outside src/svc,
+# no raw std::mutex/condition_variable outside src/util/sync.h (R6) --
 # plus the trace-checker self-test
 # (tools/check_trace.py), so a dead validator cannot rubber-stamp traces.
 # Pure Python, runs everywhere.
@@ -44,8 +47,9 @@ mapfile -t sources < <(
   for dir in "${LINT_DIRS[@]}"; do
     find "$ROOT/$dir" -name '*.cc' | sort
   done
+  find "$ROOT/tools" -maxdepth 1 -name '*.cpp' | sort
 )
-echo "lint: ${#sources[@]} translation units across ${LINT_DIRS[*]}"
+echo "lint: ${#sources[@]} translation units across ${LINT_DIRS[*]} tools"
 
 if command -v clang-tidy > /dev/null 2>&1; then
   echo "lint: $(clang-tidy --version | head -n 1)"

@@ -48,6 +48,17 @@ that util/quantity.h makes checkable but cannot enforce by itself:
                           calls like `MessageBus::poll(` do not match: the
                           rule requires the `::` to be global scope.
 
+  R6 raw-sync             Raw standard-library synchronization primitives
+                          (std::mutex, std::condition_variable,
+                          std::lock_guard, std::unique_lock, ...) are
+                          forbidden everywhere except src/util/sync.h and
+                          sync.cc: every lock must be an olev::Mutex /
+                          olev::CondVar so it carries the Clang
+                          thread-safety capability annotations and feeds
+                          the lock-order auditor.  Sweeps src/** and the
+                          operational binaries in tools/*.cpp
+                          (docs/ANALYSIS.md "Thread-safety contract").
+
 Usage:
   tools/olev_lint.py [--root DIR]     lint the tree (exit 1 on findings)
   tools/olev_lint.py --self-test      prove each rule fires on a seeded
@@ -124,6 +135,17 @@ R5_TOKEN = re.compile(
     r"\b(sockaddr(?:_in6?|_un|_storage)?|AF_INET6?|AF_UNIX|SOCK_STREAM"
     r"|SOCK_DGRAM|MSG_NOSIGNAL|MSG_DONTWAIT|INADDR_\w+|pollfd|nfds_t"
     r"|epoll_event)\b"
+)
+
+# R6: the capability-annotated wrappers in src/util/sync.h are the only
+# approved synchronization primitives; the wrapper itself (and its lockdep
+# implementation, which needs a raw mutex for the order graph) is exempt.
+SYNC_EXEMPT = {"src/util/sync.h", "src/util/sync.cc"}
+R6_SYNC = re.compile(
+    r"\bstd\s*::\s*(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex"
+    r"|shared_mutex|shared_timed_mutex|condition_variable"
+    r"|condition_variable_any|lock_guard|unique_lock|scoped_lock"
+    r"|shared_lock)\b"
 )
 
 COMMENT = re.compile(r"//.*$")
@@ -229,6 +251,28 @@ def lint_raw_sockets(path: str, text: str) -> list[Finding]:
     return findings
 
 
+def lint_raw_sync(path: str, text: str) -> list[Finding]:
+    if path in SYNC_EXEMPT:
+        return []  # the capability wrapper (and its lockdep graph) itself
+    findings = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        code = strip_comment(line)
+        match = R6_SYNC.search(code)
+        if match:
+            findings.append(
+                Finding(
+                    "raw-sync",
+                    path,
+                    number,
+                    f"raw 'std::{match.group(1)}'; use olev::Mutex / "
+                    "olev::CondVar / olev::MutexLock (src/util/sync.h) so "
+                    "the lock carries capability annotations and feeds the "
+                    "lock-order auditor",
+                )
+            )
+    return findings
+
+
 def lint_nodiscard_solvers(path: str, text: str) -> list[Finding]:
     names = ENTRY_POINTS.get(path)
     if not names:
@@ -264,25 +308,30 @@ def lint_nodiscard_solvers(path: str, text: str) -> list[Finding]:
 
 def collect_files(
     root: pathlib.Path,
-) -> tuple[list[pathlib.Path], list[pathlib.Path], list[pathlib.Path]]:
+) -> tuple[
+    list[pathlib.Path], list[pathlib.Path], list[pathlib.Path], list[pathlib.Path]
+]:
     headers, sources = [], []
     for directory in HEADER_DIRS:
         headers.extend(sorted((root / directory).glob("*.h")))
     for directory in SOURCE_DIRS:
         sources.extend(sorted((root / directory).glob("*.h")))
         sources.extend(sorted((root / directory).glob("*.cc")))
-    # R5 sweeps everything under src/ recursively (exemption applied per
+    # R5/R6 sweep everything under src/ recursively (exemptions applied per
     # file inside the rule, so the count below reflects the true sweep).
     swept = sorted(
         p
         for suffix in ("*.h", "*.cc")
         for p in (root / "src").rglob(suffix)
     )
-    return headers, sources, swept
+    # R6 additionally covers the operational binaries (olevd, olev_loadgen):
+    # a raw std::mutex there would bypass the lock-order auditor too.
+    tools = sorted((root / "tools").glob("*.cpp"))
+    return headers, sources, swept, tools
 
 
 def run_lint(root: pathlib.Path) -> list[Finding]:
-    headers, sources, swept = collect_files(root)
+    headers, sources, swept, tools = collect_files(root)
     findings: list[Finding] = []
     for header in headers:
         rel = header.relative_to(root).as_posix()
@@ -297,7 +346,12 @@ def run_lint(root: pathlib.Path) -> list[Finding]:
             findings.extend(lint_raw_clock(rel, text))
     for source in swept:
         rel = source.relative_to(root).as_posix()
-        findings.extend(lint_raw_sockets(rel, source.read_text()))
+        text = source.read_text()
+        findings.extend(lint_raw_sockets(rel, text))
+        findings.extend(lint_raw_sync(rel, text))
+    for source in tools:
+        rel = source.relative_to(root).as_posix()
+        findings.extend(lint_raw_sync(rel, source.read_text()))
     return findings
 
 
@@ -420,6 +474,54 @@ SELF_TESTS = [
         False,  # the serving layer is the one exempt directory
     ),
     (
+        lint_raw_sync,
+        "src/core/fake.cc",
+        "static std::mutex cache_mutex;\n",
+        True,
+    ),
+    (
+        lint_raw_sync,
+        "src/obs/fake.cc",
+        "std::lock_guard<std::mutex> lock(mutex_);\n",
+        True,
+    ),
+    (
+        lint_raw_sync,
+        "tools/olevd.cpp",
+        "std::unique_lock<std::mutex> lock(mu);\n",
+        True,
+    ),
+    (
+        lint_raw_sync,
+        "src/util/fake.cc",
+        "std::condition_variable ready;\n",
+        True,
+    ),
+    (
+        lint_raw_sync,
+        "src/util/thread_pool.cc",
+        "olev::MutexLock lock(mutex_);\n",
+        False,  # the approved wrapper
+    ),
+    (
+        lint_raw_sync,
+        "src/util/sync.h",
+        "std::mutex native_;\n",
+        False,  # the wrapper itself is the one exempt place
+    ),
+    (
+        lint_raw_sync,
+        "src/util/sync.cc",
+        "std::lock_guard<std::mutex> graph_lock(g.mu);\n",
+        False,  # lockdep's own order-graph lock
+    ),
+    (
+        lint_raw_sync,
+        "src/core/fake.cc",
+        "// std::mutex was rejected in review; see util/sync.h\n",
+        False,  # comments don't count
+    ),
+    (
         lint_nodiscard_solvers,
         "src/core/central.h",
         "CentralResult maximize_welfare(std::span<const double> p_max);\n",
@@ -465,11 +567,11 @@ def main() -> int:
     if findings:
         print(f"olev_lint: {len(findings)} finding(s)", file=sys.stderr)
         return 1
-    headers, sources, swept = collect_files(root)
+    headers, sources, swept, tools = collect_files(root)
     print(
         f"olev_lint: clean ({len(headers)} public headers, "
         f"{len(sources)} files swept for float equality, "
-        f"{len(swept)} for raw sockets)"
+        f"{len(swept)} for raw sockets/sync, {len(tools)} tool binaries)"
     )
     return 0
 

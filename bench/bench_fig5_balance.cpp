@@ -41,19 +41,19 @@ core::ScenarioSpec make_spec(double velocity_mph, core::PricingKind pricing) {
 
 int main() {
   std::vector<core::ScenarioSpec> specs;
-  for (double velocity : {60.0, 80.0}) {
-    specs.push_back(make_spec(velocity, core::PricingKind::kNonlinear));
-    specs.push_back(make_spec(velocity, core::PricingKind::kLinear));
+  for (const int velocity_mph : {60, 80}) {
+    specs.push_back(make_spec(velocity_mph, core::PricingKind::kNonlinear));
+    specs.push_back(make_spec(velocity_mph, core::PricingKind::kLinear));
   }
   const auto results = core::run_sweep(specs);
 
   std::size_t at = 0;
-  for (double velocity : {60.0, 80.0}) {
+  for (const int velocity_mph : {60, 80}) {
     const core::GameResult& nonlinear = results[at++].result;
     const core::GameResult& linear = results[at++].result;
 
-    std::cout << "=== Fig. " << (velocity == 60.0 ? 5 : 6)
-              << "(c): per-section total power after 1000 updates, " << velocity
+    std::cout << "=== Fig. " << (velocity_mph == 60 ? 5 : 6)
+              << "(c): per-section total power after 1000 updates, " << velocity_mph
               << " mph (every 10th section) ===\n";
     util::Table table({"section", "nonlinear_kW", "linear_kW"});
     for (std::size_t c = 0; c < 100; c += 10) {
@@ -62,7 +62,7 @@ int main() {
                              linear.schedule.column_total(c)},
                             2);
     }
-    bench::emit(table, "fig5c_balance_" + std::to_string(static_cast<int>(velocity)) + "mph");
+    bench::emit(table, "fig5c_balance_" + std::to_string(velocity_mph) + "mph");
 
     const auto nl_loads = nonlinear.schedule.column_totals();
     const auto lin_loads = linear.schedule.column_totals();

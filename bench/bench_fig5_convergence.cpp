@@ -84,19 +84,19 @@ std::size_t settle_point(const std::vector<double>& curve) {
 int main() {
   constexpr std::size_t kOlevs[] = {30, 40, 50};
   std::vector<core::ScenarioSpec> specs;
-  for (double velocity : {60.0, 80.0}) {
+  for (const int velocity_mph : {60, 80}) {
     for (std::size_t olevs : kOlevs) {
       for (std::size_t run = 0; run < kRuns; ++run) {
-        specs.push_back(make_spec(velocity, olevs, run));
+        specs.push_back(make_spec(velocity_mph, olevs, run));
       }
     }
   }
   const auto results = core::run_sweep(specs);
 
   std::size_t block = 0;
-  for (double velocity : {60.0, 80.0}) {
-    std::cout << "=== Fig. " << (velocity == 60.0 ? 5 : 6)
-              << "(d): congestion degree vs. #updates, " << velocity
+  for (const int velocity_mph : {60, 80}) {
+    std::cout << "=== Fig. " << (velocity_mph == 60 ? 5 : 6)
+              << "(d): congestion degree vs. #updates, " << velocity_mph
               << " mph (mean of " << kRuns << " runs, target 0.9) ===\n";
     const auto n30 = mean_curve(results, block);
     const auto n40 = mean_curve(results, block + kRuns);
@@ -108,7 +108,7 @@ int main() {
                              n50[u - 1]},
                             3);
     }
-    bench::emit(table, "fig5d_convergence_" + std::to_string(static_cast<int>(velocity)) + "mph");
+    bench::emit(table, "fig5d_convergence_" + std::to_string(velocity_mph) + "mph");
     std::cout << "settle point (updates to within 5% of final): N=30: "
               << settle_point(n30) << ", N=40: " << settle_point(n40)
               << ", N=50: " << settle_point(n50) << "\n\n";

@@ -46,19 +46,19 @@ core::ScenarioSpec make_spec(double velocity_mph, core::PricingKind pricing,
 int main() {
   // Grid order: velocity-major, then degree, then (nonlinear, linear).
   std::vector<core::ScenarioSpec> specs;
-  for (double velocity : {60.0, 80.0}) {
+  for (const int velocity_mph : {60, 80}) {
     for (int step = 1; step <= 9; ++step) {
       const double degree = 0.1 * step;
-      specs.push_back(make_spec(velocity, core::PricingKind::kNonlinear, degree));
-      specs.push_back(make_spec(velocity, core::PricingKind::kLinear, degree));
+      specs.push_back(make_spec(velocity_mph, core::PricingKind::kNonlinear, degree));
+      specs.push_back(make_spec(velocity_mph, core::PricingKind::kLinear, degree));
     }
   }
   const auto results = core::run_sweep(specs);
 
   std::size_t at = 0;
-  for (double velocity : {60.0, 80.0}) {
-    std::cout << "=== Fig. " << (velocity == 60.0 ? 5 : 6)
-              << "(a): payment vs. congestion degree, " << velocity
+  for (const int velocity_mph : {60, 80}) {
+    std::cout << "=== Fig. " << (velocity_mph == 60 ? 5 : 6)
+              << "(a): payment vs. congestion degree, " << velocity_mph
               << " mph (beta = 16 $/MWh) ===\n";
     util::Table table({"desired_degree", "nonlinear_$per_MWh",
                        "linear_$per_MWh", "achieved_degree_nl",
@@ -73,7 +73,7 @@ int main() {
                              nonlinear.result.schedule.total()},
                             2);
     }
-    bench::emit(table, "fig5a_payment_" + std::to_string(static_cast<int>(velocity)) + "mph");
+    bench::emit(table, "fig5a_payment_" + std::to_string(velocity_mph) + "mph");
     std::cout << '\n';
   }
   std::cout << "shape check: nonlinear payment must rise with the congestion\n"

@@ -43,19 +43,19 @@ int main() {
   constexpr std::size_t kOlevs[] = {30, 40, 50};
 
   std::vector<core::ScenarioSpec> specs;
-  for (double velocity : {60.0, 80.0}) {
+  for (const int velocity_mph : {60, 80}) {
     for (std::size_t sections : kSections) {
       for (std::size_t olevs : kOlevs) {
-        specs.push_back(make_spec(velocity, olevs, sections));
+        specs.push_back(make_spec(velocity_mph, olevs, sections));
       }
     }
   }
   const auto results = core::run_sweep(specs);
 
   std::size_t at = 0;
-  for (double velocity : {60.0, 80.0}) {
-    std::cout << "=== Fig. " << (velocity == 60.0 ? 5 : 6)
-              << "(b): social welfare vs. #charging sections, " << velocity
+  for (const int velocity_mph : {60, 80}) {
+    std::cout << "=== Fig. " << (velocity_mph == 60 ? 5 : 6)
+              << "(b): social welfare vs. #charging sections, " << velocity_mph
               << " mph ===\n";
     util::Table table({"sections", "N=30", "N=40", "N=50"});
     for (std::size_t sections : kSections) {
@@ -64,7 +64,7 @@ int main() {
       const double n50 = results[at++].result.welfare;
       table.add_row_numeric({static_cast<double>(sections), n30, n40, n50}, 2);
     }
-    bench::emit(table, "fig5b_welfare_" + std::to_string(static_cast<int>(velocity)) + "mph");
+    bench::emit(table, "fig5b_welfare_" + std::to_string(velocity_mph) + "mph");
     std::cout << '\n';
   }
   std::cout << "shape check: each column increases down the table (more\n"

@@ -48,6 +48,27 @@ struct BestResponseOptions {
                                          Kilowatts p_max,
                                          const BestResponseOptions& options = {});
 
+/// Allocation-free result of best_response_into: everything BestResponse
+/// carries except the row, which the caller owns.
+struct BestResponseScalars {
+  double p_star = 0.0;
+  double level = 0.0;           ///< lambda* at p_star
+  double payment = 0.0;
+  double utility = 0.0;
+  int active_sections = 0;
+  int iterations = 0;
+  BestResponse::Case kind = BestResponse::Case::kInterior;
+};
+
+/// Real-time core of the solver (util/hot.h): writes the row allocation at
+/// p* into `row` (length must equal others_load.size()) and never touches
+/// the allocator.  The SortedLoads overload of best_response delegates here,
+/// so results are bit-identical.
+[[nodiscard]] OLEV_HOT BestResponseScalars best_response_into(
+    const Satisfaction& u, const SectionCost& z,
+    const SortedLoads& others_load, Kilowatts p_max, std::span<double> row,
+    const BestResponseOptions& options = {});
+
 /// F'_n(p): marginal utility of requesting one more unit of power.
 [[nodiscard]] double utility_derivative(const Satisfaction& u, const SectionCost& z,
                                         std::span<const double> others_load,

@@ -4,7 +4,31 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/hot.h"
+
 namespace olev::core {
+
+// Real-time wall manifest: every concrete cost evaluation reachable from a
+// hot best-response / engine quote is rooted, so the subtrees behind the
+// sanctioned virtual dispatch sites below are checked independently.
+OLEV_HOT_ROOT("olev::core::NonlinearPricing::value");
+OLEV_HOT_ROOT("olev::core::NonlinearPricing::derivative");
+OLEV_HOT_ROOT("olev::core::LinearPricing::value");
+OLEV_HOT_ROOT("olev::core::LinearPricing::derivative");
+OLEV_HOT_ROOT("olev::core::OverloadCost::value");
+OLEV_HOT_ROOT("olev::core::OverloadCost::derivative");
+OLEV_HOT_ROOT("olev::core::SectionCost::value");
+OLEV_HOT_ROOT("olev::core::SectionCost::derivative");
+OLEV_HOT_ROOT("olev::core::SectionCost::derivative_inverse");
+OLEV_RT_VCALL_OK("olev::core::SectionCost::value",
+                 "CostPolicy::value dispatch; every override is a registered "
+                 "hot root");
+OLEV_RT_VCALL_OK("olev::core::SectionCost::derivative",
+                 "CostPolicy::derivative dispatch; every override is a "
+                 "registered hot root");
+OLEV_RT_VCALL_OK("olev::core::SectionCost::derivative_inverse",
+                 "CostPolicy dispatch via strictly_convex()/derivative(); "
+                 "every override is a registered hot root");
 
 NonlinearPricing::NonlinearPricing(double beta, double alpha, double p_ref)
     : beta_(beta), alpha_(alpha), p_ref_(p_ref) {
@@ -76,7 +100,7 @@ double SectionCost::derivative(double x) const {
 
 double SectionCost::derivative_inverse(double marginal) const {
   if (!strictly_convex()) {
-    throw std::logic_error(
+    util::hot_fail_logic_error(
         "SectionCost::derivative_inverse: Z' is constant under linear pricing "
         "with no overload cost; the water level is not identified");
   }

@@ -7,9 +7,39 @@
 #include "core/payment.h"
 #include "obs/obs.h"
 #include "util/audit.h"
+#include "util/hot.h"
 #include "util/rng.h"
 
 namespace olev::core {
+
+// Real-time wall manifest (tools/olev_rtcheck.py).  update_player / step are
+// the per-vehicle serving quantum: everything below them runs out of the
+// pre-sized arenas.  The two vcall allowances cover satisfaction / pricing
+// dispatch whose concrete overrides are themselves registered hot roots
+// (core/satisfaction.cc, core/cost.cc).
+OLEV_HOT_ROOT("olev::core::Game::update_player");
+OLEV_HOT_ROOT("olev::core::Game::step");
+OLEV_RT_VCALL_OK("olev::core::Game::commit_row",
+                 "Satisfaction::value dispatch; every override is a "
+                 "registered hot root");
+OLEV_RT_VCALL_OK("olev::core::Game::update_greedy",
+                 "Satisfaction/CostPolicy dispatch; every override is a "
+                 "registered hot root");
+
+#if OLEV_OBS_ENABLED
+namespace {
+// Eagerly-bound obs handles: a function-local static would put
+// __cxa_guard_acquire and the registry lock on the hot path.
+obs::Counter& g_obs_cache_hits =
+    obs::Registry::instance().counter("core.game.response_cache_hits");
+obs::Counter& g_obs_recomputes =
+    obs::Registry::instance().counter("core.game.response_recomputes");
+obs::Counter& g_obs_section_reuses =
+    obs::Registry::instance().counter("core.game.section_cost_reuses");
+obs::Counter& g_obs_section_refreshes =
+    obs::Registry::instance().counter("core.game.section_cost_refreshes");
+}  // namespace
+#endif
 
 Game::Game(std::vector<PlayerSpec> players, SectionCost cost,
            std::size_t sections, util::Kilowatts p_line, GameConfig config)
@@ -58,19 +88,24 @@ void Game::rebuild_caches() {
     row_totals_[n] = schedule_.row_total(n);
     sat_values_[n] = players_[n].satisfaction->value(row_totals_[n]);
   }
-  last_b_.assign(players_.size(), {});
+  last_b_.assign(players_.size(), std::vector<double>(sections_, 0.0));
   has_last_b_.assign(players_.size(), false);
   last_p_star_.assign(players_.size(), 0.0);
+  // Hot-path arenas: sized once here so update_player never allocates.
+  scratch_others_.assign(sections_, 0.0);
+  scratch_row_.assign(sections_, 0.0);
+  scratch_subset_.assign(sections_, 0.0);
+  scratch_positions_.assign(sections_, 0);
+  scratch_subrow_.assign(sections_, 0.0);
+  scratch_sorted_.reserve(sections_);
   caches_ = CacheCounters{};
 }
 
-std::vector<double> Game::others_load(std::size_t player) const {
-  std::vector<double> others = column_totals_;
+void Game::others_load_into(std::size_t player, std::span<double> out) const {
   const auto own = schedule_.row(player);
   for (std::size_t c = 0; c < sections_; ++c) {
-    others[c] = std::max(0.0, others[c] - own[c]);
+    out[c] = std::max(0.0, column_totals_[c] - own[c]);
   }
-  return others;
 }
 
 void Game::commit_row(std::size_t player, std::span<const double> others,
@@ -96,10 +131,8 @@ void Game::commit_row(std::size_t player, std::span<const double> others,
   }
   caches_.section_cost_reuses += reuses;
   caches_.section_cost_refreshes += refreshes;
-  OLEV_OBS_COUNTER(obs_reuses, "core.game.section_cost_reuses");
-  OLEV_OBS_COUNTER(obs_refreshes, "core.game.section_cost_refreshes");
-  OLEV_OBS_ADD(obs_reuses, reuses);
-  OLEV_OBS_ADD(obs_refreshes, refreshes);
+  OLEV_OBS_ONLY(g_obs_section_reuses.add(reuses);
+                g_obs_section_refreshes.add(refreshes);)
   if (row_total != row_totals_[player]) {
     row_totals_[player] = row_total;
     sat_values_[player] = players_[player].satisfaction->value(row_total);
@@ -141,15 +174,16 @@ void Game::commit_row(std::size_t player, std::span<const double> others,
 }
 
 double Game::update_waterfill(std::size_t player,
-                              const std::vector<double>& others) {
+                              std::span<const double> others) {
   const double previous = row_totals_[player];
   const auto& mask = players_[player].allowed_sections;
 
   if (mask.empty()) {
-    const SortedLoads sorted(others);
-    const BestResponse response =
-        best_response(*players_[player].satisfaction, cost_, sorted,
-                      players_[player].p_max);
+    scratch_sorted_.reassign(others);
+    std::span<double> row{scratch_row_.data(), sections_};
+    const BestResponseScalars response =
+        best_response_into(*players_[player].satisfaction, cost_,
+                           scratch_sorted_, players_[player].p_max, row);
     // Eq. 8-9: the externality payment of a non-negative allocation against
     // a nondecreasing Z is non-negative (VCG individual rationality).
     OLEV_AUDIT_FINITE(response.payment, "update_waterfill: payment");
@@ -162,40 +196,41 @@ double Game::update_waterfill(std::size_t player,
                      "update_waterfill: best response " +
                          std::to_string(response.p_star) +
                          " outside [0, p_max]");
-    commit_row(player, others, response.allocation.row);
+    commit_row(player, others, row);
     last_p_star_[player] = response.p_star;
     return std::abs(response.p_star - previous);
   }
 
   // Path-restricted player: the best response lives on the admissible
   // subset of sections (Lemma IV.1/IV.3 verbatim on the subvector of b).
-  std::vector<double> subset;
-  std::vector<std::size_t> positions;
+  std::size_t admissible = 0;
   for (std::size_t c = 0; c < sections_; ++c) {
     if (mask[c]) {
-      subset.push_back(others[c]);
-      positions.push_back(c);
+      scratch_subset_[admissible] = others[c];
+      scratch_positions_[admissible] = c;
+      ++admissible;
     }
   }
-  std::vector<double> row(sections_, 0.0);
+  for (std::size_t c = 0; c < sections_; ++c) scratch_row_[c] = 0.0;
   double p_star = 0.0;
-  if (!positions.empty()) {
-    const SortedLoads sorted(subset);
-    const BestResponse response =
-        best_response(*players_[player].satisfaction, cost_, sorted,
-                      players_[player].p_max);
+  if (admissible > 0) {
+    scratch_sorted_.reassign({scratch_subset_.data(), admissible});
+    std::span<double> subrow{scratch_subrow_.data(), admissible};
+    const BestResponseScalars response =
+        best_response_into(*players_[player].satisfaction, cost_,
+                           scratch_sorted_, players_[player].p_max, subrow);
     p_star = response.p_star;
-    for (std::size_t i = 0; i < positions.size(); ++i) {
-      row[positions[i]] = response.allocation.row[i];
+    for (std::size_t i = 0; i < admissible; ++i) {
+      scratch_row_[scratch_positions_[i]] = subrow[i];
     }
   }
-  commit_row(player, others, row);
+  commit_row(player, others, scratch_row_);
   last_p_star_[player] = p_star;
   return std::abs(p_star - previous);
 }
 
 double Game::update_greedy(std::size_t player,
-                           const std::vector<double>& others) {
+                           std::span<const double> others) {
   // Linear-pricing baseline.  Psi_n(p) = beta * p regardless of the split,
   // so the scalar best response solves U'(p) = beta directly; the grid then
   // fills sections in index order up to the safety cap (no balancing
@@ -227,44 +262,52 @@ double Game::update_greedy(std::size_t player,
   // forward, with no attempt to balance across sections.
   const std::size_t offset = static_cast<std::size_t>(
       util::derive_seed(config_.seed, player) % sections_);
-  std::vector<double> row(sections_, 0.0);
+  for (std::size_t c = 0; c < sections_; ++c) scratch_row_[c] = 0.0;
   double remaining = p_star;
   for (std::size_t k = 0; k < sections_ && remaining > 0.0; ++k) {
     const std::size_t c = (offset + k) % sections_;
     const double room = std::max(0.0, cost_.cap_kw() - others[c]);
     const double take = std::min(room, remaining);
-    row[c] = take;
+    scratch_row_[c] = take;
     remaining -= take;
   }
   // Demand beyond all caps spills onto the entry section (the baseline has
   // no congestion disincentive; overload simply happens).
-  if (remaining > 0.0) row[offset] += remaining;
+  if (remaining > 0.0) scratch_row_[offset] += remaining;
 
   const double previous = row_totals_[player];
-  commit_row(player, others, row);
+  commit_row(player, others, scratch_row_);
   last_p_star_[player] = p_star;
   return std::abs(p_star - previous);
 }
 
 double Game::update_player(std::size_t player) {
-  if (player >= players_.size()) throw std::out_of_range("Game::update_player");
-  std::vector<double> others = others_load(player);
+  // Bounds check precedes the hot region: constructing the exception is
+  // itself an allocation, sanctioned only through the cold-fail funnel.
+  if (player >= players_.size()) {
+    util::hot_fail_out_of_range("Game::update_player");
+  }
+  OLEV_HOT_REGION("core.game.update");
+  std::span<double> others{scratch_others_.data(), sections_};
+  others_load_into(player, others);
   // Both schedulers are deterministic functions of b (and fixed player
   // parameters): if b is unchanged since this player's last solve, its row
-  // is already its best response -- skip the solve entirely.
-  OLEV_OBS_COUNTER(obs_hits, "core.game.response_cache_hits");
-  OLEV_OBS_COUNTER(obs_recomputes, "core.game.response_recomputes");
-  if (has_last_b_[player] && others == last_b_[player]) {
+  // is already its best response -- skip the solve entirely.  last_b_ rows
+  // are pre-sized to C, so the comparison and the refresh below never
+  // allocate.
+  std::vector<double>& last_b = last_b_[player];
+  if (has_last_b_[player] &&
+      std::equal(others.begin(), others.end(), last_b.begin())) {
     ++caches_.response_cache_hits;
-    OLEV_OBS_ADD(obs_hits, 1);
+    OLEV_OBS_ONLY(g_obs_cache_hits.add(1);)
     return std::abs(last_p_star_[player] - row_totals_[player]);
   }
   ++caches_.response_recomputes;
-  OLEV_OBS_ADD(obs_recomputes, 1);
+  OLEV_OBS_ONLY(g_obs_recomputes.add(1);)
   const double delta = config_.scheduler == SchedulerKind::kWaterFilling
                            ? update_waterfill(player, others)
                            : update_greedy(player, others);
-  last_b_[player] = std::move(others);
+  std::copy(others.begin(), others.end(), last_b.begin());
   has_last_b_[player] = true;
   return delta;
 }

@@ -126,10 +126,12 @@ class Game {
   double p_line_kw() const { return p_line_kw_; }
 
   /// Performs one asynchronous update for `player`; returns |delta p_n|.
-  double update_player(std::size_t player);
+  /// Real-time hot root (util/hot.h): after construction, updates never
+  /// touch the allocator -- all working storage lives in pre-sized arenas.
+  OLEV_HOT double update_player(std::size_t player);
 
   /// Performs one update for the next player per the configured order.
-  double step();
+  OLEV_HOT double step();
 
   /// Runs to convergence (or max_updates); resets the schedule first unless
   /// `warm_start`.
@@ -143,15 +145,16 @@ class Game {
   const CacheCounters& cache_counters() const { return caches_; }
 
  private:
-  /// b for `player`: cached column totals minus the player's own row.
-  std::vector<double> others_load(std::size_t player) const;
+  /// b for `player`: cached column totals minus the player's own row,
+  /// written into `out` (length C).  Never allocates.
+  void others_load_into(std::size_t player, std::span<double> out) const;
   /// Writes the new row and refreshes the cached column totals, per-section
   /// cost values, row totals and satisfaction values -- all by delta, only
   /// for the sections whose load actually changed.
   void commit_row(std::size_t player, std::span<const double> others,
                   std::span<const double> row);
-  double update_waterfill(std::size_t player, const std::vector<double>& others);
-  double update_greedy(std::size_t player, const std::vector<double>& others);
+  double update_waterfill(std::size_t player, std::span<const double> others);
+  double update_greedy(std::size_t player, std::span<const double> others);
   std::size_t pick_player();
   /// (Re)derives every cached aggregate from the current schedule.
   void rebuild_caches();
@@ -172,6 +175,14 @@ class Game {
   std::vector<std::vector<double>> last_b_;  ///< b at each player's last solve
   std::vector<bool> has_last_b_;
   std::vector<double> last_p_star_;   ///< p_n* from each player's last solve
+  // --- pre-sized hot-path arenas (rebuild_caches sizes them; update_player
+  // --- and everything below it never allocate) ---
+  std::vector<double> scratch_others_;        ///< b of the updating player
+  std::vector<double> scratch_row_;           ///< full-width row being built
+  std::vector<double> scratch_subset_;        ///< masked b subvector
+  std::vector<std::size_t> scratch_positions_;  ///< masked section indices
+  std::vector<double> scratch_subrow_;        ///< masked row subvector
+  SortedLoads scratch_sorted_;                ///< reserved to C sections
   CacheCounters caches_;
   util::Rng rng_;
   std::size_t cursor_ = 0;  // round-robin position

@@ -7,8 +7,22 @@
 #include "core/payment.h"
 #include "obs/obs.h"
 #include "util/audit.h"
+#include "util/hot.h"
 
 namespace olev::core {
+
+// Real-time wall manifest: the per-iteration field kernel.  run() itself
+// stays cold (it builds the result vectors); the loop body's work happens
+// inside these three.
+OLEV_HOT_ROOT("olev::core::MeanFieldGame::aggregate_response");
+OLEV_HOT_ROOT("olev::core::MeanFieldGame::level_for_total");
+OLEV_HOT_ROOT("olev::core::MeanFieldGame::welfare_at");
+OLEV_RT_VCALL_OK("olev::core::MeanFieldGame::aggregate_response",
+                 "Satisfaction::derivative_inverse dispatch; every override "
+                 "is a registered hot root");
+OLEV_RT_VCALL_OK("olev::core::MeanFieldGame::welfare_at",
+                 "Satisfaction dispatch; every override is a registered hot "
+                 "root");
 
 FieldHistogram field_histogram(std::span<const double> loads,
                                std::size_t buckets) {
@@ -94,9 +108,11 @@ MeanFieldGame::MeanFieldGame(std::vector<PlayerSpec> players, SectionCost cost,
     }
   }
   sorted_background_ = SortedLoads(background_);
+  scratch_fill_row_.assign(sections_, 0.0);
 }
 
 double MeanFieldGame::aggregate_response(double marginal) const {
+  OLEV_HOT_REGION("core.meanfield.aggregate_response");
   double total = 0.0;
   if (marginal <= 0.0) {
     // A vanishing marginal price saturates every player at its cap.
@@ -132,6 +148,7 @@ std::vector<double> MeanFieldGame::field_at(double total) const {
 }
 
 double MeanFieldGame::welfare_at(double total, double* responded_total) const {
+  OLEV_HOT_REGION("core.meanfield.welfare_at");
   const double rho = cost_.derivative(level_for_total(total));
   double responded = 0.0;
   double satisfaction = 0.0;
@@ -151,10 +168,13 @@ double MeanFieldGame::welfare_at(double total, double* responded_total) const {
     grid_cost = static_cast<double>(sections_) *
                 (cost_.value(level) - cost_.value(0.0));
   } else {
-    const WaterFillResult fill = sorted_background_.fill(util::kw(responded));
+    // fill_into reproduces fill()'s arithmetic bit-for-bit against the
+    // pre-sized arena, keeping this kernel allocation-free.
+    sorted_background_.fill_into(util::kw(responded),
+                                 {scratch_fill_row_.data(), sections_});
     for (std::size_t c = 0; c < sections_; ++c) {
-      grid_cost +=
-          cost_.value(background_[c] + fill.row[c]) - cost_.value(background_[c]);
+      grid_cost += cost_.value(background_[c] + scratch_fill_row_[c]) -
+                   cost_.value(background_[c]);
     }
   }
   return satisfaction - grid_cost;

@@ -132,14 +132,18 @@ class MeanFieldGame {
   [[nodiscard]] GameResult to_game_result(const MeanFieldResult& result) const;
 
  private:
+  // The three helpers below are the per-iteration kernel and are hot roots
+  // of the real-time wall (util/hot.h): one field iteration is a handful of
+  // calls to them, and none may touch the allocator.
   /// sum_n clamp((U_n')^{-1}(marginal), 0, p_max_n).  Strictly decreasing
   /// in `marginal`; one O(1) solve per player.
-  double aggregate_response(double marginal) const;
+  OLEV_HOT double aggregate_response(double marginal) const;
   /// Water level of aggregate demand `total` against the background.
-  double level_for_total(double total) const;
+  OLEV_HOT double level_for_total(double total) const;
   /// Welfare of the profile "every player best-responds to rho(total)":
   /// sum U_n(p_n) - sum_c [Z(L_c) - Z(background_c)] at the implied field.
-  double welfare_at(double total, double* responded_total = nullptr) const;
+  OLEV_HOT double welfare_at(double total,
+                             double* responded_total = nullptr) const;
   /// Field (incl. background) implied by aggregate OLEV demand `total`.
   std::vector<double> field_at(double total) const;
 
@@ -150,6 +154,9 @@ class MeanFieldGame {
   MeanFieldConfig config_;
   std::vector<double> background_;   ///< per-section, zeros when not given
   SortedLoads sorted_background_;
+  /// Pre-sized arena for welfare_at's non-flat water-fill (hot, mutable so
+  /// the const kernel can reuse it; MeanFieldGame is not thread-safe).
+  mutable std::vector<double> scratch_fill_row_;
   bool flat_background_ = true;      ///< all-zero background fast path
 };
 

@@ -1,21 +1,35 @@
 #include "core/payment.h"
 
-#include <stdexcept>
 #include <string>
 
 #include "obs/obs.h"
 #include "util/audit.h"
+#include "util/hot.h"
 
 namespace olev::core {
+
+// Real-time wall manifest: the externality charge of Eq. 9 runs on every
+// hot best-response and engine quote.  The payment_* helpers are not rooted
+// by name (the span overloads legitimately allocate); the SortedLoads
+// overloads are covered through best_response_into's traversal instead.
+OLEV_HOT_ROOT("olev::core::externality_payment");
+
+#if OLEV_OBS_ENABLED
+namespace {
+// Eager handle: a function-local static would put __cxa_guard_acquire and
+// the registry lock on the hot path.
+obs::Counter& g_obs_evaluations =
+    obs::Registry::instance().counter("core.payment.evaluations");
+}  // namespace
+#endif
 
 double externality_payment(const SectionCost& z,
                            std::span<const double> others_load,
                            std::span<const double> row) {
   if (others_load.size() != row.size()) {
-    throw std::invalid_argument("externality_payment: length mismatch");
+    util::hot_fail_invalid_argument("externality_payment: length mismatch");
   }
-  OLEV_OBS_COUNTER(obs_evaluations, "core.payment.evaluations");
-  OLEV_OBS_ADD(obs_evaluations, 1);
+  OLEV_OBS_ONLY(g_obs_evaluations.add(1);)
   double payment = 0.0;
   for (std::size_t c = 0; c < row.size(); ++c) {
     OLEV_AUDIT_FINITE(others_load[c], "externality_payment: b[" +

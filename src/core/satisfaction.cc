@@ -4,11 +4,32 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/hot.h"
+
 namespace olev::core {
+
+// Real-time wall manifest: every satisfaction evaluation dispatched from a
+// hot best-response / mean-field aggregate is rooted.  The closed forms
+// below only touch allowed libm leaves (log1p, sqrt); the base-class
+// bisection fallback dispatches back through derivative(), hence the vcall
+// allowance.
+OLEV_HOT_ROOT("olev::core::Satisfaction::derivative_inverse");
+OLEV_HOT_ROOT("olev::core::LogSatisfaction::value");
+OLEV_HOT_ROOT("olev::core::LogSatisfaction::derivative");
+OLEV_HOT_ROOT("olev::core::LogSatisfaction::derivative_inverse");
+OLEV_HOT_ROOT("olev::core::SqrtSatisfaction::value");
+OLEV_HOT_ROOT("olev::core::SqrtSatisfaction::derivative");
+OLEV_HOT_ROOT("olev::core::SqrtSatisfaction::derivative_inverse");
+OLEV_HOT_ROOT("olev::core::QuadraticSatisfaction::value");
+OLEV_HOT_ROOT("olev::core::QuadraticSatisfaction::derivative");
+OLEV_HOT_ROOT("olev::core::QuadraticSatisfaction::derivative_inverse");
+OLEV_RT_VCALL_OK("olev::core::Satisfaction::derivative_inverse",
+                 "bisection fallback dispatches derivative(); every override "
+                 "is a registered hot root");
 
 double Satisfaction::derivative_inverse(double marginal) const {
   if (!(marginal > 0.0)) {
-    throw std::invalid_argument(
+    util::hot_fail_invalid_argument(
         "Satisfaction::derivative_inverse: marginal must be positive");
   }
   if (derivative(0.0) <= marginal) return 0.0;
@@ -49,7 +70,7 @@ double LogSatisfaction::derivative(double p) const {
 
 double LogSatisfaction::derivative_inverse(double marginal) const {
   if (!(marginal > 0.0)) {
-    throw std::invalid_argument(
+    util::hot_fail_invalid_argument(
         "LogSatisfaction::derivative_inverse: marginal must be positive");
   }
   // w / (s + p) = m  =>  p = w/m - s, clamped at 0 when U'(0) <= m.
@@ -75,7 +96,7 @@ double SqrtSatisfaction::derivative(double p) const {
 
 double SqrtSatisfaction::derivative_inverse(double marginal) const {
   if (!(marginal > 0.0)) {
-    throw std::invalid_argument(
+    util::hot_fail_invalid_argument(
         "SqrtSatisfaction::derivative_inverse: marginal must be positive");
   }
   // w / (2 sqrt(1 + p)) = m  =>  p = (w / (2m))^2 - 1.
@@ -105,7 +126,7 @@ double QuadraticSatisfaction::derivative(double p) const {
 
 double QuadraticSatisfaction::derivative_inverse(double marginal) const {
   if (!(marginal > 0.0)) {
-    throw std::invalid_argument(
+    util::hot_fail_invalid_argument(
         "QuadraticSatisfaction::derivative_inverse: marginal must be positive");
   }
   // w (1 - p/cap) = m  =>  p = cap (1 - m/w); satiation bounds it by cap.

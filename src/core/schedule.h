@@ -7,6 +7,8 @@
 #include <span>
 #include <vector>
 
+#include "util/hot.h"
+
 namespace olev::core {
 
 class PowerSchedule {
@@ -20,8 +22,8 @@ class PowerSchedule {
   double at(std::size_t n, std::size_t c) const { return data_[n * sections_ + c]; }
   void set(std::size_t n, std::size_t c, double v) { data_[n * sections_ + c] = v; }
 
-  std::span<const double> row(std::size_t n) const;
-  void set_row(std::size_t n, std::span<const double> values);
+  OLEV_HOT std::span<const double> row(std::size_t n) const;
+  OLEV_HOT void set_row(std::size_t n, std::span<const double> values);
   void zero_row(std::size_t n);
 
   /// p_n = sum_c p[n][c].
@@ -33,6 +35,11 @@ class PowerSchedule {
   /// Column totals excluding row n -- the b_c = sum_{j != n} p[j][c] vector
   /// every best response is computed against.
   std::vector<double> column_totals_excluding(std::size_t n) const;
+  /// Same, written into a caller buffer of length C (util/hot.h: hot, never
+  /// allocates).  Bit-identical to the allocating variant: same per-column
+  /// fold over rows, same subtraction, same non-negativity clamp.
+  OLEV_HOT void column_totals_excluding_into(std::size_t n,
+                                             std::span<double> out) const;
 
   /// max_{n,c} |a - b| between two equally-shaped schedules.
   double max_abs_diff(const PowerSchedule& other) const;

@@ -8,8 +8,18 @@
 #include "core/cost.h"
 #include "obs/obs.h"
 #include "util/audit.h"
+#include "util/hot.h"
 
 namespace olev::core {
+
+// Real-time wall manifest (tools/olev_rtcheck.py): the repeated-query
+// members of SortedLoads and the volume evaluator are the allocation-free
+// water-filling kernel the serving path leans on.
+OLEV_HOT_ROOT("olev::core::SortedLoads::reassign");
+OLEV_HOT_ROOT("olev::core::SortedLoads::update_one");
+OLEV_HOT_ROOT("olev::core::SortedLoads::level_for");
+OLEV_HOT_ROOT("olev::core::SortedLoads::fill_into");
+OLEV_HOT_ROOT("olev::core::water_fill_volume");
 
 namespace {
 
@@ -20,9 +30,12 @@ namespace {
 // loaded sections sit exactly at the level, untouched sections at or above
 // it.  `tol` is relative (see audit::close); the exact solver passes 1e-9,
 // the bisection solvers pass a band derived from their own tolerance.
+// Opens a HotBypass: the checks below format strings, and fill_into runs
+// them inside armed hot regions in audit builds.
 void audit_fill(std::span<const double> others_load, double total,
-                const std::vector<double>& row, double level, double tol,
+                std::span<const double> row, double level, double tol,
                 const char* who) {
+  const util::audit::HotBypass hot_bypass;
   namespace audit = util::audit;
   OLEV_AUDIT_FINITE(total, who);
   OLEV_AUDIT_FINITE(level, who);
@@ -79,12 +92,13 @@ namespace {
 // is a convex combination of level_k and b_(k), hence <= b_(k) <= b_(k+1)),
 // so the smallest valid k is found by binary search.  `prefix[k]` must be the
 // fold-left sum of sorted[0..k) so every caller computes the identical level.
-double level_from_sorted(const std::vector<double>& sorted,
-                         const std::vector<double>& prefix, double total) {
+// Pointer-based so SortedLoads can pass its reserved (over-sized) buffers.
+double level_from_sorted(const double* sorted, const double* prefix,
+                         std::size_t count, double total) {
   std::size_t lo = 1;
-  std::size_t hi = sorted.size();
+  std::size_t hi = count;
   while (lo < hi) {
-    const std::size_t mid = lo + (hi - lo) / 2;  // mid < sorted.size()
+    const std::size_t mid = lo + (hi - lo) / 2;  // mid < count
     const double level = (total + prefix[mid]) / static_cast<double>(mid);
     if (level <= sorted[mid]) {
       hi = mid;
@@ -114,64 +128,112 @@ SortedLoads::SortedLoads(std::span<const double> others_load) {
   assign(others_load);
 }
 
+void SortedLoads::reserve(std::size_t cap) {
+  if (cap > values_.size()) {
+    values_.resize(cap);
+    sorted_.resize(cap);
+  }
+  if (prefix_.size() < cap + 1) prefix_.resize(cap + 1);
+}
+
 void SortedLoads::assign(std::span<const double> others_load) {
-  values_.assign(others_load.begin(), others_load.end());
-  sorted_ = values_;
-  std::sort(sorted_.begin(), sorted_.end());
-  prefix_.resize(values_.size() + 1);
+  reserve(others_load.size());
+  reassign(others_load);
+}
+
+void SortedLoads::reassign(std::span<const double> others_load) {
+  if (others_load.size() > values_.size()) {
+    util::hot_fail_invalid_argument(
+        "SortedLoads::reassign: b exceeds the reserved capacity");
+  }
+  size_ = others_load.size();
+  std::copy(others_load.begin(), others_load.end(), values_.begin());
+  std::copy(others_load.begin(), others_load.end(), sorted_.begin());
+  std::sort(sorted_.begin(), sorted_.begin() + static_cast<std::ptrdiff_t>(size_));
   rebuild_prefix(0);
 }
 
 void SortedLoads::rebuild_prefix(std::size_t from) {
   prefix_[0] = 0.0;
-  for (std::size_t k = std::max<std::size_t>(from, 1); k <= sorted_.size(); ++k) {
+  for (std::size_t k = std::max<std::size_t>(from, 1); k <= size_; ++k) {
     prefix_[k] = prefix_[k - 1] + sorted_[k - 1];
   }
 }
 
 void SortedLoads::update_one(std::size_t index, double new_value) {
-  if (index >= values_.size()) {
-    throw std::out_of_range("SortedLoads::update_one");
+  if (index >= size_) {
+    util::hot_fail_out_of_range("SortedLoads::update_one");
   }
   const double old_value = values_[index];
   if (old_value == new_value) return;
   values_[index] = new_value;
-  // Remove one copy of the old value and insert the new one; equal doubles
-  // are interchangeable, so which duplicate is erased does not matter.
-  const auto erase_at =
-      std::lower_bound(sorted_.begin(), sorted_.end(), old_value);
-  const std::size_t erased = static_cast<std::size_t>(erase_at - sorted_.begin());
-  sorted_.erase(erase_at);
-  const auto insert_at =
-      std::lower_bound(sorted_.begin(), sorted_.end(), new_value);
-  const std::size_t inserted =
-      static_cast<std::size_t>(insert_at - sorted_.begin());
-  sorted_.insert(insert_at, new_value);
-  rebuild_prefix(std::min(erased, inserted));
+  // Remove one copy of the old value and re-insert the new one by shifting
+  // the run between the two sorted positions -- the in-place equivalent of
+  // vector erase + insert (equal doubles are interchangeable, so which
+  // duplicate moves does not matter; the resulting array and prefix sums
+  // are element-for-element identical).
+  double* const first = sorted_.data();
+  double* const last = first + size_;
+  const std::size_t erased = static_cast<std::size_t>(
+      std::lower_bound(first, last, old_value) - first);
+  if (new_value > old_value) {
+    std::size_t i = erased;
+    while (i + 1 < size_ && first[i + 1] < new_value) {
+      first[i] = first[i + 1];
+      ++i;
+    }
+    first[i] = new_value;
+    rebuild_prefix(erased);
+  } else {
+    std::size_t i = erased;
+    while (i > 0 && first[i - 1] > new_value) {
+      first[i] = first[i - 1];
+      --i;
+    }
+    first[i] = new_value;
+    rebuild_prefix(i);
+  }
 }
 
 double SortedLoads::level_for(Kilowatts total_kw) const {
   const double total = total_kw.value();
-  if (values_.empty()) {
-    throw std::invalid_argument("SortedLoads: need at least one section");
+  if (size_ == 0) {
+    util::hot_fail_invalid_argument("SortedLoads: need at least one section");
   }
-  if (total < 0.0) throw std::invalid_argument("SortedLoads: negative total");
-  if (total == 0.0) return sorted_.front();
-  return level_from_sorted(sorted_, prefix_, total);
+  if (total < 0.0) {
+    util::hot_fail_invalid_argument("SortedLoads: negative total");
+  }
+  if (total == 0.0) return sorted_[0];
+  return level_from_sorted(sorted_.data(), prefix_.data(), size_, total);
+}
+
+double SortedLoads::fill_into(Kilowatts total_kw, std::span<double> row,
+                              int* active_sections) const {
+  const double total = total_kw.value();
+  if (row.size() != size_) {
+    util::hot_fail_invalid_argument("SortedLoads::fill_into: row length mismatch");
+  }
+  const double level = level_for(total_kw);
+  int active = 0;
+  if (total == 0.0) {
+    for (std::size_t c = 0; c < size_; ++c) row[c] = 0.0;
+  } else {
+    for (std::size_t c = 0; c < size_; ++c) {
+      const double fill = std::max(0.0, level - values_[c]);
+      row[c] = fill;
+      if (fill > 0.0) ++active;
+    }
+    OLEV_AUDIT_ONLY(audit_fill(values(), total, row, level, 1e-9,
+                               "SortedLoads::fill");)
+  }
+  if (active_sections != nullptr) *active_sections = active;
+  return level;
 }
 
 WaterFillResult SortedLoads::fill(Kilowatts total_kw) const {
-  const double total = total_kw.value();
-  const double level = level_for(total_kw);
-  if (total == 0.0) {
-    WaterFillResult result;
-    result.level = level;
-    result.row.assign(values_.size(), 0.0);
-    return result;
-  }
-  WaterFillResult result = fill_at_level(values_, level);
-  OLEV_AUDIT_ONLY(audit_fill(values_, total, result.row, result.level, 1e-9,
-                             "SortedLoads::fill");)
+  WaterFillResult result;
+  result.row.resize(size_);
+  result.level = fill_into(total_kw, result.row, &result.active_sections);
   return result;
 }
 
@@ -196,8 +258,9 @@ WaterFillResult water_fill(std::span<const double> others_load,
   for (std::size_t k = 1; k <= sorted.size(); ++k) {
     prefix[k] = prefix[k - 1] + sorted[k - 1];
   }
-  WaterFillResult result =
-      fill_at_level(others_load, level_from_sorted(sorted, prefix, total));
+  WaterFillResult result = fill_at_level(
+      others_load,
+      level_from_sorted(sorted.data(), prefix.data(), sorted.size(), total));
   OLEV_AUDIT_ONLY(
       audit_fill(others_load, total, result.row, result.level, 1e-9,
                  "water_fill");)

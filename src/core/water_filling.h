@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "util/hot.h"
 #include "util/quantity.h"
 
 namespace olev::core {
@@ -44,8 +45,9 @@ struct WaterFillResult {
                                                 double tolerance = 1e-10);
 
 /// Y(x) = sum_c [x - b_c]^+, the strictly increasing function of Eq. (24).
-[[nodiscard]] double water_fill_volume(std::span<const double> others_load,
-                                       Kilowatts level);
+/// Hot (util/hot.h): pure fold over b, never allocates.
+[[nodiscard]] OLEV_HOT double water_fill_volume(
+    std::span<const double> others_load, Kilowatts level);
 
 /// Masked variant: water-fills `total` over only the sections with
 /// mask[c] == true (the sections on the OLEV's planned path -- Section
@@ -65,39 +67,60 @@ struct WaterFillResult {
 /// query O(C log C).  SortedLoads sorts once, keeps fold-left prefix sums of
 /// the sorted loads, and answers
 ///   - level_for(total) in O(log C)  (binary search over the active count),
-///   - fill(total)      in O(C)      (one pass, no sort),
-///   - update_one(...)  in O(C)      (memmove instead of a full re-sort when
-///                                    a single entry of b moved).
-/// All three reproduce water_fill()'s arithmetic exactly -- same fold-left
+///   - fill_into(...)   in O(C)      (one pass into a caller buffer, no
+///                                    allocation),
+///   - update_one(...)  in O(C)      (in-place shift instead of a full
+///                                    re-sort when a single entry of b moved).
+/// All of them reproduce water_fill()'s arithmetic exactly -- same fold-left
 /// summation order, same level formula -- so results are bit-identical to
 /// the one-shot solver (property-tested).
+///
+/// Real-time discipline (util/hot.h): the query/update members are hot roots
+/// of the static allocation wall.  Storage is sized by the cold members
+/// (assign / reserve); reassign and update_one then run against the reserved
+/// capacity without touching the allocator.
 class SortedLoads {
  public:
   SortedLoads() = default;
   explicit SortedLoads(std::span<const double> others_load);
 
-  /// Re-seeds from a fresh b.  O(C log C).
+  /// Re-seeds from a fresh b, growing storage as needed.  Cold: may
+  /// allocate.  O(C log C).
   void assign(std::span<const double> others_load);
+  /// Pre-sizes storage for up to `cap` sections without changing the
+  /// logical contents.  Cold: may allocate.
+  void reserve(std::size_t cap);
+  /// Re-seeds from a fresh b within previously reserved storage.  Hot: never
+  /// allocates; fails (cold throw) if b exceeds the reserved capacity.
+  void reassign(std::span<const double> others_load);
   /// Replaces b[index] with new_value, repositioning it in the sorted order
-  /// without a full sort.  O(C) worst case (one erase + one insert).
-  void update_one(std::size_t index, double new_value);
+  /// with an in-place shift.  Hot: never allocates.  O(C) worst case.
+  OLEV_HOT void update_one(std::size_t index, double new_value);
 
-  std::size_t size() const { return values_.size(); }
-  bool empty() const { return values_.empty(); }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
   /// b in its original section order.
-  const std::vector<double>& values() const { return values_; }
+  std::span<const double> values() const { return {values_.data(), size_}; }
 
   /// lambda* for the given total; bit-identical to water_fill().level.
-  [[nodiscard]] double level_for(Kilowatts total) const;
-  /// Full allocation at `total`; bit-identical to water_fill().
+  [[nodiscard]] OLEV_HOT double level_for(Kilowatts total) const;
+  /// Full allocation at `total`; bit-identical to water_fill().  Cold
+  /// convenience wrapper around fill_into (the result row allocates).
   [[nodiscard]] WaterFillResult fill(Kilowatts total) const;
+  /// Writes the allocation at `total` into `row` (length must equal size())
+  /// and returns lambda*.  Bit-identical to fill().  Hot: never allocates.
+  OLEV_HOT double fill_into(Kilowatts total, std::span<double> row,
+                            int* active_sections = nullptr) const;
 
  private:
   void rebuild_prefix(std::size_t from);
 
+  // Physical capacity is values_.size() (== sorted_.size(), and
+  // prefix_.size() == capacity + 1); the live prefix is [0, size_).
   std::vector<double> values_;  ///< original order
   std::vector<double> sorted_;  ///< ascending
   std::vector<double> prefix_;  ///< prefix_[k] = fold-left sum of sorted_[0..k)
+  std::size_t size_ = 0;
 };
 
 /// Generalized water-filling for *heterogeneous* sections.

@@ -7,8 +7,11 @@
 
 #include "core/payment.h"
 #include "core/water_filling.h"
+#include "util/hot.h"
 
 namespace olev::svc {
+
+OLEV_HOT_ROOT("olev::svc::PricingEngine::apply");
 
 PricingEngine::PricingEngine(core::SectionCost cost, EngineConfig config)
     : cost_(std::move(cost)),
@@ -23,6 +26,12 @@ PricingEngine::PricingEngine(core::SectionCost cost, EngineConfig config)
   } else if (caps_.size() != config_.players) {
     throw std::invalid_argument("PricingEngine: caps_kw size != players");
   }
+  // Size the apply() arenas once: after this constructor returns, the
+  // serve path never touches the allocator (enforced by tools/olev_rtcheck.py
+  // and, in audit builds, by the operator-new interposer).
+  scratch_applied_.row.assign(config_.sections, 0.0);
+  scratch_others_.assign(config_.sections, 0.0);
+  scratch_sorted_.reserve(config_.sections);
 }
 
 std::vector<double> PricingEngine::others_load(std::size_t player) const {
@@ -34,46 +43,48 @@ std::vector<double> PricingEngine::others_load(std::size_t player) const {
   return schedule_.column_totals_excluding(player);
 }
 
-PricingEngine::Applied PricingEngine::apply_exact(std::size_t player,
-                                                  double admitted) {
+void PricingEngine::apply_exact(std::size_t player, double admitted) {
   // Mirror of SmartGrid::handle (src/core/distributed.cc): the service's
   // bit-identity contract with the in-process driver depends on this exact
-  // call sequence.
-  const auto others = schedule_.column_totals_excluding(player);
-  core::WaterFillResult allocation =
-      core::water_fill(others, util::kw(admitted));
-  schedule_.set_row(player, allocation.row);
-
-  Applied applied;
-  applied.payment = core::externality_payment(cost_, others, allocation.row);
-  applied.row = std::move(allocation.row);
-  return applied;
+  // arithmetic.  SortedLoads::fill_into is property-tested bit-identical to
+  // water_fill's row (tests/test_water_filling.cc), so swapping the
+  // allocating call for the arena fill preserves the contract pinned by
+  // tests/test_svc.cc.
+  schedule_.column_totals_excluding_into(player, scratch_others_);
+  scratch_sorted_.reassign(scratch_others_);
+  scratch_sorted_.fill_into(util::kw(admitted), scratch_applied_.row);
+  schedule_.set_row(player, scratch_applied_.row);
+  scratch_applied_.payment =
+      core::externality_payment(cost_, scratch_others_, scratch_applied_.row);
 }
 
-PricingEngine::Applied PricingEngine::apply_mean_field(std::size_t player,
-                                                       double admitted) {
+void PricingEngine::apply_mean_field(std::size_t player, double admitted) {
   // The aggregate-field update (core/mean_field.h): the player's row is its
   // flat share of the field and the payment is the flat-field externality.
   // No per-player exclusion scan -- O(C) regardless of how many players the
   // schedule carries.
   total_load_kw_ += admitted - schedule_.row_total(player);
   const double sections = static_cast<double>(schedule_.sections());
-  Applied applied;
-  applied.row.assign(schedule_.sections(), admitted / sections);
-  schedule_.set_row(player, applied.row);
-  applied.payment =
+  const double share = admitted / sections;
+  for (double& cell : scratch_applied_.row) {
+    cell = share;
+  }
+  schedule_.set_row(player, scratch_applied_.row);
+  scratch_applied_.payment =
       sections * (cost_.value(total_load_kw_ / sections) -
                   cost_.value((total_load_kw_ - admitted) / sections));
-  return applied;
 }
 
-PricingEngine::Applied PricingEngine::apply(std::size_t player,
-                                            double total_kw) {
+const PricingEngine::Applied& PricingEngine::apply(std::size_t player,
+                                                   double total_kw) {
+  OLEV_HOT_REGION("svc.engine.apply");
   const double previous = schedule_.row_total(player);
   const double admitted = std::clamp(total_kw, 0.0, caps_[player]);
-  Applied applied = config_.mode == EngineMode::kMeanField
-                        ? apply_mean_field(player, admitted)
-                        : apply_exact(player, admitted);
+  if (config_.mode == EngineMode::kMeanField) {
+    apply_mean_field(player, admitted);
+  } else {
+    apply_exact(player, admitted);
+  }
 
   cycle_max_delta_ = std::max(cycle_max_delta_,
                               std::abs(schedule_.row_total(player) - previous));
@@ -85,7 +96,7 @@ PricingEngine::Applied PricingEngine::apply(std::size_t player,
       cycle_max_delta_ = 0.0;
     }
   }
-  return applied;
+  return scratch_applied_;
 }
 
 }  // namespace olev::svc

@@ -21,6 +21,8 @@
 
 #include "core/cost.h"
 #include "core/schedule.h"
+#include "core/water_filling.h"
+#include "util/hot.h"
 
 namespace olev::svc {
 
@@ -58,8 +60,10 @@ class PricingEngine {
 
   /// One player update: clamp, water-fill, commit, charge.  `player` must be
   /// < players() and `total_kw` finite (the service validates before
-  /// calling).
-  Applied apply(std::size_t player, double total_kw);
+  /// calling).  Real-time hot root (util/hot.h): the returned reference
+  /// points at a pre-sized member arena, valid until the next apply() --
+  /// after construction, updates never touch the allocator.
+  OLEV_HOT const Applied& apply(std::size_t player, double total_kw);
 
   /// b for `player` under the current schedule -- the payment-function
   /// announcement of Section IV-D.  In mean-field mode this is the flat
@@ -80,13 +84,18 @@ class PricingEngine {
   std::size_t cursor() const { return updates_ % schedule_.players(); }
 
  private:
-  Applied apply_exact(std::size_t player, double admitted);
-  Applied apply_mean_field(std::size_t player, double admitted);
+  /// Both fill scratch_applied_ in place; apply() hands out the reference.
+  void apply_exact(std::size_t player, double admitted);
+  void apply_mean_field(std::size_t player, double admitted);
 
   core::SectionCost cost_;
   EngineConfig config_;
   core::PowerSchedule schedule_;
   std::vector<double> caps_;
+  // --- pre-sized hot-path arenas (sized once in the constructor) ---
+  Applied scratch_applied_;          ///< row pre-sized to C
+  std::vector<double> scratch_others_;  ///< b of the updating player
+  core::SortedLoads scratch_sorted_;    ///< reserved to C sections
   std::size_t updates_ = 0;
   double cycle_max_delta_ = 0.0;
   bool converged_ = false;

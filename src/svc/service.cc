@@ -280,7 +280,7 @@ void PricingService::run_batch(std::int64_t now_us) {
       }
       continue;
     }
-    const PricingEngine::Applied applied =
+    const PricingEngine::Applied& applied =
         engine_.apply(entry.player, entry.total_kw);
     ++stats_.requests_served;
     OLEV_OBS_COUNTER(served, "svc.requests.served");

@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <exception>
+#include <new>
 #include <sstream>
+#include <string>
 
 namespace olev::util::audit {
 
@@ -11,6 +15,102 @@ namespace {
 
 std::atomic<std::size_t> g_firings{0};
 std::atomic<Handler> g_handler{nullptr};
+
+// --- hot-region state (see HotRegion in audit.h / OLEV_HOT_REGION) ---------
+//
+// Depth and the violation latch are thread-local: a hot region only
+// constrains its own thread, and a worker allocating in cold code must not
+// trip a region on another thread.  The violation total is global so tests
+// and reports can scrape one number.
+thread_local std::size_t t_hot_depth = 0;
+thread_local const char* t_hot_name = nullptr;
+// Latched on the first violation in a region: reporting allocates (fail()
+// formats a message, the in-flight AuditFailure unwinds through frames that
+// free their locals), and those secondary events must not re-fire.  Cleared
+// when the outermost region exits.
+thread_local bool t_hot_suppress = false;
+// The noexcept allocator entry points (operator delete, nothrow operator
+// new) cannot throw at the violation site; events are counted here and
+// reported by the outermost HotRegion destructor instead.
+thread_local std::size_t t_hot_deferred_events = 0;
+// HotBypass nesting depth: > 0 means the interposer ignores this thread.
+thread_local std::size_t t_hot_bypass = 0;
+std::atomic<std::size_t> g_hot_violations{0};
+
+}  // namespace
+
+HotRegion::HotRegion(const char* name) noexcept
+    : name_(name), uncaught_at_entry_(std::uncaught_exceptions()) {
+  if (t_hot_depth++ == 0) t_hot_name = name;
+}
+
+HotRegion::~HotRegion() noexcept(false) {
+  if (--t_hot_depth != 0) return;
+  const bool poisoned = t_hot_suppress;
+  const std::size_t deferred = t_hot_deferred_events;
+  t_hot_name = nullptr;
+  t_hot_suppress = false;
+  t_hot_deferred_events = 0;
+  // Report deferred events only when this is the first violation of the
+  // region (an allocation already threw otherwise) and no other exception
+  // is unwinding through us.
+  if (deferred > 0 && !poisoned &&
+      std::uncaught_exceptions() <= uncaught_at_entry_) {
+    t_hot_suppress = true;  // fail() itself allocates; restored below
+    struct Restore {
+      ~Restore() { t_hot_suppress = false; }
+    } restore;
+    fail("hot_region_free", __FILE__, __LINE__,
+         "noexcept allocator entry points (operator delete / nothrow "
+         "operator new) ran " +
+             std::to_string(deferred) + " time(s) inside hot region '" +
+             (name_ != nullptr ? name_ : "?") + "'");
+  }
+}
+
+HotBypass::HotBypass() noexcept { ++t_hot_bypass; }
+
+HotBypass::~HotBypass() { --t_hot_bypass; }
+
+std::size_t hot_region_depth() { return t_hot_depth; }
+
+const char* hot_region_name() { return t_hot_name; }
+
+std::size_t hot_alloc_violations() {
+  return g_hot_violations.load(std::memory_order_relaxed);
+}
+
+void reset_hot_alloc_violations() {
+  g_hot_violations.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+// Called from every replaced operator new.  Outside a region (or while a
+// violation is already being reported) it is a single thread-local check.
+[[maybe_unused]] void check_hot_alloc(std::size_t size) {
+  if (t_hot_depth == 0 || t_hot_suppress || t_hot_bypass != 0) return;
+  g_hot_violations.fetch_add(1, std::memory_order_relaxed);
+  t_hot_suppress = true;
+  fail("hot_region_alloc", __FILE__, __LINE__,
+       "operator new(" + std::to_string(size) + ") inside hot region '" +
+           (t_hot_name != nullptr ? t_hot_name : "?") + "'");
+}
+
+// Noexcept entry points (delete, nothrow new): count and defer to the
+// region destructor.
+[[maybe_unused]] void note_hot_noexcept_event() {
+  if (t_hot_depth == 0 || t_hot_suppress || t_hot_bypass != 0) return;
+  g_hot_violations.fetch_add(1, std::memory_order_relaxed);
+  ++t_hot_deferred_events;
+}
+
+[[maybe_unused]] void* interposed_alloc(std::size_t size,
+                                        std::size_t align) noexcept {
+  return align <= alignof(std::max_align_t)
+             ? std::malloc(size != 0 ? size : 1)
+             : std::aligned_alloc(align, (size + align - 1) / align * align);
+}
 
 }  // namespace
 
@@ -42,3 +142,92 @@ void fail(const char* invariant, const char* file, int line,
 }
 
 }  // namespace olev::util::audit
+
+#if OLEV_RT_INTERPOSER_ENABLED
+
+// Global new/delete interposition: the dynamic leg of the real-time wall
+// (docs/ANALYSIS.md).  Every allocation in an audit build funnels through
+// these; the hot-region check is one thread-local load when no region is
+// active.  operator delete and the nothrow news are noexcept, so their
+// violations are deferred to the HotRegion destructor (see audit.h).
+
+namespace audit_detail = olev::util::audit;
+
+void* operator new(std::size_t size) {
+  audit_detail::check_hot_alloc(size);
+  void* p = audit_detail::interposed_alloc(size, 0);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  audit_detail::check_hot_alloc(size);
+  void* p =
+      audit_detail::interposed_alloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  audit_detail::note_hot_noexcept_event();
+  return audit_detail::interposed_alloc(size, 0);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  audit_detail::note_hot_noexcept_event();
+  return audit_detail::interposed_alloc(size,
+                                        static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, align, tag);
+}
+
+void operator delete(void* p) noexcept {
+  audit_detail::note_hot_noexcept_event();
+  std::free(p);
+}
+
+void operator delete[](void* p) noexcept { ::operator delete(p); }
+
+void operator delete(void* p, std::size_t) noexcept { ::operator delete(p); }
+
+void operator delete[](void* p, std::size_t) noexcept { ::operator delete(p); }
+
+void operator delete(void* p, std::align_val_t) noexcept {
+  ::operator delete(p);
+}
+
+void operator delete[](void* p, std::align_val_t) noexcept {
+  ::operator delete(p);
+}
+
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  ::operator delete(p);
+}
+
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  ::operator delete(p);
+}
+
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  ::operator delete(p);
+}
+
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  ::operator delete(p);
+}
+
+#endif  // OLEV_RT_INTERPOSER_ENABLED

@@ -49,6 +49,50 @@ Handler set_handler(Handler handler);
 std::size_t firings();
 void reset_firings();
 
+/// RAII marker for a real-time hot region (entered via OLEV_HOT_REGION in
+/// util/hot.h).  The support type is always compiled, like the rest of this
+/// header's funnel; the global new/delete interposer that makes it bite only
+/// exists in audit builds (see OLEV_RT_INTERPOSER_ENABLED below).  Inside a
+/// region the interposer fires audit::fail on any operator new, and any
+/// operator delete is recorded and reported when the outermost region exits
+/// (operator delete is noexcept, so the violation cannot throw at the free
+/// site itself) -- hence the noexcept(false) destructor.
+class HotRegion {
+ public:
+  explicit HotRegion(const char* name) noexcept;
+  ~HotRegion() noexcept(false);
+  HotRegion(const HotRegion&) = delete;
+  HotRegion& operator=(const HotRegion&) = delete;
+
+ private:
+  const char* name_;
+  int uncaught_at_entry_;
+};
+
+/// RAII interposer bypass for the calling thread.  The auditors' own
+/// machinery allocates (message formatting, from-scratch recomputations),
+/// and in audit builds those checks legitimately run inside hot regions;
+/// a bypass scope makes the interposer ignore the thread until it closes.
+/// Only audit-internal code and the OLEV_AUDIT_ONLY blocks of hot functions
+/// should open one -- production hot-path code never allocates at all.
+class HotBypass {
+ public:
+  HotBypass() noexcept;
+  ~HotBypass();
+  HotBypass(const HotBypass&) = delete;
+  HotBypass& operator=(const HotBypass&) = delete;
+};
+
+/// Nesting depth of hot regions on the calling thread (0 = not in one).
+std::size_t hot_region_depth();
+/// Name of the calling thread's outermost active hot region, or nullptr.
+const char* hot_region_name();
+/// Process-wide count of allocation/deallocation events observed inside hot
+/// regions since start (or the last reset).  Only the interposer bumps it,
+/// so it stays 0 in non-audit builds.
+std::size_t hot_alloc_violations();
+void reset_hot_alloc_violations();
+
 /// True iff x is neither NaN nor +-Inf.  Always available (used by check
 /// sites and by tests).
 bool is_finite(double x);
@@ -80,4 +124,25 @@ bool close(double a, double b, double tol);
 #define OLEV_AUDIT_CHECK(cond, detail) static_cast<void>(0)
 #define OLEV_AUDIT_FINITE(x, what) static_cast<void>(0)
 #define OLEV_AUDIT_ONLY(...)
+#endif
+
+// The hot-region new/delete interposer replaces the global operators, which
+// would shadow AddressSanitizer's own interception -- under ASan the runtime
+// backstop stands down and the static wall (tools/olev_rtcheck.py) plus the
+// ASan allocator carry the leg.
+#if defined(__SANITIZE_ADDRESS__)
+#define OLEV_RT_UNDER_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define OLEV_RT_UNDER_ASAN 1
+#endif
+#endif
+#if !defined(OLEV_RT_UNDER_ASAN)
+#define OLEV_RT_UNDER_ASAN 0
+#endif
+
+#if OLEV_AUDIT_ENABLED && !OLEV_RT_UNDER_ASAN
+#define OLEV_RT_INTERPOSER_ENABLED 1
+#else
+#define OLEV_RT_INTERPOSER_ENABLED 0
 #endif

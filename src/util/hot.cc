@@ -1,0 +1,21 @@
+#include "util/hot.h"
+
+#include <stdexcept>
+
+// The helpers are the sanctioned exit from a hot function whose precondition
+// was violated: the RT discipline guarantees the *success* path, and a
+// broken contract may spend whatever it needs on a good diagnostic.  The
+// prefix registration below stops olev_rtcheck.py's traversal at all three.
+OLEV_RT_STOP("olev::util::hot_fail");
+
+namespace olev::util {
+
+void hot_fail_invalid_argument(const char* what) {
+  throw std::invalid_argument(what);
+}
+
+void hot_fail_out_of_range(const char* what) { throw std::out_of_range(what); }
+
+void hot_fail_logic_error(const char* what) { throw std::logic_error(what); }
+
+}  // namespace olev::util

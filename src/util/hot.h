@@ -1,0 +1,107 @@
+// Real-time hot-path discipline markers (docs/ANALYSIS.md, "Real-time wall").
+//
+// The serving hot path -- water-filling, best response, the incremental Game
+// update, the mean-field iteration, the svc batch engine -- must never hide
+// an allocation, a lock, a throw, or a syscall: the grid prices a moving
+// OLEV while it is still on the powered section, so a 3us update that takes
+// a malloc-induced millisecond stall misses the vehicle entirely.  This
+// header provides the annotations that make that discipline machine-checked
+// at TWO layers:
+//
+//   1. Statically, by tools/olev_rtcheck.py: the tree is compiled with
+//      -ffunction-sections and the checker walks the objdump -dr relocation
+//      call graph from every OLEV_HOT_ROOT, rejecting any path that reaches
+//      operator new / malloc / pthread_mutex_* / __cxa_throw / I/O wrappers.
+//      The roots, traversal stops and indirect-call allowances below are
+//      registered as strings in dedicated ELF sections of the object files
+//      (olev_hot_roots / olev_hot_stops / olev_hot_vcalls), so the manifest
+//      the checker consumes is emitted by the annotations themselves and can
+//      never drift from the code.
+//   2. Dynamically, by the OLEV_AUDIT interposer (util/audit.h): inside an
+//      OLEV_HOT_REGION scope, any operator new fires audit::fail in audit
+//      builds.  The static wall proves the absence of allocation call paths;
+//      the region guard catches whatever a checker bug or an unanalyzed
+//      build flag would let through.
+//
+// Annotation vocabulary:
+//   OLEV_HOT                 -- [[gnu::hot]] placement attribute for hot
+//                               functions (optimizer hint; checker-neutral).
+//   OLEV_HOT_ROOT("name")    -- registers a demangled function name as a
+//                               traversal root.  Matches the exact name, any
+//                               overload ("name(...)"), any template
+//                               instantiation ("name<...>"), and compiler
+//                               clones ("name(...) [clone .constprop.0]").
+//   OLEV_RT_STOP("prefix")   -- registers a demangled-name PREFIX at which
+//                               traversal stops: [[noreturn]] cold failure
+//                               helpers whose throw/format/alloc machinery
+//                               only runs once the RT contract is already
+//                               broken.  The success path never enters them.
+//   OLEV_RT_VCALL_OK("name", "why")
+//                            -- allows indirect calls (virtual dispatch)
+//                               inside the named function.  The rationale is
+//                               carried next to the name in the manifest;
+//                               every override reachable from an allowed
+//                               site must itself be a registered hot root.
+//   OLEV_HOT_REGION("name")  -- RAII dynamic hot-region marker; expands to
+//                               nothing outside -DOLEV_AUDIT=ON builds.
+//
+// Cold-stop policy: hot functions funnel every precondition failure through
+// the out-of-line [[noreturn]] helpers below instead of inline `throw`
+// statements.  Callers still observe the same exception types (tests pin
+// them); the static wall treats the helpers as leaves, mirroring how RTSan
+// scopes out sanctioned escape hatches.
+#pragma once
+
+#include "util/audit.h"
+
+#if defined(__GNUC__) && defined(__ELF__)
+
+#define OLEV_HOT [[gnu::hot]]
+#define OLEV_RT_COLD [[gnu::cold]]
+
+#define OLEV_RT_DETAIL_CAT2(a, b) a##b
+#define OLEV_RT_DETAIL_CAT(a, b) OLEV_RT_DETAIL_CAT2(a, b)
+// `used` keeps the string alive without references; `aligned(1)` packs the
+// section into plain NUL-terminated strings that readelf -p lists verbatim.
+#define OLEV_RT_DETAIL_REGISTER(section_name, payload)              \
+  static const char OLEV_RT_DETAIL_CAT(olev_rt_reg_, __COUNTER__)[] \
+      __attribute__((used, section(section_name), aligned(1))) = payload
+
+#define OLEV_HOT_ROOT(name) OLEV_RT_DETAIL_REGISTER("olev_hot_roots", name)
+#define OLEV_RT_STOP(name) OLEV_RT_DETAIL_REGISTER("olev_hot_stops", name)
+#define OLEV_RT_VCALL_OK(name, rationale) \
+  OLEV_RT_DETAIL_REGISTER("olev_hot_vcalls", name "|" rationale)
+
+#else  // non-ELF / non-GNU: annotations degrade to nothing.
+
+#define OLEV_HOT
+#define OLEV_RT_COLD
+#define OLEV_HOT_ROOT(name) static_assert(true)
+#define OLEV_RT_STOP(name) static_assert(true)
+#define OLEV_RT_VCALL_OK(name, rationale) static_assert(true)
+
+#endif
+
+// Dynamic backstop: marks the enclosing scope as a hot region for the
+// OLEV_AUDIT new/delete interposer (util/audit.h).  Compiles out entirely in
+// non-audit builds, so the production hot path carries zero overhead.
+#if OLEV_AUDIT_ENABLED
+#define OLEV_HOT_REGION(region_name)                       \
+  ::olev::util::audit::HotRegion OLEV_RT_DETAIL_CAT(       \
+      olev_hot_region_, __LINE__) {                        \
+    region_name                                            \
+  }
+#else
+#define OLEV_HOT_REGION(region_name) static_cast<void>(0)
+#endif
+
+namespace olev::util {
+
+// Cold [[noreturn]] failure funnels for hot code.  Each throws the standard
+// exception its name says; the bodies live in hot.cc, which registers the
+// shared "olev::util::hot_fail" prefix as a traversal stop.
+[[noreturn]] OLEV_RT_COLD void hot_fail_invalid_argument(const char* what);
+[[noreturn]] OLEV_RT_COLD void hot_fail_out_of_range(const char* what);
+[[noreturn]] OLEV_RT_COLD void hot_fail_logic_error(const char* what);
+
+}  // namespace olev::util

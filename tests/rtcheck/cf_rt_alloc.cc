@@ -1,0 +1,23 @@
+// Real-time wall negative test: a hot root whose fully-inlined body still
+// reaches operator new must be rejected with an [alloc] violation.  The
+// ctest invokes tools/olev_rtcheck.py --check-file on this file with
+// --expect-violation alloc, so the test PASSES exactly when the analyzer
+// reports the allocation chain.
+#include <vector>
+
+#include "util/hot.h"
+
+volatile double cf_sink;
+
+OLEV_HOT_ROOT("cf_rt_alloc_root");
+
+// Looks innocent after inlining -- push_back's growth path is the only
+// remaining call -- which is exactly what a source-level checker misses and
+// the relocation graph does not.
+OLEV_HOT __attribute__((noinline)) double cf_rt_alloc_root(int n) {
+  std::vector<double> samples;
+  for (int i = 0; i < n; ++i) samples.push_back(static_cast<double>(i));
+  return samples.back();
+}
+
+void cf_rt_alloc_driver() { cf_sink = cf_rt_alloc_root(8); }

@@ -1,0 +1,31 @@
+// Real-time wall positive control: a hot root written to the house
+// discipline -- arithmetic only, failures funneled through the registered
+// olev::util::hot_fail_* cold stops -- must PASS the analyzer.  This guards
+// against a broken include path or an over-eager policy list making every
+// cf_rt_* negative test vacuously green.
+// Run via tools/olev_rtcheck.py --check-file (no --expect-violation).
+#include <cmath>
+#include <span>
+
+#include "util/hot.h"
+
+volatile double cf_sink;
+
+OLEV_HOT_ROOT("cf_rt_control_root");
+
+OLEV_HOT __attribute__((noinline)) double cf_rt_control_root(
+    std::span<const double> loads, double level) {
+  if (!(level >= 0.0)) {
+    olev::util::hot_fail_invalid_argument("cf_rt_control: negative level");
+  }
+  double filled = 0.0;
+  for (const double load : loads) {
+    filled += std::max(0.0, level - load) + std::sqrt(load + 1.0);
+  }
+  return filled;
+}
+
+void cf_rt_control_driver() {
+  const double loads[] = {1.0, 2.0, 3.0};
+  cf_sink = cf_rt_control_root(loads, 2.5);
+}

@@ -1,0 +1,26 @@
+// Real-time wall negative test: virtual dispatch inside a hot root without
+// an OLEV_RT_VCALL_OK allowance must be rejected with an [indirect]
+// violation -- the call target cannot be proven allocation-free from
+// relocations alone, so every dispatch site must be explicitly sanctioned
+// (and its reachable overrides individually rooted, as core/satisfaction.cc
+// and core/cost.cc do).
+// Run via tools/olev_rtcheck.py --check-file --expect-violation indirect.
+#include "util/hot.h"
+
+volatile double cf_sink;
+
+struct CfPolicy {
+  virtual double price(double load) const = 0;
+  virtual ~CfPolicy();
+};
+
+OLEV_HOT_ROOT("cf_rt_indirect_root");
+
+OLEV_HOT __attribute__((noinline)) double cf_rt_indirect_root(
+    const CfPolicy& policy, double load) {
+  return policy.price(load) + policy.price(load * 0.5);
+}
+
+void cf_rt_indirect_driver(const CfPolicy& policy) {
+  cf_sink = cf_rt_indirect_root(policy, 1.0);
+}

@@ -1,0 +1,18 @@
+// Real-time wall negative test: a hot root that acquires a mutex must be
+// rejected with a [lock] violation (the chain ends at pthread_mutex_lock).
+// Run via tools/olev_rtcheck.py --check-file --expect-violation lock.
+#include <mutex>
+
+#include "util/hot.h"
+
+volatile double cf_sink;
+std::mutex cf_rt_mu;
+
+OLEV_HOT_ROOT("cf_rt_lock_root");
+
+OLEV_HOT __attribute__((noinline)) double cf_rt_lock_root(double x) {
+  const std::lock_guard<std::mutex> hold(cf_rt_mu);
+  return x * 2.0;
+}
+
+void cf_rt_lock_driver() { cf_sink = cf_rt_lock_root(1.0); }

@@ -1,0 +1,18 @@
+// Real-time wall negative test: a hot root calling an I/O syscall wrapper
+// must be rejected with an [io] violation.
+// Run via tools/olev_rtcheck.py --check-file --expect-violation io.
+#include <unistd.h>
+
+#include "util/hot.h"
+
+volatile double cf_sink;
+
+OLEV_HOT_ROOT("cf_rt_syscall_root");
+
+OLEV_HOT __attribute__((noinline)) double cf_rt_syscall_root(double x) {
+  const char byte = '!';
+  (void)::write(STDOUT_FILENO, &byte, 1);
+  return x;
+}
+
+void cf_rt_syscall_driver() { cf_sink = cf_rt_syscall_root(1.0); }

@@ -1,0 +1,20 @@
+// Real-time wall negative test: a hot root with an inline `throw` must be
+// rejected with a [throw] violation (__cxa_throw / __cxa_allocate_exception
+// in the .cold fragment).  Hot code must funnel failures through the
+// registered olev::util::hot_fail_* stops instead -- cf_rt_control.cc is
+// the positive control showing that pattern passing.
+// Run via tools/olev_rtcheck.py --check-file --expect-violation throw.
+#include <stdexcept>
+
+#include "util/hot.h"
+
+volatile double cf_sink;
+
+OLEV_HOT_ROOT("cf_rt_throw_root");
+
+OLEV_HOT __attribute__((noinline)) double cf_rt_throw_root(double x) {
+  if (x < 0.0) throw std::invalid_argument("negative load");
+  return x + 1.0;
+}
+
+void cf_rt_throw_driver() { cf_sink = cf_rt_throw_root(1.0); }

@@ -1,0 +1,222 @@
+// Adversarial segmentation fuzz for svc::FrameDecoder.
+//
+// The decoder's contract (svc/frame.h): any segmentation of a valid frame
+// stream decodes to exactly the original messages; a frame header exceeding
+// the bound poisons the decoder permanently with the buffer released; and no
+// input -- however mangled -- can crash it or grow its buffer past one
+// maximal frame plus the bytes of the last feed().  This suite drives all
+// three properties with a seeded generator so failures replay exactly:
+//
+//   * every-byte-boundary splits of a multi-message stream (all five
+//     net::Message variants), fed as two spans,
+//   * random chunkings of the same stream (1..17-byte spans),
+//   * random single-byte mutations, where the decoder must either still
+//     produce well-formed frames, poison itself, or starve -- and
+//     net::deserialize() on whatever it emits may throw but not crash,
+//   * trickled maximal frames, asserting the buffered-bytes bound.
+//
+// The ASan/UBSan CI leg runs this file too (it is tier-1), which is the
+// actual teeth behind "no crashes": any out-of-bounds read in the decoder or
+// the deserializer fails that leg.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "net/message.h"
+#include "svc/frame.h"
+
+namespace olev::svc {
+namespace {
+
+std::vector<net::Message> sample_messages() {
+  net::BeaconMsg beacon;
+  beacon.player = 7;
+  beacon.position_m = 1234.5;
+  beacon.velocity_mps = 26.8;
+  beacon.soc = 0.42;
+
+  net::PaymentFunctionMsg payment;
+  payment.player = 3;
+  payment.round = 11;
+  payment.others_load_kw = {12.0, 0.0, 7.5, 3.25};
+
+  net::PowerRequestMsg request;
+  request.player = 3;
+  request.round = 11;
+  request.total_kw = 55.75;
+
+  net::ScheduleMsg schedule;
+  schedule.player = 3;
+  schedule.round = 12;
+  schedule.row_kw = {20.0, 15.75, 12.0, 8.0};
+  schedule.payment = 101.5;
+
+  net::ControlMsg control;
+  control.code = net::ControlCode::kRetryLater;
+  control.player = 9;
+  control.round = 13;
+
+  return {beacon, payment, request, schedule, control};
+}
+
+/// The concatenated wire bytes of `messages`.
+std::vector<std::uint8_t> build_stream(
+    const std::vector<net::Message>& messages) {
+  std::vector<std::uint8_t> stream;
+  for (const net::Message& message : messages) {
+    const std::vector<std::uint8_t> frame = encode_frame(message);
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  }
+  return stream;
+}
+
+/// Feeds `stream` in the given segmentation and returns every decoded
+/// payload.  EXPECTs that feeding valid data never reports oversized.
+std::vector<std::vector<std::uint8_t>> decode_segmented(
+    std::span<const std::uint8_t> stream, std::span<const std::size_t> cuts) {
+  FrameDecoder decoder;
+  std::vector<std::vector<std::uint8_t>> payloads;
+  std::size_t offset = 0;
+  auto feed_chunk = [&](std::size_t end) {
+    EXPECT_TRUE(decoder.feed(stream.subspan(offset, end - offset)));
+    offset = end;
+    while (auto payload = decoder.next()) {
+      payloads.push_back(std::move(*payload));
+    }
+  };
+  for (const std::size_t cut : cuts) feed_chunk(cut);
+  feed_chunk(stream.size());
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+  EXPECT_FALSE(decoder.oversized());
+  return payloads;
+}
+
+void expect_round_trip(
+    const std::vector<net::Message>& messages,
+    const std::vector<std::vector<std::uint8_t>>& payloads) {
+  ASSERT_EQ(payloads.size(), messages.size());
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    EXPECT_EQ(net::deserialize(payloads[i]), messages[i]) << "frame " << i;
+  }
+}
+
+TEST(FrameFuzz, EveryByteBoundarySplitRoundTrips) {
+  const std::vector<net::Message> messages = sample_messages();
+  const std::vector<std::uint8_t> stream = build_stream(messages);
+  for (std::size_t cut = 0; cut <= stream.size(); ++cut) {
+    const std::size_t cuts[] = {cut};
+    expect_round_trip(messages, decode_segmented(stream, cuts));
+  }
+}
+
+TEST(FrameFuzz, RandomChunkingsRoundTrip) {
+  const std::vector<net::Message> messages = sample_messages();
+  const std::vector<std::uint8_t> stream = build_stream(messages);
+  std::mt19937 rng(0xf5a3e001);  // seeded: failures replay exactly
+  std::uniform_int_distribution<std::size_t> chunk(1, 17);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::size_t> cuts;
+    for (std::size_t at = chunk(rng); at < stream.size(); at += chunk(rng)) {
+      cuts.push_back(at);
+    }
+    expect_round_trip(messages, decode_segmented(stream, cuts));
+  }
+}
+
+// A mutated stream must never crash the decoder or the deserializer and must
+// never breach the memory bound.  Every other outcome -- fewer frames, a
+// deserialize throw, a poisoned decoder -- is a legal response to garbage.
+TEST(FrameFuzz, SingleByteMutationsNeverCrashAndStayBounded) {
+  const std::vector<net::Message> messages = sample_messages();
+  const std::vector<std::uint8_t> pristine = build_stream(messages);
+  constexpr std::size_t kMaxFrame = 4096;
+  std::mt19937 rng(0xf5a3e002);
+  std::uniform_int_distribution<std::size_t> position(0, pristine.size() - 1);
+  std::uniform_int_distribution<int> value(0, 255);
+  std::uniform_int_distribution<std::size_t> chunk(1, 13);
+
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::uint8_t> stream = pristine;
+    stream[position(rng)] = static_cast<std::uint8_t>(value(rng));
+
+    FrameDecoder decoder(kMaxFrame);
+    std::size_t offset = 0;
+    std::size_t fed_ok = 0;
+    while (offset < stream.size()) {
+      const std::size_t take = std::min(chunk(rng), stream.size() - offset);
+      const std::span<const std::uint8_t> bytes(stream.data() + offset, take);
+      if (decoder.feed(bytes)) {
+        fed_ok += take;
+      } else {
+        EXPECT_TRUE(decoder.oversized());
+      }
+      offset += take;
+      while (auto payload = decoder.next()) {
+        EXPECT_LE(payload->size(), kMaxFrame);
+        try {
+          (void)net::deserialize(*payload);
+        } catch (const std::runtime_error&) {
+          // Mutated payloads may be unparseable; they must throw, not crash.
+        }
+      }
+      // The documented bound: one maximal frame plus the last feed().
+      EXPECT_LE(decoder.buffered_bytes(),
+                kFrameHeaderBytes + kMaxFrame + take);
+    }
+    if (decoder.oversized()) {
+      // Poisoning is terminal: the buffer is released and further input is
+      // rejected without being stored.
+      EXPECT_EQ(decoder.buffered_bytes(), 0u);
+      const std::uint8_t more[] = {0xaa, 0xbb};
+      EXPECT_FALSE(decoder.feed(more));
+      EXPECT_EQ(decoder.buffered_bytes(), 0u);
+      EXPECT_FALSE(decoder.next().has_value());
+    } else {
+      EXPECT_EQ(fed_ok, stream.size());
+      EXPECT_LE(decoder.frames_decoded(), messages.size());
+    }
+  }
+}
+
+// A peer trickling a maximal-size frame one byte at a time costs exactly one
+// frame of memory, and an over-bound header is convicted from the header
+// alone -- no body bytes are ever buffered for it.
+TEST(FrameFuzz, TrickledMaximalFrameRespectsTheMemoryBound) {
+  constexpr std::size_t kMaxFrame = 512;
+  FrameDecoder decoder(kMaxFrame);
+
+  std::vector<std::uint8_t> frame;
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<std::uint8_t>(kMaxFrame >> (8 * i)));
+  }
+  frame.resize(kFrameHeaderBytes + kMaxFrame, 0x5c);
+  for (const std::uint8_t byte : frame) {
+    ASSERT_TRUE(decoder.feed({&byte, 1}));
+    ASSERT_LE(decoder.buffered_bytes(), kFrameHeaderBytes + kMaxFrame);
+  }
+  const auto payload = decoder.next();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(payload->size(), kMaxFrame);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+
+  // One byte over the bound: poisoned at the fourth header byte, before any
+  // body arrives.
+  FrameDecoder strict(kMaxFrame);
+  const std::size_t over = kMaxFrame + 1;
+  std::vector<std::uint8_t> header;
+  for (int i = 0; i < 4; ++i) {
+    header.push_back(static_cast<std::uint8_t>(over >> (8 * i)));
+  }
+  ASSERT_TRUE(strict.feed({header.data(), 3}));
+  EXPECT_FALSE(strict.feed({header.data() + 3, 1}));
+  EXPECT_TRUE(strict.oversized());
+  EXPECT_EQ(strict.buffered_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace olev::svc

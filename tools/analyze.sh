@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# Deep static-analysis sweep of the pricing core and serving layer
+# (docs/ANALYSIS.md, "Analyzer sweep").
+#
+#   tools/analyze.sh [dir ...]        default: src/core src/svc
+#
+# Runs the strongest whole-path analyzer available on each translation unit:
+#
+#   * clang --analyze (scan-build's engine) when a clang is on PATH --
+#     interprocedural symbolic execution with mature C++ support; any
+#     diagnostic fails the sweep.
+#   * gcc -fanalyzer otherwise -- GCC's C++ support is experimental, so its
+#     known false-positive families are filtered through
+#     tools/analyze_suppressions.txt (regex + per-entry rationale, manually
+#     triaged).  Any diagnostic NOT matching a suppression fails the sweep,
+#     so new finding classes always surface.
+#
+# Exit 0 = no unsuppressed findings; 1 = findings; 2 = toolchain missing.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$ROOT"
+DIRS=("${@:-src/core src/svc}")
+if [[ $# -eq 0 ]]; then DIRS=(src/core src/svc); fi
+
+mapfile -t sources < <(
+  for dir in "${DIRS[@]}"; do find "$dir" -name '*.cc' | sort; done
+)
+echo "analyze: ${#sources[@]} translation units across ${DIRS[*]}"
+
+CLANGXX=""
+for candidate in clang++ clang++-19 clang++-18 clang++-17 clang++-16; do
+  if command -v "$candidate" > /dev/null 2>&1; then
+    CLANGXX="$candidate"
+    break
+  fi
+done
+
+status=0
+if [[ -n "$CLANGXX" ]]; then
+  echo "analyze: using $($CLANGXX --version | head -n 1) (clang static analyzer)"
+  for source in "${sources[@]}"; do
+    if ! "$CLANGXX" --analyze -std=c++20 -I src \
+        --analyzer-output text "$source" -o /dev/null 2> /tmp/analyze.$$; then
+      status=1
+      echo "analyze: FAILED $source" >&2
+      cat /tmp/analyze.$$ >&2
+    elif [[ -s /tmp/analyze.$$ ]]; then
+      # clang returns 0 with diagnostics on stderr; treat any as findings
+      status=1
+      echo "analyze: findings in $source" >&2
+      cat /tmp/analyze.$$ >&2
+    fi
+  done
+  rm -f /tmp/analyze.$$
+else
+  : "${CXX:=g++}"
+  echo "analyze: no clang on PATH; using $($CXX --version | head -n 1)" \
+       "-fanalyzer with tools/analyze_suppressions.txt"
+  python3 - "$CXX" "${sources[@]}" <<'EOF' || status=$?
+import re
+import subprocess
+import sys
+
+cxx, sources = sys.argv[1], sys.argv[2:]
+suppressions = []  # (regex, rationale)
+with open("tools/analyze_suppressions.txt") as handle:
+    for line in handle:
+        line = line.rstrip("\n")
+        if not line or line.startswith("#"):
+            continue
+        pattern, _, rationale = line.partition("\t")
+        suppressions.append((re.compile(pattern), rationale.strip()))
+
+unsuppressed = 0
+suppressed_counts = {}
+for source in sources:
+    proc = subprocess.run(
+        [cxx, "-std=c++20", "-fanalyzer", "-O2", "-I", "src", "-c", source,
+         "-o", "/dev/null"],
+        capture_output=True, text=True)
+    if proc.returncode != 0:
+        print(f"analyze: COMPILE FAILED {source}\n{proc.stderr}",
+              file=sys.stderr)
+        sys.exit(1)
+    for line in proc.stderr.splitlines():
+        if "warning:" not in line or "-Wanalyzer-" not in line:
+            continue
+        # gcc quotes with U+2018/U+2019 in UTF-8 locales; normalize so the
+        # suppression regexes can be written with plain ASCII quotes.
+        line = line.replace("‘", "'").replace("’", "'")
+        for pattern, rationale in suppressions:
+            if pattern.search(line):
+                suppressed_counts[rationale] = \
+                    suppressed_counts.get(rationale, 0) + 1
+                break
+        else:
+            unsuppressed += 1
+            print(f"analyze: FINDING {line}", file=sys.stderr)
+
+for rationale, count in sorted(suppressed_counts.items()):
+    print(f"analyze: suppressed {count:3d} x {rationale}")
+if unsuppressed:
+    print(f"analyze: FAIL -- {unsuppressed} unsuppressed finding(s)",
+          file=sys.stderr)
+    sys.exit(1)
+print("analyze: clean (no unsuppressed findings)")
+EOF
+fi
+
+if [[ $status -ne 0 ]]; then
+  echo "analyze: sweep failed" >&2
+  exit 1
+fi
+echo "analyze: sweep clean"

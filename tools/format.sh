@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Check-only formatting wall (.clang-format, Google-based house style).
+#
+#   tools/format.sh [--base REF]
+#
+# Policy: formatting is ENFORCED (non-zero exit) only on files that differ
+# from the base ref -- the files "this change touches" -- and ADVISORY
+# (warning summary, exit 0) on the rest of the tree.  That ratchets the
+# style in without ever forcing a mass reformat that would bury real diffs.
+#
+# Base resolution, first hit wins:
+#   1. --base REF / FORMAT_BASE env (CI passes the PR base ref)
+#   2. origin/main if it exists
+#   3. HEAD~1 (post-merge push builds)
+# If no base resolves (shallow clone, fresh repo), everything is advisory.
+#
+# Degrades gracefully: if no clang-format is on PATH the check is skipped
+# with exit 0 -- gcc-only dev boxes lose nothing, the CI lint job installs
+# clang-format and carries the gate.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$ROOT"
+
+BASE="${FORMAT_BASE:-}"
+if [[ "${1:-}" == "--base" ]]; then
+  BASE="${2:?--base needs a ref}"
+fi
+
+CLANG_FORMAT=""
+for candidate in clang-format clang-format-19 clang-format-18 \
+                 clang-format-17 clang-format-16 clang-format-15; do
+  if command -v "$candidate" > /dev/null 2>&1; then
+    CLANG_FORMAT="$candidate"
+    break
+  fi
+done
+if [[ -z "$CLANG_FORMAT" ]]; then
+  echo "format: no clang-format on PATH; skipping (the CI lint job enforces)"
+  exit 0
+fi
+echo "format: using $($CLANG_FORMAT --version | head -n 1)"
+
+# The formatted surface: library, tests, tools, examples, benches.
+mapfile -t all_files < <(
+  git ls-files -- \
+    'src/**/*.h' 'src/**/*.cc' \
+    'tests/**/*.h' 'tests/**/*.cc' \
+    'tools/*.cpp' 'examples/*.cpp' 'bench/*.cpp' 'bench/*.h' | sort
+)
+
+if [[ -z "$BASE" ]]; then
+  if git rev-parse --verify --quiet origin/main > /dev/null; then
+    BASE="origin/main"
+  elif git rev-parse --verify --quiet HEAD~1 > /dev/null; then
+    BASE="HEAD~1"
+  fi
+fi
+
+declare -A enforced=()
+if [[ -n "$BASE" ]]; then
+  while IFS= read -r file; do
+    enforced["$file"]=1
+  done < <(git diff --name-only --diff-filter=ACMR "$BASE" -- \
+             "${all_files[@]}" 2> /dev/null || true)
+  echo "format: enforcing on ${#enforced[@]} file(s) changed since $BASE," \
+       "advisory on the other $(( ${#all_files[@]} - ${#enforced[@]} ))"
+else
+  echo "format: no base ref resolvable; running fully advisory"
+fi
+
+fail=0
+advisory=0
+for file in "${all_files[@]}"; do
+  [[ -f "$file" ]] || continue
+  if ! "$CLANG_FORMAT" --dry-run -Werror "$file" > /dev/null 2>&1; then
+    if [[ -n "${enforced[$file]:-}" ]]; then
+      echo "format: NOT FORMATTED (enforced): $file"
+      "$CLANG_FORMAT" --dry-run "$file" 2>&1 | head -n 12 || true
+      fail=1
+    else
+      advisory=$((advisory + 1))
+    fi
+  fi
+done
+
+if [[ $advisory -gt 0 ]]; then
+  echo "format: note: $advisory untouched file(s) drift from .clang-format" \
+       "(advisory only; they ratchet in as changes touch them)"
+fi
+if [[ $fail -ne 0 ]]; then
+  echo "format: FAIL -- run: $CLANG_FORMAT -i <file> on the files above" >&2
+  exit 1
+fi
+echo "format: clean on the enforced set"

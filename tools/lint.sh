@@ -15,6 +15,9 @@
 # (tools/check_trace.py), so a dead validator cannot rubber-stamp traces.
 # Pure Python, runs everywhere.
 #
+# Stage 1.5 is the formatting wall (tools/format.sh): .clang-format is
+# enforced on files the change touches, advisory on the rest of the tree.
+#
 # Stage 2 runs clang-tidy (config in .clang-tidy, WarningsAsErrors='*')
 # against the compile database CMake exports.  When clang-tidy is not
 # installed -- e.g. a gcc-only container -- the script degrades to a gcc
@@ -35,6 +38,12 @@ python3 "$ROOT/tools/olev_lint.py" --root "$ROOT"
 
 echo "lint: trace checker self-test (tools/check_trace.py)"
 python3 "$ROOT/tools/check_trace.py" --self-test > /dev/null
+
+# Stage 1.5: formatting wall (.clang-format via tools/format.sh).  Enforced
+# only on files the current change touches, advisory elsewhere; skips itself
+# when no clang-format is installed (the CI lint job installs one).
+echo "lint: formatting (tools/format.sh)"
+"$ROOT/tools/format.sh"
 
 # The compile database is exported unconditionally by the top-level
 # CMakeLists (CMAKE_EXPORT_COMPILE_COMMANDS); configure on demand.

@@ -59,6 +59,12 @@ that util/quantity.h makes checkable but cannot enforce by itself:
                           operational binaries in tools/*.cpp
                           (docs/ANALYSIS.md "Thread-safety contract").
 
+The behavioral rules (R2 float-equality, R4 raw-clock, R5 raw-socket,
+R6 raw-sync) additionally sweep the runnable surface outside src/: every
+example (examples/*.cpp) and benchmark (bench/*.cpp, bench/*.h).  Those
+binaries are the copy-paste templates users start from, so a float-equality
+bug or a raw mutex there propagates further than one in the library.
+
 Usage:
   tools/olev_lint.py [--root DIR]     lint the tree (exit 1 on findings)
   tools/olev_lint.py --self-test      prove each rule fires on a seeded
@@ -327,11 +333,20 @@ def collect_files(
     # R6 additionally covers the operational binaries (olevd, olev_loadgen):
     # a raw std::mutex there would bypass the lock-order auditor too.
     tools = sorted((root / "tools").glob("*.cpp"))
-    return headers, sources, swept, tools
+    # The runnable surface outside src/: examples and benchmarks get the
+    # behavioral rules (R2/R4/R5/R6) -- they are the templates users copy.
+    extras = sorted(
+        [
+            *(root / "examples").glob("*.cpp"),
+            *(root / "bench").glob("*.cpp"),
+            *(root / "bench").glob("*.h"),
+        ]
+    )
+    return headers, sources, swept, tools, extras
 
 
 def run_lint(root: pathlib.Path) -> list[Finding]:
-    headers, sources, swept, tools = collect_files(root)
+    headers, sources, swept, tools, extras = collect_files(root)
     findings: list[Finding] = []
     for header in headers:
         rel = header.relative_to(root).as_posix()
@@ -352,6 +367,13 @@ def run_lint(root: pathlib.Path) -> list[Finding]:
     for source in tools:
         rel = source.relative_to(root).as_posix()
         findings.extend(lint_raw_sync(rel, source.read_text()))
+    for source in extras:
+        rel = source.relative_to(root).as_posix()
+        text = source.read_text()
+        findings.extend(lint_float_equality(rel, text))
+        findings.extend(lint_raw_clock(rel, text))
+        findings.extend(lint_raw_sockets(rel, text))
+        findings.extend(lint_raw_sync(rel, text))
     return findings
 
 
@@ -522,6 +544,24 @@ SELF_TESTS = [
         False,  # comments don't count
     ),
     (
+        lint_float_equality,
+        "bench/bench_fig5_welfare.cpp",
+        "std::cout << (velocity == 60.0 ? 5 : 6);\n",
+        True,  # the bench/examples sweep catches figure-switch comparisons
+    ),
+    (
+        lint_raw_sync,
+        "examples/city_scale.cpp",
+        "std::mutex results_mutex;\n",
+        True,  # examples are templates users copy; same sync rules apply
+    ),
+    (
+        lint_raw_clock,
+        "bench/bench_util.h",
+        "auto t0 = std::chrono::steady_clock::now();\n",
+        True,  # bench timing must go through obs::Stopwatch too
+    ),
+    (
         lint_nodiscard_solvers,
         "src/core/central.h",
         "CentralResult maximize_welfare(std::span<const double> p_max);\n",
@@ -567,11 +607,12 @@ def main() -> int:
     if findings:
         print(f"olev_lint: {len(findings)} finding(s)", file=sys.stderr)
         return 1
-    headers, sources, swept, tools = collect_files(root)
+    headers, sources, swept, tools, extras = collect_files(root)
     print(
         f"olev_lint: clean ({len(headers)} public headers, "
         f"{len(sources)} files swept for float equality, "
-        f"{len(swept)} for raw sockets/sync, {len(tools)} tool binaries)"
+        f"{len(swept)} for raw sockets/sync, {len(tools)} tool binaries, "
+        f"{len(extras)} examples/bench files)"
     )
     return 0
 

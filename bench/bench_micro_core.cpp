@@ -147,7 +147,7 @@ void BM_BusSendPoll(benchmark::State& state) {
   net::MessageBus bus;
   double now = 0.0;
   for (auto _ : state) {
-    bus.send(1, 2, now, net::PowerRequestMsg{1, 1, 5.0});
+    bus.send(1, 2, now, net::PowerRequestMsg{1, 1, 5.0, {}});
     now += 1.0;
     benchmark::DoNotOptimize(bus.poll(2, now));
   }

@@ -111,12 +111,19 @@ std::vector<std::uint8_t> serialize(const Message& message) {
           w.u32(msg.player);
           w.u64(msg.round);
           w.f64(msg.total_kw);
+          w.u64(msg.trace.trace_id);
+          w.u64(static_cast<std::uint64_t>(msg.trace.client_send_us));
         } else if constexpr (std::is_same_v<T, ScheduleMsg>) {
           w.u8(static_cast<std::uint8_t>(Tag::kSchedule));
           w.u32(msg.player);
           w.u64(msg.round);
           w.f64_vector(msg.row_kw);
           w.f64(msg.payment);
+          w.u64(msg.trace_id);
+          w.u32(msg.phases.admit_us);
+          w.u32(msg.phases.queue_us);
+          w.u32(msg.phases.batch_us);
+          w.u32(msg.phases.solve_us);
         } else if constexpr (std::is_same_v<T, ControlMsg>) {
           w.u8(static_cast<std::uint8_t>(Tag::kControl));
           w.u8(static_cast<std::uint8_t>(msg.code));
@@ -155,6 +162,8 @@ Message deserialize(std::span<const std::uint8_t> bytes) {
       msg.player = r.u32();
       msg.round = r.u64();
       msg.total_kw = r.f64();
+      msg.trace.trace_id = r.u64();
+      msg.trace.client_send_us = static_cast<std::int64_t>(r.u64());
       message = msg;
       break;
     }
@@ -164,6 +173,11 @@ Message deserialize(std::span<const std::uint8_t> bytes) {
       msg.round = r.u64();
       msg.row_kw = r.f64_vector();
       msg.payment = r.f64();
+      msg.trace_id = r.u64();
+      msg.phases.admit_us = r.u32();
+      msg.phases.queue_us = r.u32();
+      msg.phases.batch_us = r.u32();
+      msg.phases.solve_us = r.u32();
       message = msg;
       break;
     }

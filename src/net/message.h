@@ -41,21 +41,54 @@ struct PaymentFunctionMsg {
   bool operator==(const PaymentFunctionMsg&) const = default;
 };
 
+/// Optional trace context carried on a request (docs/SERVING.md, "Trace
+/// context").  `trace_id == 0` means untraced; the id is an opaque client
+/// token echoed verbatim on the reply so a caller can correlate server-side
+/// phase timings with its own wall-clock measurement.  `client_send_us` is
+/// the client's monotonic send stamp (obs::now_micros() domain) -- opaque to
+/// the server, echoed for the client's own one-way-delay bookkeeping.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::int64_t client_send_us = 0;
+
+  bool operator==(const TraceContext&) const = default;
+};
+
+/// Server-side request decomposition returned on every ScheduleMsg
+/// (docs/SERVING.md, "Phase timings"): admit (parse/validate/enqueue), queue
+/// (enqueue -> batch fire), batch (batch fire -> this entry's solve), solve
+/// (engine apply).  Microseconds; u32 saturates at ~71 minutes, far past any
+/// request deadline.  Write-out time cannot ride in the reply it measures,
+/// so it is exported only as the server's `svc.phase.write_us` histogram.
+struct PhaseTimings {
+  std::uint32_t admit_us = 0;
+  std::uint32_t queue_us = 0;
+  std::uint32_t batch_us = 0;
+  std::uint32_t solve_us = 0;
+
+  bool operator==(const PhaseTimings&) const = default;
+};
+
 /// OLEV n -> grid: the best-response total power request p_n*.
 struct PowerRequestMsg {
   std::uint32_t player = 0;
   std::uint64_t round = 0;
   double total_kw = 0.0;
+  TraceContext trace;
 
   bool operator==(const PowerRequestMsg&) const = default;
 };
 
 /// Grid -> OLEV n: the water-filled schedule row and the payment due.
+/// `trace_id` echoes the request's TraceContext (0 when untraced); `phases`
+/// carries the server-side decomposition of this request's lifetime.
 struct ScheduleMsg {
   std::uint32_t player = 0;
   std::uint64_t round = 0;
   std::vector<double> row_kw;
   double payment = 0.0;
+  std::uint64_t trace_id = 0;
+  PhaseTimings phases;
 
   bool operator==(const ScheduleMsg&) const = default;
 };

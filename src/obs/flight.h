@@ -1,0 +1,87 @@
+// Flight recorder: an always-on, fixed-capacity, lock-free ring of the last
+// N request-lifecycle and engine events, for post-mortems and the olevd
+// admin plane (docs/OBSERVABILITY.md, "Flight recorder").
+//
+// The record path is the whole point: one relaxed fetch_add to take a
+// per-lane ticket, five relaxed/fenced atomic stores into a preallocated
+// slot.  No allocation, no lock, no throw, no syscall beyond the approved
+// obs clock -- it satisfies the real-time wall (tools/olev_rtcheck.py walks
+// it from the registered hot root below) and the audit-build hot-allocation
+// interposer, so the pricing engine can record from inside apply().
+//
+// Storage is per-thread striped: the first record() on a thread claims a
+// lane (round-robin over kLanes), and every slot is a seqlock -- an odd
+// sequence word means in-progress, an even word 2*ticket+2 means committed.
+// snapshot() (cold path, allocates freely) walks every lane, re-checks each
+// slot's sequence after reading the payload, and drops torn or overwritten
+// slots instead of returning mixed records.  All payload fields are relaxed
+// atomics, so concurrent record/snapshot is ThreadSanitizer-clean by
+// construction.  With more than kLanes recording threads, lanes are shared;
+// tickets still serialize the slot ring per lane, and the seqlock filter
+// keeps dumped records well-formed (a collision can drop records, never
+// invent them).
+//
+// Capacity is fixed at kLanes * kSlotsPerLane events; older events are
+// overwritten in ring order per lane.  The dump is therefore "the last ~16k
+// things the daemon did", which is exactly what a drain/crash post-mortem
+// needs.  OLEV_FLIGHT=<path> (obs::EnvSession) writes the JSON dump at
+// process exit -- including the SIGTERM drain path of olevd.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace olev::obs::flight {
+
+/// Event vocabulary.  Payload words a/b are event-specific (documented in
+/// docs/OBSERVABILITY.md); unused words are 0.
+enum class Event : std::uint8_t {
+  kAdmit = 1,         ///< request enqueued          a=player, b=queue depth
+  kBatchFire = 2,     ///< batch round started       a=batch size, b=queue depth
+  kRoundConverge = 3, ///< engine reached fixed point a=updates, b=residual bits
+  kBackpressure = 4,  ///< RETRY_LATER sent          a=player, b=queue depth
+  kExpire = 5,        ///< DEADLINE_EXPIRED sent     a=player, b=round
+  kDrain = 6,         ///< graceful drain began      a=queued, b=sessions
+};
+
+inline constexpr std::size_t kLanes = 16;
+inline constexpr std::size_t kSlotsPerLane = 1024;  // power of two (ring mask)
+
+/// Records one event on the calling thread's lane.  Allocation-free,
+/// lock-free, wait-free per lane modulo the ticket RMW; safe from any
+/// thread, including inside OLEV_HOT_REGIONs.
+void record(Event event, std::uint64_t a, std::uint64_t b) noexcept;
+
+/// One committed event as read back by snapshot().
+struct Record {
+  std::int64_t ts_us = 0;   ///< obs::now_micros() stamp
+  std::uint64_t seq = 0;    ///< per-lane ticket (monotone within a lane)
+  std::uint32_t lane = 0;
+  Event event = Event::kAdmit;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+/// Cold read path: every committed, un-torn slot across all lanes, sorted by
+/// timestamp (ties by lane then ticket).  Racy-by-design against writers --
+/// a slot overwritten mid-read is dropped, never returned mixed.
+std::vector<Record> snapshot();
+
+/// Total events ever recorded (sum of lane tickets), including overwritten
+/// ones.  total_recorded() - snapshot().size() is the overwrite/torn count.
+std::uint64_t total_recorded();
+
+/// Stable lower-case name for an event ("admit", "batch_fire", ...).
+const char* event_name(Event event);
+
+/// The dump format served by the admin plane and OLEV_FLIGHT:
+///   {"recorded":N,"returned":M,"events":[
+///     {"ts_us":...,"lane":L,"seq":S,"event":"admit","a":...,"b":...},...]}
+std::string to_json(const std::vector<Record>& records);
+
+/// Zeroes every lane (tickets and slots).  Test support; callers must be
+/// quiesced -- concurrent writers may land records on either side.
+void reset();
+
+}  // namespace olev::obs::flight

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/flight.h"
 #include "obs/span.h"
 #include "obs/strings.h"
 
@@ -141,8 +142,11 @@ std::string env_or_empty(const char* name) {
 
 EnvSession::EnvSession()
     : trace_path_(env_or_empty("OLEV_TRACE")),
-      metrics_path_(env_or_empty("OLEV_METRICS")) {
-  if (trace_path_.empty() && metrics_path_.empty()) return;
+      metrics_path_(env_or_empty("OLEV_METRICS")),
+      flight_path_(env_or_empty("OLEV_FLIGHT")) {
+  if (trace_path_.empty() && metrics_path_.empty() && flight_path_.empty()) {
+    return;
+  }
   set_thread_name("main");
   if (!trace_path_.empty()) {
     const bool fine = env_or_empty("OLEV_TRACE_DETAIL") == "fine";
@@ -153,6 +157,10 @@ EnvSession::EnvSession()
   if (!metrics_path_.empty()) {
     std::fprintf(stderr, "[obs] metrics snapshot on exit -> %s\n",
                  metrics_path_.c_str());
+  }
+  if (!flight_path_.empty()) {
+    std::fprintf(stderr, "[obs] flight-recorder dump on exit -> %s\n",
+                 flight_path_.c_str());
   }
 }
 
@@ -177,6 +185,16 @@ EnvSession::~EnvSession() {
                    metrics_path_.c_str());
     } catch (const std::exception& error) {
       std::fprintf(stderr, "[obs] metrics save FAILED: %s\n", error.what());
+    }
+  }
+  if (!flight_path_.empty()) {
+    try {
+      const std::vector<flight::Record> records = flight::snapshot();
+      write_file(flight_path_, flight::to_json(records) + "\n");
+      std::fprintf(stderr, "[obs] flight dump saved: %zu events -> %s\n",
+                   records.size(), flight_path_.c_str());
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "[obs] flight dump FAILED: %s\n", error.what());
     }
   }
 }

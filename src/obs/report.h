@@ -32,7 +32,11 @@ HistogramSnapshot bucketize(std::string name, std::vector<double> bounds,
 ///     OLEV_TRACE_DETAIL=fine) and saves the Perfetto/Chrome trace JSON to
 ///     <path> on destruction;
 ///   - OLEV_METRICS=<path>: saves a metrics-registry JSON snapshot to
-///     <path> on destruction.
+///     <path> on destruction;
+///   - OLEV_FLIGHT=<path>: saves the flight-recorder dump
+///     (obs/flight.h to_json) to <path> on destruction -- olevd's SIGTERM
+///     drain exits through here, so a drained daemon always leaves a
+///     post-mortem.
 /// Also names the constructing thread's trace lane "main".  Prints one
 /// [obs] line per activated export so runs are self-describing; stays
 /// completely silent (and does nothing) when neither variable is set.
@@ -47,10 +51,12 @@ class EnvSession {
   bool tracing() const { return !trace_path_.empty(); }
   const std::string& trace_path() const { return trace_path_; }
   const std::string& metrics_path() const { return metrics_path_; }
+  const std::string& flight_path() const { return flight_path_; }
 
  private:
   std::string trace_path_;
   std::string metrics_path_;
+  std::string flight_path_;
 };
 
 }  // namespace olev::obs

@@ -1,0 +1,63 @@
+#include "svc/admin.h"
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "obs/span.h"
+
+namespace olev::svc {
+
+AdminClient::AdminClient(Socket socket) : socket_(std::move(socket)) {}
+
+AdminClient AdminClient::connect(const std::string& host, std::uint16_t port,
+                                 double timeout_s) {
+  return AdminClient(connect_to(host, port, timeout_s));
+}
+
+std::string AdminClient::request(std::string_view command, double timeout_s) {
+  std::string line(command);
+  line += '\n';
+  std::size_t written = 0;
+  while (written < line.size()) {
+    const std::span<const std::uint8_t> pending(
+        reinterpret_cast<const std::uint8_t*>(line.data()) + written,
+        line.size() - written);
+    const IoResult io = write_some(socket_.fd(), pending);
+    if (io.closed) {
+      throw std::runtime_error("AdminClient: peer closed during send");
+    }
+    if (io.would_block) {
+      // Blocking socket: would_block only surfaces via EINTR; retry.
+      continue;
+    }
+    written += io.bytes;
+  }
+
+  const obs::Stopwatch elapsed;
+  for (;;) {
+    const std::size_t newline = inbuf_.find('\n');
+    if (newline != std::string::npos) {
+      std::string reply = inbuf_.substr(0, newline);
+      inbuf_.erase(0, newline + 1);
+      return reply;
+    }
+    const double remaining_s = timeout_s - elapsed.seconds();
+    if (remaining_s <= 0.0) {
+      throw std::runtime_error("AdminClient: reply timeout");
+    }
+    PollItem item;
+    item.fd = socket_.fd();
+    item.want_read = true;
+    const int wait_ms = static_cast<int>(remaining_s * 1e3) + 1;
+    if (poll_fds({&item, 1}, wait_ms) == 0) continue;
+    std::uint8_t chunk[4096];
+    const IoResult io = read_some(socket_.fd(), chunk);
+    if (io.closed) {
+      throw std::runtime_error("AdminClient: peer closed before reply");
+    }
+    if (io.bytes == 0) continue;
+    inbuf_.append(reinterpret_cast<const char*>(chunk), io.bytes);
+  }
+}
+
+}  // namespace olev::svc

@@ -1,12 +1,14 @@
 #include "svc/engine.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
 
 #include "core/payment.h"
 #include "core/water_filling.h"
+#include "obs/flight.h"
 #include "util/hot.h"
 
 namespace olev::svc {
@@ -92,6 +94,11 @@ const PricingEngine::Applied& PricingEngine::apply(std::size_t player,
   if (updates_ % schedule_.players() == 0 && !converged_) {
     if (cycle_max_delta_ < config_.epsilon) {
       converged_ = true;
+      // The flight-recorder record path is allocation/lock-free (its own
+      // hot root), so calling it from inside this one is wall-legal.
+      obs::flight::record(obs::flight::Event::kRoundConverge,
+                          static_cast<std::uint64_t>(updates_),
+                          std::bit_cast<std::uint64_t>(cycle_max_delta_));
     } else {
       cycle_max_delta_ = 0.0;
     }

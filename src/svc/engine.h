@@ -79,6 +79,10 @@ class PricingEngine {
 
   /// True once a full player cycle moved every row total by < epsilon.
   bool converged() const { return converged_; }
+  /// Convergence residual: the max row-total change seen so far in the
+  /// current player cycle (compared against epsilon at each cycle boundary).
+  /// Exposed for the admin plane's engine snapshot.
+  double residual() const { return cycle_max_delta_; }
   std::size_t updates() const { return updates_; }
   /// Round-robin cursor for grid-paced announcements (updates mod players).
   std::size_t cursor() const { return updates_ % schedule_.players(); }

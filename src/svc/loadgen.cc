@@ -3,12 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <sstream>
 #include <thread>
 #include <vector>
 
 #include "net/message.h"
 #include "obs/span.h"
+#include "obs/strings.h"
 #include "svc/client.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -25,6 +25,11 @@ struct WorkerResult {
   std::uint64_t garbled = 0;
   std::uint64_t errors = 0;
   std::vector<double> latencies_us;
+  // Server-reported phase timings, one entry per validated reply.
+  std::vector<double> admit_us;
+  std::vector<double> queue_us;
+  std::vector<double> batch_us;
+  std::vector<double> solve_us;
 };
 
 bool valid_schedule(const net::ScheduleMsg& schedule, std::uint32_t player,
@@ -64,11 +69,16 @@ void run_worker(const LoadgenConfig& config, std::size_t index,
       request.player = player;
       request.round = round;
       request.total_kw = request_kw;
+      // Trace context rides the wire and comes back on the ScheduleMsg with
+      // the server's phase breakdown.  Nonzero so an un-echoed id is
+      // distinguishable from a server that never saw the context.
+      request.trace.trace_id = round + 1;
 
       std::size_t retries = 0;
       bool settled = false;
       while (!settled) {
         const std::int64_t sent_us = obs::now_micros();
+        request.trace.client_send_us = sent_us;
         client.send(request);
         ++result.sent;
         bool answered = false;
@@ -80,10 +90,19 @@ void run_worker(const LoadgenConfig& config, std::size_t index,
           }
           if (const auto* schedule = std::get_if<net::ScheduleMsg>(&*reply)) {
             if (schedule->round != round) continue;  // stale duplicate
-            if (valid_schedule(*schedule, player, round, request_kw)) {
+            if (valid_schedule(*schedule, player, round, request_kw) &&
+                schedule->trace_id == request.trace.trace_id) {
               ++result.ok;
               result.latencies_us.push_back(
                   static_cast<double>(obs::now_micros() - sent_us));
+              result.admit_us.push_back(
+                  static_cast<double>(schedule->phases.admit_us));
+              result.queue_us.push_back(
+                  static_cast<double>(schedule->phases.queue_us));
+              result.batch_us.push_back(
+                  static_cast<double>(schedule->phases.batch_us));
+              result.solve_us.push_back(
+                  static_cast<double>(schedule->phases.solve_us));
             } else {
               ++result.garbled;
             }
@@ -145,6 +164,7 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
   LoadgenReport report;
   report.wall_s = wall.seconds();
   std::vector<double> latencies;
+  std::vector<double> admit, queue, batch, solve;
   for (const WorkerResult& r : results) {
     report.requests_sent += r.sent;
     report.ok += r.ok;
@@ -155,6 +175,10 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
     report.errors += r.errors;
     latencies.insert(latencies.end(), r.latencies_us.begin(),
                      r.latencies_us.end());
+    admit.insert(admit.end(), r.admit_us.begin(), r.admit_us.end());
+    queue.insert(queue.end(), r.queue_us.begin(), r.queue_us.end());
+    batch.insert(batch.end(), r.batch_us.begin(), r.batch_us.end());
+    solve.insert(solve.end(), r.solve_us.begin(), r.solve_us.end());
   }
   if (report.wall_s > 0.0) {
     report.requests_per_s =
@@ -166,29 +190,66 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
     report.latency_p99_us = util::percentile(latencies, 99.0);
     report.latency_max_us = *std::max_element(latencies.begin(),
                                               latencies.end());
+    report.server_admit_p50_us = util::percentile(admit, 50.0);
+    report.server_admit_p95_us = util::percentile(admit, 95.0);
+    report.server_queue_p50_us = util::percentile(queue, 50.0);
+    report.server_queue_p95_us = util::percentile(queue, 95.0);
+    report.server_batch_p50_us = util::percentile(batch, 50.0);
+    report.server_batch_p95_us = util::percentile(batch, 95.0);
+    report.server_solve_p50_us = util::percentile(solve, 50.0);
+    report.server_solve_p95_us = util::percentile(solve, 95.0);
   }
   return report;
 }
 
 std::string LoadgenReport::to_json() const {
-  std::ostringstream out;
-  out << "{\n";
-  out << "  \"requests_sent\": " << requests_sent << ",\n";
-  out << "  \"ok\": " << ok << ",\n";
-  out << "  \"retry_later\": " << retry_later << ",\n";
-  out << "  \"deadline_expired\": " << deadline_expired << ",\n";
-  out << "  \"draining\": " << draining << ",\n";
-  out << "  \"garbled\": " << garbled << ",\n";
-  out << "  \"errors\": " << errors << ",\n";
-  out << "  \"clean\": " << (clean() ? "true" : "false") << ",\n";
-  out << "  \"wall_s\": " << wall_s << ",\n";
-  out << "  \"requests_per_s\": " << requests_per_s << ",\n";
-  out << "  \"latency_p50_us\": " << latency_p50_us << ",\n";
-  out << "  \"latency_p95_us\": " << latency_p95_us << ",\n";
-  out << "  \"latency_p99_us\": " << latency_p99_us << ",\n";
-  out << "  \"latency_max_us\": " << latency_max_us << "\n";
-  out << "}\n";
-  return out.str();
+  // Built with += only (gcc-12 -Wrestrict, PR105651).  Doubles go through
+  // obs::format_double: shortest round-trippable decimal, so whole-number
+  // latencies print as integers instead of the 6-significant-digit
+  // scientific notation std::ostream would lossily emit -- the same
+  // convention the obs registry JSON and BENCH_*.json comparisons use.
+  std::string out = "{\n";
+  auto field_u64 = [&out](const char* name, std::uint64_t value) {
+    out += "  \"";
+    out += name;
+    out += "\": ";
+    out += std::to_string(value);
+    out += ",\n";
+  };
+  auto field_f64 = [&out](const char* name, double value) {
+    out += "  \"";
+    out += name;
+    out += "\": ";
+    out += obs::format_double(value);
+    out += ",\n";
+  };
+  field_u64("requests_sent", requests_sent);
+  field_u64("ok", ok);
+  field_u64("retry_later", retry_later);
+  field_u64("deadline_expired", deadline_expired);
+  field_u64("draining", draining);
+  field_u64("garbled", garbled);
+  field_u64("errors", errors);
+  out += "  \"clean\": ";
+  out += clean() ? "true" : "false";
+  out += ",\n";
+  field_f64("wall_s", wall_s);
+  field_f64("requests_per_s", requests_per_s);
+  field_f64("latency_p50_us", latency_p50_us);
+  field_f64("latency_p95_us", latency_p95_us);
+  field_f64("latency_p99_us", latency_p99_us);
+  field_f64("latency_max_us", latency_max_us);
+  field_f64("server_admit_p50_us", server_admit_p50_us);
+  field_f64("server_admit_p95_us", server_admit_p95_us);
+  field_f64("server_queue_p50_us", server_queue_p50_us);
+  field_f64("server_queue_p95_us", server_queue_p95_us);
+  field_f64("server_batch_p50_us", server_batch_p50_us);
+  field_f64("server_batch_p95_us", server_batch_p95_us);
+  field_f64("server_solve_p50_us", server_solve_p50_us);
+  out += "  \"server_solve_p95_us\": ";
+  out += obs::format_double(server_solve_p95_us);
+  out += "\n}\n";
+  return out;
 }
 
 }  // namespace olev::svc

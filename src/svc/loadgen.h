@@ -41,6 +41,19 @@ struct LoadgenReport {
   double latency_p99_us = 0.0;
   double latency_max_us = 0.0;
 
+  // Server-reported phase decomposition (net::PhaseTimings riding back on
+  // each ScheduleMsg): where a request's time went inside olevd -- admission
+  // parse, queue wait, batch coalescing wait, and the engine solve.
+  // Percentiles cover validated replies only, same as the latency fields.
+  double server_admit_p50_us = 0.0;
+  double server_admit_p95_us = 0.0;
+  double server_queue_p50_us = 0.0;
+  double server_queue_p95_us = 0.0;
+  double server_batch_p50_us = 0.0;
+  double server_batch_p95_us = 0.0;
+  double server_solve_p50_us = 0.0;
+  double server_solve_p95_us = 0.0;
+
   /// Every request answered with a valid schedule, nothing dropped or
   /// garbled.  RETRY_LATER / DEADLINE_EXPIRED are explicit, well-formed
   /// outcomes but count against a "clean" run only when they starve a

@@ -2,22 +2,44 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
 #include "net/message.h"
+#include "obs/flight.h"
 #include "obs/obs.h"
+#include "obs/report.h"
+#include "obs/strings.h"
 
 namespace olev::svc {
 namespace {
 
 constexpr std::size_t kReadChunkBytes = 16 * 1024;
+/// Admin command lines are tiny ("snapshot\n"); anything longer is garbage.
+constexpr std::size_t kMaxAdminLineBytes = 256;
 
 std::int64_t micros(double seconds) {
   return static_cast<std::int64_t>(seconds * 1e6);
 }
 
+/// Phase durations ride the wire as u32 µs; clamp instead of wrapping (a
+/// negative delta can only come from clock-source skew, a >71min phase from
+/// a stalled clock -- both saturate rather than lie).
+std::uint32_t phase_us(std::int64_t delta_us) {
+  if (delta_us <= 0) return 0;
+  if (delta_us >= std::numeric_limits<std::uint32_t>::max()) {
+    return std::numeric_limits<std::uint32_t>::max();
+  }
+  return static_cast<std::uint32_t>(delta_us);
+}
+
 }  // namespace
+
+std::vector<double> default_latency_bucket_edges_us() {
+  return {0,    10,    25,    50,    100,    250,    500,    1000,
+          2500, 5000, 10000, 25000, 50000, 100000, 500000};
+}
 
 /// One connected client: its socket, the framing decoder for its byte
 /// stream, a bounded outgoing buffer, and the player binding (if any).
@@ -38,6 +60,20 @@ struct PricingService::Session {
   std::size_t pending_out() const { return outbuf.size() - outbuf_offset; }
 };
 
+/// One admin-plane client: newline-delimited text commands in, one line of
+/// JSON out per command.  Read-only and confined to the run() thread.
+struct PricingService::AdminSession {
+  explicit AdminSession(Socket sock) : socket(std::move(sock)) {}
+
+  Socket socket;
+  std::string inbuf;
+  std::string outbuf;
+  std::size_t outbuf_offset = 0;
+  bool dead = false;
+
+  std::size_t pending_out() const { return outbuf.size() - outbuf_offset; }
+};
+
 PricingService::PricingService(core::SectionCost cost, ServiceConfig config)
     : cost_(std::move(cost)),
       config_(std::move(config)),
@@ -53,6 +89,24 @@ PricingService::PricingService(core::SectionCost cost, ServiceConfig config)
       config_.announce_after_players > config_.players) {
     config_.announce_after_players = config_.players;
   }
+  if (config_.latency_bucket_edges_us.empty()) {
+    config_.latency_bucket_edges_us = default_latency_bucket_edges_us();
+  }
+  if (config_.admin_enabled) {
+    admin_listener_ = listen_on(config_.admin_port);
+    admin_port_ = local_port(admin_listener_);
+  }
+  started_us_ = obs::now_micros();
+  OLEV_OBS_ONLY({
+    obs::Registry& registry = obs::Registry::instance();
+    const std::vector<double>& edges = config_.latency_bucket_edges_us;
+    latency_hist_ = &registry.histogram("svc.request.latency_us", edges);
+    phase_admit_hist_ = &registry.histogram("svc.phase.admit_us", edges);
+    phase_queue_hist_ = &registry.histogram("svc.phase.queue_us", edges);
+    phase_batch_hist_ = &registry.histogram("svc.phase.batch_us", edges);
+    phase_solve_hist_ = &registry.histogram("svc.phase.solve_us", edges);
+    phase_write_hist_ = &registry.histogram("svc.phase.write_us", edges);
+  });
 }
 
 PricingService::~PricingService() = default;
@@ -213,6 +267,8 @@ void PricingService::dispatch(const std::shared_ptr<Session>& session,
       ++stats_.retry_later;
       OLEV_OBS_COUNTER(retries, "svc.requests.retry_later");
       OLEV_OBS_ADD(retries, 1);
+      obs::flight::record(obs::flight::Event::kBackpressure, request->player,
+                          queue_.size());
       notice.code = net::ControlCode::kRetryLater;
       send_message(session, notice);
       return;
@@ -224,7 +280,11 @@ void PricingService::dispatch(const std::shared_ptr<Session>& session,
     pending.total_kw = request->total_kw;
     pending.arrival_us = now_us;
     pending.deadline_us = now_us + micros(config_.request_deadline_s);
+    pending.admit_done_us = obs::now_micros();
+    pending.trace = request->trace;
     queue_.push_back(std::move(pending));
+    obs::flight::record(obs::flight::Event::kAdmit, request->player,
+                        queue_.size());
     return;
   }
 
@@ -243,6 +303,8 @@ void PricingService::expire_overdue(std::int64_t now_us) {
     ++stats_.deadline_expired;
     OLEV_OBS_COUNTER(expired_count, "svc.requests.expired");
     OLEV_OBS_ADD(expired_count, 1);
+    obs::flight::record(obs::flight::Event::kExpire, expired.player,
+                        expired.round);
     if (expired.session->dead) continue;
     net::ControlMsg notice;
     notice.code = net::ControlCode::kDeadlineExpired;
@@ -257,12 +319,12 @@ void PricingService::run_batch(std::int64_t now_us) {
   if (batch_size == 0) return;
   ++stats_.batches;
   stats_.max_batch_size = std::max(stats_.max_batch_size, batch_size);
+  last_batch_size_ = batch_size;
+  obs::flight::record(obs::flight::Event::kBatchFire, batch_size,
+                      queue_.size());
   OLEV_OBS_HISTOGRAM(batch_hist, "svc.batch.size",
                      {0, 1, 2, 4, 8, 16, 32, 64, 128, 256});
   OLEV_OBS_OBSERVE(batch_hist, static_cast<double>(batch_size));
-  OLEV_OBS_HISTOGRAM(latency_hist, "svc.request.latency_us",
-                     {0, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000,
-                      100000, 500000});
   const obs::Stopwatch apply_time;
   for (std::size_t i = 0; i < batch_size; ++i) {
     PendingRequest entry = std::move(queue_.front());
@@ -271,6 +333,8 @@ void PricingService::run_batch(std::int64_t now_us) {
       ++stats_.deadline_expired;
       OLEV_OBS_COUNTER(expired_count, "svc.requests.expired");
       OLEV_OBS_ADD(expired_count, 1);
+      obs::flight::record(obs::flight::Event::kExpire, entry.player,
+                          entry.round);
       if (!entry.session->dead) {
         net::ControlMsg notice;
         notice.code = net::ControlCode::kDeadlineExpired;
@@ -280,13 +344,31 @@ void PricingService::run_batch(std::int64_t now_us) {
       }
       continue;
     }
+    // Phase decomposition (docs/SERVING.md, "Phase timings"): the stamps are
+    // part of the reply protocol, so they are taken in every build flavor;
+    // only the histogram observations compile out with the obs layer.
+    const std::int64_t solve_start_us = obs::now_micros();
     const PricingEngine::Applied& applied =
         engine_.apply(entry.player, entry.total_kw);
+    const std::int64_t solve_done_us = obs::now_micros();
+    net::PhaseTimings phases;
+    phases.admit_us = phase_us(entry.admit_done_us - entry.arrival_us);
+    phases.queue_us = phase_us(now_us - entry.admit_done_us);
+    phases.batch_us = phase_us(solve_start_us - now_us);
+    phases.solve_us = phase_us(solve_done_us - solve_start_us);
     ++stats_.requests_served;
     OLEV_OBS_COUNTER(served, "svc.requests.served");
     OLEV_OBS_ADD(served, 1);
-    OLEV_OBS_OBSERVE(latency_hist,
-                     static_cast<double>(now_us - entry.arrival_us));
+    OLEV_OBS_ONLY({
+      if (latency_hist_ != nullptr) {
+        latency_hist_->observe(
+            static_cast<double>(solve_done_us - entry.arrival_us));
+        phase_admit_hist_->observe(static_cast<double>(phases.admit_us));
+        phase_queue_hist_->observe(static_cast<double>(phases.queue_us));
+        phase_batch_hist_->observe(static_cast<double>(phases.batch_us));
+        phase_solve_hist_->observe(static_cast<double>(phases.solve_us));
+      }
+    });
     if (announce_inflight_ && entry.player == announced_player_ &&
         entry.round == announced_round_) {
       announce_answered_ = true;
@@ -297,7 +379,16 @@ void PricingService::run_batch(std::int64_t now_us) {
     confirmation.round = entry.round;
     confirmation.row_kw = applied.row;
     confirmation.payment = applied.payment;
+    confirmation.trace_id = entry.trace.trace_id;
+    confirmation.phases = phases;
+    OLEV_OBS_ONLY(const std::int64_t write_start_us = obs::now_micros());
     send_message(entry.session, confirmation);
+    OLEV_OBS_ONLY({
+      if (phase_write_hist_ != nullptr) {
+        phase_write_hist_->observe(
+            static_cast<double>(obs::now_micros() - write_start_us));
+      }
+    });
   }
   OLEV_OBS_ONLY({
     OLEV_OBS_HISTOGRAM(apply_hist, "svc.batch.apply_us",
@@ -347,7 +438,16 @@ void PricingService::maybe_announce(std::int64_t now_us) {
 void PricingService::begin_drain(std::int64_t now_us) {
   draining_ = true;
   drain_deadline_us_ = now_us + micros(config_.drain_timeout_s);
+  obs::flight::record(obs::flight::Event::kDrain, queue_.size(),
+                      sessions_.size());
   listener_.close();
+  // The admin plane drains with the service: answer nothing further, flush
+  // what is already buffered once, and close.
+  admin_listener_.close();
+  for (const auto& admin : admin_sessions_) {
+    if (!admin->dead) flush_admin(*admin);
+    admin->dead = true;
+  }
   // Answer everything already admitted (one final round per max_batch slice),
   // then tell every peer we are going away and close after the flush.
   expire_overdue(now_us);
@@ -395,6 +495,142 @@ void PricingService::remove_dead_sessions() {
       std::count(bound.begin(), bound.end(), true));
 }
 
+void PricingService::accept_admin_connections() {
+  for (;;) {
+    Socket sock = accept_connection(admin_listener_);
+    if (!sock.valid()) return;
+    admin_sessions_.push_back(std::make_shared<AdminSession>(std::move(sock)));
+    ++stats_.admin_connections;
+  }
+}
+
+void PricingService::read_admin(AdminSession& session) {
+  std::uint8_t chunk[1024];
+  for (;;) {
+    const IoResult io = read_some(session.socket.fd(), chunk);
+    if (io.closed) {
+      session.dead = true;
+      return;
+    }
+    if (io.would_block || io.bytes == 0) break;
+    session.inbuf.append(reinterpret_cast<const char*>(chunk), io.bytes);
+    for (std::size_t newline = session.inbuf.find('\n');
+         newline != std::string::npos;
+         newline = session.inbuf.find('\n')) {
+      std::string line = session.inbuf.substr(0, newline);
+      session.inbuf.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      ++stats_.admin_requests;
+      session.outbuf += admin_reply(line);
+      session.outbuf += '\n';
+    }
+    if (session.inbuf.size() > kMaxAdminLineBytes) {
+      // No command is this long; the peer is not speaking the protocol.
+      session.dead = true;
+      return;
+    }
+    flush_admin(session);
+    if (session.dead) return;
+  }
+}
+
+void PricingService::flush_admin(AdminSession& session) {
+  while (session.pending_out() > 0) {
+    const std::span<const std::uint8_t> pending(
+        reinterpret_cast<const std::uint8_t*>(session.outbuf.data()) +
+            session.outbuf_offset,
+        session.pending_out());
+    const IoResult io = write_some(session.socket.fd(), pending);
+    if (io.closed) {
+      session.dead = true;
+      return;
+    }
+    if (io.would_block || io.bytes == 0) return;
+    session.outbuf_offset += io.bytes;
+  }
+  session.outbuf.clear();
+  session.outbuf_offset = 0;
+}
+
+void PricingService::remove_dead_admin_sessions() {
+  admin_sessions_.erase(
+      std::remove_if(
+          admin_sessions_.begin(), admin_sessions_.end(),
+          [](const std::shared_ptr<AdminSession>& s) { return s->dead; }),
+      admin_sessions_.end());
+}
+
+std::string PricingService::health_json() const {
+  std::string out = "{\"status\":\"";
+  out += draining_ ? "draining" : "serving";
+  out += "\",\"uptime_us\":";
+  out += std::to_string(obs::now_micros() - started_us_);
+  out += ",\"connections\":";
+  out += std::to_string(sessions_.size());
+  out += ",\"bound_players\":";
+  out += std::to_string(bound_players_);
+  out += ",\"queue_depth\":";
+  out += std::to_string(queue_.size());
+  out += ",\"requests_served\":";
+  out += std::to_string(stats_.requests_served);
+  out += '}';
+  return out;
+}
+
+std::string PricingService::engine_json() const {
+  std::string out = "{\"mode\":\"";
+  out += engine_.mode() == EngineMode::kMeanField ? "meanfield" : "exact";
+  out += "\",\"players\":";
+  out += std::to_string(engine_.players());
+  out += ",\"sections\":";
+  out += std::to_string(engine_.sections());
+  out += ",\"updates\":";
+  out += std::to_string(engine_.updates());
+  out += ",\"round\":";
+  out += std::to_string(engine_.updates() / engine_.players());
+  out += ",\"cursor\":";
+  out += std::to_string(engine_.cursor());
+  out += ",\"converged\":";
+  out += engine_.converged() ? "true" : "false";
+  out += ",\"residual\":";
+  out += obs::format_double(engine_.residual());
+  out += ",\"queue_depth\":";
+  out += std::to_string(queue_.size());
+  out += ",\"last_batch\":";
+  out += std::to_string(last_batch_size_);
+  out += ",\"max_batch\":";
+  out += std::to_string(stats_.max_batch_size);
+  out += ",\"batches\":";
+  out += std::to_string(stats_.batches);
+  out += '}';
+  return out;
+}
+
+std::string PricingService::admin_reply(std::string_view command) const {
+  // Read-only queries only; anything that mutates state stays off this
+  // plane by construction (docs/SERVING.md, "Admin protocol").
+  if (command == "health") return health_json();
+  if (command == "engine") return engine_json();
+  if (command == "metrics") {
+    return obs::to_json(obs::Registry::instance().snapshot());
+  }
+  if (command == "flight") return obs::flight::to_json(obs::flight::snapshot());
+  if (command == "snapshot") {
+    std::string out = "{\"health\":";
+    out += health_json();
+    out += ",\"engine\":";
+    out += engine_json();
+    out += ",\"metrics\":";
+    out += obs::to_json(obs::Registry::instance().snapshot());
+    out += '}';
+    return out;
+  }
+  std::string out = "{\"error\":\"unknown command '";
+  out += obs::json_escape(command);
+  out += "' (expected snapshot|health|engine|metrics|flight)\"}";
+  return out;
+}
+
 int PricingService::next_timeout_ms(std::int64_t now_us) const {
   // Capped low so request_stop(), idle reaping, and announce retries are all
   // noticed promptly even on an otherwise silent socket set.
@@ -426,6 +662,7 @@ void PricingService::run() {
 
     reap_idle(now_us);
     remove_dead_sessions();
+    remove_dead_admin_sessions();
 
     if (!draining_) {
       expire_overdue(now_us);
@@ -452,11 +689,27 @@ void PricingService::run() {
       item.want_read = true;
       items.push_back(item);
     }
+    const bool poll_admin_listener = admin_listener_.valid();
+    if (poll_admin_listener) {
+      PollItem item;
+      item.fd = admin_listener_.fd();
+      item.want_read = true;
+      items.push_back(item);
+    }
+    const std::size_t session_count = sessions_.size();
     for (const auto& session : sessions_) {
       PollItem item;
       item.fd = session->socket.fd();
       item.want_read = !session->closing;
       item.want_write = session->pending_out() > 0;
+      items.push_back(item);
+    }
+    const std::size_t admin_count = admin_sessions_.size();
+    for (const auto& admin : admin_sessions_) {
+      PollItem item;
+      item.fd = admin->socket.fd();
+      item.want_read = true;
+      item.want_write = admin->pending_out() > 0;
       items.push_back(item);
     }
     if (items.empty()) {
@@ -472,10 +725,14 @@ void PricingService::run() {
       if (items[index].readable) accept_new_connections();
       ++index;
     }
-    // Snapshot: accept_new_connections() may have grown sessions_, but the
-    // poll results only cover the first `items.size() - offset` of them.
+    if (poll_admin_listener) {
+      if (items[index].readable) accept_admin_connections();
+      ++index;
+    }
+    // Snapshot: the accept calls may have grown the session vectors, but the
+    // poll results only cover the counts recorded before poll_fds.
     const std::int64_t io_now_us = obs::now_micros();
-    for (std::size_t s = 0; index < items.size(); ++index, ++s) {
+    for (std::size_t s = 0; s < session_count; ++index, ++s) {
       const std::shared_ptr<Session> session = sessions_[s];
       const PollItem& item = items[index];
       if (session->dead) continue;
@@ -485,8 +742,19 @@ void PricingService::run() {
       if (session->dead) continue;
       if (item.hangup && !item.readable) session->dead = true;
     }
+    for (std::size_t a = 0; a < admin_count; ++index, ++a) {
+      const std::shared_ptr<AdminSession> admin = admin_sessions_[a];
+      const PollItem& item = items[index];
+      if (admin->dead) continue;
+      if (item.writable) flush_admin(*admin);
+      if (admin->dead) continue;
+      if (item.readable) read_admin(*admin);
+      if (admin->dead) continue;
+      if (item.hangup && !item.readable) admin->dead = true;
+    }
   }
   remove_dead_sessions();
+  remove_dead_admin_sessions();
 }
 
 }  // namespace olev::svc

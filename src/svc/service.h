@@ -30,6 +30,16 @@
 // DRAINING notice, and run() returns once the flushes complete (or the drain
 // deadline forces the issue).
 //
+// Telemetry: every request is decomposed into admit -> queue -> batch ->
+// solve -> write phases; the first four ride back to the client on the
+// ScheduleMsg (net::PhaseTimings) and all five feed `svc.phase.*_us`
+// histograms.  An optional admin plane (ServiceConfig::admin_enabled) runs a
+// second read-only loopback listener on the same poll loop answering line
+// commands with one-line JSON snapshots -- metrics registry, engine/round
+// state, health, flight-recorder dump (docs/SERVING.md, "Admin protocol").
+// Request-lifecycle events (admit, batch fire, backpressure, expiry, drain)
+// are recorded into the obs flight recorder as they happen.
+//
 // Thread-safety contract (docs/ANALYSIS.md "Thread-safety contract"): this
 // layer holds NO mutex by design.  Every field below is confined to the
 // run() thread; the only cross-thread entry points are request_stop() (one
@@ -47,14 +57,25 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/cost.h"
+#include "net/message.h"
+#include "obs/metrics.h"
 #include "svc/engine.h"
 #include "svc/frame.h"
 #include "svc/socket.h"
 
 namespace olev::svc {
+
+/// Default upper bucket edges (µs) for `svc.request.latency_us` and the
+/// per-phase `svc.phase.*_us` histograms.  The sub-100µs edges resolve the
+/// regime a 0µs-window loopback service actually serves in (~100k rps lands
+/// most requests below 100µs, where the old coarse layout lumped everything
+/// into two buckets).  tests/test_admin.cc pins this layout.
+std::vector<double> default_latency_bucket_edges_us();
 
 struct ServiceConfig {
   std::uint16_t port = 0;  ///< 0 = kernel-assigned (read back via port())
@@ -84,6 +105,18 @@ struct ServiceConfig {
   bool announce = false;
   std::size_t announce_after_players = 0;
   double announce_retry_s = 1.0;  ///< re-announce into silence (lost client)
+
+  // Observability.
+  /// Bucket edges for the request-latency and phase histograms.  First
+  /// registration fixes the layout process-wide (obs::Registry contract);
+  /// an empty vector falls back to default_latency_bucket_edges_us().
+  std::vector<double> latency_bucket_edges_us;
+  /// Read-only admin/telemetry plane (docs/SERVING.md, "Admin protocol"):
+  /// a second loopback listener answering line commands ("snapshot",
+  /// "health", "engine", "metrics", "flight") with one-line JSON.  Off by
+  /// default; olevd enables it with --admin-port.
+  bool admin_enabled = false;
+  std::uint16_t admin_port = 0;  ///< 0 = kernel-assigned (read admin_port())
 };
 
 /// Plain counters, readable after run() returns (the loop is single-
@@ -107,6 +140,8 @@ struct ServiceStats {
   std::uint64_t max_batch_size = 0;
   std::uint64_t announce_retransmissions = 0;
   std::uint64_t write_overflows = 0;
+  std::uint64_t admin_connections = 0;
+  std::uint64_t admin_requests = 0;
 };
 
 class PricingService {
@@ -119,6 +154,8 @@ class PricingService {
   PricingService& operator=(const PricingService&) = delete;
 
   std::uint16_t port() const { return port_; }
+  /// Resolved admin-plane port; 0 when the admin plane is disabled.
+  std::uint16_t admin_port() const { return admin_port_; }
 
   /// Serves until request_stop() and the subsequent drain complete.
   void run();
@@ -135,6 +172,7 @@ class PricingService {
 
  private:
   struct Session;
+  struct AdminSession;
   struct PendingRequest {
     std::shared_ptr<Session> session;
     std::uint32_t player = 0;
@@ -142,6 +180,8 @@ class PricingService {
     double total_kw = 0.0;
     std::int64_t arrival_us = 0;
     std::int64_t deadline_us = 0;
+    std::int64_t admit_done_us = 0;  ///< enqueue stamp (ends the admit phase)
+    net::TraceContext trace;         ///< echoed on the ScheduleMsg reply
   };
 
   void accept_new_connections();
@@ -163,6 +203,16 @@ class PricingService {
   int next_timeout_ms(std::int64_t now_us) const;
   std::shared_ptr<Session> bound_session(std::size_t player) const;
 
+  // Admin plane (read-only; confined to the run() thread like everything
+  // else, so snapshots need no synchronization with the engine).
+  void accept_admin_connections();
+  void read_admin(AdminSession& session);
+  void flush_admin(AdminSession& session);
+  void remove_dead_admin_sessions();
+  std::string admin_reply(std::string_view command) const;
+  std::string health_json() const;
+  std::string engine_json() const;
+
   // All confined to the run() thread (see the thread-safety contract in the
   // header comment); stop_requested_ is the one cross-thread flag.
   core::SectionCost cost_;
@@ -170,10 +220,25 @@ class PricingService {
   PricingEngine engine_;
   Socket listener_;
   std::uint16_t port_ = 0;
+  Socket admin_listener_;
+  std::uint16_t admin_port_ = 0;
   std::vector<std::shared_ptr<Session>> sessions_;
+  std::vector<std::shared_ptr<AdminSession>> admin_sessions_;
   std::deque<PendingRequest> queue_;
   ServiceStats stats_;
   std::atomic<bool> stop_requested_{false};
+  std::int64_t started_us_ = 0;
+  std::size_t last_batch_size_ = 0;
+
+  // Request-latency and phase histograms, registered once at construction
+  // with the config's bucket edges.  Null only when OLEV_OBS is compiled
+  // out (the pointers then stay unused).
+  obs::Histogram* latency_hist_ = nullptr;
+  obs::Histogram* phase_admit_hist_ = nullptr;
+  obs::Histogram* phase_queue_hist_ = nullptr;
+  obs::Histogram* phase_batch_hist_ = nullptr;
+  obs::Histogram* phase_solve_hist_ = nullptr;
+  obs::Histogram* phase_write_hist_ = nullptr;
 
   // Drain state.
   bool draining_ = false;

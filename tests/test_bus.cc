@@ -28,7 +28,7 @@ TEST(MessageBus, DeliversAfterLatency) {
 
 TEST(MessageBus, PayloadSurvivesWireRoundTrip) {
   MessageBus bus(perfect_link());
-  PowerRequestMsg msg{3, 9, 12.5};
+  PowerRequestMsg msg{3, 9, 12.5, {}};
   bus.send(4, kGridNode, 0.0, msg);
   const auto delivered = bus.poll(kGridNode, 1.0);
   ASSERT_EQ(delivered.size(), 1u);
@@ -53,9 +53,9 @@ TEST(MessageBus, UndeliveredMessagesStayQueued) {
 
 TEST(MessageBus, ArrivalOrderPreserved) {
   MessageBus bus(perfect_link());
-  bus.send(1, 2, 0.00, PowerRequestMsg{0, 1, 0.0});
-  bus.send(1, 2, 0.01, PowerRequestMsg{0, 2, 0.0});
-  bus.send(1, 2, 0.02, PowerRequestMsg{0, 3, 0.0});
+  bus.send(1, 2, 0.00, PowerRequestMsg{0, 1, 0.0, {}});
+  bus.send(1, 2, 0.01, PowerRequestMsg{0, 2, 0.0, {}});
+  bus.send(1, 2, 0.02, PowerRequestMsg{0, 3, 0.0, {}});
   const auto delivered = bus.poll(2, 1.0);
   ASSERT_EQ(delivered.size(), 3u);
   EXPECT_EQ(std::get<PowerRequestMsg>(delivered[0].payload).round, 1u);
@@ -95,30 +95,30 @@ TEST(MessageBus, JitterStaysWithinBound) {
 
 TEST(MessageBus, StatsCountBytes) {
   MessageBus bus(perfect_link());
-  bus.send(1, 2, 0.0, PowerRequestMsg{1, 2, 3.0});
-  EXPECT_EQ(bus.stats().bytes_sent, 21u);
+  bus.send(1, 2, 0.0, PowerRequestMsg{1, 2, 3.0, {}});
+  EXPECT_EQ(bus.stats().bytes_sent, 37u);
 }
 
 TEST(MessageBus, StatsCountDeliveredBytes) {
   MessageBus bus(perfect_link());
-  bus.send(1, 2, 0.0, PowerRequestMsg{1, 2, 3.0});
-  bus.send(1, 3, 0.0, PowerRequestMsg{1, 2, 3.0});
+  bus.send(1, 2, 0.0, PowerRequestMsg{1, 2, 3.0, {}});
+  bus.send(1, 3, 0.0, PowerRequestMsg{1, 2, 3.0, {}});
   // Sent but not yet handed to a receiver: nothing delivered.
-  EXPECT_EQ(bus.stats().bytes_sent, 42u);
+  EXPECT_EQ(bus.stats().bytes_sent, 74u);
   EXPECT_EQ(bus.stats().bytes_delivered, 0u);
   ASSERT_EQ(bus.poll(2, 1.0).size(), 1u);
-  EXPECT_EQ(bus.stats().bytes_delivered, 21u);  // only node 2's envelope
+  EXPECT_EQ(bus.stats().bytes_delivered, 37u);  // only node 2's envelope
   ASSERT_EQ(bus.poll(3, 1.0).size(), 1u);
-  EXPECT_EQ(bus.stats().bytes_delivered, 42u);
+  EXPECT_EQ(bus.stats().bytes_delivered, 74u);
 }
 
 TEST(MessageBus, DroppedBytesAreNeverDelivered) {
   LinkModel lossy = perfect_link();
   lossy.drop_probability = 1.0;
   MessageBus bus(lossy);
-  bus.send(1, 2, 0.0, PowerRequestMsg{1, 2, 3.0});
+  bus.send(1, 2, 0.0, PowerRequestMsg{1, 2, 3.0, {}});
   EXPECT_TRUE(bus.poll(2, 1.0).empty());
-  EXPECT_EQ(bus.stats().bytes_sent, 21u);
+  EXPECT_EQ(bus.stats().bytes_sent, 37u);
   EXPECT_EQ(bus.stats().bytes_delivered, 0u);
 }
 

@@ -178,7 +178,10 @@ TEST(FrameFuzz, SingleByteMutationsNeverCrashAndStayBounded) {
       EXPECT_FALSE(decoder.next().has_value());
     } else {
       EXPECT_EQ(fed_ok, stream.size());
-      EXPECT_LE(decoder.frames_decoded(), messages.size());
+      // A shrunk length prefix can carve one pristine frame into several
+      // smaller ones, so the only true bound is the bytes themselves: each
+      // decoded frame costs at least its header.
+      EXPECT_LE(decoder.frames_decoded(), pristine.size() / kFrameHeaderBytes);
     }
   }
 }

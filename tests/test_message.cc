@@ -38,8 +38,18 @@ TEST(Message, PaymentFunctionEmptyVector) {
 }
 
 TEST(Message, PowerRequestRoundTrip) {
-  PowerRequestMsg msg{9, 1234567890123ULL, 33.25};
+  PowerRequestMsg msg{9, 1234567890123ULL, 33.25, {}};
   EXPECT_EQ(round_trip(msg), msg);
+}
+
+TEST(Message, PowerRequestTraceContextRoundTrip) {
+  PowerRequestMsg msg{9, 7, 12.5, {}};
+  msg.trace.trace_id = 0xdeadbeefcafef00dULL;
+  msg.trace.client_send_us = -12345;  // negative stamps must survive the cast
+  const auto back = round_trip(msg);
+  EXPECT_EQ(back.trace.trace_id, 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(back.trace.client_send_us, -12345);
+  EXPECT_EQ(back, msg);
 }
 
 TEST(Message, ScheduleRoundTrip) {
@@ -51,8 +61,22 @@ TEST(Message, ScheduleRoundTrip) {
   EXPECT_EQ(round_trip(msg), msg);
 }
 
+TEST(Message, SchedulePhaseTimingsRoundTrip) {
+  ScheduleMsg msg;
+  msg.player = 1;
+  msg.round = 3;
+  msg.row_kw = {4.0};
+  msg.payment = 1.5;
+  msg.trace_id = 42;
+  msg.phases = PhaseTimings{11, 222, 3333, 44444};
+  const auto back = round_trip(msg);
+  EXPECT_EQ(back.trace_id, 42u);
+  EXPECT_EQ(back.phases, (PhaseTimings{11, 222, 3333, 44444}));
+  EXPECT_EQ(back, msg);
+}
+
 TEST(Message, SpecialDoubleValuesSurvive) {
-  PowerRequestMsg msg{0, 0, -0.0};
+  PowerRequestMsg msg{0, 0, -0.0, {}};
   const auto back = round_trip(msg);
   EXPECT_EQ(back.total_kw, 0.0);
   msg.total_kw = std::numeric_limits<double>::infinity();
@@ -69,7 +93,7 @@ TEST(Message, UnknownTagThrows) {
 }
 
 TEST(Message, TruncatedPayloadThrows) {
-  auto bytes = serialize(Message(PowerRequestMsg{1, 2, 3.0}));
+  auto bytes = serialize(Message(PowerRequestMsg{1, 2, 3.0, {}}));
   bytes.resize(bytes.size() - 1);
   EXPECT_THROW(deserialize(bytes), std::runtime_error);
 }
@@ -141,16 +165,27 @@ TEST(Message, RandomizedRoundTripEveryType) {
         msg = m;
         break;
       }
-      case 2:
-        msg = PowerRequestMsg{static_cast<std::uint32_t>(rng()), rng(),
-                              random_double()};
+      case 2: {
+        PowerRequestMsg m;
+        m.player = static_cast<std::uint32_t>(rng());
+        m.round = rng();
+        m.total_kw = random_double();
+        m.trace.trace_id = rng();
+        m.trace.client_send_us = static_cast<std::int64_t>(rng());
+        msg = m;
         break;
+      }
       case 3: {
         ScheduleMsg m;
         m.player = static_cast<std::uint32_t>(rng());
         m.round = rng();
         m.row_kw = random_vector();
         m.payment = random_double();
+        m.trace_id = rng();
+        m.phases.admit_us = static_cast<std::uint32_t>(rng());
+        m.phases.queue_us = static_cast<std::uint32_t>(rng());
+        m.phases.batch_us = static_cast<std::uint32_t>(rng());
+        m.phases.solve_us = static_cast<std::uint32_t>(rng());
         msg = m;
         break;
       }
@@ -195,8 +230,13 @@ TEST(Message, FuzzTruncationsOfValidMessages) {
 }
 
 TEST(Message, WireFormatIsCompact) {
-  // tag(1) + player(4) + round(8) + total(8) = 21 bytes.
-  EXPECT_EQ(serialize(Message(PowerRequestMsg{1, 2, 3.0})).size(), 21u);
+  // tag(1) + player(4) + round(8) + total(8) + trace_id(8) + send_us(8) = 37.
+  EXPECT_EQ(serialize(Message(PowerRequestMsg{1, 2, 3.0, {}})).size(), 37u);
+  // tag(1) + player(4) + round(8) + len(4) + 1*8 + payment(8)
+  //   + trace_id(8) + 4 phase u32(16) = 57.
+  ScheduleMsg schedule;
+  schedule.row_kw = {1.0};
+  EXPECT_EQ(serialize(Message(schedule)).size(), 57u);
   // tag + player + round + len(4) + 2*8.
   PaymentFunctionMsg msg;
   msg.others_load_kw = {1.0, 2.0};

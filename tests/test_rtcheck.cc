@@ -20,6 +20,7 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -27,6 +28,7 @@
 #include "core/game.h"
 #include "core/mean_field.h"
 #include "core/satisfaction.h"
+#include "obs/flight.h"
 #include "svc/engine.h"
 #include "util/audit.h"
 #include "util/hot.h"
@@ -189,6 +191,50 @@ TEST(HotPathsClean, MeanFieldGameRunsWithoutHotAllocations) {
   const olev::core::MeanFieldResult result = game.run();
   EXPECT_TRUE(result.converged);
   EXPECT_EQ(audit::hot_alloc_violations(), 0u);
+}
+
+TEST(HotPathsClean, FlightRecordIsAllocationFreeInsideHotRegions) {
+  // The flight recorder's record path is itself a registered hot root; hammer
+  // it through deep ring wraparound with an armed region to prove the seqlock
+  // write path never touches the allocator (or a lock, via AuditFailure).
+  audit::reset_hot_alloc_violations();
+  olev::obs::flight::reset();
+  {
+    audit::HotRegion region{"rt.test.flight-record"};
+    for (std::uint64_t i = 0; i < 4 * olev::obs::flight::kSlotsPerLane; ++i) {
+      olev::obs::flight::record(olev::obs::flight::Event::kAdmit, i, i);
+    }
+  }
+  EXPECT_EQ(audit::hot_alloc_violations(), 0u);
+  EXPECT_GE(olev::obs::flight::total_recorded(),
+            4 * olev::obs::flight::kSlotsPerLane);
+}
+
+TEST(HotPathsClean, EngineConvergenceRecordsFlightEventWithoutAllocating) {
+  // PricingEngine::apply records kRoundConverge from INSIDE its own armed
+  // hot region when the fixed point is reached -- the event must land in the
+  // recorder and the interposer must stay silent.
+  audit::reset_hot_alloc_violations();
+  olev::obs::flight::reset();
+  olev::svc::EngineConfig config;
+  config.players = 3;
+  config.sections = 4;
+  olev::svc::PricingEngine engine(make_cost(), config);
+  for (int round = 0; round < 4 && !engine.converged(); ++round) {
+    for (std::size_t player = 0; player < config.players; ++player) {
+      engine.apply(player, 12.0);
+    }
+  }
+  EXPECT_TRUE(engine.converged());
+  EXPECT_EQ(audit::hot_alloc_violations(), 0u);
+  bool saw_converge = false;
+  for (const olev::obs::flight::Record& rec : olev::obs::flight::snapshot()) {
+    if (rec.event == olev::obs::flight::Event::kRoundConverge) {
+      saw_converge = true;
+      EXPECT_EQ(rec.a, engine.updates());
+    }
+  }
+  EXPECT_TRUE(saw_converge);
 }
 
 TEST(HotPathsClean, PricingEngineServesWithoutHotAllocations) {

@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""Advisory bench-drift check against the committed BENCH_*.json baselines.
+
+The repo pins two performance artifacts at the root:
+
+  BENCH_micro_hotpath.json   google-benchmark timings of the solver hot path
+                             (the `micro_hotpath` array, `post_pr_ns` per name)
+  BENCH_sweep.json           the parallel-sweep + serving hot-path report
+                             written by bench/bench_sweep.cpp
+
+This tool compares a *fresh* run against those baselines and reports the
+drift per series.  It is advisory by default: CI machines are noisy and the
+committed numbers come from a different box, so the check prints a table and
+always exits 0 unless --strict is given, in which case any series drifting
+past --tolerance (default 1.5x in either direction) fails the run.
+
+Fresh inputs:
+
+  --micro FILE   output of `bench_micro_core --benchmark_format=json`
+                 (google-benchmark JSON: benchmarks[].name / real_time)
+  --sweep FILE   a BENCH_sweep.json written by a fresh bench_sweep run
+                 (run it with a different cwd so it does not clobber the
+                 committed baseline)
+
+Either input may be omitted; the corresponding comparison is skipped.
+
+Usage:
+  ./build/bench/bench_micro_core --benchmark_format=json > fresh_micro.json
+  (cd build && ./bench/bench_sweep)
+  python3 tools/bench_compare.py --micro fresh_micro.json \\
+      --sweep build/BENCH_sweep.json
+  python3 tools/bench_compare.py --self-test
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+_UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_json(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def micro_baseline_ns(baseline):
+    """BENCH_micro_hotpath.json -> {benchmark name: post_pr_ns}."""
+    out = {}
+    for entry in baseline.get("micro_hotpath", []):
+        if "post_pr_ns" in entry:
+            out[entry["benchmark"]] = float(entry["post_pr_ns"])
+    return out
+
+
+def fresh_micro_ns(report):
+    """google-benchmark JSON -> {benchmark name: real_time in ns}."""
+    out = {}
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue  # keep per-repetition means out of the table
+        scale = _UNIT_TO_NS.get(bench.get("time_unit", "ns"))
+        if scale is None:
+            continue
+        out[bench["name"]] = float(bench["real_time"]) * scale
+    return out
+
+
+def sweep_series(report):
+    """BENCH_sweep.json -> {series name: value} (higher is better)."""
+    out = {}
+    hot = report.get("hot_path", {})
+    if "updates_per_sec" in hot:
+        out["hot_path.updates_per_sec"] = float(hot["updates_per_sec"])
+    for point in report.get("sweep", []):
+        key = "sweep.t%d.scenarios_per_sec" % int(point["threads"])
+        out[key] = float(point["scenarios_per_sec"])
+    return out
+
+
+def compare(baseline, fresh, tolerance, higher_is_better, label, out):
+    """Appends drift rows; returns the names drifting past tolerance."""
+    drifted = []
+    for name in sorted(baseline):
+        if name not in fresh:
+            continue
+        base, cur = baseline[name], fresh[name]
+        if base <= 0 or cur <= 0:
+            continue
+        # Normalize so ratio > 1 always means "got worse".
+        ratio = base / cur if higher_is_better else cur / base
+        flag = ""
+        if ratio > tolerance or ratio < 1.0 / tolerance:
+            drifted.append(name)
+            flag = "  <-- drift"
+        out.append("  %-40s base %12.1f  fresh %12.1f  %5.2fx%s"
+                   % (name, base, cur, ratio, flag))
+    if not any(name in fresh for name in baseline):
+        out.append("  (no overlapping %s series)" % label)
+    return drifted
+
+
+def run(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--micro", help="fresh google-benchmark JSON")
+    parser.add_argument("--sweep", help="fresh BENCH_sweep.json")
+    parser.add_argument("--baseline-dir", default=REPO_ROOT,
+                        help="directory holding the committed BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=1.5,
+                        help="flag ratios outside [1/T, T] (default 1.5)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 on any flagged drift (default: advisory)")
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+
+    lines = []
+    drifted = []
+    if args.micro:
+        base = micro_baseline_ns(
+            load_json(os.path.join(args.baseline_dir,
+                                   "BENCH_micro_hotpath.json")))
+        fresh = fresh_micro_ns(load_json(args.micro))
+        lines.append("micro hot path (ns, lower is better):")
+        drifted += compare(base, fresh, args.tolerance,
+                           higher_is_better=False, label="micro", out=lines)
+    if args.sweep:
+        base = sweep_series(
+            load_json(os.path.join(args.baseline_dir, "BENCH_sweep.json")))
+        fresh = sweep_series(load_json(args.sweep))
+        lines.append("sweep / serving hot path (per-sec, higher is better):")
+        drifted += compare(base, fresh, args.tolerance,
+                           higher_is_better=True, label="sweep", out=lines)
+    if not args.micro and not args.sweep:
+        parser.error("nothing to compare: pass --micro and/or --sweep")
+
+    print("\n".join(lines))
+    if drifted:
+        print("bench_compare: %d series drifted past %.2fx: %s"
+              % (len(drifted), args.tolerance, ", ".join(drifted)))
+        if args.strict:
+            return 1
+        print("bench_compare: advisory mode, not failing the run")
+    else:
+        print("bench_compare: all overlapping series within %.2fx"
+              % args.tolerance)
+    return 0
+
+
+# --- self-test ---------------------------------------------------------------
+
+def self_test():
+    failures = []
+
+    def check(name, condition):
+        if not condition:
+            failures.append(name)
+
+    baseline = micro_baseline_ns({"micro_hotpath": [
+        {"benchmark": "BM_A/10", "post_pr_ns": 100.0, "pre_pr_ns": 120.0},
+        {"benchmark": "BM_B/10"},  # no post_pr_ns -> skipped
+    ]})
+    check("micro baseline parses post_pr_ns", baseline == {"BM_A/10": 100.0})
+
+    fresh = fresh_micro_ns({"benchmarks": [
+        {"name": "BM_A/10", "real_time": 0.12, "time_unit": "us"},
+        {"name": "BM_A/10_mean", "real_time": 1.0, "time_unit": "us",
+         "run_type": "aggregate"},
+    ]})
+    check("google-benchmark units normalize to ns",
+          abs(fresh["BM_A/10"] - 120.0) < 1e-9)
+    check("aggregate rows are dropped", "BM_A/10_mean" not in fresh)
+
+    out = []
+    drifted = compare(baseline, fresh, tolerance=1.5,
+                      higher_is_better=False, label="micro", out=out)
+    check("1.2x slowdown is within 1.5x tolerance", drifted == [])
+    drifted = compare(baseline, {"BM_A/10": 200.0}, tolerance=1.5,
+                      higher_is_better=False, label="micro", out=out)
+    check("2.0x slowdown is flagged", drifted == ["BM_A/10"])
+    drifted = compare(baseline, {"BM_A/10": 40.0}, tolerance=1.5,
+                      higher_is_better=False, label="micro", out=out)
+    check("2.5x speedup is flagged too (baseline is stale)",
+          drifted == ["BM_A/10"])
+
+    series = sweep_series({
+        "sweep": [{"threads": 2, "scenarios_per_sec": 1000.0}],
+        "hot_path": {"updates_per_sec": 470431.0},
+    })
+    check("sweep series extracts both families",
+          series == {"sweep.t2.scenarios_per_sec": 1000.0,
+                     "hot_path.updates_per_sec": 470431.0})
+    out = []
+    drifted = compare(series, {"hot_path.updates_per_sec": 200000.0},
+                      tolerance=2.0, higher_is_better=True,
+                      label="sweep", out=out)
+    check("throughput regression past tolerance is flagged",
+          drifted == ["hot_path.updates_per_sec"])
+    drifted = compare(series, {"hot_path.updates_per_sec": 400000.0},
+                      tolerance=2.0, higher_is_better=True,
+                      label="sweep", out=out)
+    check("mild throughput dip passes", drifted == [])
+
+    if failures:
+        for name in failures:
+            print("self-test FAIL:", name)
+        return 1
+    print("bench_compare self-test: %d checks OK" % 9)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run(sys.argv[1:]))

@@ -59,6 +59,18 @@ that util/quantity.h makes checkable but cannot enforce by itself:
                           operational binaries in tools/*.cpp
                           (docs/ANALYSIS.md "Thread-safety contract").
 
+  R7 raw-print            Library code under src/ must not write diagnostics
+                          to stdout/stderr directly (printf, fprintf, puts,
+                          std::cout, std::cerr, ...): ad-hoc prints bypass
+                          the log levels of util/log.h and corrupt the
+                          stdout protocol of the operational binaries (the
+                          olevd ready line is scraped by CI).  src/obs is
+                          exempt (it IS the reporting layer: EnvSession's
+                          exit summaries), as is src/util/log.cc (the log
+                          sink).  snprintf-style formatting into buffers
+                          stays legal.  Tools/examples/bench keep printing:
+                          they are the user-facing surface.
+
 The behavioral rules (R2 float-equality, R4 raw-clock, R5 raw-socket,
 R6 raw-sync) additionally sweep the runnable surface outside src/: every
 example (examples/*.cpp) and benchmark (bench/*.cpp, bench/*.h).  Those
@@ -152,6 +164,17 @@ R6_SYNC = re.compile(
     r"|shared_mutex|shared_timed_mutex|condition_variable"
     r"|condition_variable_any|lock_guard|unique_lock|scoped_lock"
     r"|shared_lock)\b"
+)
+
+# R7: direct stdout/stderr diagnostics in library code.  `\bprintf` does not
+# match the tail of snprintf/sprintf/vsnprintf (no word boundary after a
+# word character), so buffer formatting stays legal by construction.
+PRINT_EXEMPT_PREFIX = "src/obs/"
+PRINT_EXEMPT_FILES = {"src/util/log.cc"}
+R7_PRINT = re.compile(
+    r"\bstd\s*::\s*(?:cout|cerr|clog)\b"
+    r"|\b(?:std\s*::\s*)?(?:printf|fprintf|vfprintf|puts|fputs|putchar"
+    r"|perror)\s*\("
 )
 
 COMMENT = re.compile(r"//.*$")
@@ -279,6 +302,28 @@ def lint_raw_sync(path: str, text: str) -> list[Finding]:
     return findings
 
 
+def lint_raw_print(path: str, text: str) -> list[Finding]:
+    if path.startswith(PRINT_EXEMPT_PREFIX) or path in PRINT_EXEMPT_FILES:
+        return []  # the reporting layer and the log sink
+    findings = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        code = strip_comment(line)
+        match = R7_PRINT.search(code)
+        if match:
+            findings.append(
+                Finding(
+                    "raw-print",
+                    path,
+                    number,
+                    f"direct diagnostic '{match.group(0).strip()}' in library "
+                    "code; log through util/log.h or report through src/obs "
+                    "(ad-hoc prints bypass log levels and corrupt tool "
+                    "stdout protocols)",
+                )
+            )
+    return findings
+
+
 def lint_nodiscard_solvers(path: str, text: str) -> list[Finding]:
     names = ENTRY_POINTS.get(path)
     if not names:
@@ -364,6 +409,7 @@ def run_lint(root: pathlib.Path) -> list[Finding]:
         text = source.read_text()
         findings.extend(lint_raw_sockets(rel, text))
         findings.extend(lint_raw_sync(rel, text))
+        findings.extend(lint_raw_print(rel, text))
     for source in tools:
         rel = source.relative_to(root).as_posix()
         findings.extend(lint_raw_sync(rel, source.read_text()))
@@ -562,6 +608,48 @@ SELF_TESTS = [
         True,  # bench timing must go through obs::Stopwatch too
     ),
     (
+        lint_raw_print,
+        "src/core/fake.cc",
+        'std::printf("debug: welfare=%g\\n", welfare);\n',
+        True,
+    ),
+    (
+        lint_raw_print,
+        "src/svc/fake.cc",
+        'std::cerr << "dropping session\\n";\n',
+        True,
+    ),
+    (
+        lint_raw_print,
+        "src/net/fake.cc",
+        'fprintf(stderr, "bad frame\\n");\n',
+        True,
+    ),
+    (
+        lint_raw_print,
+        "src/net/fake.cc",
+        'std::snprintf(buffer, sizeof buffer, "%g", value);\n',
+        False,  # formatting into a buffer is not a diagnostic
+    ),
+    (
+        lint_raw_print,
+        "src/obs/report.cc",
+        'std::fprintf(stderr, "[obs] metrics saved\\n");\n',
+        False,  # the reporting layer is the one place allowed to print
+    ),
+    (
+        lint_raw_print,
+        "src/util/log.cc",
+        'std::cerr << "[olev] " << message;\n',
+        False,  # the log sink itself
+    ),
+    (
+        lint_raw_print,
+        "src/core/fake.cc",
+        "// std::cout << schedule; -- debugging leftover, commented\n",
+        False,
+    ),
+    (
         lint_nodiscard_solvers,
         "src/core/central.h",
         "CentralResult maximize_welfare(std::span<const double> p_max);\n",
@@ -611,7 +699,7 @@ def main() -> int:
     print(
         f"olev_lint: clean ({len(headers)} public headers, "
         f"{len(sources)} files swept for float equality, "
-        f"{len(swept)} for raw sockets/sync, {len(tools)} tool binaries, "
+        f"{len(swept)} for raw sockets/sync/prints, {len(tools)} tool binaries, "
         f"{len(extras)} examples/bench files)"
     )
     return 0

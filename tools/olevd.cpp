@@ -34,6 +34,8 @@ void handle_signal(int) {
 
 struct Options {
   std::uint16_t port = 0;
+  bool admin = false;
+  std::uint16_t admin_port = 0;
   std::size_t players = 8;
   std::size_t sections = 4;
   double epsilon = 1e-7;
@@ -57,6 +59,9 @@ void usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0 << " [options]\n"
       << "  --port N             listen port (default 0 = kernel-assigned)\n"
+      << "  --admin-port N       enable the read-only admin/telemetry plane\n"
+      << "                       on this loopback port (0 = kernel-assigned;\n"
+      << "                       off unless the flag is given)\n"
       << "  --players N          player universe size (default 8)\n"
       << "  --sections N         charging sections (default 4)\n"
       << "  --epsilon X          convergence threshold (default 1e-7)\n"
@@ -95,6 +100,9 @@ bool parse(int argc, char** argv, Options& options) {
       return false;
     } else if (arg == "--port") {
       options.port = static_cast<std::uint16_t>(next_u());
+    } else if (arg == "--admin-port") {
+      options.admin = true;
+      options.admin_port = static_cast<std::uint16_t>(next_u());
     } else if (arg == "--players") {
       options.players = next_u();
     } else if (arg == "--sections") {
@@ -167,6 +175,8 @@ int main(int argc, char** argv) {
   config.idle_timeout_s = options.idle_timeout_s;
   config.announce = options.announce;
   config.engine_mode = options.engine;
+  config.admin_enabled = options.admin;
+  config.admin_port = options.admin_port;
 
   try {
     olev::svc::PricingService service(std::move(cost), config);
@@ -179,6 +189,12 @@ int main(int argc, char** argv) {
     // scrape it for the resolved port before launching clients.
     std::printf("olevd: listening on 127.0.0.1:%u\n",
                 static_cast<unsigned>(service.port()));
+    if (service.admin_port() != 0) {
+      // Same contract as the ready line: olev_top and the CI admin smoke
+      // job scrape this for the resolved admin port.
+      std::printf("olevd: admin on 127.0.0.1:%u\n",
+                  static_cast<unsigned>(service.admin_port()));
+    }
     std::fflush(stdout);
 
     service.run();

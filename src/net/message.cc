@@ -185,7 +185,7 @@ Message deserialize(std::span<const std::uint8_t> bytes) {
       ControlMsg msg;
       const std::uint8_t code = r.u8();
       if (code < static_cast<std::uint8_t>(ControlCode::kRetryLater) ||
-          code > static_cast<std::uint8_t>(ControlCode::kConverged)) {
+          code > static_cast<std::uint8_t>(ControlCode::kSessionResumed)) {
         throw std::runtime_error("message: unknown control code");
       }
       msg.code = static_cast<ControlCode>(code);

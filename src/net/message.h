@@ -102,6 +102,10 @@ enum class ControlCode : std::uint8_t {
   kBadRequest = 4,       ///< well-formed but invalid (unknown player, NaN)
   kDraining = 5,         ///< server is shutting down gracefully
   kConverged = 6,        ///< grid-paced session reached its fixed point
+  kSessionResumed = 7,   ///< beacon re-attached a known player binding
+                         ///< (reconnect, or first bind after a snapshot
+                         ///< resume); `round` carries the engine's update
+                         ///< count so the client can realign its cursor
 };
 
 /// Grid -> OLEV: an out-of-band control response.  `player`/`round` echo the

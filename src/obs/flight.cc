@@ -129,6 +129,12 @@ const char* event_name(Event event) {
       return "expire";
     case Event::kDrain:
       return "drain";
+    case Event::kSnapshotSave:
+      return "snapshot_save";
+    case Event::kSnapshotLoad:
+      return "snapshot_load";
+    case Event::kSessionResume:
+      return "session_resume";
   }
   return "unknown";
 }

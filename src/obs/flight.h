@@ -43,6 +43,9 @@ enum class Event : std::uint8_t {
   kBackpressure = 4,  ///< RETRY_LATER sent          a=player, b=queue depth
   kExpire = 5,        ///< DEADLINE_EXPIRED sent     a=player, b=round
   kDrain = 6,         ///< graceful drain began      a=queued, b=sessions
+  kSnapshotSave = 7,  ///< durable snapshot written  a=payload bytes, b=save µs
+  kSnapshotLoad = 8,  ///< snapshot restored on boot a=payload bytes, b=load µs
+  kSessionResume = 9, ///< player re-attached        a=player, b=engine updates
 };
 
 inline constexpr std::size_t kLanes = 16;

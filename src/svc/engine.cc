@@ -36,6 +36,24 @@ PricingEngine::PricingEngine(core::SectionCost cost, EngineConfig config)
   scratch_sorted_.reserve(config_.sections);
 }
 
+void PricingEngine::restore_state(std::span<const double> schedule_flat,
+                                  std::uint64_t updates, double residual,
+                                  bool converged, double total_load_kw) {
+  if (schedule_flat.size() != schedule_.players() * schedule_.sections()) {
+    throw std::invalid_argument(
+        "PricingEngine: restore schedule size != players * sections");
+  }
+  for (std::size_t n = 0; n < schedule_.players(); ++n) {
+    schedule_.set_row(
+        n, schedule_flat.subspan(n * schedule_.sections(),
+                                 schedule_.sections()));
+  }
+  updates_ = static_cast<std::size_t>(updates);
+  cycle_max_delta_ = residual;
+  converged_ = converged;
+  total_load_kw_ = total_load_kw;
+}
+
 std::vector<double> PricingEngine::others_load(std::size_t player) const {
   if (config_.mode == EngineMode::kMeanField) {
     const double sections = static_cast<double>(schedule_.sections());

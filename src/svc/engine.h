@@ -17,6 +17,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/cost.h"
@@ -86,6 +88,23 @@ class PricingEngine {
   std::size_t updates() const { return updates_; }
   /// Round-robin cursor for grid-paced announcements (updates mod players).
   std::size_t cursor() const { return updates_ % schedule_.players(); }
+  /// Resolved per-player admission caps (empty config = +infinity entries);
+  /// exported into snapshots so a resume can verify shape compatibility.
+  const std::vector<double>& caps_kw() const { return caps_; }
+  /// Mean-field running aggregate T (0 in exact mode).  Snapshot state: it
+  /// must be restored bit-exact, not recomputed, to keep a resumed
+  /// mean-field session's payments bit-identical (persist/snapshot.h).
+  double total_load_kw() const { return total_load_kw_; }
+
+  /// Restores mid-game state captured by a persist::EngineSnapshot: the
+  /// full schedule matrix plus the convergence bookkeeping.  The engine
+  /// must have been constructed with the same players/sections shape
+  /// (schedule_flat is row-major N x C; anything else throws
+  /// std::invalid_argument).  Cold path: runs once at boot, before any
+  /// apply(), and may allocate freely.
+  void restore_state(std::span<const double> schedule_flat,
+                     std::uint64_t updates, double residual, bool converged,
+                     double total_load_kw);
 
  private:
   /// Both fill scratch_applied_ in place; apply() hands out the reference.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -24,6 +25,8 @@ struct WorkerResult {
   std::uint64_t draining = 0;
   std::uint64_t garbled = 0;
   std::uint64_t errors = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t session_resumed = 0;
   std::vector<double> latencies_us;
   // Server-reported phase timings, one entry per validated reply.
   std::vector<double> admit_us;
@@ -51,14 +54,24 @@ void run_worker(const LoadgenConfig& config, std::size_t index,
                 WorkerResult& result) {
   const auto player = static_cast<std::uint32_t>(index % config.players);
   try {
-    ServiceClient client = ServiceClient::connect(config.host, config.port,
-                                                 config.connect_timeout_s);
+    std::optional<ServiceClient> client = ServiceClient::connect(
+        config.host, config.port, config.connect_timeout_s);
     net::BeaconMsg beacon;
     beacon.player = player;
-    client.send(beacon);
+    client->send(beacon);
 
     util::Rng rng(util::derive_seed(config.seed, index));
     for (std::size_t r = 0; r < config.requests_per_connection; ++r) {
+      if (config.reconnect && r == config.requests_per_connection / 2 &&
+          r > 0) {
+        // Drop the transport, keep the player: the fresh beacon re-attaches
+        // the binding and the server acknowledges with kSessionResumed.
+        client.reset();
+        client = ServiceClient::connect(config.host, config.port,
+                                        config.connect_timeout_s);
+        client->send(beacon);
+        ++result.reconnects;
+      }
       const double request_kw =
           rng.uniform(config.min_request_kw, config.max_request_kw);
       // Rounds are echo tokens; unique per request within this connection.
@@ -79,11 +92,11 @@ void run_worker(const LoadgenConfig& config, std::size_t index,
       while (!settled) {
         const std::int64_t sent_us = obs::now_micros();
         request.trace.client_send_us = sent_us;
-        client.send(request);
+        client->send(request);
         ++result.sent;
         bool answered = false;
         while (!answered) {
-          const auto reply = client.recv(config.recv_timeout_s);
+          const auto reply = client->recv(config.recv_timeout_s);
           if (!reply) {
             ++result.errors;  // timeout or peer gone mid-request
             return;
@@ -132,6 +145,11 @@ void run_worker(const LoadgenConfig& config, std::size_t index,
                 return;  // server is going away; stop cleanly
               case net::ControlCode::kConverged:
                 break;  // informational broadcast; keep waiting
+              case net::ControlCode::kSessionResumed:
+                // Re-attach acknowledgement (our own reconnect beacon, or a
+                // second connection sharing this player id); informational.
+                ++result.session_resumed;
+                break;
               default:
                 ++result.garbled;  // kMalformed/kBadRequest: we sent garbage?
                 answered = settled = true;
@@ -173,6 +191,8 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
     report.draining += r.draining;
     report.garbled += r.garbled;
     report.errors += r.errors;
+    report.reconnects += r.reconnects;
+    report.session_resumed += r.session_resumed;
     latencies.insert(latencies.end(), r.latencies_us.begin(),
                      r.latencies_us.end());
     admit.insert(admit.end(), r.admit_us.begin(), r.admit_us.end());
@@ -230,6 +250,8 @@ std::string LoadgenReport::to_json() const {
   field_u64("draining", draining);
   field_u64("garbled", garbled);
   field_u64("errors", errors);
+  field_u64("reconnects", reconnects);
+  field_u64("session_resumed", session_resumed);
   out += "  \"clean\": ";
   out += clean() ? "true" : "false";
   out += ",\n";

@@ -23,6 +23,11 @@ struct LoadgenConfig {
   double connect_timeout_s = 5.0;
   std::size_t max_retries_per_request = 1000;  ///< RETRY_LATER resend budget
   std::uint64_t seed = 42;
+  /// Exercise the durable-session re-attach path: each worker drops its
+  /// connection halfway through its request budget, reconnects, and
+  /// re-presents its player id with a fresh beacon -- the server answers
+  /// kSessionResumed and the worker keeps going on the same player binding.
+  bool reconnect = false;
 };
 
 struct LoadgenReport {
@@ -34,6 +39,8 @@ struct LoadgenReport {
   std::uint64_t garbled = 0;  ///< reply failed validation (wrong player/round,
                               ///< non-finite row, negative entries, ...)
   std::uint64_t errors = 0;   ///< connect/send/recv failures, retry exhaustion
+  std::uint64_t reconnects = 0;       ///< mid-run reconnects (reconnect mode)
+  std::uint64_t session_resumed = 0;  ///< kSessionResumed notices received
   double wall_s = 0.0;
   double requests_per_s = 0.0;
   double latency_p50_us = 0.0;

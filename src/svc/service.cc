@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
 #include <utility>
@@ -11,6 +12,7 @@
 #include "obs/obs.h"
 #include "obs/report.h"
 #include "obs/strings.h"
+#include "persist/snapshot.h"
 
 namespace olev::svc {
 namespace {
@@ -32,6 +34,19 @@ std::uint32_t phase_us(std::int64_t delta_us) {
     return std::numeric_limits<std::uint32_t>::max();
   }
   return static_cast<std::uint32_t>(delta_us);
+}
+
+/// Bit-pattern equality for snapshot-vs-config validation: the resume
+/// contract is bit-identity, so "same epsilon" means the same 8 bytes, not
+/// a tolerance (and NaN-safe, unlike operator==).
+bool same_bits(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+std::uint8_t mode_byte(EngineMode mode) {
+  return mode == EngineMode::kMeanField ? 1 : 0;
 }
 
 }  // namespace
@@ -96,6 +111,24 @@ PricingService::PricingService(core::SectionCost cost, ServiceConfig config)
     admin_listener_ = listen_on(config_.admin_port);
     admin_port_ = local_port(admin_listener_);
   }
+  known_players_.assign(config_.players, false);
+  if (config_.resume) {
+    if (config_.snapshot_path.empty()) {
+      throw std::invalid_argument(
+          "PricingService: resume requires a snapshot_path");
+    }
+    load_snapshot();
+  }
+  if (!config_.journal_path.empty()) {
+    persist::JournalHeader header;
+    header.mode = mode_byte(config_.engine_mode);
+    header.players = config_.players;
+    header.sections = config_.sections;
+    header.epsilon = config_.epsilon;
+    header.caps_kw = engine_.caps_kw();
+    journal_ = std::make_unique<persist::JournalWriter>(
+        config_.journal_path, header, config_.journal_fsync);
+  }
   started_us_ = obs::now_micros();
   OLEV_OBS_ONLY({
     obs::Registry& registry = obs::Registry::instance();
@@ -110,6 +143,55 @@ PricingService::PricingService(core::SectionCost cost, ServiceConfig config)
 }
 
 PricingService::~PricingService() = default;
+
+void PricingService::load_snapshot() {
+  const persist::ServiceSnapshot snapshot =
+      persist::load(config_.snapshot_path);
+  const persist::EngineSnapshot& engine = snapshot.engine;
+  if (engine.mode != mode_byte(config_.engine_mode) ||
+      engine.players != config_.players ||
+      engine.sections != config_.sections) {
+    throw std::runtime_error(
+        "PricingService: snapshot engine shape does not match config");
+  }
+  if (!same_bits({engine.epsilon}, {config_.epsilon}) ||
+      !same_bits(engine.caps_kw, engine_.caps_kw())) {
+    // Bit-identity of the resumed round depends on epsilon and the caps as
+    // much as on the schedule itself; a drifted config must fail loudly.
+    throw std::runtime_error(
+        "PricingService: snapshot epsilon/caps do not match config");
+  }
+  engine_.restore_state(engine.schedule_kw, engine.updates, engine.residual,
+                        engine.converged != 0, engine.total_load_kw);
+  announcing_started_ = snapshot.announcing_started != 0;
+  converged_broadcast_ = snapshot.converged_broadcast != 0;
+  for (const std::uint32_t player : snapshot.bound_players) {
+    known_players_[player] = true;
+  }
+  resumed_ = true;
+}
+
+void PricingService::save_snapshot() {
+  persist::ServiceSnapshot snapshot;
+  persist::EngineSnapshot& engine = snapshot.engine;
+  engine.mode = mode_byte(config_.engine_mode);
+  engine.players = config_.players;
+  engine.sections = config_.sections;
+  engine.epsilon = config_.epsilon;
+  engine.caps_kw = engine_.caps_kw();
+  const std::span<const double> flat = engine_.schedule().flat();
+  engine.schedule_kw.assign(flat.begin(), flat.end());
+  engine.updates = engine_.updates();
+  engine.residual = engine_.residual();
+  engine.converged = engine_.converged() ? 1 : 0;
+  engine.total_load_kw = engine_.total_load_kw();
+  snapshot.announcing_started = announcing_started_ ? 1 : 0;
+  snapshot.converged_broadcast = converged_broadcast_ ? 1 : 0;
+  for (std::uint32_t player = 0; player < config_.players; ++player) {
+    if (known_players_[player]) snapshot.bound_players.push_back(player);
+  }
+  persist::save(config_.snapshot_path, snapshot);
+}
 
 std::shared_ptr<PricingService::Session> PricingService::bound_session(
     std::size_t player) const {
@@ -233,12 +315,33 @@ void PricingService::dispatch(const std::shared_ptr<Session>& session,
       return;
     }
     const bool was_bound = bound_session(beacon->player) != nullptr;
+    const bool reattach = known_players_[beacon->player];
     session->has_player = true;
     session->player = beacon->player;
+    known_players_[beacon->player] = true;
     if (!was_bound) ++bound_players_;
     if (config_.announce && !announcing_started_ &&
         bound_players_ >= config_.announce_after_players) {
       announcing_started_ = true;
+    }
+    if (reattach) {
+      // A known player is re-presenting its id (reconnect, or first bind
+      // after a snapshot resume): acknowledge the re-attach so the client
+      // knows its binding carried over, and if the grid-paced announcement
+      // was waiting on exactly this player, retransmit immediately instead
+      // of stalling the round until the announce_retry_s timer.
+      ++stats_.sessions_resumed;
+      obs::flight::record(obs::flight::Event::kSessionResume, beacon->player,
+                          static_cast<std::uint64_t>(engine_.updates()));
+      net::ControlMsg notice;
+      notice.code = net::ControlCode::kSessionResumed;
+      notice.player = beacon->player;
+      notice.round = static_cast<std::uint64_t>(engine_.updates());
+      send_message(session, notice);
+      if (announce_inflight_ && !announce_answered_ &&
+          announced_player_ == beacon->player) {
+        announced_at_us_ = 0;  // forces a retransmit on the next loop pass
+      }
     }
     return;
   }
@@ -285,6 +388,28 @@ void PricingService::dispatch(const std::shared_ptr<Session>& session,
     queue_.push_back(std::move(pending));
     obs::flight::record(obs::flight::Event::kAdmit, request->player,
                         queue_.size());
+    if (journal_ != nullptr) {
+      // Write-ahead journal: the admitted request, in admission order, with
+      // its trace context -- everything olev_replay needs to reproduce the
+      // engine's update sequence bit-for-bit.  Buffered append on the same
+      // poll loop; off every rtcheck-audited hot root.
+      persist::JournalRecord record;
+      record.ts_us = now_us;
+      record.player = request->player;
+      record.round = request->round;
+      record.total_kw = request->total_kw;
+      record.trace_id = request->trace.trace_id;
+      record.client_send_us = request->trace.client_send_us;
+      try {
+        journal_->append(record);
+        ++stats_.journal_records;
+      } catch (const std::exception&) {
+        // Disk trouble must not take the pricing round down with it: close
+        // the journal, count the failure, keep serving.
+        ++stats_.journal_failures;
+        journal_.reset();
+      }
+    }
     return;
   }
 
@@ -452,6 +577,27 @@ void PricingService::begin_drain(std::int64_t now_us) {
   // then tell every peer we are going away and close after the flush.
   expire_overdue(now_us);
   while (!queue_.empty()) run_batch(now_us);
+  // Drain-then-persist: the engine state is final once the queue is empty,
+  // so this is the exact cut the resumed process continues from.  Cold
+  // path -- the atomic tmp+rename write never rides a hot root.
+  if (journal_ != nullptr) {
+    try {
+      journal_->flush();
+    } catch (const std::exception&) {
+      ++stats_.journal_failures;
+    }
+    journal_.reset();
+  }
+  if (!config_.snapshot_path.empty()) {
+    try {
+      save_snapshot();
+      ++stats_.snapshots_saved;
+    } catch (const std::exception&) {
+      // A failed snapshot must not wedge the drain; the daemon still owes
+      // its peers DRAINING notices and a clean exit.
+      ++stats_.snapshot_save_failures;
+    }
+  }
   for (const auto& session : sessions_) {
     if (session->dead) continue;
     net::ControlMsg notice;
@@ -602,6 +748,12 @@ std::string PricingService::engine_json() const {
   out += std::to_string(stats_.max_batch_size);
   out += ",\"batches\":";
   out += std::to_string(stats_.batches);
+  out += ",\"resumed\":";
+  out += resumed_ ? "true" : "false";
+  out += ",\"sessions_resumed\":";
+  out += std::to_string(stats_.sessions_resumed);
+  out += ",\"journal_records\":";
+  out += std::to_string(stats_.journal_records);
   out += '}';
   return out;
 }

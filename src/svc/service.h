@@ -64,6 +64,7 @@
 #include "core/cost.h"
 #include "net/message.h"
 #include "obs/metrics.h"
+#include "persist/journal.h"
 #include "svc/engine.h"
 #include "svc/frame.h"
 #include "svc/socket.h"
@@ -117,6 +118,22 @@ struct ServiceConfig {
   /// default; olevd enables it with --admin-port.
   bool admin_enabled = false;
   std::uint16_t admin_port = 0;  ///< 0 = kernel-assigned (read admin_port())
+
+  // Durable state plane (docs/PERSISTENCE.md).
+  /// Non-empty arms drain-then-persist: begin_drain() writes a versioned
+  /// snapshot here (atomic tmp+rename) after the last admitted request is
+  /// answered.  olevd --snapshot-path.
+  std::string snapshot_path;
+  /// Load snapshot_path at construction and resume the grid-paced round at
+  /// the exact announce cursor (olevd --resume).  The snapshot's engine
+  /// shape (mode/players/sections/epsilon/caps) must match this config
+  /// bit-for-bit or the constructor throws.
+  bool resume = false;
+  /// Non-empty opens a write-ahead request journal here: every admitted
+  /// request is appended, in admission order, with its TraceContext
+  /// (olevd --journal; tools/olev_replay feeds it back deterministically).
+  std::string journal_path;
+  persist::FsyncPolicy journal_fsync = persist::FsyncPolicy::kOnFlush;
 };
 
 /// Plain counters, readable after run() returns (the loop is single-
@@ -142,6 +159,11 @@ struct ServiceStats {
   std::uint64_t write_overflows = 0;
   std::uint64_t admin_connections = 0;
   std::uint64_t admin_requests = 0;
+  std::uint64_t sessions_resumed = 0;  ///< kSessionResumed notices sent
+  std::uint64_t snapshots_saved = 0;
+  std::uint64_t snapshot_save_failures = 0;
+  std::uint64_t journal_records = 0;
+  std::uint64_t journal_failures = 0;  ///< append/flush errors (journal closes)
 };
 
 class PricingService {
@@ -169,6 +191,8 @@ class PricingService {
   const core::PowerSchedule& schedule() const { return engine_.schedule(); }
   bool game_converged() const { return engine_.converged(); }
   std::size_t game_updates() const { return engine_.updates(); }
+  /// True when this instance restored its state from a snapshot.
+  bool resumed() const { return resumed_; }
 
  private:
   struct Session;
@@ -202,6 +226,11 @@ class PricingService {
   void remove_dead_sessions();
   int next_timeout_ms(std::int64_t now_us) const;
   std::shared_ptr<Session> bound_session(std::size_t player) const;
+
+  // Durable state plane (docs/PERSISTENCE.md): snapshot restore at boot,
+  // drain-then-persist at shutdown.  Both cold paths.
+  void load_snapshot();
+  void save_snapshot();
 
   // Admin plane (read-only; confined to the run() thread like everything
   // else, so snapshots need no synchronization with the engine).
@@ -253,6 +282,14 @@ class PricingService {
   std::uint64_t announced_round_ = 0;
   std::int64_t announced_at_us_ = 0;
   bool converged_broadcast_ = false;
+
+  // Durable state plane.  known_players_[p] is set once player p has ever
+  // bound (this boot or, after --resume, any earlier one): a later beacon
+  // for a known player is a re-attach and is greeted with kSessionResumed
+  // instead of silence -- the round resumes without waiting for idle-reap.
+  std::vector<bool> known_players_;
+  std::unique_ptr<persist::JournalWriter> journal_;
+  bool resumed_ = false;
 };
 
 }  // namespace olev::svc

@@ -256,5 +256,76 @@ TEST(Admin, SnapshotsAnswerDuringConcurrentLoad) {
   EXPECT_NE(metrics.find("svc.phase.solve_us"), std::string::npos);
 }
 
+// --- the durable state plane surfaces through the telemetry plane -----------
+
+TEST(Admin, PersistMetricsAndFlightEventsSurfaceAcrossAResume) {
+  const std::string snap_path =
+      ::testing::TempDir() + "olev_admin_persist_snap.bin";
+  const std::string journal_path =
+      ::testing::TempDir() + "olev_admin_persist_journal.bin";
+  std::remove(snap_path.c_str());
+  std::remove(journal_path.c_str());
+
+  obs::flight::reset();
+  ServiceConfig config = admin_config();
+  config.snapshot_path = snap_path;
+  config.journal_path = journal_path;
+  {
+    ServiceRunner runner(config);
+    ServiceClient client = runner.connect();
+    net::BeaconMsg beacon;
+    beacon.player = 0;
+    client.send(beacon);
+    net::PowerRequestMsg request;
+    request.player = 0;
+    request.round = 1;
+    request.total_kw = 25.0;
+    request.trace.trace_id = 11;
+    client.send(request);
+    ASSERT_TRUE(client.recv().has_value());
+    runner.stop();  // drain -> journal flush + snapshot save
+    EXPECT_EQ(runner.service.stats().snapshots_saved, 1u);
+    EXPECT_EQ(runner.service.stats().journal_records, 1u);
+  }
+
+  // Resume: the admin plane must expose the load/save metrics, the flight
+  // ring must show the persistence events, and the engine JSON must carry
+  // the resume fields the CI persist job asserts on.
+  ServiceConfig resumed_config = config;
+  resumed_config.resume = true;
+  resumed_config.journal_path.clear();  // second boot: snapshot plane only
+  ServiceRunner resumed(resumed_config);
+  ServiceClient reattach = resumed.connect();
+  net::BeaconMsg beacon;
+  beacon.player = 0;  // bound in the snapshot -> session_resume event
+  reattach.send(beacon);
+  const auto notice = reattach.recv();
+  ASSERT_TRUE(notice.has_value());
+
+  AdminClient admin = resumed.connect_admin();
+  const std::string metrics = admin.request("metrics");
+  for (const char* name :
+       {"persist.snapshot.bytes", "persist.snapshot.save_us",
+        "persist.snapshot.load_us", "persist.journal.records"}) {
+    EXPECT_NE(metrics.find(name), std::string::npos) << name << "\n" << metrics;
+  }
+
+  const std::string flight = admin.request("flight");
+  for (const char* event :
+       {"\"event\":\"snapshot_save\"", "\"event\":\"snapshot_load\"",
+        "\"event\":\"session_resume\""}) {
+    EXPECT_NE(flight.find(event), std::string::npos) << event << "\n" << flight;
+  }
+
+  const std::string engine = admin.request("engine");
+  EXPECT_NE(engine.find("\"resumed\":true"), std::string::npos) << engine;
+  EXPECT_NE(engine.find("\"sessions_resumed\":1"), std::string::npos) << engine;
+  EXPECT_NE(engine.find("\"updates\":1"), std::string::npos) << engine;
+
+  resumed.stop();
+  std::remove(snap_path.c_str());
+  std::remove(journal_path.c_str());
+}
+
 }  // namespace
 }  // namespace olev::svc

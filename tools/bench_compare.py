@@ -1,12 +1,16 @@
 #!/usr/bin/env python3
 """Advisory bench-drift check against the committed BENCH_*.json baselines.
 
-The repo pins two performance artifacts at the root:
+The repo pins four performance artifacts at the root:
 
   BENCH_micro_hotpath.json   google-benchmark timings of the solver hot path
                              (the `micro_hotpath` array, `post_pr_ns` per name)
   BENCH_sweep.json           the parallel-sweep + serving hot-path report
                              written by bench/bench_sweep.cpp
+  BENCH_service.json         serving-layer throughput per batching window,
+                             written by bench/bench_service.cpp
+  BENCH_persist.json         snapshot save/load + journal append costs,
+                             written by bench/bench_persist.cpp
 
 This tool compares a *fresh* run against those baselines and reports the
 drift per series.  It is advisory by default: CI machines are noisy and the
@@ -21,8 +25,12 @@ Fresh inputs:
   --sweep FILE   a BENCH_sweep.json written by a fresh bench_sweep run
                  (run it with a different cwd so it does not clobber the
                  committed baseline)
+  --service FILE a BENCH_service.json from a fresh bench_service run
+  --persist FILE a BENCH_persist.json from a fresh bench_persist run
+                 (only the throughput series is compared; the fsync-bound
+                 latency columns jitter too much across machines)
 
-Either input may be omitted; the corresponding comparison is skipped.
+Any input may be omitted; the corresponding comparison is skipped.
 
 Usage:
   ./build/bench/bench_micro_core --benchmark_format=json > fresh_micro.json
@@ -83,6 +91,24 @@ def sweep_series(report):
     return out
 
 
+def service_series(report):
+    """BENCH_service.json -> {series name: req/s} (higher is better)."""
+    out = {}
+    for point in report.get("windows", []):
+        key = "service.w%d.requests_per_s" % int(point["window_us"])
+        out[key] = float(point["requests_per_s"])
+    return out
+
+
+def persist_series(report):
+    """BENCH_persist.json -> {series name: MB/s} (higher is better)."""
+    out = {}
+    for point in report.get("shapes", []):
+        key = "persist.p%d.journal_mb_s" % int(point["players"])
+        out[key] = float(point["journal_mb_s"])
+    return out
+
+
 def compare(baseline, fresh, tolerance, higher_is_better, label, out):
     """Appends drift rows; returns the names drifting past tolerance."""
     drifted = []
@@ -109,6 +135,8 @@ def run(argv):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--micro", help="fresh google-benchmark JSON")
     parser.add_argument("--sweep", help="fresh BENCH_sweep.json")
+    parser.add_argument("--service", help="fresh BENCH_service.json")
+    parser.add_argument("--persist", help="fresh BENCH_persist.json")
     parser.add_argument("--baseline-dir", default=REPO_ROOT,
                         help="directory holding the committed BENCH_*.json")
     parser.add_argument("--tolerance", type=float, default=1.5,
@@ -138,8 +166,23 @@ def run(argv):
         lines.append("sweep / serving hot path (per-sec, higher is better):")
         drifted += compare(base, fresh, args.tolerance,
                            higher_is_better=True, label="sweep", out=lines)
-    if not args.micro and not args.sweep:
-        parser.error("nothing to compare: pass --micro and/or --sweep")
+    if args.service:
+        base = service_series(
+            load_json(os.path.join(args.baseline_dir, "BENCH_service.json")))
+        fresh = service_series(load_json(args.service))
+        lines.append("serving layer (req/s, higher is better):")
+        drifted += compare(base, fresh, args.tolerance,
+                           higher_is_better=True, label="service", out=lines)
+    if args.persist:
+        base = persist_series(
+            load_json(os.path.join(args.baseline_dir, "BENCH_persist.json")))
+        fresh = persist_series(load_json(args.persist))
+        lines.append("persist journal (MB/s, higher is better):")
+        drifted += compare(base, fresh, args.tolerance,
+                           higher_is_better=True, label="persist", out=lines)
+    if not (args.micro or args.sweep or args.service or args.persist):
+        parser.error("nothing to compare: pass --micro, --sweep, --service, "
+                     "and/or --persist")
 
     print("\n".join(lines))
     if drifted:
@@ -208,11 +251,31 @@ def self_test():
                       label="sweep", out=out)
     check("mild throughput dip passes", drifted == [])
 
+    series = service_series({
+        "windows": [{"window_us": 500, "requests_per_s": 9000.0},
+                    {"window_us": 2000, "requests_per_s": 7000.0}],
+    })
+    check("service series keyed by window",
+          series == {"service.w500.requests_per_s": 9000.0,
+                     "service.w2000.requests_per_s": 7000.0})
+
+    series = persist_series({
+        "shapes": [{"players": 64, "sections": 16, "journal_mb_s": 120.0}],
+    })
+    check("persist series extracts journal throughput",
+          series == {"persist.p64.journal_mb_s": 120.0})
+    out = []
+    drifted = compare(series, {"persist.p64.journal_mb_s": 30.0},
+                      tolerance=2.0, higher_is_better=True,
+                      label="persist", out=out)
+    check("journal throughput collapse is flagged",
+          drifted == ["persist.p64.journal_mb_s"])
+
     if failures:
         for name in failures:
             print("self-test FAIL:", name)
         return 1
-    print("bench_compare self-test: %d checks OK" % 9)
+    print("bench_compare self-test: %d checks OK" % 12)
     return 0
 
 

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Static-analysis wall over the whole library surface: src/core, src/util,
-# src/grid, src/traci, src/traffic, src/wpt, src/net, src/obs, src/svc --
-# plus the operational binaries tools/olevd.cpp and tools/olev_loadgen.cpp,
-# which sit outside src/ but ship in the same deliverable.
+# src/grid, src/traci, src/traffic, src/wpt, src/net, src/obs, src/persist,
+# src/svc -- plus the operational binaries tools/olevd.cpp and
+# tools/olev_loadgen.cpp, which sit outside src/ but ship in the same
+# deliverable.
 #
 #   tools/lint.sh [build-dir]
 #
@@ -10,7 +11,8 @@
 # analysis contract -- no raw-double quantity parameters in public headers,
 # no exact float equality, [[nodiscard]] solver entry points, no raw
 # chrono-clock reads outside src/obs, no socket-API use outside src/svc,
-# no raw std::mutex/condition_variable outside src/util/sync.h (R6) --
+# no raw std::mutex/condition_variable outside src/util/sync.h (R6), no
+# raw file I/O outside src/persist and the obs sinks (R8) --
 # plus the trace-checker self-test
 # (tools/check_trace.py), so a dead validator cannot rubber-stamp traces.
 # Pure Python, runs everywhere.
@@ -30,7 +32,7 @@ set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${1:-${BUILD_DIR:-$ROOT/build}}"
-LINT_DIRS=(src/core src/util src/grid src/traci src/traffic src/wpt src/net src/obs src/svc)
+LINT_DIRS=(src/core src/util src/grid src/traci src/traffic src/wpt src/net src/obs src/persist src/svc)
 
 echo "lint: domain rules (tools/olev_lint.py)"
 python3 "$ROOT/tools/olev_lint.py" --self-test > /dev/null

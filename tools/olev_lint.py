@@ -71,6 +71,22 @@ that util/quantity.h makes checkable but cannot enforce by itself:
                           stays legal.  Tools/examples/bench keep printing:
                           they are the user-facing surface.
 
+  R8 raw-file-io          Data-path file I/O (std::ofstream/ifstream/
+                          fstream/filebuf, fopen/freopen/tmpfile, ::open)
+                          is reserved for src/persist -- the durable state
+                          plane, whose codec frames and checksums every
+                          byte it writes (docs/PERSISTENCE.md) -- and the
+                          obs sinks (src/obs, the metrics/trace/flight
+                          exporters).  Anywhere else under src/, ad-hoc
+                          file writes would bypass the atomic tmp+rename
+                          discipline and produce unversioned artifacts no
+                          replay or resume could validate.  Grandfathered:
+                          src/util/csv.cc (the CSV report sink) and
+                          src/util/config.cc (the config loader), both
+                          human-readable text planes, not durable state.
+                          Tools/examples/bench stay free to touch files:
+                          they are the user-facing surface.
+
 The behavioral rules (R2 float-equality, R4 raw-clock, R5 raw-socket,
 R6 raw-sync) additionally sweep the runnable surface outside src/: every
 example (examples/*.cpp) and benchmark (bench/*.cpp, bench/*.h).  Those
@@ -175,6 +191,18 @@ R7_PRINT = re.compile(
     r"\bstd\s*::\s*(?:cout|cerr|clog)\b"
     r"|\b(?:std\s*::\s*)?(?:printf|fprintf|vfprintf|puts|fputs|putchar"
     r"|perror)\s*\("
+)
+
+# R8: data-path file I/O outside the durable state plane.  `(?<![\w:])`
+# keeps qualified members like `Codec::fopen_like(` from matching only when
+# actually global; std::FILE alone is legal (a pointer type in a signature
+# is not I/O -- opening one is).
+FILE_IO_EXEMPT_PREFIXES = ("src/persist/", "src/obs/")
+FILE_IO_EXEMPT_FILES = {"src/util/csv.cc", "src/util/config.cc"}
+R8_FILE_IO = re.compile(
+    r"\bstd\s*::\s*(?:basic_)?(?:[oi]?fstream|filebuf)\b"
+    r"|\b(?:std\s*::\s*)?(?:fopen|freopen|tmpfile)\s*\("
+    r"|(?<![\w>])::\s*open(?:at)?\s*\("
 )
 
 COMMENT = re.compile(r"//.*$")
@@ -324,6 +352,28 @@ def lint_raw_print(path: str, text: str) -> list[Finding]:
     return findings
 
 
+def lint_raw_file_io(path: str, text: str) -> list[Finding]:
+    if path.startswith(FILE_IO_EXEMPT_PREFIXES) or path in FILE_IO_EXEMPT_FILES:
+        return []  # the durable state plane, the obs sinks, grandfathered text
+    findings = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        code = strip_comment(line)
+        match = R8_FILE_IO.search(code)
+        if match:
+            findings.append(
+                Finding(
+                    "raw-file-io",
+                    path,
+                    number,
+                    f"raw file I/O '{match.group(0).strip()}' outside "
+                    "src/persist; durable artifacts must go through the "
+                    "persist codec (versioned, checksummed, atomic "
+                    "tmp+rename -- docs/PERSISTENCE.md) or an obs sink",
+                )
+            )
+    return findings
+
+
 def lint_nodiscard_solvers(path: str, text: str) -> list[Finding]:
     names = ENTRY_POINTS.get(path)
     if not names:
@@ -410,6 +460,7 @@ def run_lint(root: pathlib.Path) -> list[Finding]:
         findings.extend(lint_raw_sockets(rel, text))
         findings.extend(lint_raw_sync(rel, text))
         findings.extend(lint_raw_print(rel, text))
+        findings.extend(lint_raw_file_io(rel, text))
     for source in tools:
         rel = source.relative_to(root).as_posix()
         findings.extend(lint_raw_sync(rel, source.read_text()))
@@ -650,6 +701,54 @@ SELF_TESTS = [
         False,
     ),
     (
+        lint_raw_file_io,
+        "src/core/fake.cc",
+        'std::ofstream out("equilibrium.bin");\n',
+        True,
+    ),
+    (
+        lint_raw_file_io,
+        "src/svc/fake.cc",
+        'std::FILE* f = std::fopen(path.c_str(), "wb");\n',
+        True,
+    ),
+    (
+        lint_raw_file_io,
+        "src/grid/fake.cc",
+        "const int fd = ::open(path, O_RDONLY);\n",
+        True,
+    ),
+    (
+        lint_raw_file_io,
+        "src/persist/codec.cc",
+        'std::FILE* f = std::fopen(path.c_str(), "wb");\n',
+        False,
+    ),
+    (
+        lint_raw_file_io,
+        "src/obs/strings.cc",
+        "std::ofstream out(path);\n",
+        False,
+    ),
+    (
+        lint_raw_file_io,
+        "src/util/csv.cc",
+        "std::ofstream out(path);\n",
+        False,
+    ),
+    (
+        lint_raw_file_io,
+        "src/core/fake.cc",
+        "// std::ofstream dump(path); -- see docs/PERSISTENCE.md\n",
+        False,
+    ),
+    (
+        lint_raw_file_io,
+        "src/core/fake.cc",
+        "std::FILE* file = nullptr;  // handle owned by persist\n",
+        False,
+    ),
+    (
         lint_nodiscard_solvers,
         "src/core/central.h",
         "CentralResult maximize_welfare(std::span<const double> p_max);\n",
@@ -699,7 +798,8 @@ def main() -> int:
     print(
         f"olev_lint: clean ({len(headers)} public headers, "
         f"{len(sources)} files swept for float equality, "
-        f"{len(swept)} for raw sockets/sync/prints, {len(tools)} tool binaries, "
+        f"{len(swept)} for raw sockets/sync/prints/file-io, "
+        f"{len(tools)} tool binaries, "
         f"{len(extras)} examples/bench files)"
     )
     return 0

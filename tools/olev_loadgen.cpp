@@ -30,6 +30,8 @@ void usage(const char* argv0) {
       << "  --max-kw X       request range upper bound (default 120)\n"
       << "  --timeout-s X    per-reply receive timeout (default 10)\n"
       << "  --seed N         workload seed (default 42)\n"
+      << "  --reconnect      drop each connection halfway and re-beacon,\n"
+      << "                   exercising the durable-session re-attach path\n"
       << "  --json PATH      also write the report as JSON\n";
 }
 
@@ -45,6 +47,10 @@ int main(int argc, char** argv) {
     if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
+    }
+    if (arg == "--reconnect") {
+      config.reconnect = true;
+      continue;
     }
     if (i + 1 >= argc) {
       std::cerr << "olev_loadgen: " << arg << " needs a value\n";

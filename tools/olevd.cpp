@@ -21,6 +21,7 @@
 
 #include "core/cost.h"
 #include "obs/report.h"
+#include "persist/journal.h"
 #include "svc/service.h"
 #include "util/quantity.h"
 
@@ -46,6 +47,12 @@ struct Options {
   double idle_timeout_s = 60.0;
   bool announce = false;
   olev::svc::EngineMode engine = olev::svc::EngineMode::kExact;
+  // Durable state plane (docs/PERSISTENCE.md).
+  std::string snapshot_path;
+  bool resume = false;
+  std::string journal_path;
+  olev::persist::FsyncPolicy journal_fsync =
+      olev::persist::FsyncPolicy::kOnFlush;
   // Section cost knobs (defaults mirror the distributed-driver tests: the
   // paper's nonlinear V with beta=5, alpha=0.875, P_ref = P_line = 40 kW).
   double beta = 5.0;
@@ -73,6 +80,14 @@ void usage(const char* argv0) {
       << "  --announce           grid-paced announcement mode\n"
       << "  --engine NAME        pricing arithmetic: exact (default) or\n"
       << "                       meanfield (O(C) aggregate-field updates)\n"
+      << "  --snapshot-path P    write a versioned state snapshot to P on\n"
+      << "                       SIGTERM drain (atomic tmp+rename)\n"
+      << "  --resume             reload --snapshot-path at boot and resume\n"
+      << "                       the round at the exact announce cursor\n"
+      << "  --journal P          append every admitted request to the\n"
+      << "                       write-ahead journal P (olev_replay input)\n"
+      << "  --journal-fsync M    journal durability: none, flush (default),\n"
+      << "                       or record (fsync per record)\n"
       << "  --beta X --alpha X --p-ref X --p-line X --overload-weight X\n"
       << "                       section cost parameters\n";
 }
@@ -96,6 +111,8 @@ bool parse(int argc, char** argv, Options& options) {
       std::exit(0);
     } else if (arg == "--announce") {
       options.announce = true;
+    } else if (arg == "--resume") {
+      options.resume = true;
     } else if (!need_value(i)) {
       return false;
     } else if (arg == "--port") {
@@ -128,6 +145,23 @@ bool parse(int argc, char** argv, Options& options) {
       } else {
         std::cerr << "olevd: unknown engine '" << name
                   << "' (expected exact or meanfield)\n";
+        return false;
+      }
+    } else if (arg == "--snapshot-path") {
+      options.snapshot_path = argv[++i];
+    } else if (arg == "--journal") {
+      options.journal_path = argv[++i];
+    } else if (arg == "--journal-fsync") {
+      const std::string name = argv[++i];
+      if (name == "none") {
+        options.journal_fsync = olev::persist::FsyncPolicy::kNone;
+      } else if (name == "flush") {
+        options.journal_fsync = olev::persist::FsyncPolicy::kOnFlush;
+      } else if (name == "record") {
+        options.journal_fsync = olev::persist::FsyncPolicy::kEveryRecord;
+      } else {
+        std::cerr << "olevd: unknown fsync policy '" << name
+                  << "' (expected none, flush, or record)\n";
         return false;
       }
     } else if (arg == "--beta") {
@@ -177,6 +211,10 @@ int main(int argc, char** argv) {
   config.engine_mode = options.engine;
   config.admin_enabled = options.admin;
   config.admin_port = options.admin_port;
+  config.snapshot_path = options.snapshot_path;
+  config.resume = options.resume;
+  config.journal_path = options.journal_path;
+  config.journal_fsync = options.journal_fsync;
 
   try {
     olev::svc::PricingService service(std::move(cost), config);
@@ -194,6 +232,14 @@ int main(int argc, char** argv) {
       // job scrape this for the resolved admin port.
       std::printf("olevd: admin on 127.0.0.1:%u\n",
                   static_cast<unsigned>(service.admin_port()));
+    }
+    if (service.resumed()) {
+      // Scraped by the CI persist job: proof the round picked up at the
+      // exact cursor rather than restarting from zero.
+      std::printf("olevd: resumed updates=%zu cursor=%zu converged=%s\n",
+                  service.game_updates(),
+                  service.game_updates() % options.players,
+                  service.game_converged() ? "yes" : "no");
     }
     std::fflush(stdout);
 
